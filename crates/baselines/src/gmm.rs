@@ -1,0 +1,178 @@
+//! GMM: Gonzalez's farthest-first k-center traversal on `ln(1/p)` weights.
+//!
+//! The paper (§5.1) uses this as the representative "naive adaptation of a
+//! deterministic clustering algorithm": transform each edge probability
+//! into the additive weight `w(e) = ln(1/p(e))`, so a path's total weight
+//! is `ln(1/Π p(e))` — the negative log-probability that *that single path*
+//! materializes — and run the classical 2-approximation for k-center:
+//! repeatedly pick as next center the node farthest from the current
+//! center set, then assign every node to its nearest center.
+//!
+//! The measure ignores that connectivity can be provided by *many* paths
+//! jointly (possible-world semantics), which is exactly why the paper finds
+//! it underperforms; see Figure 1.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ugraph_cluster::{Clustering, ClusterError};
+use ugraph_graph::{MultiSourceDijkstra, NodeId, UncertainGraph};
+
+/// Runs GMM with `k` centers. The first center is drawn uniformly from the
+/// nodes using `seed` (the classical algorithm's "arbitrary" choice);
+/// subsequent centers are the farthest-first traversal, with ties and
+/// unreachable nodes (distance ∞) won by the smallest node id.
+///
+/// Nodes unreachable from every center are assigned to cluster 0 — they
+/// have no meaningful nearest center (this only happens on graphs with
+/// more than `k` components).
+pub fn gmm(graph: &UncertainGraph, k: usize, seed: u64) -> Result<Clustering, ClusterError> {
+    let n = graph.num_nodes();
+    if k < 1 || k >= n {
+        return Err(ClusterError::KOutOfRange { k, n });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let first = NodeId(rng.gen_range(0..n as u32));
+
+    let mut ms = MultiSourceDijkstra::new(n);
+    let mut centers = Vec::with_capacity(k);
+    let mut is_center = vec![false; n];
+    ms.add_source(graph, first, 0);
+    centers.push(first);
+    is_center[first.index()] = true;
+    while centers.len() < k {
+        let (far, dist) = ms.farthest().expect("non-empty graph");
+        // When every remaining node is at distance 0 (certain edges
+        // everywhere), the farthest node may already be a center; fall back
+        // to the first non-center node (k < n guarantees one exists).
+        let next = if !is_center[far.index()] && dist > 0.0 {
+            far
+        } else {
+            (0..n)
+                .map(NodeId::from_index)
+                .find(|u| !is_center[u.index()])
+                .expect("k < n leaves a non-center node")
+        };
+        let idx = centers.len() as u32;
+        is_center[next.index()] = true;
+        ms.add_source(graph, next, idx);
+        centers.push(next);
+    }
+
+    let nearest = ms.nearest_source();
+    let mut assignment: Vec<u32> = (0..n)
+        .map(|u| {
+            let s = nearest[u];
+            if s == ugraph_graph::shortest_path::NO_SOURCE {
+                0
+            } else {
+                s
+            }
+        })
+        .collect();
+    // A center chosen at distance 0 of an earlier center (possible with
+    // certain edges) keeps the earlier center as nearest source; pin every
+    // center to its own cluster to uphold the clustering invariant.
+    for (i, c) in centers.iter().enumerate() {
+        assignment[c.index()] = i as u32;
+    }
+    Ok(Clustering::new(
+        centers,
+        assignment.into_iter().map(Some).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    fn two_communities(bridge: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.add_edge(2, 3, bridge).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn splits_well_separated_communities() {
+        let g = two_communities(0.01);
+        let c = gmm(&g, 2, 42).unwrap();
+        assert!(c.is_full());
+        assert_eq!(c.num_clusters(), 2);
+        let a = c.cluster_of(NodeId(0));
+        assert_eq!(c.cluster_of(NodeId(1)), a);
+        assert_eq!(c.cluster_of(NodeId(2)), a);
+        let b_ = c.cluster_of(NodeId(3));
+        assert_ne!(a, b_);
+        assert_eq!(c.cluster_of(NodeId(5)), b_);
+    }
+
+    #[test]
+    fn k_out_of_range() {
+        let g = two_communities(0.5);
+        assert!(matches!(gmm(&g, 0, 0), Err(ClusterError::KOutOfRange { .. })));
+        assert!(matches!(gmm(&g, 6, 0), Err(ClusterError::KOutOfRange { .. })));
+    }
+
+    #[test]
+    fn k_equals_n_minus_one() {
+        let g = two_communities(0.5);
+        let c = gmm(&g, 5, 7).unwrap();
+        assert_eq!(c.num_clusters(), 5);
+        assert!(c.is_full());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = two_communities(0.3);
+        assert_eq!(gmm(&g, 3, 9).unwrap(), gmm(&g, 3, 9).unwrap());
+    }
+
+    #[test]
+    fn farthest_first_spreads_across_components() {
+        // Three components; k = 3 must place one center in each.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        b.add_edge(4, 5, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let c = gmm(&g, 3, 1).unwrap();
+        let comp = |u: u32| u / 2;
+        let mut comps: Vec<u32> = c.centers().iter().map(|c| comp(c.0)).collect();
+        comps.sort_unstable();
+        assert_eq!(comps, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_nodes_fall_back_to_cluster_zero() {
+        // Two components, k = 1: the second component is unreachable.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let c = gmm(&g, 1, 3).unwrap();
+        assert!(c.is_full());
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn prefers_reliable_paths_over_short_ones() {
+        // GMM distances favor the two-hop 0.9·0.9 route over a direct 0.05
+        // edge; centers at the extremes then cut through the weak edge.
+        // Path: 0 -0.9- 1 -0.9- 2, and direct 0 -0.05- 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(0, 2, 0.05).unwrap();
+        let g = b.build().unwrap();
+        let c = gmm(&g, 2, 5).unwrap();
+        // Node 1 must cluster with whichever endpoint is a center via the
+        // reliable edge rather than hopping the weak direct edge.
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_clusters(), 2);
+    }
+}

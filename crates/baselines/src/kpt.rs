@@ -1,0 +1,169 @@
+//! KPT: the Kollios-Potamias-Terzi clustering of large probabilistic
+//! graphs (TKDE 2013).
+//!
+//! KPT formulates clustering as finding a deterministic *cluster graph*
+//! (disjoint union of cliques) minimizing the expected edit distance to a
+//! random possible world. Their 5-approximation, `pKwikCluster`, is the
+//! classical pivot algorithm of Ailon-Charikar-Newman run on the
+//! *majority-vote world*: an edge counts as "present" when `p(e) ≥ 1/2`
+//! (then linking `u, v` saves expected edit cost). The pivot loop:
+//!
+//! 1. pick a random unclustered node as **pivot**;
+//! 2. form a cluster of the pivot and all unclustered majority-neighbors;
+//! 3. repeat until all nodes are clustered.
+//!
+//! The number of clusters is whatever falls out — the paper (§5.2) uses
+//! KPT as the comparison point that *cannot* control granularity, in
+//! contrast with MCP/ACP. Pivots double as cluster centers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ugraph_cluster::Clustering;
+use ugraph_graph::{NodeId, UncertainGraph};
+
+/// KPT parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KptConfig {
+    /// Probability at or above which an edge belongs to the majority-vote
+    /// world (the 5-approximation analysis requires 1/2).
+    pub edge_threshold: f64,
+    /// RNG seed for the pivot order.
+    pub seed: u64,
+}
+
+impl Default for KptConfig {
+    fn default() -> Self {
+        KptConfig { edge_threshold: 0.5, seed: 0 }
+    }
+}
+
+/// Runs `pKwikCluster`. Returns a full clustering whose centers are the
+/// pivots; the number of clusters is data-dependent.
+pub fn kpt(graph: &UncertainGraph, cfg: &KptConfig) -> Clustering {
+    let n = graph.num_nodes();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Random pivot order via Fisher-Yates.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut centers: Vec<NodeId> = Vec::new();
+    for &u in &order {
+        if assignment[u as usize] != UNASSIGNED {
+            continue;
+        }
+        let cluster = centers.len() as u32;
+        centers.push(NodeId(u));
+        assignment[u as usize] = cluster;
+        for (v, e) in graph.neighbors(NodeId(u)) {
+            if assignment[v.index()] == UNASSIGNED && graph.prob(e) >= cfg.edge_threshold {
+                assignment[v.index()] = cluster;
+            }
+        }
+    }
+    Clustering::new(
+        centers,
+        assignment.into_iter().map(Some).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    fn two_communities(bridge: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.add_edge(2, 3, bridge).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weak_bridge_is_never_crossed() {
+        let g = two_communities(0.05);
+        let c = kpt(&g, &KptConfig::default());
+        assert!(c.is_full());
+        // No cluster may contain nodes from both sides: the bridge edge has
+        // p < 0.5 and there is no other cross link.
+        for cluster in c.clusters() {
+            let left = cluster.iter().any(|u| u.0 < 3);
+            let right = cluster.iter().any(|u| u.0 >= 3);
+            assert!(!(left && right), "cluster {cluster:?} crosses the weak bridge");
+        }
+    }
+
+    #[test]
+    fn strong_clique_may_merge_in_one_cluster() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j, 0.9).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let c = kpt(&g, &KptConfig::default());
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.cluster_sizes(), vec![4]);
+    }
+
+    #[test]
+    fn all_weak_edges_give_singletons() {
+        let g = two_communities(0.05);
+        let cfg = KptConfig { edge_threshold: 0.95, seed: 1 };
+        let c = kpt(&g, &cfg);
+        assert_eq!(c.num_clusters(), 6, "threshold above all probs ⇒ all singletons");
+    }
+
+    #[test]
+    fn deterministic_under_seed_and_sensitive_to_it() {
+        let g = two_communities(0.4);
+        let a = kpt(&g, &KptConfig { edge_threshold: 0.5, seed: 3 });
+        let b = kpt(&g, &KptConfig { edge_threshold: 0.5, seed: 3 });
+        assert_eq!(a, b);
+        // Different seeds may (and on this graph, do for some pair) change
+        // the pivot order; just verify both are valid clusterings.
+        let c = kpt(&g, &KptConfig { edge_threshold: 0.5, seed: 4 });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn centers_are_pivots_in_own_cluster() {
+        let g = two_communities(0.3);
+        let c = kpt(&g, &KptConfig::default());
+        assert!(c.validate().is_ok());
+        for (i, &p) in c.centers().iter().enumerate() {
+            assert_eq!(c.cluster_of(p), Some(i));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let c = kpt(&g, &KptConfig::default());
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn pivot_neighbors_join_only_if_unassigned() {
+        // Path with strong edges: 0-1-2. If 1 is pivoted first, it absorbs
+        // both 0 and 2 into one cluster; if 0 first, {0,1} then {2}.
+        // Either way every node is assigned exactly once.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.8).unwrap();
+        let g = b.build().unwrap();
+        for seed in 0..10u64 {
+            let c = kpt(&g, &KptConfig { edge_threshold: 0.5, seed });
+            assert!(c.is_full());
+            assert!(c.num_clusters() <= 2);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # ugraph-baselines — comparator algorithms from the paper's evaluation
+//!
+//! The experimental section of *Clustering Uncertain Graphs* (VLDB 2017,
+//! §5) compares MCP/ACP against three pre-existing approaches, none of
+//! which has a canonical Rust implementation — so all three are built here
+//! from their original papers:
+//!
+//! * [`mcl()`](mcl::mcl) — the **Markov Cluster Algorithm** (van Dongen, SIAM J. Matrix
+//!   Anal. 2008): random-walk flow simulation on the weighted graph with
+//!   edge probabilities as similarity weights. Cluster granularity is
+//!   steered *indirectly* by the inflation parameter; the number of
+//!   clusters cannot be fixed a priori — a key limitation the paper
+//!   stresses.
+//! * [`gmm()`](gmm::gmm) — the naive adaptation of **Gonzalez's k-center** farthest
+//!   -first traversal (Theor. Comput. Sci. 1985) to uncertain graphs:
+//!   probabilities become additive weights `w(e) = ln(1/p(e))` and
+//!   shortest-path distances replace connection probabilities. This
+//!   disregards possible-world semantics and serves as the paper's
+//!   cautionary baseline.
+//! * [`kpt()`](kpt::kpt) — the pivot-based 5-approximation of **Kollios, Potamias,
+//!   Terzi** (TKDE 2013) for edit-distance cluster graphs (pKwikCluster on
+//!   the most-probable world). Cluster count is an output, not an input.
+//!
+//! All three return the same [`Clustering`](ugraph_cluster::Clustering)
+//! type as the main algorithms, so every metric applies uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gmm;
+pub mod kpt;
+pub mod mcl;
+
+pub use gmm::gmm;
+pub use kpt::{kpt, KptConfig};
+pub use mcl::{mcl, MclConfig, MclResult, SelfLoopWeight};

@@ -1,0 +1,124 @@
+//! Property-based tests for the baseline algorithms.
+
+use proptest::prelude::*;
+use ugraph_baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
+use ugraph_graph::{GraphBuilder, NodeId, UncertainGraph};
+
+/// Random graph with a connectivity spine (so GMM/k constraints are easy
+/// to satisfy).
+fn spined_graph(max_n: u32) -> impl Strategy<Value = UncertainGraph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n, 0.05f64..=1.0), 0..40);
+        (Just(n), extra, 0.1f64..=1.0).prop_map(|(n, extra, p_spine)| {
+            let mut b = GraphBuilder::new(n as usize);
+            for i in 0..n - 1 {
+                b.add_edge(i, i + 1, p_spine).unwrap();
+            }
+            for (u, v, p) in extra {
+                if u != v {
+                    b.add_edge(u, v, p).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GMM always returns a valid, full clustering with exactly k clusters,
+    /// deterministically under the seed.
+    #[test]
+    fn gmm_contract(g in spined_graph(24), k in 1usize..6, seed in any::<u64>()) {
+        prop_assume!(k < g.num_nodes());
+        let c = gmm(&g, k, seed).unwrap();
+        prop_assert!(c.validate().is_ok());
+        prop_assert!(c.is_full());
+        prop_assert_eq!(c.num_clusters(), k);
+        let c2 = gmm(&g, k, seed).unwrap();
+        prop_assert_eq!(c, c2);
+    }
+
+    /// GMM centers are pairwise distinct and each node's cluster is its
+    /// nearest center under ln(1/p) distances (up to ties).
+    #[test]
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
+    fn gmm_assigns_to_nearest_center(g in spined_graph(16), k in 2usize..4, seed in any::<u64>()) {
+        prop_assume!(k < g.num_nodes());
+        let c = gmm(&g, k, seed).unwrap();
+        // Distances from every center.
+        let dists: Vec<Vec<f64>> = c
+            .centers()
+            .iter()
+            .map(|&s| ugraph_graph::dijkstra(&g, s))
+            .collect();
+        for u in 0..g.num_nodes() {
+            let assigned = c.cluster_of(NodeId::from_index(u)).unwrap();
+            if c.centers().contains(&NodeId::from_index(u)) {
+                continue; // centers are pinned to their own cluster
+            }
+            let du = dists[assigned][u];
+            for other in 0..k {
+                prop_assert!(
+                    du <= dists[other][u] + 1e-9,
+                    "node {u} assigned to center {assigned} at {du} but center \
+                     {other} is at {}",
+                    dists[other][u]
+                );
+            }
+        }
+    }
+
+    /// MCL returns a valid full clustering and is deterministic.
+    #[test]
+    fn mcl_contract(g in spined_graph(20), inflation_x10 in 12u32..=30) {
+        let cfg = MclConfig::with_inflation(f64::from(inflation_x10) / 10.0);
+        let r1 = mcl(&g, &cfg);
+        let r2 = mcl(&g, &cfg);
+        prop_assert!(r1.clustering.validate().is_ok());
+        prop_assert!(r1.clustering.is_full());
+        prop_assert_eq!(&r1.clustering, &r2.clustering);
+        prop_assert!(r1.clustering.num_clusters() >= 1);
+        prop_assert!(r1.clustering.num_clusters() <= g.num_nodes());
+    }
+
+    /// KPT: every non-center node shares a ≥ threshold edge with its
+    /// cluster's pivot, and pivots are independent under the majority world
+    /// (no pivot is a strong neighbor of an earlier pivot... weaker check:
+    /// clusters only contain pivot-adjacent nodes).
+    #[test]
+    fn kpt_clusters_are_pivot_stars(g in spined_graph(20), seed in any::<u64>()) {
+        let cfg = KptConfig { edge_threshold: 0.5, seed };
+        let c = kpt(&g, &cfg);
+        prop_assert!(c.validate().is_ok());
+        prop_assert!(c.is_full());
+        for (i, members) in c.clusters().iter().enumerate() {
+            let pivot = c.center(i);
+            for &m in members {
+                if m == pivot {
+                    continue;
+                }
+                let strong_edge = g
+                    .neighbors(pivot)
+                    .any(|(v, e)| v == m && g.prob(e) >= cfg.edge_threshold);
+                prop_assert!(
+                    strong_edge,
+                    "node {m:?} in cluster of pivot {pivot:?} without a strong edge"
+                );
+            }
+        }
+    }
+
+    /// KPT with threshold above every probability yields all singletons;
+    /// with threshold 0 (accept everything) pivots absorb their whole
+    /// neighborhoods.
+    #[test]
+    fn kpt_threshold_extremes(g in spined_graph(16), seed in any::<u64>()) {
+        let all_single = kpt(&g, &KptConfig { edge_threshold: 1.1, seed });
+        prop_assert_eq!(all_single.num_clusters(), g.num_nodes());
+        let greedy = kpt(&g, &KptConfig { edge_threshold: 0.0, seed });
+        // Each cluster is a star: pivot + neighbors unclaimed at pivot time.
+        prop_assert!(greedy.num_clusters() <= g.num_nodes());
+    }
+}

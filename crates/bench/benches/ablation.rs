@@ -1,0 +1,70 @@
+//! Ablation benches for the design choices the paper discusses in §5:
+//! the candidate-set size α, the guess-schedule parameter γ and strategy,
+//! and the Monte-Carlo sample schedule. Each knob is timed on the same
+//! Gavin-like instance (the hardest probability regime) at fixed k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ugraph_cluster::{acp, mcp, ClusterConfig, GuessStrategy};
+use ugraph_datasets::DatasetSpec;
+use ugraph_sampling::SampleSchedule;
+
+const K: usize = 50;
+
+fn ablations(c: &mut Criterion) {
+    let d = DatasetSpec::Gavin.generate(1);
+    let graph = d.graph;
+
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    for alpha in [1usize, 8, 64] {
+        let cfg = ClusterConfig::default().with_alpha(alpha).with_seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &graph, |b, g| {
+            b.iter(|| acp(g, K, &cfg).unwrap().avg_prob_estimate)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_gamma");
+    group.sample_size(10);
+    for gamma_x100 in [5u32, 10, 50] {
+        let cfg = ClusterConfig::default()
+            .with_gamma(f64::from(gamma_x100) / 100.0)
+            .with_seed(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gamma_x100),
+            &graph,
+            |b, g| b.iter(|| mcp(g, K, &cfg).unwrap().min_prob_estimate),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_guess_strategy");
+    group.sample_size(10);
+    for (name, strategy) in
+        [("accelerated", GuessStrategy::Accelerated), ("geometric", GuessStrategy::Geometric)]
+    {
+        let cfg = ClusterConfig::default().with_guess(strategy).with_seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| mcp(g, K, &cfg).unwrap().guesses)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.sample_size(10);
+    let schedules: [(&str, SampleSchedule); 3] = [
+        ("fixed50", SampleSchedule::Fixed(50)),
+        ("fixed500", SampleSchedule::Fixed(500)),
+        ("practical", SampleSchedule::practical()),
+    ];
+    for (name, schedule) in schedules {
+        let cfg = ClusterConfig::default().with_schedule(schedule).with_seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| mcp(g, K, &cfg).unwrap().samples_used)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

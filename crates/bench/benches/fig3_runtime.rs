@@ -1,0 +1,46 @@
+//! Figure 3 (running times) as a Criterion benchmark: the four algorithms
+//! on Collins-like and Gavin-like at one MCL-derived granularity each.
+//!
+//! The `experiments fig3` binary prints the full 4 × 3 grid with paper
+//! values; this bench gives statistically sound timings for the subset
+//! that fits a Criterion budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ugraph_bench::{run_algo, Algo};
+use ugraph_datasets::DatasetSpec;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_runtime");
+    group.sample_size(10);
+
+    for spec in [DatasetSpec::Collins, DatasetSpec::Gavin] {
+        let d = spec.generate(1);
+        let graph = d.graph;
+        // Fix the granularity once per dataset (MCL at inflation 2.0, the
+        // cheapest of the paper's settings).
+        let mcl_out = run_algo(&graph, Algo::Mcl { inflation_x100: 200 }, 0, 1)
+            .expect("mcl runs");
+        let k = mcl_out.clustering.num_clusters();
+
+        for (algo, name) in [
+            (Algo::Gmm, "gmm"),
+            (Algo::Mcl { inflation_x100: 200 }, "mcl"),
+            (Algo::Mcp, "mcp"),
+            (Algo::Acp, "acp"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{}-k{k}", d.name)),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        run_algo(g, algo, k, 1).map(|out| out.clustering.num_clusters())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 (DBLP time vs k) as a Criterion benchmark: MCP across the
+//! scaled k grid, against one MCL run — demonstrating the paper's
+//! crossover (MCL cost explodes as k shrinks; MCP cost grows mildly
+//! with k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ugraph_bench::{run_algo, Algo};
+use ugraph_datasets::DatasetSpec;
+
+const SCALE: f64 = 0.01;
+
+fn fig4(c: &mut Criterion) {
+    let d = DatasetSpec::Dblp { scale: SCALE }.generate(1);
+    let graph = d.graph;
+    let n = graph.num_nodes();
+
+    let mut group = c.benchmark_group("fig4_scaling");
+    group.sample_size(10);
+
+    // Paper k grid scaled to this graph size.
+    for paper_k in [1818usize, 5274, 15576] {
+        let k = ((paper_k as f64 * SCALE).round() as usize).clamp(2, n - 1);
+        group.bench_with_input(BenchmarkId::new("mcp", format!("k{k}")), &graph, |b, g| {
+            b.iter(|| run_algo(g, Algo::Mcp, k, 1).map(|o| o.clustering.num_clusters()))
+        });
+    }
+    // MCL at the paper's DBLP inflations (k is an output, decreasing with
+    // inflation; lower inflation = denser flow = slower, as in the paper).
+    for inflation_x100 in [120u32, 130] {
+        group.bench_with_input(
+            BenchmarkId::new("mcl", format!("I{}", inflation_x100 as f64 / 100.0)),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    run_algo(g, Algo::Mcl { inflation_x100 }, 0, 1)
+                        .map(|o| o.clustering.num_clusters())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the MCL baseline: one expansion (sparse square) and
+//! one inflation+pruning step, plus a full small run — explaining the
+//! Figure 3/4 cost profile of mcl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ugraph_baselines::mcl::matrix::ColMatrix;
+use ugraph_baselines::{mcl, MclConfig};
+use ugraph_datasets::DatasetSpec;
+
+fn build_matrix(graph: &ugraph_graph::UncertainGraph) -> ColMatrix {
+    let n = graph.num_nodes();
+    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for u in graph.nodes() {
+        let mut max_w = 0.0f64;
+        for (v, e) in graph.neighbors(u) {
+            let w = graph.prob(e);
+            max_w = max_w.max(w);
+            cols[u.index()].push((v.0, w));
+        }
+        cols[u.index()].push((u.0, if max_w > 0.0 { max_w } else { 1.0 }));
+    }
+    let mut m = ColMatrix::from_columns(n, cols);
+    m.normalize_columns();
+    m
+}
+
+fn mcl_steps(c: &mut Criterion) {
+    let d = DatasetSpec::Krogan.generate(1);
+    let graph = d.graph;
+    let m = build_matrix(&graph);
+
+    let mut group = c.benchmark_group("micro_mcl");
+    group.sample_size(20);
+
+    group.bench_function("expansion_step", |b| {
+        b.iter(|| m.expand_squared().nnz())
+    });
+
+    group.bench_function("inflation_prune_step", |b| {
+        let squared = m.expand_squared();
+        b.iter(|| {
+            let mut work = squared.clone();
+            work.inflate_and_prune(2.0, 1e-5, 64);
+            work.nnz()
+        })
+    });
+
+    group.bench_function("full_run_collins_i2", |b| {
+        let collins = DatasetSpec::Collins.generate(1);
+        b.iter(|| mcl(&collins.graph, &MclConfig::with_inflation(2.0)).clustering.num_clusters())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mcl_steps);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the Monte-Carlo sampling layer — the inner loop of
+//! every algorithm in the paper (§4): world sampling, fused component
+//! labeling, center-count queries, and depth-limited BFS counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ugraph_datasets::DatasetSpec;
+use ugraph_graph::{Bitset, DepthBfs, NodeId, UnionFind};
+use ugraph_sampling::{ComponentPool, WorldPool, WorldSampler};
+
+fn sampling(c: &mut Criterion) {
+    let d = DatasetSpec::Krogan.generate(1);
+    let graph = d.graph;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+
+    let mut group = c.benchmark_group("micro_sampling");
+    group.throughput(Throughput::Elements(m as u64));
+
+    // Raw world sampling: one Bernoulli draw per edge.
+    group.bench_function("sample_world_bitset", |b| {
+        let sampler = WorldSampler::new(&graph, 7);
+        let mut world = Bitset::with_len(m);
+        let mut i = 0u64;
+        b.iter(|| {
+            sampler.sample_into(i, &mut world);
+            i += 1;
+            world.count_ones()
+        })
+    });
+
+    // Fused sampling + union-find component labeling.
+    group.bench_function("sample_components_fused", |b| {
+        let sampler = WorldSampler::new(&graph, 7);
+        let mut uf = UnionFind::new(n);
+        let mut labels = vec![0u32; n];
+        let mut i = 0u64;
+        b.iter(|| {
+            let count = sampler.sample_components(i, &mut uf, &mut labels);
+            i += 1;
+            count
+        })
+    });
+    group.finish();
+
+    // Center-count queries against pools of growing size (the dominant
+    // cost inside min-partial).
+    let mut group = c.benchmark_group("counts_from_center");
+    for r in [64usize, 256, 1024] {
+        let mut pool = ComponentPool::new(&graph, 3, 0);
+        pool.ensure(r);
+        let mut counts = vec![0u32; n];
+        group.throughput(Throughput::Elements(r as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &pool, |b, pool| {
+            let mut center = 0u32;
+            b.iter(|| {
+                pool.counts_from_center(NodeId(center % n as u32), &mut counts);
+                center += 1;
+                counts[0]
+            })
+        });
+    }
+    group.finish();
+
+    // Depth-limited counts (Table 2's workhorse).
+    let mut group = c.benchmark_group("depth_counts");
+    let mut pool = WorldPool::new(&graph, 3, 0);
+    pool.ensure(128);
+    for depth in [2u32, 4, 8] {
+        let mut sel = vec![0u32; n];
+        let mut cov = vec![0u32; n];
+        let mut bfs = DepthBfs::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &pool, |b, pool| {
+            let mut center = 0u32;
+            b.iter(|| {
+                pool.counts_within_depths(
+                    NodeId(center % n as u32),
+                    depth,
+                    depth,
+                    &mut sel,
+                    &mut cov,
+                    &mut bfs,
+                );
+                center += 1;
+                cov[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sampling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the graph substrate: union-find, BFS, Dijkstra,
+//! CSR construction — the deterministic machinery under the samplers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ugraph_datasets::DatasetSpec;
+use ugraph_graph::{bfs_distances, dijkstra, GraphBuilder, NodeId, UnionFind};
+
+fn structures(c: &mut Criterion) {
+    let d = DatasetSpec::Krogan.generate(1);
+    let graph = d.graph;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let edges: Vec<(u32, u32, f64)> =
+        graph.edges().map(|(_, u, v, p)| (u.0, v.0, p)).collect();
+
+    let mut group = c.benchmark_group("micro_structures");
+    group.throughput(Throughput::Elements(m as u64));
+
+    group.bench_function("union_find_pass", |b| {
+        let mut uf = UnionFind::new(n);
+        b.iter(|| {
+            uf.reset();
+            for &(u, v, _) in &edges {
+                uf.union(u, v);
+            }
+            uf.num_sets()
+        })
+    });
+
+    group.bench_function("component_labels", |b| {
+        let mut uf = UnionFind::new(n);
+        for &(u, v, _) in &edges {
+            uf.union(u, v);
+        }
+        let mut labels = vec![0u32; n];
+        b.iter(|| uf.component_labels_into(&mut labels))
+    });
+
+    group.bench_function("bfs_full", |b| {
+        let mut src = 0u32;
+        b.iter(|| {
+            let d = bfs_distances(&graph, NodeId(src % n as u32));
+            src += 1;
+            d.len()
+        })
+    });
+
+    group.bench_function("dijkstra_log_weights", |b| {
+        let mut src = 0u32;
+        b.iter(|| {
+            let d = dijkstra(&graph, NodeId(src % n as u32));
+            src += 1;
+            d.len()
+        })
+    });
+
+    group.bench_function("csr_construction", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(n, m);
+            for &(u, v, p) in &edges {
+                builder.add_edge(u, v, p).unwrap();
+            }
+            builder.build().unwrap().num_edges()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, structures);
+criterion_main!(benches);

@@ -1,0 +1,451 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section (§5).
+//!
+//! ```text
+//! cargo run --release -p ugraph-bench --bin experiments -- <exp> [flags]
+//!
+//! <exp>: tab1 | fig1 | fig2 | fig3 | fig4 | tab2 | all
+//! flags: --seed N           dataset/algorithm seed        (default 1)
+//!        --dblp-scale X     DBLP-like scale factor        (default 0.02)
+//!        --eval-samples N   evaluation pool size          (default 512)
+//!        --quick            reduced grid for smoke runs
+//! ```
+//!
+//! Every section prints *paper vs measured*. Absolute running times are
+//! not comparable across machines (and our datasets are synthetic
+//! stand-ins — see DESIGN.md §3.5); the reproduction target is the shape:
+//! who wins, by roughly what factor, where the crossovers sit.
+
+use std::time::Duration;
+
+use ugraph_bench::harness::{
+    eval_pool, mcl_memory_estimate, run_algo, run_depth_algo, run_kpt, Algo, HarnessConfig,
+};
+use ugraph_bench::paper;
+use ugraph_datasets::DatasetSpec;
+use ugraph_graph::GraphStats;
+use ugraph_metrics::report::{fmt_ms, fmt_prob, Table};
+use ugraph_metrics::{avpr, clustering_quality, confusion};
+
+fn main() {
+    let (exp, cfg) = parse_args();
+    match exp.as_str() {
+        "tab1" => tab1(&cfg),
+        "fig1" | "fig2" | "fig3" => figures(&cfg, &exp),
+        "fig4" => fig4(&cfg),
+        "tab2" => tab2(&cfg),
+        "all" => {
+            tab1(&cfg);
+            figures(&cfg, "all");
+            fig4(&cfg);
+            tab2(&cfg);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <tab1|fig1|fig2|fig3|fig4|tab2|all> \
+         [--seed N] [--dblp-scale X] [--eval-samples N] [--quick]"
+    );
+}
+
+fn parse_args() -> (String, HarnessConfig) {
+    let mut cfg = HarnessConfig { dblp_scale: 0.02, ..HarnessConfig::default() };
+    let mut exp = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            "--dblp-scale" => cfg.dblp_scale = expect_float(&mut args, "--dblp-scale"),
+            "--eval-samples" => cfg.eval_samples = expect_num(&mut args, "--eval-samples") as usize,
+            "--quick" => cfg.quick = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other if exp.is_none() && !other.starts_with('-') => exp = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    (exp.unwrap_or_else(|| "all".to_string()), cfg)
+}
+
+fn expect_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    })
+}
+
+fn expect_float(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    })
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+// ───────────────────────── Table 1 ─────────────────────────
+
+fn tab1(cfg: &HarnessConfig) {
+    banner("TABLE 1 — dataset sizes (largest connected component)");
+    println!("(synthetic -like datasets; DBLP generated at scale {})\n", cfg.dblp_scale);
+    let mut t = Table::new(vec![
+        "dataset", "paper n", "paper m", "generated n", "generated m", "mean p",
+    ]);
+    let specs = [
+        DatasetSpec::Collins,
+        DatasetSpec::Gavin,
+        DatasetSpec::Krogan,
+        DatasetSpec::Dblp { scale: cfg.dblp_scale },
+    ];
+    for (spec, (pname, pn, pm)) in specs.into_iter().zip(paper::TABLE1) {
+        let d = spec.generate(cfg.seed);
+        let s = GraphStats::compute(&d.graph);
+        let (pn_s, pm_s) = if matches!(spec, DatasetSpec::Dblp { .. }) {
+            (
+                format!("{pn} (x{} = {:.0})", cfg.dblp_scale, pn as f64 * cfg.dblp_scale),
+                format!("{pm} (scaled ≈ {:.0})", pm as f64 * cfg.dblp_scale),
+            )
+        } else {
+            (pn.to_string(), pm.to_string())
+        };
+        t.row(vec![
+            pname.to_string(),
+            pn_s,
+            pm_s,
+            s.num_nodes.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.3}", s.mean_prob),
+        ]);
+    }
+    println!("{}", t.to_text());
+}
+
+// ──────────────────── Figures 1, 2, 3 (shared grid) ────────────────────
+
+struct GridCell {
+    algo: &'static str,
+    k: usize,
+    p_min: f64,
+    p_avg: f64,
+    inner: f64,
+    outer: f64,
+    time: Duration,
+    paper_col: usize,
+}
+
+fn figures(cfg: &HarnessConfig, which: &str) {
+    banner(&format!(
+        "FIGURES 1-3 grid — 4 algorithms × 3 granularities per dataset (seed {})",
+        cfg.seed
+    ));
+    let mut specs: Vec<(DatasetSpec, paper::FigureRef)> = ugraph_bench::ppi_specs();
+    specs.push((DatasetSpec::Dblp { scale: cfg.dblp_scale }, paper::DBLP));
+
+    for (spec, reference) in specs {
+        let d = spec.generate(cfg.seed);
+        let graph = &d.graph;
+        println!(
+            "\n--- {} ({} nodes, {} edges) ---",
+            d.name,
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        // The k grid: MCL granularities matched to the paper's published k
+        // values (the published inflations produce different granularities
+        // on synthetic stand-ins; matching k keeps columns comparable).
+        let columns: Vec<(usize, usize)> = {
+            let take = if cfg.quick { 1 } else { 3 };
+            // For scaled DBLP-like graphs the paper's k values shrink
+            // proportionally.
+            let scale = if matches!(spec, DatasetSpec::Dblp { .. }) { cfg.dblp_scale } else { 1.0 };
+            reference
+                .ks
+                .iter()
+                .enumerate()
+                .take(take)
+                .map(|(col, &k)| {
+                    let k = ((k as f64 * scale).round() as usize)
+                        .clamp(2, graph.num_nodes().saturating_sub(1));
+                    (col, k)
+                })
+                .collect()
+        };
+
+        let mut cells: Vec<GridCell> = Vec::new();
+        let pool = eval_pool(graph, cfg.eval_samples, cfg.seed);
+        for (col, target_k) in columns {
+            let (inflation_x100, mcl_out) =
+                ugraph_bench::harness::mcl_at_granularity(graph, target_k, cfg.seed);
+            let k = mcl_out.clustering.num_clusters();
+            println!(
+                "mcl inflation {:.2}: k = {k} (paper k = {}, target {target_k})",
+                f64::from(inflation_x100) / 100.0,
+                reference.ks[col]
+            );
+            let q = clustering_quality(&pool, &mcl_out.clustering);
+            let a = avpr(&pool, &mcl_out.clustering);
+            cells.push(GridCell {
+                algo: "mcl",
+                k,
+                p_min: q.p_min,
+                p_avg: q.p_avg,
+                inner: a.inner,
+                outer: a.outer,
+                time: mcl_out.elapsed,
+                paper_col: col,
+            });
+            // The other three algorithms at MCL's granularity.
+            for (algo, name) in
+                [(Algo::Gmm, "gmm"), (Algo::Mcp, "mcp"), (Algo::Acp, "acp")]
+            {
+                let k_eff = k.min(graph.num_nodes().saturating_sub(1)).max(1);
+                match run_algo(graph, algo, k_eff, cfg.seed) {
+                    Some(out) => {
+                        let q = clustering_quality(&pool, &out.clustering);
+                        let a = avpr(&pool, &out.clustering);
+                        cells.push(GridCell {
+                            algo: name,
+                            k: k_eff,
+                            p_min: q.p_min,
+                            p_avg: q.p_avg,
+                            inner: a.inner,
+                            outer: a.outer,
+                            time: out.elapsed,
+                            paper_col: col,
+                        });
+                    }
+                    None => println!("{name} found no full clustering at k = {k_eff}"),
+                }
+            }
+        }
+
+        let algo_row = |name: &str| -> usize {
+            paper::ALGOS.iter().position(|&a| a == name).unwrap()
+        };
+        if which == "fig1" || which == "all" {
+            let mut t = Table::new(vec![
+                "algo", "k", "p_min", "paper p_min", "p_avg", "paper p_avg",
+            ]);
+            for c in &cells {
+                let row = algo_row(c.algo);
+                t.row(vec![
+                    c.algo.to_string(),
+                    c.k.to_string(),
+                    fmt_prob(c.p_min),
+                    fmt_prob(reference.p_min[row][c.paper_col]),
+                    fmt_prob(c.p_avg),
+                    fmt_prob(reference.p_avg[row][c.paper_col]),
+                ]);
+            }
+            println!("\nFIGURE 1 ({}):\n{}", d.name, t.to_text());
+        }
+        if which == "fig2" || which == "all" {
+            let mut t = Table::new(vec![
+                "algo", "k", "inner", "paper inner", "outer", "paper outer",
+            ]);
+            for c in &cells {
+                let row = algo_row(c.algo);
+                t.row(vec![
+                    c.algo.to_string(),
+                    c.k.to_string(),
+                    fmt_prob(c.inner),
+                    fmt_prob(reference.inner_avpr[row][c.paper_col]),
+                    fmt_prob(c.outer),
+                    fmt_prob(reference.outer_avpr[row][c.paper_col]),
+                ]);
+            }
+            println!("\nFIGURE 2 ({}):\n{}", d.name, t.to_text());
+        }
+        if which == "fig3" || which == "all" {
+            let mut t = Table::new(vec!["algo", "k", "time (ms)", "paper time (ms)"]);
+            for c in &cells {
+                let row = algo_row(c.algo);
+                t.row(vec![
+                    c.algo.to_string(),
+                    c.k.to_string(),
+                    fmt_ms(c.time.as_secs_f64() * 1e3),
+                    fmt_ms(reference.time_ms[row][c.paper_col]),
+                ]);
+            }
+            println!("\nFIGURE 3 ({}):\n{}", d.name, t.to_text());
+            println!(
+                "note: paper times are the authors' 4-core i7 on the real datasets; \
+                 DBLP-like here is scaled by {} — compare shapes, not absolutes.",
+                cfg.dblp_scale
+            );
+        }
+    }
+}
+
+// ───────────────────────── Figure 4 ─────────────────────────
+
+fn fig4(cfg: &HarnessConfig) {
+    banner(&format!(
+        "FIGURE 4 — running time vs k on DBLP-like (scale {}, seed {})",
+        cfg.dblp_scale, cfg.seed
+    ));
+    let d = DatasetSpec::Dblp { scale: cfg.dblp_scale }.generate(cfg.seed);
+    let graph = &d.graph;
+    println!("{}: {} nodes, {} edges\n", d.name, graph.num_nodes(), graph.num_edges());
+
+    // k grid: the paper's grid scaled down, deduplicated and clamped.
+    let mut ks: Vec<usize> = paper::FIG4_KS
+        .iter()
+        .map(|&k| ((k as f64 * cfg.dblp_scale).round() as usize).clamp(2, graph.num_nodes() - 1))
+        .collect();
+    ks.dedup();
+    if cfg.quick {
+        ks.truncate(2);
+    }
+
+    let mut t = Table::new(vec!["k", "mcp time (ms)", "note"]);
+    for &k in &ks {
+        match run_algo(graph, Algo::Mcp, k, cfg.seed) {
+            Some(out) => {
+                t.row(vec![
+                    k.to_string(),
+                    fmt_ms(out.elapsed.as_secs_f64() * 1e3),
+                    String::new(),
+                ]);
+            }
+            None => {
+                t.row(vec![k.to_string(), "-".into(), "no full clustering".into()]);
+            }
+        }
+    }
+    println!("mcp:\n{}", t.to_text());
+
+    let mut t = Table::new(vec!["inflation", "k", "mcl time (ms)", "est. peak mem"]);
+    let inflations: &[f64] = if cfg.quick { &[1.3] } else { &[1.15, 1.2, 1.3] };
+    for &inflation in inflations {
+        let est = mcl_memory_estimate(graph, 64);
+        let out = run_algo(
+            graph,
+            Algo::Mcl { inflation_x100: (inflation * 100.0).round() as u32 },
+            0,
+            cfg.seed,
+        )
+        .expect("mcl");
+        t.row(vec![
+            inflation.to_string(),
+            out.clustering.num_clusters().to_string(),
+            fmt_ms(out.elapsed.as_secs_f64() * 1e3),
+            format!("{:.1} MB", est as f64 / 1e6),
+        ]);
+    }
+    println!("mcl:\n{}", t.to_text());
+    println!(
+        "paper shape: mcl's cost *grows* as k shrinks (lower inflation ⇒ denser flow \
+         matrix) and OOMs below k = 1818 on 18 GB; mcp's cost grows mildly with k and \
+         needs no quadratic memory. Small-k mcl here would scale to \
+         ≈ {:.0} GB at full DBLP size.",
+        mcl_memory_estimate(graph, 64) as f64 / 1e9 / cfg.dblp_scale
+    );
+}
+
+// ───────────────────────── Table 2 ─────────────────────────
+
+fn tab2(cfg: &HarnessConfig) {
+    banner(&format!(
+        "TABLE 2 — protein-complex prediction on Krogan-like (seed {})",
+        cfg.seed
+    ));
+    let d = DatasetSpec::Krogan.generate(cfg.seed);
+    let graph = &d.graph;
+    let complexes = d.ground_truth.as_ref().expect("Krogan-like has planted complexes");
+    let pairs: usize = complexes.iter().map(|c| c.len() * (c.len() - 1) / 2).sum();
+    println!(
+        "{}: {} nodes, {} edges; ground truth: {} planted complexes, {} positive pairs",
+        d.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        complexes.len(),
+        pairs
+    );
+    println!("(paper: MIPS ground truth with 3874 pairs; k = {})\n", paper::TABLE2.k);
+
+    let k = paper::TABLE2.k.min(graph.num_nodes() - 1);
+    let depths: Vec<u32> =
+        if cfg.quick { vec![2, 4] } else { paper::TABLE2.depths.to_vec() };
+
+    let mut t = Table::new(vec![
+        "method", "TPR", "paper TPR", "FPR", "paper FPR",
+    ]);
+    for (i, &depth) in depths.iter().enumerate() {
+        let paper_idx = paper::TABLE2.depths.iter().position(|&d| d == depth).unwrap_or(i);
+        for (algo, name) in [(Algo::Mcp, "mcp"), (Algo::Acp, "acp")] {
+            let label = format!("{name} d={depth}");
+            match run_depth_algo(graph, algo, k, depth, cfg.seed) {
+                Some(out) => {
+                    let m = confusion(&out.clustering, complexes);
+                    let (ptpr, pfpr) = match name {
+                        "mcp" => {
+                            (paper::TABLE2.tpr[paper_idx].0, paper::TABLE2.fpr[paper_idx].0)
+                        }
+                        _ => (paper::TABLE2.tpr[paper_idx].1, paper::TABLE2.fpr[paper_idx].1),
+                    };
+                    t.row(vec![
+                        label,
+                        fmt_prob(m.tpr()),
+                        fmt_prob(ptpr),
+                        fmt_prob(m.fpr()),
+                        fmt_prob(pfpr),
+                    ]);
+                }
+                None => {
+                    t.row(vec![label, "-".into(), String::new(), "-".into(), String::new()]);
+                }
+            }
+        }
+    }
+    // The paper compares against the Krogan authors' published MCL
+    // clustering (547 clusters, parameters tuned for biological
+    // significance); emulate that by scanning inflations and keeping the
+    // granularity closest to 547 clusters.
+    let mcl_out = [130u32, 150, 170, 200]
+        .into_iter()
+        .map(|inflation_x100| {
+            run_algo(graph, Algo::Mcl { inflation_x100 }, 0, cfg.seed).expect("mcl")
+        })
+        .min_by_key(|out| out.clustering.num_clusters().abs_diff(paper::TABLE2.k))
+        .expect("at least one mcl run");
+    let m = confusion(&mcl_out.clustering, complexes);
+    t.row(vec![
+        format!("mcl (k={})", mcl_out.clustering.num_clusters()),
+        fmt_prob(m.tpr()),
+        fmt_prob(paper::TABLE2.mcl.0),
+        fmt_prob(m.fpr()),
+        fmt_prob(paper::TABLE2.mcl.1),
+    ]);
+    let kpt_out = run_kpt(graph, cfg.seed);
+    let m = confusion(&kpt_out.clustering, complexes);
+    t.row(vec![
+        format!("kpt (k={})", kpt_out.clustering.num_clusters()),
+        fmt_prob(m.tpr()),
+        fmt_prob(paper::TABLE2.kpt.0),
+        fmt_prob(m.fpr()),
+        fmt_prob(paper::TABLE2.kpt.1),
+    ]);
+    println!("{}", t.to_text());
+    println!(
+        "paper shape: TPR and FPR both grow with d; mcp stays more conservative on \
+         FPR than acp; both reach mcl-level TPR at moderate depths and beat kpt."
+    );
+}

@@ -1,0 +1,33 @@
+//! # ugraph-bench — experiment harness for the VLDB'17 reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! | experiment | paper artifact | entry point |
+//! |---|---|---|
+//! | `tab1` | Table 1 — dataset sizes | `experiments tab1` |
+//! | `fig1` | Figure 1 — `p_min` / `p_avg` grids | `experiments fig1` |
+//! | `fig2` | Figure 2 — inner/outer AVPR grids | `experiments fig2` |
+//! | `fig3` | Figure 3 — running times | `experiments fig3` |
+//! | `fig4` | Figure 4 — DBLP time vs k (MCL OOM region) | `experiments fig4` |
+//! | `tab2` | Table 2 — complex-prediction TPR/FPR | `experiments tab2` |
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p ugraph-bench --bin experiments -- all
+//! ```
+//!
+//! Criterion micro/ablation benches live in `benches/`. Both layers print
+//! *paper vs measured* values; [`paper`] holds the transcribed reference
+//! numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{
+    eval_pool, evaluate, mcl_memory_estimate, ppi_specs, run_algo, run_depth_algo, run_kpt,
+    Algo, HarnessConfig, RunOutcome,
+};

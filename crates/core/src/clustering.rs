@@ -1,0 +1,352 @@
+//! Clustering and partial-clustering types.
+
+use ugraph_graph::NodeId;
+
+/// Sentinel for "not assigned to any cluster".
+const UNASSIGNED: u32 = u32::MAX;
+
+/// A (possibly partial) k-clustering: `k` distinguished **centers** plus an
+/// assignment of nodes to clusters.
+///
+/// Invariants (checked by [`Clustering::validate`] and upheld by the
+/// constructors):
+/// * every center belongs to its own cluster;
+/// * cluster indices in the assignment are `< k`;
+/// * centers are distinct.
+///
+/// A *full* clustering assigns every node; a *partial* one leaves outliers
+/// unassigned (paper §3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    centers: Vec<NodeId>,
+    /// Cluster index per node, `UNASSIGNED` for outliers.
+    assignment: Vec<u32>,
+}
+
+impl Clustering {
+    /// Builds a clustering from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the invariants are violated (use [`Clustering::validate`]
+    /// after external mutation instead).
+    pub fn new(centers: Vec<NodeId>, assignment: Vec<Option<u32>>) -> Self {
+        let assignment: Vec<u32> =
+            assignment.into_iter().map(|a| a.map_or(UNASSIGNED, |c| c)).collect();
+        let c = Clustering { centers, assignment };
+        c.validate().expect("invalid clustering");
+        c
+    }
+
+    /// Crate-internal constructor from the sentinel representation.
+    pub(crate) fn from_raw(centers: Vec<NodeId>, assignment: Vec<u32>) -> Self {
+        let c = Clustering { centers, assignment };
+        debug_assert!(c.validate().is_ok(), "invalid clustering: {:?}", c.validate());
+        c
+    }
+
+    /// Number of clusters `k`.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Number of nodes of the underlying graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The center of cluster `i`.
+    #[inline]
+    pub fn center(&self, i: usize) -> NodeId {
+        self.centers[i]
+    }
+
+    /// All centers, indexed by cluster.
+    #[inline]
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// Cluster index of node `u`, or `None` if `u` is an outlier.
+    #[inline]
+    pub fn cluster_of(&self, u: NodeId) -> Option<usize> {
+        let c = self.assignment[u.index()];
+        (c != UNASSIGNED).then_some(c as usize)
+    }
+
+    /// Convenience accessor taking a bare `u32` node id.
+    #[inline]
+    pub fn cluster_of_u32(&self, u: u32) -> Option<usize> {
+        self.cluster_of(NodeId(u))
+    }
+
+    /// The center node `u` is assigned to, or `None` for outliers.
+    #[inline]
+    pub fn center_of(&self, u: NodeId) -> Option<NodeId> {
+        self.cluster_of(u).map(|c| self.centers[c])
+    }
+
+    /// Number of assigned (covered) nodes.
+    pub fn covered_count(&self) -> usize {
+        self.assignment.iter().filter(|&&a| a != UNASSIGNED).count()
+    }
+
+    /// `true` if every node is assigned.
+    pub fn is_full(&self) -> bool {
+        self.assignment.iter().all(|&a| a != UNASSIGNED)
+    }
+
+    /// The outlier nodes (unassigned), in increasing id order.
+    pub fn outliers(&self) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == UNASSIGNED)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Materializes the clusters as member lists (members in increasing id
+    /// order; outliers appear in no list).
+    pub fn clusters(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.centers.len()];
+        for (i, &a) in self.assignment.iter().enumerate() {
+            if a != UNASSIGNED {
+                out[a as usize].push(NodeId::from_index(i));
+            }
+        }
+        out
+    }
+
+    /// Sizes of the clusters.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &a in &self.assignment {
+            if a != UNASSIGNED {
+                sizes[a as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Checks all invariants, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let k = self.centers.len();
+        let n = self.assignment.len();
+        let mut seen = std::collections::HashSet::with_capacity(k);
+        for (i, &c) in self.centers.iter().enumerate() {
+            if c.index() >= n {
+                return Err(format!("center {c:?} of cluster {i} out of bounds (n = {n})"));
+            }
+            if !seen.insert(c) {
+                return Err(format!("duplicate center {c:?}"));
+            }
+            match self.assignment[c.index()] {
+                a if a == UNASSIGNED => {
+                    return Err(format!("center {c:?} of cluster {i} is unassigned"))
+                }
+                a if a as usize != i => {
+                    return Err(format!(
+                        "center {c:?} of cluster {i} assigned to cluster {a}"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        for (u, &a) in self.assignment.iter().enumerate() {
+            if a != UNASSIGNED && a as usize >= k {
+                return Err(format!("node n{u} assigned to nonexistent cluster {a}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of [`crate::min_partial()`](crate::min_partial::min_partial): a partial clustering plus the
+/// estimated connection probability of every node to its assigned center.
+#[derive(Clone, Debug)]
+pub struct PartialClustering {
+    /// The clustering (outliers unassigned).
+    pub clustering: Clustering,
+    /// `assign_probs[u]` = estimated `Pr(u ~ center(u))` for covered nodes,
+    /// 0.0 for outliers. This is the `p_C(u)` of Algorithm 3.
+    pub assign_probs: Vec<f64>,
+    /// Best estimated probability of each node to *any* center, and that
+    /// center's cluster index — used to complete partial clusterings
+    /// (uncovered nodes are attached to their most-reliable center).
+    pub best_center: Vec<Option<u32>>,
+    /// Probability matching `best_center` (0.0 where `best_center` is None).
+    pub best_prob: Vec<f64>,
+}
+
+impl PartialClustering {
+    /// Average of `assign_probs` over **all** nodes (outliers contribute 0):
+    /// the `φ` of Algorithm 3 line 7.
+    pub fn phi(&self) -> f64 {
+        if self.assign_probs.is_empty() {
+            return 0.0;
+        }
+        self.assign_probs.iter().sum::<f64>() / self.assign_probs.len() as f64
+    }
+
+    /// Minimum of `assign_probs` over covered nodes (`None` if nothing is
+    /// covered).
+    pub fn min_covered_prob(&self) -> Option<f64> {
+        self.clustering
+            .cluster_of_iter()
+            .zip(&self.assign_probs)
+            .filter(|((_, assigned), _)| *assigned)
+            .map(|(_, &p)| p)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Completes the clustering: every outlier is assigned to its
+    /// most-reliable center (falling back to cluster 0 when it was never
+    /// observed connected to any center). Returns the full clustering and
+    /// the per-node probabilities to the assigned centers.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
+    pub fn complete(&self) -> (Clustering, Vec<f64>) {
+        let mut assignment: Vec<u32> = Vec::with_capacity(self.clustering.num_nodes());
+        let mut probs = self.assign_probs.clone();
+        for u in 0..self.clustering.num_nodes() {
+            let a = match self.clustering.cluster_of(NodeId::from_index(u)) {
+                Some(c) => c as u32,
+                None => match self.best_center[u] {
+                    Some(c) => {
+                        probs[u] = self.best_prob[u];
+                        c
+                    }
+                    None => {
+                        probs[u] = 0.0;
+                        0
+                    }
+                },
+            };
+            assignment.push(a);
+        }
+        (Clustering::from_raw(self.clustering.centers().to_vec(), assignment), probs)
+    }
+}
+
+impl Clustering {
+    /// Internal iterator over `(node, is_assigned)` used by
+    /// [`PartialClustering::min_covered_prob`].
+    fn cluster_of_iter(&self) -> impl Iterator<Item = (NodeId, bool)> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (NodeId::from_index(i), a != UNASSIGNED))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clustering {
+        // 5 nodes, clusters {0,1} center 0 and {2,3} center 3; node 4 outlier.
+        Clustering::new(
+            vec![NodeId(0), NodeId(3)],
+            vec![Some(0), Some(0), Some(1), Some(1), None],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample();
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.center(0), NodeId(0));
+        assert_eq!(c.cluster_of(NodeId(2)), Some(1));
+        assert_eq!(c.cluster_of(NodeId(4)), None);
+        assert_eq!(c.center_of(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(c.center_of(NodeId(4)), None);
+        assert_eq!(c.covered_count(), 4);
+        assert!(!c.is_full());
+        assert_eq!(c.outliers(), vec![NodeId(4)]);
+        assert_eq!(c.cluster_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn clusters_materialization() {
+        let c = sample();
+        let cl = c.clusters();
+        assert_eq!(cl[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(cl[1], vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clustering")]
+    fn center_must_be_in_own_cluster() {
+        let _ = Clustering::new(
+            vec![NodeId(0), NodeId(3)],
+            vec![Some(1), Some(0), Some(1), Some(1), None],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clustering")]
+    fn center_must_be_assigned() {
+        let _ = Clustering::new(vec![NodeId(0)], vec![None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clustering")]
+    fn duplicate_centers_rejected() {
+        let _ = Clustering::new(vec![NodeId(0), NodeId(0)], vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_assignment() {
+        let c = Clustering {
+            centers: vec![NodeId(0)],
+            assignment: vec![0, 5],
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn partial_phi_and_completion() {
+        let clustering = sample();
+        let pc = PartialClustering {
+            clustering,
+            assign_probs: vec![1.0, 0.8, 0.6, 1.0, 0.0],
+            best_center: vec![Some(0), Some(0), Some(1), Some(1), Some(1)],
+            best_prob: vec![1.0, 0.8, 0.6, 1.0, 0.3],
+        };
+        assert!((pc.phi() - (1.0 + 0.8 + 0.6 + 1.0) / 5.0).abs() < 1e-12);
+        assert_eq!(pc.min_covered_prob(), Some(0.6));
+        let (full, probs) = pc.complete();
+        assert!(full.is_full());
+        assert_eq!(full.cluster_of(NodeId(4)), Some(1));
+        assert!((probs[4] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_with_unknown_best_center_falls_back_to_zero() {
+        let clustering = Clustering::new(vec![NodeId(0)], vec![Some(0), None]);
+        let pc = PartialClustering {
+            clustering,
+            assign_probs: vec![1.0, 0.0],
+            best_center: vec![Some(0), None],
+            best_prob: vec![1.0, 0.0],
+        };
+        let (full, probs) = pc.complete();
+        assert_eq!(full.cluster_of(NodeId(1)), Some(0));
+        assert_eq!(probs[1], 0.0);
+    }
+
+    #[test]
+    fn empty_partial_phi_is_zero() {
+        let pc = PartialClustering {
+            clustering: Clustering::from_raw(vec![], vec![]),
+            assign_probs: vec![],
+            best_center: vec![],
+            best_prob: vec![],
+        };
+        assert_eq!(pc.phi(), 0.0);
+        assert_eq!(pc.min_covered_prob(), None);
+    }
+}

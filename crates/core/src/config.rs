@@ -1,0 +1,216 @@
+//! Configuration of the clustering drivers.
+
+use ugraph_sampling::SampleSchedule;
+
+use crate::error::ClusterError;
+
+/// How the probability threshold `q` is lowered across guesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GuessStrategy {
+    /// The schedule of Algorithms 2/3: `q ← q/(1+γ)` starting from 1.
+    /// Faithful to the pseudocode; needs `Θ(log_{1+γ} 1/p_opt)` guesses.
+    Geometric,
+    /// The accelerated schedule of the paper's implementation (§5):
+    /// `q_i = max{1 − γ·2^i, p_L}`, followed by a binary search between the
+    /// last failing and the first succeeding guess, stopping when the ratio
+    /// between lower and upper bound exceeds `1 − γ`. Equivalent to the
+    /// geometric schedule up to constants (§5) but needs far fewer guesses.
+    #[default]
+    Accelerated,
+}
+
+/// Which `min-partial` invocation the ACP driver uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AcpInvocation {
+    /// Theorem 4's invocation `min-partial(G, k, q³, n, q)`: cover threshold
+    /// `q³`, selection threshold `q`, candidate set = all uncovered nodes.
+    Theory,
+    /// The paper's practical invocation `min-partial(G, k, q, 1, q)` (§5),
+    /// chosen by the authors "after testing different combinations" for
+    /// better time performance at equal quality.
+    #[default]
+    Practical,
+}
+
+/// Shared configuration for [`crate::mcp()`](crate::mcp::mcp) and [`crate::acp()`](crate::acp::acp).
+///
+/// Defaults follow the paper's experimental setup (§5): `γ = 0.1`,
+/// `p_L = 10⁻⁴`, `α = 1`, progressive sampling starting at 50 samples,
+/// accelerated guessing with binary-search refinement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterConfig {
+    /// Guess-schedule parameter `γ > 0` (time/quality trade-off).
+    pub gamma: f64,
+    /// Probability floor `p_L ∈ (0, 1]`: guesses never go below it.
+    pub p_l: f64,
+    /// Relative-error target ε for Monte-Carlo estimates; thresholds are
+    /// relaxed to `(1 − ε/2)·q` per §4.1.
+    pub epsilon: f64,
+    /// Candidate-set size `α ≥ 1` in `min-partial` (`usize::MAX` = all
+    /// uncovered nodes). Higher values lower the variance of the returned
+    /// quality at higher cost (§5).
+    pub alpha: usize,
+    /// Master RNG seed; fixing it makes every run bit-reproducible.
+    pub seed: u64,
+    /// Worker threads for sampling (0 = all available cores).
+    pub threads: usize,
+    /// Monte-Carlo sample-size schedule.
+    pub schedule: SampleSchedule,
+    /// Threshold guessing strategy.
+    pub guess: GuessStrategy,
+    /// ACP invocation flavor.
+    pub acp_invocation: AcpInvocation,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            gamma: 0.1,
+            p_l: 1e-4,
+            epsilon: 0.1,
+            alpha: 1,
+            seed: 0,
+            threads: 0,
+            schedule: SampleSchedule::practical(),
+            guess: GuessStrategy::default(),
+            acp_invocation: AcpInvocation::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates parameter ranges, returning a descriptive error.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if !(self.gamma > 0.0 && self.gamma.is_finite()) {
+            return Err(ClusterError::InvalidConfig {
+                message: format!("gamma must be a positive finite number, got {}", self.gamma),
+            });
+        }
+        if !(self.p_l > 0.0 && self.p_l <= 1.0) {
+            return Err(ClusterError::InvalidConfig {
+                message: format!("p_l must be in (0, 1], got {}", self.p_l),
+            });
+        }
+        if !(self.epsilon >= 0.0 && self.epsilon < 2.0) {
+            return Err(ClusterError::InvalidConfig {
+                message: format!("epsilon must be in [0, 2), got {}", self.epsilon),
+            });
+        }
+        if self.alpha == 0 {
+            return Err(ClusterError::InvalidConfig {
+                message: "alpha must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for `gamma`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style setter for `p_l`.
+    pub fn with_p_l(mut self, p_l: f64) -> Self {
+        self.p_l = p_l;
+        self
+    }
+
+    /// Builder-style setter for `epsilon`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Builder-style setter for `alpha`.
+    pub fn with_alpha(mut self, alpha: usize) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style setter for `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for `threads`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the sample schedule.
+    pub fn with_schedule(mut self, schedule: SampleSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Builder-style setter for the guess strategy.
+    pub fn with_guess(mut self, guess: GuessStrategy) -> Self {
+        self.guess = guess;
+        self
+    }
+
+    /// Builder-style setter for the ACP invocation flavor.
+    pub fn with_acp_invocation(mut self, inv: AcpInvocation) -> Self {
+        self.acp_invocation = inv;
+        self
+    }
+
+    /// The relaxed threshold actually compared against estimates:
+    /// `(1 − ε/2) · q` (§4.1). With ε = 0 (exact oracles) this is `q`.
+    #[inline]
+    pub fn relaxed(&self, q: f64, oracle_epsilon: f64) -> f64 {
+        (1.0 - oracle_epsilon / 2.0) * q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.gamma, 0.1);
+        assert_eq!(c.p_l, 1e-4);
+        assert_eq!(c.alpha, 1);
+        assert_eq!(c.guess, GuessStrategy::Accelerated);
+        assert_eq!(c.acp_invocation, AcpInvocation::Practical);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ClusterConfig::default().with_gamma(0.0).validate().is_err());
+        assert!(ClusterConfig::default().with_gamma(f64::NAN).validate().is_err());
+        assert!(ClusterConfig::default().with_p_l(0.0).validate().is_err());
+        assert!(ClusterConfig::default().with_p_l(1.5).validate().is_err());
+        assert!(ClusterConfig::default().with_epsilon(-0.1).validate().is_err());
+        assert!(ClusterConfig::default().with_epsilon(2.0).validate().is_err());
+        assert!(ClusterConfig::default().with_alpha(0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ClusterConfig::default()
+            .with_gamma(0.2)
+            .with_seed(7)
+            .with_alpha(3)
+            .with_threads(2)
+            .with_guess(GuessStrategy::Geometric);
+        assert_eq!(c.gamma, 0.2);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.alpha, 3);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.guess, GuessStrategy::Geometric);
+    }
+
+    #[test]
+    fn relaxed_threshold() {
+        let c = ClusterConfig::default();
+        assert!((c.relaxed(0.8, 0.1) - 0.76).abs() < 1e-12);
+        assert_eq!(c.relaxed(0.8, 0.0), 0.8);
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors reported by the clustering algorithms.
+
+use std::fmt;
+
+/// Failure modes of the MCP/ACP drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// `k` violates the paper's requirement `1 ≤ k < n`.
+    KOutOfRange {
+        /// The requested number of clusters.
+        k: usize,
+        /// The number of nodes.
+        n: usize,
+    },
+    /// The probability threshold reached the floor `p_L` without producing
+    /// a full k-clustering.
+    ///
+    /// This happens when the graph's topology has more than `k` connected
+    /// components (then no full k-clustering with positive minimum
+    /// connection probability exists), or when the optimum lies below the
+    /// configured floor. Matches the paper's §4 contract: "if the algorithm
+    /// does not find a clustering whose objective function is above the
+    /// threshold, it terminates by reporting that no clustering could be
+    /// found".
+    NoFullClustering {
+        /// The configured probability floor.
+        floor: f64,
+        /// Nodes left uncovered at the floor.
+        uncovered: usize,
+    },
+    /// A configuration value is invalid (e.g. `γ ≤ 0`, `p_L ∉ (0, 1]`).
+    InvalidConfig {
+        /// Description of the offending parameter.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::KOutOfRange { k, n } => {
+                write!(f, "k = {k} out of range: need 1 ≤ k < n = {n}")
+            }
+            ClusterError::NoFullClustering { floor, uncovered } => write!(
+                f,
+                "no full k-clustering found above the probability floor {floor} \
+                 ({uncovered} nodes uncovered); the graph may have more than k components"
+            ),
+            ClusterError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ClusterError::KOutOfRange { k: 9, n: 5 };
+        assert!(e.to_string().contains("9") && e.to_string().contains("5"));
+
+        let e = ClusterError::NoFullClustering { floor: 1e-4, uncovered: 3 };
+        assert!(e.to_string().contains("0.0001"));
+
+        let e = ClusterError::InvalidConfig { message: "gamma must be positive".into() };
+        assert!(e.to_string().contains("gamma"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The constructive Set-Cover → MCP reduction of Theorem 2.
+//!
+//! The MCP *decision* problem — "is there a k-clustering with
+//! `min-prob ≥ p̂`?" — is NP-hard even given a connection-probability
+//! oracle. The proof reduces from Set Cover: given a universe
+//! `U = {u_1, …, u_m}` and a family `S = {S_1, …, S_n}`, build the
+//! uncertain graph with
+//!
+//! * one node per element and one node per set (`N = m + n` nodes total),
+//! * an edge `(u, S)` whenever `u ∈ S`, and an edge `(S, S')` for every
+//!   pair of sets,
+//! * every edge with probability `1/N!`,
+//!
+//! Then a k-clustering with `min-prob ≥ 1/N!` exists **iff** a set cover of
+//! size `k` exists: the edge probability is so small that multi-hop
+//! connections are negligible against single edges, forcing every node to
+//! sit next to its center.
+//!
+//! This module builds the gadget so tests can verify the equivalence on
+//! small instances by brute force — executable evidence for the reduction's
+//! correctness.
+
+use ugraph_graph::{GraphBuilder, UncertainGraph};
+
+/// A Set Cover instance: a universe `0..universe` and a family of subsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    /// Universe size `m`; elements are `0..m`.
+    pub universe: usize,
+    /// The subsets, each a list of element indices `< universe`.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// `true` if some `k` of the sets cover the whole universe
+    /// (brute force over all k-subsets — test-sized instances only).
+    pub fn has_cover_of_size(&self, k: usize) -> bool {
+        let n = self.sets.len();
+        if k >= n {
+            // All sets together are the best we can do.
+            return self.union_covers(&(0..n).collect::<Vec<_>>());
+        }
+        if k == 0 {
+            return self.universe == 0;
+        }
+        let mut comb: Vec<usize> = (0..k).collect();
+        loop {
+            if self.union_covers(&comb) {
+                return true;
+            }
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                if comb[i] != i + n - k {
+                    comb[i] += 1;
+                    for j in i + 1..k {
+                        comb[j] = comb[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn union_covers(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &s in chosen {
+            for &e in &self.sets[s] {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    /// `true` if every element belongs to at least one set (a necessary
+    /// condition the reduction assumes; checkable in polynomial time).
+    pub fn every_element_coverable(&self) -> bool {
+        let mut covered = vec![false; self.universe];
+        for s in &self.sets {
+            for &e in s {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+}
+
+/// Builds the Theorem 2 gadget. Returns the uncertain graph and the
+/// decision threshold `p̂ = 1/N!` with `N = m + n`.
+///
+/// Node layout: element `i` is node `i`; set `j` is node `m + j`.
+///
+/// # Panics
+/// Panics if an element index is out of range, or if `N > 170` (`1/N!`
+/// underflows f64 — far beyond what the exhaustive verification can handle
+/// anyway).
+pub fn set_cover_to_mcp(inst: &SetCoverInstance) -> (UncertainGraph, f64) {
+    let m = inst.universe;
+    let n = inst.sets.len();
+    let total = m + n;
+    assert!(total <= 170, "N = {total} too large: 1/N! underflows f64");
+    let p_hat = (1..=total as u64).fold(1.0f64, |acc, i| acc / i as f64);
+    assert!(p_hat > 0.0);
+
+    let mut b = GraphBuilder::new(total);
+    for (j, set) in inst.sets.iter().enumerate() {
+        let set_node = (m + j) as u32;
+        for &e in set {
+            assert!(e < m, "element {e} out of universe 0..{m}");
+            b.add_edge(e as u32, set_node, p_hat).expect("gadget edge");
+        }
+    }
+    for j1 in 0..n {
+        for j2 in (j1 + 1)..n {
+            b.add_edge((m + j1) as u32, (m + j2) as u32, p_hat).expect("gadget edge");
+        }
+    }
+    (b.build().expect("gadget build"), p_hat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_opt;
+    use ugraph_sampling::ExactOracle;
+
+    fn small_instance() -> SetCoverInstance {
+        // U = {0,1,2}; S0 = {0,1}, S1 = {1,2}, S2 = {2}.
+        SetCoverInstance {
+            universe: 3,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2]],
+        }
+    }
+
+    #[test]
+    fn brute_force_cover_checks() {
+        let inst = small_instance();
+        assert!(inst.every_element_coverable());
+        assert!(!inst.has_cover_of_size(1));
+        assert!(inst.has_cover_of_size(2)); // S0 ∪ S1 = U
+        assert!(inst.has_cover_of_size(3));
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let inst = small_instance();
+        let (g, p_hat) = set_cover_to_mcp(&inst);
+        // N = 6 nodes; edges: |S0|+|S1|+|S2| = 5 element edges + C(3,2) = 3
+        // set-set edges.
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 8);
+        let expect = 1.0 / (720.0); // 6! = 720
+        assert!((p_hat - expect).abs() < 1e-18);
+        for &p in g.probs() {
+            assert_eq!(p, p_hat);
+        }
+    }
+
+    /// The reduction's forward direction, verified exhaustively: a cover of
+    /// size k exists ⇒ the gadget admits a k-clustering with
+    /// min-prob ≥ p̂; and conversely its absence forces min-prob < p̂.
+    #[test]
+    fn equivalence_on_small_instance() {
+        let inst = small_instance();
+        let (g, p_hat) = set_cover_to_mcp(&inst);
+        let oracle = ExactOracle::new(&g).unwrap();
+        for k in 1..=3usize {
+            let opt = brute_force_opt(&oracle, k).unwrap();
+            // Tolerance for float reassembly of p̂ from world probabilities.
+            let has_clustering = opt.best_min_prob >= p_hat * (1.0 - 1e-9);
+            let has_cover = inst.has_cover_of_size(k);
+            assert_eq!(
+                has_clustering, has_cover,
+                "k={k}: clustering min-prob {} vs p̂ {p_hat}, cover {has_cover}",
+                opt.best_min_prob
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_instance() {
+        // Element 2 not coverable: reduction precondition fails.
+        let inst = SetCoverInstance { universe: 3, sets: vec![vec![0], vec![1]] };
+        assert!(!inst.every_element_coverable());
+        assert!(!inst.has_cover_of_size(2));
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let inst = SetCoverInstance { universe: 1, sets: vec![vec![0]] };
+        assert!(inst.has_cover_of_size(1));
+        let (g, p_hat) = set_cover_to_mcp(&inst);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let oracle = ExactOracle::new(&g).unwrap();
+        let opt = brute_force_opt(&oracle, 1).unwrap();
+        assert!(opt.best_min_prob >= p_hat * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn empty_cover_only_for_empty_universe() {
+        let empty = SetCoverInstance { universe: 0, sets: vec![vec![]] };
+        assert!(empty.has_cover_of_size(0));
+        let nonempty = small_instance();
+        assert!(!nonempty.has_cover_of_size(0));
+    }
+}

@@ -1,0 +1,365 @@
+//! Algorithm 1 (`min-partial`) and its depth-limited form, Algorithm 4
+//! (`min-partial-d`).
+//!
+//! Given a threshold `q`, `min-partial` greedily selects up to `k` centers
+//! and covers every node whose (estimated) connection probability to some
+//! selected center is at least `q`; nodes it cannot cover remain outliers.
+//! The center picked in each iteration is, among a set `T` of `α` candidate
+//! uncovered nodes, the one whose *selection disk* `M_v = {u ∈ V' :
+//! Pr(u ~ v) ≥ q̄}` is largest — a generalization of the
+//! Charikar-Khuller-Mount-Narasimhan outlier k-center strategy to
+//! probability space (paper §3.1).
+//!
+//! The depth-limited variant differs only in which oracle backs the
+//! probabilities: a [`DepthMcOracle`](ugraph_sampling::DepthMcOracle)
+//! evaluates the selection disks at depth `d'` and the cover disks at
+//! depth `d` (Algorithm 4 lines 5 and 8), so this module is depth-agnostic.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use ugraph_graph::NodeId;
+use ugraph_sampling::Oracle;
+
+use crate::clustering::{Clustering, PartialClustering};
+
+/// Sentinel used in the internal assignment representation.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Parameters of one `min-partial` invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinPartialParams {
+    /// Number of clusters `k ≥ 1`.
+    pub k: usize,
+    /// Cover threshold `q ∈ (0, 1]`: nodes with estimated probability
+    /// `≥ (1 − ε/2)·q` to a selected center are covered (line 8).
+    pub q: f64,
+    /// Candidate-set size `α ≥ 1` (line 4); `usize::MAX` means "all
+    /// uncovered nodes".
+    pub alpha: usize,
+    /// Selection threshold `q̄ ∈ [q, 1]` sizing the greedy disks (line 5).
+    pub q_bar: f64,
+    /// Monte-Carlo relaxation ε applied to both thresholds (§4.1); pass 0
+    /// for exact oracles.
+    pub epsilon: f64,
+}
+
+impl MinPartialParams {
+    /// Convenience constructor with `q̄ = q` and no relaxation.
+    pub fn simple(k: usize, q: f64) -> Self {
+        MinPartialParams { k, q, alpha: 1, q_bar: q, epsilon: 0.0 }
+    }
+}
+
+/// Runs `min-partial(G, k, q, α, q̄)` against `oracle`.
+///
+/// The oracle must already be [`prepare`](Oracle::prepare)d for
+/// probabilities `≥ q` (the drivers do this). `rng` supplies the "arbitrary"
+/// choices of the pseudocode (candidate sets), making runs reproducible
+/// under a fixed seed.
+///
+/// Returns the partial clustering, per-node assignment probabilities, and
+/// the best-center map used to complete partial clusterings.
+///
+/// # Panics
+/// Panics if `params.k == 0` or `params.alpha == 0`.
+pub fn min_partial<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    params: &MinPartialParams,
+    rng: &mut SmallRng,
+) -> PartialClustering {
+    assert!(params.k >= 1, "k must be at least 1");
+    assert!(params.alpha >= 1, "alpha must be at least 1");
+    let n = oracle.num_nodes();
+    let relax = 1.0 - params.epsilon / 2.0;
+    let select_thresh = relax * params.q_bar;
+    let cover_thresh = relax * params.q;
+
+    let mut centers: Vec<NodeId> = Vec::with_capacity(params.k);
+    let mut is_center = vec![false; n];
+    // V' as a compact vector; `uncovered[i]` for i < live_len are alive.
+    let mut uncovered: Vec<u32> = (0..n as u32).collect();
+    // Assignment bookkeeping.
+    let mut best_prob = vec![0.0f64; n];
+    let mut best_center: Vec<u32> = vec![UNASSIGNED; n];
+    let mut covered = vec![false; n];
+
+    // Reusable probability buffers.
+    let mut sel = vec![0.0f64; n];
+    let mut cov = vec![0.0f64; n];
+    let mut best_sel = vec![0.0f64; n];
+    let mut best_cov = vec![0.0f64; n];
+
+    for _iter in 0..params.k {
+        if uncovered.is_empty() {
+            break;
+        }
+        // Line 4: arbitrary T ⊆ V' with |T| = min(α, |V'|), drawn by a
+        // partial Fisher-Yates shuffle so candidates are distinct.
+        let t_size = params.alpha.min(uncovered.len());
+        for i in 0..t_size {
+            let j = i + rng.gen_range(0..uncovered.len() - i);
+            uncovered.swap(i, j);
+        }
+
+        // Lines 5-6: greedy disk maximization over the candidates.
+        let mut best: Option<(usize, u32)> = None; // (|Mv|, candidate node)
+        for &cand in &uncovered[..t_size] {
+            let v = NodeId(cand);
+            oracle.center_probs(v, &mut sel, &mut cov);
+            let disk = uncovered
+                .iter()
+                .filter(|&&u| sel[u as usize] >= select_thresh)
+                .count();
+            let better = match best {
+                None => true,
+                // Tie-break toward the smaller node id for determinism.
+                Some((bd, bc)) => disk > bd || (disk == bd && cand < bc),
+            };
+            if better {
+                best = Some((disk, cand));
+                std::mem::swap(&mut sel, &mut best_sel);
+                std::mem::swap(&mut cov, &mut best_cov);
+            }
+        }
+        let (_, chosen) = best.expect("candidate set cannot be empty here");
+        let ci = centers.len() as u32;
+        centers.push(NodeId(chosen));
+        is_center[chosen as usize] = true;
+        covered[chosen as usize] = true;
+
+        // Line 12 bookkeeping: c(u, S) = argmax_c p̃(c, u). Centers stay
+        // pinned to themselves.
+        for u in 0..n {
+            if is_center[u] {
+                continue;
+            }
+            if best_cov[u] > best_prob[u] {
+                best_prob[u] = best_cov[u];
+                best_center[u] = ci;
+            }
+        }
+        best_prob[chosen as usize] = 1.0;
+        best_center[chosen as usize] = ci;
+
+        // Line 8: remove from V' everything now covered by the new center.
+        uncovered.retain(|&u| {
+            if best_cov[u as usize] >= cover_thresh || u == chosen {
+                covered[u as usize] = true;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    // Lines 10-11: top up with arbitrary non-center nodes when fewer than k
+    // centers were selected (V' ran out early). Their probability rows are
+    // still computed so the final assignment honors c(u, S) over all of S.
+    if centers.len() < params.k {
+        for u in 0..n as u32 {
+            if centers.len() == params.k {
+                break;
+            }
+            if is_center[u as usize] {
+                continue;
+            }
+            let ci = centers.len() as u32;
+            centers.push(NodeId(u));
+            is_center[u as usize] = true;
+            covered[u as usize] = true;
+            oracle.center_probs(NodeId(u), &mut sel, &mut cov);
+            for w in 0..n {
+                if is_center[w] {
+                    continue;
+                }
+                if cov[w] > best_prob[w] {
+                    best_prob[w] = cov[w];
+                    best_center[w] = ci;
+                }
+            }
+            best_prob[u as usize] = 1.0;
+            best_center[u as usize] = ci;
+        }
+    }
+
+    // Materialize: covered nodes take their best center; outliers stay out.
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut assign_probs = vec![0.0f64; n];
+    for u in 0..n {
+        if covered[u] && best_center[u] != UNASSIGNED {
+            assignment[u] = best_center[u];
+            assign_probs[u] = best_prob[u];
+        }
+    }
+    let clustering = Clustering::from_raw(centers, assignment);
+    let best_center_opt: Vec<Option<u32>> =
+        best_center.iter().map(|&c| (c != UNASSIGNED).then_some(c)).collect();
+    PartialClustering { clustering, assign_probs, best_center: best_center_opt, best_prob }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ugraph_graph::{GraphBuilder, UncertainGraph};
+    use ugraph_sampling::{ExactOracle, ExactOracleAdapter};
+
+    fn exact_oracle(g: &UncertainGraph) -> ExactOracleAdapter {
+        ExactOracleAdapter::new(ExactOracle::new(g).unwrap())
+    }
+
+    /// Two cliques of 3, p = 0.9 inside, bridged by p = 0.01.
+    fn two_communities() -> UncertainGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.add_edge(2, 3, 0.01).unwrap();
+        
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn covers_everything_at_low_threshold() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng);
+        assert!(pc.clustering.is_full());
+        assert_eq!(pc.clustering.num_clusters(), 2);
+        // Each triangle forms one cluster.
+        let c0 = pc.clustering.cluster_of(NodeId(0));
+        assert_eq!(pc.clustering.cluster_of(NodeId(1)), c0);
+        assert_eq!(pc.clustering.cluster_of(NodeId(2)), c0);
+        let c3 = pc.clustering.cluster_of(NodeId(3));
+        assert_ne!(c0, c3);
+        assert_eq!(pc.clustering.cluster_of(NodeId(5)), c3);
+    }
+
+    #[test]
+    fn covered_nodes_meet_threshold() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let q = 0.7;
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, q), &mut rng);
+        for u in 0..6u32 {
+            if pc.clustering.cluster_of(NodeId(u)).is_some() {
+                assert!(
+                    pc.assign_probs[u as usize] >= q - 1e-12,
+                    "covered node {u} has prob {} < q = {q}",
+                    pc.assign_probs[u as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_on_high_threshold_leaves_outliers() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(1, 0.5), &mut rng);
+        // One center can only cover its own triangle (bridge prob ~0.01).
+        assert_eq!(pc.clustering.covered_count(), 3);
+        assert_eq!(pc.clustering.outliers().len(), 3);
+        // phi counts only covered nodes.
+        assert!(pc.phi() > 0.0 && pc.phi() < 1.0);
+    }
+
+    #[test]
+    fn centers_pin_to_their_own_cluster() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(3, 0.3), &mut rng);
+        for (i, &c) in pc.clustering.centers().iter().enumerate() {
+            assert_eq!(pc.clustering.cluster_of(c), Some(i));
+            assert_eq!(pc.assign_probs[c.index()], 1.0);
+        }
+    }
+
+    #[test]
+    fn fills_up_to_k_centers_when_graph_is_small() {
+        // Fully reliable triangle: all nodes covered by the first center,
+        // so centers 2 and 3 are arbitrary fill-ins.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.9), &mut rng);
+        assert_eq!(pc.clustering.num_clusters(), 2);
+        assert!(pc.clustering.is_full());
+        assert!(pc.clustering.validate().is_ok());
+    }
+
+    #[test]
+    fn alpha_all_considers_every_uncovered_candidate() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let params = MinPartialParams { k: 2, q: 0.5, alpha: usize::MAX, q_bar: 0.5, epsilon: 0.0 };
+        let pc = min_partial(&mut oracle, &params, &mut rng);
+        assert!(pc.clustering.is_full());
+        // With alpha = all and exact probabilities the result is
+        // rng-independent: any seed gives the same deterministic outcome
+        // because ties break on node id.
+        let mut oracle2 = exact_oracle(&g);
+        let mut rng2 = SmallRng::seed_from_u64(999);
+        let pc2 = min_partial(&mut oracle2, &params, &mut rng2);
+        assert_eq!(pc.clustering, pc2.clustering);
+    }
+
+    #[test]
+    fn q_bar_above_q_shrinks_selection_disks_but_not_cover() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let params = MinPartialParams { k: 2, q: 0.1, alpha: usize::MAX, q_bar: 0.9, epsilon: 0.0 };
+        let pc = min_partial(&mut oracle, &params, &mut rng);
+        // Cover threshold is low, so everything still gets covered.
+        assert!(pc.clustering.is_full());
+    }
+
+    #[test]
+    fn reproducible_under_seed() {
+        let g = two_communities();
+        let run = |seed: u64| {
+            let mut oracle = exact_oracle(&g);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng).clustering
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let g = two_communities();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let params = MinPartialParams { k: 0, q: 0.5, alpha: 1, q_bar: 0.5, epsilon: 0.0 };
+        let _ = min_partial(&mut oracle, &params, &mut rng);
+    }
+
+    #[test]
+    fn epsilon_relaxes_thresholds() {
+        // Path 0 -0.8- 1: at q = 0.8 with ε = 0.5 the relaxed threshold is
+        // 0.6, so node 1 is covered by center 0 even though 0.8 < q/(1-ε/2).
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.7).unwrap();
+        let g = b.build().unwrap();
+        let mut oracle = exact_oracle(&g);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let strict = MinPartialParams { k: 1, q: 0.8, alpha: 1, q_bar: 0.8, epsilon: 0.0 };
+        let pc = min_partial(&mut oracle, &strict, &mut rng);
+        assert_eq!(pc.clustering.covered_count(), 1);
+        let relaxed = MinPartialParams { k: 1, q: 0.8, alpha: 1, q_bar: 0.8, epsilon: 0.5 };
+        let pc = min_partial(&mut oracle, &relaxed, &mut rng);
+        assert_eq!(pc.clustering.covered_count(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ugraph-datasets — synthetic stand-ins for the paper's datasets
+//!
+//! The evaluation of *Clustering Uncertain Graphs* (VLDB 2017, §5) uses
+//! three protein-protein-interaction networks — **Collins**, **Gavin**,
+//! **Krogan** — a **DBLP** co-authorship graph, and the hand-curated MIPS
+//! complex ground truth. None of those files can be redistributed here, so
+//! this crate generates synthetic equivalents that match the *published*
+//! structural statistics (paper Table 1) and edge-probability
+//! distributions (§5), which are the two properties the algorithms
+//! actually see:
+//!
+//! | paper dataset | published traits | generator |
+//! |---|---|---|
+//! | Collins (1004 n / 8323 e) | mostly high-probability edges | [`ppi`] + [`ProbDistribution::HighConfidence`] |
+//! | Gavin (1727 n / 7534 e) | mostly low-probability edges | [`ppi`] + [`ProbDistribution::LowConfidence`] |
+//! | Krogan (2559 n / 7031 e) | ¼ of edges `p > 0.9`, rest ≈ uniform on (0.27, 0.9) | [`ppi`] + [`ProbDistribution::KroganMixture`] |
+//! | DBLP (636751 n / 2366461 e) | `p = 1 − e^(−x/2)`, x = #joint papers; ≈80 % x=1, 12 % x=2, 8 % x≥3 | [`dblp`] |
+//! | MIPS complexes | ground-truth protein complexes | planted complexes exported by [`ppi`] |
+//!
+//! The PPI generator **plants complexes** (dense subgraphs) and returns
+//! them as ground truth, substituting for MIPS in the Table 2 experiment.
+//! Every generator is deterministic under its seed. [`DatasetSpec`] wraps
+//! the four paper datasets (largest connected component extracted, as in
+//! the paper) behind one entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod ppi;
+pub mod prob;
+pub mod random;
+pub mod spec;
+
+pub use dblp::{dblp_like, DblpConfig};
+pub use ppi::{ppi_like, PpiConfig, PpiDataset};
+pub use prob::ProbDistribution;
+pub use random::{erdos_renyi, planted_partition, PlantedPartitionConfig};
+pub use spec::{DatasetSpec, GeneratedDataset};

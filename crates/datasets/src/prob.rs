@@ -1,0 +1,141 @@
+//! Edge-probability distributions calibrated to the paper's descriptions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution over edge existence probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbDistribution {
+    /// Collins-like (§5: "mostly comprising high-probability edges"):
+    /// `p = 1 − 0.75·u³` for `u ~ U(0,1)` — median ≈ 0.91, ≈ 51 % of edges
+    /// above 0.9, thin tail down to 0.25.
+    HighConfidence,
+    /// Gavin-like (§5: "most edges are associated to low probabilities"):
+    /// `p = 0.05 + 0.9·u³` — median ≈ 0.16, ≈ 70 % of edges below 0.4.
+    LowConfidence,
+    /// Krogan-CORE-like (§5: "one fourth of the edges with probability
+    /// greater than 0.9, and the others almost uniformly distributed
+    /// between 0.27 and 0.9"): with probability ¼ uniform on (0.9, 1.0],
+    /// else uniform on (0.27, 0.9).
+    KroganMixture,
+    /// Uniform on `[lo, hi]` (both in `(0, 1]`).
+    Uniform(f64, f64),
+    /// Every edge gets the same probability.
+    Fixed(f64),
+    /// Generic two-band mixture: with probability `frac_high` uniform on
+    /// `[high.0, high.1]`, else uniform on `[low.0, low.1]`. Generalizes
+    /// [`ProbDistribution::KroganMixture`] so dataset generators can split
+    /// the high-confidence band between complex and background edges while
+    /// preserving the published overall histogram.
+    TwoBand {
+        /// Probability of drawing from the high band.
+        frac_high: f64,
+        /// Inclusive bounds of the high band.
+        high: (f64, f64),
+        /// Inclusive bounds of the low band.
+        low: (f64, f64),
+    },
+}
+
+impl ProbDistribution {
+    /// Draws one probability.
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        match *self {
+            ProbDistribution::HighConfidence => {
+                let u: f64 = rng.gen();
+                1.0 - 0.75 * u * u * u
+            }
+            ProbDistribution::LowConfidence => {
+                let u: f64 = rng.gen();
+                0.05 + 0.9 * u * u * u
+            }
+            ProbDistribution::KroganMixture => {
+                if rng.gen::<f64>() < 0.25 {
+                    0.9 + 0.1 * rng.gen::<f64>()
+                } else {
+                    0.27 + 0.63 * rng.gen::<f64>()
+                }
+            }
+            ProbDistribution::Uniform(lo, hi) => {
+                debug_assert!(0.0 < lo && lo <= hi && hi <= 1.0);
+                lo + (hi - lo) * rng.gen::<f64>()
+            }
+            ProbDistribution::Fixed(p) => p,
+            ProbDistribution::TwoBand { frac_high, high, low } => {
+                let (lo, hi) = if rng.gen::<f64>() < frac_high { high } else { low };
+                lo + (hi - lo) * rng.gen::<f64>()
+            }
+        }
+        .clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draws(dist: ProbDistribution, n: usize) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn all_distributions_stay_in_range() {
+        for dist in [
+            ProbDistribution::HighConfidence,
+            ProbDistribution::LowConfidence,
+            ProbDistribution::KroganMixture,
+            ProbDistribution::Uniform(0.2, 0.8),
+            ProbDistribution::Fixed(0.5),
+        ] {
+            for p in draws(dist, 5000) {
+                assert!(p > 0.0 && p <= 1.0, "{dist:?} produced {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_confidence_is_mostly_high() {
+        let ps = draws(ProbDistribution::HighConfidence, 20_000);
+        let above_09 = ps.iter().filter(|&&p| p > 0.9).count() as f64 / ps.len() as f64;
+        assert!(above_09 > 0.4, "only {above_09:.2} of mass above 0.9");
+        let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+        assert!(mean > 0.75, "mean {mean}");
+    }
+
+    #[test]
+    fn low_confidence_is_mostly_low() {
+        let ps = draws(ProbDistribution::LowConfidence, 20_000);
+        let below_04 = ps.iter().filter(|&&p| p < 0.4).count() as f64 / ps.len() as f64;
+        assert!(below_04 > 0.6, "only {below_04:.2} of mass below 0.4");
+    }
+
+    #[test]
+    fn krogan_mixture_matches_published_shape() {
+        let ps = draws(ProbDistribution::KroganMixture, 40_000);
+        let high = ps.iter().filter(|&&p| p > 0.9).count() as f64 / ps.len() as f64;
+        assert!((high - 0.25).abs() < 0.02, "high fraction {high}");
+        let mid = ps.iter().filter(|&&p| (0.27..=0.9).contains(&p)).count() as f64
+            / ps.len() as f64;
+        assert!(mid > 0.7, "mid fraction {mid}");
+        assert!(ps.iter().all(|&p| p >= 0.27));
+    }
+
+    #[test]
+    fn uniform_and_fixed() {
+        let ps = draws(ProbDistribution::Uniform(0.3, 0.6), 5000);
+        assert!(ps.iter().all(|&p| (0.3..=0.6).contains(&p)));
+        let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+        assert!((mean - 0.45).abs() < 0.01);
+        assert!(draws(ProbDistribution::Fixed(0.7), 10).iter().all(|&p| p == 0.7));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(
+            draws(ProbDistribution::KroganMixture, 100),
+            draws(ProbDistribution::KroganMixture, 100)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Generic random-graph generators (Erdős–Rényi and planted partition),
+//! used by tests and ablation benches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ugraph_graph::{GraphBuilder, UncertainGraph};
+
+use crate::prob::ProbDistribution;
+
+/// `G(n, p_edge)` with edge probabilities drawn from `dist`.
+///
+/// For dense `p_edge` the naive `O(n²)` pair scan is used; the generators
+/// here are calibration/test tools, not the benchmark datasets.
+pub fn erdos_renyi(
+    n: usize,
+    p_edge: f64,
+    dist: ProbDistribution,
+    seed: u64,
+) -> UncertainGraph {
+    assert!((0.0..=1.0).contains(&p_edge));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen::<f64>() < p_edge {
+                b.add_edge(u, v, dist.sample(&mut rng)).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("ER build")
+}
+
+/// Configuration of the planted-partition (stochastic block) generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlantedPartitionConfig {
+    /// Number of blocks (communities).
+    pub blocks: usize,
+    /// Nodes per block.
+    pub block_size: usize,
+    /// Edge density inside a block.
+    pub p_intra: f64,
+    /// Edge density between blocks.
+    pub p_inter: f64,
+    /// Probability distribution of intra-block edges.
+    pub intra_dist: ProbDistribution,
+    /// Probability distribution of inter-block edges.
+    pub inter_dist: ProbDistribution,
+}
+
+/// Generates a planted-partition uncertain graph; returns the graph and the
+/// block index of every node. Block `b` holds nodes
+/// `b·block_size .. (b+1)·block_size`.
+pub fn planted_partition(
+    cfg: &PlantedPartitionConfig,
+    seed: u64,
+) -> (UncertainGraph, Vec<usize>) {
+    let n = cfg.blocks * cfg.block_size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let block_of = |u: usize| u / cfg.block_size;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = block_of(u) == block_of(v);
+            let (p_edge, dist) = if same {
+                (cfg.p_intra, cfg.intra_dist)
+            } else {
+                (cfg.p_inter, cfg.inter_dist)
+            };
+            if rng.gen::<f64>() < p_edge {
+                b.add_edge(u as u32, v as u32, dist.sample(&mut rng)).expect("valid edge");
+            }
+        }
+    }
+    let labels = (0..n).map(block_of).collect();
+    (b.build().expect("planted partition build"), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_edge_count_concentrates() {
+        let g = erdos_renyi(100, 0.1, ProbDistribution::Fixed(0.5), 7);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt(), "m = {m}, expected {expected}");
+    }
+
+    #[test]
+    fn er_extremes() {
+        let empty = erdos_renyi(10, 0.0, ProbDistribution::Fixed(0.5), 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, ProbDistribution::Fixed(0.5), 1);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn er_deterministic() {
+        let a = erdos_renyi(50, 0.2, ProbDistribution::KroganMixture, 9);
+        let b = erdos_renyi(50, 0.2, ProbDistribution::KroganMixture, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.probs(), b.probs());
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let cfg = PlantedPartitionConfig {
+            blocks: 4,
+            block_size: 25,
+            p_intra: 0.5,
+            p_inter: 0.02,
+            intra_dist: ProbDistribution::Fixed(0.9),
+            inter_dist: ProbDistribution::Fixed(0.1),
+        };
+        let (g, labels) = planted_partition(&cfg, 3);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(labels.len(), 100);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (_, u, v, p) in g.edges() {
+            if labels[u.index()] == labels[v.index()] {
+                intra += 1;
+                assert_eq!(p, 0.9);
+            } else {
+                inter += 1;
+                assert_eq!(p, 0.1);
+            }
+        }
+        // Expected intra ≈ 4 · 0.5 · C(25,2) = 600; inter ≈ 0.02 · 3750 = 75.
+        assert!(intra > 400, "intra = {intra}");
+        assert!(inter < 200, "inter = {inter}");
+    }
+
+    #[test]
+    fn planted_partition_block_labels() {
+        let cfg = PlantedPartitionConfig {
+            blocks: 3,
+            block_size: 10,
+            p_intra: 1.0,
+            p_inter: 0.0,
+            intra_dist: ProbDistribution::Fixed(1.0),
+            inter_dist: ProbDistribution::Fixed(1.0),
+        };
+        let (g, labels) = planted_partition(&cfg, 1);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[10], 1);
+        assert_eq!(labels[29], 2);
+        // Fully dense blocks, no inter edges: 3 components of size 10.
+        let (comp, count) = ugraph_graph::connected_components(&g);
+        assert_eq!(count, 3);
+        for u in 0..30 {
+            assert_eq!(comp[u] as usize, labels[u]);
+        }
+    }
+}

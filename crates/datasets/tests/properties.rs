@@ -1,0 +1,124 @@
+//! Property-based tests for the dataset generators.
+
+use proptest::prelude::*;
+use ugraph_datasets::{
+    dblp_like, erdos_renyi, planted_partition, ppi_like, DblpConfig, PlantedPartitionConfig,
+    PpiConfig, ProbDistribution,
+};
+use ugraph_graph::connected_components;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every distribution keeps probabilities in (0, 1].
+    #[test]
+    fn distributions_in_range(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for dist in [
+            ProbDistribution::HighConfidence,
+            ProbDistribution::LowConfidence,
+            ProbDistribution::KroganMixture,
+            ProbDistribution::Uniform(0.1, 0.9),
+            ProbDistribution::Fixed(0.42),
+            ProbDistribution::TwoBand { frac_high: frac, high: (0.8, 1.0), low: (0.05, 0.5) },
+        ] {
+            for _ in 0..200 {
+                let p = dist.sample(&mut rng);
+                prop_assert!(p > 0.0 && p <= 1.0, "{dist:?} gave {p}");
+            }
+        }
+    }
+
+    /// The PPI generator output is connected with disjoint in-range
+    /// complexes, deterministically per seed.
+    #[test]
+    fn ppi_generator_contract(
+        n in 60usize..200,
+        complexes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PpiConfig {
+            num_proteins: n,
+            num_complexes: complexes,
+            complex_size_range: (3, 6),
+            intra_density: 0.7,
+            background_edges: n,
+            prob_dist: ProbDistribution::KroganMixture,
+            intra_prob_dist: ProbDistribution::Uniform(0.8, 1.0),
+            seed,
+        };
+        let d = ppi_like(&cfg);
+        prop_assert_eq!(d.graph.num_nodes(), n);
+        let (_, count) = connected_components(&d.graph);
+        prop_assert_eq!(count, 1, "generated PPI graph must be connected");
+        let mut seen = std::collections::HashSet::new();
+        for c in &d.complexes {
+            prop_assert!((3..=6).contains(&c.len()));
+            for &m in c {
+                prop_assert!(m.index() < n);
+                prop_assert!(seen.insert(m), "complexes overlap");
+            }
+        }
+        let d2 = ppi_like(&cfg);
+        prop_assert_eq!(d.graph.num_edges(), d2.graph.num_edges());
+        prop_assert_eq!(d.graph.probs(), d2.graph.probs());
+    }
+
+    /// The DBLP generator stays connected, respects the scale knob, and
+    /// emits only the discrete collaboration probabilities.
+    #[test]
+    fn dblp_generator_contract(seed in any::<u64>()) {
+        let cfg = DblpConfig { scale: 0.003, seed, ..Default::default() };
+        let g = dblp_like(&cfg);
+        prop_assert_eq!(g.num_nodes(), (636_751.0f64 * 0.003).round() as usize);
+        let (_, count) = connected_components(&g);
+        prop_assert_eq!(count, 1);
+        // All probabilities must be of the form 1 - e^{-x/2}, x ≥ 1.
+        for &p in g.probs() {
+            let x = -2.0 * (1.0 - p).ln();
+            prop_assert!((x - x.round()).abs() < 1e-9, "p = {p} is not a level");
+            prop_assert!(x.round() >= 1.0);
+        }
+    }
+
+    /// Erdős–Rényi edge counts concentrate around the expectation.
+    #[test]
+    fn er_concentration(n in 30usize..100, p in 0.05f64..0.5, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, ProbDistribution::Fixed(0.5), seed);
+        let pairs = (n * (n - 1) / 2) as f64;
+        let expected = p * pairs;
+        let sd = (pairs * p * (1.0 - p)).sqrt();
+        prop_assert!(
+            (g.num_edges() as f64 - expected).abs() <= 6.0 * sd + 1.0,
+            "m = {} vs expected {expected}",
+            g.num_edges()
+        );
+    }
+
+    /// Planted partition: intra density ≥ inter density in realized edges
+    /// when configured that way.
+    #[test]
+    fn planted_partition_density_ordering(seed in any::<u64>()) {
+        let cfg = PlantedPartitionConfig {
+            blocks: 3,
+            block_size: 20,
+            p_intra: 0.4,
+            p_inter: 0.05,
+            intra_dist: ProbDistribution::Fixed(0.9),
+            inter_dist: ProbDistribution::Fixed(0.1),
+        };
+        let (g, labels) = planted_partition(&cfg, seed);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (_, u, v, _) in g.edges() {
+            if labels[u.index()] == labels[v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // intra pairs: 3·C(20,2)·0.4 = 228 expected; inter: 1200·0.05 = 60.
+        prop_assert!(intra > inter, "intra {intra} ≤ inter {inter}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Validated construction of [`UncertainGraph`]s.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::uncertain::UncertainGraph;
+
+/// How [`GraphBuilder::build`] resolves parallel (duplicate) edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// Keep the maximum probability among the duplicates (default).
+    ///
+    /// This matches the common convention for PPI datasets, where repeated
+    /// observations of the same interaction are reported with independent
+    /// confidences and the most confident one is kept.
+    #[default]
+    KeepMax,
+    /// Combine duplicates as independent evidence:
+    /// `p = 1 − Π_i (1 − p_i)` — the probability that at least one of the
+    /// parallel edges exists. This is the natural semantics when parallel
+    /// edges model independent interaction channels (e.g. the DBLP
+    /// construction aggregates multiple co-authored papers this way before
+    /// probabilities are assigned).
+    NoisyOr,
+    /// Treat duplicates as a construction error.
+    Error,
+}
+
+/// Incremental builder for [`UncertainGraph`].
+///
+/// ```
+/// use ugraph_graph::{GraphBuilder, DedupPolicy};
+///
+/// let mut b = GraphBuilder::new(3).with_dedup(DedupPolicy::NoisyOr);
+/// b.add_edge(0, 1, 0.5).unwrap();
+/// b.add_edge(1, 0, 0.5).unwrap(); // parallel edge, combined as 0.75
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 1);
+/// assert!((g.probs()[0] - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(u32, u32, f64)>,
+    dedup: DedupPolicy,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { num_nodes: n, edges: Vec::new(), dedup: DedupPolicy::default() }
+    }
+
+    /// Creates a builder with preallocated edge capacity.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { num_nodes: n, edges: Vec::with_capacity(m), dedup: DedupPolicy::default() }
+    }
+
+    /// Sets the duplicate-edge policy (builder style).
+    pub fn with_dedup(mut self, policy: DedupPolicy) -> Self {
+        self.dedup = policy;
+        self
+    }
+
+    /// Number of nodes declared so far.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of raw (pre-dedup) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends a new node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Ensures the node set covers `0..=max_id`.
+    pub fn grow_to(&mut self, num_nodes: usize) {
+        self.num_nodes = self.num_nodes.max(num_nodes);
+    }
+
+    /// Adds the undirected uncertain edge `(u, v)` with probability `p`.
+    ///
+    /// Validation is eager: out-of-bounds endpoints, self-loops and
+    /// probabilities outside `(0, 1]` are rejected immediately. Duplicate
+    /// detection is deferred to [`GraphBuilder::build`] (policy-dependent).
+    pub fn add_edge(&mut self, u: u32, v: u32, p: f64) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for node in [u, v] {
+            if node as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node, num_nodes: self.num_nodes });
+            }
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            // NaN fails both comparisons and lands here too.
+            return Err(GraphError::InvalidProbability { u, v, p });
+        }
+        self.edges.push((u.min(v), u.max(v), p));
+        Ok(())
+    }
+
+    /// Finalizes the graph: canonicalizes endpoints, resolves duplicates per
+    /// the configured [`DedupPolicy`], and freezes everything into CSR form.
+    pub fn build(self) -> Result<UncertainGraph, GraphError> {
+        if self.num_nodes > u32::MAX as usize {
+            return Err(GraphError::TooLarge { what: "node count" });
+        }
+
+        // Resolve duplicates. HashMap keyed by the canonical endpoint pair;
+        // insertion order is restored afterwards by sorting on (u, v) so
+        // builds are deterministic regardless of hash iteration order.
+        let mut resolved: HashMap<(u32, u32), f64> = HashMap::with_capacity(self.edges.len());
+        for (u, v, p) in self.edges {
+            match resolved.entry((u, v)) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(p);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => match self.dedup {
+                    DedupPolicy::KeepMax => {
+                        let cur = slot.get_mut();
+                        if p > *cur {
+                            *cur = p;
+                        }
+                    }
+                    DedupPolicy::NoisyOr => {
+                        let cur = slot.get_mut();
+                        *cur = 1.0 - (1.0 - *cur) * (1.0 - p);
+                    }
+                    DedupPolicy::Error => {
+                        return Err(GraphError::DuplicateEdge { u, v });
+                    }
+                },
+            }
+        }
+
+        let mut edges: Vec<((u32, u32), f64)> = resolved.into_iter().collect();
+        edges.sort_unstable_by_key(|&(key, _)| key);
+        if edges.len() > u32::MAX as usize {
+            return Err(GraphError::TooLarge { what: "edge count" });
+        }
+
+        let mut endpoints = Vec::with_capacity(edges.len());
+        let mut probs = Vec::with_capacity(edges.len());
+        for ((u, v), p) in edges {
+            endpoints.push((NodeId(u), NodeId(v)));
+            probs.push(p);
+        }
+        Ok(UncertainGraph::from_parts(self.num_nodes, endpoints, probs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { node: 1 })));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut b = GraphBuilder::new(2);
+        for p in [0.0, -0.1, 1.0001, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(b.add_edge(0, 1, p), Err(GraphError::InvalidProbability { .. })),
+                "probability {p} should be rejected"
+            );
+        }
+        assert!(b.add_edge(0, 1, 1.0).is_ok(), "p = 1 is allowed");
+        assert!(b.add_edge(0, 1, f64::MIN_POSITIVE).is_ok(), "tiny positive p is allowed");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2, 0.5),
+            Err(GraphError::NodeOutOfBounds { node: 2, num_nodes: 2 })
+        ));
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_node();
+        let c = b.add_node();
+        assert_eq!((a, c), (NodeId(0), NodeId(1)));
+        b.add_edge(0, 1, 0.9).unwrap();
+        assert_eq!(b.build().unwrap().num_nodes(), 2);
+    }
+
+    #[test]
+    fn grow_to_never_shrinks() {
+        let mut b = GraphBuilder::new(5);
+        b.grow_to(3);
+        assert_eq!(b.num_nodes(), 5);
+        b.grow_to(8);
+        assert_eq!(b.num_nodes(), 8);
+    }
+
+    #[test]
+    fn dedup_keep_max() {
+        let mut b = GraphBuilder::new(2); // default policy
+        b.add_edge(0, 1, 0.3).unwrap();
+        b.add_edge(1, 0, 0.8).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.probs()[0], 0.8);
+    }
+
+    #[test]
+    fn dedup_noisy_or() {
+        let mut b = GraphBuilder::new(2).with_dedup(DedupPolicy::NoisyOr);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert!((g.probs()[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_error_policy() {
+        let mut b = GraphBuilder::new(2).with_dedup(DedupPolicy::Error);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 0, 0.5).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge { u: 0, v: 1 })));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let build = || {
+            let mut b = GraphBuilder::new(100);
+            // Insert in a scrambled order.
+            for i in (0..99u32).rev() {
+                b.add_edge(i, i + 1, 0.5 + f64::from(i) * 0.001).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1.len(), e2.len());
+        for (a, b) in e1.iter().zip(&e2) {
+            assert_eq!(a, b);
+        }
+        // And edges come out sorted by canonical endpoints.
+        let mut sorted = e1.clone();
+        sorted.sort_by_key(|&(_, u, v, _)| (u, v));
+        assert_eq!(e1, sorted);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(3, 10);
+        b.add_edge(0, 2, 0.4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Compressed sparse row adjacency for undirected graphs.
+//!
+//! Each undirected edge appears **once** in the edge table (with its
+//! canonical `u < v` endpoints held by [`crate::UncertainGraph`]) and
+//! **twice** in the adjacency arrays, once per direction. Adjacency entries
+//! carry the [`EdgeId`] so that traversals over a possible world can test
+//! edge presence against a bitset in O(1).
+
+use crate::ids::{EdgeId, NodeId};
+
+/// CSR adjacency structure.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u+1]` indexes `u`'s adjacency slice. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor endpoint per adjacency slot. Length `2m`.
+    targets: Vec<NodeId>,
+    /// Undirected edge id per adjacency slot. Length `2m`.
+    edge_ids: Vec<EdgeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from the canonical edge list `edges[(u, v)]` (one entry
+    /// per undirected edge). Endpoints must be `< n`; this is enforced by the
+    /// [`GraphBuilder`](crate::GraphBuilder) upstream and only debug-checked
+    /// here.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let m = edges.len();
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            debug_assert!(u.index() < n && v.index() < n);
+            debug_assert_ne!(u, v);
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc as usize, 2 * m);
+
+        let mut targets = vec![NodeId(0); 2 * m];
+        let mut edge_ids = vec![EdgeId(0); 2 * m];
+        // `cursor` tracks the next free slot per node.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let e = EdgeId::from_index(i);
+            let cu = cursor[u.index()] as usize;
+            targets[cu] = v;
+            edge_ids[cu] = e;
+            cursor[u.index()] += 1;
+            let cv = cursor[v.index()] as usize;
+            targets[cv] = u;
+            edge_ids[cv] = e;
+            cursor[v.index()] += 1;
+        }
+        Csr { offsets, targets, edge_ids }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `u` (number of incident undirected edges).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+
+    /// The neighbors of `u` with the connecting edge ids.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[lo..hi].iter().copied())
+    }
+
+    /// Neighbor slice of `u` (targets only).
+    #[inline]
+    pub fn neighbor_slice(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Edge-id slice of `u`, parallel to [`Csr::neighbor_slice`].
+    #[inline]
+    pub fn edge_id_slice(&self, u: NodeId) -> &[EdgeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.edge_ids[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Csr {
+        // 0-1, 1-2, 0-2, 2-3
+        let edges = vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(2), NodeId(3)),
+        ];
+        Csr::from_edges(4, &edges)
+    }
+
+    #[test]
+    fn sizes() {
+        let csr = triangle_plus_pendant();
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let csr = triangle_plus_pendant();
+        assert_eq!(csr.degree(NodeId(0)), 2);
+        assert_eq!(csr.degree(NodeId(1)), 2);
+        assert_eq!(csr.degree(NodeId(2)), 3);
+        assert_eq!(csr.degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn neighbors_carry_edge_ids() {
+        let csr = triangle_plus_pendant();
+        let mut nbrs: Vec<(u32, u32)> =
+            csr.neighbors(NodeId(2)).map(|(n, e)| (n.0, e.0)).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![(0, 2), (1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn both_directions_present() {
+        let csr = triangle_plus_pendant();
+        assert!(csr.neighbors(NodeId(3)).any(|(n, _)| n == NodeId(2)));
+        assert!(csr.neighbors(NodeId(2)).any(|(n, _)| n == NodeId(3)));
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let csr = Csr::from_edges(5, &[(NodeId(0), NodeId(1))]);
+        assert_eq!(csr.degree(NodeId(4)), 0);
+        assert_eq!(csr.neighbors(NodeId(4)).count(), 0);
+        assert_eq!(csr.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbor_and_edge_slices_are_parallel() {
+        let csr = triangle_plus_pendant();
+        let ns = csr.neighbor_slice(NodeId(0));
+        let es = csr.edge_id_slice(NodeId(0));
+        assert_eq!(ns.len(), es.len());
+        let via_iter: Vec<_> = csr.neighbors(NodeId(0)).collect();
+        let via_slices: Vec<_> = ns.iter().copied().zip(es.iter().copied()).collect();
+        assert_eq!(via_iter, via_slices);
+    }
+}

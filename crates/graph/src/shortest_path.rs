@@ -1,0 +1,252 @@
+//! Dijkstra shortest paths over `w(e) = ln(1/p(e))` weights.
+//!
+//! The GMM baseline of the paper (§5.1) adapts Gonzalez's k-center algorithm
+//! to uncertain graphs by the naive transformation of edge probabilities into
+//! additive weights `w(e) = ln(1/p(e))`: the shortest-path distance then
+//! corresponds to the probability of the single most reliable path — which
+//! disregards possible-world semantics, precisely the weakness the paper
+//! demonstrates experimentally. We implement it faithfully to serve as that
+//! baseline.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::NodeId;
+use crate::uncertain::UncertainGraph;
+
+/// A non-NaN `f64` cost, totally ordered for use in the binary heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Costs are ln(1/p) with p in (0,1], hence in [0, +inf); NaN cannot
+        // occur. total_cmp keeps this robust anyway.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Heap entry: (cost, node), min-heap via reversed ordering.
+#[derive(PartialEq, Eq)]
+struct Entry {
+    cost: Cost,
+    node: NodeId,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.cmp(&self.cost).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Edge weight for probability `p`: `ln(1/p)`, i.e. 0 for certain edges.
+#[inline]
+pub fn prob_weight(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    -p.ln()
+}
+
+/// Single-source Dijkstra on `ln(1/p)` weights. Returns per-node distances
+/// (`f64::INFINITY` where unreachable).
+pub fn dijkstra(g: &UncertainGraph, source: NodeId) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Entry { cost: Cost(0.0), node: source });
+    run_dijkstra(g, &mut dist, &mut heap);
+    dist
+}
+
+fn run_dijkstra(g: &UncertainGraph, dist: &mut [f64], heap: &mut BinaryHeap<Entry>) {
+    while let Some(Entry { cost, node: u }) = heap.pop() {
+        if cost.0 > dist[u.index()] {
+            continue; // stale entry
+        }
+        for (v, e) in g.neighbors(u) {
+            let nd = cost.0 + prob_weight(g.prob(e));
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Entry { cost: Cost(nd), node: v });
+            }
+        }
+    }
+}
+
+/// Incremental multi-source Dijkstra maintaining, for every node, the
+/// distance to the nearest of the sources added so far.
+///
+/// This is exactly the access pattern of farthest-first traversal: after
+/// each new center is chosen, distances only ever *decrease*, so each added
+/// source runs a Dijkstra seeded at the new center against the running
+/// distance array.
+#[derive(Clone, Debug)]
+pub struct MultiSourceDijkstra {
+    dist: Vec<f64>,
+    /// Index of the nearest source per node (set for reached nodes).
+    nearest: Vec<u32>,
+}
+
+/// Marker for "no source reaches this node yet".
+pub const NO_SOURCE: u32 = u32::MAX;
+
+impl MultiSourceDijkstra {
+    /// Creates the structure with no sources: all distances infinite.
+    pub fn new(n: usize) -> Self {
+        MultiSourceDijkstra { dist: vec![f64::INFINITY; n], nearest: vec![NO_SOURCE; n] }
+    }
+
+    /// Current distance-to-nearest-source per node.
+    #[inline]
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Index (as passed to [`MultiSourceDijkstra::add_source`]) of the
+    /// nearest source per node; `NO_SOURCE` where unreached.
+    #[inline]
+    pub fn nearest_source(&self) -> &[u32] {
+        &self.nearest
+    }
+
+    /// Adds a source with caller-chosen index and relaxes distances.
+    pub fn add_source(&mut self, g: &UncertainGraph, source: NodeId, source_index: u32) {
+        assert_eq!(self.dist.len(), g.num_nodes(), "workspace sized for a different graph");
+        if self.dist[source.index()] <= 0.0 {
+            return; // already a source (or at distance 0 of one)
+        }
+        let mut heap = BinaryHeap::new();
+        self.dist[source.index()] = 0.0;
+        self.nearest[source.index()] = source_index;
+        heap.push(Entry { cost: Cost(0.0), node: source });
+        while let Some(Entry { cost, node: u }) = heap.pop() {
+            if cost.0 > self.dist[u.index()] {
+                continue;
+            }
+            for (v, e) in g.neighbors(u) {
+                let nd = cost.0 + prob_weight(g.prob(e));
+                if nd < self.dist[v.index()] {
+                    self.dist[v.index()] = nd;
+                    self.nearest[v.index()] = source_index;
+                    heap.push(Entry { cost: Cost(nd), node: v });
+                }
+            }
+        }
+    }
+
+    /// The node maximizing distance-to-nearest-source, with its distance.
+    /// Unreachable nodes (infinite distance) win over any finite distance.
+    /// Returns `None` for an empty graph.
+    pub fn farthest(&self) -> Option<(NodeId, f64)> {
+        self.dist
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, &d)| (NodeId::from_index(i), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 --0.5-- 1 --0.5-- 2,  0 --0.2-- 2
+    fn triangle() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(0, 2, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weight_of_certain_edge_is_zero() {
+        assert_eq!(prob_weight(1.0), 0.0);
+        assert!(prob_weight(0.5) > 0.0);
+    }
+
+    #[test]
+    fn dijkstra_prefers_reliable_two_hop_path() {
+        // Path 0-1-2 has probability 0.25 > direct edge 0.2, so its weight
+        // ln(1/0.25) < ln(1/0.2): the two-hop path must win.
+        let g = triangle();
+        let dist = dijkstra(&g, NodeId(0));
+        assert!((dist[2] - (0.25f64.ln().abs())).abs() < 1e-12);
+        assert!((dist[1] - 0.5f64.ln().abs()).abs() < 1e-12);
+        assert_eq!(dist[0], 0.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let dist = dijkstra(&g, NodeId(0));
+        assert!(dist[2].is_infinite());
+    }
+
+    #[test]
+    fn multi_source_tracks_nearest() {
+        // Path 0-1-2-3, all p = 0.5 (uniform weights).
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut ms = MultiSourceDijkstra::new(4);
+        ms.add_source(&g, NodeId(0), 0);
+        let (far, d) = ms.farthest().unwrap();
+        assert_eq!(far, NodeId(3));
+        assert!((d - 3.0 * 0.5f64.ln().abs()).abs() < 1e-12);
+
+        ms.add_source(&g, NodeId(3), 1);
+        // Now nodes 0,1 are nearest to source 0; nodes 2,3 to source 1.
+        assert_eq!(&ms.nearest_source()[..2], &[0, 0]);
+        assert_eq!(&ms.nearest_source()[2..], &[1, 1]);
+        let (_, dmax) = ms.farthest().unwrap();
+        assert!((dmax - 0.5f64.ln().abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_source_unreached_has_no_source() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let mut ms = MultiSourceDijkstra::new(3);
+        ms.add_source(&g, NodeId(0), 7);
+        assert_eq!(ms.nearest_source()[2], NO_SOURCE);
+        let (far, d) = ms.farthest().unwrap();
+        assert_eq!(far, NodeId(2));
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn adding_same_source_twice_is_noop() {
+        let g = triangle();
+        let mut ms = MultiSourceDijkstra::new(3);
+        ms.add_source(&g, NodeId(0), 0);
+        let before = ms.distances().to_vec();
+        ms.add_source(&g, NodeId(0), 1);
+        assert_eq!(ms.distances(), &before[..]);
+    }
+
+    #[test]
+    fn farthest_on_empty_graph_is_none() {
+        let ms = MultiSourceDijkstra::new(0);
+        assert!(ms.farthest().is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Summary statistics of uncertain graphs (Table 1 of the paper reports the
+//! node/edge counts of each dataset's largest connected component; the
+//! probability histogram backs the dataset-generator calibration).
+
+use crate::uncertain::UncertainGraph;
+
+/// Structural and probabilistic summary of an uncertain graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (`2m/n`), 0 for empty graphs.
+    pub avg_degree: f64,
+    /// Minimum edge probability (1.0 for edgeless graphs).
+    pub min_prob: f64,
+    /// Maximum edge probability (0.0 for edgeless graphs).
+    pub max_prob: f64,
+    /// Mean edge probability (0.0 for edgeless graphs).
+    pub mean_prob: f64,
+    /// Fraction of edges with `p > 0.9`.
+    pub frac_high_prob: f64,
+    /// Fraction of edges with `p < 0.4`.
+    pub frac_low_prob: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &UncertainGraph) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let (mut min_deg, mut max_deg) = (usize::MAX, 0usize);
+        for u in g.nodes() {
+            let d = g.degree(u);
+            min_deg = min_deg.min(d);
+            max_deg = max_deg.max(d);
+        }
+        if n == 0 {
+            min_deg = 0;
+        }
+        let mut min_p = 1.0f64;
+        let mut max_p = 0.0f64;
+        let mut sum_p = 0.0f64;
+        let mut high = 0usize;
+        let mut low = 0usize;
+        for &p in g.probs() {
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            sum_p += p;
+            if p > 0.9 {
+                high += 1;
+            }
+            if p < 0.4 {
+                low += 1;
+            }
+        }
+        GraphStats {
+            num_nodes: n,
+            num_edges: m,
+            min_degree: min_deg,
+            max_degree: max_deg,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            min_prob: min_p,
+            max_prob: max_p,
+            mean_prob: if m == 0 { 0.0 } else { sum_p / m as f64 },
+            frac_high_prob: if m == 0 { 0.0 } else { high as f64 / m as f64 },
+            frac_low_prob: if m == 0 { 0.0 } else { low as f64 / m as f64 },
+        }
+    }
+
+    /// Histogram of edge probabilities with `bins` equal-width buckets over
+    /// `(0, 1]`. An edge with `p = 1` lands in the last bucket.
+    pub fn prob_histogram(g: &UncertainGraph, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "need at least one bin");
+        let mut hist = vec![0usize; bins];
+        for &p in g.probs() {
+            let idx = ((p * bins as f64).ceil() as usize).clamp(1, bins) - 1;
+            hist[idx] += 1;
+        }
+        hist
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg[{},{}] avg_deg={:.2} p[{:.3},{:.3}] mean_p={:.3}",
+            self.num_nodes,
+            self.num_edges,
+            self.min_degree,
+            self.max_degree,
+            self.avg_degree,
+            self.min_prob,
+            self.max_prob,
+            self.mean_prob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> UncertainGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.95).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.min_prob, 0.2);
+        assert_eq!(s.max_prob, 0.95);
+        assert!((s.mean_prob - (0.95 + 0.5 + 0.2) / 3.0).abs() < 1e-12);
+        assert!((s.frac_high_prob - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.frac_low_prob - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let hist = GraphStats::prob_histogram(&sample(), 10);
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+        assert_eq!(hist[1], 1); // 0.2 -> bucket (0.1, 0.2]
+        assert_eq!(hist[4], 1); // 0.5 -> bucket (0.4, 0.5]
+        assert_eq!(hist[9], 1); // 0.95 -> bucket (0.9, 1.0]
+    }
+
+    #[test]
+    fn histogram_p_one_in_last_bucket() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let hist = GraphStats::prob_histogram(&g, 4);
+        assert_eq!(hist, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GraphStats::compute(&sample());
+        let line = s.to_string();
+        assert!(line.contains("n=4") && line.contains("m=3"));
+    }
+}

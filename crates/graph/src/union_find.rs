@@ -1,0 +1,223 @@
+//! Disjoint-set (union-find) with union by rank and path halving.
+//!
+//! This is the inner loop of Monte-Carlo reliability estimation: every
+//! sampled possible world is reduced to connected-component labels with one
+//! union-find pass over its edges (`O(m α(n))`), so the structure is
+//! designed for reuse — [`UnionFind::reset`] restores the singleton state
+//! without reallocating.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the structure has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`, halving the path on the way.
+    #[inline]
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// distinct.
+    #[inline]
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    #[inline]
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Restores the all-singletons state without reallocating.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.rank.fill(0);
+        self.num_sets = self.parent.len();
+    }
+
+    /// Writes canonical component labels into `labels` and returns the
+    /// number of components.
+    ///
+    /// Labels are dense in `0..count` and assigned in order of first
+    /// appearance, so two `UnionFind`s describing the same partition produce
+    /// identical label vectors.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != self.len()`.
+    pub fn component_labels_into(&mut self, labels: &mut [u32]) -> usize {
+        assert_eq!(labels.len(), self.len(), "labels buffer has wrong length");
+        // Reuse `labels` to remember root -> canonical id, using a sentinel.
+        const UNSET: u32 = u32::MAX;
+        labels.fill(UNSET);
+        let mut next = 0u32;
+        // First pass cannot fuse with the mapping because roots are discovered
+        // lazily; do it in one pass with the sentinel trick instead: a root's
+        // slot holds its canonical id once visited.
+        let n = self.len();
+        let mut canon = vec![UNSET; n];
+        for x in 0..n as u32 {
+            let r = self.find(x) as usize;
+            if canon[r] == UNSET {
+                canon[r] = next;
+                next += 1;
+            }
+            labels[x as usize] = canon[r];
+        }
+        next as usize
+    }
+
+    /// Convenience wrapper allocating the label vector.
+    pub fn component_labels(&mut self) -> (Vec<u32>, usize) {
+        let mut labels = vec![0; self.len()];
+        let count = self.component_labels_into(&mut labels);
+        (labels, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.find(3), 3);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "repeated union reports false");
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(uf.connected(3, 2));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.num_sets(), 1);
+        uf.reset();
+        assert_eq!(uf.num_sets(), 3);
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn canonical_labels_in_first_appearance_order() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(1, 2);
+        let (labels, count) = uf.component_labels();
+        // Components by first appearance: {0}, {1,2}, {3}, {4,5}.
+        assert_eq!(count, 4);
+        assert_eq!(labels, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn labels_into_reuses_buffer() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 3);
+        let mut buf = vec![9; 4];
+        let count = uf.component_labels_into(&mut buf);
+        assert_eq!(count, 3);
+        assert_eq!(buf, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn long_chain_path_halving() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..(n as u32 - 1) {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+        let (labels, count) = uf.component_labels();
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn labels_into_wrong_length_panics() {
+        let mut uf = UnionFind::new(3);
+        let mut buf = vec![0; 2];
+        uf.component_labels_into(&mut buf);
+    }
+}

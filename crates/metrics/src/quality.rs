@@ -1,0 +1,163 @@
+//! `p_min` / `p_avg` estimation (Figure 1 of the paper).
+
+use ugraph_cluster::Clustering;
+use ugraph_graph::{DepthBfs, NodeId};
+use ugraph_sampling::{ComponentPool, WorldPool};
+
+/// Connection-probability quality of a clustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quality {
+    /// Minimum estimated connection probability of a covered node to its
+    /// center (`p_min`, Eq. 1). 1.0 if nothing is covered.
+    pub p_min: f64,
+    /// Average estimated connection probability over **all** nodes, with
+    /// outliers contributing 0 (`p_avg`, Eq. 2). 0.0 for empty graphs.
+    pub p_avg: f64,
+}
+
+/// Estimates `p_min`/`p_avg` of `clustering` from the sample pool.
+///
+/// Cost: one `counts_from_center` per cluster, i.e.
+/// `O(k · Σ_i |comp_i(center)|)` — independent of how the clustering was
+/// produced, so MCL/GMM/KPT outputs are measured identically.
+///
+/// # Panics
+/// Panics if the pool is empty or sized for a different graph.
+pub fn clustering_quality(pool: &ComponentPool<'_>, clustering: &Clustering) -> Quality {
+    let n = pool.graph().num_nodes();
+    assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
+    assert!(pool.num_samples() > 0, "sample pool is empty");
+    let r = pool.num_samples() as f64;
+    let mut counts = vec![0u32; n];
+    let mut probs = vec![0.0f64; n];
+    for (i, &center) in clustering.centers().iter().enumerate() {
+        pool.counts_from_center(center, &mut counts);
+        for u in 0..n {
+            if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
+                probs[u] = counts[u] as f64 / r;
+            }
+        }
+    }
+    finalize(clustering, &probs)
+}
+
+/// Depth-limited variant: probabilities are `Pr(u ~d~ center)` (paper
+/// §3.4), estimated by bounded BFS over a [`WorldPool`].
+pub fn depth_clustering_quality(
+    pool: &WorldPool<'_>,
+    clustering: &Clustering,
+    depth: u32,
+) -> Quality {
+    let n = pool.graph().num_nodes();
+    assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
+    assert!(pool.num_samples() > 0, "sample pool is empty");
+    let r = pool.num_samples() as f64;
+    let mut bfs = DepthBfs::new(n);
+    let mut sel = vec![0u32; n];
+    let mut cov = vec![0u32; n];
+    let mut probs = vec![0.0f64; n];
+    for (i, &center) in clustering.centers().iter().enumerate() {
+        pool.counts_within_depths(center, depth, depth, &mut sel, &mut cov, &mut bfs);
+        for u in 0..n {
+            if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
+                probs[u] = cov[u] as f64 / r;
+            }
+        }
+    }
+    finalize(clustering, &probs)
+}
+
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
+fn finalize(clustering: &Clustering, probs: &[f64]) -> Quality {
+    let n = probs.len();
+    let mut p_min = 1.0f64;
+    let mut sum = 0.0f64;
+    for u in 0..n {
+        if clustering.cluster_of(NodeId::from_index(u)).is_some() {
+            p_min = p_min.min(probs[u]);
+            sum += probs[u];
+        }
+    }
+    Quality { p_min, p_avg: if n == 0 { 0.0 } else { sum / n as f64 } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    #[test]
+    fn certain_chain_quality() {
+        // 0-1-2 certain; cluster {0,1,2} centered at 1.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(20);
+        let c = Clustering::new(vec![NodeId(1)], vec![Some(0), Some(0), Some(0)]);
+        let q = clustering_quality(&pool, &c);
+        assert_eq!(q.p_min, 1.0);
+        assert_eq!(q.p_avg, 1.0);
+    }
+
+    #[test]
+    fn outliers_count_in_avg_not_min() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(10);
+        // Cluster {0,1} center 0; node 2 outlier.
+        let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), None]);
+        let q = clustering_quality(&pool, &c);
+        assert_eq!(q.p_min, 1.0);
+        assert!((q.p_avg - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_converge_to_exact() {
+        // Chain 0 -0.8- 1 -0.5- 2, single cluster centered at 0:
+        // Pr(0~1) = 0.8, Pr(0~2) = 0.4.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let mut pool = ComponentPool::new(&g, 3, 1);
+        pool.ensure(20_000);
+        let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0)]);
+        let q = clustering_quality(&pool, &c);
+        assert!((q.p_min - 0.4).abs() < 0.02, "p_min {}", q.p_min);
+        assert!((q.p_avg - (1.0 + 0.8 + 0.4) / 3.0).abs() < 0.02, "p_avg {}", q.p_avg);
+    }
+
+    #[test]
+    fn depth_quality_cuts_long_paths() {
+        // Certain chain 0-1-2; cluster centered at 0; depth 1 sees node 1
+        // but not node 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut pool = WorldPool::new(&g, 1, 1);
+        pool.ensure(5);
+        let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0)]);
+        let q1 = depth_clustering_quality(&pool, &c, 1);
+        assert_eq!(q1.p_min, 0.0);
+        assert!((q1.p_avg - 2.0 / 3.0).abs() < 1e-12);
+        let q2 = depth_clustering_quality(&pool, &c, 2);
+        assert_eq!(q2.p_min, 1.0);
+        assert_eq!(q2.p_avg, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample pool is empty")]
+    fn empty_pool_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let pool = ComponentPool::new(&g, 1, 1);
+        let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0)]);
+        let _ = clustering_quality(&pool, &c);
+    }
+}

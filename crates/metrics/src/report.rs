@@ -1,0 +1,164 @@
+//! Small table formatter for the experiment harness: renders rows as
+//! aligned plain text or GitHub-flavored markdown (the format EXPERIMENTS.md
+//! embeds).
+
+/// A simple table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        out.push_str(&Self::line(&self.header, &widths, ' '));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&Self::line(row, &widths, ' '));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+
+    fn line(cells: &[String], widths: &[usize], pad: char) -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, &w)| {
+                let mut s = c.clone();
+                while s.len() < w {
+                    s.push(pad);
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+/// Formats a probability with three decimals, like the paper's figures
+/// (`.177`-style, `<1e-3` for sub-millesimal values).
+pub fn fmt_prob(p: f64) -> String {
+    if p > 0.0 && p < 1e-3 {
+        "<1e-3".to_string()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+/// Formats a duration in milliseconds with three significant digits.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 10.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["long-name", "2"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn rows_are_padded_to_header_width() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.to_markdown().contains("| only-one |  |  |"));
+    }
+
+    #[test]
+    fn prob_formatting() {
+        assert_eq!(fmt_prob(0.177), "0.177");
+        assert_eq!(fmt_prob(0.0001), "<1e-3");
+        assert_eq!(fmt_prob(0.0), "0.000");
+        assert_eq!(fmt_prob(1.0), "1.000");
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(1234.5), "1234"); // round-half-to-even
+        assert_eq!(fmt_ms(56.78), "56.8");
+        assert_eq!(fmt_ms(3.456), "3.46");
+    }
+}

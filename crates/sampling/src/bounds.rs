@@ -1,0 +1,219 @@
+//! Sample-size bounds and progressive sampling schedules (paper §2 and §4).
+
+/// The `n`-th harmonic number `H(n) = Σ_{i=1..n} 1/i`.
+///
+/// Appears in the ACP approximation bound (Lemma 3 / Theorem 4). Computed
+/// directly for small `n` and via the asymptotic expansion for large `n`
+/// (absolute error < 1e-10 for n > 1000).
+pub fn harmonic(n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1000 {
+        return (1..=n).map(|i| 1.0 / i as f64).sum();
+    }
+    const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+    let nf = n as f64;
+    nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+}
+
+/// Eq. 4: samples for an `(ε, δ)`-approximation of a probability `p`:
+/// `r ≥ 3 ln(2/δ) / (ε² p)`.
+pub fn eq4_samples(epsilon: f64, delta: f64, p: f64) -> usize {
+    assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0 && p > 0.0);
+    (3.0 * (2.0 / delta).ln() / (epsilon * epsilon * p)).ceil() as usize
+}
+
+/// Number of threshold guesses in the MCP schedule:
+/// `1 + ⌊log_{1+γ}(1/p_L)⌋` (paper §4.2).
+pub fn mcp_guess_count(gamma: f64, p_l: f64) -> usize {
+    assert!(gamma > 0.0 && p_l > 0.0 && p_l <= 1.0);
+    1 + ((1.0 / p_l).ln() / (1.0 + gamma).ln()).floor() as usize
+}
+
+/// Number of threshold guesses in the ACP schedule:
+/// `1 + ⌊log_{1+γ}(H(n)/p_L)⌋` (paper §4.3).
+pub fn acp_guess_count(gamma: f64, p_l: f64, n: usize) -> usize {
+    assert!(gamma > 0.0 && p_l > 0.0 && p_l <= 1.0);
+    1 + ((harmonic(n) / p_l).ln() / (1.0 + gamma).ln()).floor() as usize
+}
+
+/// Eq. 9: per-iteration sample count for the MCP implementation:
+/// `r = ⌈ 12/(q ε²) · ln(2 n³ (1 + ⌊log_{1+γ} 1/p_L⌋)) ⌉`.
+pub fn eq9_samples(q: f64, epsilon: f64, gamma: f64, p_l: f64, n: usize) -> usize {
+    assert!(q > 0.0 && q <= 1.0 && epsilon > 0.0);
+    let guesses = mcp_guess_count(gamma, p_l) as f64;
+    let log_term = (2.0 * (n as f64).powi(3) * guesses).ln();
+    (12.0 / (q * epsilon * epsilon) * log_term).ceil() as usize
+}
+
+/// Eq. 10: per-iteration sample count for the ACP implementation:
+/// `r = ⌈ 12/(q³ ε²) · ln(2 n³ (1 + ⌊log_{1+γ} H(n)/p_L⌋)) ⌉`.
+///
+/// Here `q` is the ACP driver's threshold — probabilities down to `q³` must
+/// be estimated (min-partial is invoked with threshold `q³`).
+pub fn eq10_samples(q: f64, epsilon: f64, gamma: f64, p_l: f64, n: usize) -> usize {
+    assert!(q > 0.0 && q <= 1.0 && epsilon > 0.0);
+    let guesses = acp_guess_count(gamma, p_l, n) as f64;
+    let log_term = (2.0 * (n as f64).powi(3) * guesses).ln();
+    (12.0 / (q.powi(3) * epsilon * epsilon) * log_term).ceil() as usize
+}
+
+/// How many Monte-Carlo samples to use when the smallest probability that
+/// must be estimated reliably is `q`.
+///
+/// The `Theory` variant follows the Eq. 9-style bound (with its union-bound
+/// constants), which the paper itself notes is very conservative: §5 reports
+/// that "starting the progressive sampling schedule from 50 samples always
+/// yields very accurate probability estimates". The `Practical` variant
+/// mirrors that implementation choice: start at `initial` samples, grow as
+/// `initial/q` while the threshold decreases, and cap at `cap` to bound
+/// memory/time (a deviation from pure theory that is documented in
+/// DESIGN.md and EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleSchedule {
+    /// Eq. 9-style theory bound on the needed probability `q`.
+    Theory {
+        /// Relative-error target ε.
+        epsilon: f64,
+        /// Schedule parameter γ (enters the union bound's guess count).
+        gamma: f64,
+        /// Probability floor `p_L` (enters the union bound's guess count).
+        p_l: f64,
+    },
+    /// The authors' practical progressive schedule.
+    Practical {
+        /// Starting sample count (paper: 50).
+        initial: usize,
+        /// Hard cap on the sample count.
+        cap: usize,
+    },
+    /// A fixed sample count independent of `q`.
+    Fixed(usize),
+}
+
+impl SampleSchedule {
+    /// The paper's practical default: start at 50 samples, cap at 2048.
+    pub fn practical() -> Self {
+        SampleSchedule::Practical { initial: 50, cap: 2048 }
+    }
+
+    /// Samples required when probabilities `≥ q` must be estimated reliably
+    /// on a graph of `n` nodes.
+    pub fn samples_for(&self, q: f64, n: usize) -> usize {
+        let q = q.clamp(f64::MIN_POSITIVE, 1.0);
+        match *self {
+            SampleSchedule::Theory { epsilon, gamma, p_l } => {
+                eq9_samples(q, epsilon, gamma, p_l, n.max(2))
+            }
+            SampleSchedule::Practical { initial, cap } => {
+                let grown = (initial as f64 / q).ceil();
+                let grown = if grown.is_finite() { grown as usize } else { cap };
+                grown.clamp(initial, cap.max(initial))
+            }
+            SampleSchedule::Fixed(r) => r,
+        }
+    }
+}
+
+impl Default for SampleSchedule {
+    fn default() -> Self {
+        SampleSchedule::practical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_matches_direct() {
+        // Compare expansion vs direct sum just above the switch point.
+        let direct: f64 = (1..=2000usize).map(|i| 1.0 / i as f64).sum();
+        assert!((harmonic(2000) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_is_increasing() {
+        let mut prev = 0.0;
+        for n in [1usize, 10, 100, 1000, 10_000, 1_000_000] {
+            let h = harmonic(n);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn eq4_scales_inversely_with_p_and_eps_squared() {
+        let base = eq4_samples(0.1, 0.01, 0.5);
+        assert!(eq4_samples(0.1, 0.01, 0.25) >= 2 * base - 1);
+        assert!(eq4_samples(0.05, 0.01, 0.5) >= 4 * base - 1);
+        // Known value: 3 ln(200) / (0.01 * 0.5) = 600 ln 200 ≈ 3179.
+        assert_eq!(eq4_samples(0.1, 0.01, 0.5), 3179);
+    }
+
+    #[test]
+    fn guess_counts_match_formulas() {
+        // log_{1.1}(1/1e-4) = ln(1e4)/ln(1.1) ≈ 96.6 -> 1+96 = 97.
+        assert_eq!(mcp_guess_count(0.1, 1e-4), 97);
+        assert!(acp_guess_count(0.1, 1e-4, 1000) > mcp_guess_count(0.1, 1e-4));
+    }
+
+    #[test]
+    fn eq9_eq10_monotone_in_q() {
+        let n = 1000;
+        assert!(eq9_samples(0.5, 0.1, 0.1, 1e-4, n) < eq9_samples(0.1, 0.1, 0.1, 1e-4, n));
+        assert!(eq10_samples(0.5, 0.1, 0.1, 1e-4, n) < eq10_samples(0.1, 0.1, 0.1, 1e-4, n));
+        // ACP needs at least as many samples as MCP at the same q (1/q³ vs 1/q).
+        assert!(eq10_samples(0.3, 0.1, 0.1, 1e-4, n) > eq9_samples(0.3, 0.1, 0.1, 1e-4, n));
+    }
+
+    #[test]
+    fn practical_schedule_grows_and_caps() {
+        let s = SampleSchedule::practical();
+        assert_eq!(s.samples_for(1.0, 100), 50);
+        assert_eq!(s.samples_for(0.5, 100), 100);
+        assert_eq!(s.samples_for(0.01, 100), 2048); // capped (50/0.01 = 5000)
+        assert_eq!(s.samples_for(1e-12, 100), 2048);
+    }
+
+    #[test]
+    fn practical_schedule_grows_as_q_shrinks() {
+        let s = SampleSchedule::practical();
+        let mut prev = 0usize;
+        for q in [1.0, 0.9, 0.5, 0.25, 0.1, 0.01, 1e-4] {
+            let r = s.samples_for(q, 10);
+            assert!(r >= prev, "schedule not monotone at q={q}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_ignores_q() {
+        let s = SampleSchedule::Fixed(123);
+        assert_eq!(s.samples_for(1.0, 10), 123);
+        assert_eq!(s.samples_for(1e-9, 10), 123);
+    }
+
+    #[test]
+    fn theory_schedule_is_large() {
+        let s = SampleSchedule::Theory { epsilon: 0.1, gamma: 0.1, p_l: 1e-4 };
+        // The theory bound is deliberately conservative; for q = 0.5,
+        // n = 1000 it already demands tens of thousands of samples.
+        let r = s.samples_for(0.5, 1000);
+        assert!(r > 10_000, "theory bound suspiciously small: {r}");
+    }
+
+    #[test]
+    fn default_schedule_is_practical() {
+        assert_eq!(SampleSchedule::default(), SampleSchedule::practical());
+    }
+}

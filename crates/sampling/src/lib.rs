@@ -1,0 +1,69 @@
+//! # ugraph-sampling — possible-world sampling and reliability oracles
+//!
+//! Monte-Carlo machinery for estimating **connection probabilities**
+//! (two-terminal reliabilities) on uncertain graphs, as required by the
+//! clustering algorithms of *Clustering Uncertain Graphs* (Ceccarello et
+//! al., VLDB 2017, §2 and §4).
+//!
+//! Exact computation of `Pr(u ~ v)` is #P-complete, so the paper estimates
+//! it by sampling `r` independent possible worlds `G_1, …, G_r` and counting
+//! in how many of them `u` and `v` are connected (Eq. 3). This crate
+//! provides:
+//!
+//! * deterministic, thread-count-independent [`WorldSampler`]s — sample `i`
+//!   is always generated from the same per-index RNG stream;
+//! * [`ComponentPool`]: per-sample connected-component labels with
+//!   membership lists, supporting `counts_from_center` in time proportional
+//!   to the size of the center's components (not `n·r`);
+//! * [`WorldPool`]: per-sample edge bitsets for **depth-limited**
+//!   d-connection probabilities (paper §3.4), evaluated by bounded BFS;
+//! * [`ExactOracle`]: exhaustive possible-world enumeration for small
+//!   graphs, used to validate the estimators and for tiny-instance
+//!   optimality tests;
+//! * sample-size [`bounds`]: the `(ε, δ)` bound of Eq. 4 and the progressive
+//!   schedules of Eq. 9 / Eq. 10, plus the paper's *practical* 50-sample
+//!   starting schedule (§5);
+//! * the [`Oracle`] trait consumed by the clustering algorithms.
+//!
+//! ## Example: estimating a reliability
+//!
+//! ```
+//! use ugraph_graph::{GraphBuilder, NodeId};
+//! use ugraph_sampling::{ComponentPool, ExactOracle};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 0.5).unwrap();
+//! b.add_edge(1, 2, 0.5).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! // Exact: Pr(0 ~ 2) = 0.25 (both edges must exist).
+//! let exact = ExactOracle::new(&g).unwrap();
+//! assert!((exact.pair_probability(NodeId(0), NodeId(2)) - 0.25).abs() < 1e-12);
+//!
+//! // Monte-Carlo converges to the same value.
+//! let mut pool = ComponentPool::new(&g, 42, 1);
+//! pool.ensure(4000);
+//! let est = pool.pair_estimate(NodeId(0), NodeId(2));
+//! assert!((est - 0.25).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod exact;
+pub mod oracle;
+pub mod pool;
+pub mod queries;
+pub mod representative;
+pub mod rng;
+pub mod world;
+
+pub use bounds::{harmonic, SampleSchedule};
+pub use exact::ExactOracle;
+pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle};
+pub use pool::{ComponentPool, WorldPool};
+pub use queries::{most_reliable_source, reliability_knn, reliability_knn_within, SourceObjective};
+pub use representative::{average_degree_representative, most_probable_world};
+pub use rng::sample_rng;
+pub use world::WorldSampler;

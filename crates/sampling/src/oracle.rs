@@ -1,0 +1,356 @@
+//! The connection-probability oracle interface consumed by the clustering
+//! algorithms.
+//!
+//! The paper first presents its algorithms against an exact oracle for
+//! `Pr(u ~ v)` (§3) and then replaces it with progressive Monte-Carlo
+//! estimation (§4). The [`Oracle`] trait captures exactly the access
+//! pattern of `min-partial` (Algorithms 1 and 4):
+//!
+//! * [`Oracle::prepare`]`(q)` — announce that probabilities `≥ q` are about
+//!   to be thresholded, letting Monte-Carlo implementations grow their
+//!   sample pool per their [`SampleSchedule`];
+//! * [`Oracle::center_probs`]`(c, select, cover)` — estimates of the
+//!   connection probability of every node to a candidate center `c`, at the
+//!   *selection* radius (`q̄` / depth `d'`) and the *cover* radius (`q` /
+//!   depth `d`). For depth-unlimited oracles the two are identical;
+//! * [`Oracle::pair_prob`] — a single pairwise estimate (used by objective
+//!   evaluation).
+
+use ugraph_graph::{DepthBfs, NodeId, UncertainGraph};
+
+use crate::bounds::SampleSchedule;
+use crate::exact::ExactOracle;
+use crate::pool::{ComponentPool, WorldPool};
+
+/// Source of (estimated) connection probabilities.
+pub trait Oracle {
+    /// Number of nodes of the underlying graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Relative-error parameter ε of the estimates (0 for exact oracles).
+    ///
+    /// Thresholds are relaxed to `(1 − ε/2)·q` by the algorithms, per §4.1.
+    fn epsilon(&self) -> f64;
+
+    /// Ensures that subsequent estimates are reliable for probabilities
+    /// `≥ q`. Monte-Carlo implementations grow their sample pools here.
+    fn prepare(&mut self, q: f64);
+
+    /// Number of samples currently backing the estimates (1 for exact).
+    fn num_samples(&self) -> usize;
+
+    /// Writes, for every node `u`, the estimated connection probability
+    /// between `u` and `center` — at the selection radius into `select` and
+    /// at the cover radius into `cover` (identical for unlimited oracles).
+    ///
+    /// # Panics
+    /// Implementations panic if the buffers are not of length `num_nodes()`.
+    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]);
+
+    /// Estimated connection probability between `u` and `v` at the cover
+    /// radius.
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64;
+}
+
+/// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
+/// a progressive [`ComponentPool`].
+pub struct McOracle<'g> {
+    pool: ComponentPool<'g>,
+    schedule: SampleSchedule,
+    epsilon: f64,
+    counts: Vec<u32>,
+}
+
+impl<'g> McOracle<'g> {
+    /// Creates the oracle. `threads = 0` uses all cores; `epsilon` is the
+    /// relative-error target reflected by [`Oracle::epsilon`].
+    pub fn new(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+    ) -> Self {
+        let n = graph.num_nodes();
+        McOracle { pool: ComponentPool::new(graph, seed, threads), schedule, epsilon, counts: vec![0; n] }
+    }
+
+    /// Read access to the sample pool (used by the metrics crate, which
+    /// needs per-sample component labels for AVPR).
+    pub fn pool(&self) -> &ComponentPool<'g> {
+        &self.pool
+    }
+
+    /// Consumes the oracle, returning the pool.
+    pub fn into_pool(self) -> ComponentPool<'g> {
+        self.pool
+    }
+}
+
+impl Oracle for McOracle<'_> {
+    fn num_nodes(&self) -> usize {
+        self.pool.graph().num_nodes()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn prepare(&mut self, q: f64) {
+        let r = self.schedule.samples_for(q, self.num_nodes());
+        self.pool.ensure(r);
+    }
+
+    fn num_samples(&self) -> usize {
+        self.pool.num_samples()
+    }
+
+    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+        let r = self.pool.num_samples().max(1) as f64;
+        self.pool.counts_from_center(center, &mut self.counts);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let p = c as f64 / r;
+            cover[i] = p;
+            select[i] = p;
+        }
+    }
+
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+        self.pool.pair_estimate(u, v)
+    }
+}
+
+/// Monte-Carlo oracle for **depth-limited** d-connection probabilities
+/// (paper §3.4), backed by a [`WorldPool`] and bounded BFS.
+///
+/// `d_select` is the selection depth `d'` (paths counted when choosing a
+/// center, Algorithm 4 line 5) and `d_cover` the cover depth `d` (paths
+/// counted when removing covered nodes, line 8); `d_select ≤ d_cover`.
+pub struct DepthMcOracle<'g> {
+    pool: WorldPool<'g>,
+    schedule: SampleSchedule,
+    epsilon: f64,
+    d_select: u32,
+    d_cover: u32,
+    bfs: DepthBfs,
+    count_select: Vec<u32>,
+    count_cover: Vec<u32>,
+}
+
+impl<'g> DepthMcOracle<'g> {
+    /// Creates the oracle with selection depth `d_select` and cover depth
+    /// `d_cover` (`d_select ≤ d_cover`).
+    ///
+    /// # Panics
+    /// Panics if `d_select > d_cover`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        d_select: u32,
+        d_cover: u32,
+    ) -> Self {
+        assert!(d_select <= d_cover, "d_select must be ≤ d_cover");
+        let n = graph.num_nodes();
+        DepthMcOracle {
+            pool: WorldPool::new(graph, seed, threads),
+            schedule,
+            epsilon,
+            d_select,
+            d_cover,
+            bfs: DepthBfs::new(n),
+            count_select: vec![0; n],
+            count_cover: vec![0; n],
+        }
+    }
+
+    /// The configured `(d_select, d_cover)` depths.
+    pub fn depths(&self) -> (u32, u32) {
+        (self.d_select, self.d_cover)
+    }
+
+    /// Read access to the world pool.
+    pub fn pool(&self) -> &WorldPool<'g> {
+        &self.pool
+    }
+}
+
+impl Oracle for DepthMcOracle<'_> {
+    fn num_nodes(&self) -> usize {
+        self.pool.graph().num_nodes()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn prepare(&mut self, q: f64) {
+        let r = self.schedule.samples_for(q, self.num_nodes());
+        self.pool.ensure(r);
+    }
+
+    fn num_samples(&self) -> usize {
+        self.pool.num_samples()
+    }
+
+    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+        let r = self.pool.num_samples().max(1) as f64;
+        self.pool.counts_within_depths(
+            center,
+            self.d_select,
+            self.d_cover,
+            &mut self.count_select,
+            &mut self.count_cover,
+            &mut self.bfs,
+        );
+        for i in 0..select.len() {
+            select[i] = self.count_select[i] as f64 / r;
+            cover[i] = self.count_cover[i] as f64 / r;
+        }
+    }
+
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+        self.pool.pair_estimate_within(u, v, self.d_cover, &mut self.bfs)
+    }
+}
+
+/// Adapter exposing an [`ExactOracle`] through the [`Oracle`] trait
+/// (selection and cover probabilities coincide; build the inner oracle
+/// with [`ExactOracle::with_depth`] for exact depth-limited variants).
+pub struct ExactOracleAdapter {
+    inner: ExactOracle,
+}
+
+impl ExactOracleAdapter {
+    /// Wraps an exact oracle.
+    pub fn new(inner: ExactOracle) -> Self {
+        ExactOracleAdapter { inner }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &ExactOracle {
+        &self.inner
+    }
+}
+
+impl Oracle for ExactOracleAdapter {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn prepare(&mut self, _q: f64) {}
+
+    fn num_samples(&self) -> usize {
+        1
+    }
+
+    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+        let row = self.inner.probs_from(center);
+        select.copy_from_slice(row);
+        cover.copy_from_slice(row);
+    }
+
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+        self.inner.pair_probability(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    fn chain(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mc_oracle_prepare_grows_pool() {
+        let g = chain(6, 0.5);
+        let mut o = McOracle::new(&g, 1, 1, SampleSchedule::practical(), 0.1);
+        assert_eq!(o.num_samples(), 0);
+        o.prepare(1.0);
+        assert_eq!(o.num_samples(), 50);
+        o.prepare(0.1);
+        assert_eq!(o.num_samples(), 500);
+        o.prepare(0.5); // never shrinks
+        assert_eq!(o.num_samples(), 500);
+    }
+
+    #[test]
+    fn mc_oracle_center_probs_match_exact_roughly() {
+        let g = chain(4, 0.8);
+        let exact = ExactOracle::new(&g).unwrap();
+        let mut o = McOracle::new(&g, 42, 1, SampleSchedule::Fixed(8000), 0.1);
+        o.prepare(0.1);
+        let mut sel = vec![0.0; 4];
+        let mut cov = vec![0.0; 4];
+        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        assert_eq!(sel, cov, "unlimited oracle: select == cover");
+        for v in 0..4u32 {
+            let want = exact.pair_probability(NodeId(0), NodeId(v));
+            assert!(
+                (cov[v as usize] - want).abs() < 0.03,
+                "Pr(0~{v}) est {} vs exact {want}",
+                cov[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn depth_oracle_select_below_cover() {
+        let g = chain(5, 1.0);
+        let mut o =
+            DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3);
+        o.prepare(1.0);
+        let mut sel = vec![0.0; 5];
+        let mut cov = vec![0.0; 5];
+        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        assert_eq!(sel, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(cov, vec![1.0, 1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(o.depths(), (1, 3));
+    }
+
+    #[test]
+    fn depth_oracle_pair_prob_uses_cover_depth() {
+        let g = chain(4, 1.0);
+        let mut o =
+            DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2);
+        o.prepare(1.0);
+        assert_eq!(o.pair_prob(NodeId(0), NodeId(2)), 1.0);
+        assert_eq!(o.pair_prob(NodeId(0), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn exact_adapter_is_exact() {
+        let g = chain(3, 0.5);
+        let mut o = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
+        assert_eq!(o.epsilon(), 0.0);
+        o.prepare(1e-9); // no-op
+        let mut sel = vec![0.0; 3];
+        let mut cov = vec![0.0; 3];
+        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        assert!((cov[1] - 0.5).abs() < 1e-12);
+        assert!((cov[2] - 0.25).abs() < 1e-12);
+        assert_eq!(sel, cov);
+        assert!((o.pair_prob(NodeId(0), NodeId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_select must be")]
+    fn depth_oracle_rejects_bad_depths() {
+        let g = chain(3, 0.5);
+        let _ = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 3, 2);
+    }
+}

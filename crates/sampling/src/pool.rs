@@ -1,0 +1,505 @@
+//! Progressive sample pools.
+//!
+//! The clustering algorithms lower their probability threshold `q`
+//! geometrically and re-estimate probabilities at each step (paper §4); the
+//! required sample count grows as `q` shrinks. Pools therefore **grow
+//! monotonically**: `ensure(r)` tops the pool up to `r` samples, reusing
+//! everything drawn before — the progressive sampling strategy of the
+//! paper. Because sample `i` is generated from a per-index RNG (see
+//! [`crate::rng`]), the pool contents are independent of the growth
+//! schedule and of the number of worker threads.
+
+use std::num::NonZeroUsize;
+
+use ugraph_graph::{Bitset, DepthBfs, NodeId, UncertainGraph, UnionFind, WorldView};
+
+use crate::world::WorldSampler;
+
+/// Resolves a thread-count request: 0 means "all available cores".
+fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// One sampled world reduced to its connected-component partition.
+///
+/// Stores the canonical label per node plus a *membership index* (nodes
+/// sorted by label with bucket offsets), so all members of a given
+/// component can be enumerated in time proportional to the component size.
+#[derive(Clone, Debug)]
+struct SampleRow {
+    /// Canonical component label per node.
+    labels: Vec<u32>,
+    /// Node indices grouped by label.
+    order: Vec<u32>,
+    /// `starts[c]..starts[c+1]` delimits component `c` in `order`.
+    starts: Vec<u32>,
+}
+
+impl SampleRow {
+    fn from_labels(labels: Vec<u32>, num_components: usize) -> Self {
+        let n = labels.len();
+        let mut starts = vec![0u32; num_components + 1];
+        for &l in &labels {
+            starts[l as usize + 1] += 1;
+        }
+        for c in 0..num_components {
+            starts[c + 1] += starts[c];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; n];
+        for (node, &l) in labels.iter().enumerate() {
+            let slot = cursor[l as usize] as usize;
+            order[slot] = node as u32;
+            cursor[l as usize] += 1;
+        }
+        SampleRow { labels, order, starts }
+    }
+
+    #[inline]
+    fn members(&self, label: u32) -> &[u32] {
+        let lo = self.starts[label as usize] as usize;
+        let hi = self.starts[label as usize + 1] as usize;
+        &self.order[lo..hi]
+    }
+}
+
+/// Pool of per-sample connected-component partitions, for **unlimited**
+/// connection probabilities.
+#[derive(Clone, Debug)]
+pub struct ComponentPool<'g> {
+    sampler: WorldSampler<'g>,
+    rows: Vec<SampleRow>,
+    threads: usize,
+}
+
+impl<'g> ComponentPool<'g> {
+    /// Creates an empty pool over `graph` with master `seed`. `threads = 0`
+    /// uses all available cores.
+    pub fn new(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
+        ComponentPool {
+            sampler: WorldSampler::new(graph, seed),
+            rows: Vec::new(),
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.sampler.graph()
+    }
+
+    /// Number of samples currently in the pool.
+    pub fn num_samples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Grows the pool to at least `r` samples (no-op if already there).
+    pub fn ensure(&mut self, r: usize) {
+        let cur = self.rows.len();
+        if r <= cur {
+            return;
+        }
+        let new = self.generate_rows(cur as u64, r as u64);
+        self.rows.extend(new);
+    }
+
+    fn generate_rows(&self, from: u64, to: u64) -> Vec<SampleRow> {
+        let n = self.graph().num_nodes();
+        let count = (to - from) as usize;
+        let make_range = |lo: u64, hi: u64| {
+            let mut uf = UnionFind::new(n);
+            let mut out = Vec::with_capacity((hi - lo) as usize);
+            let mut labels = vec![0u32; n];
+            for i in lo..hi {
+                let comps = self.sampler.sample_components(i, &mut uf, &mut labels);
+                out.push(SampleRow::from_labels(std::mem::replace(&mut labels, vec![0u32; n]), comps));
+            }
+            out
+        };
+        let threads = self.threads.min(count.max(1));
+        if threads <= 1 || count < 4 {
+            return make_range(from, to);
+        }
+        // Contiguous chunks per thread; deterministic because each sample
+        // index has its own RNG stream.
+        let chunk = count.div_ceil(threads);
+        let mut results: Vec<Vec<SampleRow>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = from + (t * chunk) as u64;
+                let hi = to.min(from + ((t + 1) * chunk) as u64);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || make_range(lo, hi)));
+            }
+            for h in handles {
+                results.push(h.join().expect("sample generation thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Component labels of sample `i` (one per node).
+    pub fn labels(&self, i: usize) -> &[u32] {
+        &self.rows[i].labels
+    }
+
+    /// Members of the component with `label` in sample `i`.
+    pub fn component_members(&self, i: usize, label: u32) -> &[u32] {
+        self.rows[i].members(label)
+    }
+
+    /// Number of components in sample `i`.
+    pub fn component_count(&self, i: usize) -> usize {
+        self.rows[i].starts.len() - 1
+    }
+
+    /// For every node `u`, the number of samples in which `u` lies in the
+    /// same component as `center`. `p̃(u, center) = out[u] / num_samples()`.
+    ///
+    /// Runs in `Σ_i |comp_i(center)|` — only the center's component members
+    /// are touched per sample, which on sparse sampled worlds is far below
+    /// `n·r`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn counts_from_center(&self, center: NodeId, out: &mut [u32]) {
+        assert_eq!(out.len(), self.graph().num_nodes(), "counts buffer has wrong length");
+        out.fill(0);
+        for row in &self.rows {
+            let label = row.labels[center.index()];
+            for &u in row.members(label) {
+                out[u as usize] += 1;
+            }
+        }
+    }
+
+    /// Number of samples where `u` and `v` are connected.
+    pub fn pair_count(&self, u: NodeId, v: NodeId) -> usize {
+        self.rows
+            .iter()
+            .filter(|row| row.labels[u.index()] == row.labels[v.index()])
+            .count()
+    }
+
+    /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
+    pub fn pair_estimate(&self, u: NodeId, v: NodeId) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.pair_count(u, v) as f64 / self.rows.len() as f64
+    }
+}
+
+/// Pool of per-sample edge bitsets, for **depth-limited** d-connection
+/// probabilities (paper §3.4).
+#[derive(Clone, Debug)]
+pub struct WorldPool<'g> {
+    sampler: WorldSampler<'g>,
+    worlds: Vec<Bitset>,
+    threads: usize,
+}
+
+impl<'g> WorldPool<'g> {
+    /// Creates an empty world pool over `graph` with master `seed`.
+    /// `threads = 0` uses all available cores.
+    pub fn new(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
+        WorldPool {
+            sampler: WorldSampler::new(graph, seed),
+            worlds: Vec::new(),
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.sampler.graph()
+    }
+
+    /// Number of sampled worlds.
+    pub fn num_samples(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Grows the pool to at least `r` worlds.
+    pub fn ensure(&mut self, r: usize) {
+        let cur = self.worlds.len();
+        if r <= cur {
+            return;
+        }
+        let m = self.graph().num_edges();
+        let count = r - cur;
+        let make_range = |lo: u64, hi: u64| {
+            let mut out = Vec::with_capacity((hi - lo) as usize);
+            for i in lo..hi {
+                let mut b = Bitset::with_len(m);
+                self.sampler.sample_into(i, &mut b);
+                out.push(b);
+            }
+            out
+        };
+        let threads = self.threads.min(count.max(1));
+        if threads <= 1 || count < 4 {
+            let new = make_range(cur as u64, r as u64);
+            self.worlds.extend(new);
+            return;
+        }
+        let chunk = count.div_ceil(threads);
+        let mut results: Vec<Vec<Bitset>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = cur as u64 + (t * chunk) as u64;
+                let hi = (r as u64).min(cur as u64 + ((t + 1) * chunk) as u64);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || make_range(lo, hi)));
+            }
+            for h in handles {
+                results.push(h.join().expect("world generation thread panicked"));
+            }
+        });
+        for batch in results {
+            self.worlds.extend(batch);
+        }
+    }
+
+    /// The edge bitset of world `i`.
+    pub fn world(&self, i: usize) -> &Bitset {
+        &self.worlds[i]
+    }
+
+    /// Depth-limited connection counts from `center`.
+    ///
+    /// For every node `u`, after the call:
+    /// * `out_select[u]` = #worlds with `dist(center, u) ≤ d_select`,
+    /// * `out_cover[u]`  = #worlds with `dist(center, u) ≤ d_cover`.
+    ///
+    /// Requires `d_select ≤ d_cover` (one bounded BFS per world covers
+    /// both). `bfs` is a reusable workspace sized for the graph.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch or `d_select > d_cover`.
+    pub fn counts_within_depths(
+        &self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+        bfs: &mut DepthBfs,
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), n, "select buffer has wrong length");
+        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        out_select.fill(0);
+        out_cover.fill(0);
+        for world in &self.worlds {
+            let view = WorldView::new(self.graph(), world);
+            bfs.run(&view, center, d_cover, |node, depth| {
+                out_cover[node.index()] += 1;
+                if depth <= d_select {
+                    out_select[node.index()] += 1;
+                }
+            });
+        }
+    }
+
+    /// Number of worlds where `dist(u, v) ≤ depth`.
+    pub fn pair_count_within(&self, u: NodeId, v: NodeId, depth: u32, bfs: &mut DepthBfs) -> usize {
+        let mut count = 0usize;
+        for world in &self.worlds {
+            let view = WorldView::new(self.graph(), world);
+            let mut hit = false;
+            bfs.run(&view, u, depth, |node, _| hit |= node == v);
+            if hit {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Estimator of the d-connection probability `Pr(u ~d~ v)`.
+    pub fn pair_estimate_within(&self, u: NodeId, v: NodeId, depth: u32, bfs: &mut DepthBfs) -> f64 {
+        if self.worlds.is_empty() {
+            return 0.0;
+        }
+        self.pair_count_within(u, v, depth, bfs) as f64 / self.worlds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    fn chain(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ensure_grows_monotonically() {
+        let g = chain(10, 0.5);
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        assert_eq!(pool.num_samples(), 0);
+        pool.ensure(10);
+        assert_eq!(pool.num_samples(), 10);
+        pool.ensure(5); // no shrink
+        assert_eq!(pool.num_samples(), 10);
+        pool.ensure(25);
+        assert_eq!(pool.num_samples(), 25);
+    }
+
+    #[test]
+    fn growth_schedule_does_not_change_samples() {
+        let g = chain(12, 0.4);
+        let mut a = ComponentPool::new(&g, 3, 1);
+        a.ensure(20);
+        let mut b = ComponentPool::new(&g, 3, 1);
+        b.ensure(7);
+        b.ensure(13);
+        b.ensure(20);
+        for i in 0..20 {
+            assert_eq!(a.labels(i), b.labels(i), "sample {i} differs");
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let g = chain(20, 0.5);
+        let mut serial = ComponentPool::new(&g, 5, 1);
+        serial.ensure(33);
+        let mut parallel = ComponentPool::new(&g, 5, 4);
+        parallel.ensure(33);
+        for i in 0..33 {
+            assert_eq!(serial.labels(i), parallel.labels(i), "sample {i} differs");
+        }
+    }
+
+    #[test]
+    fn membership_index_consistent_with_labels() {
+        let g = chain(15, 0.5);
+        let mut pool = ComponentPool::new(&g, 9, 1);
+        pool.ensure(20);
+        for i in 0..20 {
+            let labels = pool.labels(i);
+            for c in 0..pool.component_count(i) as u32 {
+                let members = pool.component_members(i, c);
+                assert!(!members.is_empty());
+                for &u in members {
+                    assert_eq!(labels[u as usize], c);
+                }
+            }
+            let total: usize =
+                (0..pool.component_count(i) as u32).map(|c| pool.component_members(i, c).len()).sum();
+            assert_eq!(total, g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn counts_from_center_match_pair_counts() {
+        let g = chain(8, 0.6);
+        let mut pool = ComponentPool::new(&g, 2, 1);
+        pool.ensure(50);
+        let center = NodeId(3);
+        let mut counts = vec![0u32; 8];
+        pool.counts_from_center(center, &mut counts);
+        for u in 0..8u32 {
+            assert_eq!(counts[u as usize] as usize, pool.pair_count(center, NodeId(u)));
+        }
+        // The center is connected to itself in every sample.
+        assert_eq!(counts[3] as usize, 50);
+    }
+
+    #[test]
+    fn pair_estimate_converges_on_certain_graph() {
+        let g = chain(4, 1.0);
+        let mut pool = ComponentPool::new(&g, 8, 1);
+        pool.ensure(10);
+        assert_eq!(pool.pair_estimate(NodeId(0), NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn empty_pool_estimates_zero() {
+        let g = chain(3, 0.5);
+        let pool = ComponentPool::new(&g, 1, 1);
+        assert_eq!(pool.pair_estimate(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn world_pool_grows_and_reproduces() {
+        let g = chain(10, 0.5);
+        let mut a = WorldPool::new(&g, 77, 1);
+        a.ensure(12);
+        let mut b = WorldPool::new(&g, 77, 3);
+        b.ensure(4);
+        b.ensure(12);
+        for i in 0..12 {
+            assert_eq!(a.world(i), b.world(i), "world {i} differs");
+        }
+    }
+
+    #[test]
+    fn depth_counts_respect_depth() {
+        // Certain chain 0-1-2-3: within depth 1 of node 0 only {0,1}.
+        let g = chain(4, 1.0);
+        let mut pool = WorldPool::new(&g, 1, 1);
+        pool.ensure(5);
+        let mut sel = vec![0u32; 4];
+        let mut cov = vec![0u32; 4];
+        let mut bfs = DepthBfs::new(4);
+        pool.counts_within_depths(NodeId(0), 1, 2, &mut sel, &mut cov, &mut bfs);
+        assert_eq!(sel, vec![5, 5, 0, 0]);
+        assert_eq!(cov, vec![5, 5, 5, 0]);
+    }
+
+    #[test]
+    fn depth_pair_estimates() {
+        let g = chain(3, 1.0);
+        let mut pool = WorldPool::new(&g, 4, 1);
+        pool.ensure(8);
+        let mut bfs = DepthBfs::new(3);
+        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 1, &mut bfs), 0.0);
+        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 2, &mut bfs), 1.0);
+    }
+
+    #[test]
+    fn world_and_component_pools_agree_at_full_depth() {
+        let g = chain(6, 0.5);
+        let mut cpool = ComponentPool::new(&g, 31, 1);
+        let mut wpool = WorldPool::new(&g, 31, 1);
+        cpool.ensure(200);
+        wpool.ensure(200);
+        let mut bfs = DepthBfs::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                let a = cpool.pair_estimate(NodeId(u), NodeId(v));
+                let b = wpool.pair_estimate_within(NodeId(u), NodeId(v), 5, &mut bfs);
+                assert!((a - b).abs() < 1e-12, "({u},{v}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d_select")]
+    fn depth_order_enforced() {
+        let g = chain(3, 1.0);
+        let mut pool = WorldPool::new(&g, 1, 1);
+        pool.ensure(1);
+        let mut sel = vec![0u32; 3];
+        let mut cov = vec![0u32; 3];
+        let mut bfs = DepthBfs::new(3);
+        pool.counts_within_depths(NodeId(0), 2, 1, &mut sel, &mut cov, &mut bfs);
+    }
+}

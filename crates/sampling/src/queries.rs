@@ -1,0 +1,228 @@
+//! Reliability query primitives on uncertain graphs.
+//!
+//! The clustering paper builds on a line of work about querying uncertain
+//! graphs by *reliability*: k-nearest-neighbor queries under probabilistic
+//! distance (Potamias, Bonchi, Gionis, Kollios — VLDB 2010) and the
+//! most-reliable-source problem of classical network reliability (§1.1 of
+//! the paper). These primitives fall out of the same Monte-Carlo machinery
+//! the clustering algorithms use, so they are provided here as first-class
+//! queries.
+
+use ugraph_graph::{DepthBfs, NodeId};
+
+use crate::pool::{ComponentPool, WorldPool};
+
+/// The `k` nodes most reliably connected to `source` (excluding the source
+/// itself), sorted by decreasing estimated connection probability; ties
+/// break toward smaller node ids. Nodes with estimate 0 are never returned,
+/// so fewer than `k` results are possible.
+///
+/// This is the reliability variant of the k-NN query of Potamias et al.,
+/// using majority semantics over the sample pool.
+pub fn reliability_knn(
+    pool: &ComponentPool<'_>,
+    source: NodeId,
+    k: usize,
+) -> Vec<(NodeId, f64)> {
+    let n = pool.graph().num_nodes();
+    let r = pool.num_samples();
+    assert!(r > 0, "sample pool is empty");
+    let mut counts = vec![0u32; n];
+    pool.counts_from_center(source, &mut counts);
+    let mut scored: Vec<(NodeId, f64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(u, &c)| u != source.index() && c > 0)
+        .map(|(u, &c)| (NodeId::from_index(u), c as f64 / r as f64))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Depth-limited variant of [`reliability_knn`]: only paths of length at
+/// most `depth` count (paper §3.4 semantics).
+pub fn reliability_knn_within(
+    pool: &WorldPool<'_>,
+    source: NodeId,
+    k: usize,
+    depth: u32,
+) -> Vec<(NodeId, f64)> {
+    let n = pool.graph().num_nodes();
+    let r = pool.num_samples();
+    assert!(r > 0, "sample pool is empty");
+    let mut bfs = DepthBfs::new(n);
+    let mut sel = vec![0u32; n];
+    let mut cov = vec![0u32; n];
+    pool.counts_within_depths(source, depth, depth, &mut sel, &mut cov, &mut bfs);
+    let mut scored: Vec<(NodeId, f64)> = cov
+        .iter()
+        .enumerate()
+        .filter(|&(u, &c)| u != source.index() && c > 0)
+        .map(|(u, &c)| (NodeId::from_index(u), c as f64 / r as f64))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Statistic used by [`most_reliable_source`] to rank candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SourceObjective {
+    /// Maximize the minimum connection probability to any target (the
+    /// classical most-reliable-source criterion; MCP's flavor).
+    #[default]
+    MinToTargets,
+    /// Maximize the average connection probability to the targets (ACP's
+    /// flavor).
+    AvgToTargets,
+}
+
+/// Picks, among `candidates`, the node maximizing the chosen reliability
+/// statistic toward `targets` (the *most reliable source* problem, a
+/// special case of the paper's clustering objectives with `k = 1`).
+/// Returns the winner and its statistic; `None` if `candidates` or
+/// `targets` is empty. Ties break toward the smaller node id.
+pub fn most_reliable_source(
+    pool: &ComponentPool<'_>,
+    candidates: &[NodeId],
+    targets: &[NodeId],
+    objective: SourceObjective,
+) -> Option<(NodeId, f64)> {
+    if candidates.is_empty() || targets.is_empty() {
+        return None;
+    }
+    let n = pool.graph().num_nodes();
+    let r = pool.num_samples();
+    assert!(r > 0, "sample pool is empty");
+    let mut counts = vec![0u32; n];
+    let mut best: Option<(NodeId, f64)> = None;
+    for &c in candidates {
+        pool.counts_from_center(c, &mut counts);
+        let stat = match objective {
+            SourceObjective::MinToTargets => targets
+                .iter()
+                .map(|t| counts[t.index()] as f64 / r as f64)
+                .fold(f64::INFINITY, f64::min),
+            SourceObjective::AvgToTargets => {
+                targets.iter().map(|t| counts[t.index()] as f64 / r as f64).sum::<f64>()
+                    / targets.len() as f64
+            }
+        };
+        let better = match best {
+            None => true,
+            Some((bn, bs)) => stat > bs || (stat == bs && c < bn),
+        };
+        if better {
+            best = Some((c, stat));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::{GraphBuilder, UncertainGraph};
+
+    /// Star: center 0 with spokes of decreasing reliability, plus a far
+    /// node 4 two hops out.
+    fn star() -> UncertainGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.6).unwrap();
+        b.add_edge(0, 3, 0.3).unwrap();
+        b.add_edge(3, 4, 0.3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn knn_orders_by_reliability() {
+        let g = star();
+        let mut pool = ComponentPool::new(&g, 5, 1);
+        pool.ensure(4000);
+        let knn = reliability_knn(&pool, NodeId(0), 3);
+        assert_eq!(knn.len(), 3);
+        let ids: Vec<u32> = knn.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(ids, vec![1, 2, 3], "expected reliability order, got {knn:?}");
+        assert!((knn[0].1 - 0.9).abs() < 0.03);
+        assert!((knn[1].1 - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn knn_truncates_and_excludes_source() {
+        let g = star();
+        let mut pool = ComponentPool::new(&g, 5, 1);
+        pool.ensure(500);
+        let knn = reliability_knn(&pool, NodeId(0), 100);
+        assert!(knn.len() <= 4);
+        assert!(knn.iter().all(|(n, _)| *n != NodeId(0)));
+        let top1 = reliability_knn(&pool, NodeId(0), 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].0, NodeId(1));
+    }
+
+    #[test]
+    fn knn_depth_limited_drops_far_nodes() {
+        let g = star();
+        let mut pool = WorldPool::new(&g, 5, 1);
+        pool.ensure(1000);
+        let within1 = reliability_knn_within(&pool, NodeId(0), 10, 1);
+        assert!(within1.iter().all(|(n, _)| n.0 != 4), "node 4 is 2 hops away");
+        let within2 = reliability_knn_within(&pool, NodeId(0), 10, 2);
+        assert!(within2.iter().any(|(n, _)| n.0 == 4));
+    }
+
+    #[test]
+    fn most_reliable_source_min_objective() {
+        let g = star();
+        let mut pool = ComponentPool::new(&g, 9, 1);
+        pool.ensure(4000);
+        // Candidates 0 and 4 serving targets {1, 2}: node 0 is adjacent to
+        // both; node 4 reaches them through two weak hops.
+        let got = most_reliable_source(
+            &pool,
+            &[NodeId(0), NodeId(4)],
+            &[NodeId(1), NodeId(2)],
+            SourceObjective::MinToTargets,
+        )
+        .unwrap();
+        assert_eq!(got.0, NodeId(0));
+        assert!((got.1 - 0.6).abs() < 0.04, "min stat {}", got.1);
+        let avg = most_reliable_source(
+            &pool,
+            &[NodeId(0), NodeId(4)],
+            &[NodeId(1), NodeId(2)],
+            SourceObjective::AvgToTargets,
+        )
+        .unwrap();
+        assert_eq!(avg.0, NodeId(0));
+        assert!((avg.1 - 0.75).abs() < 0.04, "avg stat {}", avg.1);
+    }
+
+    #[test]
+    fn most_reliable_source_empty_inputs() {
+        let g = star();
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(10);
+        assert!(most_reliable_source(&pool, &[], &[NodeId(1)], SourceObjective::default())
+            .is_none());
+        assert!(most_reliable_source(&pool, &[NodeId(0)], &[], SourceObjective::default())
+            .is_none());
+    }
+
+    #[test]
+    fn source_includes_itself_as_target_with_prob_one() {
+        let g = star();
+        let mut pool = ComponentPool::new(&g, 2, 1);
+        pool.ensure(100);
+        let got = most_reliable_source(
+            &pool,
+            &[NodeId(1)],
+            &[NodeId(1)],
+            SourceObjective::MinToTargets,
+        )
+        .unwrap();
+        assert_eq!(got, (NodeId(1), 1.0));
+    }
+}

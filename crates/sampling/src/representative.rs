@@ -1,0 +1,165 @@
+//! Representative possible worlds.
+//!
+//! The paper's related work (§1.1) discusses Parchas et al. (ACM TODS
+//! 2015): extracting **one deterministic graph** that summarizes an
+//! uncertain graph for query processing. Two extractors are provided:
+//!
+//! * [`most_probable_world`] — keep every edge with `p(e) ≥ 1/2` (each
+//!   edge decided by majority; this maximizes the world's probability).
+//!   It systematically *underestimates* connectivity when many edges have
+//!   `p < 1/2` (their collective mass vanishes) — the KPT baseline
+//!   inherits exactly this weakness;
+//! * [`average_degree_representative`] — the ADR idea of Parchas et al.:
+//!   pick a world whose node degrees track the **expected degrees** of the
+//!   uncertain graph. Edges are considered in decreasing probability and
+//!   greedily included while both endpoints still fall short of their
+//!   expected degree; a final pass includes any edge whose endpoints are
+//!   both at least half an edge short, rounding the total edge mass to
+//!   `Σ p(e)` in expectation.
+
+use ugraph_graph::{Bitset, EdgeId, UncertainGraph};
+
+/// The majority world: edges with `p(e) ≥ 0.5`, as a bitset over edge ids.
+pub fn most_probable_world(graph: &UncertainGraph) -> Bitset {
+    let mut world = Bitset::with_len(graph.num_edges());
+    for (e, _, _, p) in graph.edges() {
+        if p >= 0.5 {
+            world.insert(e.index());
+        }
+    }
+    world
+}
+
+/// An average-degree-preserving representative world (greedy ADR).
+///
+/// Guarantees: every `p = 1` edge is included; the realized degree of each
+/// node never exceeds `⌈expected degree⌉`; edges enter in decreasing
+/// probability (ties by edge id), so the most reliable structure is
+/// preserved first.
+pub fn average_degree_representative(graph: &UncertainGraph) -> Bitset {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let mut expected = vec![0.0f64; n];
+    for (_, u, v, p) in graph.edges() {
+        expected[u.index()] += p;
+        expected[v.index()] += p;
+    }
+    let mut order: Vec<EdgeId> = (0..m as u32).map(EdgeId).collect();
+    order.sort_by(|&a, &b| {
+        graph
+            .prob(b)
+            .total_cmp(&graph.prob(a))
+            .then(a.cmp(&b))
+    });
+    let mut degree = vec![0.0f64; n];
+    let mut world = Bitset::with_len(m);
+    for &e in &order {
+        let (u, v) = graph.edge_endpoints(e);
+        let p = graph.prob(e);
+        // Certain edges always belong to the representative; otherwise
+        // include while both endpoints still owe at least half an edge of
+        // expected degree (the rounding rule of greedy ADR).
+        let fits = degree[u.index()] + 0.5 <= expected[u.index()]
+            && degree[v.index()] + 0.5 <= expected[v.index()];
+        if p >= 1.0 || fits {
+            world.insert(e.index());
+            degree[u.index()] += 1.0;
+            degree[v.index()] += 1.0;
+        }
+    }
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::{connected_components, GraphBuilder, WorldView};
+
+    #[test]
+    fn majority_world_thresholds_at_half() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.49).unwrap();
+        let g = b.build().unwrap();
+        let w = most_probable_world(&g);
+        assert_eq!(w.count_ones(), 2);
+        assert!(w.get(0) && w.get(1) && !w.get(2));
+    }
+
+    #[test]
+    fn adr_keeps_certain_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 0.1).unwrap();
+        let g = b.build().unwrap();
+        let w = average_degree_representative(&g);
+        assert!(w.get(0), "certain edge must be kept");
+    }
+
+    #[test]
+    fn adr_edge_count_tracks_expected_mass() {
+        // 40 edges at p = 0.5: expected mass 20; greedy ADR should land
+        // near it (within a factor accounted by the rounding rule).
+        let mut b = GraphBuilder::new(20);
+        let mut count = 0;
+        'outer: for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                b.add_edge(u, v, 0.5).unwrap();
+                count += 1;
+                if count == 40 {
+                    break 'outer;
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let w = average_degree_representative(&g);
+        let kept = w.count_ones() as f64;
+        let expected = g.expected_edge_count();
+        assert!(
+            (kept - expected).abs() <= expected * 0.5 + 2.0,
+            "kept {kept} vs expected mass {expected}"
+        );
+    }
+
+    #[test]
+    fn adr_respects_low_probability_periphery() {
+        // A node with one p = 0.2 edge owes only 0.2 expected degree: the
+        // greedy pass must not attach it (0 + 0.5 > 0.2).
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.2).unwrap();
+        let g = b.build().unwrap();
+        let w = average_degree_representative(&g);
+        assert!(w.get(0));
+        assert!(!w.get(1), "weak pendant edge should be dropped by ADR");
+    }
+
+    #[test]
+    fn representative_worlds_are_usable_as_views() {
+        // Integration: both extractors produce bitsets that traverse.
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 0.8).unwrap();
+        }
+        let g = b.build().unwrap();
+        for world in [most_probable_world(&g), average_degree_representative(&g)] {
+            let view = WorldView::new(&g, &world);
+            let (_, comps) = connected_components(&view);
+            assert!(comps >= 1);
+        }
+    }
+
+    #[test]
+    fn adr_on_reliable_chain_keeps_it_connected() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 0.9).unwrap();
+        }
+        let g = b.build().unwrap();
+        let w = average_degree_representative(&g);
+        let view = WorldView::new(&g, &w);
+        let (_, comps) = connected_components(&view);
+        assert_eq!(comps, 1, "0.9-chain should survive ADR");
+    }
+}

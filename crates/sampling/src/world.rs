@@ -1,0 +1,187 @@
+//! Sampling possible worlds.
+//!
+//! A possible world of `G = (V, E, p)` keeps each edge `e` independently
+//! with probability `p(e)`. Two materializations are supported:
+//!
+//! * an **edge bitset** ([`WorldSampler::sample_into`]) — needed when the
+//!   world's topology is traversed (depth-limited BFS);
+//! * **fused component labels** ([`WorldSampler::sample_components`]) — the
+//!   common case for unlimited connection probabilities, where the world
+//!   itself is never needed, only its connected-component partition; the
+//!   edge draws feed a union-find directly and the bitset is skipped.
+
+use rand::Rng;
+
+use ugraph_graph::{Bitset, UncertainGraph, UnionFind};
+
+use crate::rng::sample_rng;
+
+/// Stateless sampler bound to a graph and a master seed.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldSampler<'g> {
+    graph: &'g UncertainGraph,
+    seed: u64,
+}
+
+impl<'g> WorldSampler<'g> {
+    /// Creates a sampler for `graph` under `seed`.
+    pub fn new(graph: &'g UncertainGraph, seed: u64) -> Self {
+        WorldSampler { graph, seed }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.graph
+    }
+
+    /// Draws world `index` into `out` (one bit per [`ugraph_graph::EdgeId`]).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != m`.
+    pub fn sample_into(&self, index: u64, out: &mut Bitset) {
+        assert_eq!(out.len(), self.graph.num_edges(), "bitset length must equal edge count");
+        out.clear();
+        let mut rng = sample_rng(self.seed, index);
+        for (i, &p) in self.graph.probs().iter().enumerate() {
+            // `gen::<f64>() < p` is the standard Bernoulli draw; for p = 1.0
+            // it always succeeds since gen() is in [0, 1).
+            if rng.gen::<f64>() < p {
+                out.insert(i);
+            }
+        }
+    }
+
+    /// Convenience allocating variant of [`WorldSampler::sample_into`].
+    pub fn sample(&self, index: u64) -> Bitset {
+        let mut b = Bitset::with_len(self.graph.num_edges());
+        self.sample_into(index, &mut b);
+        b
+    }
+
+    /// Draws world `index` and immediately reduces it to connected-component
+    /// labels, without materializing the edge set. `uf` is reset internally;
+    /// `labels` receives canonical labels (see
+    /// [`UnionFind::component_labels_into`]). Returns the component count.
+    ///
+    /// # Panics
+    /// Panics if `uf`/`labels` are not sized for the graph's node count.
+    pub fn sample_components(
+        &self,
+        index: u64,
+        uf: &mut UnionFind,
+        labels: &mut [u32],
+    ) -> usize {
+        assert_eq!(uf.len(), self.graph.num_nodes(), "union-find sized for wrong node count");
+        uf.reset();
+        let mut rng = sample_rng(self.seed, index);
+        for (_, u, v, p) in self.graph.edges() {
+            if rng.gen::<f64>() < p {
+                uf.union(u.0, v.0);
+            }
+        }
+        uf.component_labels_into(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::{GraphBuilder, NodeId, WorldView};
+
+    fn chain(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certain_edges_always_present() {
+        let g = chain(5, 1.0);
+        let s = WorldSampler::new(&g, 1);
+        for i in 0..20 {
+            let w = s.sample(i);
+            assert_eq!(w.count_ones(), 4, "world {i} dropped a certain edge");
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible_per_index() {
+        let g = chain(30, 0.5);
+        let s1 = WorldSampler::new(&g, 99);
+        let s2 = WorldSampler::new(&g, 99);
+        for i in 0..10 {
+            assert_eq!(s1.sample(i), s2.sample(i));
+        }
+        let s3 = WorldSampler::new(&g, 100);
+        // Different master seed gives (almost surely) different worlds.
+        assert_ne!(s1.sample(0), s3.sample(0));
+    }
+
+    #[test]
+    fn empirical_edge_frequency_matches_p() {
+        let g = chain(2, 0.3);
+        let s = WorldSampler::new(&g, 7);
+        let r = 20_000;
+        let mut hits = 0usize;
+        let mut w = Bitset::with_len(1);
+        for i in 0..r {
+            s.sample_into(i, &mut w);
+            if w.get(0) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / r as f64;
+        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+    }
+
+    #[test]
+    fn fused_components_agree_with_bitset_path() {
+        let g = chain(12, 0.5);
+        let s = WorldSampler::new(&g, 5);
+        let mut uf = UnionFind::new(12);
+        let mut labels = vec![0u32; 12];
+        for i in 0..50 {
+            // Path A: fused.
+            let count = s.sample_components(i, &mut uf, &mut labels);
+            // Path B: bitset + world view + traversal.
+            let w = s.sample(i);
+            let view = WorldView::new(&g, &w);
+            let (view_labels, view_count) = ugraph_graph::connected_components(&view);
+            assert_eq!(count, view_count, "component count mismatch in world {i}");
+            assert_eq!(labels, view_labels, "labels mismatch in world {i}");
+        }
+    }
+
+    #[test]
+    fn zero_edges_graph() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let s = WorldSampler::new(&g, 1);
+        let w = s.sample(0);
+        assert_eq!(w.len(), 0);
+        let mut uf = UnionFind::new(3);
+        let mut labels = vec![0u32; 3];
+        let count = s.sample_components(0, &mut uf, &mut labels);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn node_connectivity_probability_on_path() {
+        // Pr(0 ~ 2) on a 3-chain with p=0.5 per edge is 0.25.
+        let g = chain(3, 0.5);
+        let s = WorldSampler::new(&g, 11);
+        let mut uf = UnionFind::new(3);
+        let mut labels = vec![0u32; 3];
+        let r = 20_000;
+        let mut hits = 0;
+        for i in 0..r {
+            s.sample_components(i, &mut uf, &mut labels);
+            if labels[NodeId(0).index()] == labels[NodeId(2).index()] {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / r as f64;
+        assert!((freq - 0.25).abs() < 0.02, "frequency {freq} too far from 0.25");
+    }
+}

@@ -1,0 +1,76 @@
+//! Protein-complex prediction on a Krogan-like PPI network — the paper's
+//! §5.2 experiment on synthetic data with planted ground truth.
+//!
+//! Depth-limited clustering (paths of bounded length only) captures the
+//! intuition that proteins of one complex are both reliably connected AND
+//! topologically close. The example sweeps the depth d and reports the
+//! TPR/FPR trade-off against the planted complexes, comparing MCP, ACP,
+//! MCL and KPT.
+//!
+//! Run with: `cargo run --release --example ppi_complexes`
+
+use ugraph::baselines::{kpt, mcl, KptConfig, MclConfig};
+use ugraph::metrics::confusion;
+use ugraph::prelude::*;
+
+fn main() {
+    // Krogan-like PPI with planted complexes standing in for MIPS.
+    let dataset = DatasetSpec::Krogan.generate(1);
+    let graph = &dataset.graph;
+    let complexes = dataset.ground_truth.as_ref().expect("PPI datasets carry ground truth");
+    println!(
+        "{}: {} nodes, {} edges, {} planted complexes",
+        dataset.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        complexes.len()
+    );
+
+    // Match the cluster count to the ground truth, like the paper matches
+    // the published Krogan clustering's k = 547.
+    let k = complexes.len();
+    let cfg = ClusterConfig::default().with_seed(7);
+
+    println!("\n{:<14} {:>6} {:>8} {:>8} {:>8}", "algorithm", "k", "TPR", "FPR", "F1");
+
+    for d in [2u32, 3, 4, 6, 8] {
+        if let Ok(r) = mcp_depth(graph, k, d, &cfg) {
+            let m = confusion(&r.clustering, complexes);
+            print_row(&format!("mcp (d={d})"), r.clustering.num_clusters(), &m);
+        } else {
+            println!("mcp (d={d}): no full clustering at this depth");
+        }
+        if let Ok(r) = acp_depth(graph, k, d, &cfg) {
+            let m = confusion(&r.clustering, complexes);
+            print_row(&format!("acp (d={d})"), r.clustering.num_clusters(), &m);
+        }
+    }
+
+    // MCL: granularity only steerable via inflation; report what it gives.
+    for inflation in [1.5, 2.0] {
+        let r = mcl(graph, &MclConfig::with_inflation(inflation));
+        let m = confusion(&r.clustering, complexes);
+        print_row(&format!("mcl (I={inflation})"), r.clustering.num_clusters(), &m);
+    }
+
+    // KPT: cluster count is an output.
+    let c = kpt(graph, &KptConfig::default());
+    let m = confusion(&c, complexes);
+    print_row("kpt", c.num_clusters(), &m);
+
+    println!(
+        "\nReading: small d keeps FPR low (clusters stay topologically tight); \
+         growing d trades false positives for recall — the paper's Table 2 shape."
+    );
+}
+
+fn print_row(name: &str, k: usize, m: &ugraph::metrics::ConfusionMatrix) {
+    println!(
+        "{:<14} {:>6} {:>8.3} {:>8.3} {:>8.3}",
+        name,
+        k,
+        m.tpr(),
+        m.fpr(),
+        m.f1()
+    );
+}

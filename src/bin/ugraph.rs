@@ -1,0 +1,349 @@
+//! `ugraph` — command-line front end to the library.
+//!
+//! ```text
+//! ugraph generate --dataset <collins|gavin|krogan|dblp> [--scale X] [--seed N]
+//!                 --output graph.txt [--ground-truth gt.txt]
+//! ugraph stats    --input graph.txt
+//! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
+//!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+//! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
+//!                 [--ground-truth gt.txt] [--seed N]
+//! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
+//! ```
+//!
+//! Formats: graphs are `u v p` edge lists (with an optional `# nodes: N`
+//! header); clusterings are TSV lines `node<TAB>cluster<TAB>center`;
+//! ground truth is one complex per line as space-separated node ids.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use ugraph::baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
+use ugraph::cluster::{acp, acp_depth, mcp, mcp_depth, ClusterConfig, Clustering};
+use ugraph::datasets::DatasetSpec;
+use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
+use ugraph::metrics::{avpr, clustering_quality, confusion};
+use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "cluster" => cmd_cluster(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "knn" => cmd_knn(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: ugraph <command> [flags]
+
+commands:
+  generate  --dataset <collins|gavin|krogan|dblp> [--scale X] [--seed N]
+            --output graph.txt [--ground-truth gt.txt]
+  stats     --input graph.txt
+  cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
+            [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+  evaluate  --input graph.txt --clustering out.tsv [--samples N]
+            [--ground-truth gt.txt] [--seed N]
+  knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]";
+
+/// Parsed flag set (strings resolved lazily per command).
+#[derive(Default, Debug)]
+struct Options {
+    input: Option<String>,
+    output: Option<String>,
+    clustering: Option<String>,
+    ground_truth: Option<String>,
+    dataset: Option<String>,
+    algo: Option<String>,
+    k: Option<usize>,
+    depth: Option<u32>,
+    inflation: Option<f64>,
+    scale: Option<f64>,
+    seed: u64,
+    samples: usize,
+    source: Option<u32>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options { seed: 1, samples: 512, ..Default::default() };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut take = || {
+                it.next().cloned().ok_or_else(|| format!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--input" => o.input = Some(take()?),
+                "--output" => o.output = Some(take()?),
+                "--clustering" => o.clustering = Some(take()?),
+                "--ground-truth" => o.ground_truth = Some(take()?),
+                "--dataset" => o.dataset = Some(take()?),
+                "--algo" => o.algo = Some(take()?),
+                "--k" => o.k = Some(parse_num(&take()?, flag)?),
+                "--depth" => o.depth = Some(parse_num(&take()?, flag)?),
+                "--inflation" => o.inflation = Some(parse_num(&take()?, flag)?),
+                "--scale" => o.scale = Some(parse_num(&take()?, flag)?),
+                "--seed" => o.seed = parse_num(&take()?, flag)?,
+                "--samples" => o.samples = parse_num(&take()?, flag)?,
+                "--source" => o.source = Some(parse_num(&take()?, flag)?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn require_input(&self) -> Result<UncertainGraph, String> {
+        let path = self.input.as_ref().ok_or("--input is required")?;
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        gio::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("flag {flag}: invalid value '{v}'"))
+}
+
+// ───────────────────────── commands ─────────────────────────
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let name = o.dataset.as_deref().ok_or("--dataset is required")?;
+    let spec = match name {
+        "collins" => DatasetSpec::Collins,
+        "gavin" => DatasetSpec::Gavin,
+        "krogan" => DatasetSpec::Krogan,
+        "dblp" => DatasetSpec::Dblp { scale: o.scale.unwrap_or(0.01) },
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let d = spec.generate(o.seed);
+    let out_path = o.output.as_ref().ok_or("--output is required")?;
+    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    gio::write_edge_list(&d.graph, out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {}: {} nodes, {} edges",
+        out_path,
+        d.graph.num_nodes(),
+        d.graph.num_edges()
+    );
+    if let Some(gt_path) = &o.ground_truth {
+        let gt = d.ground_truth.ok_or("dataset has no ground truth (dblp)")?;
+        let mut w = BufWriter::new(
+            File::create(gt_path).map_err(|e| format!("cannot create {gt_path}: {e}"))?,
+        );
+        for complex in &gt {
+            let ids: Vec<String> = complex.iter().map(|n| n.to_string()).collect();
+            writeln!(w, "{}", ids.join(" ")).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {gt_path}: {} complexes", gt.len());
+    }
+    Ok(())
+}
+
+fn cmd_stats(o: &Options) -> Result<(), String> {
+    let g = o.require_input()?;
+    let s = GraphStats::compute(&g);
+    println!("{s}");
+    println!("prob histogram (10 bins over (0,1]): {:?}", GraphStats::prob_histogram(&g, 10));
+    let lcc = ugraph::graph::largest_connected_component(&g);
+    println!("largest connected component: {} nodes, {} edges", lcc.graph.num_nodes(), lcc.graph.num_edges());
+    Ok(())
+}
+
+fn cmd_cluster(o: &Options) -> Result<(), String> {
+    let g = o.require_input()?;
+    let algo = o.algo.as_deref().ok_or("--algo is required")?;
+    let cfg = ClusterConfig::default().with_seed(o.seed);
+    let need_k = || o.k.ok_or(format!("--k is required for {algo}"));
+    let clustering: Clustering = match (algo, o.depth) {
+        ("mcp", None) => mcp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?.clustering,
+        ("mcp", Some(d)) => {
+            mcp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?.clustering
+        }
+        ("acp", None) => acp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?.clustering,
+        ("acp", Some(d)) => {
+            acp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?.clustering
+        }
+        ("gmm", _) => gmm(&g, need_k()?, o.seed).map_err(|e| e.to_string())?,
+        ("mcl", _) => {
+            mcl(&g, &MclConfig::with_inflation(o.inflation.unwrap_or(2.0))).clustering
+        }
+        ("kpt", _) => kpt(&g, &KptConfig { edge_threshold: 0.5, seed: o.seed }),
+        (other, _) => return Err(format!("unknown algorithm '{other}'")),
+    };
+    eprintln!(
+        "{algo}: {} clusters, {} of {} nodes covered",
+        clustering.num_clusters(),
+        clustering.covered_count(),
+        clustering.num_nodes()
+    );
+    match &o.output {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_clustering(&clustering, f)?;
+            eprintln!("wrote {path}");
+        }
+        None => write_clustering(&clustering, std::io::stdout())?,
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(o: &Options) -> Result<(), String> {
+    let g = o.require_input()?;
+    let path = o.clustering.as_ref().ok_or("--clustering is required")?;
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let clustering = read_clustering(BufReader::new(f), g.num_nodes())?;
+    let mut pool = ComponentPool::new(&g, o.seed ^ 0xE7A1, 0);
+    pool.ensure(o.samples);
+    let q = clustering_quality(&pool, &clustering);
+    let a = avpr(&pool, &clustering);
+    println!("k          {}", clustering.num_clusters());
+    println!("covered    {}/{}", clustering.covered_count(), clustering.num_nodes());
+    println!("p_min      {:.4}", q.p_min);
+    println!("p_avg      {:.4}", q.p_avg);
+    println!("inner-AVPR {:.4}", a.inner);
+    println!("outer-AVPR {:.4}", a.outer);
+    if let Some(gt_path) = &o.ground_truth {
+        let f = File::open(gt_path).map_err(|e| format!("cannot open {gt_path}: {e}"))?;
+        let complexes = read_ground_truth(BufReader::new(f), g.num_nodes())?;
+        let m = confusion(&clustering, &complexes);
+        println!("TPR        {:.4}", m.tpr());
+        println!("FPR        {:.4}", m.fpr());
+        println!("precision  {:.4}", m.precision());
+        println!("F1         {:.4}", m.f1());
+    }
+    Ok(())
+}
+
+fn cmd_knn(o: &Options) -> Result<(), String> {
+    let g = o.require_input()?;
+    let source = o.source.ok_or("--source is required")?;
+    if source as usize >= g.num_nodes() {
+        return Err(format!("source {source} out of range (n = {})", g.num_nodes()));
+    }
+    let k = o.k.unwrap_or(10);
+    let results = match o.depth {
+        None => {
+            let mut pool = ComponentPool::new(&g, o.seed, 0);
+            pool.ensure(o.samples);
+            reliability_knn(&pool, NodeId(source), k)
+        }
+        Some(d) => {
+            let mut pool = WorldPool::new(&g, o.seed, 0);
+            pool.ensure(o.samples);
+            reliability_knn_within(&pool, NodeId(source), k, d)
+        }
+    };
+    for (node, p) in results {
+        println!("{node}\t{p:.4}");
+    }
+    Ok(())
+}
+
+// ───────────────────────── formats ─────────────────────────
+
+fn write_clustering<W: Write>(c: &Clustering, w: W) -> Result<(), String> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# node\tcluster\tcenter").map_err(|e| e.to_string())?;
+    for u in 0..c.num_nodes() {
+        let u = NodeId::from_index(u);
+        match c.cluster_of(u) {
+            Some(cl) => writeln!(out, "{u}\t{cl}\t{}", c.center(cl)),
+            None => writeln!(out, "{u}\t-\t-"),
+        }
+        .map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn read_clustering<R: BufRead>(r: R, n: usize) -> Result<Clustering, String> {
+    let mut assignment: Vec<Option<u32>> = vec![None; n];
+    let mut center_of_cluster: Vec<Option<NodeId>> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(format!("line {}: expected 'node cluster center'", lineno + 1));
+        }
+        if fields[1] == "-" {
+            continue; // outlier
+        }
+        let node: u32 = parse_num(fields[0], "node")?;
+        let cluster: usize = parse_num(fields[1], "cluster")?;
+        let center: u32 = parse_num(fields[2], "center")?;
+        if node as usize >= n {
+            return Err(format!("line {}: node {node} out of range", lineno + 1));
+        }
+        if center_of_cluster.len() <= cluster {
+            center_of_cluster.resize(cluster + 1, None);
+        }
+        match center_of_cluster[cluster] {
+            None => center_of_cluster[cluster] = Some(NodeId(center)),
+            Some(c) if c == NodeId(center) => {}
+            Some(c) => {
+                return Err(format!(
+                    "line {}: cluster {cluster} has two centers ({c} and {center})",
+                    lineno + 1
+                ))
+            }
+        }
+        assignment[node as usize] = Some(cluster as u32);
+    }
+    let centers: Result<Vec<NodeId>, String> = center_of_cluster
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or(format!("cluster {i} never appeared")))
+        .collect();
+    Ok(Clustering::new(centers?, assignment))
+}
+
+fn read_ground_truth<R: BufRead>(r: R, n: usize) -> Result<Vec<Vec<NodeId>>, String> {
+    let mut complexes = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut members = Vec::new();
+        for tok in line.split_whitespace() {
+            let id: u32 = parse_num(tok, "complex member")?;
+            if id as usize >= n {
+                return Err(format!("line {}: node {id} out of range", lineno + 1));
+            }
+            members.push(NodeId(id));
+        }
+        if members.len() >= 2 {
+            complexes.push(members);
+        }
+    }
+    Ok(complexes)
+}
