@@ -15,7 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use ugraph_cluster::{Clustering, ClusterError};
+use ugraph_cluster::{ClusterError, Clustering};
 use ugraph_graph::{MultiSourceDijkstra, NodeId, UncertainGraph};
 
 /// Runs GMM with `k` centers. The first center is drawn uniformly from the
@@ -76,10 +76,7 @@ pub fn gmm(graph: &UncertainGraph, k: usize, seed: u64) -> Result<Clustering, Cl
     for (i, c) in centers.iter().enumerate() {
         assignment[c.index()] = i as u32;
     }
-    Ok(Clustering::new(
-        centers,
-        assignment.into_iter().map(Some).collect(),
-    ))
+    Ok(Clustering::new(centers, assignment.into_iter().map(Some).collect()))
 }
 
 #[cfg(test)]

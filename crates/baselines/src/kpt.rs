@@ -66,10 +66,7 @@ pub fn kpt(graph: &UncertainGraph, cfg: &KptConfig) -> Clustering {
             }
         }
     }
-    Clustering::new(
-        centers,
-        assignment.into_iter().map(Some).collect(),
-    )
+    Clustering::new(centers, assignment.into_iter().map(Some).collect())
 }
 
 #[cfg(test)]

@@ -118,12 +118,7 @@ impl ColMatrix {
     /// `inflation`, drops entries below `prune_threshold` (after
     /// renormalization they would be noise), keeps at most
     /// `max_entries` strongest entries per column, and renormalizes.
-    pub fn inflate_and_prune(
-        &mut self,
-        inflation: f64,
-        prune_threshold: f64,
-        max_entries: usize,
-    ) {
+    pub fn inflate_and_prune(&mut self, inflation: f64, prune_threshold: f64, max_entries: usize) {
         for col in &mut self.cols {
             for (_, v) in col.iter_mut() {
                 *v = v.powf(inflation);
@@ -210,7 +205,7 @@ mod tests {
     }
 
     #[test]
-#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
     fn expansion_matches_dense_multiply() {
         let m = small();
         let sq = m.expand_squared();
@@ -258,8 +253,7 @@ mod tests {
 
     #[test]
     fn pruning_drops_weak_entries_and_renormalizes() {
-        let mut m =
-            ColMatrix::from_columns(2, vec![vec![(0, 0.95), (1, 0.05)], vec![(1, 1.0)]]);
+        let mut m = ColMatrix::from_columns(2, vec![vec![(0, 0.95), (1, 0.05)], vec![(1, 1.0)]]);
         m.inflate_and_prune(1.0, 0.1, usize::MAX);
         assert_eq!(m.column(0).len(), 1);
         assert!((m.get(0, 0) - 1.0).abs() < 1e-12);

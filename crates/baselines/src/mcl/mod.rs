@@ -155,10 +155,8 @@ fn interpret(m: &ColMatrix) -> Clustering {
     // empty (fully evaporated — treat as singleton).
     let mut attractor: Vec<u32> = (0..n as u32).collect();
     for u in 0..n {
-        if let Some(&(row, _)) = m
-            .column(u)
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+        if let Some(&(row, _)) =
+            m.column(u).iter().max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
         {
             attractor[u] = row;
         }
@@ -193,8 +191,7 @@ fn interpret(m: &ColMatrix) -> Clustering {
         root[u] = resolve(u as u32, &attractor);
     }
     // Dense cluster ids in order of first appearance of each root.
-    let mut cluster_of_root: std::collections::HashMap<u32, u32> =
-        std::collections::HashMap::new();
+    let mut cluster_of_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     let mut centers: Vec<NodeId> = Vec::new();
     let mut assignment: Vec<Option<u32>> = Vec::with_capacity(n);
     for u in 0..n {
@@ -249,10 +246,7 @@ mod tests {
         let g = b.build().unwrap();
         let k_low = mcl(&g, &MclConfig::with_inflation(1.3)).clustering.num_clusters();
         let k_high = mcl(&g, &MclConfig::with_inflation(2.5)).clustering.num_clusters();
-        assert!(
-            k_high >= k_low,
-            "inflation 2.5 gave {k_high} clusters < {k_low} at 1.3"
-        );
+        assert!(k_high >= k_low, "inflation 2.5 gave {k_high} clusters < {k_low} at 1.3");
     }
 
     #[test]

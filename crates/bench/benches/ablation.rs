@@ -27,14 +27,10 @@ fn ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_gamma");
     group.sample_size(10);
     for gamma_x100 in [5u32, 10, 50] {
-        let cfg = ClusterConfig::default()
-            .with_gamma(f64::from(gamma_x100) / 100.0)
-            .with_seed(1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gamma_x100),
-            &graph,
-            |b, g| b.iter(|| mcp(g, K, &cfg).unwrap().min_prob_estimate),
-        );
+        let cfg = ClusterConfig::default().with_gamma(f64::from(gamma_x100) / 100.0).with_seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(gamma_x100), &graph, |b, g| {
+            b.iter(|| mcp(g, K, &cfg).unwrap().min_prob_estimate)
+        });
     }
     group.finish();
 

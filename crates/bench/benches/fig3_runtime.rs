@@ -18,8 +18,7 @@ fn fig3(c: &mut Criterion) {
         let graph = d.graph;
         // Fix the granularity once per dataset (MCL at inflation 2.0, the
         // cheapest of the paper's settings).
-        let mcl_out = run_algo(&graph, Algo::Mcl { inflation_x100: 200 }, 0, 1)
-            .expect("mcl runs");
+        let mcl_out = run_algo(&graph, Algo::Mcl { inflation_x100: 200 }, 0, 1).expect("mcl runs");
         let k = mcl_out.clustering.num_clusters();
 
         for (algo, name) in [
@@ -31,11 +30,7 @@ fn fig3(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{}-k{k}", d.name)),
                 &graph,
-                |b, g| {
-                    b.iter(|| {
-                        run_algo(g, algo, k, 1).map(|out| out.clustering.num_clusters())
-                    })
-                },
+                |b, g| b.iter(|| run_algo(g, algo, k, 1).map(|out| out.clustering.num_clusters())),
             );
         }
     }

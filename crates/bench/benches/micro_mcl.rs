@@ -32,9 +32,7 @@ fn mcl_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_mcl");
     group.sample_size(20);
 
-    group.bench_function("expansion_step", |b| {
-        b.iter(|| m.expand_squared().nnz())
-    });
+    group.bench_function("expansion_step", |b| b.iter(|| m.expand_squared().nnz()));
 
     group.bench_function("inflation_prune_step", |b| {
         let squared = m.expand_squared();

@@ -1,11 +1,12 @@
 //! Micro-benchmarks of the Monte-Carlo sampling layer — the inner loop of
 //! every algorithm in the paper (§4): world sampling, fused component
-//! labeling, center-count queries, and depth-limited BFS counts.
+//! labeling, center-count queries, depth-limited BFS counts, and the
+//! serial-vs-parallel comparison of the rayon sampling path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ugraph_datasets::DatasetSpec;
 use ugraph_graph::{Bitset, DepthBfs, NodeId, UnionFind};
-use ugraph_sampling::{ComponentPool, WorldPool, WorldSampler};
+use ugraph_sampling::{ComponentPool, McOracle, Oracle, SampleSchedule, WorldPool, WorldSampler};
 
 fn sampling(c: &mut Criterion) {
     let d = DatasetSpec::Krogan.generate(1);
@@ -88,5 +89,73 @@ fn sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sampling);
+/// Serial (1 thread) vs rayon-parallel (all cores) sampling on a ≥1k-node
+/// instance, after asserting both configurations produce **identical**
+/// oracle estimates for the same master seed.
+fn parallel_oracle(c: &mut Criterion) {
+    let d = DatasetSpec::Krogan.generate(1);
+    let graph = d.graph;
+    let n = graph.num_nodes();
+    assert!(n >= 1000, "instance must have at least 1k nodes, got {n}");
+
+    // Reproducibility gate: the benchmark is meaningless if the parallel
+    // path computed something different.
+    const SEED: u64 = 7;
+    const SAMPLES: usize = 256;
+    let mut serial_oracle = McOracle::new(&graph, SEED, 1, SampleSchedule::Fixed(SAMPLES), 0.1);
+    let mut parallel_oracle = McOracle::new(&graph, SEED, 0, SampleSchedule::Fixed(SAMPLES), 0.1);
+    serial_oracle.prepare(0.5);
+    parallel_oracle.prepare(0.5);
+    let mut row_serial = (vec![0.0; n], vec![0.0; n]);
+    let mut row_parallel = (vec![0.0; n], vec![0.0; n]);
+    for center in (0..n as u32).step_by(97) {
+        serial_oracle.center_probs(NodeId(center), &mut row_serial.0, &mut row_serial.1);
+        parallel_oracle.center_probs(NodeId(center), &mut row_parallel.0, &mut row_parallel.1);
+        assert_eq!(
+            row_serial, row_parallel,
+            "serial and parallel oracle estimates diverged at center {center}"
+        );
+    }
+    drop((serial_oracle, parallel_oracle));
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores == 1 {
+        println!(
+            "note: only 1 CPU visible — the serial and rayon rows below are \
+             expected to tie; run on a multicore machine to see the speedup"
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_oracle");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SAMPLES as u64));
+    for (name, threads) in [("serial", 1usize), ("rayon", 0)] {
+        // Pool generation: draw SAMPLES worlds and reduce them to
+        // component partitions (the dominant cost of oracle preparation).
+        group.bench_with_input(BenchmarkId::new("ensure", name), &threads, |b, &t| {
+            b.iter(|| {
+                let mut pool = ComponentPool::new(&graph, SEED, t);
+                pool.ensure(SAMPLES);
+                pool.num_samples()
+            })
+        });
+    }
+    for (name, threads) in [("serial", 1usize), ("rayon", 0)] {
+        // Estimation: center-count queries against a prepared pool.
+        let mut pool = ComponentPool::new(&graph, SEED, threads);
+        pool.ensure(SAMPLES);
+        let mut counts = vec![0u32; n];
+        group.bench_with_input(BenchmarkId::new("counts_from_center", name), &pool, |b, pool| {
+            let mut center = 0u32;
+            b.iter(|| {
+                pool.counts_from_center(NodeId(center % n as u32), &mut counts);
+                center += 1;
+                counts[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sampling, parallel_oracle);
 criterion_main!(benches);

@@ -10,8 +10,7 @@ fn structures(c: &mut Criterion) {
     let graph = d.graph;
     let n = graph.num_nodes();
     let m = graph.num_edges();
-    let edges: Vec<(u32, u32, f64)> =
-        graph.edges().map(|(_, u, v, p)| (u.0, v.0, p)).collect();
+    let edges: Vec<(u32, u32, f64)> = graph.edges().map(|(_, u, v, p)| (u.0, v.0, p)).collect();
 
     let mut group = c.benchmark_group("micro_structures");
     group.throughput(Throughput::Elements(m as u64));

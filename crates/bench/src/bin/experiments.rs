@@ -105,9 +105,8 @@ fn banner(title: &str) {
 fn tab1(cfg: &HarnessConfig) {
     banner("TABLE 1 — dataset sizes (largest connected component)");
     println!("(synthetic -like datasets; DBLP generated at scale {})\n", cfg.dblp_scale);
-    let mut t = Table::new(vec![
-        "dataset", "paper n", "paper m", "generated n", "generated m", "mean p",
-    ]);
+    let mut t =
+        Table::new(vec!["dataset", "paper n", "paper m", "generated n", "generated m", "mean p"]);
     let specs = [
         DatasetSpec::Collins,
         DatasetSpec::Gavin,
@@ -161,12 +160,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
     for (spec, reference) in specs {
         let d = spec.generate(cfg.seed);
         let graph = &d.graph;
-        println!(
-            "\n--- {} ({} nodes, {} edges) ---",
-            d.name,
-            graph.num_nodes(),
-            graph.num_edges()
-        );
+        println!("\n--- {} ({} nodes, {} edges) ---", d.name, graph.num_nodes(), graph.num_edges());
         // The k grid: MCL granularities matched to the paper's published k
         // values (the published inflations produce different granularities
         // on synthetic stand-ins; matching k keeps columns comparable).
@@ -212,9 +206,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
                 paper_col: col,
             });
             // The other three algorithms at MCL's granularity.
-            for (algo, name) in
-                [(Algo::Gmm, "gmm"), (Algo::Mcp, "mcp"), (Algo::Acp, "acp")]
-            {
+            for (algo, name) in [(Algo::Gmm, "gmm"), (Algo::Mcp, "mcp"), (Algo::Acp, "acp")] {
                 let k_eff = k.min(graph.num_nodes().saturating_sub(1)).max(1);
                 match run_algo(graph, algo, k_eff, cfg.seed) {
                     Some(out) => {
@@ -236,13 +228,11 @@ fn figures(cfg: &HarnessConfig, which: &str) {
             }
         }
 
-        let algo_row = |name: &str| -> usize {
-            paper::ALGOS.iter().position(|&a| a == name).unwrap()
-        };
+        let algo_row =
+            |name: &str| -> usize { paper::ALGOS.iter().position(|&a| a == name).unwrap() };
         if which == "fig1" || which == "all" {
-            let mut t = Table::new(vec![
-                "algo", "k", "p_min", "paper p_min", "p_avg", "paper p_avg",
-            ]);
+            let mut t =
+                Table::new(vec!["algo", "k", "p_min", "paper p_min", "p_avg", "paper p_avg"]);
             for c in &cells {
                 let row = algo_row(c.algo);
                 t.row(vec![
@@ -257,9 +247,8 @@ fn figures(cfg: &HarnessConfig, which: &str) {
             println!("\nFIGURE 1 ({}):\n{}", d.name, t.to_text());
         }
         if which == "fig2" || which == "all" {
-            let mut t = Table::new(vec![
-                "algo", "k", "inner", "paper inner", "outer", "paper outer",
-            ]);
+            let mut t =
+                Table::new(vec!["algo", "k", "inner", "paper inner", "outer", "paper outer"]);
             for c in &cells {
                 let row = algo_row(c.algo);
                 t.row(vec![
@@ -319,11 +308,7 @@ fn fig4(cfg: &HarnessConfig) {
     for &k in &ks {
         match run_algo(graph, Algo::Mcp, k, cfg.seed) {
             Some(out) => {
-                t.row(vec![
-                    k.to_string(),
-                    fmt_ms(out.elapsed.as_secs_f64() * 1e3),
-                    String::new(),
-                ]);
+                t.row(vec![k.to_string(), fmt_ms(out.elapsed.as_secs_f64() * 1e3), String::new()]);
             }
             None => {
                 t.row(vec![k.to_string(), "-".into(), "no full clustering".into()]);
@@ -363,10 +348,7 @@ fn fig4(cfg: &HarnessConfig) {
 // ───────────────────────── Table 2 ─────────────────────────
 
 fn tab2(cfg: &HarnessConfig) {
-    banner(&format!(
-        "TABLE 2 — protein-complex prediction on Krogan-like (seed {})",
-        cfg.seed
-    ));
+    banner(&format!("TABLE 2 — protein-complex prediction on Krogan-like (seed {})", cfg.seed));
     let d = DatasetSpec::Krogan.generate(cfg.seed);
     let graph = &d.graph;
     let complexes = d.ground_truth.as_ref().expect("Krogan-like has planted complexes");
@@ -382,12 +364,9 @@ fn tab2(cfg: &HarnessConfig) {
     println!("(paper: MIPS ground truth with 3874 pairs; k = {})\n", paper::TABLE2.k);
 
     let k = paper::TABLE2.k.min(graph.num_nodes() - 1);
-    let depths: Vec<u32> =
-        if cfg.quick { vec![2, 4] } else { paper::TABLE2.depths.to_vec() };
+    let depths: Vec<u32> = if cfg.quick { vec![2, 4] } else { paper::TABLE2.depths.to_vec() };
 
-    let mut t = Table::new(vec![
-        "method", "TPR", "paper TPR", "FPR", "paper FPR",
-    ]);
+    let mut t = Table::new(vec!["method", "TPR", "paper TPR", "FPR", "paper FPR"]);
     for (i, &depth) in depths.iter().enumerate() {
         let paper_idx = paper::TABLE2.depths.iter().position(|&d| d == depth).unwrap_or(i);
         for (algo, name) in [(Algo::Mcp, "mcp"), (Algo::Acp, "acp")] {
@@ -396,9 +375,7 @@ fn tab2(cfg: &HarnessConfig) {
                 Some(out) => {
                     let m = confusion(&out.clustering, complexes);
                     let (ptpr, pfpr) = match name {
-                        "mcp" => {
-                            (paper::TABLE2.tpr[paper_idx].0, paper::TABLE2.fpr[paper_idx].0)
-                        }
+                        "mcp" => (paper::TABLE2.tpr[paper_idx].0, paper::TABLE2.fpr[paper_idx].0),
                         _ => (paper::TABLE2.tpr[paper_idx].1, paper::TABLE2.fpr[paper_idx].1),
                     };
                     t.row(vec![

@@ -76,8 +76,7 @@ pub fn run_algo(graph: &UncertainGraph, algo: Algo, k: usize, seed: u64) -> Opti
     let clustering = match algo {
         Algo::Gmm => gmm(graph, k, seed).ok()?,
         Algo::Mcl { inflation_x100 } => {
-            mcl(graph, &MclConfig::with_inflation(f64::from(inflation_x100) / 100.0))
-                .clustering
+            mcl(graph, &MclConfig::with_inflation(f64::from(inflation_x100) / 100.0)).clustering
         }
         Algo::Mcp => mcp(graph, k, &cfg).ok()?.clustering,
         Algo::Acp => acp(graph, k, &cfg).ok()?.clustering,
@@ -153,11 +152,7 @@ pub fn ppi_specs() -> Vec<(DatasetSpec, crate::paper::FigureRef)> {
 /// different granularities, so the harness instead matches MCL's
 /// granularity to the *published* k — keeping all columns comparable with
 /// the paper's figures.
-pub fn mcl_at_granularity(
-    graph: &UncertainGraph,
-    target_k: usize,
-    seed: u64,
-) -> (u32, RunOutcome) {
+pub fn mcl_at_granularity(graph: &UncertainGraph, target_k: usize, seed: u64) -> (u32, RunOutcome) {
     let run = |inflation_x100: u32| {
         run_algo(graph, Algo::Mcl { inflation_x100 }, 0, seed).expect("mcl always returns")
     };

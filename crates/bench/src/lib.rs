@@ -28,6 +28,6 @@ pub mod harness;
 pub mod paper;
 
 pub use harness::{
-    eval_pool, evaluate, mcl_memory_estimate, ppi_specs, run_algo, run_depth_algo, run_kpt,
-    Algo, HarnessConfig, RunOutcome,
+    eval_pool, evaluate, mcl_memory_estimate, ppi_specs, run_algo, run_depth_algo, run_kpt, Algo,
+    HarnessConfig, RunOutcome,
 };

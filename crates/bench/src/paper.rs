@@ -58,12 +58,7 @@ pub const COLLINS: FigureRef = FigureRef {
         [0.306, 0.393, 0.449],
         [0.378, 0.465, 0.514],
     ],
-    time_ms: [
-        [11.3, 34.7, 49.9],
-        [551.0, 240.0, 147.0],
-        [122.1, 227.7, 81.8],
-        [229.0, 75.9, 97.1],
-    ],
+    time_ms: [[11.3, 34.7, 49.9], [551.0, 240.0, 147.0], [122.1, 227.7, 81.8], [229.0, 75.9, 97.1]],
 };
 
 /// Gavin reference values.

@@ -291,10 +291,8 @@ mod tests {
         let h6 = ugraph_sampling::harmonic(6);
         let bound = (opt.best_avg_prob / (1.1 * h6)).powi(3);
         // Evaluate the actual achieved average against the exact oracle.
-        let achieved = crate::objectives::avg_prob(
-            &mut ExactOracleAdapter::new(exact),
-            &r.clustering,
-        );
+        let achieved =
+            crate::objectives::avg_prob(&mut ExactOracleAdapter::new(exact), &r.clustering);
         assert!(achieved >= bound - 1e-9, "avg {achieved} below bound {bound}");
     }
 

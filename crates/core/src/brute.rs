@@ -126,8 +126,7 @@ mod tests {
         let opt = brute_force_opt(&oracle, 2).unwrap();
         // Optimal centers must straddle the bridge: one in {0,1,2}, one in
         // {3,4,5}.
-        let sides: Vec<bool> =
-            opt.best_min_centers.iter().map(|c| c.index() < 3).collect();
+        let sides: Vec<bool> = opt.best_min_centers.iter().map(|c| c.index() < 3).collect();
         assert_ne!(sides[0], sides[1], "centers {:?}", opt.best_min_centers);
         // Triangle with p = 0.9: Pr(u~v) for adjacent nodes is
         // 0.9 + 0.1·0.81 = 0.981.

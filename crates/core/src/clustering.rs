@@ -148,9 +148,7 @@ impl Clustering {
                     return Err(format!("center {c:?} of cluster {i} is unassigned"))
                 }
                 a if a as usize != i => {
-                    return Err(format!(
-                        "center {c:?} of cluster {i} assigned to cluster {a}"
-                    ))
+                    return Err(format!("center {c:?} of cluster {i} assigned to cluster {a}"))
                 }
                 _ => {}
             }
@@ -234,10 +232,7 @@ impl Clustering {
     /// Internal iterator over `(node, is_assigned)` used by
     /// [`PartialClustering::min_covered_prob`].
     fn cluster_of_iter(&self) -> impl Iterator<Item = (NodeId, bool)> + '_ {
-        self.assignment
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (NodeId::from_index(i), a != UNASSIGNED))
+        self.assignment.iter().enumerate().map(|(i, &a)| (NodeId::from_index(i), a != UNASSIGNED))
     }
 }
 
@@ -247,10 +242,7 @@ mod tests {
 
     fn sample() -> Clustering {
         // 5 nodes, clusters {0,1} center 0 and {2,3} center 3; node 4 outlier.
-        Clustering::new(
-            vec![NodeId(0), NodeId(3)],
-            vec![Some(0), Some(0), Some(1), Some(1), None],
-        )
+        Clustering::new(vec![NodeId(0), NodeId(3)], vec![Some(0), Some(0), Some(1), Some(1), None])
     }
 
     #[test]
@@ -300,10 +292,7 @@ mod tests {
 
     #[test]
     fn validate_catches_out_of_range_assignment() {
-        let c = Clustering {
-            centers: vec![NodeId(0)],
-            assignment: vec![0, 5],
-        };
+        let c = Clustering { centers: vec![NodeId(0)], assignment: vec![0, 5] };
         assert!(c.validate().is_err());
     }
 

@@ -129,10 +129,7 @@ mod tests {
 
     fn small_instance() -> SetCoverInstance {
         // U = {0,1,2}; S0 = {0,1}, S1 = {1,2}, S2 = {2}.
-        SetCoverInstance {
-            universe: 3,
-            sets: vec![vec![0, 1], vec![1, 2], vec![2]],
-        }
+        SetCoverInstance { universe: 3, sets: vec![vec![0, 1], vec![1, 2], vec![2]] }
     }
 
     #[test]

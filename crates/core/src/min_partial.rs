@@ -107,10 +107,7 @@ pub fn min_partial<O: Oracle + ?Sized>(
         for &cand in &uncovered[..t_size] {
             let v = NodeId(cand);
             oracle.center_probs(v, &mut sel, &mut cov);
-            let disk = uncovered
-                .iter()
-                .filter(|&&u| sel[u as usize] >= select_thresh)
-                .count();
+            let disk = uncovered.iter().filter(|&&u| sel[u as usize] >= select_thresh).count();
             let better = match best {
                 None => true,
                 // Tie-break toward the smaller node id for determinism.
@@ -216,7 +213,7 @@ mod tests {
             b.add_edge(u, v, 0.9).unwrap();
         }
         b.add_edge(2, 3, 0.01).unwrap();
-        
+
         b.build().unwrap()
     }
 

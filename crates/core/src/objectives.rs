@@ -58,8 +58,7 @@ mod tests {
         let g = b.build().unwrap();
         let oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
         // One cluster centered at 1 covering {0,1,2}; node 3 outlier.
-        let clustering =
-            Clustering::new(vec![NodeId(1)], vec![Some(0), Some(0), Some(0), None]);
+        let clustering = Clustering::new(vec![NodeId(1)], vec![Some(0), Some(0), Some(0), None]);
         (oracle, clustering)
     }
 

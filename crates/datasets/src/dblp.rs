@@ -116,7 +116,11 @@ pub fn dblp_like(cfg: &DblpConfig) -> UncertainGraph {
         for _ in 0..collaborators {
             let pool = if rng.gen::<f64>() < cfg.cross_community {
                 let c = rng.gen_range(0..num_communities);
-                if community_members[c].is_empty() { home } else { c }
+                if community_members[c].is_empty() {
+                    home
+                } else {
+                    c
+                }
             } else {
                 home
             };

@@ -86,12 +86,12 @@ pub fn ppi_like(cfg: &PpiConfig) -> PpiDataset {
     // uniform draw from the pool is a draw proportional to current degree.
     let mut endpoint_pool: Vec<u32> = Vec::with_capacity(4 * cfg.background_edges);
     let add_edge = |b: &mut GraphBuilder,
-                        uf: &mut UnionFind,
-                        pool: &mut Vec<u32>,
-                        rng: &mut SmallRng,
-                        u: u32,
-                        v: u32,
-                        dist: &ProbDistribution| {
+                    uf: &mut UnionFind,
+                    pool: &mut Vec<u32>,
+                    rng: &mut SmallRng,
+                    u: u32,
+                    v: u32,
+                    dist: &ProbDistribution| {
         b.add_edge(u, v, dist.sample(rng)).expect("valid edge");
         uf.union(u, v);
         pool.push(u);

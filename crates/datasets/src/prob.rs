@@ -116,8 +116,8 @@ mod tests {
         let ps = draws(ProbDistribution::KroganMixture, 40_000);
         let high = ps.iter().filter(|&&p| p > 0.9).count() as f64 / ps.len() as f64;
         assert!((high - 0.25).abs() < 0.02, "high fraction {high}");
-        let mid = ps.iter().filter(|&&p| (0.27..=0.9).contains(&p)).count() as f64
-            / ps.len() as f64;
+        let mid =
+            ps.iter().filter(|&&p| (0.27..=0.9).contains(&p)).count() as f64 / ps.len() as f64;
         assert!(mid > 0.7, "mid fraction {mid}");
         assert!(ps.iter().all(|&p| p >= 0.27));
     }

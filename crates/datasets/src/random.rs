@@ -12,12 +12,7 @@ use crate::prob::ProbDistribution;
 ///
 /// For dense `p_edge` the naive `O(n²)` pair scan is used; the generators
 /// here are calibration/test tools, not the benchmark datasets.
-pub fn erdos_renyi(
-    n: usize,
-    p_edge: f64,
-    dist: ProbDistribution,
-    seed: u64,
-) -> UncertainGraph {
+pub fn erdos_renyi(n: usize, p_edge: f64, dist: ProbDistribution, seed: u64) -> UncertainGraph {
     assert!((0.0..=1.0).contains(&p_edge));
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -51,10 +46,7 @@ pub struct PlantedPartitionConfig {
 /// Generates a planted-partition uncertain graph; returns the graph and the
 /// block index of every node. Block `b` holds nodes
 /// `b·block_size .. (b+1)·block_size`.
-pub fn planted_partition(
-    cfg: &PlantedPartitionConfig,
-    seed: u64,
-) -> (UncertainGraph, Vec<usize>) {
+pub fn planted_partition(cfg: &PlantedPartitionConfig, seed: u64) -> (UncertainGraph, Vec<usize>) {
     let n = cfg.blocks * cfg.block_size;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -62,11 +54,8 @@ pub fn planted_partition(
     for u in 0..n {
         for v in (u + 1)..n {
             let same = block_of(u) == block_of(v);
-            let (p_edge, dist) = if same {
-                (cfg.p_intra, cfg.intra_dist)
-            } else {
-                (cfg.p_inter, cfg.inter_dist)
-            };
+            let (p_edge, dist) =
+                if same { (cfg.p_intra, cfg.intra_dist) } else { (cfg.p_inter, cfg.inter_dist) };
             if rng.gen::<f64>() < p_edge {
                 b.add_edge(u as u32, v as u32, dist.sample(&mut rng)).expect("valid edge");
             }

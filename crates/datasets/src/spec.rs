@@ -48,7 +48,9 @@ impl DatasetSpec {
             DatasetSpec::Collins => (1004, 8323),
             DatasetSpec::Gavin => (1727, 7534),
             DatasetSpec::Krogan => (2559, 7031),
-            DatasetSpec::Dblp { .. } => (crate::dblp::DBLP_PAPER_NODES, crate::dblp::DBLP_PAPER_EDGES),
+            DatasetSpec::Dblp { .. } => {
+                (crate::dblp::DBLP_PAPER_NODES, crate::dblp::DBLP_PAPER_EDGES)
+            }
         }
     }
 
@@ -72,68 +74,58 @@ impl DatasetSpec {
             DatasetSpec::Collins => {
                 // Target 1004 n / 8323 e; Collins is dense (avg deg 16.6)
                 // with pronounced complexes.
-                self.build_ppi(
-                    PpiConfig {
-                        num_proteins: 1004,
-                        num_complexes: 60,
-                        complex_size_range: (5, 12),
-                        intra_density: 0.85,
-                        background_edges: 7050,
-                        prob_dist: ProbDistribution::HighConfidence,
-                        intra_prob_dist: ProbDistribution::Uniform(0.9, 1.0),
-                        seed,
-                    },
-                )
+                self.build_ppi(PpiConfig {
+                    num_proteins: 1004,
+                    num_complexes: 60,
+                    complex_size_range: (5, 12),
+                    intra_density: 0.85,
+                    background_edges: 7050,
+                    prob_dist: ProbDistribution::HighConfidence,
+                    intra_prob_dist: ProbDistribution::Uniform(0.9, 1.0),
+                    seed,
+                })
             }
             DatasetSpec::Gavin => {
                 // Target 1727 n / 7534 e (avg deg 8.7), low probabilities.
-                self.build_ppi(
-                    PpiConfig {
-                        num_proteins: 1727,
-                        num_complexes: 70,
-                        complex_size_range: (4, 10),
-                        intra_density: 0.7,
-                        background_edges: 6680,
-                        prob_dist: ProbDistribution::LowConfidence,
-                        intra_prob_dist: ProbDistribution::TwoBand {
-                            frac_high: 0.3,
-                            high: (0.5, 0.9),
-                            low: (0.08, 0.45),
-                        },
-                        seed,
+                self.build_ppi(PpiConfig {
+                    num_proteins: 1727,
+                    num_complexes: 70,
+                    complex_size_range: (4, 10),
+                    intra_density: 0.7,
+                    background_edges: 6680,
+                    prob_dist: ProbDistribution::LowConfidence,
+                    intra_prob_dist: ProbDistribution::TwoBand {
+                        frac_high: 0.3,
+                        high: (0.5, 0.9),
+                        low: (0.08, 0.45),
                     },
-                )
+                    seed,
+                })
             }
             DatasetSpec::Krogan => {
                 // Target 2559 n / 7031 e (avg deg 5.5), mixture distribution.
-                self.build_ppi(
-                    PpiConfig {
-                        num_proteins: 2559,
-                        num_complexes: 90,
-                        complex_size_range: (4, 9),
-                        intra_density: 0.6,
-                        // Overall histogram stays on the published Krogan
-                        // mixture (~25% above 0.9): complexes take the high
-                        // band, the background keeps a thinner high share.
-                        background_edges: 5850,
-                        prob_dist: ProbDistribution::TwoBand {
-                            frac_high: 0.125,
-                            high: (0.9, 1.0),
-                            low: (0.27, 0.9),
-                        },
-                        intra_prob_dist: ProbDistribution::Uniform(0.88, 1.0),
-                        seed,
+                self.build_ppi(PpiConfig {
+                    num_proteins: 2559,
+                    num_complexes: 90,
+                    complex_size_range: (4, 9),
+                    intra_density: 0.6,
+                    // Overall histogram stays on the published Krogan
+                    // mixture (~25% above 0.9): complexes take the high
+                    // band, the background keeps a thinner high share.
+                    background_edges: 5850,
+                    prob_dist: ProbDistribution::TwoBand {
+                        frac_high: 0.125,
+                        high: (0.9, 1.0),
+                        low: (0.27, 0.9),
                     },
-                )
+                    intra_prob_dist: ProbDistribution::Uniform(0.88, 1.0),
+                    seed,
+                })
             }
             DatasetSpec::Dblp { scale } => {
                 let g = dblp_like(&DblpConfig { scale: *scale, seed, ..Default::default() });
                 let lcc = largest_connected_component(&g);
-                GeneratedDataset {
-                    name: self.name(),
-                    graph: lcc.graph,
-                    ground_truth: None,
-                }
+                GeneratedDataset { name: self.name(), graph: lcc.graph, ground_truth: None }
             }
         }
     }
@@ -145,16 +137,10 @@ impl DatasetSpec {
         let ground_truth: Vec<Vec<NodeId>> = dataset
             .complexes
             .iter()
-            .map(|complex| {
-                complex.iter().filter_map(|&p| to_local[p.index()]).collect::<Vec<_>>()
-            })
+            .map(|complex| complex.iter().filter_map(|&p| to_local[p.index()]).collect::<Vec<_>>())
             .filter(|c: &Vec<NodeId>| c.len() >= 2)
             .collect();
-        GeneratedDataset {
-            name: self.name(),
-            graph: lcc.graph,
-            ground_truth: Some(ground_truth),
-        }
+        GeneratedDataset { name: self.name(), graph: lcc.graph, ground_truth: Some(ground_truth) }
     }
 }
 
@@ -187,9 +173,7 @@ mod tests {
 
     #[test]
     fn generated_graphs_are_connected() {
-        for spec in
-            [DatasetSpec::Collins, DatasetSpec::Gavin, DatasetSpec::Dblp { scale: 0.005 }]
-        {
+        for spec in [DatasetSpec::Collins, DatasetSpec::Gavin, DatasetSpec::Dblp { scale: 0.005 }] {
             let d = spec.generate(3);
             let (_, count) = connected_components(&d.graph);
             assert_eq!(count, 1, "{} LCC must be connected", d.name);
@@ -219,11 +203,7 @@ mod tests {
     fn krogan_mixture_shape_survives_generation() {
         let d = DatasetSpec::Krogan.generate(7);
         let s = GraphStats::compute(&d.graph);
-        assert!(
-            (s.frac_high_prob - 0.25).abs() < 0.06,
-            "fraction above 0.9: {}",
-            s.frac_high_prob
-        );
+        assert!((s.frac_high_prob - 0.25).abs() < 0.06, "fraction above 0.9: {}", s.frac_high_prob);
         assert!(s.min_prob >= 0.26);
     }
 

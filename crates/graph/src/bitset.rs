@@ -82,9 +82,7 @@ impl Bitset {
 
     /// Iterates over the indices of one bits in increasing order.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockOnes { block, base: bi * BITS }
-        })
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| BlockOnes { block, base: bi * BITS })
     }
 
     /// In-place union with `other`.

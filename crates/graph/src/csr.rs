@@ -83,10 +83,7 @@ impl Csr {
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let lo = self.offsets[u.index()] as usize;
         let hi = self.offsets[u.index() + 1] as usize;
-        self.targets[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.edge_ids[lo..hi].iter().copied())
+        self.targets[lo..hi].iter().copied().zip(self.edge_ids[lo..hi].iter().copied())
     }
 
     /// Neighbor slice of `u` (targets only).
@@ -140,8 +137,7 @@ mod tests {
     #[test]
     fn neighbors_carry_edge_ids() {
         let csr = triangle_plus_pendant();
-        let mut nbrs: Vec<(u32, u32)> =
-            csr.neighbors(NodeId(2)).map(|(n, e)| (n.0, e.0)).collect();
+        let mut nbrs: Vec<(u32, u32)> = csr.neighbors(NodeId(2)).map(|(n, e)| (n.0, e.0)).collect();
         nbrs.sort_unstable();
         assert_eq!(nbrs, vec![(0, 2), (1, 1), (3, 3)]);
     }

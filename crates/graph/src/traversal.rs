@@ -142,12 +142,7 @@ impl DepthBfs {
     }
 
     /// Number of nodes within `depth_limit` hops of `source` (including it).
-    pub fn count_within(
-        &mut self,
-        g: &impl Adjacency,
-        source: NodeId,
-        depth_limit: u32,
-    ) -> usize {
+    pub fn count_within(&mut self, g: &impl Adjacency, source: NodeId, depth_limit: u32) -> usize {
         let mut count = 0usize;
         self.run(g, source, depth_limit, |_, _| count += 1);
         count

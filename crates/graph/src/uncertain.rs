@@ -24,11 +24,7 @@ impl UncertainGraph {
     /// Assembles a graph from parts. Crate-internal: the public path is
     /// [`GraphBuilder::build`](crate::GraphBuilder::build), which upholds the
     /// invariants (canonical endpoints, valid probabilities, no duplicates).
-    pub(crate) fn from_parts(
-        n: usize,
-        endpoints: Vec<(NodeId, NodeId)>,
-        probs: Vec<f64>,
-    ) -> Self {
+    pub(crate) fn from_parts(n: usize, endpoints: Vec<(NodeId, NodeId)>, probs: Vec<f64>) -> Self {
         debug_assert_eq!(endpoints.len(), probs.len());
         let csr = Csr::from_edges(n, &endpoints);
         UncertainGraph { csr, endpoints, probs }

@@ -18,11 +18,7 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            num_sets: n,
-        }
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], num_sets: n }
     }
 
     /// Number of elements.
@@ -66,11 +62,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
-            (rb, ra)
-        } else {
-            (ra, rb)
-        };
+        let (ra, rb) =
+            if self.rank[ra as usize] < self.rank[rb as usize] { (rb, ra) } else { (ra, rb) };
         self.parent[rb as usize] = ra;
         if self.rank[ra as usize] == self.rank[rb as usize] {
             self.rank[ra as usize] += 1;

@@ -179,10 +179,7 @@ mod tests {
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(5);
         // Only {0,1} clustered; the rest outliers.
-        let c = Clustering::new(
-            vec![NodeId(0)],
-            vec![Some(0), Some(0), None, None, None, None],
-        );
+        let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), None, None, None, None]);
         let m = avpr(&pool, &c);
         assert_eq!(m.inner, 1.0);
         assert_eq!(m.outer, 0.0, "no covered cross pairs exist");

@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn everything_in_one_cluster() {
         let complexes = vec![node_vec(&[0, 1]), node_vec(&[2, 3])];
-        let clustering = Clustering::new(
-            vec![NodeId(0)],
-            vec![Some(0), Some(0), Some(0), Some(0)],
-        );
+        let clustering = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0), Some(0)]);
         let m = confusion(&clustering, &complexes);
         // All 6 restricted pairs predicted positive; 2 are true.
         assert_eq!(m, ConfusionMatrix { tp: 2, fp: 4, fn_: 0, tn: 0 });
@@ -165,8 +162,7 @@ mod tests {
     #[test]
     fn all_singletons_predict_nothing() {
         let complexes = vec![node_vec(&[0, 1])];
-        let clustering =
-            Clustering::new(vec![NodeId(0), NodeId(1)], vec![Some(0), Some(1)]);
+        let clustering = Clustering::new(vec![NodeId(0), NodeId(1)], vec![Some(0), Some(1)]);
         let m = confusion(&clustering, &complexes);
         assert_eq!(m, ConfusionMatrix { tp: 0, fp: 0, fn_: 1, tn: 0 });
         assert_eq!(m.tpr(), 0.0);
@@ -181,18 +177,7 @@ mod tests {
         let complexes = vec![node_vec(&[0, 1])];
         let clustering = Clustering::new(
             vec![NodeId(0)],
-            vec![
-                Some(0),
-                Some(0),
-                None,
-                None,
-                None,
-                None,
-                None,
-                None,
-                None,
-                Some(0),
-            ],
+            vec![Some(0), Some(0), None, None, None, None, None, None, None, Some(0)],
         );
         let m = confusion(&clustering, &complexes);
         assert_eq!(m, ConfusionMatrix { tp: 1, fp: 0, fn_: 0, tn: 0 });
@@ -203,10 +188,7 @@ mod tests {
         // {0,1,2} and {1,2,3}: pair (1,2) appears in both but is one
         // positive.
         let complexes = vec![node_vec(&[0, 1, 2]), node_vec(&[1, 2, 3])];
-        let clustering = Clustering::new(
-            vec![NodeId(0)],
-            vec![Some(0), Some(0), Some(0), Some(0)],
-        );
+        let clustering = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0), Some(0)]);
         let m = confusion(&clustering, &complexes);
         // positives: (0,1),(0,2),(1,2),(1,3),(2,3) = 5; total pairs C(4,2)=6.
         assert_eq!(m.tp, 5);

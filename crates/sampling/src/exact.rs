@@ -7,9 +7,7 @@
 //! is exactly its role here: ground truth for estimator tests, optimality
 //! brute-forcing on small instances, and the `reliability_oracle` example.
 
-use ugraph_graph::{
-    bfs_distances, Bitset, NodeId, UncertainGraph, UnionFind, WorldView,
-};
+use ugraph_graph::{bfs_distances, Bitset, NodeId, UncertainGraph, UnionFind, WorldView};
 
 /// Error raised when a graph is too large for exhaustive enumeration.
 #[derive(Debug, Clone, PartialEq, Eq)]

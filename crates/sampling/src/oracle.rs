@@ -54,6 +54,11 @@ pub trait Oracle {
 
 /// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
 /// a progressive [`ComponentPool`].
+///
+/// Both pool growth ([`Oracle::prepare`]) and estimation
+/// ([`Oracle::center_probs`], [`Oracle::pair_prob`]) run on rayon with the
+/// pool's configured thread count; per-index RNG streams and integer count
+/// merging make every estimate bit-identical across thread counts.
 pub struct McOracle<'g> {
     pool: ComponentPool<'g>,
     schedule: SampleSchedule,
@@ -72,7 +77,12 @@ impl<'g> McOracle<'g> {
         epsilon: f64,
     ) -> Self {
         let n = graph.num_nodes();
-        McOracle { pool: ComponentPool::new(graph, seed, threads), schedule, epsilon, counts: vec![0; n] }
+        McOracle {
+            pool: ComponentPool::new(graph, seed, threads),
+            schedule,
+            epsilon,
+            counts: vec![0; n],
+        }
     }
 
     /// Read access to the sample pool (used by the metrics crate, which
@@ -126,6 +136,10 @@ impl Oracle for McOracle<'_> {
 /// `d_select` is the selection depth `d'` (paths counted when choosing a
 /// center, Algorithm 4 line 5) and `d_cover` the cover depth `d` (paths
 /// counted when removing covered nodes, line 8); `d_select ≤ d_cover`.
+///
+/// Like [`McOracle`], preparation and estimation are rayon-parallel with
+/// thread-count-independent results (parallel workers build their own
+/// bounded-BFS workspaces).
 pub struct DepthMcOracle<'g> {
     pool: WorldPool<'g>,
     schedule: SampleSchedule,
@@ -311,8 +325,7 @@ mod tests {
     #[test]
     fn depth_oracle_select_below_cover() {
         let g = chain(5, 1.0);
-        let mut o =
-            DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3);
+        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3);
         o.prepare(1.0);
         let mut sel = vec![0.0; 5];
         let mut cov = vec![0.0; 5];
@@ -325,8 +338,7 @@ mod tests {
     #[test]
     fn depth_oracle_pair_prob_uses_cover_depth() {
         let g = chain(4, 1.0);
-        let mut o =
-            DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2);
+        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2);
         o.prepare(1.0);
         assert_eq!(o.pair_prob(NodeId(0), NodeId(2)), 1.0);
         assert_eq!(o.pair_prob(NodeId(0), NodeId(3)), 0.0);

@@ -8,19 +8,102 @@
 //! paper. Because sample `i` is generated from a per-index RNG (see
 //! [`crate::rng`]), the pool contents are independent of the growth
 //! schedule and of the number of worker threads.
+//!
+//! ## Parallelism
+//!
+//! Both world generation (`ensure`) and the Monte-Carlo aggregation queries
+//! (`counts_from_center`, `counts_within_depths`, `pair_count*`) run on
+//! rayon. Generation maps each sample index through its own RNG stream
+//! (`map_init` reuses per-worker union-find / bitset scratch); queries
+//! partition the sample rows into chunks, accumulate per-chunk count
+//! vectors, and merge them. Counts are integers, so the merged result — and
+//! therefore every estimate — is bit-identical no matter how many threads
+//! run, which the property tests assert.
 
-use std::num::NonZeroUsize;
+use rayon::prelude::*;
 
 use ugraph_graph::{Bitset, DepthBfs, NodeId, UncertainGraph, UnionFind, WorldView};
 
 use crate::world::WorldSampler;
 
-/// Resolves a thread-count request: 0 means "all available cores".
-fn resolve_threads(requested: usize) -> usize {
-    if requested != 0 {
-        return requested;
+/// Below this many items a parallel pass costs more than it saves.
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Minimum estimated work units (`items × per-item cost`) before a query
+/// takes the parallel path — below this, parallel dispatch (worker wake-up
+/// under real rayon, scoped-thread spawn under the vendored subset) costs
+/// more than the accumulation it distributes.
+const MIN_PARALLEL_WORK: usize = 1 << 16;
+
+/// The pool's rayon configuration, resolved **once** at pool construction —
+/// re-resolving the worker count (a syscall) or rebuilding a pinned pool on
+/// every query would burden the clustering inner loop.
+///
+/// `threads == 0` (the default) runs on the ambient/global rayon pool; any
+/// other value pins a dedicated worker pool (persistent workers under real
+/// rayon, a cheap scoped-thread handle under the vendored subset).
+#[derive(Clone, Debug)]
+struct ThreadConfig {
+    /// Resolved worker count (never 0).
+    workers: usize,
+    /// The dedicated pool, shared across pool clones; `None` = ambient.
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+}
+
+impl ThreadConfig {
+    fn new(threads: usize) -> Self {
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            threads
+        };
+        let pool = (threads != 0).then(|| {
+            std::sync::Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build sampling thread pool"),
+            )
+        });
+        ThreadConfig { workers, pool }
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+
+    /// Runs `op` with this configuration's worker count governing rayon.
+    fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
+
+    /// Whether parallel generation of `count` new samples is worthwhile.
+    /// Sampling a world is always expensive (one Bernoulli draw per edge),
+    /// so any non-trivial batch parallelizes.
+    fn parallel_generation(&self, count: usize) -> bool {
+        count >= 4 && self.workers > 1
+    }
+
+    /// Whether a query over `items` sample rows, costing roughly
+    /// `per_item_work` units each, should take the parallel path.
+    fn parallel_query(&self, items: usize, per_item_work: usize) -> bool {
+        self.workers > 1
+            && items >= MIN_PARALLEL_ITEMS
+            && items.saturating_mul(per_item_work.max(1)) >= MIN_PARALLEL_WORK
+    }
+
+    /// Chunk size that spreads `items` evenly over the workers.
+    fn chunk_size(&self, items: usize) -> usize {
+        items.div_ceil(self.workers).max(1)
+    }
+}
+
+/// Element-wise `a[i] += b[i]`, the merge step of chunked count queries.
+fn merge_counts(mut a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+    a
 }
 
 /// One sampled world reduced to its connected-component partition.
@@ -72,7 +155,7 @@ impl SampleRow {
 pub struct ComponentPool<'g> {
     sampler: WorldSampler<'g>,
     rows: Vec<SampleRow>,
-    threads: usize,
+    config: ThreadConfig,
 }
 
 impl<'g> ComponentPool<'g> {
@@ -82,7 +165,7 @@ impl<'g> ComponentPool<'g> {
         ComponentPool {
             sampler: WorldSampler::new(graph, seed),
             rows: Vec::new(),
-            threads: resolve_threads(threads),
+            config: ThreadConfig::new(threads),
         }
     }
 
@@ -97,51 +180,41 @@ impl<'g> ComponentPool<'g> {
     }
 
     /// Grows the pool to at least `r` samples (no-op if already there).
+    ///
+    /// Samples are drawn in parallel; sample `i` always comes from RNG
+    /// stream `i`, so the result is independent of the thread count.
     pub fn ensure(&mut self, r: usize) {
         let cur = self.rows.len();
         if r <= cur {
             return;
         }
-        let new = self.generate_rows(cur as u64, r as u64);
-        self.rows.extend(new);
-    }
-
-    fn generate_rows(&self, from: u64, to: u64) -> Vec<SampleRow> {
         let n = self.graph().num_nodes();
-        let count = (to - from) as usize;
-        let make_range = |lo: u64, hi: u64| {
+        let sampler = self.sampler;
+        if !self.config.parallel_generation(r - cur) {
             let mut uf = UnionFind::new(n);
-            let mut out = Vec::with_capacity((hi - lo) as usize);
             let mut labels = vec![0u32; n];
-            for i in lo..hi {
-                let comps = self.sampler.sample_components(i, &mut uf, &mut labels);
-                out.push(SampleRow::from_labels(std::mem::replace(&mut labels, vec![0u32; n]), comps));
+            for i in cur as u64..r as u64 {
+                let comps = sampler.sample_components(i, &mut uf, &mut labels);
+                self.rows.push(SampleRow::from_labels(
+                    std::mem::replace(&mut labels, vec![0u32; n]),
+                    comps,
+                ));
             }
-            out
-        };
-        let threads = self.threads.min(count.max(1));
-        if threads <= 1 || count < 4 {
-            return make_range(from, to);
+            return;
         }
-        // Contiguous chunks per thread; deterministic because each sample
-        // index has its own RNG stream.
-        let chunk = count.div_ceil(threads);
-        let mut results: Vec<Vec<SampleRow>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = from + (t * chunk) as u64;
-                let hi = to.min(from + ((t + 1) * chunk) as u64);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move || make_range(lo, hi)));
-            }
-            for h in handles {
-                results.push(h.join().expect("sample generation thread panicked"));
-            }
+        let new_rows: Vec<SampleRow> = self.config.run(|| {
+            (cur as u64..r as u64)
+                .into_par_iter()
+                .map_init(
+                    || (UnionFind::new(n), vec![0u32; n]),
+                    |(uf, labels), i| {
+                        let comps = sampler.sample_components(i, uf, labels);
+                        SampleRow::from_labels(std::mem::replace(labels, vec![0u32; n]), comps)
+                    },
+                )
+                .collect()
         });
-        results.into_iter().flatten().collect()
+        self.rows.extend(new_rows);
     }
 
     /// Component labels of sample `i` (one per node).
@@ -164,27 +237,52 @@ impl<'g> ComponentPool<'g> {
     ///
     /// Runs in `Σ_i |comp_i(center)|` — only the center's component members
     /// are touched per sample, which on sparse sampled worlds is far below
-    /// `n·r`.
+    /// `n·r`. Sample rows are processed in parallel chunks; integer count
+    /// merging keeps the result independent of the chunking.
     ///
     /// # Panics
     /// Panics if `out.len() != n`.
     pub fn counts_from_center(&self, center: NodeId, out: &mut [u32]) {
-        assert_eq!(out.len(), self.graph().num_nodes(), "counts buffer has wrong length");
-        out.fill(0);
-        for row in &self.rows {
-            let label = row.labels[center.index()];
-            for &u in row.members(label) {
-                out[u as usize] += 1;
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        let accumulate = |counts: &mut [u32], rows: &[SampleRow]| {
+            for row in rows {
+                let label = row.labels[center.index()];
+                for &u in row.members(label) {
+                    counts[u as usize] += 1;
+                }
             }
+        };
+        if !self.config.parallel_query(self.rows.len(), n) {
+            out.fill(0);
+            accumulate(out, &self.rows);
+            return;
         }
+        let merged = self.config.run(|| {
+            self.rows
+                .par_chunks(self.config.chunk_size(self.rows.len()))
+                .map(|rows| {
+                    let mut counts = vec![0u32; n];
+                    accumulate(&mut counts, rows);
+                    counts
+                })
+                .reduce(|| vec![0u32; n], merge_counts)
+        });
+        out.copy_from_slice(&merged);
     }
 
     /// Number of samples where `u` and `v` are connected.
     pub fn pair_count(&self, u: NodeId, v: NodeId) -> usize {
-        self.rows
-            .iter()
-            .filter(|row| row.labels[u.index()] == row.labels[v.index()])
-            .count()
+        let connected = |row: &SampleRow| row.labels[u.index()] == row.labels[v.index()];
+        if !self.config.parallel_query(self.rows.len(), 1) {
+            return self.rows.iter().filter(|row| connected(row)).count();
+        }
+        self.config.run(|| {
+            self.rows
+                .par_chunks(self.config.chunk_size(self.rows.len()))
+                .map(|rows| rows.iter().filter(|row| connected(row)).count())
+                .sum()
+        })
     }
 
     /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
@@ -202,7 +300,7 @@ impl<'g> ComponentPool<'g> {
 pub struct WorldPool<'g> {
     sampler: WorldSampler<'g>,
     worlds: Vec<Bitset>,
-    threads: usize,
+    config: ThreadConfig,
 }
 
 impl<'g> WorldPool<'g> {
@@ -212,7 +310,7 @@ impl<'g> WorldPool<'g> {
         WorldPool {
             sampler: WorldSampler::new(graph, seed),
             worlds: Vec::new(),
-            threads: resolve_threads(threads),
+            config: ThreadConfig::new(threads),
         }
     }
 
@@ -226,48 +324,34 @@ impl<'g> WorldPool<'g> {
         self.worlds.len()
     }
 
-    /// Grows the pool to at least `r` worlds.
+    /// Grows the pool to at least `r` worlds, sampling in parallel (world
+    /// `i` always comes from RNG stream `i`).
     pub fn ensure(&mut self, r: usize) {
         let cur = self.worlds.len();
         if r <= cur {
             return;
         }
         let m = self.graph().num_edges();
-        let count = r - cur;
-        let make_range = |lo: u64, hi: u64| {
-            let mut out = Vec::with_capacity((hi - lo) as usize);
-            for i in lo..hi {
-                let mut b = Bitset::with_len(m);
-                self.sampler.sample_into(i, &mut b);
-                out.push(b);
+        let sampler = self.sampler;
+        if !self.config.parallel_generation(r - cur) {
+            for i in cur as u64..r as u64 {
+                let mut world = Bitset::with_len(m);
+                sampler.sample_into(i, &mut world);
+                self.worlds.push(world);
             }
-            out
-        };
-        let threads = self.threads.min(count.max(1));
-        if threads <= 1 || count < 4 {
-            let new = make_range(cur as u64, r as u64);
-            self.worlds.extend(new);
             return;
         }
-        let chunk = count.div_ceil(threads);
-        let mut results: Vec<Vec<Bitset>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = cur as u64 + (t * chunk) as u64;
-                let hi = (r as u64).min(cur as u64 + ((t + 1) * chunk) as u64);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move || make_range(lo, hi)));
-            }
-            for h in handles {
-                results.push(h.join().expect("world generation thread panicked"));
-            }
+        let new_worlds: Vec<Bitset> = self.config.run(|| {
+            (cur as u64..r as u64)
+                .into_par_iter()
+                .map(|i| {
+                    let mut world = Bitset::with_len(m);
+                    sampler.sample_into(i, &mut world);
+                    world
+                })
+                .collect()
         });
-        for batch in results {
-            self.worlds.extend(batch);
-        }
+        self.worlds.extend(new_worlds);
     }
 
     /// The edge bitset of world `i`.
@@ -282,7 +366,8 @@ impl<'g> WorldPool<'g> {
     /// * `out_cover[u]`  = #worlds with `dist(center, u) ≤ d_cover`.
     ///
     /// Requires `d_select ≤ d_cover` (one bounded BFS per world covers
-    /// both). `bfs` is a reusable workspace sized for the graph.
+    /// both). `bfs` is a reusable workspace sized for the graph; parallel
+    /// chunks build their own BFS workspaces internally.
     ///
     /// # Panics
     /// Panics on buffer-size mismatch or `d_select > d_cover`.
@@ -299,35 +384,76 @@ impl<'g> WorldPool<'g> {
         assert_eq!(out_select.len(), n, "select buffer has wrong length");
         assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
         assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
-        out_select.fill(0);
-        out_cover.fill(0);
-        for world in &self.worlds {
-            let view = WorldView::new(self.graph(), world);
-            bfs.run(&view, center, d_cover, |node, depth| {
-                out_cover[node.index()] += 1;
-                if depth <= d_select {
-                    out_select[node.index()] += 1;
+        let accumulate =
+            |select: &mut [u32], cover: &mut [u32], bfs: &mut DepthBfs, worlds: &[Bitset]| {
+                for world in worlds {
+                    let view = WorldView::new(self.graph(), world);
+                    bfs.run(&view, center, d_cover, |node, depth| {
+                        cover[node.index()] += 1;
+                        if depth <= d_select {
+                            select[node.index()] += 1;
+                        }
+                    });
                 }
-            });
+            };
+        if !self.config.parallel_query(self.worlds.len(), n) {
+            out_select.fill(0);
+            out_cover.fill(0);
+            accumulate(out_select, out_cover, bfs, &self.worlds);
+            return;
         }
+        let (select, cover) = self.config.run(|| {
+            self.worlds
+                .par_chunks(self.config.chunk_size(self.worlds.len()))
+                .map_init(
+                    || DepthBfs::new(n),
+                    |bfs, worlds| {
+                        let mut select = vec![0u32; n];
+                        let mut cover = vec![0u32; n];
+                        accumulate(&mut select, &mut cover, bfs, worlds);
+                        (select, cover)
+                    },
+                )
+                .reduce(
+                    || (vec![0u32; n], vec![0u32; n]),
+                    |(s1, c1), (s2, c2)| (merge_counts(s1, s2), merge_counts(c1, c2)),
+                )
+        });
+        out_select.copy_from_slice(&select);
+        out_cover.copy_from_slice(&cover);
     }
 
     /// Number of worlds where `dist(u, v) ≤ depth`.
     pub fn pair_count_within(&self, u: NodeId, v: NodeId, depth: u32, bfs: &mut DepthBfs) -> usize {
-        let mut count = 0usize;
-        for world in &self.worlds {
+        let n = self.graph().num_nodes();
+        let world_hits = |bfs: &mut DepthBfs, world: &Bitset| {
             let view = WorldView::new(self.graph(), world);
             let mut hit = false;
             bfs.run(&view, u, depth, |node, _| hit |= node == v);
-            if hit {
-                count += 1;
-            }
+            hit
+        };
+        if !self.config.parallel_query(self.worlds.len(), n) {
+            return self.worlds.iter().filter(|world| world_hits(bfs, world)).count();
         }
-        count
+        self.config.run(|| {
+            self.worlds
+                .par_chunks(self.config.chunk_size(self.worlds.len()))
+                .map_init(
+                    || DepthBfs::new(n),
+                    |bfs, worlds| worlds.iter().filter(|world| world_hits(bfs, world)).count(),
+                )
+                .sum()
+        })
     }
 
     /// Estimator of the d-connection probability `Pr(u ~d~ v)`.
-    pub fn pair_estimate_within(&self, u: NodeId, v: NodeId, depth: u32, bfs: &mut DepthBfs) -> f64 {
+    pub fn pair_estimate_within(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        bfs: &mut DepthBfs,
+    ) -> f64 {
         if self.worlds.is_empty() {
             return 0.0;
         }
@@ -401,8 +527,9 @@ mod tests {
                     assert_eq!(labels[u as usize], c);
                 }
             }
-            let total: usize =
-                (0..pool.component_count(i) as u32).map(|c| pool.component_members(i, c).len()).sum();
+            let total: usize = (0..pool.component_count(i) as u32)
+                .map(|c| pool.component_members(i, c).len())
+                .sum();
             assert_eq!(total, g.num_nodes());
         }
     }
@@ -420,6 +547,42 @@ mod tests {
         }
         // The center is connected to itself in every sample.
         assert_eq!(counts[3] as usize, 50);
+    }
+
+    #[test]
+    fn parallel_counts_match_serial_counts() {
+        // 64 nodes × 1100 rows clears the MIN_PARALLEL_WORK gate, so the
+        // 4-worker pool genuinely takes the chunked parallel path.
+        let g = chain(64, 0.55);
+        let mut serial = ComponentPool::new(&g, 13, 1);
+        let mut parallel = ComponentPool::new(&g, 13, 4);
+        serial.ensure(1100);
+        parallel.ensure(1100);
+        let mut counts_serial = vec![0u32; 64];
+        let mut counts_parallel = vec![0u32; 64];
+        for center in [0u32, 21, 42, 63] {
+            serial.counts_from_center(NodeId(center), &mut counts_serial);
+            parallel.counts_from_center(NodeId(center), &mut counts_parallel);
+            assert_eq!(counts_serial, counts_parallel, "center {center}");
+        }
+    }
+
+    #[test]
+    fn parallel_pair_counts_match_serial() {
+        // pair_count is O(1) per row, so its parallel path needs a pool
+        // larger than MIN_PARALLEL_WORK rows.
+        let g = chain(8, 0.5);
+        let mut serial = ComponentPool::new(&g, 17, 1);
+        let mut parallel = ComponentPool::new(&g, 17, 4);
+        serial.ensure(70_000);
+        parallel.ensure(70_000);
+        for v in 1..8u32 {
+            assert_eq!(
+                serial.pair_count(NodeId(0), NodeId(v)),
+                parallel.pair_count(NodeId(0), NodeId(v)),
+                "pair (0, {v})"
+            );
+        }
     }
 
     #[test]
@@ -462,6 +625,33 @@ mod tests {
         pool.counts_within_depths(NodeId(0), 1, 2, &mut sel, &mut cov, &mut bfs);
         assert_eq!(sel, vec![5, 5, 0, 0]);
         assert_eq!(cov, vec![5, 5, 5, 0]);
+    }
+
+    #[test]
+    fn parallel_depth_counts_match_serial() {
+        // 64 nodes × 1100 worlds clears the MIN_PARALLEL_WORK gate for the
+        // depth-limited queries (per-item work ≈ n).
+        let g = chain(64, 0.6);
+        let mut serial = WorldPool::new(&g, 21, 1);
+        let mut parallel = WorldPool::new(&g, 21, 4);
+        serial.ensure(1100);
+        parallel.ensure(1100);
+        let mut bfs = DepthBfs::new(64);
+        let (mut s1, mut c1) = (vec![0u32; 64], vec![0u32; 64]);
+        let (mut s2, mut c2) = (vec![0u32; 64], vec![0u32; 64]);
+        for center in [0u32, 21, 42, 63] {
+            serial.counts_within_depths(NodeId(center), 2, 4, &mut s1, &mut c1, &mut bfs);
+            parallel.counts_within_depths(NodeId(center), 2, 4, &mut s2, &mut c2, &mut bfs);
+            assert_eq!(s1, s2, "select counts differ at center {center}");
+            assert_eq!(c1, c2, "cover counts differ at center {center}");
+        }
+        for v in [1u32, 31, 63] {
+            assert_eq!(
+                serial.pair_count_within(NodeId(0), NodeId(v), 3, &mut bfs),
+                parallel.pair_count_within(NodeId(0), NodeId(v), 3, &mut bfs),
+                "pair counts differ for (0, {v})"
+            );
+        }
     }
 
     #[test]

@@ -19,11 +19,7 @@ use crate::pool::{ComponentPool, WorldPool};
 ///
 /// This is the reliability variant of the k-NN query of Potamias et al.,
 /// using majority semantics over the sample pool.
-pub fn reliability_knn(
-    pool: &ComponentPool<'_>,
-    source: NodeId,
-    k: usize,
-) -> Vec<(NodeId, f64)> {
+pub fn reliability_knn(pool: &ComponentPool<'_>, source: NodeId, k: usize) -> Vec<(NodeId, f64)> {
     let n = pool.graph().num_nodes();
     let r = pool.num_samples();
     assert!(r > 0, "sample pool is empty");
@@ -205,10 +201,12 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(10);
-        assert!(most_reliable_source(&pool, &[], &[NodeId(1)], SourceObjective::default())
-            .is_none());
-        assert!(most_reliable_source(&pool, &[NodeId(0)], &[], SourceObjective::default())
-            .is_none());
+        assert!(
+            most_reliable_source(&pool, &[], &[NodeId(1)], SourceObjective::default()).is_none()
+        );
+        assert!(
+            most_reliable_source(&pool, &[NodeId(0)], &[], SourceObjective::default()).is_none()
+        );
     }
 
     #[test]
@@ -216,13 +214,9 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 2, 1);
         pool.ensure(100);
-        let got = most_reliable_source(
-            &pool,
-            &[NodeId(1)],
-            &[NodeId(1)],
-            SourceObjective::MinToTargets,
-        )
-        .unwrap();
+        let got =
+            most_reliable_source(&pool, &[NodeId(1)], &[NodeId(1)], SourceObjective::MinToTargets)
+                .unwrap();
         assert_eq!(got, (NodeId(1), 1.0));
     }
 }

@@ -45,12 +45,7 @@ pub fn average_degree_representative(graph: &UncertainGraph) -> Bitset {
         expected[v.index()] += p;
     }
     let mut order: Vec<EdgeId> = (0..m as u32).map(EdgeId).collect();
-    order.sort_by(|&a, &b| {
-        graph
-            .prob(b)
-            .total_cmp(&graph.prob(a))
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| graph.prob(b).total_cmp(&graph.prob(a)).then(a.cmp(&b)));
     let mut degree = vec![0.0f64; n];
     let mut world = Bitset::with_len(m);
     for &e in &order {

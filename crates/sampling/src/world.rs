@@ -65,12 +65,7 @@ impl<'g> WorldSampler<'g> {
     ///
     /// # Panics
     /// Panics if `uf`/`labels` are not sized for the graph's node count.
-    pub fn sample_components(
-        &self,
-        index: u64,
-        uf: &mut UnionFind,
-        labels: &mut [u32],
-    ) -> usize {
+    pub fn sample_components(&self, index: u64, uf: &mut UnionFind, labels: &mut [u32]) -> usize {
         assert_eq!(uf.len(), self.graph.num_nodes(), "union-find sized for wrong node count");
         uf.reset();
         let mut rng = sample_rng(self.seed, index);

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use ugraph_graph::{GraphBuilder, NodeId, UncertainGraph};
-use ugraph_sampling::{ComponentPool, ExactOracle, SampleSchedule};
+use ugraph_sampling::{
+    ComponentPool, DepthMcOracle, ExactOracle, McOracle, Oracle, SampleSchedule, WorldPool,
+};
 
 /// Strategy: a small random uncertain graph with at most `max_m ≤ 12`
 /// uncertain edges, so the exact oracle stays cheap.
@@ -157,6 +159,103 @@ proptest! {
                     pool.pair_count(NodeId(c), NodeId(v))
                 );
             }
+        }
+    }
+
+    /// **Thread-count invariance**: under a fixed master seed, the
+    /// Monte-Carlo oracle returns bit-identical estimates whether its pool
+    /// is generated and queried with 1 thread, 4 threads, or all cores —
+    /// the reproducibility contract of the per-index RNG streams plus
+    /// integer count merging.
+    #[test]
+    fn mc_oracle_estimates_independent_of_thread_count(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+    ) {
+        let n = g.num_nodes();
+        let mut oracles: Vec<McOracle> = [1usize, 4, 0]
+            .iter()
+            .map(|&threads| {
+                let mut o = McOracle::new(&g, seed, threads, SampleSchedule::Fixed(400), 0.1);
+                o.prepare(0.5);
+                o
+            })
+            .collect();
+        prop_assert_eq!(oracles[0].num_samples(), 400);
+        let mut reference_select = vec![0.0; n];
+        let mut reference_cover = vec![0.0; n];
+        let mut select = vec![0.0; n];
+        let mut cover = vec![0.0; n];
+        for c in 0..n as u32 {
+            let (first, rest) = oracles.split_at_mut(1);
+            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover);
+            for o in rest {
+                o.center_probs(NodeId(c), &mut select, &mut cover);
+                // Bit-identical, not approximately equal.
+                prop_assert_eq!(&select, &reference_select, "select row differs at center {}", c);
+                prop_assert_eq!(&cover, &reference_cover, "cover row differs at center {}", c);
+            }
+        }
+        for v in 1..n as u32 {
+            let want = oracles[0].pair_prob(NodeId(0), NodeId(v));
+            for o in &mut oracles[1..] {
+                prop_assert_eq!(o.pair_prob(NodeId(0), NodeId(v)), want);
+            }
+        }
+    }
+
+    /// Thread-count invariance for the depth-limited oracle.
+    #[test]
+    fn depth_oracle_estimates_independent_of_thread_count(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        d_select in 1u32..3,
+        extra_depth in 0u32..3,
+    ) {
+        let n = g.num_nodes();
+        let d_cover = d_select + extra_depth;
+        let mut oracles: Vec<DepthMcOracle> = [1usize, 4, 0]
+            .iter()
+            .map(|&threads| {
+                let mut o = DepthMcOracle::new(
+                    &g, seed, threads, SampleSchedule::Fixed(300), 0.1, d_select, d_cover,
+                );
+                o.prepare(0.5);
+                o
+            })
+            .collect();
+        let mut reference_select = vec![0.0; n];
+        let mut reference_cover = vec![0.0; n];
+        let mut select = vec![0.0; n];
+        let mut cover = vec![0.0; n];
+        for c in 0..n as u32 {
+            let (first, rest) = oracles.split_at_mut(1);
+            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover);
+            for o in rest {
+                o.center_probs(NodeId(c), &mut select, &mut cover);
+                prop_assert_eq!(&select, &reference_select, "select row differs at center {}", c);
+                prop_assert_eq!(&cover, &reference_cover, "cover row differs at center {}", c);
+            }
+        }
+    }
+
+    /// Thread-count invariance at the pool layer: the sampled worlds
+    /// themselves (not just aggregates) are identical across thread counts.
+    #[test]
+    fn pools_identical_across_thread_counts(g in small_graph(10, 16), seed in any::<u64>()) {
+        let mut serial = ComponentPool::new(&g, seed, 1);
+        let mut parallel = ComponentPool::new(&g, seed, 4);
+        serial.ensure(120);
+        parallel.ensure(120);
+        for i in 0..120 {
+            prop_assert_eq!(serial.labels(i), parallel.labels(i), "sample {} differs", i);
+        }
+        let mut wserial = WorldPool::new(&g, seed, 1);
+        let mut wparallel = WorldPool::new(&g, seed, 4);
+        wserial.ensure(80);
+        wparallel.ensure(80);
+        for i in 0..80 {
+            prop_assert_eq!(wserial.world(i), wparallel.world(i), "world {} differs", i);
         }
     }
 

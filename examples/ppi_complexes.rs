@@ -65,12 +65,5 @@ fn main() {
 }
 
 fn print_row(name: &str, k: usize, m: &ugraph::metrics::ConfusionMatrix) {
-    println!(
-        "{:<14} {:>6} {:>8.3} {:>8.3} {:>8.3}",
-        name,
-        k,
-        m.tpr(),
-        m.fpr(),
-        m.f1()
-    );
+    println!("{:<14} {:>6} {:>8.3} {:>8.3} {:>8.3}", name, k, m.tpr(), m.fpr(), m.f1());
 }

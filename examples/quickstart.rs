@@ -49,9 +49,7 @@ fn main() {
     // independent pool for measurement.
     let mut pool = ComponentPool::new(&g, 0xE7A1, 0);
     pool.ensure(2000);
-    for (name, clustering) in
-        [("MCP", &mcp_result.clustering), ("ACP", &acp_result.clustering)]
-    {
+    for (name, clustering) in [("MCP", &mcp_result.clustering), ("ACP", &acp_result.clustering)] {
         let q = clustering_quality(&pool, clustering);
         let a = avpr(&pool, clustering);
         println!(

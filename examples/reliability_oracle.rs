@@ -31,10 +31,7 @@ fn main() {
     let exact = ExactOracle::new(&g).unwrap();
     println!("exact connection probabilities:");
     for (u, v) in [(0u32, 1u32), (0, 2), (0, 3), (0, 5)] {
-        println!(
-            "  Pr({u} ~ {v}) = {:.6}",
-            exact.pair_probability(NodeId(u), NodeId(v))
-        );
+        println!("  Pr({u} ~ {v}) = {:.6}", exact.pair_probability(NodeId(u), NodeId(v)));
     }
 
     // ── Monte-Carlo convergence ────────────────────────────────────────

@@ -31,10 +31,7 @@ fn main() {
         let r = mcp(graph, k, &cfg).expect("mcp");
         let el = t.elapsed();
         let q = clustering_quality(&pool, &r.clustering);
-        println!(
-            "{:<8} {:>8} {:>9.3} {:>9.4} {:>10.2?}",
-            gamma, r.guesses, q.p_min, r.final_q, el
-        );
+        println!("{:<8} {:>8} {:>9.3} {:>9.4} {:>10.2?}", gamma, r.guesses, q.p_min, r.final_q, el);
     }
 
     // ── α: candidate-set size in min-partial ───────────────────────────

@@ -95,9 +95,8 @@ impl Options {
         let mut o = Options { seed: 1, samples: 512, ..Default::default() };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut take = || {
-                it.next().cloned().ok_or_else(|| format!("flag {flag} expects a value"))
-            };
+            let mut take =
+                || it.next().cloned().ok_or_else(|| format!("flag {flag} expects a value"));
             match flag.as_str() {
                 "--input" => o.input = Some(take()?),
                 "--output" => o.output = Some(take()?),
@@ -144,12 +143,7 @@ fn cmd_generate(o: &Options) -> Result<(), String> {
     let out_path = o.output.as_ref().ok_or("--output is required")?;
     let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     gio::write_edge_list(&d.graph, out).map_err(|e| e.to_string())?;
-    eprintln!(
-        "wrote {}: {} nodes, {} edges",
-        out_path,
-        d.graph.num_nodes(),
-        d.graph.num_edges()
-    );
+    eprintln!("wrote {}: {} nodes, {} edges", out_path, d.graph.num_nodes(), d.graph.num_edges());
     if let Some(gt_path) = &o.ground_truth {
         let gt = d.ground_truth.ok_or("dataset has no ground truth (dblp)")?;
         let mut w = BufWriter::new(
@@ -170,7 +164,11 @@ fn cmd_stats(o: &Options) -> Result<(), String> {
     println!("{s}");
     println!("prob histogram (10 bins over (0,1]): {:?}", GraphStats::prob_histogram(&g, 10));
     let lcc = ugraph::graph::largest_connected_component(&g);
-    println!("largest connected component: {} nodes, {} edges", lcc.graph.num_nodes(), lcc.graph.num_edges());
+    println!(
+        "largest connected component: {} nodes, {} edges",
+        lcc.graph.num_nodes(),
+        lcc.graph.num_edges()
+    );
     Ok(())
 }
 
@@ -189,9 +187,7 @@ fn cmd_cluster(o: &Options) -> Result<(), String> {
             acp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?.clustering
         }
         ("gmm", _) => gmm(&g, need_k()?, o.seed).map_err(|e| e.to_string())?,
-        ("mcl", _) => {
-            mcl(&g, &MclConfig::with_inflation(o.inflation.unwrap_or(2.0))).clustering
-        }
+        ("mcl", _) => mcl(&g, &MclConfig::with_inflation(o.inflation.unwrap_or(2.0))).clustering,
         ("kpt", _) => kpt(&g, &KptConfig { edge_threshold: 0.5, seed: o.seed }),
         (other, _) => return Err(format!("unknown algorithm '{other}'")),
     };

@@ -9,14 +9,14 @@
 //!
 //! ## Crate map
 //!
-//! | module (re-export) | crate | contents |
+//! | module (re-export) | crate (directory) | contents |
 //! |---|---|---|
-//! | [`graph`] | `ugraph-graph` | uncertain-graph substrate: CSR, union-find, BFS/Dijkstra, worlds, I/O |
-//! | [`sampling`] | `ugraph-sampling` | possible-world sampling, progressive pools, exact + Monte-Carlo oracles |
-//! | [`cluster`] | `ugraph-cluster` | **the paper's contribution**: `min-partial`, MCP, ACP, depth variants |
-//! | [`baselines`] | `ugraph-baselines` | MCL, GMM (k-center), KPT comparators |
-//! | [`datasets`] | `ugraph-datasets` | Collins/Gavin/Krogan/DBLP-like generators + planted ground truth |
-//! | [`metrics`] | `ugraph-metrics` | `p_min`/`p_avg`, inner/outer-AVPR, TPR/FPR |
+//! | [`graph`] | `ugraph-graph` (`crates/graph`) | uncertain-graph substrate: CSR, union-find, BFS/Dijkstra, worlds, I/O |
+//! | [`sampling`] | `ugraph-sampling` (`crates/sampling`) | possible-world sampling, progressive pools, exact + Monte-Carlo oracles |
+//! | [`cluster`] | `ugraph-cluster` (`crates/core`) | **the paper's contribution**: `min-partial`, MCP, ACP, depth variants |
+//! | [`baselines`] | `ugraph-baselines` (`crates/baselines`) | MCL, GMM (k-center), KPT comparators |
+//! | [`datasets`] | `ugraph-datasets` (`crates/datasets`) | Collins/Gavin/Krogan/DBLP-like generators + planted ground truth |
+//! | [`metrics`] | `ugraph-metrics` (`crates/metrics`) | `p_min`/`p_avg`, inner/outer-AVPR, TPR/FPR |
 //!
 //! ## Quickstart
 //!

@@ -46,8 +46,7 @@ fn full_pipeline_all_algorithms_agree_on_separable_structure() {
 
     // Every algorithm should reconstruct the planted blocks on this
     // strongly-separated instance.
-    for (name, c) in [("mcp", &mcp_r.clustering), ("acp", &acp_r.clustering), ("gmm", &gmm_r)]
-    {
+    for (name, c) in [("mcp", &mcp_r.clustering), ("acp", &acp_r.clustering), ("gmm", &gmm_r)] {
         assert!(c.is_full(), "{name} left outliers");
         assert_eq!(c.num_clusters(), k);
         // All nodes of one block share a cluster.
@@ -55,11 +54,7 @@ fn full_pipeline_all_algorithms_agree_on_separable_structure() {
             let members: Vec<_> = (0..60).filter(|&u| blocks[u] == b).collect();
             let first = c.cluster_of(NodeId(members[0] as u32));
             for &u in &members[1..] {
-                assert_eq!(
-                    c.cluster_of(NodeId(u as u32)),
-                    first,
-                    "{name} split block {b}"
-                );
+                assert_eq!(c.cluster_of(NodeId(u as u32)), first, "{name} split block {b}");
             }
         }
     }
@@ -81,18 +76,8 @@ fn mcp_dominates_baselines_on_pmin() {
     let q_mcl = clustering_quality(&pool, &mcl_r.clustering);
     // MCP optimizes p_min: allow a small estimation slack but require
     // dominance (paper Figure 1, top row).
-    assert!(
-        q_mcp.p_min >= q_gmm.p_min - 0.05,
-        "mcp p_min {} < gmm {}",
-        q_mcp.p_min,
-        q_gmm.p_min
-    );
-    assert!(
-        q_mcp.p_min >= q_mcl.p_min - 0.05,
-        "mcp p_min {} < mcl {}",
-        q_mcp.p_min,
-        q_mcl.p_min
-    );
+    assert!(q_mcp.p_min >= q_gmm.p_min - 0.05, "mcp p_min {} < gmm {}", q_mcp.p_min, q_gmm.p_min);
+    assert!(q_mcp.p_min >= q_mcl.p_min - 0.05, "mcp p_min {} < mcl {}", q_mcp.p_min, q_mcl.p_min);
 }
 
 #[test]

@@ -45,9 +45,8 @@ fn knn_agrees_with_exact_order() {
     pool.ensure(6000);
     let knn = reliability_knn(&pool, NodeId(0), 3);
     let exact_order: Vec<u32> = {
-        let mut v: Vec<(u32, f64)> = (1..4u32)
-            .map(|u| (u, exact.pair_probability(NodeId(0), NodeId(u))))
-            .collect();
+        let mut v: Vec<(u32, f64)> =
+            (1..4u32).map(|u| (u, exact.pair_probability(NodeId(0), NodeId(u)))).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.into_iter().map(|(u, _)| u).collect()
     };
@@ -67,8 +66,7 @@ fn mcp_centers_are_reliable_sources_for_their_clusters() {
     for (i, members) in r.clustering.clusters().iter().enumerate() {
         let center = r.clustering.center(i);
         let (best, stat) =
-            most_reliable_source(&pool, members, members, SourceObjective::MinToTargets)
-                .unwrap();
+            most_reliable_source(&pool, members, members, SourceObjective::MinToTargets).unwrap();
         let center_stat = {
             let mut counts = vec![0u32; g.num_nodes()];
             pool.counts_from_center(center, &mut counts);

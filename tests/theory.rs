@@ -2,7 +2,7 @@
 //! instances (complementing the per-crate proptest suites).
 
 use ugraph::cluster::brute::brute_force_opt;
-use ugraph::cluster::{acp_with_oracle, mcp_with_oracle, min_prob, avg_prob};
+use ugraph::cluster::{acp_with_oracle, avg_prob, mcp_with_oracle, min_prob};
 use ugraph::prelude::*;
 use ugraph::sampling::{harmonic, ExactOracle, ExactOracleAdapter};
 
@@ -32,10 +32,7 @@ fn theorem3_holds_on_wheels() {
             let mut eval = ExactOracleAdapter::new(exact);
             let achieved = min_prob(&mut eval, &r.clustering);
             let bound = opt.best_min_prob.powi(2) / 1.1;
-            assert!(
-                achieved >= bound - 1e-9,
-                "wheel({ps},{pr}) k={k}: {achieved} < {bound}"
-            );
+            assert!(achieved >= bound - 1e-9, "wheel({ps},{pr}) k={k}: {achieved} < {bound}");
             assert!(achieved <= opt.best_min_prob + 1e-9);
         }
     }
@@ -54,10 +51,7 @@ fn theorem4_holds_on_wheels() {
             let mut eval = ExactOracleAdapter::new(exact);
             let achieved = avg_prob(&mut eval, &r.clustering);
             let bound = (opt.best_avg_prob / (1.1 * harmonic(7))).powi(3);
-            assert!(
-                achieved >= bound - 1e-9,
-                "wheel({ps},{pr}) k={k}: {achieved} < {bound}"
-            );
+            assert!(achieved >= bound - 1e-9, "wheel({ps},{pr}) k={k}: {achieved} < {bound}");
         }
     }
 }
@@ -68,9 +62,7 @@ fn monte_carlo_mcp_close_to_exact_oracle_result() {
     // noise of the exact-oracle pipeline's objective value.
     let g = wheel(0.8, 0.4);
     let k = 2;
-    let cfg = ClusterConfig::default()
-        .with_seed(6)
-        .with_schedule(SampleSchedule::Fixed(4000));
+    let cfg = ClusterConfig::default().with_seed(6).with_schedule(SampleSchedule::Fixed(4000));
     let mc = mcp(&g, k, &cfg).unwrap();
     let mut oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
     let ex = mcp_with_oracle(&mut oracle, k, &ClusterConfig::default()).unwrap();
@@ -78,10 +70,7 @@ fn monte_carlo_mcp_close_to_exact_oracle_result() {
     let mut eval_b = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
     let a = min_prob(&mut eval_a, &mc.clustering);
     let b = min_prob(&mut eval_b, &ex.clustering);
-    assert!(
-        (a - b).abs() < 0.15,
-        "MC result {a} far from exact-oracle result {b}"
-    );
+    assert!((a - b).abs() < 0.15, "MC result {a} far from exact-oracle result {b}");
 }
 
 #[test]

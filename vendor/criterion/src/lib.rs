@@ -1,0 +1,346 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, API-compatible timing harness covering what the `ugraph-bench`
+//! targets use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple: each benchmark runs a calibration
+//! pass to pick an iteration count, then `sample_size` timed samples, and
+//! reports min / median / mean per-iteration time (plus throughput when
+//! configured). There are no plots, no outlier analysis, and no saved
+//! baselines — but the numbers are honest wall-clock measurements, good
+//! enough for the A/B comparisons the benches make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. One per binary, created by
+/// [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` (and possibly a filter string) to
+        // harness=false bench binaries; keep anything that is not a flag as
+        // a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 30, measurement_time: Duration::from_millis(600), filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            measurement_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        if self.matches(&label) {
+            let report = run_benchmark(&mut f, self.sample_size, self.measurement_time);
+            print_report(&label, &report, None);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling throughput
+    /// reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            let report = run_benchmark(
+                &mut f,
+                self.sample_size.unwrap_or(self.criterion.sample_size),
+                self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            );
+            print_report(&label, &report, self.throughput.as_ref());
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (purely cosmetic in this harness).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs the timed routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Iterations to run in the current sample (set by the harness).
+    iters: u64,
+    /// Measured duration of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    sample_size: usize,
+    measurement_time: Duration,
+) -> Report {
+    // Calibration: find an iteration count so one sample takes roughly
+    // measurement_time / sample_size.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target_sample = (measurement_time / sample_size as u32).max(Duration::from_micros(200));
+    let mut iters =
+        (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples.push(bencher.elapsed / iters as u32);
+        // Light re-calibration guards against a wildly wrong first estimate.
+        per_iter = bencher.elapsed.checked_div(iters as u32).unwrap_or(per_iter);
+        if per_iter > Duration::ZERO {
+            iters =
+                (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+        }
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    Report { min, median, mean }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<&Throughput>) {
+    let mut line = format!(
+        "  {label:<40} min {:>10}  median {:>10}  mean {:>10}",
+        format_duration(report.min),
+        format_duration(report.median),
+        format_duration(report.mean),
+    );
+    if let Some(t) = throughput {
+        let per_second = |count: u64| count as f64 / report.median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  [{:.3e} elem/s]", per_second(*n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  [{:.3e} B/s]", per_second(*n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions.
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function of a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,59 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value of `Self`.
+    fn arbitrary_value(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — the full-range bit soup of the real crate is
+    /// rarely what numeric property tests want; every in-repo use is as a
+    /// probability or seed.
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Canonical strategy for `T` (full range for integers, fair coin for
+/// `bool`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}

@@ -1,0 +1,172 @@
+//! The test runner driving [`proptest!`](crate::proptest) blocks.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for a property test (subset of the real crate's knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume` rejections tolerated before the test
+    /// errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume` and should not be counted.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected precondition.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy and a test body for the configured number of cases.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+/// The default master seed (digits of pi). Deterministic so CI runs are
+/// reproducible; override with the `PROPTEST_SEED` environment variable.
+const DEFAULT_SEED: u64 = 0x2438_6744_1BF3_A6A2;
+
+impl TestRunner {
+    /// Creates a runner. The RNG seed comes from `PROPTEST_SEED` when set,
+    /// otherwise a fixed default.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner { config, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Runs `test` on `config.cases` generated inputs. Returns the failure
+    /// message of the first failing case, if any.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: core::fmt::Debug,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let shown = format!("{value:?}");
+            case_index += 1;
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many prop_assume rejections ({rejected}) after {passed} \
+                             passing cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "property test failed at case #{case_index} \
+                         (passed {passed}, rejected {rejected})\n\
+                         input: {shown}\n{message}\n\
+                         note: re-run with PROPTEST_SEED to explore other inputs; \
+                         this vendored proptest does not shrink"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner
+            .run(&(0u32..100), |x| {
+                assert!(x < 100);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let err =
+            runner
+                .run(&(0u32..100), |x| {
+                    if x >= 50 {
+                        Err(TestCaseError::fail("too big"))
+                    } else {
+                        Ok(())
+                    }
+                })
+                .unwrap_err();
+        assert!(err.contains("too big"), "{err}");
+        assert!(err.contains("input:"), "{err}");
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        let mut executed = 0u32;
+        runner
+            .run(&(0u32..100), |x| {
+                if x % 2 == 0 {
+                    return Err(TestCaseError::reject("odd only"));
+                }
+                executed += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(executed, 32);
+    }
+
+    #[test]
+    fn too_many_rejects_errors() {
+        let mut runner = TestRunner::new(ProptestConfig { cases: 8, max_global_rejects: 16 });
+        let err = runner.run(&(0u32..100), |_| Err(TestCaseError::reject("always"))).unwrap_err();
+        assert!(err.contains("too many"), "{err}");
+    }
+}

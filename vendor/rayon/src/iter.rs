@@ -1,0 +1,433 @@
+//! Parallel iterator subset: indexed sources, the `map` / `map_init`
+//! adaptors, and the `collect` / `reduce` / `sum` / `for_each` consumers.
+//!
+//! Pipelines are driven chunk-wise: a consumer splits the index space into
+//! one contiguous range per worker, and each worker streams its range
+//! through the adaptor stack via [`ParallelIterator::drive`] — no
+//! intermediate buffers between adaptors, and `map_init` state is created
+//! once per worker chunk exactly like real rayon creates it once per job.
+
+use std::ops::Range;
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+/// Splits `0..len` into one contiguous chunk per worker and runs `worker`
+/// on scoped threads, returning the per-chunk results in chunk order.
+fn run_chunked<R, W>(len: usize, worker: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = crate::current_num_threads().min(len.max(1));
+    if threads <= 1 {
+        return vec![worker(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let mut results = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            let worker = &worker;
+            handles.push(scope.spawn(move || worker(lo..hi)));
+        }
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results
+}
+
+/// An indexed parallel pipeline: a known length plus a chunk driver that
+/// streams the elements of an index range into a visitor.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type produced by the pipeline.
+    type Item: Send;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the pipeline is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams the elements with indices in `range` (in order) into
+    /// `visitor`. Called once per worker chunk.
+    fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut(Self::Item));
+
+    /// Transforms every element with `f`.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Like [`map`](ParallelIterator::map), but hands the closure exclusive
+    /// access to per-worker state built by `init` — the idiomatic way to
+    /// reuse scratch buffers (`map_init` in real rayon).
+    fn map_init<T, O, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        O: Send,
+        INIT: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, Self::Item) -> O + Send + Sync,
+    {
+        MapInit { inner: self, init, f }
+    }
+
+    /// Collects the elements, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Folds the elements with `op`, seeding every chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let partials = run_chunked(self.len(), |range| {
+            let mut accumulator = Some(identity());
+            self.drive(range, &mut |item| {
+                let acc = accumulator.take().expect("reduce accumulator");
+                accumulator = Some(op(acc, item));
+            });
+            accumulator.expect("reduce accumulator")
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_chunked(self.len(), |range| {
+            let mut items = Vec::with_capacity(range.len());
+            self.drive(range, &mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_chunked(self.len(), |range| {
+            self.drive(range, &mut |item| f(item));
+        });
+    }
+}
+
+/// Conversion into a parallel pipeline (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` sugar for by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'a> {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Parallel iteration over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Types a parallel pipeline can be collected into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from the pipeline, preserving element order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let len = iter.len();
+        let chunks = run_chunked(len, |range| {
+            let mut out = Vec::with_capacity(range.len());
+            iter.drive(range, &mut |item| out.push(item));
+            out
+        });
+        let mut all = Vec::with_capacity(len);
+        for chunk in chunks {
+            all.extend(chunk);
+        }
+        all
+    }
+}
+
+/// See [`ParallelIterator::map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut(O)) {
+        self.inner.drive(range, &mut |item| visitor((self.f)(item)));
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+#[derive(Clone, Copy, Debug)]
+pub struct MapInit<P, INIT, F> {
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, T, O, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    INIT: Fn() -> T + Send + Sync,
+    F: Fn(&mut T, P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut(O)) {
+        let mut state = (self.init)();
+        self.inner.drive(range, &mut |item| visitor((self.f)(&mut state, item)));
+    }
+}
+
+/// Parallel pipeline over an integer range.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut($t)) {
+                for i in range {
+                    visitor(self.start + i as $t);
+                }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize);
+
+/// Parallel pipeline over slice elements.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[range] {
+            visitor(item);
+        }
+    }
+}
+
+/// `par_chunks` support for slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iteration over non-overlapping sub-slices of length
+    /// `chunk_size` (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter { slice: self, chunk_size }
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+#[derive(Debug)]
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn drive(&self, range: Range<usize>, visitor: &mut dyn FnMut(&'a [T])) {
+        for index in range {
+            let lo = index * self.chunk_size;
+            let hi = (lo + self.chunk_size).min(self.slice.len());
+            visitor(&self.slice[lo..hi]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_sum() {
+        let values: Vec<u64> = (0..10_000).collect();
+        let total: u64 = values.par_iter().map(|&v| v).sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_chunks_cover_slice() {
+        let values: Vec<u32> = (0..107).collect();
+        let chunk_sums: Vec<u32> = values.par_chunks(10).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(chunk_sums.len(), 11);
+        assert_eq!(chunk_sums.iter().sum::<u32>(), values.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn reduce_merges_chunk_accumulators() {
+        let values: Vec<u64> = (1..=100).collect();
+        let max = values.par_iter().map(|&x| x).reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(max, 100);
+    }
+
+    #[test]
+    fn map_init_builds_state_once_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0usize..1000)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<usize>::new()
+                    },
+                    |scratch, i| {
+                        scratch.push(i);
+                        i * 2
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out, (0usize..1000).map(|i| i * 2).collect::<Vec<_>>());
+        let count = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&count), "init ran {count} times");
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<u64> = (5u64..5).into_par_iter().map(|i| i * 2).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn respects_installed_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let a: Vec<u64> = pool.install(|| (0u64..100).into_par_iter().map(|i| i * 3).collect());
+        let pool8 = crate::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let b: Vec<u64> = pool8.install(|| (0u64..100).into_par_iter().map(|i| i * 3).collect());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! data-parallelism crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, API-compatible subset of rayon sufficient for the sampling hot
+//! path: `par_iter` / `into_par_iter` over slices and integer ranges,
+//! `par_chunks`, the `map` adaptor, the `collect` / `reduce` / `sum` /
+//! `for_each` consumers, and [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! for scoped control of the worker count.
+//!
+//! The execution model is simpler than real rayon — no work stealing; each
+//! consumer splits its index space into one contiguous chunk per worker and
+//! runs the chunks on [`std::thread::scope`] threads — but it is genuinely
+//! parallel, preserves item order in `collect`, and honors
+//! `ThreadPool::install` nesting. Code written against this subset compiles
+//! unchanged against the real crate.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+pub mod iter;
+pub use iter::prelude;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel consumers will use in the current
+/// context: the innermost [`ThreadPool::install`] override, or the number of
+/// available CPUs.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Error building a thread pool (this implementation cannot actually fail;
+/// the type exists for API compatibility).
+#[derive(Clone, Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (all available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "all available cores".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle fixing the worker count for parallel work run inside
+/// [`ThreadPool::install`].
+///
+/// Unlike real rayon there are no persistent worker threads — workers are
+/// scoped threads spawned per consumer — so building a pool is free.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's worker count governing all parallel
+    /// consumers invoked inside it (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|cell| {
+            let previous = cell.replace(Some(self.threads));
+            let result = op();
+            cell.set(previous);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
