@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ugraph_datasets::DatasetSpec;
-use ugraph_graph::{Bitset, DepthBfs, NodeId, UnionFind};
+use ugraph_graph::{Bitset, NodeId, UnionFind};
 use ugraph_sampling::{ComponentPool, McOracle, Oracle, SampleSchedule, WorldPool, WorldSampler};
 
 fn sampling(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn sampling(c: &mut Criterion) {
         let mut world = Bitset::with_len(m);
         let mut i = 0u64;
         b.iter(|| {
-            sampler.sample_into(i, &mut world);
+            sampler.sample_into(i, &mut world).unwrap();
             i += 1;
             world.count_ones()
         })
@@ -69,8 +69,8 @@ fn sampling(c: &mut Criterion) {
     for depth in [2u32, 4, 8] {
         let mut sel = vec![0u32; n];
         let mut cov = vec![0u32; n];
-        let mut bfs = DepthBfs::new(n);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &pool, |b, pool| {
+        let pool = &mut pool;
+        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
             let mut center = 0u32;
             b.iter(|| {
                 pool.counts_within_depths(
@@ -79,7 +79,6 @@ fn sampling(c: &mut Criterion) {
                     depth,
                     &mut sel,
                     &mut cov,
-                    &mut bfs,
                 );
                 center += 1;
                 cov[0]

@@ -1,0 +1,310 @@
+//! Scalar vs. bit-parallel `WorldEngine` backends on the Krogan-like PPI
+//! instance — the microbenchmark behind the backend seam.
+//!
+//! Before any timing, an **equality gate** asserts that both backends
+//! return identical center counts and depth counts for the same master
+//! seed; a benchmark comparing backends that disagree would be
+//! meaningless.
+//!
+//! Besides the criterion groups, the bench emits machine-readable results
+//! (median ns per operation and scalar/bit-parallel speedups) to
+//! `BENCH_worldengine.json` in the repository root, so the performance
+//! trajectory of the engine accumulates across PRs. Set `BENCH_SMOKE=1`
+//! for a fast CI smoke run (equality gates on, minimal sampling).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ugraph_datasets::DatasetSpec;
+use ugraph_graph::NodeId;
+use ugraph_sampling::{BitParallelPool, ComponentPool, WorldPool};
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Asserts both backends produce identical counts on `graph`.
+fn equality_gate(graph: &ugraph_graph::UncertainGraph, samples: usize) {
+    const SEED: u64 = 41;
+    let n = graph.num_nodes();
+    let mut scalar = ComponentPool::new(graph, SEED, 1);
+    let mut world = WorldPool::new(graph, SEED, 1);
+    let mut bit = BitParallelPool::new(graph, SEED, 1);
+    scalar.ensure(samples);
+    world.ensure(samples);
+    bit.ensure(samples);
+    let mut a = vec![0u32; n];
+    let mut b = vec![0u32; n];
+    for center in (0..n as u32).step_by(211) {
+        scalar.counts_from_center(NodeId(center), &mut a);
+        bit.counts_from_center(NodeId(center), &mut b);
+        assert_eq!(a, b, "backends disagree on center counts at {center} ({samples} samples)");
+    }
+    let (mut s1, mut c1) = (vec![0u32; n], vec![0u32; n]);
+    let (mut s2, mut c2) = (vec![0u32; n], vec![0u32; n]);
+    for center in (0..n as u32).step_by(419) {
+        world.counts_within_depths(NodeId(center), 2, 4, &mut s1, &mut c1);
+        bit.counts_within_depths(NodeId(center), 2, 4, &mut s2, &mut c2);
+        assert_eq!(s1, s2, "backends disagree on select counts at {center}");
+        assert_eq!(c1, c2, "backends disagree on cover counts at {center}");
+    }
+}
+
+struct Comparison {
+    name: &'static str,
+    scalar_ns: u128,
+    bitparallel_ns: u128,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / (self.bitparallel_ns as f64).max(1.0)
+    }
+}
+
+/// Head-to-head medians for the JSON report (independent of criterion's
+/// own calibration, so the file is stable and cheap to produce).
+fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Comparison> {
+    const SEED: u64 = 41;
+    let n = graph.num_nodes();
+    let mut results = Vec::new();
+    let centers: Vec<u32> = (0..n as u32).step_by(n / 16).collect();
+
+    // Pool generation at 256 samples: scalar pays union-find + labeling
+    // per world, bit-parallel only packs Bernoulli draws into mask lanes.
+    results.push(Comparison {
+        name: "ensure_256",
+        scalar_ns: median_ns(reps, || {
+            let mut pool = ComponentPool::new(graph, SEED, 1);
+            pool.ensure(256);
+            assert_eq!(pool.num_samples(), 256);
+        }),
+        bitparallel_ns: median_ns(reps, || {
+            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            pool.ensure(256);
+            assert_eq!(pool.num_samples(), 256);
+        }),
+    });
+
+    // Unlimited center counts per query against an already-built pool, at
+    // 64 and 256 samples. This deliberately excludes pool generation, so
+    // it flatters the scalar backend: ComponentPool prepaid the per-world
+    // connectivity work (union-find + labels) inside `ensure`.
+    for &(name, samples) in
+        &[("center_counts_query_only_64", 64usize), ("center_counts_query_only_256", 256)]
+    {
+        let mut scalar = ComponentPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        scalar.ensure(samples);
+        bit.ensure(samples);
+        let mut counts = vec![0u32; n];
+        let scalar_ns = median_ns(reps, || {
+            for &c in &centers {
+                scalar.counts_from_center(NodeId(c), &mut counts);
+            }
+        });
+        let bitparallel_ns = median_ns(reps, || {
+            for &c in &centers {
+                bit.counts_from_center(NodeId(c), &mut counts);
+            }
+        });
+        results.push(Comparison {
+            name,
+            scalar_ns: scalar_ns / centers.len() as u128,
+            bitparallel_ns: bitparallel_ns / centers.len() as u128,
+        });
+    }
+
+    // Depth-limited counts (d = 4) per query at 128 samples — the §3.4
+    // workload where every scalar query is a fresh BFS per world.
+    {
+        let samples = 128;
+        let mut scalar = WorldPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        scalar.ensure(samples);
+        bit.ensure(samples);
+        let mut sel = vec![0u32; n];
+        let mut cov = vec![0u32; n];
+        let scalar_ns = median_ns(reps, || {
+            for &c in &centers {
+                scalar.counts_within_depths(NodeId(c), 2, 4, &mut sel, &mut cov);
+            }
+        });
+        let bitparallel_ns = median_ns(reps, || {
+            for &c in &centers {
+                bit.counts_within_depths(NodeId(c), 2, 4, &mut sel, &mut cov);
+            }
+        });
+        results.push(Comparison {
+            name: "depth4_counts_128",
+            scalar_ns: scalar_ns / centers.len() as u128,
+            bitparallel_ns: bitparallel_ns / centers.len() as u128,
+        });
+    }
+
+    // End-to-end center-query rounds: generate the pool and answer 16
+    // center queries — the shape of one min-partial guess (α = 1,
+    // k ≈ 16), i.e. what the drivers actually pay per threshold. This is
+    // the fair "center queries" comparison: the scalar backend's query
+    // speed is bought by per-world connectivity work inside `ensure`.
+    for &(name, samples) in &[("center_queries_64", 64usize), ("center_queries_256", 256)] {
+        results.push(Comparison {
+            name,
+            scalar_ns: median_ns(reps, || {
+                let mut pool = ComponentPool::new(graph, SEED, 1);
+                pool.ensure(samples);
+                let mut counts = vec![0u32; n];
+                for &c in &centers {
+                    pool.counts_from_center(NodeId(c), &mut counts);
+                }
+            }),
+            bitparallel_ns: median_ns(reps, || {
+                let mut pool = BitParallelPool::new(graph, SEED, 1);
+                pool.ensure(samples);
+                let mut counts = vec![0u32; n];
+                for &c in &centers {
+                    pool.counts_from_center(NodeId(c), &mut counts);
+                }
+            }),
+        });
+    }
+
+    results
+}
+
+fn write_json(
+    graph: &ugraph_graph::UncertainGraph,
+    name: &str,
+    results: &[Comparison],
+    smoke: bool,
+) {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"bitparallel_ns\": {}, \
+             \"speedup\": {:.3}}}",
+            r.name,
+            r.scalar_ns,
+            r.bitparallel_ns,
+            r.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"micro_worldengine\",\n  \"dataset\": \"{}\",\n  \
+         \"nodes\": {},\n  \"edges\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        smoke,
+        rows
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_worldengine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn worldengine(c: &mut Criterion) {
+    let d = DatasetSpec::Krogan.generate(1);
+    let graph = d.graph;
+    let n = graph.num_nodes();
+    assert!(n >= 1000, "instance must have at least 1k nodes, got {n}");
+
+    // Equality gates, including a non-multiple-of-64 size.
+    equality_gate(&graph, 64);
+    equality_gate(&graph, if smoke() { 100 } else { 250 });
+    println!("equality gate passed: scalar and bit-parallel counts identical");
+
+    // Machine-readable comparison.
+    let reps = if smoke() { 3 } else { 9 };
+    let results = measure_comparisons(&graph, reps);
+    for r in &results {
+        println!(
+            "  {:<28} scalar {:>12} ns   bitparallel {:>12} ns   speedup {:>6.2}x",
+            r.name,
+            r.scalar_ns,
+            r.bitparallel_ns,
+            r.speedup()
+        );
+    }
+    write_json(&graph, &d.name, &results, smoke());
+
+    // Criterion groups for interactive exploration.
+    const SEED: u64 = 41;
+    let mut counts = vec![0u32; n];
+    let mut group = c.benchmark_group("micro_worldengine");
+    if smoke() {
+        // 10 is the minimum real criterion accepts; keep the smoke config
+        // valid for both the vendored subset and the real crate.
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(40));
+    }
+    for (label, samples) in [("64", 64usize), ("256", 256)] {
+        let mut scalar = ComponentPool::new(&graph, SEED, 1);
+        scalar.ensure(samples);
+        group.bench_function(BenchmarkId::new("center_counts/scalar", label), |b| {
+            let mut center = 0u32;
+            b.iter(|| {
+                scalar.counts_from_center(NodeId(center % n as u32), &mut counts);
+                center = center.wrapping_add(97);
+                counts[0]
+            })
+        });
+        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        bit.ensure(samples);
+        group.bench_function(BenchmarkId::new("center_counts/bitparallel", label), |b| {
+            let mut center = 0u32;
+            b.iter(|| {
+                bit.counts_from_center(NodeId(center % n as u32), &mut counts);
+                center = center.wrapping_add(97);
+                counts[0]
+            })
+        });
+    }
+    {
+        let samples = 128;
+        let mut sel = vec![0u32; n];
+        let mut cov = vec![0u32; n];
+        let mut scalar = WorldPool::new(&graph, SEED, 1);
+        scalar.ensure(samples);
+        group.bench_function(BenchmarkId::new("depth4_counts/scalar", samples), |b| {
+            let mut center = 0u32;
+            b.iter(|| {
+                scalar.counts_within_depths(NodeId(center % n as u32), 2, 4, &mut sel, &mut cov);
+                center = center.wrapping_add(97);
+                cov[0]
+            })
+        });
+        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        bit.ensure(samples);
+        group.bench_function(BenchmarkId::new("depth4_counts/bitparallel", samples), |b| {
+            let mut center = 0u32;
+            b.iter(|| {
+                bit.counts_within_depths(NodeId(center % n as u32), 2, 4, &mut sel, &mut cov);
+                center = center.wrapping_add(97);
+                cov[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, worldengine);
+criterion_main!(benches);

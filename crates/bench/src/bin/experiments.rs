@@ -183,7 +183,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
         };
 
         let mut cells: Vec<GridCell> = Vec::new();
-        let pool = eval_pool(graph, cfg.eval_samples, cfg.seed);
+        let mut pool = eval_pool(graph, cfg.eval_samples, cfg.seed);
         for (col, target_k) in columns {
             let (inflation_x100, mcl_out) =
                 ugraph_bench::harness::mcl_at_granularity(graph, target_k, cfg.seed);
@@ -193,7 +193,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
                 f64::from(inflation_x100) / 100.0,
                 reference.ks[col]
             );
-            let q = clustering_quality(&pool, &mcl_out.clustering);
+            let q = clustering_quality(&mut pool, &mcl_out.clustering);
             let a = avpr(&pool, &mcl_out.clustering);
             cells.push(GridCell {
                 algo: "mcl",
@@ -210,7 +210,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
                 let k_eff = k.min(graph.num_nodes().saturating_sub(1)).max(1);
                 match run_algo(graph, algo, k_eff, cfg.seed) {
                     Some(out) => {
-                        let q = clustering_quality(&pool, &out.clustering);
+                        let q = clustering_quality(&mut pool, &out.clustering);
                         let a = avpr(&pool, &out.clustering);
                         cells.push(GridCell {
                             algo: name,

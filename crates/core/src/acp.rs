@@ -52,19 +52,21 @@ pub struct AcpResult {
     pub samples_used: usize,
 }
 
-/// Runs ACP on `graph` with Monte-Carlo estimation (unlimited path length).
+/// Runs ACP on `graph` with Monte-Carlo estimation (unlimited path
+/// length), on the backend selected by `cfg.engine`.
 pub fn acp(
     graph: &UncertainGraph,
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<AcpResult, ClusterError> {
     cfg.validate()?;
-    let mut oracle = McOracle::new(
+    let mut oracle = McOracle::with_engine(
         graph,
         mix_seed(cfg.seed, 0x4143_5031), // "ACP1" tag
         cfg.threads,
         cfg.schedule,
         cfg.epsilon,
+        cfg.engine,
     );
     acp_with_oracle(&mut oracle, k, cfg)
 }
@@ -86,7 +88,7 @@ pub fn acp_depth(
         AcpInvocation::Theory => (d / 3).max(1),
         AcpInvocation::Practical => d,
     };
-    let mut oracle = DepthMcOracle::new(
+    let mut oracle = DepthMcOracle::with_engine(
         graph,
         mix_seed(cfg.seed, 0x4143_5044), // "ACPD" tag
         cfg.threads,
@@ -94,7 +96,8 @@ pub fn acp_depth(
         cfg.epsilon,
         d_select.min(d),
         d,
-    );
+        cfg.engine,
+    )?;
     acp_with_oracle(&mut oracle, k, cfg)
 }
 

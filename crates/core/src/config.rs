@@ -1,6 +1,6 @@
 //! Configuration of the clustering drivers.
 
-use ugraph_sampling::SampleSchedule;
+use ugraph_sampling::{EngineKind, SampleSchedule};
 
 use crate::error::ClusterError;
 
@@ -60,6 +60,12 @@ pub struct ClusterConfig {
     pub guess: GuessStrategy,
     /// ACP invocation flavor.
     pub acp_invocation: AcpInvocation,
+    /// Monte-Carlo backend: scalar per-world pools or the bit-parallel
+    /// block pool (64 worlds per machine word). Backends are
+    /// count-identical for a fixed seed, so this knob trades nothing but
+    /// time; it is threaded through `mcp`/`acp` (and their depth variants)
+    /// into every `min-partial` probability estimate.
+    pub engine: EngineKind,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +80,7 @@ impl Default for ClusterConfig {
             schedule: SampleSchedule::practical(),
             guess: GuessStrategy::default(),
             acp_invocation: AcpInvocation::default(),
+            engine: EngineKind::default(),
         }
     }
 }
@@ -158,6 +165,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style setter for the Monte-Carlo backend.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The relaxed threshold actually compared against estimates:
     /// `(1 − ε/2) · q` (§4.1). With ε = 0 (exact oracles) this is `q`.
     #[inline]
@@ -178,6 +191,7 @@ mod tests {
         assert_eq!(c.alpha, 1);
         assert_eq!(c.guess, GuessStrategy::Accelerated);
         assert_eq!(c.acp_invocation, AcpInvocation::Practical);
+        assert_eq!(c.engine, EngineKind::Scalar);
         assert!(c.validate().is_ok());
     }
 
@@ -199,12 +213,14 @@ mod tests {
             .with_seed(7)
             .with_alpha(3)
             .with_threads(2)
-            .with_guess(GuessStrategy::Geometric);
+            .with_guess(GuessStrategy::Geometric)
+            .with_engine(EngineKind::BitParallel);
         assert_eq!(c.gamma, 0.2);
         assert_eq!(c.seed, 7);
         assert_eq!(c.alpha, 3);
         assert_eq!(c.threads, 2);
         assert_eq!(c.guess, GuessStrategy::Geometric);
+        assert_eq!(c.engine, EngineKind::BitParallel);
     }
 
     #[test]

@@ -55,6 +55,15 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+impl From<ugraph_sampling::SamplingError> for ClusterError {
+    /// Sampling-layer failures surfacing during oracle construction (e.g.
+    /// invalid depth pairs) are configuration errors from the driver's
+    /// point of view.
+    fn from(e: ugraph_sampling::SamplingError) -> Self {
+        ClusterError::InvalidConfig { message: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,3 +71,4 @@ pub use error::ClusterError;
 pub use mcp::{mcp, mcp_depth, mcp_with_oracle, McpResult};
 pub use min_partial::{min_partial, MinPartialParams};
 pub use objectives::{avg_prob, min_prob};
+pub use ugraph_sampling::EngineKind;

@@ -41,19 +41,21 @@ pub struct McpResult {
     pub samples_used: usize,
 }
 
-/// Runs MCP on `graph` with Monte-Carlo estimation (unlimited path length).
+/// Runs MCP on `graph` with Monte-Carlo estimation (unlimited path
+/// length), on the backend selected by `cfg.engine`.
 pub fn mcp(
     graph: &UncertainGraph,
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
     cfg.validate()?;
-    let mut oracle = McOracle::new(
+    let mut oracle = McOracle::with_engine(
         graph,
         mix_seed(cfg.seed, 0x4d43_5031), // "MCP1" tag: decorrelate from candidate rng
         cfg.threads,
         cfg.schedule,
         cfg.epsilon,
+        cfg.engine,
     );
     mcp_with_oracle(&mut oracle, k, cfg)
 }
@@ -69,7 +71,7 @@ pub fn mcp_depth(
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
     cfg.validate()?;
-    let mut oracle = DepthMcOracle::new(
+    let mut oracle = DepthMcOracle::with_engine(
         graph,
         mix_seed(cfg.seed, 0x4d43_5044), // "MCPD" tag
         cfg.threads,
@@ -77,7 +79,8 @@ pub fn mcp_depth(
         cfg.epsilon,
         d,
         d,
-    );
+        cfg.engine,
+    )?;
     mcp_with_oracle(&mut oracle, k, cfg)
 }
 

@@ -14,6 +14,13 @@
 //! probabilities: a [`DepthMcOracle`](ugraph_sampling::DepthMcOracle)
 //! evaluates the selection disks at depth `d'` and the cover disks at
 //! depth `d` (Algorithm 4 lines 5 and 8), so this module is depth-agnostic.
+//!
+//! It is also **backend-agnostic**: every probability row consumed here
+//! comes through the [`Oracle`] trait, whose Monte-Carlo implementations
+//! sit on the `WorldEngine` seam — the drivers thread
+//! [`ClusterConfig::engine`](crate::ClusterConfig) (scalar vs.
+//! bit-parallel) into the oracles they construct, and `min-partial` sees
+//! identical estimates either way.
 
 use rand::rngs::SmallRng;
 use rand::Rng;

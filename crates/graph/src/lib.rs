@@ -49,6 +49,7 @@ pub mod csr;
 pub mod error;
 pub mod ids;
 pub mod io;
+pub mod multiworld;
 pub mod shortest_path;
 pub mod stats;
 pub mod subgraph;
@@ -62,6 +63,7 @@ pub use builder::{DedupPolicy, GraphBuilder};
 pub use csr::Csr;
 pub use error::GraphError;
 pub use ids::{EdgeId, NodeId};
+pub use multiworld::{lane_mask, MultiWorldBfs, LANES};
 pub use shortest_path::{dijkstra, MultiSourceDijkstra};
 pub use stats::GraphStats;
 pub use subgraph::{induced_subgraph, largest_connected_component, Subgraph};

@@ -1,0 +1,424 @@
+//! Bit-parallel traversal over blocks of possible worlds.
+//!
+//! Monte-Carlo reliability estimation runs the *same* traversal over many
+//! independently sampled worlds of the *same* topology. Packing 64 worlds
+//! into one machine word per edge (bit `l` of `edge_masks[e]` = "edge `e`
+//! exists in world `l` of the block") turns 64 per-world traversals into a
+//! single mask-propagating traversal: every node carries a `u64` *reach
+//! mask* (the worlds in which it has been reached), and traversing an edge
+//! ANDs the frontier mask with the edge's presence mask.
+//!
+//! Two propagation modes are provided, matching the two query families of
+//! the sampling layer:
+//!
+//! * [`MultiWorldBfs::run`] — level-synchronous BFS with a depth limit;
+//!   `visit(node, depth, mask)` reports, per node and hop distance, the
+//!   worlds in which the node is first reached at exactly that distance
+//!   (the d-connection semantics of the paper, §3.4);
+//! * [`MultiWorldBfs::run_unlimited`] — chaotic worklist iteration to the
+//!   connectivity fixpoint, ignoring distances; `visit(node, mask)` reports
+//!   each reached node once with the full set of worlds in which it is
+//!   connected to the source. This is the cheaper mode when only
+//!   connectivity matters, because a node is not re-visited per hop level
+//!   when different worlds reach it at different distances.
+//!
+//! The workspace is reusable across calls (and across blocks): only nodes
+//! touched by the previous run are cleared, so a run over a small reachable
+//! set costs proportionally to that set, not to `n`.
+
+use crate::ids::NodeId;
+use crate::traversal::Adjacency;
+
+/// Number of possible worlds packed per mask word.
+pub const LANES: usize = 64;
+
+/// Mask with the low `lanes` bits set — the valid lanes of a partially
+/// filled block (`lanes == 64` gives the all-ones mask).
+///
+/// # Panics
+/// Panics if `lanes > 64`.
+#[inline]
+pub fn lane_mask(lanes: usize) -> u64 {
+    assert!(lanes <= LANES, "a block holds at most {LANES} worlds, got {lanes}");
+    if lanes == LANES {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Reusable workspace for bit-parallel multi-world traversals.
+///
+/// One `MultiWorldBfs` is typically reused across all blocks of a sample
+/// pool; rayon workers build their own (see the sampling crate's pools).
+#[derive(Clone, Debug)]
+pub struct MultiWorldBfs {
+    /// Worlds in which each node has been reached so far.
+    reach: Vec<u64>,
+    /// Worlds that first reached each node at the current BFS level.
+    gain: Vec<u64>,
+    /// Next-level accumulation (nonzero only for nodes queued in `next`).
+    pend: Vec<u64>,
+    /// Current-level frontier nodes.
+    cur: Vec<u32>,
+    /// Next-level frontier nodes.
+    next: Vec<u32>,
+    /// Every node reached in the current run, for O(touched) cleanup.
+    touched: Vec<u32>,
+}
+
+impl MultiWorldBfs {
+    /// Creates a workspace for graphs of at most `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MultiWorldBfs {
+            reach: vec![0; n],
+            gain: vec![0; n],
+            pend: vec![0; n],
+            cur: Vec::new(),
+            next: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Clears state left by the previous run (only touched nodes).
+    fn reset(&mut self) {
+        for &t in &self.touched {
+            self.reach[t as usize] = 0;
+            self.gain[t as usize] = 0;
+        }
+        self.touched.clear();
+        self.cur.clear();
+        self.next.clear();
+    }
+
+    /// Level-synchronous BFS from `source` over the worlds selected by
+    /// `lane_mask`, limited to `depth_limit` hops.
+    ///
+    /// `edge_masks[e]` holds the presence mask of edge `e` (bit `l` set ⇔
+    /// the edge exists in world `l`). `visit(node, depth, mask)` is called
+    /// once per `(node, depth)` pair with the worlds in which `node` is
+    /// first reached at exactly `depth` hops — including the source at
+    /// depth 0 with the full `lane_mask`. Summing `mask.count_ones()` over
+    /// all calls for a node therefore counts the worlds in which the node
+    /// is within `depth_limit` hops of the source.
+    ///
+    /// # Panics
+    /// Panics if the workspace is sized for fewer nodes than `g`, or if an
+    /// edge id of `g` indexes past `edge_masks`.
+    pub fn run(
+        &mut self,
+        g: &impl Adjacency,
+        edge_masks: &[u64],
+        source: NodeId,
+        lane_mask: u64,
+        depth_limit: u32,
+        mut visit: impl FnMut(NodeId, u32, u64),
+    ) {
+        assert!(
+            g.num_nodes() <= self.reach.len(),
+            "MultiWorldBfs workspace sized for {} nodes, graph has {}",
+            self.reach.len(),
+            g.num_nodes()
+        );
+        self.reset();
+        if lane_mask == 0 {
+            return;
+        }
+        self.reach[source.index()] = lane_mask;
+        self.gain[source.index()] = lane_mask;
+        self.touched.push(source.0);
+        self.cur.push(source.0);
+        visit(source, 0, lane_mask);
+
+        let mut depth = 0u32;
+        while !self.cur.is_empty() && depth < depth_limit {
+            depth += 1;
+            let reach = &mut self.reach;
+            let gain = &mut self.gain;
+            let pend = &mut self.pend;
+            let next = &mut self.next;
+            for &u in &self.cur {
+                let gu = gain[u as usize];
+                g.for_each_neighbor(NodeId(u), |v, e| {
+                    let add = gu & edge_masks[e.index()] & !reach[v.index()];
+                    if add != 0 {
+                        if pend[v.index()] == 0 {
+                            next.push(v.0);
+                        }
+                        pend[v.index()] |= add;
+                    }
+                });
+            }
+            for &v in next.iter() {
+                let mask = pend[v as usize];
+                pend[v as usize] = 0;
+                if reach[v as usize] == 0 {
+                    self.touched.push(v);
+                }
+                reach[v as usize] |= mask;
+                gain[v as usize] = mask;
+                visit(NodeId(v), depth, mask);
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            self.next.clear();
+        }
+    }
+
+    /// Connectivity fixpoint from `source` over the worlds selected by
+    /// `lane_mask`, ignoring distances.
+    ///
+    /// Chaotic worklist iteration: a node is re-queued whenever its reach
+    /// mask grows, until no mask changes. `visit(node, mask)` is called
+    /// once per reached node (source included) with the final mask of
+    /// worlds in which the node is connected to the source.
+    ///
+    /// # Panics
+    /// Same conditions as [`MultiWorldBfs::run`].
+    pub fn run_unlimited(
+        &mut self,
+        g: &impl Adjacency,
+        edge_masks: &[u64],
+        source: NodeId,
+        lane_mask: u64,
+        mut visit: impl FnMut(NodeId, u64),
+    ) {
+        assert!(
+            g.num_nodes() <= self.reach.len(),
+            "MultiWorldBfs workspace sized for {} nodes, graph has {}",
+            self.reach.len(),
+            g.num_nodes()
+        );
+        self.reset();
+        if lane_mask == 0 {
+            return;
+        }
+        // `gain` doubles as the "queued" flag: nonzero ⇔ node is in `cur`
+        // awaiting propagation of those newly arrived worlds.
+        self.reach[source.index()] = lane_mask;
+        self.gain[source.index()] = lane_mask;
+        self.touched.push(source.0);
+        self.cur.push(source.0);
+        let mut head = 0usize;
+        while head < self.cur.len() {
+            let u = self.cur[head];
+            head += 1;
+            let gu = std::mem::take(&mut self.gain[u as usize]);
+            if gu == 0 {
+                continue; // re-queued entry already drained
+            }
+            let reach = &mut self.reach;
+            let gain = &mut self.gain;
+            let cur = &mut self.cur;
+            let touched = &mut self.touched;
+            g.for_each_neighbor(NodeId(u), |v, e| {
+                let add = gu & edge_masks[e.index()] & !reach[v.index()];
+                if add != 0 {
+                    if reach[v.index()] == 0 {
+                        touched.push(v.0);
+                    }
+                    reach[v.index()] |= add;
+                    if gain[v.index()] == 0 {
+                        cur.push(v.0);
+                    }
+                    gain[v.index()] |= add;
+                }
+            });
+        }
+        for &v in &self.touched {
+            visit(NodeId(v), self.reach[v as usize]);
+        }
+    }
+
+    /// The reach mask of `node` after the last run (0 if unreached).
+    #[inline]
+    pub fn reach(&self, node: NodeId) -> u64 {
+        self.reach[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::uncertain::UncertainGraph;
+
+    /// 0-1-2-3 path plus isolated node 4.
+    fn path_graph() -> UncertainGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lane_mask_bounds() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(3), 0b111);
+        assert_eq!(lane_mask(64), !0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn lane_mask_rejects_overflow() {
+        lane_mask(65);
+    }
+
+    #[test]
+    fn all_worlds_full_edges_reach_everything() {
+        let g = path_graph();
+        // All three edges present in all 64 worlds.
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        let mut seen: Vec<(u32, u32, u64)> = Vec::new();
+        bfs.run(&g, &masks, NodeId(0), !0, 10, |n, d, m| seen.push((n.0, d, m)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 0, !0), (1, 1, !0), (2, 2, !0), (3, 3, !0)]);
+    }
+
+    #[test]
+    fn per_world_edges_split_reach_masks() {
+        let g = path_graph();
+        // Edge (0,1) exists only in world 0; edge (1,2) in worlds 0 and 1;
+        // edge (2,3) nowhere.
+        let masks = vec![0b01, 0b11, 0b00];
+        let mut bfs = MultiWorldBfs::new(5);
+        let mut seen: Vec<(u32, u32, u64)> = Vec::new();
+        bfs.run(&g, &masks, NodeId(0), 0b11, 10, |n, d, m| seen.push((n.0, d, m)));
+        seen.sort_unstable();
+        // World 1 never leaves the source: edge (0,1) is missing there.
+        assert_eq!(seen, vec![(0, 0, 0b11), (1, 1, 0b01), (2, 2, 0b01)]);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let g = path_graph();
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        let mut reached: Vec<u32> = Vec::new();
+        bfs.run(&g, &masks, NodeId(0), !0, 2, |n, _, _| reached.push(n.0));
+        reached.sort_unstable();
+        assert_eq!(reached, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_depth_visits_source_only() {
+        let g = path_graph();
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        let mut count = 0;
+        bfs.run(&g, &masks, NodeId(1), !0, 0, |_, _, _| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn lane_mask_restricts_worlds() {
+        let g = path_graph();
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        let mut seen: Vec<(u32, u64)> = Vec::new();
+        bfs.run(&g, &masks, NodeId(0), 0b101, 10, |n, _, m| seen.push((n.0, m)));
+        assert!(seen.iter().all(|&(_, m)| m == 0b101));
+    }
+
+    #[test]
+    fn unlimited_matches_depth_run_totals() {
+        // Cycle where worlds take different routes, so distances differ but
+        // connectivity agrees.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.add_edge(3, 0, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let masks = vec![0b110, 0b011, 0b101, 0b111];
+        let mut bfs = MultiWorldBfs::new(4);
+        let mut by_depth = vec![0u64; 4];
+        bfs.run(&g, &masks, NodeId(0), 0b111, 10, |n, _, m| by_depth[n.index()] |= m);
+        let mut by_fix = vec![0u64; 4];
+        bfs.run_unlimited(&g, &masks, NodeId(0), 0b111, |n, m| by_fix[n.index()] = m);
+        assert_eq!(by_depth, by_fix);
+    }
+
+    #[test]
+    fn unlimited_visits_each_node_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.add_edge(3, 0, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let masks = vec![0b01, 0b10, 0b10, 0b01];
+        let mut bfs = MultiWorldBfs::new(4);
+        let mut visits = vec![0u32; 4];
+        bfs.run_unlimited(&g, &masks, NodeId(0), 0b11, |n, _| visits[n.index()] += 1);
+        assert!(visits.iter().all(|&v| v <= 1), "visits {visits:?}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = path_graph();
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        bfs.run(&g, &masks, NodeId(0), !0, 10, |_, _, _| {});
+        assert_eq!(bfs.reach(NodeId(3)), !0);
+        // Second run from the isolated node must not see stale reach masks.
+        let mut reached: Vec<u32> = Vec::new();
+        bfs.run(&g, &masks, NodeId(4), !0, 10, |n, _, _| reached.push(n.0));
+        assert_eq!(reached, vec![4]);
+        assert_eq!(bfs.reach(NodeId(3)), 0);
+        // And a mode switch must also start clean.
+        let mut reached_fix: Vec<u32> = Vec::new();
+        bfs.run_unlimited(&g, &masks, NodeId(2), !0, |n, _| reached_fix.push(n.0));
+        reached_fix.sort_unstable();
+        assert_eq!(reached_fix, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mask_bfs_agrees_with_per_world_bfs() {
+        // A denser random-ish fixed graph; compare against per-world
+        // DepthBfs through WorldViews for all depths.
+        use crate::bitset::Bitset;
+        use crate::traversal::DepthBfs;
+        use crate::view::WorldView;
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3), (2, 5), (1, 6)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let m = g.num_edges();
+        // 8 worlds with deterministic pseudo-random edge membership.
+        let lanes = 8;
+        let mut masks = vec![0u64; m];
+        for (e, mask) in masks.iter_mut().enumerate() {
+            for l in 0..lanes {
+                if (e * 31 + l * 17 + 7) % 3 != 0 {
+                    *mask |= 1 << l;
+                }
+            }
+        }
+        let mut mw = MultiWorldBfs::new(7);
+        let mut scalar = DepthBfs::new(7);
+        for depth in [0u32, 1, 2, 3, 10] {
+            for source in 0..7u32 {
+                let mut counts = vec![0u32; 7];
+                mw.run(&g, &masks, NodeId(source), lane_mask(lanes), depth, |n, _, mk| {
+                    counts[n.index()] += mk.count_ones();
+                });
+                let mut want = vec![0u32; 7];
+                for l in 0..lanes {
+                    let mut world = Bitset::with_len(m);
+                    for (e, mask) in masks.iter().enumerate() {
+                        if mask >> l & 1 == 1 {
+                            world.insert(e);
+                        }
+                    }
+                    let view = WorldView::new(&g, &world);
+                    scalar.run(&view, NodeId(source), depth, |n, _| want[n.index()] += 1);
+                }
+                assert_eq!(counts, want, "source {source} depth {depth}");
+            }
+        }
+    }
+}

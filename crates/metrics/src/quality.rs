@@ -1,8 +1,12 @@
 //! `p_min` / `p_avg` estimation (Figure 1 of the paper).
+//!
+//! Generic over the [`WorldEngine`] seam, so clusterings are measured
+//! identically whichever backend (scalar pools or the bit-parallel block
+//! pool) produced — or measures — the estimates.
 
 use ugraph_cluster::Clustering;
-use ugraph_graph::{DepthBfs, NodeId};
-use ugraph_sampling::{ComponentPool, WorldPool};
+use ugraph_graph::NodeId;
+use ugraph_sampling::WorldEngine;
 
 /// Connection-probability quality of a clustering.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -17,21 +21,24 @@ pub struct Quality {
 
 /// Estimates `p_min`/`p_avg` of `clustering` from the sample pool.
 ///
-/// Cost: one `counts_from_center` per cluster, i.e.
-/// `O(k · Σ_i |comp_i(center)|)` — independent of how the clustering was
-/// produced, so MCL/GMM/KPT outputs are measured identically.
+/// Cost: one `counts_from_center` per cluster — independent of how the
+/// clustering was produced, so MCL/GMM/KPT outputs are measured
+/// identically.
 ///
 /// # Panics
 /// Panics if the pool is empty or sized for a different graph.
-pub fn clustering_quality(pool: &ComponentPool<'_>, clustering: &Clustering) -> Quality {
-    let n = pool.graph().num_nodes();
+pub fn clustering_quality<E: WorldEngine + ?Sized>(
+    engine: &mut E,
+    clustering: &Clustering,
+) -> Quality {
+    let n = engine.graph().num_nodes();
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
-    assert!(pool.num_samples() > 0, "sample pool is empty");
-    let r = pool.num_samples() as f64;
+    assert!(engine.num_samples() > 0, "sample pool is empty");
+    let r = engine.num_samples() as f64;
     let mut counts = vec![0u32; n];
     let mut probs = vec![0.0f64; n];
     for (i, &center) in clustering.centers().iter().enumerate() {
-        pool.counts_from_center(center, &mut counts);
+        engine.counts_from_center(center, &mut counts);
         for u in 0..n {
             if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
                 probs[u] = counts[u] as f64 / r;
@@ -42,22 +49,23 @@ pub fn clustering_quality(pool: &ComponentPool<'_>, clustering: &Clustering) -> 
 }
 
 /// Depth-limited variant: probabilities are `Pr(u ~d~ center)` (paper
-/// §3.4), estimated by bounded BFS over a [`WorldPool`].
-pub fn depth_clustering_quality(
-    pool: &WorldPool<'_>,
+/// §3.4), estimated over a depth-capable engine
+/// ([`ugraph_sampling::WorldPool`] or
+/// [`ugraph_sampling::BitParallelPool`]).
+pub fn depth_clustering_quality<E: WorldEngine + ?Sized>(
+    engine: &mut E,
     clustering: &Clustering,
     depth: u32,
 ) -> Quality {
-    let n = pool.graph().num_nodes();
+    let n = engine.graph().num_nodes();
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
-    assert!(pool.num_samples() > 0, "sample pool is empty");
-    let r = pool.num_samples() as f64;
-    let mut bfs = DepthBfs::new(n);
+    assert!(engine.num_samples() > 0, "sample pool is empty");
+    let r = engine.num_samples() as f64;
     let mut sel = vec![0u32; n];
     let mut cov = vec![0u32; n];
     let mut probs = vec![0.0f64; n];
     for (i, &center) in clustering.centers().iter().enumerate() {
-        pool.counts_within_depths(center, depth, depth, &mut sel, &mut cov, &mut bfs);
+        engine.counts_within_depths(center, depth, depth, &mut sel, &mut cov);
         for u in 0..n {
             if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
                 probs[u] = cov[u] as f64 / r;
@@ -85,6 +93,7 @@ fn finalize(clustering: &Clustering, probs: &[f64]) -> Quality {
 mod tests {
     use super::*;
     use ugraph_graph::GraphBuilder;
+    use ugraph_sampling::{ComponentPool, WorldPool};
 
     #[test]
     fn certain_chain_quality() {
@@ -96,7 +105,7 @@ mod tests {
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(20);
         let c = Clustering::new(vec![NodeId(1)], vec![Some(0), Some(0), Some(0)]);
-        let q = clustering_quality(&pool, &c);
+        let q = clustering_quality(&mut pool, &c);
         assert_eq!(q.p_min, 1.0);
         assert_eq!(q.p_avg, 1.0);
     }
@@ -110,7 +119,7 @@ mod tests {
         pool.ensure(10);
         // Cluster {0,1} center 0; node 2 outlier.
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), None]);
-        let q = clustering_quality(&pool, &c);
+        let q = clustering_quality(&mut pool, &c);
         assert_eq!(q.p_min, 1.0);
         assert!((q.p_avg - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -126,7 +135,7 @@ mod tests {
         let mut pool = ComponentPool::new(&g, 3, 1);
         pool.ensure(20_000);
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0)]);
-        let q = clustering_quality(&pool, &c);
+        let q = clustering_quality(&mut pool, &c);
         assert!((q.p_min - 0.4).abs() < 0.02, "p_min {}", q.p_min);
         assert!((q.p_avg - (1.0 + 0.8 + 0.4) / 3.0).abs() < 0.02, "p_avg {}", q.p_avg);
     }
@@ -142,10 +151,10 @@ mod tests {
         let mut pool = WorldPool::new(&g, 1, 1);
         pool.ensure(5);
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), Some(0)]);
-        let q1 = depth_clustering_quality(&pool, &c, 1);
+        let q1 = depth_clustering_quality(&mut pool, &c, 1);
         assert_eq!(q1.p_min, 0.0);
         assert!((q1.p_avg - 2.0 / 3.0).abs() < 1e-12);
-        let q2 = depth_clustering_quality(&pool, &c, 2);
+        let q2 = depth_clustering_quality(&mut pool, &c, 2);
         assert_eq!(q2.p_min, 1.0);
         assert_eq!(q2.p_avg, 1.0);
     }
@@ -156,8 +165,8 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 0.5).unwrap();
         let g = b.build().unwrap();
-        let pool = ComponentPool::new(&g, 1, 1);
+        let mut pool = ComponentPool::new(&g, 1, 1);
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0)]);
-        let _ = clustering_quality(&pool, &c);
+        let _ = clustering_quality(&mut pool, &c);
     }
 }

@@ -57,7 +57,7 @@ proptest! {
     fn quality_ranges((g, c) in graph_and_clustering(), seed in any::<u64>()) {
         let mut pool = ComponentPool::new(&g, seed, 1);
         pool.ensure(150);
-        let q = clustering_quality(&pool, &c);
+        let q = clustering_quality(&mut pool, &c);
         prop_assert!((0.0..=1.0).contains(&q.p_min));
         prop_assert!((0.0..=1.0).contains(&q.p_avg));
         prop_assert!(q.p_avg >= q.p_min - 1e-12, "avg {} < min {}", q.p_avg, q.p_min);

@@ -1,0 +1,150 @@
+//! The `WorldEngine` backend seam of the Monte-Carlo stack.
+//!
+//! Every Monte-Carlo query of the clustering algorithms reduces to *counts
+//! over a pool of sampled possible worlds*: in how many worlds is `u`
+//! connected to a center (optionally within a hop limit)? The
+//! [`WorldEngine`] trait captures exactly that contract, so the machinery
+//! answering it is swappable:
+//!
+//! * the **scalar** backend walks one world per query step —
+//!   [`crate::ComponentPool`] (per-world component labels, unlimited
+//!   connectivity) and [`crate::WorldPool`] (per-world edge bitsets,
+//!   depth-limited BFS);
+//! * the **bit-parallel** backend ([`crate::BitParallelPool`]) packs 64
+//!   worlds per machine word as structure-of-arrays edge masks and answers
+//!   64 worlds per traversal with mask-propagating multi-world BFS
+//!   ([`ugraph_graph::MultiWorldBfs`]).
+//!
+//! Backends draw world `i` from the same per-index RNG stream, so for a
+//! fixed master seed every backend holds **bit-identical worlds** and
+//! returns **identical integer counts** — estimates do not depend on which
+//! backend (or thread count) produced them. The property-test suite
+//! asserts this equivalence; future scaling backends (sharded pools,
+//! SIMD/GPU, incremental re-sampling) plug into the same seam under the
+//! same contract.
+//!
+//! Backend choice is surfaced to applications as [`EngineKind`], carried
+//! by `ugraph_cluster::ClusterConfig` into the MCP/ACP drivers.
+
+use ugraph_graph::{NodeId, UncertainGraph};
+
+/// Depth value meaning "no hop limit" in [`WorldEngine`] queries.
+pub const DEPTH_UNLIMITED: u32 = u32::MAX;
+
+/// Selects the Monte-Carlo backend that powers pools and oracles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// One world per query step: component labels for unlimited
+    /// connectivity, per-world bounded BFS for depth-limited queries.
+    #[default]
+    Scalar,
+    /// 64 worlds per machine word: structure-of-arrays edge masks queried
+    /// with mask-propagating multi-world BFS.
+    BitParallel,
+}
+
+impl EngineKind {
+    /// Short stable name, used in benchmark labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::BitParallel => "bitparallel",
+        }
+    }
+}
+
+/// Backend-agnostic interface to a pool of sampled possible worlds.
+///
+/// Implementations grow **monotonically** ([`WorldEngine::ensure`]) and
+/// draw sample `i` from the per-index RNG stream `i` (see [`crate::rng`]),
+/// which makes the pool contents independent of the growth schedule, the
+/// thread count, and the backend.
+///
+/// Depth parameters use [`DEPTH_UNLIMITED`] for plain connectivity.
+/// Backends that precompute per-world connectivity and cannot answer
+/// finite-depth queries (the scalar [`crate::ComponentPool`]) document
+/// this and panic on finite depths; the oracles only pair depth queries
+/// with depth-capable backends.
+pub trait WorldEngine {
+    /// The underlying uncertain graph.
+    fn graph(&self) -> &UncertainGraph;
+
+    /// Whether this backend can answer **finite**-depth queries.
+    ///
+    /// Defaults to `true`; backends that precompute per-world connectivity
+    /// and lose distance information (the scalar [`crate::ComponentPool`])
+    /// return `false`, and the depth-limited oracle rejects them at
+    /// construction instead of panicking at first query.
+    fn supports_finite_depths(&self) -> bool {
+        true
+    }
+
+    /// Number of samples currently in the pool.
+    fn num_samples(&self) -> usize;
+
+    /// Grows the pool to at least `r` samples (no-op if already there).
+    fn ensure(&mut self, r: usize);
+
+    /// For every node `u`, writes the number of samples in which `u` is
+    /// connected to `center` (unlimited path length) into `out[u]`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != graph().num_nodes()`.
+    fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]);
+
+    /// Number of samples in which `u` and `v` are connected (unlimited
+    /// path length).
+    fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize;
+
+    /// Depth-limited connection counts from `center`: after the call
+    /// `out_select[u]` counts samples with `dist(center, u) ≤ d_select`
+    /// and `out_cover[u]` those with `dist(center, u) ≤ d_cover`.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, on `d_select > d_cover`, or if the
+    /// backend cannot answer finite depths (see the trait docs).
+    fn counts_within_depths(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    );
+
+    /// Number of samples in which `dist(u, v) ≤ depth`.
+    ///
+    /// # Panics
+    /// Panics if the backend cannot answer finite depths.
+    fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize;
+
+    /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
+    fn pair_estimate(&mut self, u: NodeId, v: NodeId) -> f64 {
+        let r = self.num_samples();
+        if r == 0 {
+            return 0.0;
+        }
+        self.pair_count(u, v) as f64 / r as f64
+    }
+
+    /// Estimator of the d-connection probability `Pr(u ~d~ v)`.
+    fn pair_estimate_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> f64 {
+        let r = self.num_samples();
+        if r == 0 {
+            return 0.0;
+        }
+        self.pair_count_within(u, v, depth) as f64 / r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_defaults_and_names() {
+        assert_eq!(EngineKind::default(), EngineKind::Scalar);
+        assert_eq!(EngineKind::Scalar.name(), "scalar");
+        assert_eq!(EngineKind::BitParallel.name(), "bitparallel");
+    }
+}

@@ -1,0 +1,66 @@
+//! Typed errors of the sampling layer.
+
+use std::fmt;
+
+/// Failure modes of samplers, pools, and oracle construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplingError {
+    /// A caller-provided buffer does not match the graph's dimensions
+    /// (e.g. a world bitset whose length differs from the edge count).
+    BufferMismatch {
+        /// What the buffer holds (e.g. `"world bitset"`).
+        what: &'static str,
+        /// Required length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A depth-limited oracle was configured with a selection depth above
+    /// its cover depth (`min-partial-d` requires `d_select ≤ d_cover`).
+    InvalidDepths {
+        /// The selection depth `d'`.
+        d_select: u32,
+        /// The cover depth `d`.
+        d_cover: u32,
+    },
+    /// A depth-limited oracle was given an engine that cannot answer
+    /// finite-depth queries (e.g. the component-label backend, which
+    /// precomputes connectivity and loses distances).
+    DepthIncapableEngine,
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::BufferMismatch { what, expected, got } => {
+                write!(f, "{what} has length {got}, the graph requires {expected}")
+            }
+            SamplingError::InvalidDepths { d_select, d_cover } => {
+                write!(f, "d_select ({d_select}) must be ≤ d_cover ({d_cover})")
+            }
+            SamplingError::DepthIncapableEngine => {
+                write!(
+                    f,
+                    "engine cannot answer finite-depth queries; use WorldPool or BitParallelPool"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SamplingError::BufferMismatch { what: "world bitset", expected: 5, got: 3 };
+        let s = e.to_string();
+        assert!(s.contains("world bitset") && s.contains('5') && s.contains('3'));
+
+        let e = SamplingError::InvalidDepths { d_select: 4, d_cover: 2 };
+        assert!(e.to_string().contains("d_select"));
+    }
+}

@@ -12,18 +12,26 @@
 //!
 //! * deterministic, thread-count-independent [`WorldSampler`]s — sample `i`
 //!   is always generated from the same per-index RNG stream;
-//! * [`ComponentPool`]: per-sample connected-component labels with
+//! * the [`WorldEngine`] backend seam with interchangeable, count-identical
+//!   implementations selected by [`EngineKind`]:
+//!   [`ComponentPool`] (scalar; per-sample connected-component labels with
 //!   membership lists, supporting `counts_from_center` in time proportional
-//!   to the size of the center's components (not `n·r`);
-//! * [`WorldPool`]: per-sample edge bitsets for **depth-limited**
-//!   d-connection probabilities (paper §3.4), evaluated by bounded BFS;
+//!   to the size of the center's components, not `n·r`),
+//!   [`WorldPool`] (scalar; per-sample edge bitsets for **depth-limited**
+//!   d-connection probabilities of paper §3.4, evaluated by bounded BFS),
+//!   and [`BitParallelPool`] (64 worlds per machine word as
+//!   structure-of-arrays edge masks, queried by mask-propagating
+//!   multi-world BFS — one traversal answers 64 worlds);
 //! * [`ExactOracle`]: exhaustive possible-world enumeration for small
 //!   graphs, used to validate the estimators and for tiny-instance
 //!   optimality tests;
 //! * sample-size [`bounds`]: the `(ε, δ)` bound of Eq. 4 and the progressive
 //!   schedules of Eq. 9 / Eq. 10, plus the paper's *practical* 50-sample
 //!   starting schedule (§5);
-//! * the [`Oracle`] trait consumed by the clustering algorithms.
+//! * the [`Oracle`] trait consumed by the clustering algorithms, with
+//!   Monte-Carlo implementations built on the engine seam;
+//! * the shared parallel-dispatch [`tuning`] heuristics used by every
+//!   backend.
 //!
 //! ## Example: estimating a reliability
 //!
@@ -51,18 +59,23 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod engine;
+pub mod error;
 pub mod exact;
 pub mod oracle;
 pub mod pool;
 pub mod queries;
 pub mod representative;
 pub mod rng;
+pub mod tuning;
 pub mod world;
 
 pub use bounds::{harmonic, SampleSchedule};
+pub use engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
+pub use error::SamplingError;
 pub use exact::ExactOracle;
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle};
-pub use pool::{ComponentPool, WorldPool};
+pub use pool::{BitParallelPool, ComponentPool, WorldPool};
 pub use queries::{most_reliable_source, reliability_knn, reliability_knn_within, SourceObjective};
 pub use representative::{average_degree_representative, most_probable_world};
 pub use rng::sample_rng;

@@ -15,12 +15,20 @@
 //!   depth `d`). For depth-unlimited oracles the two are identical;
 //! * [`Oracle::pair_prob`] — a single pairwise estimate (used by objective
 //!   evaluation).
+//!
+//! The Monte-Carlo oracles are built on the [`WorldEngine`] seam: each one
+//! owns a boxed engine, so the scalar and bit-parallel backends (selected
+//! by [`EngineKind`]) are interchangeable behind an unchanged oracle
+//! interface — and every backend yields bit-identical estimates for a
+//! fixed master seed.
 
-use ugraph_graph::{DepthBfs, NodeId, UncertainGraph};
+use ugraph_graph::{NodeId, UncertainGraph};
 
 use crate::bounds::SampleSchedule;
+use crate::engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
+use crate::error::SamplingError;
 use crate::exact::ExactOracle;
-use crate::pool::{ComponentPool, WorldPool};
+use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
 
 /// Source of (estimated) connection probabilities.
 pub trait Oracle {
@@ -53,22 +61,24 @@ pub trait Oracle {
 }
 
 /// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
-/// a progressive [`ComponentPool`].
+/// a progressive [`WorldEngine`].
 ///
 /// Both pool growth ([`Oracle::prepare`]) and estimation
 /// ([`Oracle::center_probs`], [`Oracle::pair_prob`]) run on rayon with the
-/// pool's configured thread count; per-index RNG streams and integer count
-/// merging make every estimate bit-identical across thread counts.
+/// engine's configured thread count; per-index RNG streams and integer
+/// count merging make every estimate bit-identical across thread counts
+/// **and across backends**.
 pub struct McOracle<'g> {
-    pool: ComponentPool<'g>,
+    engine: Box<dyn WorldEngine + 'g>,
     schedule: SampleSchedule,
     epsilon: f64,
     counts: Vec<u32>,
 }
 
 impl<'g> McOracle<'g> {
-    /// Creates the oracle. `threads = 0` uses all cores; `epsilon` is the
-    /// relative-error target reflected by [`Oracle::epsilon`].
+    /// Creates the oracle on the scalar backend ([`ComponentPool`]).
+    /// `threads = 0` uses all cores; `epsilon` is the relative-error target
+    /// reflected by [`Oracle::epsilon`].
     pub fn new(
         graph: &'g UncertainGraph,
         seed: u64,
@@ -76,30 +86,54 @@ impl<'g> McOracle<'g> {
         schedule: SampleSchedule,
         epsilon: f64,
     ) -> Self {
-        let n = graph.num_nodes();
-        McOracle {
-            pool: ComponentPool::new(graph, seed, threads),
-            schedule,
-            epsilon,
-            counts: vec![0; n],
-        }
+        Self::with_engine(graph, seed, threads, schedule, epsilon, EngineKind::Scalar)
     }
 
-    /// Read access to the sample pool (used by the metrics crate, which
-    /// needs per-sample component labels for AVPR).
-    pub fn pool(&self) -> &ComponentPool<'g> {
-        &self.pool
+    /// Creates the oracle on the backend selected by `kind`.
+    pub fn with_engine(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        kind: EngineKind,
+    ) -> Self {
+        let engine: Box<dyn WorldEngine + 'g> = match kind {
+            EngineKind::Scalar => Box::new(ComponentPool::new(graph, seed, threads)),
+            EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
+        };
+        Self::from_engine(engine, schedule, epsilon)
     }
 
-    /// Consumes the oracle, returning the pool.
-    pub fn into_pool(self) -> ComponentPool<'g> {
-        self.pool
+    /// Wraps an already-built engine (the generic seam for future
+    /// backends).
+    pub fn from_engine(
+        engine: Box<dyn WorldEngine + 'g>,
+        schedule: SampleSchedule,
+        epsilon: f64,
+    ) -> Self {
+        let n = engine.graph().num_nodes();
+        McOracle { engine, schedule, epsilon, counts: vec![0; n] }
+    }
+
+    /// Read access to the backing engine (used by metrics and benches).
+    pub fn engine(&self) -> &dyn WorldEngine {
+        self.engine.as_ref()
+    }
+}
+
+impl std::fmt::Debug for McOracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McOracle")
+            .field("samples", &self.engine.num_samples())
+            .field("epsilon", &self.epsilon)
+            .finish_non_exhaustive()
     }
 }
 
 impl Oracle for McOracle<'_> {
     fn num_nodes(&self) -> usize {
-        self.pool.graph().num_nodes()
+        self.engine.graph().num_nodes()
     }
 
     fn epsilon(&self) -> f64 {
@@ -108,16 +142,16 @@ impl Oracle for McOracle<'_> {
 
     fn prepare(&mut self, q: f64) {
         let r = self.schedule.samples_for(q, self.num_nodes());
-        self.pool.ensure(r);
+        self.engine.ensure(r);
     }
 
     fn num_samples(&self) -> usize {
-        self.pool.num_samples()
+        self.engine.num_samples()
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r = self.pool.num_samples().max(1) as f64;
-        self.pool.counts_from_center(center, &mut self.counts);
+        let r = self.engine.num_samples().max(1) as f64;
+        self.engine.counts_from_center(center, &mut self.counts);
         for (i, &c) in self.counts.iter().enumerate() {
             let p = c as f64 / r;
             cover[i] = p;
@@ -126,38 +160,34 @@ impl Oracle for McOracle<'_> {
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
-        self.pool.pair_estimate(u, v)
+        self.engine.pair_estimate(u, v)
     }
 }
 
 /// Monte-Carlo oracle for **depth-limited** d-connection probabilities
-/// (paper §3.4), backed by a [`WorldPool`] and bounded BFS.
+/// (paper §3.4), backed by a depth-capable [`WorldEngine`] — per-world
+/// bounded BFS on the scalar backend, mask-propagating multi-world BFS on
+/// the bit-parallel backend.
 ///
 /// `d_select` is the selection depth `d'` (paths counted when choosing a
 /// center, Algorithm 4 line 5) and `d_cover` the cover depth `d` (paths
 /// counted when removing covered nodes, line 8); `d_select ≤ d_cover`.
-///
-/// Like [`McOracle`], preparation and estimation are rayon-parallel with
-/// thread-count-independent results (parallel workers build their own
-/// bounded-BFS workspaces).
 pub struct DepthMcOracle<'g> {
-    pool: WorldPool<'g>,
+    engine: Box<dyn WorldEngine + 'g>,
     schedule: SampleSchedule,
     epsilon: f64,
     d_select: u32,
     d_cover: u32,
-    bfs: DepthBfs,
     count_select: Vec<u32>,
     count_cover: Vec<u32>,
 }
 
 impl<'g> DepthMcOracle<'g> {
-    /// Creates the oracle with selection depth `d_select` and cover depth
-    /// `d_cover` (`d_select ≤ d_cover`).
+    /// Creates the oracle on the scalar backend ([`WorldPool`]) with
+    /// selection depth `d_select` and cover depth `d_cover`.
     ///
-    /// # Panics
-    /// Panics if `d_select > d_cover`.
-    #[allow(clippy::too_many_arguments)]
+    /// # Errors
+    /// Returns [`SamplingError::InvalidDepths`] if `d_select > d_cover`.
     pub fn new(
         graph: &'g UncertainGraph,
         seed: u64,
@@ -166,19 +196,74 @@ impl<'g> DepthMcOracle<'g> {
         epsilon: f64,
         d_select: u32,
         d_cover: u32,
-    ) -> Self {
-        assert!(d_select <= d_cover, "d_select must be ≤ d_cover");
-        let n = graph.num_nodes();
-        DepthMcOracle {
-            pool: WorldPool::new(graph, seed, threads),
+    ) -> Result<Self, SamplingError> {
+        Self::with_engine(
+            graph,
+            seed,
+            threads,
             schedule,
             epsilon,
             d_select,
             d_cover,
-            bfs: DepthBfs::new(n),
+            EngineKind::Scalar,
+        )
+    }
+
+    /// Creates the oracle on the backend selected by `kind`.
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::InvalidDepths`] if `d_select > d_cover`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        d_select: u32,
+        d_cover: u32,
+        kind: EngineKind,
+    ) -> Result<Self, SamplingError> {
+        let engine: Box<dyn WorldEngine + 'g> = match kind {
+            EngineKind::Scalar => Box::new(WorldPool::new(graph, seed, threads)),
+            EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
+        };
+        Self::from_engine(engine, schedule, epsilon, d_select, d_cover)
+    }
+
+    /// Wraps an already-built depth-capable engine.
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::InvalidDepths`] if `d_select > d_cover`,
+    /// or [`SamplingError::DepthIncapableEngine`] if a finite depth is
+    /// requested from an engine that cannot answer finite-depth queries —
+    /// caught here, at construction, rather than panicking at the first
+    /// query deep inside a clustering run.
+    pub fn from_engine(
+        engine: Box<dyn WorldEngine + 'g>,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        d_select: u32,
+        d_cover: u32,
+    ) -> Result<Self, SamplingError> {
+        if d_select > d_cover {
+            return Err(SamplingError::InvalidDepths { d_select, d_cover });
+        }
+        if (d_select != DEPTH_UNLIMITED || d_cover != DEPTH_UNLIMITED)
+            && !engine.supports_finite_depths()
+        {
+            return Err(SamplingError::DepthIncapableEngine);
+        }
+        let n = engine.graph().num_nodes();
+        Ok(DepthMcOracle {
+            engine,
+            schedule,
+            epsilon,
+            d_select,
+            d_cover,
             count_select: vec![0; n],
             count_cover: vec![0; n],
-        }
+        })
     }
 
     /// The configured `(d_select, d_cover)` depths.
@@ -186,15 +271,25 @@ impl<'g> DepthMcOracle<'g> {
         (self.d_select, self.d_cover)
     }
 
-    /// Read access to the world pool.
-    pub fn pool(&self) -> &WorldPool<'g> {
-        &self.pool
+    /// Read access to the backing engine.
+    pub fn engine(&self) -> &dyn WorldEngine {
+        self.engine.as_ref()
+    }
+}
+
+impl std::fmt::Debug for DepthMcOracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DepthMcOracle")
+            .field("samples", &self.engine.num_samples())
+            .field("depths", &(self.d_select, self.d_cover))
+            .field("epsilon", &self.epsilon)
+            .finish_non_exhaustive()
     }
 }
 
 impl Oracle for DepthMcOracle<'_> {
     fn num_nodes(&self) -> usize {
-        self.pool.graph().num_nodes()
+        self.engine.graph().num_nodes()
     }
 
     fn epsilon(&self) -> f64 {
@@ -203,22 +298,21 @@ impl Oracle for DepthMcOracle<'_> {
 
     fn prepare(&mut self, q: f64) {
         let r = self.schedule.samples_for(q, self.num_nodes());
-        self.pool.ensure(r);
+        self.engine.ensure(r);
     }
 
     fn num_samples(&self) -> usize {
-        self.pool.num_samples()
+        self.engine.num_samples()
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r = self.pool.num_samples().max(1) as f64;
-        self.pool.counts_within_depths(
+        let r = self.engine.num_samples().max(1) as f64;
+        self.engine.counts_within_depths(
             center,
             self.d_select,
             self.d_cover,
             &mut self.count_select,
             &mut self.count_cover,
-            &mut self.bfs,
         );
         for i in 0..select.len() {
             select[i] = self.count_select[i] as f64 / r;
@@ -227,7 +321,7 @@ impl Oracle for DepthMcOracle<'_> {
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
-        self.pool.pair_estimate_within(u, v, self.d_cover, &mut self.bfs)
+        self.engine.pair_estimate_within(u, v, self.d_cover)
     }
 }
 
@@ -276,6 +370,9 @@ impl Oracle for ExactOracleAdapter {
     }
 }
 
+/// Internal check that the unlimited sentinel is what engines expect.
+const _: () = assert!(DEPTH_UNLIMITED == u32::MAX);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,9 +420,38 @@ mod tests {
     }
 
     #[test]
+    fn mc_oracle_backends_agree_bit_for_bit() {
+        let g = chain(9, 0.6);
+        let mut scalar =
+            McOracle::with_engine(&g, 7, 1, SampleSchedule::Fixed(90), 0.1, EngineKind::Scalar);
+        let mut bit = McOracle::with_engine(
+            &g,
+            7,
+            1,
+            SampleSchedule::Fixed(90),
+            0.1,
+            EngineKind::BitParallel,
+        );
+        scalar.prepare(0.5);
+        bit.prepare(0.5);
+        assert_eq!(scalar.num_samples(), bit.num_samples());
+        let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
+        let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
+        for c in 0..9u32 {
+            scalar.center_probs(NodeId(c), &mut s1, &mut c1);
+            bit.center_probs(NodeId(c), &mut s2, &mut c2);
+            assert_eq!(s1, s2, "select rows differ at center {c}");
+            assert_eq!(c1, c2, "cover rows differ at center {c}");
+        }
+        for v in 1..9u32 {
+            assert_eq!(scalar.pair_prob(NodeId(0), NodeId(v)), bit.pair_prob(NodeId(0), NodeId(v)));
+        }
+    }
+
+    #[test]
     fn depth_oracle_select_below_cover() {
         let g = chain(5, 1.0);
-        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3);
+        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3).unwrap();
         o.prepare(1.0);
         let mut sel = vec![0.0; 5];
         let mut cov = vec![0.0; 5];
@@ -338,10 +464,31 @@ mod tests {
     #[test]
     fn depth_oracle_pair_prob_uses_cover_depth() {
         let g = chain(4, 1.0);
-        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2);
+        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2).unwrap();
         o.prepare(1.0);
         assert_eq!(o.pair_prob(NodeId(0), NodeId(2)), 1.0);
         assert_eq!(o.pair_prob(NodeId(0), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn depth_oracle_backends_agree_bit_for_bit() {
+        let g = chain(8, 0.7);
+        let schedule = SampleSchedule::Fixed(70);
+        let mut scalar =
+            DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, EngineKind::Scalar).unwrap();
+        let mut bit =
+            DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, EngineKind::BitParallel)
+                .unwrap();
+        scalar.prepare(0.5);
+        bit.prepare(0.5);
+        let (mut s1, mut c1) = (vec![0.0; 8], vec![0.0; 8]);
+        let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
+        for c in 0..8u32 {
+            scalar.center_probs(NodeId(c), &mut s1, &mut c1);
+            bit.center_probs(NodeId(c), &mut s2, &mut c2);
+            assert_eq!(s1, s2, "select rows differ at center {c}");
+            assert_eq!(c1, c2, "cover rows differ at center {c}");
+        }
     }
 
     #[test]
@@ -360,9 +507,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "d_select must be")]
     fn depth_oracle_rejects_bad_depths() {
         let g = chain(3, 0.5);
-        let _ = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 3, 2);
+        let err = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 3, 2).unwrap_err();
+        assert_eq!(err, SamplingError::InvalidDepths { d_select: 3, d_cover: 2 });
+    }
+
+    #[test]
+    fn depth_oracle_rejects_depth_incapable_engine() {
+        use crate::pool::ComponentPool;
+        let g = chain(3, 0.5);
+        let engine = Box::new(ComponentPool::new(&g, 1, 1));
+        let err = DepthMcOracle::from_engine(engine, SampleSchedule::Fixed(5), 0.1, 1, 2)
+            .expect_err("component pool cannot back a finite-depth oracle");
+        assert_eq!(err, SamplingError::DepthIncapableEngine);
     }
 }

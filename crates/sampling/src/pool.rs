@@ -1,4 +1,5 @@
-//! Progressive sample pools.
+//! Progressive sample pools — the backend implementations of the
+//! [`WorldEngine`] seam.
 //!
 //! The clustering algorithms lower their probability threshold `q`
 //! geometrically and re-estimate probabilities at each step (paper §4); the
@@ -7,104 +8,39 @@
 //! everything drawn before — the progressive sampling strategy of the
 //! paper. Because sample `i` is generated from a per-index RNG (see
 //! [`crate::rng`]), the pool contents are independent of the growth
-//! schedule and of the number of worker threads.
+//! schedule, of the number of worker threads, **and of the backend**:
+//!
+//! * [`ComponentPool`] — scalar, unlimited connectivity: each world is
+//!   reduced to its connected-component partition at generation time, so
+//!   center queries only walk the center's component members;
+//! * [`WorldPool`] — scalar, depth-limited: each world is kept as an edge
+//!   bitset and queried with one bounded BFS per world;
+//! * [`BitParallelPool`] — bit-parallel blocks: 64 worlds per machine word
+//!   as structure-of-arrays edge masks (`masks[e]` spans 64 worlds of one
+//!   block), queried with mask-propagating multi-world BFS — one traversal
+//!   answers 64 worlds, for both unlimited and depth-limited semantics.
 //!
 //! ## Parallelism
 //!
-//! Both world generation (`ensure`) and the Monte-Carlo aggregation queries
+//! Generation (`ensure`) and the Monte-Carlo aggregation queries
 //! (`counts_from_center`, `counts_within_depths`, `pair_count*`) run on
-//! rayon. Generation maps each sample index through its own RNG stream
-//! (`map_init` reuses per-worker union-find / bitset scratch); queries
-//! partition the sample rows into chunks, accumulate per-chunk count
-//! vectors, and merge them. Counts are integers, so the merged result — and
-//! therefore every estimate — is bit-identical no matter how many threads
+//! rayon, gated by the shared [`crate::tuning`] heuristics. Queries
+//! partition their work items (sample rows, worlds, or 64-world blocks)
+//! into chunks, accumulate per-chunk integer count vectors, and merge
+//! them — so every estimate is bit-identical no matter how many threads
 //! run, which the property tests assert.
 
 use rayon::prelude::*;
 
-use ugraph_graph::{Bitset, DepthBfs, NodeId, UncertainGraph, UnionFind, WorldView};
+use ugraph_graph::{
+    lane_mask, Bitset, DepthBfs, MultiWorldBfs, NodeId, UncertainGraph, UnionFind, WorldView, LANES,
+};
 
+use crate::engine::{WorldEngine, DEPTH_UNLIMITED};
+use crate::tuning::{
+    chunked_counts, chunked_counts2_with, chunked_counts_with, chunked_sum_with, ThreadConfig,
+};
 use crate::world::WorldSampler;
-
-/// Below this many items a parallel pass costs more than it saves.
-const MIN_PARALLEL_ITEMS: usize = 32;
-
-/// Minimum estimated work units (`items × per-item cost`) before a query
-/// takes the parallel path — below this, parallel dispatch (worker wake-up
-/// under real rayon, scoped-thread spawn under the vendored subset) costs
-/// more than the accumulation it distributes.
-const MIN_PARALLEL_WORK: usize = 1 << 16;
-
-/// The pool's rayon configuration, resolved **once** at pool construction —
-/// re-resolving the worker count (a syscall) or rebuilding a pinned pool on
-/// every query would burden the clustering inner loop.
-///
-/// `threads == 0` (the default) runs on the ambient/global rayon pool; any
-/// other value pins a dedicated worker pool (persistent workers under real
-/// rayon, a cheap scoped-thread handle under the vendored subset).
-#[derive(Clone, Debug)]
-struct ThreadConfig {
-    /// Resolved worker count (never 0).
-    workers: usize,
-    /// The dedicated pool, shared across pool clones; `None` = ambient.
-    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
-}
-
-impl ThreadConfig {
-    fn new(threads: usize) -> Self {
-        let workers = if threads == 0 {
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-        } else {
-            threads
-        };
-        let pool = (threads != 0).then(|| {
-            std::sync::Arc::new(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .expect("failed to build sampling thread pool"),
-            )
-        });
-        ThreadConfig { workers, pool }
-    }
-
-    /// Runs `op` with this configuration's worker count governing rayon.
-    fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
-        match &self.pool {
-            Some(pool) => pool.install(op),
-            None => op(),
-        }
-    }
-
-    /// Whether parallel generation of `count` new samples is worthwhile.
-    /// Sampling a world is always expensive (one Bernoulli draw per edge),
-    /// so any non-trivial batch parallelizes.
-    fn parallel_generation(&self, count: usize) -> bool {
-        count >= 4 && self.workers > 1
-    }
-
-    /// Whether a query over `items` sample rows, costing roughly
-    /// `per_item_work` units each, should take the parallel path.
-    fn parallel_query(&self, items: usize, per_item_work: usize) -> bool {
-        self.workers > 1
-            && items >= MIN_PARALLEL_ITEMS
-            && items.saturating_mul(per_item_work.max(1)) >= MIN_PARALLEL_WORK
-    }
-
-    /// Chunk size that spreads `items` evenly over the workers.
-    fn chunk_size(&self, items: usize) -> usize {
-        items.div_ceil(self.workers).max(1)
-    }
-}
-
-/// Element-wise `a[i] += b[i]`, the merge step of chunked count queries.
-fn merge_counts(mut a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
-    debug_assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += y;
-    }
-    a
-}
 
 /// One sampled world reduced to its connected-component partition.
 ///
@@ -150,7 +86,7 @@ impl SampleRow {
 }
 
 /// Pool of per-sample connected-component partitions, for **unlimited**
-/// connection probabilities.
+/// connection probabilities (the scalar backend of [`WorldEngine`]).
 #[derive(Clone, Debug)]
 pub struct ComponentPool<'g> {
     sampler: WorldSampler<'g>,
@@ -245,7 +181,7 @@ impl<'g> ComponentPool<'g> {
     pub fn counts_from_center(&self, center: NodeId, out: &mut [u32]) {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
-        let accumulate = |counts: &mut [u32], rows: &[SampleRow]| {
+        let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
                 let label = row.labels[center.index()];
                 for &u in row.members(label) {
@@ -253,36 +189,19 @@ impl<'g> ComponentPool<'g> {
                 }
             }
         };
-        if !self.config.parallel_query(self.rows.len(), n) {
-            out.fill(0);
-            accumulate(out, &self.rows);
-            return;
-        }
-        let merged = self.config.run(|| {
-            self.rows
-                .par_chunks(self.config.chunk_size(self.rows.len()))
-                .map(|rows| {
-                    let mut counts = vec![0u32; n];
-                    accumulate(&mut counts, rows);
-                    counts
-                })
-                .reduce(|| vec![0u32; n], merge_counts)
-        });
-        out.copy_from_slice(&merged);
+        chunked_counts(&self.config, &self.rows, n, n, accumulate, out);
     }
 
     /// Number of samples where `u` and `v` are connected.
     pub fn pair_count(&self, u: NodeId, v: NodeId) -> usize {
-        let connected = |row: &SampleRow| row.labels[u.index()] == row.labels[v.index()];
-        if !self.config.parallel_query(self.rows.len(), 1) {
-            return self.rows.iter().filter(|row| connected(row)).count();
-        }
-        self.config.run(|| {
-            self.rows
-                .par_chunks(self.config.chunk_size(self.rows.len()))
-                .map(|rows| rows.iter().filter(|row| connected(row)).count())
-                .sum()
-        })
+        chunked_sum_with(
+            &self.config,
+            &self.rows,
+            1,
+            &mut (),
+            || (),
+            |(), row| usize::from(row.labels[u.index()] == row.labels[v.index()]),
+        )
     }
 
     /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
@@ -294,13 +213,77 @@ impl<'g> ComponentPool<'g> {
     }
 }
 
+impl WorldEngine for ComponentPool<'_> {
+    fn graph(&self) -> &UncertainGraph {
+        ComponentPool::graph(self)
+    }
+
+    fn supports_finite_depths(&self) -> bool {
+        false
+    }
+
+    fn num_samples(&self) -> usize {
+        ComponentPool::num_samples(self)
+    }
+
+    fn ensure(&mut self, r: usize) {
+        ComponentPool::ensure(self, r)
+    }
+
+    fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
+        ComponentPool::counts_from_center(self, center, out)
+    }
+
+    fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        ComponentPool::pair_count(self, u, v)
+    }
+
+    /// Component labels carry no distance information, so this scalar
+    /// backend only answers [`DEPTH_UNLIMITED`] depths.
+    ///
+    /// # Panics
+    /// Panics if either depth is finite.
+    fn counts_within_depths(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        assert!(
+            d_select == DEPTH_UNLIMITED && d_cover == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::counts_from_center(self, center, out_cover);
+        out_select.copy_from_slice(out_cover);
+    }
+
+    /// # Panics
+    /// Panics if `depth` is finite (see
+    /// [`counts_within_depths`](WorldEngine::counts_within_depths)).
+    fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        assert!(
+            depth == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::pair_count(self, u, v)
+    }
+}
+
 /// Pool of per-sample edge bitsets, for **depth-limited** d-connection
-/// probabilities (paper §3.4).
+/// probabilities (paper §3.4) — the scalar depth-capable backend of
+/// [`WorldEngine`], one bounded BFS per world per query.
 #[derive(Clone, Debug)]
 pub struct WorldPool<'g> {
     sampler: WorldSampler<'g>,
     worlds: Vec<Bitset>,
     config: ThreadConfig,
+    /// Reusable bounded-BFS workspace for serial query paths; parallel
+    /// chunks build their own.
+    bfs: DepthBfs,
 }
 
 impl<'g> WorldPool<'g> {
@@ -311,6 +294,7 @@ impl<'g> WorldPool<'g> {
             sampler: WorldSampler::new(graph, seed),
             worlds: Vec::new(),
             config: ThreadConfig::new(threads),
+            bfs: DepthBfs::new(graph.num_nodes()),
         }
     }
 
@@ -333,24 +317,17 @@ impl<'g> WorldPool<'g> {
         }
         let m = self.graph().num_edges();
         let sampler = self.sampler;
+        let draw = move |i: u64| {
+            let mut world = Bitset::with_len(m);
+            sampler.sample_into(i, &mut world).expect("pool-sized bitset cannot mismatch");
+            world
+        };
         if !self.config.parallel_generation(r - cur) {
-            for i in cur as u64..r as u64 {
-                let mut world = Bitset::with_len(m);
-                sampler.sample_into(i, &mut world);
-                self.worlds.push(world);
-            }
+            self.worlds.extend((cur as u64..r as u64).map(draw));
             return;
         }
-        let new_worlds: Vec<Bitset> = self.config.run(|| {
-            (cur as u64..r as u64)
-                .into_par_iter()
-                .map(|i| {
-                    let mut world = Bitset::with_len(m);
-                    sampler.sample_into(i, &mut world);
-                    world
-                })
-                .collect()
-        });
+        let new_worlds: Vec<Bitset> =
+            self.config.run(|| (cur as u64..r as u64).into_par_iter().map(draw).collect());
         self.worlds.extend(new_worlds);
     }
 
@@ -366,28 +343,34 @@ impl<'g> WorldPool<'g> {
     /// * `out_cover[u]`  = #worlds with `dist(center, u) ≤ d_cover`.
     ///
     /// Requires `d_select ≤ d_cover` (one bounded BFS per world covers
-    /// both). `bfs` is a reusable workspace sized for the graph; parallel
-    /// chunks build their own BFS workspaces internally.
+    /// both).
     ///
     /// # Panics
     /// Panics on buffer-size mismatch or `d_select > d_cover`.
     pub fn counts_within_depths(
-        &self,
+        &mut self,
         center: NodeId,
         d_select: u32,
         d_cover: u32,
         out_select: &mut [u32],
         out_cover: &mut [u32],
-        bfs: &mut DepthBfs,
     ) {
         let n = self.graph().num_nodes();
         assert_eq!(out_select.len(), n, "select buffer has wrong length");
         assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
         assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
-        let accumulate =
-            |select: &mut [u32], cover: &mut [u32], bfs: &mut DepthBfs, worlds: &[Bitset]| {
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts2_with(
+            config,
+            worlds,
+            n,
+            n,
+            bfs,
+            || DepthBfs::new(n),
+            |select, cover, bfs, worlds| {
                 for world in worlds {
-                    let view = WorldView::new(self.graph(), world);
+                    let view = WorldView::new(graph, world);
                     bfs.run(&view, center, d_cover, |node, depth| {
                         cover[node.index()] += 1;
                         if depth <= d_select {
@@ -395,69 +378,406 @@ impl<'g> WorldPool<'g> {
                         }
                     });
                 }
-            };
-        if !self.config.parallel_query(self.worlds.len(), n) {
-            out_select.fill(0);
-            out_cover.fill(0);
-            accumulate(out_select, out_cover, bfs, &self.worlds);
-            return;
-        }
-        let (select, cover) = self.config.run(|| {
-            self.worlds
-                .par_chunks(self.config.chunk_size(self.worlds.len()))
-                .map_init(
-                    || DepthBfs::new(n),
-                    |bfs, worlds| {
-                        let mut select = vec![0u32; n];
-                        let mut cover = vec![0u32; n];
-                        accumulate(&mut select, &mut cover, bfs, worlds);
-                        (select, cover)
-                    },
-                )
-                .reduce(
-                    || (vec![0u32; n], vec![0u32; n]),
-                    |(s1, c1), (s2, c2)| (merge_counts(s1, s2), merge_counts(c1, c2)),
-                )
-        });
-        out_select.copy_from_slice(&select);
-        out_cover.copy_from_slice(&cover);
+            },
+            out_select,
+            out_cover,
+        );
     }
 
     /// Number of worlds where `dist(u, v) ≤ depth`.
-    pub fn pair_count_within(&self, u: NodeId, v: NodeId, depth: u32, bfs: &mut DepthBfs) -> usize {
-        let n = self.graph().num_nodes();
-        let world_hits = |bfs: &mut DepthBfs, world: &Bitset| {
-            let view = WorldView::new(self.graph(), world);
-            let mut hit = false;
-            bfs.run(&view, u, depth, |node, _| hit |= node == v);
-            hit
-        };
-        if !self.config.parallel_query(self.worlds.len(), n) {
-            return self.worlds.iter().filter(|world| world_hits(bfs, world)).count();
-        }
-        self.config.run(|| {
-            self.worlds
-                .par_chunks(self.config.chunk_size(self.worlds.len()))
-                .map_init(
-                    || DepthBfs::new(n),
-                    |bfs, worlds| worlds.iter().filter(|world| world_hits(bfs, world)).count(),
-                )
-                .sum()
-        })
+    pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        chunked_sum_with(
+            config,
+            worlds,
+            n,
+            bfs,
+            || DepthBfs::new(n),
+            |bfs, world| {
+                let view = WorldView::new(graph, world);
+                let mut hit = false;
+                bfs.run(&view, u, depth, |node, _| hit |= node == v);
+                usize::from(hit)
+            },
+        )
     }
 
     /// Estimator of the d-connection probability `Pr(u ~d~ v)`.
-    pub fn pair_estimate_within(
-        &self,
-        u: NodeId,
-        v: NodeId,
-        depth: u32,
-        bfs: &mut DepthBfs,
-    ) -> f64 {
+    pub fn pair_estimate_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> f64 {
         if self.worlds.is_empty() {
             return 0.0;
         }
-        self.pair_count_within(u, v, depth, bfs) as f64 / self.worlds.len() as f64
+        let r = self.worlds.len();
+        self.pair_count_within(u, v, depth) as f64 / r as f64
+    }
+}
+
+impl WorldEngine for WorldPool<'_> {
+    fn graph(&self) -> &UncertainGraph {
+        WorldPool::graph(self)
+    }
+
+    fn num_samples(&self) -> usize {
+        WorldPool::num_samples(self)
+    }
+
+    fn ensure(&mut self, r: usize) {
+        WorldPool::ensure(self, r)
+    }
+
+    fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
+        // Dedicated unlimited path: one increment per reached node, no
+        // select row to duplicate.
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        chunked_counts_with(
+            config,
+            worlds,
+            n,
+            n,
+            bfs,
+            || DepthBfs::new(n),
+            |counts, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    bfs.run(&view, center, DEPTH_UNLIMITED, |node, _| counts[node.index()] += 1);
+                }
+            },
+            out,
+        );
+    }
+
+    fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        WorldPool::pair_count_within(self, u, v, DEPTH_UNLIMITED)
+    }
+
+    fn counts_within_depths(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        WorldPool::counts_within_depths(self, center, d_select, d_cover, out_select, out_cover)
+    }
+
+    fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        WorldPool::pair_count_within(self, u, v, depth)
+    }
+}
+
+/// One block of up to [`LANES`] sampled worlds as per-edge presence masks.
+#[derive(Clone, Debug)]
+struct MaskBlock {
+    /// `masks[e]` bit `l` ⇔ edge `e` exists in world `base + l`.
+    masks: Vec<u64>,
+    /// Number of valid lanes (worlds) in this block; only the last block
+    /// of a pool can be partial.
+    lanes: u32,
+}
+
+impl MaskBlock {
+    #[inline]
+    fn lane_mask(&self) -> u64 {
+        lane_mask(self.lanes as usize)
+    }
+}
+
+/// The **bit-parallel** backend of [`WorldEngine`]: worlds stored in
+/// blocks of 64 as structure-of-arrays edge masks, queried with
+/// mask-propagating multi-world BFS ([`MultiWorldBfs`]).
+///
+/// One traversal answers 64 worlds at once, so queries cost
+/// `O((n + m) · ⌈r/64⌉)` word operations instead of `r` per-world walks —
+/// and generation skips the per-world union-find/labeling pass entirely.
+/// World `i` lives in lane `i % 64` of block `i / 64` and is drawn from
+/// per-index RNG stream `i`, so the pool is world-for-world identical to
+/// the scalar pools under the same master seed (property-tested).
+#[derive(Clone, Debug)]
+pub struct BitParallelPool<'g> {
+    sampler: WorldSampler<'g>,
+    blocks: Vec<MaskBlock>,
+    samples: usize,
+    config: ThreadConfig,
+    /// Reusable multi-world BFS workspace for serial query paths; parallel
+    /// chunks build their own.
+    bfs: MultiWorldBfs,
+}
+
+impl<'g> BitParallelPool<'g> {
+    /// Creates an empty bit-parallel pool over `graph` with master `seed`.
+    /// `threads = 0` uses all available cores.
+    pub fn new(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
+        BitParallelPool {
+            sampler: WorldSampler::new(graph, seed),
+            blocks: Vec::new(),
+            samples: 0,
+            config: ThreadConfig::new(threads),
+            bfs: MultiWorldBfs::new(graph.num_nodes()),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.sampler.graph()
+    }
+
+    /// Number of samples currently in the pool.
+    pub fn num_samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of 64-world blocks backing the pool.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Presence mask of edge `e` in block `block` (bit `l` ⇔ the edge
+    /// exists in world `block·64 + l`). Exposed for tests and diagnostics.
+    pub fn edge_mask(&self, block: usize, e: usize) -> u64 {
+        self.blocks[block].masks[e]
+    }
+
+    fn build_block(sampler: &WorldSampler<'g>, m: usize, block: usize, r: usize) -> MaskBlock {
+        let base = block * LANES;
+        let lanes = (r - base).min(LANES);
+        let mut masks = vec![0u64; m];
+        for lane in 0..lanes {
+            sampler
+                .sample_lane((base + lane) as u64, lane, &mut masks)
+                .expect("pool-sized mask buffer cannot mismatch");
+        }
+        MaskBlock { masks, lanes: lanes as u32 }
+    }
+
+    /// Grows the pool to at least `r` samples (no-op if already there).
+    ///
+    /// A partial last block is topped up lane by lane; full new blocks are
+    /// generated in parallel. Either way world `i` comes from RNG stream
+    /// `i`, so the pool is independent of the growth schedule and thread
+    /// count.
+    pub fn ensure(&mut self, r: usize) {
+        if r <= self.samples {
+            return;
+        }
+        let m = self.graph().num_edges();
+        let sampler = self.sampler;
+        // Top up the trailing partial block, if any.
+        let base = self.blocks.len().saturating_sub(1) * LANES;
+        if let Some(last) = self.blocks.last_mut() {
+            if (last.lanes as usize) < LANES {
+                let target = (r - base).min(LANES);
+                for lane in last.lanes as usize..target {
+                    sampler
+                        .sample_lane((base + lane) as u64, lane, &mut last.masks)
+                        .expect("pool-sized mask buffer cannot mismatch");
+                }
+                last.lanes = target as u32;
+            }
+        }
+        // Append new blocks.
+        let first = self.blocks.len();
+        let total = r.div_ceil(LANES);
+        if first < total {
+            let build = |b: usize| Self::build_block(&sampler, m, b, r);
+            if self.config.parallel_generation((total - first) * LANES) {
+                let new_blocks: Vec<MaskBlock> =
+                    self.config.run(|| (first..total).into_par_iter().map(build).collect());
+                self.blocks.extend(new_blocks);
+            } else {
+                self.blocks.extend((first..total).map(build));
+            }
+        }
+        self.samples = r;
+    }
+
+    /// For every node `u`, the number of samples in which `u` is connected
+    /// to `center` — one connectivity-fixpoint traversal per 64-world
+    /// block, popcounting the final reach masks.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        let per_block = n + 2 * graph.num_edges();
+        chunked_counts_with(
+            config,
+            blocks,
+            n,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |counts, bfs, blocks| {
+                for block in blocks {
+                    bfs.run_unlimited(
+                        graph,
+                        &block.masks,
+                        center,
+                        block.lane_mask(),
+                        |node, mask| counts[node.index()] += mask.count_ones(),
+                    );
+                }
+            },
+            out,
+        );
+    }
+
+    /// Number of samples where `u` and `v` are connected.
+    pub fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        let per_block = n + 2 * graph.num_edges();
+        chunked_sum_with(
+            config,
+            blocks,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |bfs, block| {
+                bfs.run_unlimited(graph, &block.masks, u, block.lane_mask(), |_, _| {});
+                bfs.reach(v).count_ones() as usize
+            },
+        )
+    }
+
+    /// Depth-limited connection counts from `center` (same contract as
+    /// [`WorldPool::counts_within_depths`]) — one depth-limited masked BFS
+    /// per 64-world block.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch or `d_select > d_cover`.
+    pub fn counts_within_depths(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), n, "select buffer has wrong length");
+        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        if d_select == DEPTH_UNLIMITED {
+            // Both depths unlimited: the fixpoint mode is cheaper.
+            self.counts_from_center(center, out_cover);
+            out_select.copy_from_slice(out_cover);
+            return;
+        }
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let per_block = n + 2 * graph.num_edges();
+        chunked_counts2_with(
+            config,
+            blocks,
+            n,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |select, cover, bfs, blocks| {
+                for block in blocks {
+                    bfs.run(
+                        graph,
+                        &block.masks,
+                        center,
+                        block.lane_mask(),
+                        d_cover,
+                        |node, depth, mask| {
+                            let c = mask.count_ones();
+                            cover[node.index()] += c;
+                            if depth <= d_select {
+                                select[node.index()] += c;
+                            }
+                        },
+                    );
+                }
+            },
+            out_select,
+            out_cover,
+        );
+    }
+
+    /// Number of samples where `dist(u, v) ≤ depth`.
+    pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        if depth == DEPTH_UNLIMITED {
+            return self.pair_count(u, v);
+        }
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        let per_block = n + 2 * graph.num_edges();
+        chunked_sum_with(
+            config,
+            blocks,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |bfs, block| {
+                let mut hit = 0u64;
+                bfs.run(graph, &block.masks, u, block.lane_mask(), depth, |node, _, mask| {
+                    if node == v {
+                        hit |= mask;
+                    }
+                });
+                hit.count_ones() as usize
+            },
+        )
+    }
+
+    /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
+    pub fn pair_estimate(&mut self, u: NodeId, v: NodeId) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.pair_count(u, v) as f64 / self.samples as f64
+    }
+}
+
+impl WorldEngine for BitParallelPool<'_> {
+    fn graph(&self) -> &UncertainGraph {
+        BitParallelPool::graph(self)
+    }
+
+    fn num_samples(&self) -> usize {
+        BitParallelPool::num_samples(self)
+    }
+
+    fn ensure(&mut self, r: usize) {
+        BitParallelPool::ensure(self, r)
+    }
+
+    fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
+        BitParallelPool::counts_from_center(self, center, out)
+    }
+
+    fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        BitParallelPool::pair_count(self, u, v)
+    }
+
+    fn counts_within_depths(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        BitParallelPool::counts_within_depths(
+            self, center, d_select, d_cover, out_select, out_cover,
+        )
+    }
+
+    fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        BitParallelPool::pair_count_within(self, u, v, depth)
     }
 }
 
@@ -621,8 +941,7 @@ mod tests {
         pool.ensure(5);
         let mut sel = vec![0u32; 4];
         let mut cov = vec![0u32; 4];
-        let mut bfs = DepthBfs::new(4);
-        pool.counts_within_depths(NodeId(0), 1, 2, &mut sel, &mut cov, &mut bfs);
+        pool.counts_within_depths(NodeId(0), 1, 2, &mut sel, &mut cov);
         assert_eq!(sel, vec![5, 5, 0, 0]);
         assert_eq!(cov, vec![5, 5, 5, 0]);
     }
@@ -636,19 +955,18 @@ mod tests {
         let mut parallel = WorldPool::new(&g, 21, 4);
         serial.ensure(1100);
         parallel.ensure(1100);
-        let mut bfs = DepthBfs::new(64);
         let (mut s1, mut c1) = (vec![0u32; 64], vec![0u32; 64]);
         let (mut s2, mut c2) = (vec![0u32; 64], vec![0u32; 64]);
         for center in [0u32, 21, 42, 63] {
-            serial.counts_within_depths(NodeId(center), 2, 4, &mut s1, &mut c1, &mut bfs);
-            parallel.counts_within_depths(NodeId(center), 2, 4, &mut s2, &mut c2, &mut bfs);
+            serial.counts_within_depths(NodeId(center), 2, 4, &mut s1, &mut c1);
+            parallel.counts_within_depths(NodeId(center), 2, 4, &mut s2, &mut c2);
             assert_eq!(s1, s2, "select counts differ at center {center}");
             assert_eq!(c1, c2, "cover counts differ at center {center}");
         }
         for v in [1u32, 31, 63] {
             assert_eq!(
-                serial.pair_count_within(NodeId(0), NodeId(v), 3, &mut bfs),
-                parallel.pair_count_within(NodeId(0), NodeId(v), 3, &mut bfs),
+                serial.pair_count_within(NodeId(0), NodeId(v), 3),
+                parallel.pair_count_within(NodeId(0), NodeId(v), 3),
                 "pair counts differ for (0, {v})"
             );
         }
@@ -659,9 +977,8 @@ mod tests {
         let g = chain(3, 1.0);
         let mut pool = WorldPool::new(&g, 4, 1);
         pool.ensure(8);
-        let mut bfs = DepthBfs::new(3);
-        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 1, &mut bfs), 0.0);
-        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 2, &mut bfs), 1.0);
+        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 1), 0.0);
+        assert_eq!(pool.pair_estimate_within(NodeId(0), NodeId(2), 2), 1.0);
     }
 
     #[test]
@@ -671,11 +988,10 @@ mod tests {
         let mut wpool = WorldPool::new(&g, 31, 1);
         cpool.ensure(200);
         wpool.ensure(200);
-        let mut bfs = DepthBfs::new(6);
         for u in 0..6u32 {
             for v in (u + 1)..6 {
                 let a = cpool.pair_estimate(NodeId(u), NodeId(v));
-                let b = wpool.pair_estimate_within(NodeId(u), NodeId(v), 5, &mut bfs);
+                let b = wpool.pair_estimate_within(NodeId(u), NodeId(v), 5);
                 assert!((a - b).abs() < 1e-12, "({u},{v}): {a} vs {b}");
             }
         }
@@ -689,7 +1005,154 @@ mod tests {
         pool.ensure(1);
         let mut sel = vec![0u32; 3];
         let mut cov = vec![0u32; 3];
-        let mut bfs = DepthBfs::new(3);
-        pool.counts_within_depths(NodeId(0), 2, 1, &mut sel, &mut cov, &mut bfs);
+        pool.counts_within_depths(NodeId(0), 2, 1, &mut sel, &mut cov);
+    }
+
+    // ───────────── bit-parallel backend ─────────────
+
+    #[test]
+    fn bit_pool_blocks_and_lanes() {
+        let g = chain(10, 0.5);
+        let mut pool = BitParallelPool::new(&g, 7, 1);
+        pool.ensure(1);
+        assert_eq!((pool.num_samples(), pool.num_blocks()), (1, 1));
+        pool.ensure(64);
+        assert_eq!((pool.num_samples(), pool.num_blocks()), (64, 1));
+        pool.ensure(65);
+        assert_eq!((pool.num_samples(), pool.num_blocks()), (65, 2));
+        pool.ensure(300);
+        assert_eq!((pool.num_samples(), pool.num_blocks()), (300, 5));
+    }
+
+    #[test]
+    fn bit_pool_worlds_match_scalar_worlds() {
+        let g = chain(12, 0.45);
+        let mut scalar = WorldPool::new(&g, 99, 1);
+        scalar.ensure(130);
+        // Grown in uneven steps to exercise partial-block top-up.
+        let mut bit = BitParallelPool::new(&g, 99, 1);
+        bit.ensure(10);
+        bit.ensure(64);
+        bit.ensure(70);
+        bit.ensure(130);
+        for i in 0..130 {
+            let world = scalar.world(i);
+            for e in 0..g.num_edges() {
+                assert_eq!(
+                    bit.edge_mask(i / LANES, e) >> (i % LANES) & 1 == 1,
+                    world.get(e),
+                    "world {i} edge {e} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_pool_counts_match_component_pool() {
+        let g = chain(9, 0.5);
+        let mut scalar = ComponentPool::new(&g, 42, 1);
+        let mut bit = BitParallelPool::new(&g, 42, 1);
+        // 100 is deliberately not a multiple of 64.
+        scalar.ensure(100);
+        bit.ensure(100);
+        let mut a = vec![0u32; 9];
+        let mut b = vec![0u32; 9];
+        for c in 0..9u32 {
+            scalar.counts_from_center(NodeId(c), &mut a);
+            bit.counts_from_center(NodeId(c), &mut b);
+            assert_eq!(a, b, "center {c}");
+            for v in 0..9u32 {
+                assert_eq!(
+                    scalar.pair_count(NodeId(c), NodeId(v)),
+                    bit.pair_count(NodeId(c), NodeId(v)),
+                    "pair ({c},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_pool_depth_counts_match_world_pool() {
+        let g = chain(10, 0.6);
+        let mut scalar = WorldPool::new(&g, 5, 1);
+        let mut bit = BitParallelPool::new(&g, 5, 1);
+        scalar.ensure(97);
+        bit.ensure(97);
+        let (mut s1, mut c1) = (vec![0u32; 10], vec![0u32; 10]);
+        let (mut s2, mut c2) = (vec![0u32; 10], vec![0u32; 10]);
+        for center in 0..10u32 {
+            for (ds, dc) in [(0, 0), (1, 2), (2, 2), (3, 9)] {
+                scalar.counts_within_depths(NodeId(center), ds, dc, &mut s1, &mut c1);
+                bit.counts_within_depths(NodeId(center), ds, dc, &mut s2, &mut c2);
+                assert_eq!(s1, s2, "select center {center} depths ({ds},{dc})");
+                assert_eq!(c1, c2, "cover center {center} depths ({ds},{dc})");
+            }
+        }
+        for v in 1..10u32 {
+            for d in [1u32, 3, 8] {
+                assert_eq!(
+                    scalar.pair_count_within(NodeId(0), NodeId(v), d),
+                    bit.pair_count_within(NodeId(0), NodeId(v), d),
+                    "pair (0,{v}) depth {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_pool_growth_schedule_invariant() {
+        let g = chain(8, 0.5);
+        let mut a = BitParallelPool::new(&g, 13, 1);
+        a.ensure(150);
+        let mut b = BitParallelPool::new(&g, 13, 4);
+        b.ensure(3);
+        b.ensure(66);
+        b.ensure(150);
+        let mut ca = vec![0u32; 8];
+        let mut cb = vec![0u32; 8];
+        for c in 0..8u32 {
+            a.counts_from_center(NodeId(c), &mut ca);
+            b.counts_from_center(NodeId(c), &mut cb);
+            assert_eq!(ca, cb, "center {c}");
+        }
+    }
+
+    #[test]
+    fn bit_pool_empty_and_certain() {
+        let g = chain(4, 1.0);
+        let mut pool = BitParallelPool::new(&g, 8, 1);
+        assert_eq!(pool.pair_estimate(NodeId(0), NodeId(3)), 0.0);
+        pool.ensure(10);
+        assert_eq!(pool.pair_estimate(NodeId(0), NodeId(3)), 1.0);
+        let mut counts = vec![0u32; 4];
+        pool.counts_from_center(NodeId(0), &mut counts);
+        assert_eq!(counts, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn engine_trait_unifies_backends() {
+        fn total_reach(engine: &mut dyn WorldEngine, center: NodeId) -> u32 {
+            let n = engine.graph().num_nodes();
+            let mut counts = vec![0u32; n];
+            engine.counts_from_center(center, &mut counts);
+            counts.iter().sum()
+        }
+        let g = chain(6, 0.7);
+        let mut scalar = ComponentPool::new(&g, 3, 1);
+        let mut bit = BitParallelPool::new(&g, 3, 1);
+        WorldEngine::ensure(&mut scalar, 70);
+        WorldEngine::ensure(&mut bit, 70);
+        assert_eq!(total_reach(&mut scalar, NodeId(2)), total_reach(&mut bit, NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unlimited-depth queries only")]
+    fn component_pool_rejects_finite_depths() {
+        let g = chain(3, 0.5);
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(4);
+        let mut sel = vec![0u32; 3];
+        let mut cov = vec![0u32; 3];
+        WorldEngine::counts_within_depths(&mut pool, NodeId(0), 1, 2, &mut sel, &mut cov);
     }
 }

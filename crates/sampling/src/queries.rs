@@ -6,25 +6,15 @@
 //! most-reliable-source problem of classical network reliability (§1.1 of
 //! the paper). These primitives fall out of the same Monte-Carlo machinery
 //! the clustering algorithms use, so they are provided here as first-class
-//! queries.
+//! queries — generic over the [`WorldEngine`] seam, so they run unchanged
+//! on the scalar pools and on the bit-parallel block pool.
 
-use ugraph_graph::{DepthBfs, NodeId};
+use ugraph_graph::NodeId;
 
-use crate::pool::{ComponentPool, WorldPool};
+use crate::engine::WorldEngine;
 
-/// The `k` nodes most reliably connected to `source` (excluding the source
-/// itself), sorted by decreasing estimated connection probability; ties
-/// break toward smaller node ids. Nodes with estimate 0 are never returned,
-/// so fewer than `k` results are possible.
-///
-/// This is the reliability variant of the k-NN query of Potamias et al.,
-/// using majority semantics over the sample pool.
-pub fn reliability_knn(pool: &ComponentPool<'_>, source: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-    let n = pool.graph().num_nodes();
-    let r = pool.num_samples();
-    assert!(r > 0, "sample pool is empty");
-    let mut counts = vec![0u32; n];
-    pool.counts_from_center(source, &mut counts);
+/// Ranks nonzero counts, excluding the source, by decreasing estimate.
+fn rank_counts(counts: &[u32], source: NodeId, k: usize, r: usize) -> Vec<(NodeId, f64)> {
     let mut scored: Vec<(NodeId, f64)> = counts
         .iter()
         .enumerate()
@@ -36,30 +26,48 @@ pub fn reliability_knn(pool: &ComponentPool<'_>, source: NodeId, k: usize) -> Ve
     scored
 }
 
+/// The `k` nodes most reliably connected to `source` (excluding the source
+/// itself), sorted by decreasing estimated connection probability; ties
+/// break toward smaller node ids. Nodes with estimate 0 are never returned,
+/// so fewer than `k` results are possible.
+///
+/// This is the reliability variant of the k-NN query of Potamias et al.,
+/// using majority semantics over the sample pool.
+///
+/// # Panics
+/// Panics if the engine's pool is empty.
+pub fn reliability_knn<E: WorldEngine + ?Sized>(
+    engine: &mut E,
+    source: NodeId,
+    k: usize,
+) -> Vec<(NodeId, f64)> {
+    let n = engine.graph().num_nodes();
+    let r = engine.num_samples();
+    assert!(r > 0, "sample pool is empty");
+    let mut counts = vec![0u32; n];
+    engine.counts_from_center(source, &mut counts);
+    rank_counts(&counts, source, k, r)
+}
+
 /// Depth-limited variant of [`reliability_knn`]: only paths of length at
-/// most `depth` count (paper §3.4 semantics).
-pub fn reliability_knn_within(
-    pool: &WorldPool<'_>,
+/// most `depth` count (paper §3.4 semantics). Requires a depth-capable
+/// engine ([`crate::WorldPool`] or [`crate::BitParallelPool`]).
+///
+/// # Panics
+/// Panics if the engine's pool is empty or cannot answer finite depths.
+pub fn reliability_knn_within<E: WorldEngine + ?Sized>(
+    engine: &mut E,
     source: NodeId,
     k: usize,
     depth: u32,
 ) -> Vec<(NodeId, f64)> {
-    let n = pool.graph().num_nodes();
-    let r = pool.num_samples();
+    let n = engine.graph().num_nodes();
+    let r = engine.num_samples();
     assert!(r > 0, "sample pool is empty");
-    let mut bfs = DepthBfs::new(n);
     let mut sel = vec![0u32; n];
     let mut cov = vec![0u32; n];
-    pool.counts_within_depths(source, depth, depth, &mut sel, &mut cov, &mut bfs);
-    let mut scored: Vec<(NodeId, f64)> = cov
-        .iter()
-        .enumerate()
-        .filter(|&(u, &c)| u != source.index() && c > 0)
-        .map(|(u, &c)| (NodeId::from_index(u), c as f64 / r as f64))
-        .collect();
-    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    scored.truncate(k);
-    scored
+    engine.counts_within_depths(source, depth, depth, &mut sel, &mut cov);
+    rank_counts(&cov, source, k, r)
 }
 
 /// Statistic used by [`most_reliable_source`] to rank candidates.
@@ -79,8 +87,11 @@ pub enum SourceObjective {
 /// special case of the paper's clustering objectives with `k = 1`).
 /// Returns the winner and its statistic; `None` if `candidates` or
 /// `targets` is empty. Ties break toward the smaller node id.
-pub fn most_reliable_source(
-    pool: &ComponentPool<'_>,
+///
+/// # Panics
+/// Panics if the engine's pool is empty.
+pub fn most_reliable_source<E: WorldEngine + ?Sized>(
+    engine: &mut E,
     candidates: &[NodeId],
     targets: &[NodeId],
     objective: SourceObjective,
@@ -88,13 +99,13 @@ pub fn most_reliable_source(
     if candidates.is_empty() || targets.is_empty() {
         return None;
     }
-    let n = pool.graph().num_nodes();
-    let r = pool.num_samples();
+    let n = engine.graph().num_nodes();
+    let r = engine.num_samples();
     assert!(r > 0, "sample pool is empty");
     let mut counts = vec![0u32; n];
     let mut best: Option<(NodeId, f64)> = None;
     for &c in candidates {
-        pool.counts_from_center(c, &mut counts);
+        engine.counts_from_center(c, &mut counts);
         let stat = match objective {
             SourceObjective::MinToTargets => targets
                 .iter()
@@ -121,6 +132,8 @@ mod tests {
     use super::*;
     use ugraph_graph::{GraphBuilder, UncertainGraph};
 
+    use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
+
     /// Star: center 0 with spokes of decreasing reliability, plus a far
     /// node 4 two hops out.
     fn star() -> UncertainGraph {
@@ -137,7 +150,7 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 5, 1);
         pool.ensure(4000);
-        let knn = reliability_knn(&pool, NodeId(0), 3);
+        let knn = reliability_knn(&mut pool, NodeId(0), 3);
         assert_eq!(knn.len(), 3);
         let ids: Vec<u32> = knn.iter().map(|(n, _)| n.0).collect();
         assert_eq!(ids, vec![1, 2, 3], "expected reliability order, got {knn:?}");
@@ -150,10 +163,10 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 5, 1);
         pool.ensure(500);
-        let knn = reliability_knn(&pool, NodeId(0), 100);
+        let knn = reliability_knn(&mut pool, NodeId(0), 100);
         assert!(knn.len() <= 4);
         assert!(knn.iter().all(|(n, _)| *n != NodeId(0)));
-        let top1 = reliability_knn(&pool, NodeId(0), 1);
+        let top1 = reliability_knn(&mut pool, NodeId(0), 1);
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].0, NodeId(1));
     }
@@ -163,10 +176,35 @@ mod tests {
         let g = star();
         let mut pool = WorldPool::new(&g, 5, 1);
         pool.ensure(1000);
-        let within1 = reliability_knn_within(&pool, NodeId(0), 10, 1);
+        let within1 = reliability_knn_within(&mut pool, NodeId(0), 10, 1);
         assert!(within1.iter().all(|(n, _)| n.0 != 4), "node 4 is 2 hops away");
-        let within2 = reliability_knn_within(&pool, NodeId(0), 10, 2);
+        let within2 = reliability_knn_within(&mut pool, NodeId(0), 10, 2);
         assert!(within2.iter().any(|(n, _)| n.0 == 4));
+    }
+
+    #[test]
+    fn queries_agree_across_backends() {
+        let g = star();
+        let mut scalar = ComponentPool::new(&g, 5, 1);
+        let mut bit = BitParallelPool::new(&g, 5, 1);
+        scalar.ensure(777);
+        bit.ensure(777);
+        assert_eq!(
+            reliability_knn(&mut scalar, NodeId(0), 4),
+            reliability_knn(&mut bit, NodeId(0), 4)
+        );
+        let mut wscalar = WorldPool::new(&g, 5, 1);
+        wscalar.ensure(777);
+        assert_eq!(
+            reliability_knn_within(&mut wscalar, NodeId(0), 4, 1),
+            reliability_knn_within(&mut bit, NodeId(0), 4, 1)
+        );
+        let cands = [NodeId(0), NodeId(4)];
+        let targets = [NodeId(1), NodeId(2)];
+        assert_eq!(
+            most_reliable_source(&mut scalar, &cands, &targets, SourceObjective::MinToTargets),
+            most_reliable_source(&mut bit, &cands, &targets, SourceObjective::MinToTargets)
+        );
     }
 
     #[test]
@@ -177,7 +215,7 @@ mod tests {
         // Candidates 0 and 4 serving targets {1, 2}: node 0 is adjacent to
         // both; node 4 reaches them through two weak hops.
         let got = most_reliable_source(
-            &pool,
+            &mut pool,
             &[NodeId(0), NodeId(4)],
             &[NodeId(1), NodeId(2)],
             SourceObjective::MinToTargets,
@@ -186,7 +224,7 @@ mod tests {
         assert_eq!(got.0, NodeId(0));
         assert!((got.1 - 0.6).abs() < 0.04, "min stat {}", got.1);
         let avg = most_reliable_source(
-            &pool,
+            &mut pool,
             &[NodeId(0), NodeId(4)],
             &[NodeId(1), NodeId(2)],
             SourceObjective::AvgToTargets,
@@ -201,12 +239,10 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(10);
-        assert!(
-            most_reliable_source(&pool, &[], &[NodeId(1)], SourceObjective::default()).is_none()
-        );
-        assert!(
-            most_reliable_source(&pool, &[NodeId(0)], &[], SourceObjective::default()).is_none()
-        );
+        assert!(most_reliable_source(&mut pool, &[], &[NodeId(1)], SourceObjective::default())
+            .is_none());
+        assert!(most_reliable_source(&mut pool, &[NodeId(0)], &[], SourceObjective::default())
+            .is_none());
     }
 
     #[test]
@@ -214,9 +250,13 @@ mod tests {
         let g = star();
         let mut pool = ComponentPool::new(&g, 2, 1);
         pool.ensure(100);
-        let got =
-            most_reliable_source(&pool, &[NodeId(1)], &[NodeId(1)], SourceObjective::MinToTargets)
-                .unwrap();
+        let got = most_reliable_source(
+            &mut pool,
+            &[NodeId(1)],
+            &[NodeId(1)],
+            SourceObjective::MinToTargets,
+        )
+        .unwrap();
         assert_eq!(got, (NodeId(1), 1.0));
     }
 }

@@ -14,6 +14,7 @@ use rand::Rng;
 
 use ugraph_graph::{Bitset, UncertainGraph, UnionFind};
 
+use crate::error::SamplingError;
 use crate::rng::sample_rng;
 
 /// Stateless sampler bound to a graph and a master seed.
@@ -36,10 +37,16 @@ impl<'g> WorldSampler<'g> {
 
     /// Draws world `index` into `out` (one bit per [`ugraph_graph::EdgeId`]).
     ///
-    /// # Panics
-    /// Panics if `out.len() != m`.
-    pub fn sample_into(&self, index: u64, out: &mut Bitset) {
-        assert_eq!(out.len(), self.graph.num_edges(), "bitset length must equal edge count");
+    /// # Errors
+    /// Returns [`SamplingError::BufferMismatch`] if `out.len() != m`.
+    pub fn sample_into(&self, index: u64, out: &mut Bitset) -> Result<(), SamplingError> {
+        if out.len() != self.graph.num_edges() {
+            return Err(SamplingError::BufferMismatch {
+                what: "world bitset",
+                expected: self.graph.num_edges(),
+                got: out.len(),
+            });
+        }
         out.clear();
         let mut rng = sample_rng(self.seed, index);
         for (i, &p) in self.graph.probs().iter().enumerate() {
@@ -49,12 +56,49 @@ impl<'g> WorldSampler<'g> {
                 out.insert(i);
             }
         }
+        Ok(())
+    }
+
+    /// Draws world `index` into bit `lane` of the per-edge mask words:
+    /// after the call, `masks[e] & (1 << lane)` is set iff edge `e` exists
+    /// in world `index`. Other lanes of `masks` are left untouched, so a
+    /// 64-world block is assembled lane by lane — each lane from its own
+    /// per-index RNG stream, which keeps bit-parallel pools world-for-world
+    /// identical to scalar pools under the same master seed.
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::BufferMismatch`] if `masks.len() != m`.
+    ///
+    /// # Panics
+    /// Panics if `lane >= 64`.
+    pub fn sample_lane(
+        &self,
+        index: u64,
+        lane: usize,
+        masks: &mut [u64],
+    ) -> Result<(), SamplingError> {
+        assert!(lane < ugraph_graph::LANES, "lane {lane} out of range");
+        if masks.len() != self.graph.num_edges() {
+            return Err(SamplingError::BufferMismatch {
+                what: "edge-mask buffer",
+                expected: self.graph.num_edges(),
+                got: masks.len(),
+            });
+        }
+        let bit = 1u64 << lane;
+        let mut rng = sample_rng(self.seed, index);
+        for (i, &p) in self.graph.probs().iter().enumerate() {
+            if rng.gen::<f64>() < p {
+                masks[i] |= bit;
+            }
+        }
+        Ok(())
     }
 
     /// Convenience allocating variant of [`WorldSampler::sample_into`].
     pub fn sample(&self, index: u64) -> Bitset {
         let mut b = Bitset::with_len(self.graph.num_edges());
-        self.sample_into(index, &mut b);
+        self.sample_into(index, &mut b).expect("freshly sized bitset cannot mismatch");
         b
     }
 
@@ -122,7 +166,7 @@ mod tests {
         let mut hits = 0usize;
         let mut w = Bitset::with_len(1);
         for i in 0..r {
-            s.sample_into(i, &mut w);
+            s.sample_into(i, &mut w).unwrap();
             if w.get(0) {
                 hits += 1;
             }
@@ -146,6 +190,36 @@ mod tests {
             let (view_labels, view_count) = ugraph_graph::connected_components(&view);
             assert_eq!(count, view_count, "component count mismatch in world {i}");
             assert_eq!(labels, view_labels, "labels mismatch in world {i}");
+        }
+    }
+
+    #[test]
+    fn sample_into_rejects_misized_buffer() {
+        let g = chain(4, 0.5);
+        let s = WorldSampler::new(&g, 1);
+        let mut wrong = Bitset::with_len(2);
+        assert_eq!(
+            s.sample_into(0, &mut wrong),
+            Err(crate::SamplingError::BufferMismatch { what: "world bitset", expected: 3, got: 2 })
+        );
+        let mut masks = vec![0u64; 2];
+        assert!(s.sample_lane(0, 0, &mut masks).is_err());
+    }
+
+    #[test]
+    fn sample_lane_matches_sample_into() {
+        let g = chain(20, 0.4);
+        let s = WorldSampler::new(&g, 123);
+        let m = g.num_edges();
+        let mut masks = vec![0u64; m];
+        for lane in 0..8usize {
+            s.sample_lane(lane as u64, lane, &mut masks).unwrap();
+        }
+        for lane in 0..8usize {
+            let world = s.sample(lane as u64);
+            for (e, mask) in masks.iter().enumerate() {
+                assert_eq!(mask >> lane & 1 == 1, world.get(e), "edge {e} lane {lane} disagrees");
+            }
         }
     }
 

@@ -1,0 +1,173 @@
+//! Property tests for the `WorldEngine` backend seam: for any graph,
+//! master seed, thread count, and sample size (multiples of 64 or not),
+//! the scalar pools and the bit-parallel block pool must produce
+//! **identical integer counts** for every query family — they hold the
+//! same worlds, drawn from the same per-index RNG streams.
+
+use proptest::prelude::*;
+use ugraph_graph::{GraphBuilder, NodeId, UncertainGraph};
+use ugraph_sampling::{BitParallelPool, ComponentPool, WorldEngine, WorldPool};
+
+/// Strategy: a small random uncertain graph (any shape, including
+/// disconnected and edgeless ones).
+fn small_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = UncertainGraph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n, 0.05f64..=1.0);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n as usize);
+            for (u, v, p) in edges {
+                if u != v {
+                    b.add_edge(u, v, p).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Sample sizes straddling the 64-world block boundary: partial single
+/// blocks, exact blocks, and partial trailing blocks.
+fn sample_sizes() -> impl Strategy<Value = usize> {
+    (0u32..4, 1usize..64).prop_map(|(kind, x)| match kind {
+        0 => x,      // partial single block
+        1 => 64,     // exactly one block
+        2 => 128,    // exactly two blocks
+        _ => 64 + x, // partial trailing block
+    })
+}
+
+/// 1 worker (serial paths) or 3 workers (chunked parallel paths).
+fn thread_counts() -> impl Strategy<Value = usize> {
+    any::<bool>().prop_map(|b| if b { 1 } else { 3 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unlimited connectivity: `counts_from_center` and pair counts agree
+    /// between the scalar component pool and the bit-parallel pool, for
+    /// every center, across thread counts.
+    #[test]
+    fn center_and_pair_counts_agree(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let mut scalar = ComponentPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        scalar.ensure(r);
+        bit.ensure(r);
+        prop_assert_eq!(scalar.num_samples(), bit.num_samples());
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        for c in 0..n as u32 {
+            scalar.counts_from_center(NodeId(c), &mut a);
+            bit.counts_from_center(NodeId(c), &mut b);
+            prop_assert_eq!(&a, &b, "center {} differs (r = {}, threads = {})", c, r, threads);
+        }
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    scalar.pair_count(NodeId(u), NodeId(v)),
+                    bit.pair_count(NodeId(u), NodeId(v)),
+                    "pair ({}, {}) differs", u, v
+                );
+            }
+        }
+    }
+
+    /// Depth-limited queries: `counts_within_depths` and
+    /// `pair_count_within` agree between the scalar world pool and the
+    /// bit-parallel pool for random depth pairs.
+    #[test]
+    fn depth_counts_agree(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        d_select in 0u32..4,
+        extra in 0u32..4,
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let d_cover = d_select + extra;
+        let mut scalar = WorldPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        scalar.ensure(r);
+        bit.ensure(r);
+        let (mut s1, mut c1) = (vec![0u32; n], vec![0u32; n]);
+        let (mut s2, mut c2) = (vec![0u32; n], vec![0u32; n]);
+        for c in 0..n as u32 {
+            scalar.counts_within_depths(NodeId(c), d_select, d_cover, &mut s1, &mut c1);
+            bit.counts_within_depths(NodeId(c), d_select, d_cover, &mut s2, &mut c2);
+            prop_assert_eq!(&s1, &s2, "select differs at center {} ({}, {})", c, d_select, d_cover);
+            prop_assert_eq!(&c1, &c2, "cover differs at center {} ({}, {})", c, d_select, d_cover);
+        }
+        for v in 0..n as u32 {
+            prop_assert_eq!(
+                scalar.pair_count_within(NodeId(0), NodeId(v), d_cover),
+                bit.pair_count_within(NodeId(0), NodeId(v), d_cover),
+                "pair (0, {}) differs at depth {}", v, d_cover
+            );
+        }
+    }
+
+    /// Growth-schedule invariance across the block boundary: a pool grown
+    /// in arbitrary uneven steps equals a pool grown in one shot, and both
+    /// equal the scalar reference.
+    #[test]
+    fn growth_schedule_invariant_across_blocks(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(1usize..70, 1..5),
+    ) {
+        let n = g.num_nodes();
+        let total: usize = steps.iter().sum();
+        let mut stepped = BitParallelPool::new(&g, seed, 1);
+        let mut reached = 0;
+        for s in &steps {
+            reached += s;
+            stepped.ensure(reached);
+        }
+        let mut oneshot = BitParallelPool::new(&g, seed, 1);
+        oneshot.ensure(total);
+        let mut scalar = ComponentPool::new(&g, seed, 1);
+        scalar.ensure(total);
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        let mut c = vec![0u32; n];
+        for center in 0..n as u32 {
+            stepped.counts_from_center(NodeId(center), &mut a);
+            oneshot.counts_from_center(NodeId(center), &mut b);
+            scalar.counts_from_center(NodeId(center), &mut c);
+            prop_assert_eq!(&a, &b, "stepped vs one-shot differ at center {}", center);
+            prop_assert_eq!(&b, &c, "bit-parallel vs scalar differ at center {}", center);
+        }
+    }
+
+    /// The trait-level estimates (the numbers the clustering algorithms
+    /// actually consume) are bit-identical across backends.
+    #[test]
+    fn trait_estimates_identical(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+    ) {
+        let mut scalar = ComponentPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, 1);
+        let engines: &mut [&mut dyn WorldEngine] = &mut [&mut scalar, &mut bit];
+        for e in engines.iter_mut() {
+            e.ensure(r);
+        }
+        let n = g.num_nodes() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let a = engines[0].pair_estimate(NodeId(u), NodeId(v));
+                let b = engines[1].pair_estimate(NodeId(u), NodeId(v));
+                // Identical counts divided by identical r: exact equality.
+                prop_assert_eq!(a, b, "estimate ({}, {}) differs", u, v);
+            }
+        }
+    }
+}

@@ -219,7 +219,8 @@ proptest! {
             .map(|&threads| {
                 let mut o = DepthMcOracle::new(
                     &g, seed, threads, SampleSchedule::Fixed(300), 0.1, d_select, d_cover,
-                );
+                )
+                .expect("valid depths");
                 o.prepare(0.5);
                 o
             })

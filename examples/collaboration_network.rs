@@ -49,7 +49,7 @@ fn main() {
         ("acp", &acp_result.clustering, acp_time),
     ];
     for (name, clustering, time) in entries {
-        let q = clustering_quality(&pool, clustering);
+        let q = clustering_quality(&mut pool, clustering);
         let a = avpr(&pool, clustering);
         println!(
             "{:<6} {:>9.3} {:>9.3} {:>12.3} {:>12.3} {:>10.2?}",

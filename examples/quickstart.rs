@@ -50,7 +50,7 @@ fn main() {
     let mut pool = ComponentPool::new(&g, 0xE7A1, 0);
     pool.ensure(2000);
     for (name, clustering) in [("MCP", &mcp_result.clustering), ("ACP", &acp_result.clustering)] {
-        let q = clustering_quality(&pool, clustering);
+        let q = clustering_quality(&mut pool, clustering);
         let a = avpr(&pool, clustering);
         println!(
             "\n{name}: p_min = {:.3}  p_avg = {:.3}  inner-AVPR = {:.3}  outer-AVPR = {:.3}",

@@ -30,7 +30,7 @@ fn main() {
         let t = Instant::now();
         let r = mcp(graph, k, &cfg).expect("mcp");
         let el = t.elapsed();
-        let q = clustering_quality(&pool, &r.clustering);
+        let q = clustering_quality(&mut pool, &r.clustering);
         println!("{:<8} {:>8} {:>9.3} {:>9.4} {:>10.2?}", gamma, r.guesses, q.p_min, r.final_q, el);
     }
 
@@ -42,7 +42,7 @@ fn main() {
         let t = Instant::now();
         let r = acp(graph, k, &cfg).expect("acp");
         let el = t.elapsed();
-        let q = clustering_quality(&pool, &r.clustering);
+        let q = clustering_quality(&mut pool, &r.clustering);
         println!("{:<8} {:>9.3} {:>10.2?}", alpha, q.p_avg, el);
     }
 
@@ -59,7 +59,7 @@ fn main() {
         let t = Instant::now();
         let r = mcp(graph, k, &cfg).expect("mcp");
         let el = t.elapsed();
-        let q = clustering_quality(&pool, &r.clustering);
+        let q = clustering_quality(&mut pool, &r.clustering);
         println!("{:<22} {:>9} {:>9.3} {:>10.2?}", name, r.samples_used, q.p_min, el);
     }
 

@@ -215,7 +215,7 @@ fn cmd_evaluate(o: &Options) -> Result<(), String> {
     let clustering = read_clustering(BufReader::new(f), g.num_nodes())?;
     let mut pool = ComponentPool::new(&g, o.seed ^ 0xE7A1, 0);
     pool.ensure(o.samples);
-    let q = clustering_quality(&pool, &clustering);
+    let q = clustering_quality(&mut pool, &clustering);
     let a = avpr(&pool, &clustering);
     println!("k          {}", clustering.num_clusters());
     println!("covered    {}/{}", clustering.covered_count(), clustering.num_nodes());
@@ -246,12 +246,12 @@ fn cmd_knn(o: &Options) -> Result<(), String> {
         None => {
             let mut pool = ComponentPool::new(&g, o.seed, 0);
             pool.ensure(o.samples);
-            reliability_knn(&pool, NodeId(source), k)
+            reliability_knn(&mut pool, NodeId(source), k)
         }
         Some(d) => {
             let mut pool = WorldPool::new(&g, o.seed, 0);
             pool.ensure(o.samples);
-            reliability_knn_within(&pool, NodeId(source), k, d)
+            reliability_knn_within(&mut pool, NodeId(source), k, d)
         }
     };
     for (node, p) in results {

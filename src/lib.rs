@@ -58,7 +58,7 @@ pub mod prelude {
     pub use ugraph_baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
     pub use ugraph_cluster::{
         acp, acp_depth, mcp, mcp_depth, AcpInvocation, AcpResult, ClusterConfig, ClusterError,
-        Clustering, GuessStrategy, McpResult,
+        Clustering, EngineKind, GuessStrategy, McpResult,
     };
     pub use ugraph_datasets::{DatasetSpec, GeneratedDataset, ProbDistribution};
     pub use ugraph_graph::{
@@ -66,5 +66,7 @@ pub mod prelude {
         UncertainGraph,
     };
     pub use ugraph_metrics::{avpr, clustering_quality, confusion, depth_clustering_quality};
-    pub use ugraph_sampling::{ComponentPool, ExactOracle, SampleSchedule, WorldPool};
+    pub use ugraph_sampling::{
+        BitParallelPool, ComponentPool, ExactOracle, SampleSchedule, WorldEngine, WorldPool,
+    };
 }

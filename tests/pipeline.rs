@@ -71,9 +71,9 @@ fn mcp_dominates_baselines_on_pmin() {
 
     let mut pool = ComponentPool::new(&g, 4242, 1);
     pool.ensure(600);
-    let q_mcp = clustering_quality(&pool, &mcp_r.clustering);
-    let q_gmm = clustering_quality(&pool, &gmm_r);
-    let q_mcl = clustering_quality(&pool, &mcl_r.clustering);
+    let q_mcp = clustering_quality(&mut pool, &mcp_r.clustering);
+    let q_gmm = clustering_quality(&mut pool, &gmm_r);
+    let q_mcl = clustering_quality(&mut pool, &mcl_r.clustering);
     // MCP optimizes p_min: allow a small estimation slack but require
     // dominance (paper Figure 1, top row).
     assert!(q_mcp.p_min >= q_gmm.p_min - 0.05, "mcp p_min {} < gmm {}", q_mcp.p_min, q_gmm.p_min);
@@ -87,7 +87,7 @@ fn quality_and_avpr_are_consistent_across_metrics() {
     let r = acp(&g, 4, &cfg).expect("acp");
     let mut pool = ComponentPool::new(&g, 77, 1);
     pool.ensure(400);
-    let q = clustering_quality(&pool, &r.clustering);
+    let q = clustering_quality(&mut pool, &r.clustering);
     let a = avpr(&pool, &r.clustering);
     assert!(q.p_avg >= q.p_min);
     assert!(a.inner > a.outer, "inner {} should exceed outer {}", a.inner, a.outer);

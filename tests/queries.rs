@@ -25,7 +25,7 @@ fn knn_neighbors_are_community_mates() {
     let g = two_communities();
     let mut pool = ComponentPool::new(&g, 3, 0);
     pool.ensure(2000);
-    let knn = reliability_knn(&pool, NodeId(0), 3);
+    let knn = reliability_knn(&mut pool, NodeId(0), 3);
     let ids: Vec<u32> = knn.iter().map(|(n, _)| n.0).collect();
     let mut sorted = ids.clone();
     sorted.sort_unstable();
@@ -43,7 +43,7 @@ fn knn_agrees_with_exact_order() {
     let exact = ExactOracle::new(&g).unwrap();
     let mut pool = ComponentPool::new(&g, 9, 0);
     pool.ensure(6000);
-    let knn = reliability_knn(&pool, NodeId(0), 3);
+    let knn = reliability_knn(&mut pool, NodeId(0), 3);
     let exact_order: Vec<u32> = {
         let mut v: Vec<(u32, f64)> =
             (1..4u32).map(|u| (u, exact.pair_probability(NodeId(0), NodeId(u)))).collect();
@@ -66,7 +66,8 @@ fn mcp_centers_are_reliable_sources_for_their_clusters() {
     for (i, members) in r.clustering.clusters().iter().enumerate() {
         let center = r.clustering.center(i);
         let (best, stat) =
-            most_reliable_source(&pool, members, members, SourceObjective::MinToTargets).unwrap();
+            most_reliable_source(&mut pool, members, members, SourceObjective::MinToTargets)
+                .unwrap();
         let center_stat = {
             let mut counts = vec![0u32; g.num_nodes()];
             pool.counts_from_center(center, &mut counts);
