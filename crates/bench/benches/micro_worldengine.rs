@@ -15,9 +15,10 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ugraph_cluster::{acp_with_oracle, AcpInvocation, AcpResult, ClusterConfig};
 use ugraph_datasets::DatasetSpec;
 use ugraph_graph::NodeId;
-use ugraph_sampling::{BitParallelPool, ComponentPool, WorldPool};
+use ugraph_sampling::{BitParallelPool, ComponentPool, EngineKind, McOracle, Oracle, WorldPool};
 
 fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0")
@@ -72,6 +73,52 @@ struct Comparison {
 impl Comparison {
     fn speedup(&self) -> f64 {
         self.scalar_ns as f64 / (self.bitparallel_ns as f64).max(1.0)
+    }
+}
+
+/// Replays the pre-batching oracle access pattern: every candidate row is
+/// one full per-center pool sweep (the `Oracle` trait's default batch
+/// loop), with the row cache disabled. `min-partial` run against this
+/// wrapper performs exactly the work the query layer did before the
+/// batched/cached row layer existed.
+struct PerRowOracle<'g>(McOracle<'g>);
+
+impl Oracle for PerRowOracle<'_> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+    fn epsilon(&self) -> f64 {
+        self.0.epsilon()
+    }
+    fn prepare(&mut self, q: f64) {
+        self.0.prepare(q)
+    }
+    fn num_samples(&self) -> usize {
+        self.0.num_samples()
+    }
+    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+        self.0.center_probs(center, select, cover)
+    }
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+        self.0.pair_prob(u, v)
+    }
+    // identical_rows() stays false and center_probs_batch stays the default
+    // per-center loop: both rows are materialized per candidate, as the
+    // pre-batching code path did.
+}
+
+/// One engine's guess-schedule replay measurement.
+struct Replay {
+    engine: &'static str,
+    /// Pre-PR access pattern: per-row sweeps, no cache.
+    per_row_ns: u128,
+    /// Batched rows + incremental row cache (the current default).
+    cached_ns: u128,
+}
+
+impl Replay {
+    fn speedup(&self) -> f64 {
+        self.per_row_ns as f64 / (self.cached_ns as f64).max(1.0)
     }
 }
 
@@ -185,6 +232,153 @@ fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec
     results
 }
 
+/// `batch_rows`: multi-center batched count rows, scalar vs bit-parallel.
+/// Per-center queries are where bit-parallel loses to the scalar labels
+/// (`center_counts_query_only`); batching amortizes the mask-BFS memory
+/// traffic over all centers per traversal, which is the workload
+/// `min-partial`'s candidate evaluation actually presents.
+fn measure_batch_rows(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Comparison> {
+    const SEED: u64 = 41;
+    let n = graph.num_nodes();
+    let k = 16usize;
+    let centers: Vec<NodeId> = (0..k as u32).map(|i| NodeId(i * (n as u32 / k as u32))).collect();
+    let mut results = Vec::new();
+    for &(name, samples) in &[("batch_rows_16x64", 64usize), ("batch_rows_16x256", 256)] {
+        let mut scalar = ComponentPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        scalar.ensure(samples);
+        bit.ensure(samples);
+        // Equality gate: batched rows identical across backends and to the
+        // sequential per-center rows.
+        let mut a = vec![0u32; k * n];
+        let mut b = vec![0u32; k * n];
+        scalar.counts_from_centers(&centers, &mut a);
+        bit.counts_from_centers(&centers, &mut b);
+        assert_eq!(a, b, "backends disagree on batched rows ({samples} samples)");
+        let mut row = vec![0u32; n];
+        for (j, &c) in centers.iter().enumerate() {
+            scalar.counts_from_center(c, &mut row);
+            assert_eq!(&a[j * n..(j + 1) * n], &row[..], "batch differs from sequential");
+        }
+        results.push(Comparison {
+            name,
+            scalar_ns: median_ns(reps, || scalar.counts_from_centers(&centers, &mut a)),
+            bitparallel_ns: median_ns(reps, || bit.counts_from_centers(&centers, &mut b)),
+        });
+    }
+    results
+}
+
+/// `guess_schedule_replay`: one full ACP guessing schedule (the paper's
+/// Theorem-4 invocation, `α = n`, whose candidate sets overlap heavily
+/// across iterations and guesses) end to end — the pre-PR per-row access
+/// pattern vs batched rows + the incremental row cache.
+fn measure_replay(graph: &ugraph_graph::UncertainGraph, smoke: bool) -> Vec<Replay> {
+    let (k, p_l, reps) = if smoke { (2, 0.8, 1) } else { (4, 0.3, 2) };
+    let cfg = ClusterConfig::default()
+        .with_seed(17)
+        .with_acp_invocation(AcpInvocation::Theory)
+        .with_p_l(p_l)
+        .with_threads(1);
+    let run_cached = |kind: EngineKind| -> (AcpResult, u128) {
+        let t = Instant::now();
+        let mut oracle = McOracle::with_engine(graph, 99, 1, cfg.schedule, cfg.epsilon, kind);
+        let r = acp_with_oracle(&mut oracle, k, &cfg).expect("acp (cached)");
+        (r, t.elapsed().as_nanos())
+    };
+    let run_per_row = |kind: EngineKind| -> (AcpResult, u128) {
+        let t = Instant::now();
+        let mut oracle = PerRowOracle(
+            McOracle::with_engine(graph, 99, 1, cfg.schedule, cfg.epsilon, kind)
+                .with_row_cache(false),
+        );
+        let r = acp_with_oracle(&mut oracle, k, &cfg).expect("acp (per-row)");
+        (r, t.elapsed().as_nanos())
+    };
+    let mut out = Vec::new();
+    for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+        let mut cached_ns = u128::MAX;
+        let mut per_row_ns = u128::MAX;
+        for _ in 0..reps {
+            let (cached, t_cached) = run_cached(kind);
+            let (plain, t_plain) = run_per_row(kind);
+            // Equality gate: the batched + cached schedule must reproduce
+            // the pre-PR results bit for bit.
+            assert_eq!(
+                cached.clustering,
+                plain.clustering,
+                "{} replay: cached clustering differs",
+                kind.name()
+            );
+            assert_eq!(
+                cached.assign_probs,
+                plain.assign_probs,
+                "{} replay: cached assignment probabilities differ",
+                kind.name()
+            );
+            assert_eq!(cached.guesses, plain.guesses);
+            assert!(cached.row_cache.hits > 0, "{} replay exercised no cache hits", kind.name());
+            cached_ns = cached_ns.min(t_cached);
+            per_row_ns = per_row_ns.min(t_plain);
+        }
+        out.push(Replay { engine: kind.name(), per_row_ns, cached_ns });
+    }
+    out
+}
+
+fn write_oracle_json(
+    graph: &ugraph_graph::UncertainGraph,
+    name: &str,
+    batch: &[Comparison],
+    replay: &[Replay],
+    smoke: bool,
+) {
+    let mut rows = String::new();
+    for (i, r) in batch.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"bitparallel_ns\": {}, \
+             \"speedup\": {:.3}}}",
+            r.name,
+            r.scalar_ns,
+            r.bitparallel_ns,
+            r.speedup()
+        ));
+    }
+    let mut replays = String::new();
+    for (i, r) in replay.iter().enumerate() {
+        if i > 0 {
+            replays.push_str(",\n");
+        }
+        replays.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"per_row_ns\": {}, \"cached_ns\": {}, \
+             \"speedup\": {:.3}}}",
+            r.engine,
+            r.per_row_ns,
+            r.cached_ns,
+            r.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"micro_oracle\",\n  \"dataset\": \"{}\",\n  \"nodes\": {},\n  \
+         \"edges\": {},\n  \"smoke\": {},\n  \"batch_rows\": [\n{}\n  ],\n  \
+         \"guess_schedule_replay\": [\n{}\n  ]\n}}\n",
+        name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        smoke,
+        rows,
+        replays
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oracle.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn write_json(
     graph: &ugraph_graph::UncertainGraph,
     name: &str,
@@ -246,6 +440,29 @@ fn worldengine(c: &mut Criterion) {
     }
     write_json(&graph, &d.name, &results, smoke());
 
+    // Batched-row and guess-schedule-replay groups (equality gates inside).
+    let batch = measure_batch_rows(&graph, reps);
+    for r in &batch {
+        println!(
+            "  {:<28} scalar {:>12} ns   bitparallel {:>12} ns   speedup {:>6.2}x",
+            r.name,
+            r.scalar_ns,
+            r.bitparallel_ns,
+            r.speedup()
+        );
+    }
+    let replay = measure_replay(&graph, smoke());
+    for r in &replay {
+        println!(
+            "  replay/{:<21} per-row {:>11} ns   batched+cache {:>10} ns   speedup {:>6.2}x",
+            r.engine,
+            r.per_row_ns,
+            r.cached_ns,
+            r.speedup()
+        );
+    }
+    write_oracle_json(&graph, &d.name, &batch, &replay, smoke());
+
     // Criterion groups for interactive exploration.
     const SEED: u64 = 41;
     let mut counts = vec![0u32; n];
@@ -275,6 +492,30 @@ fn worldengine(c: &mut Criterion) {
                 bit.counts_from_center(NodeId(center % n as u32), &mut counts);
                 center = center.wrapping_add(97);
                 counts[0]
+            })
+        });
+    }
+    {
+        // Batched 16-center rows: the shape of one min-partial greedy step.
+        let samples = 256;
+        let k = 16usize;
+        let centers: Vec<NodeId> =
+            (0..k as u32).map(|i| NodeId(i * (n as u32 / k as u32))).collect();
+        let mut rows = vec![0u32; k * n];
+        let mut scalar = ComponentPool::new(&graph, SEED, 1);
+        scalar.ensure(samples);
+        group.bench_function(BenchmarkId::new("batch_rows/scalar", samples), |b| {
+            b.iter(|| {
+                scalar.counts_from_centers(&centers, &mut rows);
+                rows[0]
+            })
+        });
+        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        bit.ensure(samples);
+        group.bench_function(BenchmarkId::new("batch_rows/bitparallel", samples), |b| {
+            b.iter(|| {
+                bit.counts_from_centers(&centers, &mut rows);
+                rows[0]
             })
         });
     }

@@ -24,12 +24,12 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{DepthMcOracle, McOracle, Oracle};
+use ugraph_sampling::{DepthMcOracle, McOracle, Oracle, RowCacheStats};
 
 use crate::clustering::Clustering;
 use crate::config::{AcpInvocation, ClusterConfig, GuessStrategy};
 use crate::error::ClusterError;
-use crate::min_partial::{min_partial, MinPartialParams};
+use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
 
 /// Output of the ACP driver.
 #[derive(Clone, Debug)]
@@ -50,6 +50,9 @@ pub struct AcpResult {
     pub guesses: usize,
     /// Monte-Carlo samples in the pool at termination (1 for exact oracles).
     pub samples_used: usize,
+    /// How the oracle's row cache served the schedule's probability rows
+    /// (all zero for oracles without a cache).
+    pub row_cache: RowCacheStats,
 }
 
 /// Runs ACP on `graph` with Monte-Carlo estimation (unlimited path
@@ -67,7 +70,8 @@ pub fn acp(
         cfg.schedule,
         cfg.epsilon,
         cfg.engine,
-    );
+    )
+    .with_row_cache(cfg.row_cache);
     acp_with_oracle(&mut oracle, k, cfg)
 }
 
@@ -97,7 +101,8 @@ pub fn acp_depth(
         d_select.min(d),
         d,
         cfg.engine,
-    )?;
+    )?
+    .with_row_cache(cfg.row_cache);
     acp_with_oracle(&mut oracle, k, cfg)
 }
 
@@ -114,9 +119,11 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
     }
     let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.seed, 0x6163_7001));
     let mut guesses = 0usize;
+    // Shared across all guesses, like the oracle's row cache.
+    let mut ws = MinPartialWorkspace::new(n);
 
     // One min-partial invocation at driver threshold `q`.
-    let invoke = |oracle: &mut O, q: f64, rng: &mut SmallRng, guesses: &mut usize| {
+    let mut invoke = |oracle: &mut O, q: f64, rng: &mut SmallRng, guesses: &mut usize| {
         *guesses += 1;
         let eps = oracle.epsilon();
         let params = match cfg.acp_invocation {
@@ -130,7 +137,7 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
                 MinPartialParams { k, q, alpha: cfg.alpha, q_bar: q, epsilon: eps }
             }
         };
-        min_partial(oracle, &params, rng)
+        min_partial_with(oracle, &params, rng, &mut ws)
     };
     // The largest φ a threshold-q clustering is *guaranteed* to reach; the
     // loop stops once it falls below the best φ seen (Algorithm 3 line 5).
@@ -191,6 +198,7 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
         final_q: best_q,
         guesses,
         samples_used: oracle.num_samples(),
+        row_cache: oracle.cache_stats(),
     })
 }
 
@@ -280,6 +288,38 @@ mod tests {
         let r2 = acp(&g, 2, &cfg).unwrap();
         assert_eq!(r1.clustering, r2.clustering);
         assert_eq!(r1.avg_prob_estimate, r2.avg_prob_estimate);
+    }
+
+    #[test]
+    fn row_cache_and_batching_do_not_change_results() {
+        use ugraph_sampling::EngineKind;
+        let g = two_communities(0.2);
+        for engine in [EngineKind::Scalar, EngineKind::BitParallel] {
+            for inv in [AcpInvocation::Practical, AcpInvocation::Theory] {
+                let on = ClusterConfig::default()
+                    .with_seed(13)
+                    .with_engine(engine)
+                    .with_acp_invocation(inv);
+                let off = on.clone().with_row_cache(false);
+                let a = acp(&g, 2, &on).unwrap();
+                let b = acp(&g, 2, &off).unwrap();
+                assert_eq!(a.clustering, b.clustering, "{engine:?} {inv:?}");
+                assert_eq!(a.assign_probs, b.assign_probs, "{engine:?} {inv:?}");
+                assert_eq!(a.avg_prob_estimate, b.avg_prob_estimate);
+                assert_eq!(a.guesses, b.guesses);
+                assert_eq!(a.row_cache.rows_served(), b.row_cache.rows_served());
+                assert_eq!((b.row_cache.hits, b.row_cache.topups), (0, 0));
+                if inv == AcpInvocation::Theory {
+                    // α = n re-queries candidates across guesses: at least
+                    // some rows must have been served from cache.
+                    assert!(
+                        a.row_cache.hits > 0,
+                        "{engine:?} Theory: expected cached rows, got {:?}",
+                        a.row_cache
+                    );
+                }
+            }
+        }
     }
 
     #[test]

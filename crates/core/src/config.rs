@@ -66,6 +66,13 @@ pub struct ClusterConfig {
     /// time; it is threaded through `mcp`/`acp` (and their depth variants)
     /// into every `min-partial` probability estimate.
     pub engine: EngineKind,
+    /// Per-center row cache in the Monte-Carlo oracles (default on):
+    /// integer count rows are kept across the guessing schedule and topped
+    /// up incrementally when the pool grows, instead of re-sweeping all
+    /// sampled worlds per candidate. Results are bit-identical either way;
+    /// disabling trades time for the cache's memory (one integer row per
+    /// distinct center queried).
+    pub row_cache: bool,
 }
 
 impl Default for ClusterConfig {
@@ -81,6 +88,7 @@ impl Default for ClusterConfig {
             guess: GuessStrategy::default(),
             acp_invocation: AcpInvocation::default(),
             engine: EngineKind::default(),
+            row_cache: true,
         }
     }
 }
@@ -168,6 +176,12 @@ impl ClusterConfig {
     /// Builder-style setter for the Monte-Carlo backend.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder-style setter for the oracle row cache.
+    pub fn with_row_cache(mut self, row_cache: bool) -> Self {
+        self.row_cache = row_cache;
         self
     }
 

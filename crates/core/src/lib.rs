@@ -69,6 +69,6 @@ pub use clustering::{Clustering, PartialClustering};
 pub use config::{AcpInvocation, ClusterConfig, GuessStrategy};
 pub use error::ClusterError;
 pub use mcp::{mcp, mcp_depth, mcp_with_oracle, McpResult};
-pub use min_partial::{min_partial, MinPartialParams};
+pub use min_partial::{min_partial, min_partial_with, MinPartialParams, MinPartialWorkspace};
 pub use objectives::{avg_prob, min_prob};
-pub use ugraph_sampling::EngineKind;
+pub use ugraph_sampling::{EngineKind, RowCacheStats};

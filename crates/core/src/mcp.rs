@@ -15,12 +15,12 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{DepthMcOracle, McOracle, Oracle};
+use ugraph_sampling::{DepthMcOracle, McOracle, Oracle, RowCacheStats};
 
 use crate::clustering::{Clustering, PartialClustering};
 use crate::config::{ClusterConfig, GuessStrategy};
 use crate::error::ClusterError;
-use crate::min_partial::{min_partial, MinPartialParams};
+use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
 
 /// Output of the MCP driver.
 #[derive(Clone, Debug)]
@@ -39,6 +39,10 @@ pub struct McpResult {
     pub guesses: usize,
     /// Monte-Carlo samples in the pool at termination (1 for exact oracles).
     pub samples_used: usize,
+    /// How the oracle's row cache served the schedule's probability rows
+    /// (all zero for oracles without a cache) — the observable measure of
+    /// how much work the guessing schedule reused.
+    pub row_cache: RowCacheStats,
 }
 
 /// Runs MCP on `graph` with Monte-Carlo estimation (unlimited path
@@ -56,7 +60,8 @@ pub fn mcp(
         cfg.schedule,
         cfg.epsilon,
         cfg.engine,
-    );
+    )
+    .with_row_cache(cfg.row_cache);
     mcp_with_oracle(&mut oracle, k, cfg)
 }
 
@@ -80,7 +85,8 @@ pub fn mcp_depth(
         d,
         d,
         cfg.engine,
-    )?;
+    )?
+    .with_row_cache(cfg.row_cache);
     mcp_with_oracle(&mut oracle, k, cfg)
 }
 
@@ -97,13 +103,21 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
     }
     let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.seed, 0x6d63_7001));
     let mut guesses = 0usize;
+    // One workspace for the whole schedule: every guess reuses the same
+    // min-partial buffers, and the oracle's row cache carries center rows
+    // across guesses (including the binary-search refinement).
+    let mut ws = MinPartialWorkspace::new(n);
 
-    let run = |oracle: &mut O, q: f64, rng: &mut SmallRng, guesses: &mut usize| {
-        *guesses += 1;
+    let run = |oracle: &mut O,
+               q: f64,
+               rng: &mut SmallRng,
+               ws: &mut MinPartialWorkspace,
+               g: &mut usize| {
+        *g += 1;
         oracle.prepare(q);
         let eps = oracle.epsilon();
         let params = MinPartialParams { k, q, alpha: cfg.alpha, q_bar: q, epsilon: eps };
-        min_partial(oracle, &params, rng)
+        min_partial_with(oracle, &params, rng, ws)
     };
 
     let (success, final_q): (PartialClustering, f64) = match cfg.guess {
@@ -111,7 +125,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
             // Algorithm 2 verbatim: q ← q/(1+γ) from 1 until coverage.
             let mut q = 1.0f64;
             loop {
-                let pc = run(oracle, q, &mut rng, &mut guesses);
+                let pc = run(oracle, q, &mut rng, &mut ws, &mut guesses);
                 if pc.clustering.is_full() {
                     break (pc, q);
                 }
@@ -131,7 +145,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
             let mut i = 0u32;
             let (mut best_pc, mut lo) = loop {
                 let q = (1.0 - cfg.gamma * f64::from(2u32.saturating_pow(i))).max(cfg.p_l);
-                let pc = run(oracle, q, &mut rng, &mut guesses);
+                let pc = run(oracle, q, &mut rng, &mut ws, &mut guesses);
                 if pc.clustering.is_full() {
                     break (pc, q);
                 }
@@ -147,7 +161,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
             // Binary search in log space; stop when lo/hi > 1 − γ.
             while lo / hi <= 1.0 - cfg.gamma {
                 let mid = (lo * hi).sqrt();
-                let pc = run(oracle, mid, &mut rng, &mut guesses);
+                let pc = run(oracle, mid, &mut rng, &mut ws, &mut guesses);
                 if pc.clustering.is_full() {
                     best_pc = pc;
                     lo = mid;
@@ -167,6 +181,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
         final_q,
         guesses,
         samples_used: oracle.num_samples(),
+        row_cache: oracle.cache_stats(),
     })
 }
 
@@ -300,6 +315,48 @@ mod tests {
         assert!(r.min_prob_estimate >= 0.99);
         let err = mcp_depth(&g, 1, 2, &cfg).unwrap_err();
         assert!(matches!(err, ClusterError::NoFullClustering { .. }));
+    }
+
+    #[test]
+    fn row_cache_and_batching_do_not_change_results() {
+        use ugraph_sampling::EngineKind;
+        let g = two_communities(0.2);
+        for engine in [EngineKind::Scalar, EngineKind::BitParallel] {
+            for alpha in [1usize, 4] {
+                let on =
+                    ClusterConfig::default().with_seed(9).with_engine(engine).with_alpha(alpha);
+                let off = on.clone().with_row_cache(false);
+                let a = mcp(&g, 2, &on).unwrap();
+                let b = mcp(&g, 2, &off).unwrap();
+                assert_eq!(a.clustering, b.clustering, "{engine:?} α={alpha}");
+                assert_eq!(a.assign_probs, b.assign_probs, "{engine:?} α={alpha}");
+                assert_eq!(a.min_prob_estimate, b.min_prob_estimate);
+                assert_eq!((a.guesses, a.samples_used), (b.guesses, b.samples_used));
+                // The cache must actually have been exercised, and the
+                // uncached run must report only full recomputes.
+                assert_eq!(a.row_cache.rows_served(), b.row_cache.rows_served());
+                assert_eq!((b.row_cache.hits, b.row_cache.topups), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_row_cache_does_not_change_results() {
+        use ugraph_sampling::EngineKind;
+        let mut b = GraphBuilder::new(7);
+        for i in 0..6 {
+            b.add_edge(i, i + 1, 0.95).unwrap();
+        }
+        let g = b.build().unwrap();
+        for engine in [EngineKind::Scalar, EngineKind::BitParallel] {
+            let on = ClusterConfig::default().with_seed(4).with_engine(engine);
+            let off = on.clone().with_row_cache(false);
+            let a = mcp_depth(&g, 3, 2, &on).unwrap();
+            let c = mcp_depth(&g, 3, 2, &off).unwrap();
+            assert_eq!(a.clustering, c.clustering, "{engine:?}");
+            assert_eq!(a.assign_probs, c.assign_probs, "{engine:?}");
+            assert_eq!((c.row_cache.hits, c.row_cache.topups), (0, 0));
+        }
     }
 
     #[test]

@@ -58,6 +58,63 @@ impl MinPartialParams {
     }
 }
 
+/// Candidate rows fetched per batched oracle call: large enough to amortize
+/// a pool sweep over many rows, small enough to bound the row buffers at
+/// `2 · CANDIDATE_BATCH · n` floats even when `α = n`.
+const CANDIDATE_BATCH: usize = 16;
+
+/// Reusable buffers for repeated [`min_partial`] invocations.
+///
+/// One `min-partial` run needs seven `n`-sized working vectors (coverage
+/// bookkeeping and probability rows); the MCP/ACP drivers invoke
+/// `min-partial` once per threshold guess over the same graph, so they own
+/// one workspace and pass it to [`min_partial_with`] — repeated guesses
+/// reset the buffers in place instead of re-allocating them.
+#[derive(Clone, Debug, Default)]
+pub struct MinPartialWorkspace {
+    is_center: Vec<bool>,
+    /// V' as a compact vector of live node ids.
+    uncovered: Vec<u32>,
+    best_prob: Vec<f64>,
+    best_center: Vec<u32>,
+    covered: Vec<bool>,
+    /// Batched selection-radius rows, candidate-major (empty while the
+    /// oracle's rows are identical).
+    sel_rows: Vec<f64>,
+    /// Batched cover-radius rows, candidate-major.
+    cov_rows: Vec<f64>,
+    /// Cover row of the best candidate found so far this iteration.
+    best_cov: Vec<f64>,
+    /// Candidate ids of the current batch.
+    batch: Vec<NodeId>,
+}
+
+impl MinPartialWorkspace {
+    /// Creates a workspace for graphs of `n` nodes (buffers are sized
+    /// lazily, so any `n` works; this just pre-sizes).
+    pub fn new(n: usize) -> Self {
+        let mut ws = MinPartialWorkspace::default();
+        ws.reset(n);
+        ws
+    }
+
+    /// Re-initializes all bookkeeping for a fresh invocation.
+    fn reset(&mut self, n: usize) {
+        self.is_center.clear();
+        self.is_center.resize(n, false);
+        self.uncovered.clear();
+        self.uncovered.extend(0..n as u32);
+        self.best_prob.clear();
+        self.best_prob.resize(n, 0.0);
+        self.best_center.clear();
+        self.best_center.resize(n, UNASSIGNED);
+        self.covered.clear();
+        self.covered.resize(n, false);
+        self.best_cov.clear();
+        self.best_cov.resize(n, 0.0);
+    }
+}
+
 /// Runs `min-partial(G, k, q, α, q̄)` against `oracle`.
 ///
 /// The oracle must already be [`prepare`](Oracle::prepare)d for
@@ -68,6 +125,10 @@ impl MinPartialParams {
 /// Returns the partial clustering, per-node assignment probabilities, and
 /// the best-center map used to complete partial clusterings.
 ///
+/// This convenience wrapper allocates a fresh [`MinPartialWorkspace`];
+/// repeated callers (the MCP/ACP guessing schedules) use
+/// [`min_partial_with`] to reuse one.
+///
 /// # Panics
 /// Panics if `params.k == 0` or `params.alpha == 0`.
 pub fn min_partial<O: Oracle + ?Sized>(
@@ -75,79 +136,107 @@ pub fn min_partial<O: Oracle + ?Sized>(
     params: &MinPartialParams,
     rng: &mut SmallRng,
 ) -> PartialClustering {
+    min_partial_with(oracle, params, rng, &mut MinPartialWorkspace::new(oracle.num_nodes()))
+}
+
+/// [`min_partial`] with caller-owned working buffers.
+///
+/// Candidate probability rows are fetched through
+/// [`Oracle::center_probs_batch`] in groups of [`CANDIDATE_BATCH`], so the
+/// Monte-Carlo oracles answer a greedy step with amortized pool sweeps and
+/// cached rows instead of one full sweep per candidate; when
+/// [`Oracle::identical_rows`] holds, only cover rows are materialized. The
+/// returned clustering is **bit-identical** to per-candidate
+/// `center_probs` calls: candidates are evaluated in the same order, ties
+/// break the same way, and the rng is consumed identically.
+///
+/// # Panics
+/// Panics if `params.k == 0` or `params.alpha == 0`.
+pub fn min_partial_with<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    params: &MinPartialParams,
+    rng: &mut SmallRng,
+    ws: &mut MinPartialWorkspace,
+) -> PartialClustering {
     assert!(params.k >= 1, "k must be at least 1");
     assert!(params.alpha >= 1, "alpha must be at least 1");
     let n = oracle.num_nodes();
     let relax = 1.0 - params.epsilon / 2.0;
     let select_thresh = relax * params.q_bar;
     let cover_thresh = relax * params.q;
+    let identical_rows = oracle.identical_rows();
 
     let mut centers: Vec<NodeId> = Vec::with_capacity(params.k);
-    let mut is_center = vec![false; n];
-    // V' as a compact vector; `uncovered[i]` for i < live_len are alive.
-    let mut uncovered: Vec<u32> = (0..n as u32).collect();
-    // Assignment bookkeeping.
-    let mut best_prob = vec![0.0f64; n];
-    let mut best_center: Vec<u32> = vec![UNASSIGNED; n];
-    let mut covered = vec![false; n];
-
-    // Reusable probability buffers.
-    let mut sel = vec![0.0f64; n];
-    let mut cov = vec![0.0f64; n];
-    let mut best_sel = vec![0.0f64; n];
-    let mut best_cov = vec![0.0f64; n];
+    ws.reset(n);
 
     for _iter in 0..params.k {
-        if uncovered.is_empty() {
+        if ws.uncovered.is_empty() {
             break;
         }
         // Line 4: arbitrary T ⊆ V' with |T| = min(α, |V'|), drawn by a
         // partial Fisher-Yates shuffle so candidates are distinct.
-        let t_size = params.alpha.min(uncovered.len());
+        let t_size = params.alpha.min(ws.uncovered.len());
         for i in 0..t_size {
-            let j = i + rng.gen_range(0..uncovered.len() - i);
-            uncovered.swap(i, j);
+            let j = i + rng.gen_range(0..ws.uncovered.len() - i);
+            ws.uncovered.swap(i, j);
         }
 
-        // Lines 5-6: greedy disk maximization over the candidates.
+        // Lines 5-6: greedy disk maximization over the candidates, rows
+        // fetched in batches.
         let mut best: Option<(usize, u32)> = None; // (|Mv|, candidate node)
-        for &cand in &uncovered[..t_size] {
-            let v = NodeId(cand);
-            oracle.center_probs(v, &mut sel, &mut cov);
-            let disk = uncovered.iter().filter(|&&u| sel[u as usize] >= select_thresh).count();
-            let better = match best {
-                None => true,
-                // Tie-break toward the smaller node id for determinism.
-                Some((bd, bc)) => disk > bd || (disk == bd && cand < bc),
-            };
-            if better {
-                best = Some((disk, cand));
-                std::mem::swap(&mut sel, &mut best_sel);
-                std::mem::swap(&mut cov, &mut best_cov);
+        let mut start = 0usize;
+        while start < t_size {
+            let len = (t_size - start).min(CANDIDATE_BATCH);
+            ws.batch.clear();
+            ws.batch.extend(ws.uncovered[start..start + len].iter().map(|&u| NodeId(u)));
+            ws.cov_rows.resize(len * n, 0.0);
+            if identical_rows {
+                oracle.center_probs_batch(&ws.batch, &mut [], &mut ws.cov_rows);
+            } else {
+                ws.sel_rows.resize(len * n, 0.0);
+                oracle.center_probs_batch(&ws.batch, &mut ws.sel_rows, &mut ws.cov_rows);
             }
+            for (bj, &cand) in ws.uncovered[start..start + len].iter().enumerate() {
+                let cov_row = &ws.cov_rows[bj * n..(bj + 1) * n];
+                let sel_row =
+                    if identical_rows { cov_row } else { &ws.sel_rows[bj * n..(bj + 1) * n] };
+                let disk =
+                    ws.uncovered.iter().filter(|&&u| sel_row[u as usize] >= select_thresh).count();
+                let better = match best {
+                    None => true,
+                    // Tie-break toward the smaller node id for determinism.
+                    Some((bd, bc)) => disk > bd || (disk == bd && cand < bc),
+                };
+                if better {
+                    best = Some((disk, cand));
+                    ws.best_cov.copy_from_slice(cov_row);
+                }
+            }
+            start += len;
         }
         let (_, chosen) = best.expect("candidate set cannot be empty here");
         let ci = centers.len() as u32;
         centers.push(NodeId(chosen));
-        is_center[chosen as usize] = true;
-        covered[chosen as usize] = true;
+        ws.is_center[chosen as usize] = true;
+        ws.covered[chosen as usize] = true;
 
         // Line 12 bookkeeping: c(u, S) = argmax_c p̃(c, u). Centers stay
         // pinned to themselves.
         for u in 0..n {
-            if is_center[u] {
+            if ws.is_center[u] {
                 continue;
             }
-            if best_cov[u] > best_prob[u] {
-                best_prob[u] = best_cov[u];
-                best_center[u] = ci;
+            if ws.best_cov[u] > ws.best_prob[u] {
+                ws.best_prob[u] = ws.best_cov[u];
+                ws.best_center[u] = ci;
             }
         }
-        best_prob[chosen as usize] = 1.0;
-        best_center[chosen as usize] = ci;
+        ws.best_prob[chosen as usize] = 1.0;
+        ws.best_center[chosen as usize] = ci;
 
         // Line 8: remove from V' everything now covered by the new center.
-        uncovered.retain(|&u| {
+        let (best_cov, covered) = (&ws.best_cov, &mut ws.covered);
+        ws.uncovered.retain(|&u| {
             if best_cov[u as usize] >= cover_thresh || u == chosen {
                 covered[u as usize] = true;
                 false
@@ -161,29 +250,31 @@ pub fn min_partial<O: Oracle + ?Sized>(
     // centers were selected (V' ran out early). Their probability rows are
     // still computed so the final assignment honors c(u, S) over all of S.
     if centers.len() < params.k {
+        ws.sel_rows.resize(n, 0.0);
+        ws.cov_rows.resize(n, 0.0);
         for u in 0..n as u32 {
             if centers.len() == params.k {
                 break;
             }
-            if is_center[u as usize] {
+            if ws.is_center[u as usize] {
                 continue;
             }
             let ci = centers.len() as u32;
             centers.push(NodeId(u));
-            is_center[u as usize] = true;
-            covered[u as usize] = true;
-            oracle.center_probs(NodeId(u), &mut sel, &mut cov);
+            ws.is_center[u as usize] = true;
+            ws.covered[u as usize] = true;
+            oracle.center_probs(NodeId(u), &mut ws.sel_rows, &mut ws.cov_rows);
             for w in 0..n {
-                if is_center[w] {
+                if ws.is_center[w] {
                     continue;
                 }
-                if cov[w] > best_prob[w] {
-                    best_prob[w] = cov[w];
-                    best_center[w] = ci;
+                if ws.cov_rows[w] > ws.best_prob[w] {
+                    ws.best_prob[w] = ws.cov_rows[w];
+                    ws.best_center[w] = ci;
                 }
             }
-            best_prob[u as usize] = 1.0;
-            best_center[u as usize] = ci;
+            ws.best_prob[u as usize] = 1.0;
+            ws.best_center[u as usize] = ci;
         }
     }
 
@@ -191,15 +282,20 @@ pub fn min_partial<O: Oracle + ?Sized>(
     let mut assignment = vec![UNASSIGNED; n];
     let mut assign_probs = vec![0.0f64; n];
     for u in 0..n {
-        if covered[u] && best_center[u] != UNASSIGNED {
-            assignment[u] = best_center[u];
-            assign_probs[u] = best_prob[u];
+        if ws.covered[u] && ws.best_center[u] != UNASSIGNED {
+            assignment[u] = ws.best_center[u];
+            assign_probs[u] = ws.best_prob[u];
         }
     }
     let clustering = Clustering::from_raw(centers, assignment);
     let best_center_opt: Vec<Option<u32>> =
-        best_center.iter().map(|&c| (c != UNASSIGNED).then_some(c)).collect();
-    PartialClustering { clustering, assign_probs, best_center: best_center_opt, best_prob }
+        ws.best_center.iter().map(|&c| (c != UNASSIGNED).then_some(c)).collect();
+    PartialClustering {
+        clustering,
+        assign_probs,
+        best_center: best_center_opt,
+        best_prob: ws.best_prob.clone(),
+    }
 }
 
 #[cfg(test)]

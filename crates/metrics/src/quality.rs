@@ -19,11 +19,16 @@ pub struct Quality {
     pub p_avg: f64,
 }
 
+/// Centers evaluated per batched engine call: bounds the count buffer at
+/// `BATCH · n` integers per radius while still amortizing pool sweeps.
+const CENTER_BATCH: usize = 64;
+
 /// Estimates `p_min`/`p_avg` of `clustering` from the sample pool.
 ///
-/// Cost: one `counts_from_center` per cluster — independent of how the
-/// clustering was produced, so MCL/GMM/KPT outputs are measured
-/// identically.
+/// Cost: the centers' count rows are fetched through the engine's batched
+/// `counts_from_centers` (one pool sweep per [`CENTER_BATCH`] centers
+/// instead of one per cluster) — independent of how the clustering was
+/// produced, so MCL/GMM/KPT outputs are measured identically.
 ///
 /// # Panics
 /// Panics if the pool is empty or sized for a different graph.
@@ -35,13 +40,17 @@ pub fn clustering_quality<E: WorldEngine + ?Sized>(
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
     assert!(engine.num_samples() > 0, "sample pool is empty");
     let r = engine.num_samples() as f64;
-    let mut counts = vec![0u32; n];
+    let mut counts = vec![0u32; CENTER_BATCH.min(clustering.num_clusters().max(1)) * n];
     let mut probs = vec![0.0f64; n];
-    for (i, &center) in clustering.centers().iter().enumerate() {
-        engine.counts_from_center(center, &mut counts);
+    for (chunk_idx, chunk) in clustering.centers().chunks(CENTER_BATCH).enumerate() {
+        engine.counts_from_centers(chunk, &mut counts[..chunk.len() * n]);
         for u in 0..n {
-            if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
-                probs[u] = counts[u] as f64 / r;
+            if let Some(i) = clustering.cluster_of(NodeId::from_index(u)) {
+                if let Some(j) =
+                    i.checked_sub(chunk_idx * CENTER_BATCH).filter(|&j| j < chunk.len())
+                {
+                    probs[u] = counts[j * n + u] as f64 / r;
+                }
             }
         }
     }
@@ -51,7 +60,7 @@ pub fn clustering_quality<E: WorldEngine + ?Sized>(
 /// Depth-limited variant: probabilities are `Pr(u ~d~ center)` (paper
 /// §3.4), estimated over a depth-capable engine
 /// ([`ugraph_sampling::WorldPool`] or
-/// [`ugraph_sampling::BitParallelPool`]).
+/// [`ugraph_sampling::BitParallelPool`]) with batched depth rows.
 pub fn depth_clustering_quality<E: WorldEngine + ?Sized>(
     engine: &mut E,
     clustering: &Clustering,
@@ -61,14 +70,25 @@ pub fn depth_clustering_quality<E: WorldEngine + ?Sized>(
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
     assert!(engine.num_samples() > 0, "sample pool is empty");
     let r = engine.num_samples() as f64;
-    let mut sel = vec![0u32; n];
-    let mut cov = vec![0u32; n];
+    let rows = CENTER_BATCH.min(clustering.num_clusters().max(1)) * n;
+    let mut sel = vec![0u32; rows];
+    let mut cov = vec![0u32; rows];
     let mut probs = vec![0.0f64; n];
-    for (i, &center) in clustering.centers().iter().enumerate() {
-        engine.counts_within_depths(center, depth, depth, &mut sel, &mut cov);
+    for (chunk_idx, chunk) in clustering.centers().chunks(CENTER_BATCH).enumerate() {
+        engine.counts_within_depths_batch(
+            chunk,
+            depth,
+            depth,
+            &mut sel[..chunk.len() * n],
+            &mut cov[..chunk.len() * n],
+        );
         for u in 0..n {
-            if clustering.cluster_of(NodeId::from_index(u)) == Some(i) {
-                probs[u] = cov[u] as f64 / r;
+            if let Some(i) = clustering.cluster_of(NodeId::from_index(u)) {
+                if let Some(j) =
+                    i.checked_sub(chunk_idx * CENTER_BATCH).filter(|&j| j < chunk.len())
+                {
+                    probs[u] = cov[j * n + u] as f64 / r;
+                }
             }
         }
     }

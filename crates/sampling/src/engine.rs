@@ -60,6 +60,15 @@ impl EngineKind {
 /// which makes the pool contents independent of the growth schedule, the
 /// thread count, and the backend.
 ///
+/// Queries come in three shapes per family: a single center row, a
+/// **batched** multi-center form (`counts_from_centers`,
+/// `counts_within_depths_batch`) answering many rows in one pool sweep,
+/// and a **ranged** form (`counts_from_center_range`,
+/// `counts_within_depths_range`) restricted to a sample-index window —
+/// counts over disjoint windows add up exactly, which is what the oracle
+/// layer's incremental row cache builds on. All three shapes return
+/// identical integer counts for the same pool.
+///
 /// Depth parameters use [`DEPTH_UNLIMITED`] for plain connectivity.
 /// Backends that precompute per-world connectivity and cannot answer
 /// finite-depth queries (the scalar [`crate::ComponentPool`]) document
@@ -92,6 +101,41 @@ pub trait WorldEngine {
     /// Panics if `out.len() != graph().num_nodes()`.
     fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]);
 
+    /// Batched [`WorldEngine::counts_from_center`]: one count row per
+    /// requested center, written row-major into `out`
+    /// (`out[j * n + u]` = count for `centers[j]` and node `u`).
+    ///
+    /// Counts are **identical** to `centers.len()` sequential
+    /// `counts_from_center` calls — batching only changes how the pool is
+    /// swept, never what is counted. Backends override the default
+    /// per-center loop with genuinely amortized sweeps (one pass over the
+    /// pool updating all rows; multi-source mask BFS on the bit-parallel
+    /// backend). Duplicate centers are allowed.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * graph().num_nodes()`.
+    fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), centers.len() * n, "batch counts buffer has wrong length");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_from_center(c, &mut out[j * n..(j + 1) * n]);
+        }
+    }
+
+    /// Restriction of [`WorldEngine::counts_from_center`] to the samples
+    /// with index in `[lo, hi)`: `out[u]` counts only those worlds.
+    ///
+    /// Because pools grow monotonically and sample `i` is fixed by its RNG
+    /// stream, counts over disjoint index ranges **add up exactly**:
+    /// `counts[0, r1) + counts[r1, r2) == counts[0, r2)`. This is what lets
+    /// cached rows be topped up incrementally after pool growth instead of
+    /// recomputed.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != graph().num_nodes()`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]);
+
     /// Number of samples in which `u` and `v` are connected (unlimited
     /// path length).
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize;
@@ -108,6 +152,57 @@ pub trait WorldEngine {
         center: NodeId,
         d_select: u32,
         d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    );
+
+    /// Batched [`WorldEngine::counts_within_depths`]: one select row and
+    /// one cover row per requested center, written row-major
+    /// (`out_select[j * n + u]`, `out_cover[j * n + u]`). Counts are
+    /// identical to sequential per-center calls (see
+    /// [`WorldEngine::counts_from_centers`]).
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, or a backend
+    /// that cannot answer finite depths.
+    fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), centers.len() * n, "batch select buffer has wrong length");
+        assert_eq!(out_cover.len(), centers.len() * n, "batch cover buffer has wrong length");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_within_depths(
+                c,
+                d_select,
+                d_cover,
+                &mut out_select[j * n..(j + 1) * n],
+                &mut out_cover[j * n..(j + 1) * n],
+            );
+        }
+    }
+
+    /// Restriction of [`WorldEngine::counts_within_depths`] to the samples
+    /// with index in `[lo, hi)` — the depth-limited analogue of
+    /// [`WorldEngine::counts_from_center_range`], with the same exact
+    /// additivity over disjoint ranges.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `lo > hi`, `hi > num_samples()`,
+    /// `d_select > d_cover`, or a backend that cannot answer finite depths.
+    #[allow(clippy::too_many_arguments)]
+    fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
         out_select: &mut [u32],
         out_cover: &mut [u32],
     );

@@ -74,7 +74,7 @@ pub use bounds::{harmonic, SampleSchedule};
 pub use engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
 pub use error::SamplingError;
 pub use exact::ExactOracle;
-pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle};
+pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};
 pub use pool::{BitParallelPool, ComponentPool, WorldPool};
 pub use queries::{most_reliable_source, reliability_knn, reliability_knn_within, SourceObjective};
 pub use representative::{average_degree_representative, most_probable_world};

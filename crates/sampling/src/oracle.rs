@@ -21,6 +21,39 @@
 //! by [`EngineKind`]) are interchangeable behind an unchanged oracle
 //! interface — and every backend yields bit-identical estimates for a
 //! fixed master seed.
+//!
+//! ## Row amortization: batching and the incremental count cache
+//!
+//! The clustering drivers re-run `min-partial` many times over the *same*
+//! grow-only sample pool (the MCP/ACP guessing schedules), and each
+//! invocation thresholds many center rows. Two mechanisms keep that from
+//! re-sweeping the pool per row:
+//!
+//! * **Batching** — [`Oracle::center_probs_batch`] fetches all candidate
+//!   rows of one greedy step through the engines' multi-center queries
+//!   (one pool sweep updating every row; multi-source mask BFS on the
+//!   bit-parallel backend). Oracles whose selection and cover rows always
+//!   coincide advertise it via [`Oracle::identical_rows`], and the batch
+//!   then writes each row **once**.
+//! * **Row caching** — the Monte-Carlo oracles keep, per center, the raw
+//!   **integer counts** together with the pool size they integrate over.
+//!
+//! ### When do cached counts stay valid?
+//!
+//! Always, as a *prefix*: pools grow monotonically and sample `i` is fixed
+//! by its per-index RNG stream, so a cached row covering the first `r₀`
+//! samples is never invalidated — it is merely *incomplete* once the pool
+//! has grown to `r > r₀`. Serving a row then needs only a **top-up**: a
+//! ranged count over the new worlds `[r₀, r)` added onto the cached
+//! integers (counts over disjoint index ranges are exactly additive).
+//! Probabilities are derived by dividing by the *current* pool size at
+//! serve time, so a cached row yields bit-identical estimates to a fresh
+//! recomputation. Cache effectiveness is reported via
+//! [`Oracle::cache_stats`] as [`RowCacheStats`] (hits / incremental
+//! top-ups / full recomputes).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 use ugraph_graph::{NodeId, UncertainGraph};
 
@@ -29,6 +62,149 @@ use crate::engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
 use crate::error::SamplingError;
 use crate::exact::ExactOracle;
 use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
+
+/// Counters describing how an oracle's per-center row cache served the
+/// probability rows requested so far (see the module docs for the cache's
+/// validity rules). All zero for oracles without a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowCacheStats {
+    /// Rows served entirely from cached counts (pool unchanged since the
+    /// row was cached).
+    pub hits: usize,
+    /// Rows topped up incrementally: only the worlds sampled since the row
+    /// was cached were counted.
+    pub topups: usize,
+    /// Rows computed from scratch over the full pool (cache misses, plus
+    /// every row when caching is disabled).
+    pub fulls: usize,
+}
+
+impl RowCacheStats {
+    /// Total number of rows served.
+    pub fn rows_served(&self) -> usize {
+        self.hits + self.topups + self.fulls
+    }
+}
+
+/// One cached center row: raw integer counts plus the pool size they
+/// integrate over.
+#[derive(Clone, Debug)]
+struct CachedRow {
+    /// Number of pool samples (a prefix of the pool) the counts cover.
+    covered: usize,
+    /// Selection-radius counts; empty when identical to `cover`.
+    select: Vec<u32>,
+    /// Cover-radius counts.
+    cover: Vec<u32>,
+}
+
+/// Soft memory budget of one oracle's row cache, in `u32` count entries
+/// (2²⁸ entries = 1 GiB). Once the cache holds `budget / (n · rows per
+/// center)` distinct centers, further centers are computed without being
+/// cached — estimates are unchanged, only reuse stops growing. This is
+/// what keeps the ACP *Theory* invocation (`α = n`, every node a
+/// candidate center) from accumulating `O(n²)` cache memory on large
+/// graphs; already-admitted rows keep serving hits and top-ups.
+const ROW_CACHE_BUDGET_U32S: usize = 1 << 28;
+
+/// Per-center incremental count cache shared by the Monte-Carlo oracles.
+#[derive(Clone, Debug)]
+struct RowCache {
+    rows: HashMap<u32, CachedRow>,
+    stats: RowCacheStats,
+    enabled: bool,
+    /// Maximum number of distinct centers admitted, derived from
+    /// [`ROW_CACHE_BUDGET_U32S`] at construction.
+    max_rows: usize,
+}
+
+impl RowCache {
+    /// Creates a cache for `n`-node rows storing `rows_per_center` count
+    /// vectors per admitted center.
+    fn new(enabled: bool, n: usize, rows_per_center: usize) -> Self {
+        let max_rows = ROW_CACHE_BUDGET_U32S / (n * rows_per_center).max(1);
+        RowCache { rows: HashMap::new(), stats: RowCacheStats::default(), enabled, max_rows }
+    }
+
+    /// Whether `center`'s row may go through the cache: caching is on, and
+    /// the center is either already cached or the budget admits another.
+    fn admits(&self, center: NodeId) -> bool {
+        self.enabled && (self.rows.len() < self.max_rows || self.rows.contains_key(&center.0))
+    }
+
+    /// The cache-serve protocol, written once: returns the up-to-date row
+    /// for `center`, counting a hit, a top-up, or a full recompute.
+    /// `topup(ctx, row, lo)` must add counts over the new worlds
+    /// `[lo, r_now)` onto the row; `full(ctx)` must build a row covering
+    /// `[0, r_now)`. `ctx` carries the engine and scratch buffers (both
+    /// closures need them, and two closures cannot capture the same
+    /// `&mut` state).
+    fn serve<C>(
+        &mut self,
+        ctx: &mut C,
+        center: NodeId,
+        r_now: usize,
+        topup: impl FnOnce(&mut C, &mut CachedRow, usize),
+        full: impl FnOnce(&mut C) -> CachedRow,
+    ) -> &CachedRow {
+        match self.rows.entry(center.0) {
+            Entry::Occupied(e) => {
+                let row = e.into_mut();
+                if row.covered < r_now {
+                    let lo = row.covered;
+                    topup(ctx, row, lo);
+                    row.covered = r_now;
+                    self.stats.topups += 1;
+                } else {
+                    self.stats.hits += 1;
+                }
+                row
+            }
+            Entry::Vacant(v) => {
+                self.stats.fulls += 1;
+                v.insert(full(ctx))
+            }
+        }
+    }
+
+    /// Batch-path variant of [`RowCache::serve`]: serves only
+    /// already-cached rows (hit or top-up) and returns `None` on a miss,
+    /// so the caller can defer all misses to one batched engine sweep.
+    fn serve_cached<C>(
+        &mut self,
+        ctx: &mut C,
+        center: NodeId,
+        r_now: usize,
+        topup: impl FnOnce(&mut C, &mut CachedRow, usize),
+    ) -> Option<&CachedRow> {
+        let row = self.rows.get_mut(&center.0)?;
+        if row.covered < r_now {
+            let lo = row.covered;
+            topup(ctx, row, lo);
+            row.covered = r_now;
+            self.stats.topups += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        Some(row)
+    }
+}
+
+/// Writes `counts[i] / r` into `out[i]`.
+#[inline]
+fn write_probs(counts: &[u32], r: f64, out: &mut [f64]) {
+    for (o, &c) in out.iter_mut().zip(counts) {
+        *o = c as f64 / r;
+    }
+}
+
+/// Element-wise `row[i] += fresh[i]`, the top-up merge.
+#[inline]
+fn add_counts(row: &mut [u32], fresh: &[u32]) {
+    for (a, &d) in row.iter_mut().zip(fresh) {
+        *a += d;
+    }
+}
 
 /// Source of (estimated) connection probabilities.
 pub trait Oracle {
@@ -58,6 +234,56 @@ pub trait Oracle {
     /// Estimated connection probability between `u` and `v` at the cover
     /// radius.
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64;
+
+    /// Whether the selection and cover rows of this oracle are **always**
+    /// identical (depth-unlimited oracles, and depth oracles with
+    /// `d_select == d_cover`). Callers may then request only cover rows
+    /// from [`Oracle::center_probs_batch`] and read selection estimates
+    /// from them — the identical-rows fast path that writes each row once.
+    fn identical_rows(&self) -> bool {
+        false
+    }
+
+    /// Batched [`Oracle::center_probs`]: one selection row and one cover
+    /// row per requested center, row-major (`select[j * n + u]`,
+    /// `cover[j * n + u]`). Estimates are identical to sequential
+    /// `center_probs` calls; implementations amortize the pool sweeps and
+    /// serve cached rows where possible.
+    ///
+    /// When [`Oracle::identical_rows`] is `true`, callers may pass an
+    /// **empty** `select` buffer and read selection estimates from
+    /// `cover`; each row is then written once.
+    ///
+    /// # Panics
+    /// Panics if `cover.len() != centers.len() * num_nodes()`, or if
+    /// `select` is neither empty (identical rows only) nor of the same
+    /// length as `cover`.
+    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+        let n = self.num_nodes();
+        assert_eq!(cover.len(), centers.len() * n, "batch cover buffer has wrong length");
+        if select.is_empty() && !centers.is_empty() {
+            assert!(self.identical_rows(), "empty select buffer requires identical rows");
+            let mut scratch = vec![0.0; n];
+            for (j, &c) in centers.iter().enumerate() {
+                self.center_probs(c, &mut scratch, &mut cover[j * n..(j + 1) * n]);
+            }
+        } else {
+            assert_eq!(select.len(), cover.len(), "batch select buffer has wrong length");
+            for (j, &c) in centers.iter().enumerate() {
+                self.center_probs(
+                    c,
+                    &mut select[j * n..(j + 1) * n],
+                    &mut cover[j * n..(j + 1) * n],
+                );
+            }
+        }
+    }
+
+    /// Row-cache effectiveness counters (all zero for oracles without a
+    /// cache).
+    fn cache_stats(&self) -> RowCacheStats {
+        RowCacheStats::default()
+    }
 }
 
 /// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
@@ -72,7 +298,11 @@ pub struct McOracle<'g> {
     engine: Box<dyn WorldEngine + 'g>,
     schedule: SampleSchedule,
     epsilon: f64,
+    /// Scratch for single rows and ranged top-ups.
     counts: Vec<u32>,
+    /// Scratch for batched rows (`k · n`, grown on demand).
+    batch: Vec<u32>,
+    cache: RowCache,
 }
 
 impl<'g> McOracle<'g> {
@@ -113,7 +343,26 @@ impl<'g> McOracle<'g> {
         epsilon: f64,
     ) -> Self {
         let n = engine.graph().num_nodes();
-        McOracle { engine, schedule, epsilon, counts: vec![0; n] }
+        McOracle {
+            engine,
+            schedule,
+            epsilon,
+            counts: vec![0; n],
+            batch: Vec::new(),
+            cache: RowCache::new(true, n, 1),
+        }
+    }
+
+    /// Enables or disables the per-center row cache (enabled by default).
+    /// Disabling also drops any cached rows; estimates are identical either
+    /// way — the cache trades memory (one integer row per distinct center)
+    /// for skipped pool sweeps.
+    pub fn with_row_cache(mut self, enabled: bool) -> Self {
+        self.cache.enabled = enabled;
+        if !enabled {
+            self.cache.rows.clear();
+        }
+        self
     }
 
     /// Read access to the backing engine (used by metrics and benches).
@@ -150,17 +399,97 @@ impl Oracle for McOracle<'_> {
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r = self.engine.num_samples().max(1) as f64;
-        self.engine.counts_from_center(center, &mut self.counts);
-        for (i, &c) in self.counts.iter().enumerate() {
-            let p = c as f64 / r;
-            cover[i] = p;
-            select[i] = p;
+        let r_now = self.engine.num_samples();
+        let r = r_now.max(1) as f64;
+        let McOracle { engine, counts, cache, .. } = self;
+        if !cache.admits(center) {
+            engine.counts_from_center(center, counts);
+            cache.stats.fulls += 1;
+            write_probs(counts, r, cover);
+        } else {
+            let mut ctx = (engine, counts);
+            let row = cache.serve(
+                &mut ctx,
+                center,
+                r_now,
+                |(engine, counts), row, lo| {
+                    engine.counts_from_center_range(center, lo, r_now, counts);
+                    add_counts(&mut row.cover, counts);
+                },
+                |(engine, counts)| {
+                    let mut cover = vec![0u32; counts.len()];
+                    engine.counts_from_center(center, &mut cover);
+                    CachedRow { covered: r_now, select: Vec::new(), cover }
+                },
+            );
+            write_probs(&row.cover, r, cover);
         }
+        select.copy_from_slice(cover);
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
         self.engine.pair_estimate(u, v)
+    }
+
+    /// Selection and cover coincide for unlimited probabilities.
+    fn identical_rows(&self) -> bool {
+        true
+    }
+
+    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+        let n = self.engine.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(cover.len(), k * n, "batch cover buffer has wrong length");
+        assert!(
+            select.is_empty() || select.len() == cover.len(),
+            "batch select buffer has wrong length"
+        );
+        let r_now = self.engine.num_samples();
+        let r = r_now.max(1) as f64;
+        let McOracle { engine, counts, batch, cache, .. } = self;
+        // Serve cached rows (hits and incremental top-ups) first, deferring
+        // misses so one engine batch computes them all in a single sweep.
+        let mut missing: Vec<usize> = Vec::new();
+        if cache.enabled {
+            for (j, &c) in centers.iter().enumerate() {
+                let mut ctx = (&mut *engine, &mut *counts);
+                let served = cache.serve_cached(&mut ctx, c, r_now, |(engine, counts), row, lo| {
+                    engine.counts_from_center_range(c, lo, r_now, counts);
+                    add_counts(&mut row.cover, counts);
+                });
+                match served {
+                    Some(row) => write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]),
+                    None => missing.push(j),
+                }
+            }
+        } else {
+            missing.extend(0..k);
+        }
+        if !missing.is_empty() {
+            let miss_centers: Vec<NodeId> = missing.iter().map(|&j| centers[j]).collect();
+            batch.resize(missing.len() * n, 0);
+            engine.counts_from_centers(&miss_centers, &mut batch[..missing.len() * n]);
+            cache.stats.fulls += missing.len();
+            for (bi, &j) in missing.iter().enumerate() {
+                let row = &batch[bi * n..(bi + 1) * n];
+                write_probs(row, r, &mut cover[j * n..(j + 1) * n]);
+                if cache.admits(centers[j]) {
+                    cache.rows.insert(
+                        centers[j].0,
+                        CachedRow { covered: r_now, select: Vec::new(), cover: row.to_vec() },
+                    );
+                }
+            }
+        }
+        // Identical-rows fast path: each row was written once into `cover`;
+        // a non-empty select buffer gets one bulk copy.
+        if !select.is_empty() {
+            select.copy_from_slice(cover);
+        }
+    }
+
+    fn cache_stats(&self) -> RowCacheStats {
+        self.cache.stats
     }
 }
 
@@ -178,8 +507,13 @@ pub struct DepthMcOracle<'g> {
     epsilon: f64,
     d_select: u32,
     d_cover: u32,
+    /// Scratch for single rows and ranged top-ups.
     count_select: Vec<u32>,
     count_cover: Vec<u32>,
+    /// Scratch for batched rows (`k · n`, grown on demand).
+    batch_select: Vec<u32>,
+    batch_cover: Vec<u32>,
+    cache: RowCache,
 }
 
 impl<'g> DepthMcOracle<'g> {
@@ -263,7 +597,20 @@ impl<'g> DepthMcOracle<'g> {
             d_cover,
             count_select: vec![0; n],
             count_cover: vec![0; n],
+            batch_select: Vec::new(),
+            batch_cover: Vec::new(),
+            cache: RowCache::new(true, n, if d_select == d_cover { 1 } else { 2 }),
         })
+    }
+
+    /// Enables or disables the per-center row cache (enabled by default;
+    /// see [`McOracle::with_row_cache`]).
+    pub fn with_row_cache(mut self, enabled: bool) -> Self {
+        self.cache.enabled = enabled;
+        if !enabled {
+            self.cache.rows.clear();
+        }
+        self
     }
 
     /// The configured `(d_select, d_cover)` depths.
@@ -306,22 +653,162 @@ impl Oracle for DepthMcOracle<'_> {
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r = self.engine.num_samples().max(1) as f64;
-        self.engine.counts_within_depths(
+        let r_now = self.engine.num_samples();
+        let r = r_now.max(1) as f64;
+        let identical = self.d_select == self.d_cover;
+        let DepthMcOracle { engine, d_select, d_cover, count_select, count_cover, cache, .. } =
+            self;
+        let (ds, dc) = (*d_select, *d_cover);
+        if !cache.admits(center) {
+            engine.counts_within_depths(center, ds, dc, count_select, count_cover);
+            cache.stats.fulls += 1;
+            write_probs(count_cover, r, cover);
+            if identical {
+                select.copy_from_slice(cover);
+            } else {
+                write_probs(count_select, r, select);
+            }
+            return;
+        }
+        let mut ctx = (engine, count_select, count_cover);
+        let row = cache.serve(
+            &mut ctx,
             center,
-            self.d_select,
-            self.d_cover,
-            &mut self.count_select,
-            &mut self.count_cover,
+            r_now,
+            |(engine, count_select, count_cover), row, lo| {
+                engine.counts_within_depths_range(
+                    center,
+                    ds,
+                    dc,
+                    lo,
+                    r_now,
+                    count_select,
+                    count_cover,
+                );
+                add_counts(&mut row.cover, count_cover);
+                if !identical {
+                    add_counts(&mut row.select, count_select);
+                }
+            },
+            |(engine, count_select, count_cover)| {
+                engine.counts_within_depths(center, ds, dc, count_select, count_cover);
+                // Identical depths: one stored row serves both radii.
+                let sel = if identical { Vec::new() } else { count_select.clone() };
+                CachedRow { covered: r_now, select: sel, cover: count_cover.clone() }
+            },
         );
-        for i in 0..select.len() {
-            select[i] = self.count_select[i] as f64 / r;
-            cover[i] = self.count_cover[i] as f64 / r;
+        write_probs(&row.cover, r, cover);
+        if identical {
+            select.copy_from_slice(cover);
+        } else {
+            write_probs(&row.select, r, select);
         }
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
         self.engine.pair_estimate_within(u, v, self.d_cover)
+    }
+
+    /// Selection and cover rows coincide exactly when the two depths do.
+    fn identical_rows(&self) -> bool {
+        self.d_select == self.d_cover
+    }
+
+    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+        let n = self.engine.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(cover.len(), k * n, "batch cover buffer has wrong length");
+        let identical = self.d_select == self.d_cover;
+        assert!(
+            select.len() == cover.len() || (select.is_empty() && identical),
+            "batch select buffer has wrong length (empty requires identical rows)"
+        );
+        let r_now = self.engine.num_samples();
+        let r = r_now.max(1) as f64;
+        let DepthMcOracle {
+            engine,
+            d_select,
+            d_cover,
+            count_select,
+            count_cover,
+            batch_select,
+            batch_cover,
+            cache,
+            ..
+        } = self;
+        let (ds, dc) = (*d_select, *d_cover);
+        let mut missing: Vec<usize> = Vec::new();
+        if cache.enabled {
+            for (j, &c) in centers.iter().enumerate() {
+                let mut ctx = (&mut *engine, &mut *count_select, &mut *count_cover);
+                let served = cache.serve_cached(
+                    &mut ctx,
+                    c,
+                    r_now,
+                    |(engine, count_select, count_cover), row, lo| {
+                        engine.counts_within_depths_range(
+                            c,
+                            ds,
+                            dc,
+                            lo,
+                            r_now,
+                            count_select,
+                            count_cover,
+                        );
+                        add_counts(&mut row.cover, count_cover);
+                        if !identical {
+                            add_counts(&mut row.select, count_select);
+                        }
+                    },
+                );
+                match served {
+                    Some(row) => {
+                        write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]);
+                        if !select.is_empty() && !identical {
+                            write_probs(&row.select, r, &mut select[j * n..(j + 1) * n]);
+                        }
+                    }
+                    None => missing.push(j),
+                }
+            }
+        } else {
+            missing.extend(0..k);
+        }
+        if !missing.is_empty() {
+            let miss_centers: Vec<NodeId> = missing.iter().map(|&j| centers[j]).collect();
+            batch_select.resize(missing.len() * n, 0);
+            batch_cover.resize(missing.len() * n, 0);
+            engine.counts_within_depths_batch(
+                &miss_centers,
+                ds,
+                dc,
+                &mut batch_select[..missing.len() * n],
+                &mut batch_cover[..missing.len() * n],
+            );
+            cache.stats.fulls += missing.len();
+            for (bi, &j) in missing.iter().enumerate() {
+                let row_sel = &batch_select[bi * n..(bi + 1) * n];
+                let row_cov = &batch_cover[bi * n..(bi + 1) * n];
+                write_probs(row_cov, r, &mut cover[j * n..(j + 1) * n]);
+                if !select.is_empty() && !identical {
+                    write_probs(row_sel, r, &mut select[j * n..(j + 1) * n]);
+                }
+                if cache.admits(centers[j]) {
+                    let sel = if identical { Vec::new() } else { row_sel.to_vec() };
+                    cache.rows.insert(
+                        centers[j].0,
+                        CachedRow { covered: r_now, select: sel, cover: row_cov.to_vec() },
+                    );
+                }
+            }
+        }
+        if !select.is_empty() && identical {
+            select.copy_from_slice(cover);
+        }
+    }
+
+    fn cache_stats(&self) -> RowCacheStats {
+        self.cache.stats
     }
 }
 
@@ -367,6 +854,26 @@ impl Oracle for ExactOracleAdapter {
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
         self.inner.pair_probability(u, v)
+    }
+
+    /// Exact oracles have a single radius.
+    fn identical_rows(&self) -> bool {
+        true
+    }
+
+    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+        let n = self.num_nodes();
+        assert_eq!(cover.len(), centers.len() * n, "batch cover buffer has wrong length");
+        assert!(
+            select.is_empty() || select.len() == cover.len(),
+            "batch select buffer has wrong length"
+        );
+        for (j, &c) in centers.iter().enumerate() {
+            cover[j * n..(j + 1) * n].copy_from_slice(self.inner.probs_from(c));
+        }
+        if !select.is_empty() {
+            select.copy_from_slice(cover);
+        }
     }
 }
 
@@ -504,6 +1011,139 @@ mod tests {
         assert!((cov[2] - 0.25).abs() < 1e-12);
         assert_eq!(sel, cov);
         assert!((o.pair_prob(NodeId(0), NodeId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_cache_serves_identical_estimates_across_growth() {
+        let g = chain(8, 0.6);
+        for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+            let mut cached =
+                McOracle::with_engine(&g, 11, 1, SampleSchedule::practical(), 0.1, kind);
+            let mut plain =
+                McOracle::with_engine(&g, 11, 1, SampleSchedule::practical(), 0.1, kind)
+                    .with_row_cache(false);
+            let (mut s1, mut c1) = (vec![0.0; 8], vec![0.0; 8]);
+            let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
+            // Interleave growth and queries so hits, top-ups, and full
+            // recomputes all occur.
+            for q in [1.0, 1.0, 0.5, 0.2, 0.2, 0.05] {
+                cached.prepare(q);
+                plain.prepare(q);
+                for c in 0..8u32 {
+                    cached.center_probs(NodeId(c), &mut s1, &mut c1);
+                    plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                    assert_eq!(c1, c2, "{kind:?} cover rows differ at center {c}, q {q}");
+                    assert_eq!(s1, s2, "{kind:?} select rows differ at center {c}, q {q}");
+                }
+            }
+            let stats = cached.cache_stats();
+            assert_eq!(stats.fulls, 8, "{kind:?}: first pass computes each row once");
+            assert!(stats.hits > 0, "{kind:?}: repeated thresholds must hit");
+            assert!(stats.topups > 0, "{kind:?}: growth must top up, not recompute");
+            assert_eq!(stats.rows_served(), 6 * 8);
+            let plain_stats = plain.cache_stats();
+            assert_eq!((plain_stats.hits, plain_stats.topups), (0, 0));
+            assert_eq!(plain_stats.fulls, 6 * 8);
+        }
+    }
+
+    #[test]
+    fn batched_probs_match_sequential_and_use_cache() {
+        let g = chain(9, 0.5);
+        let mut o = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
+        o.prepare(0.5);
+        let centers: Vec<NodeId> = [2u32, 7, 2, 0].iter().map(|&c| NodeId(c)).collect();
+        let n = 9;
+        let mut want = vec![0.0; centers.len() * n];
+        {
+            let mut scratch = vec![0.0; n];
+            let mut fresh = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
+            fresh.prepare(0.5);
+            for (j, &c) in centers.iter().enumerate() {
+                fresh.center_probs(c, &mut scratch, &mut want[j * n..(j + 1) * n]);
+            }
+        }
+        // Empty select buffer: identical-rows fast path.
+        let mut cov = vec![0.0; centers.len() * n];
+        o.center_probs_batch(&centers, &mut [], &mut cov);
+        assert_eq!(cov, want);
+        // Duplicate centers within one batch are both computed (misses are
+        // deferred to a single engine sweep, so the second occurrence
+        // cannot see the first's row yet) — correct, just not deduped.
+        assert_eq!(o.cache_stats().fulls, 4);
+        assert_eq!(o.cache_stats().hits, 0);
+        // Full select buffer agrees too.
+        let mut sel = vec![0.0; centers.len() * n];
+        cov.fill(0.0);
+        o.center_probs_batch(&centers, &mut sel, &mut cov);
+        assert_eq!(cov, want);
+        assert_eq!(sel, want);
+    }
+
+    #[test]
+    fn depth_oracle_cache_identical_across_growth() {
+        let g = chain(9, 0.7);
+        let schedule = SampleSchedule::practical();
+        for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+            // Distinct depths: two stored rows per center.
+            let mut cached =
+                DepthMcOracle::with_engine(&g, 5, 1, schedule, 0.1, 1, 3, kind).unwrap();
+            let mut plain = DepthMcOracle::with_engine(&g, 5, 1, schedule, 0.1, 1, 3, kind)
+                .unwrap()
+                .with_row_cache(false);
+            assert!(!cached.identical_rows());
+            let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
+            let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
+            for q in [1.0, 0.4, 0.4, 0.1] {
+                cached.prepare(q);
+                plain.prepare(q);
+                for c in 0..9u32 {
+                    cached.center_probs(NodeId(c), &mut s1, &mut c1);
+                    plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                    assert_eq!(s1, s2, "{kind:?} select rows differ at center {c}, q {q}");
+                    assert_eq!(c1, c2, "{kind:?} cover rows differ at center {c}, q {q}");
+                }
+            }
+            assert!(cached.cache_stats().topups > 0);
+            // Batched depth rows agree with the sequential ones.
+            let centers: Vec<NodeId> = (0..9).map(NodeId).collect();
+            let (mut bs, mut bc) = (vec![0.0; 9 * 9], vec![0.0; 9 * 9]);
+            cached.center_probs_batch(&centers, &mut bs, &mut bc);
+            for (j, &c) in centers.iter().enumerate() {
+                plain.center_probs(c, &mut s2, &mut c2);
+                assert_eq!(&bs[j * 9..(j + 1) * 9], &s2[..], "batch select row {c}");
+                assert_eq!(&bc[j * 9..(j + 1) * 9], &c2[..], "batch cover row {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_cache_budget_stops_admitting_new_centers() {
+        // Derived cap: 1 GiB budget over n·rows_per_center entries.
+        let c = RowCache::new(true, 1 << 20, 2);
+        assert_eq!(c.max_rows, (1 << 28) / (1 << 21));
+        // Once at capacity, known centers still go through the cache but
+        // new ones are computed without admission.
+        let mut c = RowCache::new(true, 4, 1);
+        c.max_rows = 1;
+        assert!(c.admits(NodeId(0)));
+        c.rows.insert(0, CachedRow { covered: 1, select: Vec::new(), cover: vec![0; 4] });
+        assert!(c.admits(NodeId(0)), "cached center keeps serving");
+        assert!(!c.admits(NodeId(1)), "budget exhausted: no new admissions");
+        let disabled = RowCache::new(false, 4, 1);
+        assert!(!disabled.admits(NodeId(0)));
+    }
+
+    #[test]
+    fn equal_depths_advertise_identical_rows() {
+        let g = chain(5, 1.0);
+        let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 2, 2).unwrap();
+        assert!(o.identical_rows());
+        o.prepare(1.0);
+        let mut cov = vec![0.0; 10];
+        o.center_probs_batch(&[NodeId(0), NodeId(2)], &mut [], &mut cov);
+        assert_eq!(cov[..5], [1.0, 1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(cov[5..], [1.0, 1.0, 1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -33,7 +33,8 @@
 use rayon::prelude::*;
 
 use ugraph_graph::{
-    lane_mask, Bitset, DepthBfs, MultiWorldBfs, NodeId, UncertainGraph, UnionFind, WorldView, LANES,
+    lane_mask, Bitset, DepthBfs, MultiWorldBfs, NodeId, UncertainGraph, UnionFind, WorldView,
+    LANES, MAX_SOURCES,
 };
 
 use crate::engine::{WorldEngine, DEPTH_UNLIMITED};
@@ -183,13 +184,49 @@ impl<'g> ComponentPool<'g> {
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
-                let label = row.labels[center.index()];
-                for &u in row.members(label) {
-                    counts[u as usize] += 1;
-                }
+                accumulate_center_row(row, center, counts);
             }
         };
         chunked_counts(&self.config, &self.rows, n, n, accumulate, out);
+    }
+
+    /// Batched [`ComponentPool::counts_from_center`]: one count row per
+    /// requested center, row-major in `out` (`out[j * n + u]`).
+    ///
+    /// Implemented as a per-center loop: the membership index already makes
+    /// a single-center sweep proportional to the center's component sizes,
+    /// and keeping each pass focused on one `n`-sized output row is faster
+    /// than a transposed one-pass sweep that scatters writes across all
+    /// `k` rows (measured on the Krogan-like instance). The batch entry
+    /// point still matters for the seam: other backends amortize real work
+    /// here, and callers stay backend-agnostic.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * n`.
+    pub fn counts_from_centers(&self, centers: &[NodeId], out: &mut [u32]) {
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_from_center(c, &mut out[j * n..(j + 1) * n]);
+        }
+    }
+
+    /// [`ComponentPool::counts_from_center`] restricted to the samples with
+    /// index in `[lo, hi)` — counts over disjoint ranges add up exactly.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`, `lo > hi`, or `hi > num_samples()`.
+    pub fn counts_from_center_range(&self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
+        let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
+            for row in rows {
+                accumulate_center_row(row, center, counts);
+            }
+        };
+        chunked_counts(&self.config, &self.rows[lo..hi], n, n, accumulate, out);
     }
 
     /// Number of samples where `u` and `v` are connected.
@@ -213,6 +250,17 @@ impl<'g> ComponentPool<'g> {
     }
 }
 
+/// One membership sweep: increments `counts[u]` for every member `u` of
+/// `center`'s component in `row` (the shared kernel of the single-center
+/// and ranged count queries).
+#[inline]
+fn accumulate_center_row(row: &SampleRow, center: NodeId, counts: &mut [u32]) {
+    let label = row.labels[center.index()];
+    for &u in row.members(label) {
+        counts[u as usize] += 1;
+    }
+}
+
 impl WorldEngine for ComponentPool<'_> {
     fn graph(&self) -> &UncertainGraph {
         ComponentPool::graph(self)
@@ -232,6 +280,14 @@ impl WorldEngine for ComponentPool<'_> {
 
     fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
         ComponentPool::counts_from_center(self, center, out)
+    }
+
+    fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        ComponentPool::counts_from_centers(self, centers, out)
+    }
+
+    fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
+        ComponentPool::counts_from_center_range(self, center, lo, hi, out)
     }
 
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
@@ -257,6 +313,48 @@ impl WorldEngine for ComponentPool<'_> {
              BitParallelPool for finite depths"
         );
         ComponentPool::counts_from_center(self, center, out_cover);
+        out_select.copy_from_slice(out_cover);
+    }
+
+    /// # Panics
+    /// Panics if either depth is finite (see
+    /// [`counts_within_depths`](WorldEngine::counts_within_depths)).
+    fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        assert!(
+            d_select == DEPTH_UNLIMITED && d_cover == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::counts_from_centers(self, centers, out_cover);
+        out_select.copy_from_slice(out_cover);
+    }
+
+    /// # Panics
+    /// Panics if either depth is finite (see
+    /// [`counts_within_depths`](WorldEngine::counts_within_depths)).
+    fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        assert!(
+            d_select == DEPTH_UNLIMITED && d_cover == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::counts_from_center_range(self, center, lo, hi, out_cover);
         out_select.copy_from_slice(out_cover);
     }
 
@@ -384,6 +482,103 @@ impl<'g> WorldPool<'g> {
         );
     }
 
+    /// Batched [`WorldPool::counts_within_depths`]: rows row-major per
+    /// center. Each world's edge bitset is materialized as a [`WorldView`]
+    /// **once** for all centers (one pass over the pool), with counts
+    /// identical to sequential per-center calls.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch or `d_select > d_cover`.
+    pub fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out_select.len(), k * n, "batch select buffer has wrong length");
+        assert_eq!(out_cover.len(), k * n, "batch cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        if k == 0 {
+            return;
+        }
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts2_with(
+            config,
+            worlds,
+            k * n,
+            k * n,
+            bfs,
+            || DepthBfs::new(n),
+            |select, cover, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    for (j, &c) in centers.iter().enumerate() {
+                        bfs.run(&view, c, d_cover, |node, depth| {
+                            cover[j * n + node.index()] += 1;
+                            if depth <= d_select {
+                                select[j * n + node.index()] += 1;
+                            }
+                        });
+                    }
+                }
+            },
+            out_select,
+            out_cover,
+        );
+    }
+
+    /// [`WorldPool::counts_within_depths`] restricted to the worlds with
+    /// index in `[lo, hi)` — counts over disjoint ranges add up exactly.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), n, "select buffer has wrong length");
+        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts2_with(
+            config,
+            &worlds[lo..hi],
+            n,
+            n,
+            bfs,
+            || DepthBfs::new(n),
+            |select, cover, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    bfs.run(&view, center, d_cover, |node, depth| {
+                        cover[node.index()] += 1;
+                        if depth <= d_select {
+                            select[node.index()] += 1;
+                        }
+                    });
+                }
+            },
+            out_select,
+            out_cover,
+        );
+    }
+
     /// Number of worlds where `dist(u, v) ≤ depth`.
     pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
         let WorldPool { sampler, worlds, config, bfs } = self;
@@ -451,6 +646,61 @@ impl WorldEngine for WorldPool<'_> {
         );
     }
 
+    fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        // One pass over the pool: each world's view is built once for all
+        // centers instead of once per center.
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        if k == 0 {
+            return;
+        }
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts_with(
+            config,
+            worlds,
+            k * n,
+            k * n,
+            bfs,
+            || DepthBfs::new(n),
+            |counts, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    for (j, &c) in centers.iter().enumerate() {
+                        bfs.run(&view, c, DEPTH_UNLIMITED, |node, _| {
+                            counts[j * n + node.index()] += 1;
+                        });
+                    }
+                }
+            },
+            out,
+        );
+    }
+
+    fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts_with(
+            config,
+            &worlds[lo..hi],
+            n,
+            n,
+            bfs,
+            || DepthBfs::new(n),
+            |counts, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    bfs.run(&view, center, DEPTH_UNLIMITED, |node, _| counts[node.index()] += 1);
+                }
+            },
+            out,
+        );
+    }
+
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
         WorldPool::pair_count_within(self, u, v, DEPTH_UNLIMITED)
     }
@@ -464,6 +714,34 @@ impl WorldEngine for WorldPool<'_> {
         out_cover: &mut [u32],
     ) {
         WorldPool::counts_within_depths(self, center, d_select, d_cover, out_select, out_cover)
+    }
+
+    fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        WorldPool::counts_within_depths_batch(
+            self, centers, d_select, d_cover, out_select, out_cover,
+        )
+    }
+
+    fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        WorldPool::counts_within_depths_range(
+            self, center, d_select, d_cover, lo, hi, out_select, out_cover,
+        )
     }
 
     fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
@@ -630,6 +908,144 @@ impl<'g> BitParallelPool<'g> {
         );
     }
 
+    /// Batched [`BitParallelPool::counts_from_center`]: one count row per
+    /// requested center, row-major in `out` (`out[j * n + u]`).
+    ///
+    /// Amortization by **component sharing**: connectivity reach sets are
+    /// per-component, so if centers `c_i` and `c_j` are connected in some
+    /// of a block's worlds, their rows are identical in those worlds. Per
+    /// 64-world block, each center runs a mask BFS only over the worlds
+    /// where its component is still unknown; every later center found
+    /// inside the traversed reach set inherits the reach masks for the
+    /// shared worlds with one AND + popcount sweep instead of a
+    /// re-traversal. On instances with a supercritical giant component
+    /// (most candidate centers connected in most worlds), a block costs
+    /// roughly one traversal plus `k` cheap sweeps — the amortization that
+    /// makes bit-parallel win the multi-row query workload it loses on
+    /// single rows.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * n`.
+    pub fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let n = graph.num_nodes();
+        let k = centers.len();
+        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            return BitParallelPool::counts_from_center(self, centers[0], out);
+        }
+        let per_block = n + 2 * graph.num_edges();
+        // Workspace per worker: the mask-BFS state, the per-center "worlds
+        // still unknown" masks, and the (node, mask) reach list of the
+        // current traversal.
+        let mut serial_ws = (std::mem::replace(bfs, MultiWorldBfs::new(0)), Vec::new(), Vec::new());
+        chunked_counts_with(
+            config,
+            blocks,
+            k * n,
+            per_block + k * n,
+            &mut serial_ws,
+            || (MultiWorldBfs::new(n), Vec::new(), Vec::new()),
+            |counts, (bfs, todo, reach), blocks: &[MaskBlock]| {
+                let todo: &mut Vec<u64> = todo;
+                let reach: &mut Vec<(u32, u64)> = reach;
+                for block in blocks {
+                    todo.clear();
+                    todo.resize(k, block.lane_mask());
+                    for j in 0..k {
+                        let m = todo[j];
+                        if m == 0 {
+                            continue;
+                        }
+                        reach.clear();
+                        bfs.run_unlimited(graph, &block.masks, centers[j], m, |u, mask| {
+                            reach.push((u.0, mask));
+                        });
+                        for &(u, mask) in reach.iter() {
+                            counts[j * n + u as usize] += mask.count_ones();
+                        }
+                        // Later centers reached by this traversal share its
+                        // rows over the connected worlds.
+                        for j2 in j + 1..k {
+                            let shared = todo[j2] & bfs.reach(centers[j2]);
+                            if shared != 0 {
+                                todo[j2] &= !shared;
+                                for &(u, mask) in reach.iter() {
+                                    counts[j2 * n + u as usize] += (mask & shared).count_ones();
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            out,
+        );
+        // Restore the persistent serial workspace.
+        *bfs = serial_ws.0;
+    }
+
+    /// [`BitParallelPool::counts_from_center`] restricted to the samples
+    /// with index in `[lo, hi)`: only the blocks overlapping the range are
+    /// traversed, with their lane masks narrowed to the range's lanes —
+    /// counts over disjoint ranges add up exactly.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`, `lo > hi`, or `hi > num_samples()`.
+    pub fn counts_from_center_range(
+        &mut self,
+        center: NodeId,
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), n, "counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        let items = Self::range_blocks(lo, hi);
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
+        let per_block = n + 2 * graph.num_edges();
+        chunked_counts_with(
+            config,
+            &items,
+            n,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |counts, bfs, items| {
+                for &(b, mask) in items {
+                    bfs.run_unlimited(graph, &blocks[b as usize].masks, center, mask, |node, m| {
+                        counts[node.index()] += m.count_ones();
+                    });
+                }
+            },
+            out,
+        );
+    }
+
+    /// The blocks overlapping sample range `[lo, hi)`, each with the lane
+    /// mask selecting exactly the in-range worlds of that block.
+    fn range_blocks(lo: usize, hi: usize) -> Vec<(u32, u64)> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        let first = lo / LANES;
+        let last = (hi - 1) / LANES;
+        (first..=last)
+            .map(|b| {
+                let base = b * LANES;
+                let s = lo.max(base) - base;
+                let e = hi.min(base + LANES) - base;
+                (b as u32, lane_mask(e) & !lane_mask(s))
+            })
+            .collect()
+    }
+
     /// Number of samples where `u` and `v` are connected.
     pub fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
@@ -706,6 +1122,133 @@ impl<'g> BitParallelPool<'g> {
         );
     }
 
+    /// Batched [`BitParallelPool::counts_within_depths`]: rows row-major
+    /// per center, computed with multi-source level-synchronous mask BFS
+    /// in groups of up to [`MAX_SOURCES`] centers — one traversal per
+    /// 64-world block per group.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch or `d_select > d_cover`.
+    pub fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out_select.len(), k * n, "batch select buffer has wrong length");
+        assert_eq!(out_cover.len(), k * n, "batch cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        if d_select == DEPTH_UNLIMITED {
+            // Both depths unlimited: the fixpoint mode is cheaper.
+            self.counts_from_centers(centers, out_cover);
+            out_select.copy_from_slice(out_cover);
+            return;
+        }
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let per_block = n + 2 * graph.num_edges();
+        for (gi, group) in centers.chunks(MAX_SOURCES).enumerate() {
+            let kg = group.len();
+            let sel_group = &mut out_select[gi * MAX_SOURCES * n..][..kg * n];
+            let cov_group = &mut out_cover[gi * MAX_SOURCES * n..][..kg * n];
+            chunked_counts2_with(
+                config,
+                blocks,
+                kg * n,
+                per_block * kg,
+                bfs,
+                || MultiWorldBfs::new(n),
+                |select, cover, bfs, blocks| {
+                    for block in blocks {
+                        bfs.run_multi(
+                            graph,
+                            &block.masks,
+                            group,
+                            block.lane_mask(),
+                            d_cover,
+                            |node, depth, j, mask| {
+                                let c = mask.count_ones();
+                                cover[j * n + node.index()] += c;
+                                if depth <= d_select {
+                                    select[j * n + node.index()] += c;
+                                }
+                            },
+                        );
+                    }
+                },
+                sel_group,
+                cov_group,
+            );
+        }
+    }
+
+    /// [`BitParallelPool::counts_within_depths`] restricted to the samples
+    /// with index in `[lo, hi)` (see
+    /// [`BitParallelPool::counts_from_center_range`]).
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), n, "select buffer has wrong length");
+        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        if d_select == DEPTH_UNLIMITED {
+            self.counts_from_center_range(center, lo, hi, out_cover);
+            out_select.copy_from_slice(out_cover);
+            return;
+        }
+        let items = Self::range_blocks(lo, hi);
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
+        let per_block = n + 2 * graph.num_edges();
+        chunked_counts2_with(
+            config,
+            &items,
+            n,
+            per_block,
+            bfs,
+            || MultiWorldBfs::new(n),
+            |select, cover, bfs, items| {
+                for &(b, mask) in items {
+                    bfs.run(
+                        graph,
+                        &blocks[b as usize].masks,
+                        center,
+                        mask,
+                        d_cover,
+                        |node, depth, m| {
+                            let c = m.count_ones();
+                            cover[node.index()] += c;
+                            if depth <= d_select {
+                                select[node.index()] += c;
+                            }
+                        },
+                    );
+                }
+            },
+            out_select,
+            out_cover,
+        );
+    }
+
     /// Number of samples where `dist(u, v) ≤ depth`.
     pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
         if depth == DEPTH_UNLIMITED {
@@ -759,6 +1302,14 @@ impl WorldEngine for BitParallelPool<'_> {
         BitParallelPool::counts_from_center(self, center, out)
     }
 
+    fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        BitParallelPool::counts_from_centers(self, centers, out)
+    }
+
+    fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
+        BitParallelPool::counts_from_center_range(self, center, lo, hi, out)
+    }
+
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
         BitParallelPool::pair_count(self, u, v)
     }
@@ -773,6 +1324,34 @@ impl WorldEngine for BitParallelPool<'_> {
     ) {
         BitParallelPool::counts_within_depths(
             self, center, d_select, d_cover, out_select, out_cover,
+        )
+    }
+
+    fn counts_within_depths_batch(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        BitParallelPool::counts_within_depths_batch(
+            self, centers, d_select, d_cover, out_select, out_cover,
+        )
+    }
+
+    fn counts_within_depths_range(
+        &mut self,
+        center: NodeId,
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        BitParallelPool::counts_within_depths_range(
+            self, center, d_select, d_cover, lo, hi, out_select, out_cover,
         )
     }
 
@@ -1143,6 +1722,137 @@ mod tests {
         WorldEngine::ensure(&mut scalar, 70);
         WorldEngine::ensure(&mut bit, 70);
         assert_eq!(total_reach(&mut scalar, NodeId(2)), total_reach(&mut bit, NodeId(2)));
+    }
+
+    #[test]
+    fn batched_counts_match_sequential_on_all_backends() {
+        let g = chain(11, 0.5);
+        let centers: Vec<NodeId> = [0u32, 5, 5, 10, 3].iter().map(|&c| NodeId(c)).collect(); // incl. duplicate
+        let k = centers.len();
+        let mut want = vec![0u32; k * 11];
+        let mut scalar = ComponentPool::new(&g, 77, 1);
+        scalar.ensure(90);
+        for (j, &c) in centers.iter().enumerate() {
+            scalar.counts_from_center(c, &mut want[j * 11..(j + 1) * 11]);
+        }
+        let mut got = vec![0u32; k * 11];
+        scalar.counts_from_centers(&centers, &mut got);
+        assert_eq!(got, want, "component pool batch differs");
+        let mut bit = BitParallelPool::new(&g, 77, 1);
+        bit.ensure(90);
+        got.fill(0);
+        bit.counts_from_centers(&centers, &mut got);
+        assert_eq!(got, want, "bit-parallel batch differs");
+        let mut world = WorldPool::new(&g, 77, 1);
+        world.ensure(90);
+        got.fill(0);
+        WorldEngine::counts_from_centers(&mut world, &centers, &mut got);
+        assert_eq!(got, want, "world pool batch differs");
+    }
+
+    #[test]
+    fn ranged_counts_add_up_to_full_counts() {
+        let g = chain(9, 0.55);
+        let mut scalar = ComponentPool::new(&g, 5, 1);
+        let mut bit = BitParallelPool::new(&g, 5, 1);
+        scalar.ensure(150);
+        bit.ensure(150);
+        let mut full = vec![0u32; 9];
+        let mut acc = vec![0u32; 9];
+        let mut part = vec![0u32; 9];
+        for center in [0u32, 4, 8] {
+            scalar.counts_from_center(NodeId(center), &mut full);
+            // Split points chosen to straddle the 64-world block boundary.
+            for (engine, name) in [
+                (&mut scalar as &mut dyn WorldEngine, "scalar"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                acc.fill(0);
+                for w in [(0usize, 10usize), (10, 64), (64, 65), (65, 130), (130, 150)] {
+                    engine.counts_from_center_range(NodeId(center), w.0, w.1, &mut part);
+                    for (a, &p) in acc.iter_mut().zip(&part) {
+                        *a += p;
+                    }
+                }
+                assert_eq!(acc, full, "{name} ranged counts at center {center}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_depth_counts_add_up_to_full_counts() {
+        let g = chain(10, 0.6);
+        let mut scalar = WorldPool::new(&g, 21, 1);
+        let mut bit = BitParallelPool::new(&g, 21, 1);
+        scalar.ensure(100);
+        bit.ensure(100);
+        let (mut fs, mut fc) = (vec![0u32; 10], vec![0u32; 10]);
+        scalar.counts_within_depths(NodeId(2), 1, 3, &mut fs, &mut fc);
+        let (mut ps, mut pc) = (vec![0u32; 10], vec![0u32; 10]);
+        for (engine, name) in [
+            (&mut scalar as &mut dyn WorldEngine, "scalar"),
+            (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+        ] {
+            let (mut acs, mut acc) = (vec![0u32; 10], vec![0u32; 10]);
+            for w in [(0usize, 63usize), (63, 64), (64, 100)] {
+                engine.counts_within_depths_range(NodeId(2), 1, 3, w.0, w.1, &mut ps, &mut pc);
+                for i in 0..10 {
+                    acs[i] += ps[i];
+                    acc[i] += pc[i];
+                }
+            }
+            assert_eq!(acs, fs, "{name} ranged select counts");
+            assert_eq!(acc, fc, "{name} ranged cover counts");
+        }
+    }
+
+    #[test]
+    fn batched_depth_counts_match_sequential() {
+        let g = chain(10, 0.6);
+        let centers: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let k = centers.len();
+        let mut scalar = WorldPool::new(&g, 9, 1);
+        let mut bit = BitParallelPool::new(&g, 9, 1);
+        scalar.ensure(97);
+        bit.ensure(97);
+        let (mut ws, mut wc) = (vec![0u32; k * 10], vec![0u32; k * 10]);
+        for (j, &c) in centers.iter().enumerate() {
+            scalar.counts_within_depths(
+                c,
+                1,
+                4,
+                &mut ws[j * 10..(j + 1) * 10],
+                &mut wc[j * 10..(j + 1) * 10],
+            );
+        }
+        let (mut gs, mut gc) = (vec![0u32; k * 10], vec![0u32; k * 10]);
+        scalar.counts_within_depths_batch(&centers, 1, 4, &mut gs, &mut gc);
+        assert_eq!((&gs, &gc), (&ws, &wc), "world pool batch depth rows differ");
+        gs.fill(0);
+        gc.fill(0);
+        bit.counts_within_depths_batch(&centers, 1, 4, &mut gs, &mut gc);
+        assert_eq!((&gs, &gc), (&ws, &wc), "bit-parallel batch depth rows differ");
+    }
+
+    #[test]
+    fn empty_center_batch_is_a_noop() {
+        let g = chain(4, 0.5);
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(8);
+        pool.counts_from_centers(&[], &mut []);
+        let mut bit = BitParallelPool::new(&g, 1, 1);
+        bit.ensure(8);
+        bit.counts_from_centers(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample range")]
+    fn ranged_counts_reject_out_of_bounds() {
+        let g = chain(4, 0.5);
+        let mut pool = ComponentPool::new(&g, 1, 1);
+        pool.ensure(8);
+        let mut out = vec![0u32; 4];
+        pool.counts_from_center_range(NodeId(0), 2, 9, &mut out);
     }
 
     #[test]

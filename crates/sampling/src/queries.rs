@@ -82,11 +82,19 @@ pub enum SourceObjective {
     AvgToTargets,
 }
 
+/// Candidate rows fetched per batched engine call in
+/// [`most_reliable_source`].
+const SOURCE_BATCH: usize = 64;
+
 /// Picks, among `candidates`, the node maximizing the chosen reliability
 /// statistic toward `targets` (the *most reliable source* problem, a
 /// special case of the paper's clustering objectives with `k = 1`).
 /// Returns the winner and its statistic; `None` if `candidates` or
 /// `targets` is empty. Ties break toward the smaller node id.
+///
+/// Candidate rows are fetched through the engine's batched
+/// `counts_from_centers` in groups of [`SOURCE_BATCH`], so the pool is
+/// swept once per group instead of once per candidate.
 ///
 /// # Panics
 /// Panics if the engine's pool is empty.
@@ -102,26 +110,29 @@ pub fn most_reliable_source<E: WorldEngine + ?Sized>(
     let n = engine.graph().num_nodes();
     let r = engine.num_samples();
     assert!(r > 0, "sample pool is empty");
-    let mut counts = vec![0u32; n];
+    let mut counts = vec![0u32; SOURCE_BATCH.min(candidates.len()) * n];
     let mut best: Option<(NodeId, f64)> = None;
-    for &c in candidates {
-        engine.counts_from_center(c, &mut counts);
-        let stat = match objective {
-            SourceObjective::MinToTargets => targets
-                .iter()
-                .map(|t| counts[t.index()] as f64 / r as f64)
-                .fold(f64::INFINITY, f64::min),
-            SourceObjective::AvgToTargets => {
-                targets.iter().map(|t| counts[t.index()] as f64 / r as f64).sum::<f64>()
-                    / targets.len() as f64
+    for chunk in candidates.chunks(SOURCE_BATCH) {
+        engine.counts_from_centers(chunk, &mut counts[..chunk.len() * n]);
+        for (j, &c) in chunk.iter().enumerate() {
+            let row = &counts[j * n..(j + 1) * n];
+            let stat = match objective {
+                SourceObjective::MinToTargets => targets
+                    .iter()
+                    .map(|t| row[t.index()] as f64 / r as f64)
+                    .fold(f64::INFINITY, f64::min),
+                SourceObjective::AvgToTargets => {
+                    targets.iter().map(|t| row[t.index()] as f64 / r as f64).sum::<f64>()
+                        / targets.len() as f64
+                }
+            };
+            let better = match best {
+                None => true,
+                Some((bn, bs)) => stat > bs || (stat == bs && c < bn),
+            };
+            if better {
+                best = Some((c, stat));
             }
-        };
-        let better = match best {
-            None => true,
-            Some((bn, bs)) => stat > bs || (stat == bs && c < bn),
-        };
-        if better {
-            best = Some((c, stat));
         }
     }
     best

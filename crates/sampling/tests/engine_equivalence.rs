@@ -3,10 +3,23 @@
 //! the scalar pools and the bit-parallel block pool must produce
 //! **identical integer counts** for every query family — they hold the
 //! same worlds, drawn from the same per-index RNG streams.
+//!
+//! The batched (`counts_from_centers`, `counts_within_depths_batch`) and
+//! ranged (`counts_from_center_range`, `counts_within_depths_range`) query
+//! shapes are held to the same standard: batched rows must equal the
+//! sequential per-center rows, and counts accumulated over any split of
+//! the pool's growth history must equal from-scratch counts — on every
+//! backend, for random seeds, thread counts, and pools straddling the
+//! 64-world block boundary. The oracle layer's row cache is built on
+//! exactly these identities, so they are what keeps cached estimates
+//! bit-identical to fresh ones.
 
 use proptest::prelude::*;
 use ugraph_graph::{GraphBuilder, NodeId, UncertainGraph};
-use ugraph_sampling::{BitParallelPool, ComponentPool, WorldEngine, WorldPool};
+use ugraph_sampling::{
+    BitParallelPool, ComponentPool, EngineKind, McOracle, Oracle, SampleSchedule, WorldEngine,
+    WorldPool,
+};
 
 /// Strategy: a small random uncertain graph (any shape, including
 /// disconnected and edgeless ones).
@@ -143,6 +156,206 @@ proptest! {
             scalar.counts_from_center(NodeId(center), &mut c);
             prop_assert_eq!(&a, &b, "stepped vs one-shot differ at center {}", center);
             prop_assert_eq!(&b, &c, "bit-parallel vs scalar differ at center {}", center);
+        }
+    }
+
+    /// Batched multi-center rows equal the sequential per-center rows on
+    /// every backend — the contract `min-partial`'s batched candidate
+    /// fetch rests on. Candidate sets include duplicates and span the
+    /// multi-source group size on small graphs.
+    #[test]
+    fn batched_rows_equal_sequential_rows(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        threads in thread_counts(),
+        picks in proptest::collection::vec(0u32..10, 1..12),
+    ) {
+        let n = g.num_nodes();
+        let centers: Vec<NodeId> =
+            picks.iter().map(|&c| NodeId(c % n as u32)).collect();
+        let k = centers.len();
+        let mut scalar = ComponentPool::new(&g, seed, threads);
+        let mut world = WorldPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        scalar.ensure(r);
+        world.ensure(r);
+        bit.ensure(r);
+        // Sequential reference rows from the scalar backend.
+        let mut want = vec![0u32; k * n];
+        for (j, &c) in centers.iter().enumerate() {
+            scalar.counts_from_center(c, &mut want[j * n..(j + 1) * n]);
+        }
+        let mut got = vec![0u32; k * n];
+        scalar.counts_from_centers(&centers, &mut got);
+        prop_assert_eq!(&got, &want, "component-pool batch (r = {}, k = {})", r, k);
+        got.fill(0);
+        bit.counts_from_centers(&centers, &mut got);
+        prop_assert_eq!(&got, &want, "bit-parallel batch (r = {}, k = {})", r, k);
+        got.fill(0);
+        WorldEngine::counts_from_centers(&mut world, &centers, &mut got);
+        prop_assert_eq!(&got, &want, "world-pool batch (r = {}, k = {})", r, k);
+    }
+
+    /// Batched depth rows equal sequential depth rows on both
+    /// depth-capable backends.
+    #[test]
+    fn batched_depth_rows_equal_sequential_rows(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        d_select in 0u32..4,
+        extra in 0u32..4,
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let d_cover = d_select + extra;
+        let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let k = centers.len();
+        let mut world = WorldPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        world.ensure(r);
+        bit.ensure(r);
+        let (mut want_s, mut want_c) = (vec![0u32; k * n], vec![0u32; k * n]);
+        for (j, &c) in centers.iter().enumerate() {
+            world.counts_within_depths(
+                c,
+                d_select,
+                d_cover,
+                &mut want_s[j * n..(j + 1) * n],
+                &mut want_c[j * n..(j + 1) * n],
+            );
+        }
+        let (mut got_s, mut got_c) = (vec![0u32; k * n], vec![0u32; k * n]);
+        world.counts_within_depths_batch(&centers, d_select, d_cover, &mut got_s, &mut got_c);
+        prop_assert_eq!(&got_s, &want_s, "world-pool batch select ({}, {})", d_select, d_cover);
+        prop_assert_eq!(&got_c, &want_c, "world-pool batch cover ({}, {})", d_select, d_cover);
+        got_s.fill(0);
+        got_c.fill(0);
+        bit.counts_within_depths_batch(&centers, d_select, d_cover, &mut got_s, &mut got_c);
+        prop_assert_eq!(&got_s, &want_s, "bit-parallel batch select ({}, {})", d_select, d_cover);
+        prop_assert_eq!(&got_c, &want_c, "bit-parallel batch cover ({}, {})", d_select, d_cover);
+    }
+
+    /// Incremental top-ups equal from-scratch counts: growing the pool in
+    /// arbitrary steps and summing ranged counts over the growth windows
+    /// reproduces the full-pool counts exactly, on both backends. This is
+    /// precisely the oracle row cache's serve path.
+    #[test]
+    fn incremental_topups_equal_from_scratch(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(1usize..70, 1..5),
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let total: usize = steps.iter().sum();
+        let mut scalar = ComponentPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut part = vec![0u32; n];
+        let mut acc_scalar = vec![vec![0u32; n]; n];
+        let mut acc_bit = vec![vec![0u32; n]; n];
+        let mut reached = 0usize;
+        for s in &steps {
+            let lo = reached;
+            reached += s;
+            scalar.ensure(reached);
+            bit.ensure(reached);
+            // Top up every center's accumulated row over the new window,
+            // as the row cache does after `prepare` growth.
+            for c in 0..n as u32 {
+                scalar.counts_from_center_range(NodeId(c), lo, reached, &mut part);
+                for (a, &p) in acc_scalar[c as usize].iter_mut().zip(&part) { *a += p; }
+                bit.counts_from_center_range(NodeId(c), lo, reached, &mut part);
+                for (a, &p) in acc_bit[c as usize].iter_mut().zip(&part) { *a += p; }
+            }
+        }
+        let mut fresh = ComponentPool::new(&g, seed, 1);
+        fresh.ensure(total);
+        let mut want = vec![0u32; n];
+        for c in 0..n as u32 {
+            fresh.counts_from_center(NodeId(c), &mut want);
+            prop_assert_eq!(&acc_scalar[c as usize], &want, "scalar top-ups at center {}", c);
+            prop_assert_eq!(&acc_bit[c as usize], &want, "bit-parallel top-ups at center {}", c);
+        }
+    }
+
+    /// The depth-limited ranged counts obey the same additivity.
+    #[test]
+    fn incremental_depth_topups_equal_from_scratch(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        split in 1usize..100,
+        d_select in 0u32..3,
+        extra in 0u32..3,
+    ) {
+        let n = g.num_nodes();
+        let total = 100usize;
+        let split = split.min(total);
+        let d_cover = d_select + extra;
+        let mut world = WorldPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, 1);
+        world.ensure(total);
+        bit.ensure(total);
+        let (mut ws, mut wc) = (vec![0u32; n], vec![0u32; n]);
+        let (mut ps, mut pc) = (vec![0u32; n], vec![0u32; n]);
+        for c in 0..n as u32 {
+            world.counts_within_depths(NodeId(c), d_select, d_cover, &mut ws, &mut wc);
+            for (engine, name) in [
+                (&mut world as &mut dyn WorldEngine, "world"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                let (mut acs, mut acc) = (vec![0u32; n], vec![0u32; n]);
+                for (lo, hi) in [(0, split), (split, total)] {
+                    engine.counts_within_depths_range(
+                        NodeId(c), d_select, d_cover, lo, hi, &mut ps, &mut pc,
+                    );
+                    for i in 0..n {
+                        acs[i] += ps[i];
+                        acc[i] += pc[i];
+                    }
+                }
+                prop_assert_eq!(&acs, &ws, "{} select split {} center {}", name, split, c);
+                prop_assert_eq!(&acc, &wc, "{} cover split {} center {}", name, split, c);
+            }
+        }
+    }
+
+    /// End to end through the oracle layer: a cache-enabled oracle serves
+    /// bit-identical probability rows to a cache-disabled one across an
+    /// arbitrary prepare/query schedule, on both backends.
+    #[test]
+    fn cached_oracle_rows_identical_to_uncached(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        qs in proptest::collection::vec(0.05f64..1.0, 1..5),
+        bitparallel in any::<bool>(),
+    ) {
+        let n = g.num_nodes();
+        let kind = if bitparallel { EngineKind::BitParallel } else { EngineKind::Scalar };
+        let schedule = SampleSchedule::practical();
+        let mut cached = McOracle::with_engine(&g, seed, 1, schedule, 0.1, kind);
+        let mut plain =
+            McOracle::with_engine(&g, seed, 1, schedule, 0.1, kind).with_row_cache(false);
+        let (mut s1, mut c1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut s2, mut c2) = (vec![0.0; n], vec![0.0; n]);
+        for &q in &qs {
+            cached.prepare(q);
+            plain.prepare(q);
+            for c in 0..n as u32 {
+                cached.center_probs(NodeId(c), &mut s1, &mut c1);
+                plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                prop_assert_eq!(&c1, &c2, "cover rows differ at center {} q {}", c, q);
+                prop_assert_eq!(&s1, &s2, "select rows differ at center {} q {}", c, q);
+            }
+            // Batched fetch with the identical-rows fast path agrees too.
+            let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            let mut batch = vec![0.0; n * n];
+            cached.center_probs_batch(&centers, &mut [], &mut batch);
+            for c in 0..n {
+                plain.center_probs(NodeId(c as u32), &mut s2, &mut c2);
+                prop_assert_eq!(&batch[c * n..(c + 1) * n], &c2[..], "batch row {} q {}", c, q);
+            }
         }
     }
 

@@ -35,15 +35,26 @@ fn main() {
     }
 
     // ── α: candidate-set size in min-partial ───────────────────────────
+    // The row-cache columns show why larger α stays affordable: repeated
+    // guesses re-request overlapping candidate rows, which the oracle
+    // serves from cached counts (hits) or incremental top-ups instead of
+    // full pool sweeps.
     println!("\nα sweep (acp): larger α lowers variance at extra cost (§5)");
-    println!("{:<8} {:>9} {:>10}", "alpha", "p_avg", "time");
+    println!(
+        "{:<8} {:>9} {:>10} {:>7} {:>8} {:>7}",
+        "alpha", "p_avg", "time", "hits", "top-ups", "fulls"
+    );
     for alpha in [1usize, 4, 16, 64] {
         let cfg = ClusterConfig::default().with_alpha(alpha).with_seed(1);
         let t = Instant::now();
         let r = acp(graph, k, &cfg).expect("acp");
         let el = t.elapsed();
         let q = clustering_quality(&mut pool, &r.clustering);
-        println!("{:<8} {:>9.3} {:>10.2?}", alpha, q.p_avg, el);
+        let c = r.row_cache;
+        println!(
+            "{:<8} {:>9.3} {:>10.2?} {:>7} {:>8} {:>7}",
+            alpha, q.p_avg, el, c.hits, c.topups, c.fulls
+        );
     }
 
     // ── Sampling schedule ──────────────────────────────────────────────

@@ -178,13 +178,13 @@ fn cmd_cluster(o: &Options) -> Result<(), String> {
     let cfg = ClusterConfig::default().with_seed(o.seed);
     let need_k = || o.k.ok_or(format!("--k is required for {algo}"));
     let clustering: Clustering = match (algo, o.depth) {
-        ("mcp", None) => mcp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?.clustering,
+        ("mcp", None) => summarize_mcp(mcp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?),
         ("mcp", Some(d)) => {
-            mcp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?.clustering
+            summarize_mcp(mcp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?)
         }
-        ("acp", None) => acp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?.clustering,
+        ("acp", None) => summarize_acp(acp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?),
         ("acp", Some(d)) => {
-            acp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?.clustering
+            summarize_acp(acp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?)
         }
         ("gmm", _) => gmm(&g, need_k()?, o.seed).map_err(|e| e.to_string())?,
         ("mcl", _) => mcl(&g, &MclConfig::with_inflation(o.inflation.unwrap_or(2.0))).clustering,
@@ -206,6 +206,29 @@ fn cmd_cluster(o: &Options) -> Result<(), String> {
         None => write_clustering(&clustering, std::io::stdout())?,
     }
     Ok(())
+}
+
+/// Prints the MCP schedule summary (guesses, samples, row-cache service)
+/// and unwraps the clustering.
+fn summarize_mcp(r: ugraph::cluster::McpResult) -> Clustering {
+    let c = r.row_cache;
+    eprintln!(
+        "mcp: {} guesses over {} samples (q = {:.4}, p_min est {:.4}); row cache: {} hits, {} \
+         top-ups, {} full recomputes",
+        r.guesses, r.samples_used, r.final_q, r.min_prob_estimate, c.hits, c.topups, c.fulls
+    );
+    r.clustering
+}
+
+/// Prints the ACP schedule summary and unwraps the clustering.
+fn summarize_acp(r: ugraph::cluster::AcpResult) -> Clustering {
+    let c = r.row_cache;
+    eprintln!(
+        "acp: {} guesses over {} samples (q = {:.4}, p_avg est {:.4}); row cache: {} hits, {} \
+         top-ups, {} full recomputes",
+        r.guesses, r.samples_used, r.final_q, r.avg_prob_estimate, c.hits, c.topups, c.fulls
+    );
+    r.clustering
 }
 
 fn cmd_evaluate(o: &Options) -> Result<(), String> {
