@@ -15,7 +15,10 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ugraph_cluster::{acp_with_oracle, AcpInvocation, AcpResult, ClusterConfig};
+use ugraph_cluster::{
+    acp_with_oracle, mcp, AcpInvocation, AcpResult, ClusterConfig, ClusterRequest, McpResult,
+    SolveResult, UgraphSession,
+};
 use ugraph_datasets::DatasetSpec;
 use ugraph_graph::NodeId;
 use ugraph_sampling::{BitParallelPool, ComponentPool, EngineKind, McOracle, Oracle, WorldPool};
@@ -326,6 +329,138 @@ fn measure_replay(graph: &ugraph_graph::UncertainGraph, smoke: bool) -> Vec<Repl
     out
 }
 
+/// One engine's k-sweep measurement: `k_lo..=k_hi` MCP requests served
+/// cold (one `mcp()` free-function call per k, each resampling its pool
+/// from scratch) vs warm (one [`UgraphSession`] serving every k from a
+/// shared grow-only pool and row caches).
+struct Sweep {
+    engine: &'static str,
+    cold_ns: u128,
+    warm_ns: u128,
+    /// Worlds the cold calls sampled in total vs worlds the session holds.
+    cold_worlds: usize,
+    warm_worlds: usize,
+    /// Cache service of the warm sweep (hits + top-ups = reused rows).
+    hits: usize,
+    topups: usize,
+    fulls: usize,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        self.cold_ns as f64 / (self.warm_ns as f64).max(1.0)
+    }
+}
+
+/// `k_sweep_session`: the acceptance workload — k = 2..=10 (2..=4 in
+/// smoke mode) on the Krogan-like instance through one session vs
+/// independent `mcp` calls, equality-gated per k: the warm request must
+/// reproduce the cold clustering, assignment probabilities, guess trace,
+/// and sample count bit for bit.
+fn measure_k_sweep(
+    graph: &ugraph_graph::UncertainGraph,
+    smoke: bool,
+) -> (usize, usize, Vec<Sweep>) {
+    let (k_lo, k_hi) = if smoke { (2usize, 4usize) } else { (2usize, 10usize) };
+    let reps = if smoke { 1 } else { 3 };
+    let mut out = Vec::new();
+    for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+        let cfg = ClusterConfig::default().with_seed(23).with_engine(kind).with_threads(1);
+        let mut best_cold = u128::MAX;
+        let mut best_warm = u128::MAX;
+        let mut cold_worlds = 0usize;
+        let mut warm_stats = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let cold: Vec<McpResult> =
+                (k_lo..=k_hi).map(|k| mcp(graph, k, &cfg).expect("cold mcp")).collect();
+            best_cold = best_cold.min(t.elapsed().as_nanos());
+
+            let t = Instant::now();
+            let mut session = UgraphSession::new(graph, cfg.clone()).expect("session");
+            let warm: Vec<SolveResult> = (k_lo..=k_hi)
+                .map(|k| session.solve(ClusterRequest::mcp(k)).expect("warm mcp"))
+                .collect();
+            best_warm = best_warm.min(t.elapsed().as_nanos());
+
+            // Equality gate: a faster sweep that answers differently
+            // would be meaningless.
+            for (w, c) in warm.iter().zip(&cold) {
+                assert_eq!(w.clustering, c.clustering, "{} k-sweep diverges", kind.name());
+                assert_eq!(w.assign_probs, c.assign_probs, "{} k-sweep probs diverge", kind.name());
+                assert_eq!((w.guesses, w.samples_used), (c.guesses, c.samples_used));
+            }
+            let stats = session.stats();
+            assert!(
+                stats.row_cache.hits + stats.row_cache.topups > 0,
+                "{} warm sweep reused no rows",
+                kind.name()
+            );
+            cold_worlds = cold.iter().map(|r| r.samples_used).sum();
+            warm_stats = Some(stats);
+        }
+        let stats = warm_stats.expect("at least one rep");
+        out.push(Sweep {
+            engine: kind.name(),
+            cold_ns: best_cold,
+            warm_ns: best_warm,
+            cold_worlds,
+            warm_worlds: stats.worlds_held,
+            hits: stats.row_cache.hits,
+            topups: stats.row_cache.topups,
+            fulls: stats.row_cache.fulls,
+        });
+    }
+    (k_lo, k_hi, out)
+}
+
+fn write_session_json(
+    graph: &ugraph_graph::UncertainGraph,
+    name: &str,
+    k_lo: usize,
+    k_hi: usize,
+    sweeps: &[Sweep],
+    smoke: bool,
+) {
+    let mut rows = String::new();
+    for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.3}, \
+             \"cold_worlds\": {}, \"warm_worlds\": {}, \"hits\": {}, \"topups\": {}, \
+             \"fulls\": {}}}",
+            s.engine,
+            s.cold_ns,
+            s.warm_ns,
+            s.speedup(),
+            s.cold_worlds,
+            s.warm_worlds,
+            s.hits,
+            s.topups,
+            s.fulls
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"k_sweep_session\",\n  \"dataset\": \"{}\",\n  \"nodes\": {},\n  \
+         \"edges\": {},\n  \"smoke\": {},\n  \"k_min\": {},\n  \"k_max\": {},\n  \
+         \"sweeps\": [\n{}\n  ]\n}}\n",
+        name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        smoke,
+        k_lo,
+        k_hi,
+        rows
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn write_oracle_json(
     graph: &ugraph_graph::UncertainGraph,
     name: &str,
@@ -463,6 +598,26 @@ fn worldengine(c: &mut Criterion) {
     }
     write_oracle_json(&graph, &d.name, &batch, &replay, smoke());
 
+    // k-sweep through one session vs independent cold calls
+    // (equality-gated inside).
+    let (k_lo, k_hi, sweeps) = measure_k_sweep(&graph, smoke());
+    for s in &sweeps {
+        println!(
+            "  k_sweep_session/{:<13} cold {:>12} ns   warm session {:>11} ns   speedup \
+             {:>6.2}x   ({} hits, {} top-ups, {} fulls; {} vs {} worlds)",
+            s.engine,
+            s.cold_ns,
+            s.warm_ns,
+            s.speedup(),
+            s.hits,
+            s.topups,
+            s.fulls,
+            s.warm_worlds,
+            s.cold_worlds
+        );
+    }
+    write_session_json(&graph, &d.name, k_lo, k_hi, &sweeps, smoke());
+
     // Criterion groups for interactive exploration.
     const SEED: u64 = 41;
     let mut counts = vec![0u32; n];
@@ -545,6 +700,28 @@ fn worldengine(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Dedicated criterion group for the session k-sweep. Each iteration is
+    // a whole sweep, so the sample size stays small in every mode; the
+    // JSON above covers the full acceptance range.
+    let mut sweep_group = c.benchmark_group("k_sweep_session");
+    sweep_group.sample_size(10);
+    if smoke() {
+        sweep_group.measurement_time(Duration::from_millis(40));
+    }
+    let cfg = ClusterConfig::default().with_seed(23).with_threads(1);
+    sweep_group.bench_function("cold_calls/k2_4", |b| {
+        b.iter(|| (2..=4).map(|k| mcp(&graph, k, &cfg).expect("cold mcp").guesses).sum::<usize>())
+    });
+    sweep_group.bench_function("warm_session/k2_4", |b| {
+        b.iter(|| {
+            let mut session = UgraphSession::new(&graph, cfg.clone()).expect("session");
+            (2..=4)
+                .map(|k| session.solve(ClusterRequest::mcp(k)).expect("warm mcp").guesses)
+                .sum::<usize>()
+        })
+    });
+    sweep_group.finish();
 }
 
 criterion_group!(benches, worldengine);

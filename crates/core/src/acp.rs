@@ -24,12 +24,14 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{DepthMcOracle, McOracle, Oracle, RowCacheStats};
+use ugraph_sampling::{Oracle, RowCacheStats};
 
 use crate::clustering::Clustering;
 use crate::config::{AcpInvocation, ClusterConfig, GuessStrategy};
 use crate::error::ClusterError;
 use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
+use crate::request::{ClusterRequest, SolveResult};
+use crate::session::UgraphSession;
 
 /// Output of the ACP driver.
 #[derive(Clone, Debug)]
@@ -55,24 +57,34 @@ pub struct AcpResult {
     pub row_cache: RowCacheStats,
 }
 
+impl From<SolveResult> for AcpResult {
+    /// Projects a session [`SolveResult`] onto the legacy ACP shape.
+    fn from(r: SolveResult) -> AcpResult {
+        AcpResult {
+            clustering: r.clustering,
+            assign_probs: r.assign_probs,
+            avg_prob_estimate: r.objective_estimate,
+            final_q: r.final_q,
+            guesses: r.guesses,
+            samples_used: r.samples_used,
+            row_cache: r.row_cache,
+        }
+    }
+}
+
 /// Runs ACP on `graph` with Monte-Carlo estimation (unlimited path
 /// length), on the backend selected by `cfg.engine`.
+///
+/// A thin wrapper over a single-request [`UgraphSession`] — workloads
+/// issuing many requests on one graph should hold a session instead (see
+/// [`crate::mcp()`](crate::mcp::mcp)).
 pub fn acp(
     graph: &UncertainGraph,
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<AcpResult, ClusterError> {
-    cfg.validate()?;
-    let mut oracle = McOracle::with_engine(
-        graph,
-        mix_seed(cfg.seed, 0x4143_5031), // "ACP1" tag
-        cfg.threads,
-        cfg.schedule,
-        cfg.epsilon,
-        cfg.engine,
-    )
-    .with_row_cache(cfg.row_cache);
-    acp_with_oracle(&mut oracle, k, cfg)
+    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    session.solve(ClusterRequest::acp(k)).map(AcpResult::from)
 }
 
 /// Runs the depth-limited ACP variant (paper §3.4).
@@ -80,30 +92,16 @@ pub fn acp(
 /// In `Theory` mode this is Theorem 6's
 /// `min-partial-d(G, k, q³, n, q, d, ⌊d/3⌋)`: selection disks at depth
 /// `⌊d/3⌋`, cover disks at depth `d`. In `Practical` mode both disks use
-/// depth `d`, mirroring the practical unlimited invocation.
+/// depth `d`, mirroring the practical unlimited invocation. A thin
+/// wrapper over a single-request [`UgraphSession`].
 pub fn acp_depth(
     graph: &UncertainGraph,
     k: usize,
     d: u32,
     cfg: &ClusterConfig,
 ) -> Result<AcpResult, ClusterError> {
-    cfg.validate()?;
-    let d_select = match cfg.acp_invocation {
-        AcpInvocation::Theory => (d / 3).max(1),
-        AcpInvocation::Practical => d,
-    };
-    let mut oracle = DepthMcOracle::with_engine(
-        graph,
-        mix_seed(cfg.seed, 0x4143_5044), // "ACPD" tag
-        cfg.threads,
-        cfg.schedule,
-        cfg.epsilon,
-        d_select.min(d),
-        d,
-        cfg.engine,
-    )?
-    .with_row_cache(cfg.row_cache);
-    acp_with_oracle(&mut oracle, k, cfg)
+    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    session.solve(ClusterRequest::acp_depth(k, d)).map(AcpResult::from)
 }
 
 /// Runs ACP against an arbitrary [`Oracle`].

@@ -50,6 +50,31 @@
 //! assert_eq!(c.cluster_of_u32(3), c.cluster_of_u32(5));
 //! assert_ne!(c.cluster_of_u32(0), c.cluster_of_u32(3));
 //! ```
+//!
+//! Running several requests on one graph (a k-sweep, depth comparisons,
+//! metric re-evaluation)? Hold a [`UgraphSession`] instead of calling the
+//! free functions repeatedly: each `session.solve(ClusterRequest::mcp(k))`
+//! is bit-identical to the matching one-shot call, but the sampled worlds
+//! and cached probability rows carry over between requests.
+//!
+//! ```
+//! use ugraph_graph::GraphBuilder;
+//! use ugraph_cluster::{ClusterConfig, ClusterRequest, UgraphSession};
+//!
+//! let mut b = GraphBuilder::new(6);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+//!     b.add_edge(u, v, 0.9).unwrap();
+//! }
+//! b.add_edge(2, 3, 0.05).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let mut session = UgraphSession::new(&g, ClusterConfig::default()).unwrap();
+//! for k in 2..=4 {
+//!     let r = session.solve(ClusterRequest::mcp(k)).unwrap();
+//!     assert_eq!(r.clustering.num_clusters(), k);
+//! }
+//! assert_eq!(session.stats().requests, 3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +88,8 @@ pub mod hardness;
 pub mod mcp;
 pub mod min_partial;
 pub mod objectives;
+pub mod request;
+pub mod session;
 
 pub use acp::{acp, acp_depth, acp_with_oracle, AcpResult};
 pub use clustering::{Clustering, PartialClustering};
@@ -71,4 +98,6 @@ pub use error::ClusterError;
 pub use mcp::{mcp, mcp_depth, mcp_with_oracle, McpResult};
 pub use min_partial::{min_partial, min_partial_with, MinPartialParams, MinPartialWorkspace};
 pub use objectives::{avg_prob, min_prob};
+pub use request::{ClusterRequest, Objective, SolveResult};
+pub use session::{EvalQuality, RequestRecord, SessionStats, UgraphSession};
 pub use ugraph_sampling::{EngineKind, RowCacheStats};

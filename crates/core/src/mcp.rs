@@ -2,7 +2,7 @@
 //! schedule and binary-search refinement (§5), plus Theorem 7's
 //! Monte-Carlo integration.
 //!
-//! MCP repeatedly invokes [`min_partial`] with a decreasing probability
+//! MCP repeatedly invokes [`min_partial`](crate::min_partial::min_partial) with a decreasing probability
 //! threshold `q` until the returned partial clustering covers **all**
 //! nodes; Lemma 2 guarantees this happens no later than
 //! `q ≤ p²_opt-min(k)`, yielding the `p²_opt-min/(1+γ)` approximation of
@@ -15,12 +15,14 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{DepthMcOracle, McOracle, Oracle, RowCacheStats};
+use ugraph_sampling::{Oracle, RowCacheStats};
 
 use crate::clustering::{Clustering, PartialClustering};
 use crate::config::{ClusterConfig, GuessStrategy};
 use crate::error::ClusterError;
 use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
+use crate::request::{ClusterRequest, SolveResult};
+use crate::session::UgraphSession;
 
 /// Output of the MCP driver.
 #[derive(Clone, Debug)]
@@ -45,49 +47,50 @@ pub struct McpResult {
     pub row_cache: RowCacheStats,
 }
 
+impl From<SolveResult> for McpResult {
+    /// Projects a session [`SolveResult`] onto the legacy MCP shape.
+    fn from(r: SolveResult) -> McpResult {
+        McpResult {
+            clustering: r.clustering,
+            assign_probs: r.assign_probs,
+            min_prob_estimate: r.objective_estimate,
+            final_q: r.final_q,
+            guesses: r.guesses,
+            samples_used: r.samples_used,
+            row_cache: r.row_cache,
+        }
+    }
+}
+
 /// Runs MCP on `graph` with Monte-Carlo estimation (unlimited path
 /// length), on the backend selected by `cfg.engine`.
+///
+/// A thin wrapper over a single-request [`UgraphSession`] — workloads
+/// issuing many requests on one graph (k-sweeps, depth comparisons) should
+/// hold a session instead, which serves each request bit-identically to
+/// this function while reusing the sampled worlds and cached rows.
 pub fn mcp(
     graph: &UncertainGraph,
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
-    cfg.validate()?;
-    let mut oracle = McOracle::with_engine(
-        graph,
-        mix_seed(cfg.seed, 0x4d43_5031), // "MCP1" tag: decorrelate from candidate rng
-        cfg.threads,
-        cfg.schedule,
-        cfg.epsilon,
-        cfg.engine,
-    )
-    .with_row_cache(cfg.row_cache);
-    mcp_with_oracle(&mut oracle, k, cfg)
+    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    session.solve(ClusterRequest::mcp(k)).map(McpResult::from)
 }
 
 /// Runs the depth-limited MCP variant (paper §3.4): connection
 /// probabilities only count paths of length at most `d`. Per Lemma 5 the
 /// oracle uses depth `d` for both selection and cover disks
-/// (`min-partial-d(G, k, q, α, q̄, d, d)`).
+/// (`min-partial-d(G, k, q, α, q̄, d, d)`). A thin wrapper over a
+/// single-request [`UgraphSession`] (see [`mcp()`]).
 pub fn mcp_depth(
     graph: &UncertainGraph,
     k: usize,
     d: u32,
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
-    cfg.validate()?;
-    let mut oracle = DepthMcOracle::with_engine(
-        graph,
-        mix_seed(cfg.seed, 0x4d43_5044), // "MCPD" tag
-        cfg.threads,
-        cfg.schedule,
-        cfg.epsilon,
-        d,
-        d,
-        cfg.engine,
-    )?
-    .with_row_cache(cfg.row_cache);
-    mcp_with_oracle(&mut oracle, k, cfg)
+    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    session.solve(ClusterRequest::mcp_depth(k, d)).map(McpResult::from)
 }
 
 /// Runs MCP against an arbitrary [`Oracle`] (exact oracles included).

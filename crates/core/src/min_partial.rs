@@ -142,7 +142,7 @@ pub fn min_partial<O: Oracle + ?Sized>(
 /// [`min_partial`] with caller-owned working buffers.
 ///
 /// Candidate probability rows are fetched through
-/// [`Oracle::center_probs_batch`] in groups of [`CANDIDATE_BATCH`], so the
+/// [`Oracle::center_probs_batch`] in `CANDIDATE_BATCH`-sized groups, so the
 /// Monte-Carlo oracles answer a greedy step with amortized pool sweeps and
 /// cached rows instead of one full sweep per candidate; when
 /// [`Oracle::identical_rows`] holds, only cover rows are materialized. The

@@ -1,0 +1,577 @@
+//! [`UgraphSession`] — a graph-bound solver that amortizes sampled state
+//! across many clustering requests.
+//!
+//! The MCP/ACP drivers are rarely run once: real workloads sweep `k`,
+//! compare depth variants, and re-evaluate metrics on the *same* uncertain
+//! graph. The one-shot free functions ([`crate::mcp()`](crate::mcp::mcp)
+//! and friends) construct a fresh engine per call, resample the world pool
+//! from scratch, and discard the oracle's row cache on return. A session
+//! keeps all of that alive:
+//!
+//! * one **engine + grow-only pool per request shape** (seeded exactly as
+//!   the one-shot entry points seed theirs), so a k-sweep's later requests
+//!   reuse every world the earlier ones sampled;
+//! * the oracles' **incremental row caches** carry across requests —
+//!   grow-only pools mean cached integer rows are never invalid, so later
+//!   requests start warm;
+//! * per-request **bit-identity** with the one-shot functions: each
+//!   request re-runs the schedule over an *active sample window* that
+//!   contains exactly the worlds a fresh oracle would have drawn (see
+//!   [`Oracle::begin_request`]), so `session.solve(ClusterRequest::mcp(k))`
+//!   returns the same clustering, probabilities, and guess trace as
+//!   `mcp(&g, k, &config)` — only faster;
+//! * a shared **evaluation pool** for
+//!   [`UgraphSession::evaluate`] and the `ugraph-metrics` quality
+//!   functions, replacing the ad-hoc pools callers used to build;
+//! * cumulative [`SessionStats`]: worlds held, rows served per cache
+//!   tier, and per-request timings.
+//!
+//! ```
+//! use ugraph_graph::GraphBuilder;
+//! use ugraph_cluster::{ClusterConfig, ClusterRequest, UgraphSession};
+//!
+//! let mut b = GraphBuilder::new(6);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+//!     b.add_edge(u, v, 0.9).unwrap();
+//! }
+//! b.add_edge(2, 3, 0.05).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let mut session = UgraphSession::new(&g, ClusterConfig::default()).unwrap();
+//! // A k-sweep through one session: later requests reuse the sampled
+//! // worlds and cached rows of the earlier ones.
+//! for k in 2..=4 {
+//!     let r = session.solve(ClusterRequest::mcp(k)).unwrap();
+//!     assert_eq!(r.clustering.num_clusters(), k);
+//! }
+//! let best = session.solve(ClusterRequest::mcp(2)).unwrap();
+//! let quality = session.evaluate(&best.clustering);
+//! assert!(quality.p_min > 0.5);
+//! let stats = session.stats();
+//! assert_eq!(stats.requests, 4);
+//! assert!(stats.row_cache.hits + stats.row_cache.topups > 0);
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use ugraph_graph::{NodeId, UncertainGraph};
+use ugraph_sampling::rng::mix_seed;
+use ugraph_sampling::{
+    assignment_probs, quality_from_probs, ComponentPool, DepthMcOracle, McOracle, Oracle,
+    RowCacheStats, WorldPool,
+};
+
+use crate::acp::acp_with_oracle;
+use crate::clustering::Clustering;
+use crate::config::ClusterConfig;
+use crate::error::ClusterError;
+use crate::mcp::mcp_with_oracle;
+use crate::request::{ClusterRequest, Objective, SolveResult};
+
+/// Seed tags decorrelating each oracle family's sampling streams from the
+/// candidate rng — identical to the tags the one-shot entry points use, so
+/// session-served requests see the very same worlds.
+const TAG_MCP: u64 = 0x4d43_5031; // "MCP1"
+const TAG_MCP_DEPTH: u64 = 0x4d43_5044; // "MCPD"
+const TAG_ACP: u64 = 0x4143_5031; // "ACP1"
+const TAG_ACP_DEPTH: u64 = 0x4143_5044; // "ACPD"
+/// Seed tag of the session's evaluation pool (decorrelated from every
+/// solver pool, so evaluation is an unbiased re-estimate).
+const TAG_EVAL: u64 = 0x4556_414c; // "EVAL"
+
+/// Default size of the evaluation pool backing
+/// [`UgraphSession::evaluate`].
+pub const DEFAULT_EVAL_SAMPLES: usize = 512;
+
+/// The oracle shape a request resolves to: one cached oracle (engine +
+/// pool + row cache) exists per distinct key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OracleKey {
+    objective: Objective,
+    /// `None` = unlimited path length (a [`McOracle`]); `Some` = the
+    /// resolved `(d_select, d_cover)` pair (a [`DepthMcOracle`]).
+    depths: Option<(u32, u32)>,
+}
+
+/// Per-request record kept in [`SessionStats::per_request`].
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Human-readable request label (the request's `Display` form).
+    pub label: String,
+    /// Monte-Carlo samples the request's estimates integrated over.
+    pub samples_used: usize,
+    /// `min-partial` invocations performed.
+    pub guesses: usize,
+    /// Row-cache service counters of this request alone.
+    pub row_cache: RowCacheStats,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+}
+
+/// Cumulative statistics of a [`UgraphSession`].
+#[derive(Clone, Debug, Default)]
+pub struct SessionStats {
+    /// Solve requests issued (successful or not).
+    pub requests: usize,
+    /// [`UgraphSession::evaluate`] calls served.
+    pub evaluations: usize,
+    /// Worlds currently held across all of the session's pools (solver
+    /// oracles + evaluation pool). On a warm session this is what the
+    /// requests *shared*; the same requests one-shot would have sampled
+    /// roughly `Σ samples_used` worlds instead.
+    pub worlds_held: usize,
+    /// Aggregate row-cache service across all solver oracles.
+    pub row_cache: RowCacheStats,
+    /// Total wall-clock time spent in [`UgraphSession::solve`].
+    pub solve_time: Duration,
+    /// One record per successful solve request, in issue order.
+    pub per_request: Vec<RequestRecord>,
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} request(s), {} evaluation(s), {} world(s) held; row cache: {} hits, {} top-ups, \
+             {} full recomputes; solve time {:.2?}",
+            self.requests,
+            self.evaluations,
+            self.worlds_held,
+            self.row_cache.hits,
+            self.row_cache.topups,
+            self.row_cache.fulls,
+            self.solve_time
+        )
+    }
+}
+
+/// `p_min`/`p_avg` of a clustering over the session's evaluation pool (an
+/// unbiased re-estimate with samples decorrelated from the solver pools).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalQuality {
+    /// Minimum estimated connection probability of a covered node to its
+    /// center (1.0 if nothing is covered).
+    pub p_min: f64,
+    /// Average estimated connection probability over all nodes, outliers
+    /// contributing 0.
+    pub p_avg: f64,
+    /// Samples the estimate integrated over.
+    pub samples: usize,
+}
+
+/// A graph-bound clustering solver serving many typed requests over shared
+/// sampled state — see the [module docs](self) for the full contract.
+pub struct UgraphSession<'g> {
+    graph: &'g UncertainGraph,
+    config: ClusterConfig,
+    /// One oracle (engine + grow-only pool + row cache) per request shape
+    /// seen so far; linear scan — a session holds a handful at most.
+    oracles: Vec<(OracleKey, Box<dyn Oracle + 'g>)>,
+    /// Lazily-built evaluation pool shared by [`UgraphSession::evaluate`]
+    /// and the metrics layer ([`UgraphSession::eval_pool`]).
+    eval: Option<ComponentPool<'g>>,
+    /// Lazily-built depth-capable evaluation pool backing
+    /// [`UgraphSession::evaluate_depth`] (same seed stream as `eval`, so
+    /// both integrate the same sampled worlds).
+    eval_depth: Option<WorldPool<'g>>,
+    eval_samples: usize,
+    requests: usize,
+    evaluations: usize,
+    solve_time: Duration,
+    per_request: Vec<RequestRecord>,
+}
+
+impl<'g> UgraphSession<'g> {
+    /// Creates a session over `graph`. The configuration is fixed for the
+    /// session's lifetime — it determines the sampling seeds, so changing
+    /// it mid-session would silently break the bit-identity contract.
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::InvalidConfig`] for invalid parameter
+    /// ranges (same validation as the one-shot entry points).
+    pub fn new(graph: &'g UncertainGraph, config: ClusterConfig) -> Result<Self, ClusterError> {
+        config.validate()?;
+        Ok(UgraphSession {
+            graph,
+            config,
+            oracles: Vec::new(),
+            eval: None,
+            eval_depth: None,
+            eval_samples: DEFAULT_EVAL_SAMPLES,
+            requests: 0,
+            evaluations: 0,
+            solve_time: Duration::ZERO,
+            per_request: Vec::new(),
+        })
+    }
+
+    /// Builder-style setter for the evaluation-pool size (default
+    /// [`DEFAULT_EVAL_SAMPLES`]). The pool is grow-only: raising the value
+    /// later tops it up, lowering it has no effect on an existing pool.
+    pub fn with_eval_samples(mut self, samples: usize) -> Self {
+        self.set_eval_samples(samples);
+        self
+    }
+
+    /// In-place variant of [`UgraphSession::with_eval_samples`].
+    pub fn set_eval_samples(&mut self, samples: usize) {
+        self.eval_samples = samples.max(1);
+    }
+
+    /// The graph this session is bound to.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.graph
+    }
+
+    /// The session's (immutable) configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Solves one typed request against the session's shared state.
+    ///
+    /// The result is **bit-identical** to the corresponding one-shot call
+    /// (`mcp`, `mcp_depth`, `acp`, `acp_depth`) with this session's
+    /// configuration: the request is served over an active sample window
+    /// holding exactly the worlds a fresh oracle would have drawn, while
+    /// already-sampled worlds and cached rows are reused instead of
+    /// recomputed ([`SolveResult::row_cache`] shows the reuse).
+    ///
+    /// # Errors
+    /// The same failure modes as the one-shot entry points:
+    /// [`ClusterError::KOutOfRange`], [`ClusterError::NoFullClustering`]
+    /// (MCP on graphs with more than `k` components), and
+    /// [`ClusterError::InvalidConfig`] (e.g. `d_select > d_cover`).
+    pub fn solve(&mut self, request: ClusterRequest) -> Result<SolveResult, ClusterError> {
+        let t0 = Instant::now();
+        self.requests += 1;
+        let key = OracleKey {
+            objective: request.objective(),
+            depths: request.resolved_depths(&self.config),
+        };
+        let idx = self.oracle_index(key)?;
+        let config = self.config.clone();
+        let oracle = &mut self.oracles[idx].1;
+        let cache_before = oracle.cache_stats();
+        oracle.begin_request();
+        let result = match request.objective() {
+            Objective::MinProb => {
+                let r = mcp_with_oracle(oracle.as_mut(), request.k(), &config)?;
+                SolveResult {
+                    request,
+                    clustering: r.clustering,
+                    assign_probs: r.assign_probs,
+                    objective_estimate: r.min_prob_estimate,
+                    final_q: r.final_q,
+                    guesses: r.guesses,
+                    samples_used: r.samples_used,
+                    row_cache: r.row_cache.since(cache_before),
+                    elapsed: t0.elapsed(),
+                }
+            }
+            Objective::AvgProb => {
+                let r = acp_with_oracle(oracle.as_mut(), request.k(), &config)?;
+                SolveResult {
+                    request,
+                    clustering: r.clustering,
+                    assign_probs: r.assign_probs,
+                    objective_estimate: r.avg_prob_estimate,
+                    final_q: r.final_q,
+                    guesses: r.guesses,
+                    samples_used: r.samples_used,
+                    row_cache: r.row_cache.since(cache_before),
+                    elapsed: t0.elapsed(),
+                }
+            }
+        };
+        self.solve_time += result.elapsed;
+        self.per_request.push(RequestRecord {
+            label: request.to_string(),
+            samples_used: result.samples_used,
+            guesses: result.guesses,
+            row_cache: result.row_cache,
+            elapsed: result.elapsed,
+        });
+        Ok(result)
+    }
+
+    /// Estimates `p_min`/`p_avg` of `clustering` over the session's
+    /// evaluation pool (built lazily, grow-only, seeded independently of
+    /// every solver pool). Centers are fetched through the engine's
+    /// batched multi-center queries.
+    ///
+    /// Probabilities count paths of **unlimited** length; when measuring
+    /// the output of a depth-limited request, use
+    /// [`UgraphSession::evaluate_depth`] so the quality is computed under
+    /// the same §3.4 semantics as the objective.
+    ///
+    /// # Panics
+    /// Panics if `clustering` is sized for a different graph.
+    pub fn evaluate(&mut self, clustering: &Clustering) -> EvalQuality {
+        let n = self.graph.num_nodes();
+        assert_eq!(n, clustering.num_nodes(), "clustering and session disagree on n");
+        self.evaluations += 1;
+        let pool = self.eval_pool_impl();
+        let samples = pool.num_samples();
+        let probs = assignment_probs(
+            pool,
+            clustering.centers(),
+            |u| clustering.cluster_of(NodeId::from_index(u)),
+            None,
+        );
+        let (p_min, p_avg) =
+            quality_from_probs(&probs, |u| clustering.cluster_of(NodeId::from_index(u)).is_some());
+        EvalQuality { p_min, p_avg, samples }
+    }
+
+    /// Depth-limited [`UgraphSession::evaluate`]: probabilities count only
+    /// paths of length ≤ `depth` (paper §3.4), over a lazily built
+    /// depth-capable evaluation pool drawing the **same worlds** as the
+    /// unlimited one (shared seed stream), so the two variants differ only
+    /// in path semantics, never in sampling noise.
+    ///
+    /// # Panics
+    /// Panics if `clustering` is sized for a different graph.
+    pub fn evaluate_depth(&mut self, clustering: &Clustering, depth: u32) -> EvalQuality {
+        let n = self.graph.num_nodes();
+        assert_eq!(n, clustering.num_nodes(), "clustering and session disagree on n");
+        self.evaluations += 1;
+        let pool = self.eval_depth.get_or_insert_with(|| {
+            WorldPool::new(self.graph, mix_seed(self.config.seed, TAG_EVAL), self.config.threads)
+        });
+        pool.ensure(self.eval_samples);
+        let samples = pool.num_samples();
+        let probs = assignment_probs(
+            pool,
+            clustering.centers(),
+            |u| clustering.cluster_of(NodeId::from_index(u)),
+            Some(depth),
+        );
+        let (p_min, p_avg) =
+            quality_from_probs(&probs, |u| clustering.cluster_of(NodeId::from_index(u)).is_some());
+        EvalQuality { p_min, p_avg, samples }
+    }
+
+    /// The session's evaluation pool, built and grown on first use — hand
+    /// this to the `ugraph-metrics` quality functions
+    /// (`clustering_quality`, `avpr`, …) so they share the session's
+    /// samples instead of building their own pool.
+    pub fn eval_pool(&mut self) -> &mut ComponentPool<'g> {
+        self.eval_pool_impl()
+    }
+
+    fn eval_pool_impl(&mut self) -> &mut ComponentPool<'g> {
+        let pool = self.eval.get_or_insert_with(|| {
+            ComponentPool::new(
+                self.graph,
+                mix_seed(self.config.seed, TAG_EVAL),
+                self.config.threads,
+            )
+        });
+        pool.ensure(self.eval_samples);
+        pool
+    }
+
+    /// Cumulative statistics: requests and evaluations served, worlds held
+    /// across all pools, aggregate row-cache service, and per-request
+    /// records.
+    pub fn stats(&self) -> SessionStats {
+        let mut row_cache = RowCacheStats::default();
+        let mut worlds = 0usize;
+        for (_, oracle) in &self.oracles {
+            row_cache = row_cache.merged(oracle.cache_stats());
+            worlds += oracle.pool_samples();
+        }
+        worlds += self.eval.as_ref().map_or(0, |p| p.num_samples());
+        worlds += self.eval_depth.as_ref().map_or(0, |p| p.num_samples());
+        SessionStats {
+            requests: self.requests,
+            evaluations: self.evaluations,
+            worlds_held: worlds,
+            row_cache,
+            solve_time: self.solve_time,
+            per_request: self.per_request.clone(),
+        }
+    }
+
+    /// Returns the index of the oracle serving `key`, constructing it on
+    /// first use with the same seeds, engine backend, and row-cache
+    /// setting the one-shot entry points use.
+    fn oracle_index(&mut self, key: OracleKey) -> Result<usize, ClusterError> {
+        if let Some(i) = self.oracles.iter().position(|(k, _)| *k == key) {
+            return Ok(i);
+        }
+        let cfg = &self.config;
+        let oracle: Box<dyn Oracle + 'g> = match (key.objective, key.depths) {
+            (Objective::MinProb, None) => Box::new(
+                McOracle::with_engine(
+                    self.graph,
+                    mix_seed(cfg.seed, TAG_MCP),
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epsilon,
+                    cfg.engine,
+                )
+                .with_row_cache(cfg.row_cache),
+            ),
+            (Objective::AvgProb, None) => Box::new(
+                McOracle::with_engine(
+                    self.graph,
+                    mix_seed(cfg.seed, TAG_ACP),
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epsilon,
+                    cfg.engine,
+                )
+                .with_row_cache(cfg.row_cache),
+            ),
+            (Objective::MinProb, Some((d_select, d_cover))) => Box::new(
+                DepthMcOracle::with_engine(
+                    self.graph,
+                    mix_seed(cfg.seed, TAG_MCP_DEPTH),
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epsilon,
+                    d_select,
+                    d_cover,
+                    cfg.engine,
+                )?
+                .with_row_cache(cfg.row_cache),
+            ),
+            (Objective::AvgProb, Some((d_select, d_cover))) => Box::new(
+                DepthMcOracle::with_engine(
+                    self.graph,
+                    mix_seed(cfg.seed, TAG_ACP_DEPTH),
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epsilon,
+                    d_select,
+                    d_cover,
+                    cfg.engine,
+                )?
+                .with_row_cache(cfg.row_cache),
+            ),
+        };
+        self.oracles.push((key, oracle));
+        Ok(self.oracles.len() - 1)
+    }
+}
+
+impl fmt::Debug for UgraphSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UgraphSession")
+            .field("nodes", &self.graph.num_nodes())
+            .field("oracles", &self.oracles.len())
+            .field("requests", &self.requests)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_graph::GraphBuilder;
+
+    fn two_communities() -> UncertainGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.add_edge(2, 3, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn session_reuses_one_oracle_per_shape() {
+        let g = two_communities();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default().with_seed(5)).unwrap();
+        s.solve(ClusterRequest::mcp(2)).unwrap();
+        s.solve(ClusterRequest::mcp(3)).unwrap();
+        assert_eq!(s.oracles.len(), 1, "same shape shares one oracle");
+        s.solve(ClusterRequest::acp(2)).unwrap();
+        s.solve(ClusterRequest::mcp_depth(2, 3)).unwrap();
+        assert_eq!(s.oracles.len(), 3, "each shape gets its own oracle");
+        let stats = s.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.per_request.len(), 4);
+        assert_eq!(stats.per_request[0].label, "mcp(k=2)");
+        assert!(stats.worlds_held > 0);
+        assert!(stats.solve_time > Duration::ZERO);
+        // The k = 3 request re-requested overlapping center rows: reuse
+        // must be visible.
+        assert!(stats.row_cache.hits + stats.row_cache.topups > 0, "{stats}");
+    }
+
+    #[test]
+    fn session_errors_match_one_shot_errors() {
+        let g = two_communities();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default()).unwrap();
+        assert!(matches!(s.solve(ClusterRequest::mcp(0)), Err(ClusterError::KOutOfRange { .. })));
+        assert!(matches!(s.solve(ClusterRequest::mcp(6)), Err(ClusterError::KOutOfRange { .. })));
+        // d_select > d_cover is rejected at oracle construction.
+        assert!(matches!(
+            s.solve(ClusterRequest::mcp(2).with_depths(4, 2)),
+            Err(ClusterError::InvalidConfig { .. })
+        ));
+        assert!(UgraphSession::new(&g, ClusterConfig::default().with_gamma(0.0)).is_err());
+    }
+
+    #[test]
+    fn evaluate_uses_a_grow_only_decorrelated_pool() {
+        let g = two_communities();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default().with_seed(3))
+            .unwrap()
+            .with_eval_samples(64);
+        let r = s.solve(ClusterRequest::mcp(2)).unwrap();
+        let q1 = s.evaluate(&r.clustering);
+        assert_eq!(q1.samples, 64);
+        assert!(q1.p_min > 0.5, "two strong triangles: {q1:?}");
+        assert!(q1.p_avg >= q1.p_min);
+        s.set_eval_samples(128);
+        let q2 = s.evaluate(&r.clustering);
+        assert_eq!(q2.samples, 128);
+        // Lowering never shrinks the pool.
+        s.set_eval_samples(32);
+        assert_eq!(s.evaluate(&r.clustering).samples, 128);
+        assert_eq!(s.stats().evaluations, 3);
+    }
+
+    #[test]
+    fn depth_evaluation_respects_path_semantics() {
+        // Certain 5-path, one cluster centered at node 0: unlimited
+        // evaluation sees everything connected (p_min = 1), depth-2 sees
+        // nodes 3+ hops away as unreachable (p_min = 0).
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default()).unwrap().with_eval_samples(8);
+        let c = crate::Clustering::new(
+            vec![ugraph_graph::NodeId(0)],
+            vec![Some(0), Some(0), Some(0), Some(0), Some(0)],
+        );
+        let unlimited = s.evaluate(&c);
+        assert_eq!(unlimited.p_min, 1.0);
+        let depth2 = s.evaluate_depth(&c, 2);
+        assert_eq!(depth2.p_min, 0.0);
+        assert!((depth2.p_avg - 3.0 / 5.0).abs() < 1e-12);
+        let depth4 = s.evaluate_depth(&c, 4);
+        assert_eq!(depth4.p_min, 1.0);
+        // Both eval pools count toward worlds held, and all calls count as
+        // evaluations.
+        assert_eq!(s.stats().evaluations, 3);
+        assert_eq!(s.stats().worlds_held, 16);
+    }
+
+    #[test]
+    fn eval_pool_is_shared_with_metrics_callers() {
+        let g = two_communities();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default()).unwrap().with_eval_samples(40);
+        let r = s.solve(ClusterRequest::acp(2)).unwrap();
+        let q = s.evaluate(&r.clustering);
+        // The pool handed out is the very pool evaluate() used.
+        assert_eq!(s.eval_pool().num_samples(), q.samples);
+    }
+}

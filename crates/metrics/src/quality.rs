@@ -4,9 +4,9 @@
 //! identically whichever backend (scalar pools or the bit-parallel block
 //! pool) produced — or measures — the estimates.
 
-use ugraph_cluster::Clustering;
+use ugraph_cluster::{Clustering, UgraphSession};
 use ugraph_graph::NodeId;
-use ugraph_sampling::WorldEngine;
+use ugraph_sampling::{assignment_probs, quality_from_probs, WorldEngine};
 
 /// Connection-probability quality of a clustering.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -19,16 +19,13 @@ pub struct Quality {
     pub p_avg: f64,
 }
 
-/// Centers evaluated per batched engine call: bounds the count buffer at
-/// `BATCH · n` integers per radius while still amortizing pool sweeps.
-const CENTER_BATCH: usize = 64;
-
 /// Estimates `p_min`/`p_avg` of `clustering` from the sample pool.
 ///
 /// Cost: the centers' count rows are fetched through the engine's batched
-/// `counts_from_centers` (one pool sweep per [`CENTER_BATCH`] centers
-/// instead of one per cluster) — independent of how the clustering was
-/// produced, so MCL/GMM/KPT outputs are measured identically.
+/// `counts_from_centers` (one pool sweep per center batch instead of one
+/// per cluster, via [`ugraph_sampling::assignment_probs`]) — independent
+/// of how the clustering was produced, so MCL/GMM/KPT outputs are
+/// measured identically.
 ///
 /// # Panics
 /// Panics if the pool is empty or sized for a different graph.
@@ -38,23 +35,24 @@ pub fn clustering_quality<E: WorldEngine + ?Sized>(
 ) -> Quality {
     let n = engine.graph().num_nodes();
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
-    assert!(engine.num_samples() > 0, "sample pool is empty");
-    let r = engine.num_samples() as f64;
-    let mut counts = vec![0u32; CENTER_BATCH.min(clustering.num_clusters().max(1)) * n];
-    let mut probs = vec![0.0f64; n];
-    for (chunk_idx, chunk) in clustering.centers().chunks(CENTER_BATCH).enumerate() {
-        engine.counts_from_centers(chunk, &mut counts[..chunk.len() * n]);
-        for u in 0..n {
-            if let Some(i) = clustering.cluster_of(NodeId::from_index(u)) {
-                if let Some(j) =
-                    i.checked_sub(chunk_idx * CENTER_BATCH).filter(|&j| j < chunk.len())
-                {
-                    probs[u] = counts[j * n + u] as f64 / r;
-                }
-            }
-        }
-    }
+    let probs = assignment_probs(
+        engine,
+        clustering.centers(),
+        |u| clustering.cluster_of(NodeId::from_index(u)),
+        None,
+    );
     finalize(clustering, &probs)
+}
+
+/// [`clustering_quality`] over a [`UgraphSession`]'s shared evaluation
+/// pool — the session-native entry point, so callers measuring many
+/// clusterings on one graph (k-sweeps) reuse one grow-only pool instead
+/// of building a fresh one per measurement. Delegates to
+/// [`UgraphSession::evaluate`] (same measurement kernel), so the call is
+/// counted in the session's `SessionStats::evaluations`.
+pub fn session_quality(session: &mut UgraphSession<'_>, clustering: &Clustering) -> Quality {
+    let e = session.evaluate(clustering);
+    Quality { p_min: e.p_min, p_avg: e.p_avg }
 }
 
 /// Depth-limited variant: probabilities are `Pr(u ~d~ center)` (paper
@@ -68,45 +66,19 @@ pub fn depth_clustering_quality<E: WorldEngine + ?Sized>(
 ) -> Quality {
     let n = engine.graph().num_nodes();
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
-    assert!(engine.num_samples() > 0, "sample pool is empty");
-    let r = engine.num_samples() as f64;
-    let rows = CENTER_BATCH.min(clustering.num_clusters().max(1)) * n;
-    let mut sel = vec![0u32; rows];
-    let mut cov = vec![0u32; rows];
-    let mut probs = vec![0.0f64; n];
-    for (chunk_idx, chunk) in clustering.centers().chunks(CENTER_BATCH).enumerate() {
-        engine.counts_within_depths_batch(
-            chunk,
-            depth,
-            depth,
-            &mut sel[..chunk.len() * n],
-            &mut cov[..chunk.len() * n],
-        );
-        for u in 0..n {
-            if let Some(i) = clustering.cluster_of(NodeId::from_index(u)) {
-                if let Some(j) =
-                    i.checked_sub(chunk_idx * CENTER_BATCH).filter(|&j| j < chunk.len())
-                {
-                    probs[u] = cov[j * n + u] as f64 / r;
-                }
-            }
-        }
-    }
+    let probs = assignment_probs(
+        engine,
+        clustering.centers(),
+        |u| clustering.cluster_of(NodeId::from_index(u)),
+        Some(depth),
+    );
     finalize(clustering, &probs)
 }
 
-#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
 fn finalize(clustering: &Clustering, probs: &[f64]) -> Quality {
-    let n = probs.len();
-    let mut p_min = 1.0f64;
-    let mut sum = 0.0f64;
-    for u in 0..n {
-        if clustering.cluster_of(NodeId::from_index(u)).is_some() {
-            p_min = p_min.min(probs[u]);
-            sum += probs[u];
-        }
-    }
-    Quality { p_min, p_avg: if n == 0 { 0.0 } else { sum / n as f64 } }
+    let (p_min, p_avg) =
+        quality_from_probs(probs, |u| clustering.cluster_of(NodeId::from_index(u)).is_some());
+    Quality { p_min, p_avg }
 }
 
 #[cfg(test)]
@@ -177,6 +149,26 @@ mod tests {
         let q2 = depth_clustering_quality(&mut pool, &c, 2);
         assert_eq!(q2.p_min, 1.0);
         assert_eq!(q2.p_avg, 1.0);
+    }
+
+    #[test]
+    fn session_quality_agrees_with_session_evaluate() {
+        use ugraph_cluster::{ClusterConfig, ClusterRequest, UgraphSession};
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.add_edge(2, 3, 0.1).unwrap();
+        let g = b.build().unwrap();
+        let mut session = UgraphSession::new(&g, ClusterConfig::default().with_seed(2))
+            .unwrap()
+            .with_eval_samples(96);
+        let r = session.solve(ClusterRequest::mcp(2)).unwrap();
+        let q = session_quality(&mut session, &r.clustering);
+        let e = session.evaluate(&r.clustering);
+        assert_eq!(q.p_min, e.p_min, "both paths read the same shared pool");
+        assert_eq!(q.p_avg, e.p_avg);
+        assert_eq!(e.samples, 96);
     }
 
     #[test]

@@ -136,9 +136,57 @@ pub trait WorldEngine {
     /// `hi > num_samples()`.
     fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]);
 
+    /// Batched [`WorldEngine::counts_from_center_range`]: one count row per
+    /// requested center over the sample window `[lo, hi)`, written
+    /// row-major into `out` (`out[j * n + u]`).
+    ///
+    /// This is the query shape of a row-cache **top-up wave**: after
+    /// `prepare(q)` growth, many cached candidate rows need the same new
+    /// window counted, and issuing them one center at a time re-pays the
+    /// per-window traversal setup per row (on the bit-parallel backend,
+    /// the losing single-row mask-BFS shape). Backends override the
+    /// default per-center loop with the same amortized sweeps as
+    /// [`WorldEngine::counts_from_centers`] (one pass over the window
+    /// updating all rows; component sharing / multi-source mask BFS),
+    /// restricted to the window's worlds. Counts are identical to
+    /// sequential `counts_from_center_range` calls and add up exactly
+    /// over disjoint windows.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * graph().num_nodes()`,
+    /// `lo > hi`, or `hi > num_samples()`.
+    fn counts_from_centers_range(
+        &mut self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out.len(), centers.len() * n, "batch counts buffer has wrong length");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_from_center_range(c, lo, hi, &mut out[j * n..(j + 1) * n]);
+        }
+    }
+
     /// Number of samples in which `u` and `v` are connected (unlimited
     /// path length).
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize;
+
+    /// Restriction of [`WorldEngine::pair_count`] to the samples with
+    /// index in `[lo, hi)` — the pairwise analogue of
+    /// [`WorldEngine::counts_from_center_range`], with the same exact
+    /// additivity over disjoint windows. The default computes a ranged
+    /// count row and reads one entry (correct but O(n) in memory
+    /// traffic); backends override it with a direct window scan.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_samples()`.
+    fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        let mut counts = vec![0u32; self.graph().num_nodes()];
+        self.counts_from_center_range(u, lo, hi, &mut counts);
+        counts[v.index()] as usize
+    }
 
     /// Depth-limited connection counts from `center`: after the call
     /// `out_select[u]` counts samples with `dist(center, u) ≤ d_select`
@@ -207,11 +255,69 @@ pub trait WorldEngine {
         out_cover: &mut [u32],
     );
 
+    /// Batched [`WorldEngine::counts_within_depths_range`]: one select row
+    /// and one cover row per requested center over the sample window
+    /// `[lo, hi)`, written row-major — the depth-limited analogue of
+    /// [`WorldEngine::counts_from_centers_range`], serving the depth
+    /// oracle's top-up waves with shared window sweeps.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, `lo > hi`,
+    /// `hi > num_samples()`, or a backend that cannot answer finite
+    /// depths.
+    #[allow(clippy::too_many_arguments)]
+    fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        assert_eq!(out_select.len(), centers.len() * n, "batch select buffer has wrong length");
+        assert_eq!(out_cover.len(), centers.len() * n, "batch cover buffer has wrong length");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_within_depths_range(
+                c,
+                d_select,
+                d_cover,
+                lo,
+                hi,
+                &mut out_select[j * n..(j + 1) * n],
+                &mut out_cover[j * n..(j + 1) * n],
+            );
+        }
+    }
+
     /// Number of samples in which `dist(u, v) ≤ depth`.
     ///
     /// # Panics
     /// Panics if the backend cannot answer finite depths.
     fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize;
+
+    /// Restriction of [`WorldEngine::pair_count_within`] to the samples
+    /// with index in `[lo, hi)` (see [`WorldEngine::pair_count_range`]).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`, `hi > num_samples()`, or the backend cannot
+    /// answer finite depths.
+    fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        let n = self.graph().num_nodes();
+        let mut select = vec![0u32; n];
+        let mut cover = vec![0u32; n];
+        self.counts_within_depths_range(u, depth, depth, lo, hi, &mut select, &mut cover);
+        cover[v.index()] as usize
+    }
 
     /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
     fn pair_estimate(&mut self, u: NodeId, v: NodeId) -> f64 {

@@ -76,7 +76,10 @@ pub use error::SamplingError;
 pub use exact::ExactOracle;
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};
 pub use pool::{BitParallelPool, ComponentPool, WorldPool};
-pub use queries::{most_reliable_source, reliability_knn, reliability_knn_within, SourceObjective};
+pub use queries::{
+    assignment_probs, most_reliable_source, quality_from_probs, reliability_knn,
+    reliability_knn_within, SourceObjective,
+};
 pub use representative::{average_degree_representative, most_probable_world};
 pub use rng::sample_rng;
 pub use world::WorldSampler;

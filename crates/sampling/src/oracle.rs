@@ -46,11 +46,28 @@
 //! has grown to `r > r₀`. Serving a row then needs only a **top-up**: a
 //! ranged count over the new worlds `[r₀, r)` added onto the cached
 //! integers (counts over disjoint index ranges are exactly additive).
-//! Probabilities are derived by dividing by the *current* pool size at
-//! serve time, so a cached row yields bit-identical estimates to a fresh
-//! recomputation. Cache effectiveness is reported via
-//! [`Oracle::cache_stats`] as [`RowCacheStats`] (hits / incremental
-//! top-ups / full recomputes).
+//! Probabilities are derived by dividing by the pool size at serve time,
+//! so a cached row yields bit-identical estimates to a fresh
+//! recomputation. Top-up waves triggered by one batched fetch are grouped
+//! by their start index and answered through the engines' **ranged
+//! multi-center** queries ([`WorldEngine::counts_from_centers_range`]),
+//! so rows cached at the same guess share one sweep of the new worlds.
+//! Cache effectiveness is reported via [`Oracle::cache_stats`] as
+//! [`RowCacheStats`] (hits / incremental top-ups / full recomputes).
+//!
+//! ### The active sample window
+//!
+//! A reused oracle (held by a `UgraphSession` across many clustering
+//! requests) distinguishes its **physical** pool — every world sampled so
+//! far, never shrinking — from the **active window**, the prefix
+//! `[0, active)` that estimates integrate over. [`Oracle::begin_request`]
+//! resets the window to empty and [`Oracle::prepare`] re-grows it per the
+//! schedule, so a request served by a warm oracle uses exactly the
+//! samples a fresh oracle would have drawn — bit-identical results — while
+//! skipping the re-sampling of worlds the pool already holds. Cached rows
+//! covering *more* than the active window cannot serve it (counts are not
+//! subtractable) and are rebuilt over the window; rows covering a prefix
+//! of it top up as usual.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -83,6 +100,26 @@ impl RowCacheStats {
     /// Total number of rows served.
     pub fn rows_served(&self) -> usize {
         self.hits + self.topups + self.fulls
+    }
+
+    /// The counters accumulated since an earlier snapshot (field-wise
+    /// difference, saturating) — how a session reports per-request cache
+    /// service from an oracle's cumulative counters.
+    pub fn since(self, earlier: RowCacheStats) -> RowCacheStats {
+        RowCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            topups: self.topups.saturating_sub(earlier.topups),
+            fulls: self.fulls.saturating_sub(earlier.fulls),
+        }
+    }
+
+    /// Field-wise sum — aggregation across a session's oracles.
+    pub fn merged(self, other: RowCacheStats) -> RowCacheStats {
+        RowCacheStats {
+            hits: self.hits + other.hits,
+            topups: self.topups + other.topups,
+            fulls: self.fulls + other.fulls,
+        }
     }
 }
 
@@ -136,9 +173,11 @@ impl RowCache {
     /// for `center`, counting a hit, a top-up, or a full recompute.
     /// `topup(ctx, row, lo)` must add counts over the new worlds
     /// `[lo, r_now)` onto the row; `full(ctx)` must build a row covering
-    /// `[0, r_now)`. `ctx` carries the engine and scratch buffers (both
-    /// closures need them, and two closures cannot capture the same
-    /// `&mut` state).
+    /// `[0, r_now)`. A cached row covering **more** than `r_now` (the
+    /// active window is a strict prefix of what the row integrated —
+    /// counts cannot be subtracted) is rebuilt by `full` as well. `ctx`
+    /// carries the engine and scratch buffers (both closures need them,
+    /// and two closures cannot capture the same `&mut` state).
     fn serve<C>(
         &mut self,
         ctx: &mut C,
@@ -155,8 +194,11 @@ impl RowCache {
                     topup(ctx, row, lo);
                     row.covered = r_now;
                     self.stats.topups += 1;
-                } else {
+                } else if row.covered == r_now {
                     self.stats.hits += 1;
+                } else {
+                    *row = full(ctx);
+                    self.stats.fulls += 1;
                 }
                 row
             }
@@ -167,26 +209,133 @@ impl RowCache {
         }
     }
 
-    /// Batch-path variant of [`RowCache::serve`]: serves only
-    /// already-cached rows (hit or top-up) and returns `None` on a miss,
-    /// so the caller can defer all misses to one batched engine sweep.
-    fn serve_cached<C>(
-        &mut self,
-        ctx: &mut C,
-        center: NodeId,
-        r_now: usize,
-        topup: impl FnOnce(&mut C, &mut CachedRow, usize),
-    ) -> Option<&CachedRow> {
-        let row = self.rows.get_mut(&center.0)?;
-        if row.covered < r_now {
-            let lo = row.covered;
-            topup(ctx, row, lo);
-            row.covered = r_now;
-            self.stats.topups += 1;
-        } else {
-            self.stats.hits += 1;
+    /// Batch-path classification of one requested row against the active
+    /// window `[0, r_now)`: a hit is counted immediately; top-ups and
+    /// misses are returned to the caller, which defers them to grouped
+    /// ranged sweeps (top-ups) or one batched full sweep (misses). A row
+    /// covering more than `r_now` classifies as a miss (see
+    /// [`RowCache::serve`]).
+    fn classify(&mut self, center: NodeId, r_now: usize) -> RowService {
+        match self.rows.get(&center.0) {
+            Some(row) if row.covered == r_now => {
+                self.stats.hits += 1;
+                RowService::Hit
+            }
+            Some(row) if row.covered < r_now => RowService::Topup { lo: row.covered },
+            Some(_) | None => RowService::Miss,
         }
-        Some(row)
+    }
+}
+
+/// Outcome of [`RowCache::classify`] for one batched row request.
+enum RowService {
+    Hit,
+    Topup { lo: usize },
+    Miss,
+}
+
+/// One top-up wave of a batched row fetch: all entries share the window
+/// start `lo`, and duplicate centers are collapsed onto one computed row.
+struct TopupGroup {
+    lo: usize,
+    /// Distinct centers of the group, in first-appearance order.
+    uniq: Vec<NodeId>,
+    /// `(batch index j, slot into uniq)` per requested row.
+    entries: Vec<(usize, usize)>,
+}
+
+/// Groups `(batch index, window start)` top-up entries by their window
+/// start, deduplicating centers within each group — the plan executed by
+/// one ranged multi-center engine query per group.
+fn plan_topups(mut topups: Vec<(usize, usize)>, centers: &[NodeId]) -> Vec<TopupGroup> {
+    topups.sort_unstable_by_key(|&(j, lo)| (lo, j));
+    let mut groups: Vec<TopupGroup> = Vec::new();
+    for (j, lo) in topups {
+        if groups.last().is_none_or(|g| g.lo != lo) {
+            groups.push(TopupGroup { lo, uniq: Vec::new(), entries: Vec::new() });
+        }
+        let g = groups.last_mut().expect("group pushed above");
+        let c = centers[j];
+        let slot = g.uniq.iter().position(|&u| u == c).unwrap_or_else(|| {
+            g.uniq.push(c);
+            g.uniq.len() - 1
+        });
+        g.entries.push((j, slot));
+    }
+    groups
+}
+
+/// Unlimited counts over the active window `[0, r_now)` — a plain sweep
+/// when the window spans the whole physical pool, a ranged one when the
+/// pool extends past it (session-reused oracles).
+fn window_counts(
+    engine: &mut dyn WorldEngine,
+    center: NodeId,
+    r_now: usize,
+    physical: usize,
+    out: &mut [u32],
+) {
+    if r_now == physical {
+        engine.counts_from_center(center, out);
+    } else {
+        engine.counts_from_center_range(center, 0, r_now, out);
+    }
+}
+
+/// Batched [`window_counts`].
+fn window_counts_batch(
+    engine: &mut dyn WorldEngine,
+    centers: &[NodeId],
+    r_now: usize,
+    physical: usize,
+    out: &mut [u32],
+) {
+    if r_now == physical {
+        engine.counts_from_centers(centers, out);
+    } else {
+        engine.counts_from_centers_range(centers, 0, r_now, out);
+    }
+}
+
+/// Depth-limited counts over the active window `[0, r_now)` (see
+/// [`window_counts`]).
+#[allow(clippy::too_many_arguments)]
+fn window_depth_counts(
+    engine: &mut dyn WorldEngine,
+    center: NodeId,
+    d_select: u32,
+    d_cover: u32,
+    r_now: usize,
+    physical: usize,
+    out_select: &mut [u32],
+    out_cover: &mut [u32],
+) {
+    if r_now == physical {
+        engine.counts_within_depths(center, d_select, d_cover, out_select, out_cover);
+    } else {
+        engine
+            .counts_within_depths_range(center, d_select, d_cover, 0, r_now, out_select, out_cover);
+    }
+}
+
+/// Batched [`window_depth_counts`].
+#[allow(clippy::too_many_arguments)]
+fn window_depth_counts_batch(
+    engine: &mut dyn WorldEngine,
+    centers: &[NodeId],
+    d_select: u32,
+    d_cover: u32,
+    r_now: usize,
+    physical: usize,
+    out_select: &mut [u32],
+    out_cover: &mut [u32],
+) {
+    if r_now == physical {
+        engine.counts_within_depths_batch(centers, d_select, d_cover, out_select, out_cover);
+    } else {
+        engine.counts_within_depths_batch_range(
+            centers, d_select, d_cover, 0, r_now, out_select, out_cover,
+        );
     }
 }
 
@@ -220,8 +369,27 @@ pub trait Oracle {
     /// `≥ q`. Monte-Carlo implementations grow their sample pools here.
     fn prepare(&mut self, q: f64);
 
-    /// Number of samples currently backing the estimates (1 for exact).
+    /// Begins a new logical request on a (possibly reused) oracle.
+    ///
+    /// Monte-Carlo oracles reset their **active sample window** to empty;
+    /// subsequent [`Oracle::prepare`] calls re-grow it per the schedule
+    /// while the physical pool — which never shrinks — keeps every world
+    /// already sampled. Estimates then integrate over exactly the prefix a
+    /// fresh oracle would have used, which is what makes a request served
+    /// by a warm session oracle bit-identical to a one-shot run (see the
+    /// module docs). No-op for exact oracles.
+    fn begin_request(&mut self) {}
+
+    /// Number of samples currently backing the estimates — the active
+    /// window for Monte-Carlo oracles (1 for exact).
     fn num_samples(&self) -> usize;
+
+    /// Number of worlds in the oracle's **physical** pool, regardless of
+    /// the active window (`≥ num_samples()`; 1 for exact oracles) — what a
+    /// session reports as worlds actually sampled.
+    fn pool_samples(&self) -> usize {
+        self.num_samples()
+    }
 
     /// Writes, for every node `u`, the estimated connection probability
     /// between `u` and `center` — at the selection radius into `select` and
@@ -298,6 +466,9 @@ pub struct McOracle<'g> {
     engine: Box<dyn WorldEngine + 'g>,
     schedule: SampleSchedule,
     epsilon: f64,
+    /// Active sample window: estimates integrate over `[0, active)`, a
+    /// prefix of the physical pool (see the module docs).
+    active: usize,
     /// Scratch for single rows and ranged top-ups.
     counts: Vec<u32>,
     /// Scratch for batched rows (`k · n`, grown on demand).
@@ -343,10 +514,12 @@ impl<'g> McOracle<'g> {
         epsilon: f64,
     ) -> Self {
         let n = engine.graph().num_nodes();
+        let active = engine.num_samples();
         McOracle {
             engine,
             schedule,
             epsilon,
+            active,
             counts: vec![0; n],
             batch: Vec::new(),
             cache: RowCache::new(true, n, 1),
@@ -391,19 +564,31 @@ impl Oracle for McOracle<'_> {
 
     fn prepare(&mut self, q: f64) {
         let r = self.schedule.samples_for(q, self.num_nodes());
-        self.engine.ensure(r);
+        self.active = self.active.max(r);
+        self.engine.ensure(self.active);
+    }
+
+    fn begin_request(&mut self) {
+        self.active = 0;
     }
 
     fn num_samples(&self) -> usize {
+        self.active
+    }
+
+    fn pool_samples(&self) -> usize {
         self.engine.num_samples()
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r_now = self.engine.num_samples();
+        let r_now = self.active;
+        let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
         let McOracle { engine, counts, cache, .. } = self;
         if !cache.admits(center) {
-            engine.counts_from_center(center, counts);
+            // Full recomputes cover exactly the active window — a ranged
+            // sweep when the physical pool extends past it.
+            window_counts(engine.as_mut(), center, r_now, physical, counts);
             cache.stats.fulls += 1;
             write_probs(counts, r, cover);
         } else {
@@ -418,7 +603,7 @@ impl Oracle for McOracle<'_> {
                 },
                 |(engine, counts)| {
                     let mut cover = vec![0u32; counts.len()];
-                    engine.counts_from_center(center, &mut cover);
+                    window_counts(engine.as_mut(), center, r_now, physical, &mut cover);
                     CachedRow { covered: r_now, select: Vec::new(), cover }
                 },
             );
@@ -428,7 +613,37 @@ impl Oracle for McOracle<'_> {
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
-        self.engine.pair_estimate(u, v)
+        let r_now = self.active;
+        if r_now == 0 {
+            return 0.0;
+        }
+        let physical = self.engine.num_samples();
+        let McOracle { engine, counts, cache, .. } = self;
+        if !cache.admits(u) {
+            if r_now == physical {
+                return engine.pair_estimate(u, v);
+            }
+            return engine.pair_count_range(u, v, 0, r_now) as f64 / r_now as f64;
+        }
+        // Serve the pair from u's (cached) cover row: objective evaluation
+        // asks one pair per node against a handful of centers, so the row
+        // is computed once and every further pair is a lookup.
+        let mut ctx = (engine, counts);
+        let row = cache.serve(
+            &mut ctx,
+            u,
+            r_now,
+            |(engine, counts), row, lo| {
+                engine.counts_from_center_range(u, lo, r_now, counts);
+                add_counts(&mut row.cover, counts);
+            },
+            |(engine, counts)| {
+                let mut cover = vec![0u32; counts.len()];
+                window_counts(engine.as_mut(), u, r_now, physical, &mut cover);
+                CachedRow { covered: r_now, select: Vec::new(), cover }
+            },
+        );
+        row.cover[v.index()] as f64 / r_now as f64
     }
 
     /// Selection and cover coincide for unlimited probabilities.
@@ -444,31 +659,61 @@ impl Oracle for McOracle<'_> {
             select.is_empty() || select.len() == cover.len(),
             "batch select buffer has wrong length"
         );
-        let r_now = self.engine.num_samples();
+        let r_now = self.active;
+        let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
-        let McOracle { engine, counts, batch, cache, .. } = self;
-        // Serve cached rows (hits and incremental top-ups) first, deferring
-        // misses so one engine batch computes them all in a single sweep.
+        let McOracle { engine, batch, cache, .. } = self;
+        // Serve hits immediately; defer top-ups to grouped ranged sweeps
+        // and misses to one batched full sweep over the active window.
         let mut missing: Vec<usize> = Vec::new();
+        let mut topups: Vec<(usize, usize)> = Vec::new();
         if cache.enabled {
             for (j, &c) in centers.iter().enumerate() {
-                let mut ctx = (&mut *engine, &mut *counts);
-                let served = cache.serve_cached(&mut ctx, c, r_now, |(engine, counts), row, lo| {
-                    engine.counts_from_center_range(c, lo, r_now, counts);
-                    add_counts(&mut row.cover, counts);
-                });
-                match served {
-                    Some(row) => write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]),
-                    None => missing.push(j),
+                match cache.classify(c, r_now) {
+                    RowService::Hit => {
+                        let row = &cache.rows[&c.0];
+                        write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]);
+                    }
+                    RowService::Topup { lo } => topups.push((j, lo)),
+                    RowService::Miss => missing.push(j),
                 }
             }
         } else {
             missing.extend(0..k);
         }
+        // Top-up waves: rows cached at the same guess share their window
+        // start, so one ranged multi-center sweep per group counts all the
+        // new worlds (component sharing / multi-source BFS in the engine)
+        // instead of one single-row ranged query per cached candidate.
+        for g in plan_topups(topups, centers) {
+            batch.resize(g.uniq.len() * n, 0);
+            engine.counts_from_centers_range(&g.uniq, g.lo, r_now, &mut batch[..g.uniq.len() * n]);
+            let mut merged = vec![false; g.uniq.len()];
+            for &(j, slot) in &g.entries {
+                let row = cache.rows.get_mut(&centers[j].0).expect("planned top-up row is cached");
+                if merged[slot] {
+                    // A duplicate center: its shared row is already up to
+                    // date, so this request is a plain hit.
+                    cache.stats.hits += 1;
+                } else {
+                    add_counts(&mut row.cover, &batch[slot * n..(slot + 1) * n]);
+                    row.covered = r_now;
+                    cache.stats.topups += 1;
+                    merged[slot] = true;
+                }
+                write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]);
+            }
+        }
         if !missing.is_empty() {
             let miss_centers: Vec<NodeId> = missing.iter().map(|&j| centers[j]).collect();
             batch.resize(missing.len() * n, 0);
-            engine.counts_from_centers(&miss_centers, &mut batch[..missing.len() * n]);
+            window_counts_batch(
+                engine.as_mut(),
+                &miss_centers,
+                r_now,
+                physical,
+                &mut batch[..missing.len() * n],
+            );
             cache.stats.fulls += missing.len();
             for (bi, &j) in missing.iter().enumerate() {
                 let row = &batch[bi * n..(bi + 1) * n];
@@ -505,6 +750,9 @@ pub struct DepthMcOracle<'g> {
     engine: Box<dyn WorldEngine + 'g>,
     schedule: SampleSchedule,
     epsilon: f64,
+    /// Active sample window: estimates integrate over `[0, active)`, a
+    /// prefix of the physical pool (see the module docs).
+    active: usize,
     d_select: u32,
     d_cover: u32,
     /// Scratch for single rows and ranged top-ups.
@@ -589,10 +837,12 @@ impl<'g> DepthMcOracle<'g> {
             return Err(SamplingError::DepthIncapableEngine);
         }
         let n = engine.graph().num_nodes();
+        let active = engine.num_samples();
         Ok(DepthMcOracle {
             engine,
             schedule,
             epsilon,
+            active,
             d_select,
             d_cover,
             count_select: vec![0; n],
@@ -645,22 +895,41 @@ impl Oracle for DepthMcOracle<'_> {
 
     fn prepare(&mut self, q: f64) {
         let r = self.schedule.samples_for(q, self.num_nodes());
-        self.engine.ensure(r);
+        self.active = self.active.max(r);
+        self.engine.ensure(self.active);
+    }
+
+    fn begin_request(&mut self) {
+        self.active = 0;
     }
 
     fn num_samples(&self) -> usize {
+        self.active
+    }
+
+    fn pool_samples(&self) -> usize {
         self.engine.num_samples()
     }
 
     fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
-        let r_now = self.engine.num_samples();
+        let r_now = self.active;
+        let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
         let identical = self.d_select == self.d_cover;
         let DepthMcOracle { engine, d_select, d_cover, count_select, count_cover, cache, .. } =
             self;
         let (ds, dc) = (*d_select, *d_cover);
         if !cache.admits(center) {
-            engine.counts_within_depths(center, ds, dc, count_select, count_cover);
+            window_depth_counts(
+                engine.as_mut(),
+                center,
+                ds,
+                dc,
+                r_now,
+                physical,
+                count_select,
+                count_cover,
+            );
             cache.stats.fulls += 1;
             write_probs(count_cover, r, cover);
             if identical {
@@ -691,7 +960,16 @@ impl Oracle for DepthMcOracle<'_> {
                 }
             },
             |(engine, count_select, count_cover)| {
-                engine.counts_within_depths(center, ds, dc, count_select, count_cover);
+                window_depth_counts(
+                    engine.as_mut(),
+                    center,
+                    ds,
+                    dc,
+                    r_now,
+                    physical,
+                    count_select,
+                    count_cover,
+                );
                 // Identical depths: one stored row serves both radii.
                 let sel = if identical { Vec::new() } else { count_select.clone() };
                 CachedRow { covered: r_now, select: sel, cover: count_cover.clone() }
@@ -706,7 +984,51 @@ impl Oracle for DepthMcOracle<'_> {
     }
 
     fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
-        self.engine.pair_estimate_within(u, v, self.d_cover)
+        let r_now = self.active;
+        if r_now == 0 {
+            return 0.0;
+        }
+        let physical = self.engine.num_samples();
+        let identical = self.d_select == self.d_cover;
+        let DepthMcOracle { engine, d_select, d_cover, count_select, count_cover, cache, .. } =
+            self;
+        let (ds, dc) = (*d_select, *d_cover);
+        if !cache.admits(u) {
+            if r_now == physical {
+                return engine.pair_estimate_within(u, v, dc);
+            }
+            return engine.pair_count_within_range(u, v, dc, 0, r_now) as f64 / r_now as f64;
+        }
+        // Serve the pair from u's cached cover row (rows are stored at the
+        // oracle's (d_select, d_cover); pair_prob reads the cover radius).
+        let mut ctx = (engine, count_select, count_cover);
+        let row = cache.serve(
+            &mut ctx,
+            u,
+            r_now,
+            |(engine, count_select, count_cover), row, lo| {
+                engine.counts_within_depths_range(u, ds, dc, lo, r_now, count_select, count_cover);
+                add_counts(&mut row.cover, count_cover);
+                if !identical {
+                    add_counts(&mut row.select, count_select);
+                }
+            },
+            |(engine, count_select, count_cover)| {
+                window_depth_counts(
+                    engine.as_mut(),
+                    u,
+                    ds,
+                    dc,
+                    r_now,
+                    physical,
+                    count_select,
+                    count_cover,
+                );
+                let sel = if identical { Vec::new() } else { count_select.clone() };
+                CachedRow { covered: r_now, select: sel, cover: count_cover.clone() }
+            },
+        );
+        row.cover[v.index()] as f64 / r_now as f64
     }
 
     /// Selection and cover rows coincide exactly when the two depths do.
@@ -723,65 +1045,76 @@ impl Oracle for DepthMcOracle<'_> {
             select.len() == cover.len() || (select.is_empty() && identical),
             "batch select buffer has wrong length (empty requires identical rows)"
         );
-        let r_now = self.engine.num_samples();
+        let r_now = self.active;
+        let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
-        let DepthMcOracle {
-            engine,
-            d_select,
-            d_cover,
-            count_select,
-            count_cover,
-            batch_select,
-            batch_cover,
-            cache,
-            ..
-        } = self;
+        let DepthMcOracle { engine, d_select, d_cover, batch_select, batch_cover, cache, .. } =
+            self;
         let (ds, dc) = (*d_select, *d_cover);
         let mut missing: Vec<usize> = Vec::new();
+        let mut topups: Vec<(usize, usize)> = Vec::new();
         if cache.enabled {
             for (j, &c) in centers.iter().enumerate() {
-                let mut ctx = (&mut *engine, &mut *count_select, &mut *count_cover);
-                let served = cache.serve_cached(
-                    &mut ctx,
-                    c,
-                    r_now,
-                    |(engine, count_select, count_cover), row, lo| {
-                        engine.counts_within_depths_range(
-                            c,
-                            ds,
-                            dc,
-                            lo,
-                            r_now,
-                            count_select,
-                            count_cover,
-                        );
-                        add_counts(&mut row.cover, count_cover);
-                        if !identical {
-                            add_counts(&mut row.select, count_select);
-                        }
-                    },
-                );
-                match served {
-                    Some(row) => {
+                match cache.classify(c, r_now) {
+                    RowService::Hit => {
+                        let row = &cache.rows[&c.0];
                         write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]);
                         if !select.is_empty() && !identical {
                             write_probs(&row.select, r, &mut select[j * n..(j + 1) * n]);
                         }
                     }
-                    None => missing.push(j),
+                    RowService::Topup { lo } => topups.push((j, lo)),
+                    RowService::Miss => missing.push(j),
                 }
             }
         } else {
             missing.extend(0..k);
         }
+        // Grouped ranged top-ups: one multi-source sweep of the new worlds
+        // per distinct window start (see `McOracle::center_probs_batch`).
+        for g in plan_topups(topups, centers) {
+            batch_select.resize(g.uniq.len() * n, 0);
+            batch_cover.resize(g.uniq.len() * n, 0);
+            engine.counts_within_depths_batch_range(
+                &g.uniq,
+                ds,
+                dc,
+                g.lo,
+                r_now,
+                &mut batch_select[..g.uniq.len() * n],
+                &mut batch_cover[..g.uniq.len() * n],
+            );
+            let mut merged = vec![false; g.uniq.len()];
+            for &(j, slot) in &g.entries {
+                let row = cache.rows.get_mut(&centers[j].0).expect("planned top-up row is cached");
+                if merged[slot] {
+                    cache.stats.hits += 1;
+                } else {
+                    add_counts(&mut row.cover, &batch_cover[slot * n..(slot + 1) * n]);
+                    if !identical {
+                        add_counts(&mut row.select, &batch_select[slot * n..(slot + 1) * n]);
+                    }
+                    row.covered = r_now;
+                    cache.stats.topups += 1;
+                    merged[slot] = true;
+                }
+                write_probs(&row.cover, r, &mut cover[j * n..(j + 1) * n]);
+                if !select.is_empty() && !identical {
+                    write_probs(&row.select, r, &mut select[j * n..(j + 1) * n]);
+                }
+            }
+        }
         if !missing.is_empty() {
             let miss_centers: Vec<NodeId> = missing.iter().map(|&j| centers[j]).collect();
             batch_select.resize(missing.len() * n, 0);
             batch_cover.resize(missing.len() * n, 0);
-            engine.counts_within_depths_batch(
+            window_depth_counts_batch(
+                engine.as_mut(),
                 &miss_centers,
                 ds,
                 dc,
+                r_now,
+                physical,
                 &mut batch_select[..missing.len() * n],
                 &mut batch_cover[..missing.len() * n],
             );
@@ -1144,6 +1477,118 @@ mod tests {
         o.center_probs_batch(&[NodeId(0), NodeId(2)], &mut [], &mut cov);
         assert_eq!(cov[..5], [1.0, 1.0, 1.0, 0.0, 0.0]);
         assert_eq!(cov[5..], [1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn begin_request_makes_warm_oracle_identical_to_fresh() {
+        // A warm oracle whose pool grew to 500 worlds in a previous request
+        // must, after begin_request, serve a small request over exactly the
+        // 50-world prefix a fresh oracle would use — including rows that
+        // were cached at larger coverage (rebuilt over the window).
+        let g = chain(9, 0.6);
+        for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+            let mut warm = McOracle::with_engine(&g, 7, 1, SampleSchedule::practical(), 0.1, kind);
+            warm.prepare(0.1); // grows active + physical to 500
+            let mut scratch = vec![0.0; 9];
+            let mut row = vec![0.0; 9];
+            for c in 0..9u32 {
+                warm.center_probs(NodeId(c), &mut scratch, &mut row);
+            }
+            assert_eq!(warm.num_samples(), 500);
+
+            warm.begin_request();
+            assert_eq!(warm.num_samples(), 0);
+            warm.prepare(1.0); // active 50, physical stays 500
+            assert_eq!(warm.num_samples(), 50);
+            assert_eq!(warm.pool_samples(), 500);
+
+            let mut fresh = McOracle::with_engine(&g, 7, 1, SampleSchedule::practical(), 0.1, kind);
+            fresh.prepare(1.0);
+            let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
+            let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
+            for c in 0..9u32 {
+                warm.center_probs(NodeId(c), &mut s1, &mut c1);
+                fresh.center_probs(NodeId(c), &mut s2, &mut c2);
+                assert_eq!(c1, c2, "{kind:?}: warm row differs from fresh at center {c}");
+                assert_eq!(s1, s2);
+                assert_eq!(
+                    warm.pair_prob(NodeId(0), NodeId(c)),
+                    fresh.pair_prob(NodeId(0), NodeId(c)),
+                    "{kind:?}: warm pair_prob differs at {c}"
+                );
+            }
+            // Growing the window again inside the second request tops the
+            // (rebuilt) rows up incrementally and stays fresh-identical.
+            warm.prepare(0.2);
+            fresh.prepare(0.2);
+            for c in 0..9u32 {
+                warm.center_probs(NodeId(c), &mut s1, &mut c1);
+                fresh.center_probs(NodeId(c), &mut s2, &mut c2);
+                assert_eq!(c1, c2, "{kind:?}: post-growth row differs at center {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn begin_request_depth_oracle_identical_to_fresh() {
+        let g = chain(8, 0.7);
+        let schedule = SampleSchedule::practical();
+        for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+            let mut warm = DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, kind).unwrap();
+            warm.prepare(0.1);
+            let (mut s, mut c) = (vec![0.0; 8], vec![0.0; 8]);
+            for u in 0..8u32 {
+                warm.center_probs(NodeId(u), &mut s, &mut c);
+            }
+            warm.begin_request();
+            warm.prepare(1.0);
+            let mut fresh =
+                DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, kind).unwrap();
+            fresh.prepare(1.0);
+            let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
+            for u in 0..8u32 {
+                warm.center_probs(NodeId(u), &mut s, &mut c);
+                fresh.center_probs(NodeId(u), &mut s2, &mut c2);
+                assert_eq!(s, s2, "{kind:?}: warm depth select row differs at {u}");
+                assert_eq!(c, c2, "{kind:?}: warm depth cover row differs at {u}");
+                assert_eq!(
+                    warm.pair_prob(NodeId(0), NodeId(u)),
+                    fresh.pair_prob(NodeId(0), NodeId(u))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_topups_are_grouped_and_deduplicated() {
+        let g = chain(9, 0.5);
+        let mut o = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
+        o.prepare(1.0); // 50 samples
+        let centers: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let n = 9;
+        let mut cov = vec![0.0; centers.len() * n];
+        o.center_probs_batch(&centers, &mut [], &mut cov);
+        assert_eq!(o.cache_stats().fulls, 6);
+        o.prepare(0.5); // grow to 100: all six rows now need the same window
+                        // Duplicate center 2 in the batch: one shared ranged row, the
+                        // second occurrence served as a hit.
+        let batch: Vec<NodeId> = [0u32, 2, 2, 5].iter().map(|&c| NodeId(c)).collect();
+        let mut cov2 = vec![0.0; batch.len() * n];
+        o.center_probs_batch(&batch, &mut [], &mut cov2);
+        let stats = o.cache_stats();
+        assert_eq!(stats.topups, 3, "three distinct rows topped up, grouped by window start");
+        assert_eq!(stats.hits, 1, "duplicate center served from the freshly topped row");
+        assert_eq!(stats.fulls, 6, "no recomputes");
+        // Values equal an uncached oracle's.
+        let mut plain =
+            McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1).with_row_cache(false);
+        plain.prepare(1.0);
+        plain.prepare(0.5);
+        let mut want = vec![0.0; batch.len() * n];
+        plain.center_probs_batch(&batch, &mut [], &mut want);
+        assert_eq!(cov2, want);
+        // Both rows of the duplicate agree.
+        assert_eq!(cov2[n..2 * n], cov2[2 * n..3 * n]);
     }
 
     #[test]

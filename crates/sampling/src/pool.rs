@@ -212,6 +212,32 @@ impl<'g> ComponentPool<'g> {
         }
     }
 
+    /// Batched [`ComponentPool::counts_from_center_range`]: one count row
+    /// per requested center over the sample window `[lo, hi)`, row-major
+    /// in `out`. Like [`ComponentPool::counts_from_centers`], a per-center
+    /// loop — the membership index already makes each pass proportional to
+    /// the center's component sizes — but the batch entry point keeps
+    /// oracle top-up waves backend-agnostic.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * n`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    pub fn counts_from_centers_range(
+        &self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
+        for (j, &c) in centers.iter().enumerate() {
+            self.counts_from_center_range(c, lo, hi, &mut out[j * n..(j + 1) * n]);
+        }
+    }
+
     /// [`ComponentPool::counts_from_center`] restricted to the samples with
     /// index in `[lo, hi)` — counts over disjoint ranges add up exactly.
     ///
@@ -231,9 +257,19 @@ impl<'g> ComponentPool<'g> {
 
     /// Number of samples where `u` and `v` are connected.
     pub fn pair_count(&self, u: NodeId, v: NodeId) -> usize {
+        self.pair_count_range(u, v, 0, self.rows.len())
+    }
+
+    /// [`ComponentPool::pair_count`] restricted to the samples with index
+    /// in `[lo, hi)` — one label comparison per in-window sample.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_samples()`.
+    pub fn pair_count_range(&self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
         chunked_sum_with(
             &self.config,
-            &self.rows,
+            &self.rows[lo..hi],
             1,
             &mut (),
             || (),
@@ -290,8 +326,41 @@ impl WorldEngine for ComponentPool<'_> {
         ComponentPool::counts_from_center_range(self, center, lo, hi, out)
     }
 
+    fn counts_from_centers_range(
+        &mut self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        ComponentPool::counts_from_centers_range(self, centers, lo, hi, out)
+    }
+
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
         ComponentPool::pair_count(self, u, v)
+    }
+
+    fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        ComponentPool::pair_count_range(self, u, v, lo, hi)
+    }
+
+    /// # Panics
+    /// Panics if `depth` is finite (see
+    /// [`counts_within_depths`](WorldEngine::counts_within_depths)).
+    fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        assert!(
+            depth == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::pair_count_range(self, u, v, lo, hi)
     }
 
     /// Component labels carry no distance information, so this scalar
@@ -355,6 +424,28 @@ impl WorldEngine for ComponentPool<'_> {
              BitParallelPool for finite depths"
         );
         ComponentPool::counts_from_center_range(self, center, lo, hi, out_cover);
+        out_select.copy_from_slice(out_cover);
+    }
+
+    /// # Panics
+    /// Panics if either depth is finite (see
+    /// [`counts_within_depths`](WorldEngine::counts_within_depths)).
+    fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        assert!(
+            d_select == DEPTH_UNLIMITED && d_cover == DEPTH_UNLIMITED,
+            "ComponentPool answers unlimited-depth queries only; use WorldPool or \
+             BitParallelPool for finite depths"
+        );
+        ComponentPool::counts_from_centers_range(self, centers, lo, hi, out_cover);
         out_select.copy_from_slice(out_cover);
     }
 
@@ -497,39 +588,10 @@ impl<'g> WorldPool<'g> {
         out_select: &mut [u32],
         out_cover: &mut [u32],
     ) {
-        let n = self.graph().num_nodes();
-        let k = centers.len();
-        assert_eq!(out_select.len(), k * n, "batch select buffer has wrong length");
-        assert_eq!(out_cover.len(), k * n, "batch cover buffer has wrong length");
-        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
-        if k == 0 {
-            return;
-        }
-        let WorldPool { sampler, worlds, config, bfs } = self;
-        let graph = sampler.graph();
-        chunked_counts2_with(
-            config,
-            worlds,
-            k * n,
-            k * n,
-            bfs,
-            || DepthBfs::new(n),
-            |select, cover, bfs, worlds| {
-                for world in worlds {
-                    let view = WorldView::new(graph, world);
-                    for (j, &c) in centers.iter().enumerate() {
-                        bfs.run(&view, c, d_cover, |node, depth| {
-                            cover[j * n + node.index()] += 1;
-                            if depth <= d_select {
-                                select[j * n + node.index()] += 1;
-                            }
-                        });
-                    }
-                }
-            },
-            out_select,
-            out_cover,
-        );
+        let len = self.worlds.len();
+        self.counts_within_depths_batch_range(
+            centers, d_select, d_cover, 0, len, out_select, out_cover,
+        )
     }
 
     /// [`WorldPool::counts_within_depths`] restricted to the worlds with
@@ -579,14 +641,88 @@ impl<'g> WorldPool<'g> {
         );
     }
 
+    /// Batched [`WorldPool::counts_within_depths_range`]: rows row-major
+    /// per center over the worlds with index in `[lo, hi)`. Each in-window
+    /// world's edge bitset is materialized as a [`WorldView`] **once** for
+    /// all centers — the top-up analogue of
+    /// [`WorldPool::counts_within_depths_batch`].
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out_select.len(), k * n, "batch select buffer has wrong length");
+        assert_eq!(out_cover.len(), k * n, "batch cover buffer has wrong length");
+        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
+        if k == 0 {
+            return;
+        }
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts2_with(
+            config,
+            &worlds[lo..hi],
+            k * n,
+            k * n,
+            bfs,
+            || DepthBfs::new(n),
+            |select, cover, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    for (j, &c) in centers.iter().enumerate() {
+                        bfs.run(&view, c, d_cover, |node, depth| {
+                            cover[j * n + node.index()] += 1;
+                            if depth <= d_select {
+                                select[j * n + node.index()] += 1;
+                            }
+                        });
+                    }
+                }
+            },
+            out_select,
+            out_cover,
+        );
+    }
+
     /// Number of worlds where `dist(u, v) ≤ depth`.
     pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        let len = self.worlds.len();
+        self.pair_count_within_range(u, v, depth, 0, len)
+    }
+
+    /// [`WorldPool::pair_count_within`] restricted to the worlds with
+    /// index in `[lo, hi)` — one bounded BFS per in-window world.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_samples()`.
+    pub fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
         let WorldPool { sampler, worlds, config, bfs } = self;
         let graph = sampler.graph();
         let n = graph.num_nodes();
         chunked_sum_with(
             config,
-            worlds,
+            &worlds[lo..hi],
             n,
             bfs,
             || DepthBfs::new(n),
@@ -648,34 +784,10 @@ impl WorldEngine for WorldPool<'_> {
 
     fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
         // One pass over the pool: each world's view is built once for all
-        // centers instead of once per center.
-        let n = self.graph().num_nodes();
-        let k = centers.len();
-        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
-        if k == 0 {
-            return;
-        }
-        let WorldPool { sampler, worlds, config, bfs } = self;
-        let graph = sampler.graph();
-        chunked_counts_with(
-            config,
-            worlds,
-            k * n,
-            k * n,
-            bfs,
-            || DepthBfs::new(n),
-            |counts, bfs, worlds| {
-                for world in worlds {
-                    let view = WorldView::new(graph, world);
-                    for (j, &c) in centers.iter().enumerate() {
-                        bfs.run(&view, c, DEPTH_UNLIMITED, |node, _| {
-                            counts[j * n + node.index()] += 1;
-                        });
-                    }
-                }
-            },
-            out,
-        );
+        // centers instead of once per center (the ranged kernel over the
+        // full window).
+        let len = self.worlds.len();
+        self.counts_from_centers_range(centers, 0, len, out)
     }
 
     fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
@@ -695,6 +807,45 @@ impl WorldEngine for WorldPool<'_> {
                 for world in worlds {
                     let view = WorldView::new(graph, world);
                     bfs.run(&view, center, DEPTH_UNLIMITED, |node, _| counts[node.index()] += 1);
+                }
+            },
+            out,
+        );
+    }
+
+    fn counts_from_centers_range(
+        &mut self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        // One pass over the window: each in-window world's view is built
+        // once for all centers, as in `counts_from_centers`.
+        let n = self.graph().num_nodes();
+        let k = centers.len();
+        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
+        if k == 0 {
+            return;
+        }
+        let WorldPool { sampler, worlds, config, bfs } = self;
+        let graph = sampler.graph();
+        chunked_counts_with(
+            config,
+            &worlds[lo..hi],
+            k * n,
+            k * n,
+            bfs,
+            || DepthBfs::new(n),
+            |counts, bfs, worlds| {
+                for world in worlds {
+                    let view = WorldView::new(graph, world);
+                    for (j, &c) in centers.iter().enumerate() {
+                        bfs.run(&view, c, DEPTH_UNLIMITED, |node, _| {
+                            counts[j * n + node.index()] += 1;
+                        });
+                    }
                 }
             },
             out,
@@ -744,8 +895,38 @@ impl WorldEngine for WorldPool<'_> {
         )
     }
 
+    fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        WorldPool::counts_within_depths_batch_range(
+            self, centers, d_select, d_cover, lo, hi, out_select, out_cover,
+        )
+    }
+
     fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
         WorldPool::pair_count_within(self, u, v, depth)
+    }
+
+    fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        WorldPool::pair_count_within_range(self, u, v, DEPTH_UNLIMITED, lo, hi)
+    }
+
+    fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        WorldPool::pair_count_within_range(self, u, v, depth, lo, hi)
     }
 }
 
@@ -927,17 +1108,45 @@ impl<'g> BitParallelPool<'g> {
     /// # Panics
     /// Panics if `out.len() != centers.len() * n`.
     pub fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
-        let graph = sampler.graph();
-        let n = graph.num_nodes();
+        let samples = self.samples;
+        self.counts_from_centers_range(centers, 0, samples, out)
+    }
+
+    /// Batched [`BitParallelPool::counts_from_center_range`]: one count row
+    /// per requested center over the sample window `[lo, hi)`, with the
+    /// same **component-sharing** amortization as
+    /// [`BitParallelPool::counts_from_centers`] — per overlapping 64-world
+    /// block, each center traverses only the window lanes where its
+    /// component is still unknown, and later centers found inside an
+    /// earlier reach set inherit the shared worlds' rows with one
+    /// AND + popcount sweep. This is the top-up wave shape: one shared pass
+    /// over the new worlds for all cached rows instead of the losing
+    /// single-row mask BFS per center.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != centers.len() * n`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    pub fn counts_from_centers_range(
+        &mut self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        let n = self.graph().num_nodes();
         let k = centers.len();
         assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
         if k == 0 {
             return;
         }
         if k == 1 {
-            return BitParallelPool::counts_from_center(self, centers[0], out);
+            return BitParallelPool::counts_from_center_range(self, centers[0], lo, hi, out);
         }
+        let items = Self::range_blocks(lo, hi);
+        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
         let per_block = n + 2 * graph.num_edges();
         // Workspace per worker: the mask-BFS state, the per-center "worlds
         // still unknown" masks, and the (node, mask) reach list of the
@@ -945,17 +1154,18 @@ impl<'g> BitParallelPool<'g> {
         let mut serial_ws = (std::mem::replace(bfs, MultiWorldBfs::new(0)), Vec::new(), Vec::new());
         chunked_counts_with(
             config,
-            blocks,
+            &items,
             k * n,
             per_block + k * n,
             &mut serial_ws,
             || (MultiWorldBfs::new(n), Vec::new(), Vec::new()),
-            |counts, (bfs, todo, reach), blocks: &[MaskBlock]| {
+            |counts, (bfs, todo, reach), items: &[(u32, u64)]| {
                 let todo: &mut Vec<u64> = todo;
                 let reach: &mut Vec<(u32, u64)> = reach;
-                for block in blocks {
+                for &(b, lanes) in items {
+                    let block = &blocks[b as usize];
                     todo.clear();
-                    todo.resize(k, block.lane_mask());
+                    todo.resize(k, lanes);
                     for j in 0..k {
                         let m = todo[j];
                         if m == 0 {
@@ -1048,18 +1258,32 @@ impl<'g> BitParallelPool<'g> {
 
     /// Number of samples where `u` and `v` are connected.
     pub fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        let samples = self.samples;
+        self.pair_count_range(u, v, 0, samples)
+    }
+
+    /// [`BitParallelPool::pair_count`] restricted to the samples with
+    /// index in `[lo, hi)` — one masked fixpoint traversal per
+    /// overlapping 64-world block.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_samples()`.
+    pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        let items = Self::range_blocks(lo, hi);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         chunked_sum_with(
             config,
-            blocks,
+            &items,
             per_block,
             bfs,
             || MultiWorldBfs::new(n),
-            |bfs, block| {
-                bfs.run_unlimited(graph, &block.masks, u, block.lane_mask(), |_, _| {});
+            |bfs, &(b, mask)| {
+                bfs.run_unlimited(graph, &blocks[b as usize].masks, u, mask, |_, _| {});
                 bfs.reach(v).count_ones() as usize
             },
         )
@@ -1137,19 +1361,48 @@ impl<'g> BitParallelPool<'g> {
         out_select: &mut [u32],
         out_cover: &mut [u32],
     ) {
+        let samples = self.samples;
+        self.counts_within_depths_batch_range(
+            centers, d_select, d_cover, 0, samples, out_select, out_cover,
+        )
+    }
+
+    /// Batched [`BitParallelPool::counts_within_depths_range`]: rows
+    /// row-major per center over the sample window `[lo, hi)`, computed
+    /// with multi-source level-synchronous mask BFS in groups of up to
+    /// [`MAX_SOURCES`] centers — one traversal per overlapping 64-world
+    /// block per group, with lane masks narrowed to the window's worlds.
+    ///
+    /// # Panics
+    /// Panics on buffer-size mismatch, `d_select > d_cover`, `lo > hi`, or
+    /// `hi > num_samples()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
         let n = self.graph().num_nodes();
         let k = centers.len();
         assert_eq!(out_select.len(), k * n, "batch select buffer has wrong length");
         assert_eq!(out_cover.len(), k * n, "batch cover buffer has wrong length");
         assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
         if d_select == DEPTH_UNLIMITED {
             // Both depths unlimited: the fixpoint mode is cheaper.
-            self.counts_from_centers(centers, out_cover);
+            self.counts_from_centers_range(centers, lo, hi, out_cover);
             out_select.copy_from_slice(out_cover);
             return;
         }
+        let items = Self::range_blocks(lo, hi);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
         let per_block = n + 2 * graph.num_edges();
         for (gi, group) in centers.chunks(MAX_SOURCES).enumerate() {
             let kg = group.len();
@@ -1157,21 +1410,21 @@ impl<'g> BitParallelPool<'g> {
             let cov_group = &mut out_cover[gi * MAX_SOURCES * n..][..kg * n];
             chunked_counts2_with(
                 config,
-                blocks,
+                &items,
                 kg * n,
                 per_block * kg,
                 bfs,
                 || MultiWorldBfs::new(n),
-                |select, cover, bfs, blocks| {
-                    for block in blocks {
+                |select, cover, bfs, items| {
+                    for &(b, mask) in items {
                         bfs.run_multi(
                             graph,
-                            &block.masks,
+                            &blocks[b as usize].masks,
                             group,
-                            block.lane_mask(),
+                            mask,
                             d_cover,
-                            |node, depth, j, mask| {
-                                let c = mask.count_ones();
+                            |node, depth, j, m| {
+                                let c = m.count_ones();
                                 cover[j * n + node.index()] += c;
                                 if depth <= d_select {
                                     select[j * n + node.index()] += c;
@@ -1251,24 +1504,44 @@ impl<'g> BitParallelPool<'g> {
 
     /// Number of samples where `dist(u, v) ≤ depth`.
     pub fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
+        let samples = self.samples;
+        self.pair_count_within_range(u, v, depth, 0, samples)
+    }
+
+    /// [`BitParallelPool::pair_count_within`] restricted to the samples
+    /// with index in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_samples()`.
+    pub fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
         if depth == DEPTH_UNLIMITED {
-            return self.pair_count(u, v);
+            return self.pair_count_range(u, v, lo, hi);
         }
+        assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        let items = Self::range_blocks(lo, hi);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
+        let blocks: &[MaskBlock] = blocks;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         chunked_sum_with(
             config,
-            blocks,
+            &items,
             per_block,
             bfs,
             || MultiWorldBfs::new(n),
-            |bfs, block| {
+            |bfs, &(b, mask)| {
                 let mut hit = 0u64;
-                bfs.run(graph, &block.masks, u, block.lane_mask(), depth, |node, _, mask| {
+                bfs.run(graph, &blocks[b as usize].masks, u, mask, depth, |node, _, m| {
                     if node == v {
-                        hit |= mask;
+                        hit |= m;
                     }
                 });
                 hit.count_ones() as usize
@@ -1308,6 +1581,16 @@ impl WorldEngine for BitParallelPool<'_> {
 
     fn counts_from_center_range(&mut self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
         BitParallelPool::counts_from_center_range(self, center, lo, hi, out)
+    }
+
+    fn counts_from_centers_range(
+        &mut self,
+        centers: &[NodeId],
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
+        BitParallelPool::counts_from_centers_range(self, centers, lo, hi, out)
     }
 
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
@@ -1355,8 +1638,38 @@ impl WorldEngine for BitParallelPool<'_> {
         )
     }
 
+    fn counts_within_depths_batch_range(
+        &mut self,
+        centers: &[NodeId],
+        d_select: u32,
+        d_cover: u32,
+        lo: usize,
+        hi: usize,
+        out_select: &mut [u32],
+        out_cover: &mut [u32],
+    ) {
+        BitParallelPool::counts_within_depths_batch_range(
+            self, centers, d_select, d_cover, lo, hi, out_select, out_cover,
+        )
+    }
+
     fn pair_count_within(&mut self, u: NodeId, v: NodeId, depth: u32) -> usize {
         BitParallelPool::pair_count_within(self, u, v, depth)
+    }
+
+    fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+        BitParallelPool::pair_count_range(self, u, v, lo, hi)
+    }
+
+    fn pair_count_within_range(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        depth: u32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        BitParallelPool::pair_count_within_range(self, u, v, depth, lo, hi)
     }
 }
 
@@ -1864,5 +2177,130 @@ mod tests {
         let mut sel = vec![0u32; 3];
         let mut cov = vec![0u32; 3];
         WorldEngine::counts_within_depths(&mut pool, NodeId(0), 1, 2, &mut sel, &mut cov);
+    }
+
+    #[test]
+    fn ranged_batch_counts_match_sequential_ranged_on_all_backends() {
+        let g = chain(11, 0.55);
+        let centers: Vec<NodeId> = [0u32, 5, 5, 10, 3].iter().map(|&c| NodeId(c)).collect(); // incl. duplicate
+        let k = centers.len();
+        let n = 11;
+        let mut scalar = ComponentPool::new(&g, 33, 1);
+        let mut world = WorldPool::new(&g, 33, 1);
+        let mut bit = BitParallelPool::new(&g, 33, 1);
+        scalar.ensure(150);
+        world.ensure(150);
+        bit.ensure(150);
+        // Windows straddle block boundaries, incl. a single-world window.
+        for (lo, hi) in [(0usize, 10usize), (10, 64), (64, 65), (37, 130), (130, 150), (70, 70)] {
+            let mut want = vec![0u32; k * n];
+            for (j, &c) in centers.iter().enumerate() {
+                scalar.counts_from_center_range(c, lo, hi, &mut want[j * n..(j + 1) * n]);
+            }
+            let mut got = vec![0u32; k * n];
+            for (engine, name) in [
+                (&mut scalar as &mut dyn WorldEngine, "scalar"),
+                (&mut world as &mut dyn WorldEngine, "world"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                got.fill(0);
+                engine.counts_from_centers_range(&centers, lo, hi, &mut got);
+                assert_eq!(got, want, "{name} ranged batch differs on [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_batch_depth_counts_match_sequential_ranged() {
+        let g = chain(10, 0.6);
+        let centers: Vec<NodeId> = [1u32, 4, 4, 9, 0].iter().map(|&c| NodeId(c)).collect();
+        let k = centers.len();
+        let n = 10;
+        let mut scalar = WorldPool::new(&g, 13, 1);
+        let mut bit = BitParallelPool::new(&g, 13, 1);
+        scalar.ensure(130);
+        bit.ensure(130);
+        for (lo, hi) in [(0usize, 50usize), (50, 64), (63, 65), (64, 130), (90, 90)] {
+            let (mut ws, mut wc) = (vec![0u32; k * n], vec![0u32; k * n]);
+            for (j, &c) in centers.iter().enumerate() {
+                scalar.counts_within_depths_range(
+                    c,
+                    1,
+                    3,
+                    lo,
+                    hi,
+                    &mut ws[j * n..(j + 1) * n],
+                    &mut wc[j * n..(j + 1) * n],
+                );
+            }
+            let (mut gs, mut gc) = (vec![0u32; k * n], vec![0u32; k * n]);
+            for (engine, name) in [
+                (&mut scalar as &mut dyn WorldEngine, "world"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                gs.fill(0);
+                gc.fill(0);
+                engine.counts_within_depths_batch_range(&centers, 1, 3, lo, hi, &mut gs, &mut gc);
+                assert_eq!(gs, ws, "{name} ranged batch select differs on [{lo}, {hi})");
+                assert_eq!(gc, wc, "{name} ranged batch cover differs on [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_pair_counts_add_up_to_full_counts() {
+        let g = chain(10, 0.55);
+        let mut scalar = ComponentPool::new(&g, 19, 1);
+        let mut world = WorldPool::new(&g, 19, 1);
+        let mut bit = BitParallelPool::new(&g, 19, 1);
+        scalar.ensure(150);
+        world.ensure(150);
+        bit.ensure(150);
+        let windows = [(0usize, 10usize), (10, 64), (64, 65), (65, 130), (130, 150)];
+        for (u, v) in [(0u32, 1u32), (0, 9), (3, 7)] {
+            let (u, v) = (NodeId(u), NodeId(v));
+            let full = scalar.pair_count(u, v);
+            for (engine, name) in [
+                (&mut scalar as &mut dyn WorldEngine, "scalar"),
+                (&mut world as &mut dyn WorldEngine, "world"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                let sum: usize =
+                    windows.iter().map(|&(lo, hi)| engine.pair_count_range(u, v, lo, hi)).sum();
+                assert_eq!(sum, full, "{name} ranged pair counts for ({u}, {v})");
+            }
+            // Depth-limited ranged pair counts on the depth-capable pair.
+            let full_d = world.pair_count_within(u, v, 3);
+            for (engine, name) in [
+                (&mut world as &mut dyn WorldEngine, "world"),
+                (&mut bit as &mut dyn WorldEngine, "bitparallel"),
+            ] {
+                let sum: usize = windows
+                    .iter()
+                    .map(|&(lo, hi)| engine.pair_count_within_range(u, v, 3, lo, hi))
+                    .sum();
+                assert_eq!(sum, full_d, "{name} ranged depth pair counts for ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_batch_windows_add_up_to_full_batch() {
+        let g = chain(9, 0.5);
+        let centers: Vec<NodeId> = (0..9).map(NodeId).collect();
+        let n = 9;
+        let mut bit = BitParallelPool::new(&g, 8, 1);
+        bit.ensure(150);
+        let mut full = vec![0u32; 9 * n];
+        bit.counts_from_centers(&centers, &mut full);
+        let mut acc = vec![0u32; 9 * n];
+        let mut part = vec![0u32; 9 * n];
+        for (lo, hi) in [(0usize, 70usize), (70, 128), (128, 150)] {
+            bit.counts_from_centers_range(&centers, lo, hi, &mut part);
+            for (a, &p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+        }
+        assert_eq!(acc, full, "disjoint ranged batches must add up to the full batch");
     }
 }

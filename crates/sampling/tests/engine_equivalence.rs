@@ -237,6 +237,94 @@ proptest! {
         prop_assert_eq!(&got_c, &want_c, "bit-parallel batch cover ({}, {})", d_select, d_cover);
     }
 
+    /// Ranged **multi-center** rows equal sequential single-center ranged
+    /// rows on every backend, for arbitrary windows — the contract the
+    /// oracle row cache's grouped top-up waves rest on.
+    #[test]
+    fn ranged_batched_rows_equal_sequential_ranged_rows(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        threads in thread_counts(),
+        picks in proptest::collection::vec(0u32..10, 1..10),
+        window in (0usize..200, 0usize..200),
+    ) {
+        let n = g.num_nodes();
+        let (a, b) = window;
+        let (lo, hi) = (a.min(b).min(r), b.max(a).min(r));
+        let centers: Vec<NodeId> =
+            picks.iter().map(|&c| NodeId(c % n as u32)).collect();
+        let k = centers.len();
+        let mut scalar = ComponentPool::new(&g, seed, threads);
+        let mut world = WorldPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        scalar.ensure(r);
+        world.ensure(r);
+        bit.ensure(r);
+        let mut want = vec![0u32; k * n];
+        for (j, &c) in centers.iter().enumerate() {
+            scalar.counts_from_center_range(c, lo, hi, &mut want[j * n..(j + 1) * n]);
+        }
+        let mut got = vec![0u32; k * n];
+        scalar.counts_from_centers_range(&centers, lo, hi, &mut got);
+        prop_assert_eq!(&got, &want, "component-pool ranged batch [{}, {})", lo, hi);
+        got.fill(0);
+        bit.counts_from_centers_range(&centers, lo, hi, &mut got);
+        prop_assert_eq!(&got, &want, "bit-parallel ranged batch [{}, {})", lo, hi);
+        got.fill(0);
+        WorldEngine::counts_from_centers_range(&mut world, &centers, lo, hi, &mut got);
+        prop_assert_eq!(&got, &want, "world-pool ranged batch [{}, {})", lo, hi);
+    }
+
+    /// The depth-limited ranged batch obeys the same contract on both
+    /// depth-capable backends.
+    #[test]
+    fn ranged_batched_depth_rows_equal_sequential_ranged_rows(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        depths in (0u32..3, 0u32..3),
+        threads in thread_counts(),
+        window in (0usize..200, 0usize..200),
+    ) {
+        let n = g.num_nodes();
+        let (d_select, extra) = depths;
+        let d_cover = d_select + extra;
+        let (a, b) = window;
+        let (lo, hi) = (a.min(b).min(r), b.max(a).min(r));
+        let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let k = centers.len();
+        let mut world = WorldPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::new(&g, seed, threads);
+        world.ensure(r);
+        bit.ensure(r);
+        let (mut want_s, mut want_c) = (vec![0u32; k * n], vec![0u32; k * n]);
+        for (j, &c) in centers.iter().enumerate() {
+            world.counts_within_depths_range(
+                c,
+                d_select,
+                d_cover,
+                lo,
+                hi,
+                &mut want_s[j * n..(j + 1) * n],
+                &mut want_c[j * n..(j + 1) * n],
+            );
+        }
+        let (mut got_s, mut got_c) = (vec![0u32; k * n], vec![0u32; k * n]);
+        world.counts_within_depths_batch_range(
+            &centers, d_select, d_cover, lo, hi, &mut got_s, &mut got_c,
+        );
+        prop_assert_eq!(&got_s, &want_s, "world-pool ranged batch select [{}, {})", lo, hi);
+        prop_assert_eq!(&got_c, &want_c, "world-pool ranged batch cover [{}, {})", lo, hi);
+        got_s.fill(0);
+        got_c.fill(0);
+        bit.counts_within_depths_batch_range(
+            &centers, d_select, d_cover, lo, hi, &mut got_s, &mut got_c,
+        );
+        prop_assert_eq!(&got_s, &want_s, "bit-parallel ranged batch select [{}, {})", lo, hi);
+        prop_assert_eq!(&got_c, &want_c, "bit-parallel ranged batch cover [{}, {})", lo, hi);
+    }
+
     /// Incremental top-ups equal from-scratch counts: growing the pool in
     /// arbitrary steps and summing ranged counts over the growth windows
     /// reproduces the full-pool counts exactly, on both backends. This is

@@ -1,0 +1,78 @@
+//! A warm k-sweep through one [`UgraphSession`] — the workload the
+//! session API exists for.
+//!
+//! Real deployments rarely cluster a graph once: they sweep `k`, compare
+//! objectives, and re-evaluate metrics on the same instance. Calling the
+//! one-shot `mcp()` per `k` rebuilds the engine, resamples every possible
+//! world, and recomputes every probability row from scratch; a session
+//! samples each world **once** and serves later requests from cached
+//! integer count rows — bit-identically (asserted below).
+//!
+//! Run with: `cargo run --release --example k_sweep`
+
+use std::time::Instant;
+
+use ugraph::prelude::*;
+
+fn main() {
+    let dataset = DatasetSpec::Gavin.generate(5);
+    let graph = &dataset.graph;
+    let cfg = ClusterConfig::default().with_seed(1);
+    let ks = 2..=10usize;
+    println!(
+        "{}: {} nodes, {} edges, k = {:?}\n",
+        dataset.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        ks
+    );
+
+    // ── Cold baseline: one independent mcp() call per k ────────────────
+    let t = Instant::now();
+    let cold: Vec<McpResult> = ks.clone().map(|k| mcp(graph, k, &cfg).expect("cold mcp")).collect();
+    let cold_time = t.elapsed();
+    println!("cold: {} independent mcp() calls in {cold_time:.2?}", cold.len());
+
+    // ── Warm sweep: one session, per-request stats ─────────────────────
+    let mut session = UgraphSession::new(graph, cfg).expect("session");
+    println!("\nwarm sweep through one UgraphSession:");
+    println!(
+        "{:<4} {:>9} {:>8} {:>8} {:>6} {:>8} {:>7} {:>9} {:>10}",
+        "k", "p_min est", "guesses", "samples", "hits", "top-ups", "fulls", "eval p_min", "time"
+    );
+    for (k, cold_r) in ks.clone().zip(&cold) {
+        let r = session.solve(ClusterRequest::mcp(k)).expect("warm mcp");
+        // The session contract: warm ≡ cold, bit for bit.
+        assert_eq!(r.clustering, cold_r.clustering, "warm k = {k} diverged from cold");
+        assert_eq!(r.assign_probs, cold_r.assign_probs);
+        let q = session.evaluate(&r.clustering);
+        let c = r.row_cache;
+        println!(
+            "{:<4} {:>9.4} {:>8} {:>8} {:>6} {:>8} {:>7} {:>9.4} {:>10.2?}",
+            k,
+            r.objective_estimate,
+            r.guesses,
+            r.samples_used,
+            c.hits,
+            c.topups,
+            c.fulls,
+            q.p_min,
+            r.elapsed
+        );
+    }
+    // Compare solve time only (the evaluations above have no cold
+    // counterpart).
+    let stats = session.stats();
+    let warm_time = stats.solve_time;
+    println!("\nwarm: same sweep in {warm_time:.2?} (plus {} evaluations)", stats.evaluations);
+    println!(
+        "speedup ≈ {:.2}x — the session holds {} worlds where the cold calls sampled {} \
+         in total, and {} of {} probability rows were served from cache",
+        cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9),
+        stats.worlds_held,
+        cold.iter().map(|r| r.samples_used).sum::<usize>(),
+        stats.row_cache.hits + stats.row_cache.topups,
+        stats.row_cache.rows_served(),
+    );
+    println!("session: {stats}");
+}

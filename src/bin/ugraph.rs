@@ -6,10 +6,17 @@
 //! ugraph stats    --input graph.txt
 //! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
 //!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+//! ugraph sweep    --input graph.txt --algo <mcp|acp> --k-min A --k-max B
+//!                 [--depth D] [--seed N] [--samples N]
 //! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
 //!                 [--ground-truth gt.txt] [--seed N]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
 //! ```
+//!
+//! `cluster` (for MCP/ACP), `sweep`, and `evaluate` all run through one
+//! [`UgraphSession`] per invocation: `sweep` serves every `k` from the
+//! same grow-only world pool and row caches, and `evaluate` reuses the
+//! session's evaluation pool instead of building its own.
 //!
 //! Formats: graphs are `u v p` edge lists (with an optional `# nodes: N`
 //! header); clusterings are TSV lines `node<TAB>cluster<TAB>center`;
@@ -20,10 +27,10 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use ugraph::baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
-use ugraph::cluster::{acp, acp_depth, mcp, mcp_depth, ClusterConfig, Clustering};
+use ugraph::cluster::{ClusterConfig, ClusterRequest, Clustering, SolveResult, UgraphSession};
 use ugraph::datasets::DatasetSpec;
 use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
-use ugraph::metrics::{avpr, clustering_quality, confusion};
+use ugraph::metrics::{avpr, confusion, session_quality};
 use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
 
 fn main() -> ExitCode {
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
         "cluster" => cmd_cluster(&opts),
+        "sweep" => cmd_sweep(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "knn" => cmd_knn(&opts),
         "--help" | "-h" | "help" => {
@@ -68,6 +76,8 @@ commands:
   stats     --input graph.txt
   cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
             [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+  sweep     --input graph.txt --algo <mcp|acp> --k-min A --k-max B
+            [--depth D] [--seed N] [--samples N]
   evaluate  --input graph.txt --clustering out.tsv [--samples N]
             [--ground-truth gt.txt] [--seed N]
   knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]";
@@ -82,6 +92,8 @@ struct Options {
     dataset: Option<String>,
     algo: Option<String>,
     k: Option<usize>,
+    k_min: Option<usize>,
+    k_max: Option<usize>,
     depth: Option<u32>,
     inflation: Option<f64>,
     scale: Option<f64>,
@@ -105,6 +117,8 @@ impl Options {
                 "--dataset" => o.dataset = Some(take()?),
                 "--algo" => o.algo = Some(take()?),
                 "--k" => o.k = Some(parse_num(&take()?, flag)?),
+                "--k-min" => o.k_min = Some(parse_num(&take()?, flag)?),
+                "--k-max" => o.k_max = Some(parse_num(&take()?, flag)?),
                 "--depth" => o.depth = Some(parse_num(&take()?, flag)?),
                 "--inflation" => o.inflation = Some(parse_num(&take()?, flag)?),
                 "--scale" => o.scale = Some(parse_num(&take()?, flag)?),
@@ -172,19 +186,31 @@ fn cmd_stats(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the typed session request for the CLI's `(algo, k, depth)`
+/// triple (MCP/ACP only).
+fn build_request(algo: &str, k: usize, depth: Option<u32>) -> Result<ClusterRequest, String> {
+    match (algo, depth) {
+        ("mcp", None) => Ok(ClusterRequest::mcp(k)),
+        ("mcp", Some(d)) => Ok(ClusterRequest::mcp_depth(k, d)),
+        ("acp", None) => Ok(ClusterRequest::acp(k)),
+        ("acp", Some(d)) => Ok(ClusterRequest::acp_depth(k, d)),
+        (other, _) => Err(format!("expected mcp or acp, got '{other}'")),
+    }
+}
+
 fn cmd_cluster(o: &Options) -> Result<(), String> {
     let g = o.require_input()?;
     let algo = o.algo.as_deref().ok_or("--algo is required")?;
     let cfg = ClusterConfig::default().with_seed(o.seed);
     let need_k = || o.k.ok_or(format!("--k is required for {algo}"));
     let clustering: Clustering = match (algo, o.depth) {
-        ("mcp", None) => summarize_mcp(mcp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?),
-        ("mcp", Some(d)) => {
-            summarize_mcp(mcp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?)
-        }
-        ("acp", None) => summarize_acp(acp(&g, need_k()?, &cfg).map_err(|e| e.to_string())?),
-        ("acp", Some(d)) => {
-            summarize_acp(acp_depth(&g, need_k()?, d, &cfg).map_err(|e| e.to_string())?)
+        ("mcp" | "acp", depth) => {
+            let mut session = UgraphSession::new(&g, cfg).map_err(|e| e.to_string())?;
+            let request = build_request(algo, need_k()?, depth)?;
+            let r = session.solve(request).map_err(|e| e.to_string())?;
+            summarize_solve(&r);
+            eprintln!("session: {}", session.stats());
+            r.clustering
         }
         ("gmm", _) => gmm(&g, need_k()?, o.seed).map_err(|e| e.to_string())?,
         ("mcl", _) => mcl(&g, &MclConfig::with_inflation(o.inflation.unwrap_or(2.0))).clustering,
@@ -208,27 +234,82 @@ fn cmd_cluster(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the MCP schedule summary (guesses, samples, row-cache service)
-/// and unwraps the clustering.
-fn summarize_mcp(r: ugraph::cluster::McpResult) -> Clustering {
+/// Prints one request's schedule summary (guesses, samples, objective,
+/// row-cache service).
+fn summarize_solve(r: &SolveResult) {
     let c = r.row_cache;
+    let objective = match r.request.objective() {
+        ugraph::cluster::Objective::MinProb => "p_min",
+        ugraph::cluster::Objective::AvgProb => "p_avg",
+    };
     eprintln!(
-        "mcp: {} guesses over {} samples (q = {:.4}, p_min est {:.4}); row cache: {} hits, {} \
-         top-ups, {} full recomputes",
-        r.guesses, r.samples_used, r.final_q, r.min_prob_estimate, c.hits, c.topups, c.fulls
+        "{}: {} guesses over {} samples (q = {:.4}, {objective} est {:.4}) in {:.2?}; row cache: \
+         {} hits, {} top-ups, {} full recomputes",
+        r.request,
+        r.guesses,
+        r.samples_used,
+        r.final_q,
+        r.objective_estimate,
+        r.elapsed,
+        c.hits,
+        c.topups,
+        c.fulls
     );
-    r.clustering
 }
 
-/// Prints the ACP schedule summary and unwraps the clustering.
-fn summarize_acp(r: ugraph::cluster::AcpResult) -> Clustering {
-    let c = r.row_cache;
-    eprintln!(
-        "acp: {} guesses over {} samples (q = {:.4}, p_avg est {:.4}); row cache: {} hits, {} \
-         top-ups, {} full recomputes",
-        r.guesses, r.samples_used, r.final_q, r.avg_prob_estimate, c.hits, c.topups, c.fulls
+fn cmd_sweep(o: &Options) -> Result<(), String> {
+    let g = o.require_input()?;
+    let algo = o.algo.as_deref().ok_or("--algo is required")?;
+    let k_min = o.k_min.ok_or("--k-min is required")?;
+    let k_max = o.k_max.ok_or("--k-max is required")?;
+    if k_min < 1 || k_max < k_min {
+        return Err(format!("need 1 ≤ k-min ≤ k-max, got {k_min}..{k_max}"));
+    }
+    let cfg = ClusterConfig::default().with_seed(o.seed);
+    let mut session =
+        UgraphSession::new(&g, cfg).map_err(|e| e.to_string())?.with_eval_samples(o.samples);
+    println!(
+        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>10}",
+        "k",
+        "objective",
+        "guesses",
+        "samples",
+        "p_min",
+        "p_avg",
+        "hits",
+        "top-ups",
+        "fulls",
+        "time"
     );
-    r.clustering
+    for k in k_min..=k_max {
+        let request = build_request(algo, k, o.depth)?;
+        match session.solve(request) {
+            Ok(r) => {
+                // Measure under the same path semantics as the objective.
+                let q = match o.depth {
+                    None => session.evaluate(&r.clustering),
+                    Some(d) => session.evaluate_depth(&r.clustering, d),
+                };
+                let c = r.row_cache;
+                println!(
+                    "{:<4} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>10.2?}",
+                    k,
+                    r.objective_estimate,
+                    r.guesses,
+                    r.samples_used,
+                    q.p_min,
+                    q.p_avg,
+                    c.hits,
+                    c.topups,
+                    c.fulls,
+                    r.elapsed
+                );
+            }
+            Err(e) => println!("{k:<4} failed: {e}"),
+        }
+    }
+    eprintln!("session: {}", session.stats());
+    Ok(())
 }
 
 fn cmd_evaluate(o: &Options) -> Result<(), String> {
@@ -236,10 +317,13 @@ fn cmd_evaluate(o: &Options) -> Result<(), String> {
     let path = o.clustering.as_ref().ok_or("--clustering is required")?;
     let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let clustering = read_clustering(BufReader::new(f), g.num_nodes())?;
-    let mut pool = ComponentPool::new(&g, o.seed ^ 0xE7A1, 0);
-    pool.ensure(o.samples);
-    let q = clustering_quality(&mut pool, &clustering);
-    let a = avpr(&pool, &clustering);
+    // One session pool serves both quality and AVPR (grow-only, seeded
+    // independently of the solver pools).
+    let mut session = UgraphSession::new(&g, ClusterConfig::default().with_seed(o.seed))
+        .map_err(|e| e.to_string())?
+        .with_eval_samples(o.samples);
+    let q = session_quality(&mut session, &clustering);
+    let a = avpr(session.eval_pool(), &clustering);
     println!("k          {}", clustering.num_clusters());
     println!("covered    {}/{}", clustering.covered_count(), clustering.num_nodes());
     println!("p_min      {:.4}", q.p_min);
@@ -255,6 +339,7 @@ fn cmd_evaluate(o: &Options) -> Result<(), String> {
         println!("precision  {:.4}", m.precision());
         println!("F1         {:.4}", m.f1());
     }
+    eprintln!("session: {}", session.stats());
     Ok(())
 }
 

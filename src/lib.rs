@@ -36,6 +36,16 @@
 //! let result = mcp(&g, 2, &ClusterConfig::default()).unwrap();
 //! assert_eq!(result.clustering.num_clusters(), 2);
 //! assert!(result.min_prob_estimate > 0.8);
+//!
+//! // Many requests on one graph? Hold a session: sampled worlds and row
+//! // caches carry across requests, each one bit-identical to its
+//! // one-shot counterpart.
+//! let mut session = UgraphSession::new(&g, ClusterConfig::default()).unwrap();
+//! for k in 2..=4 {
+//!     let r = session.solve(ClusterRequest::mcp(k)).unwrap();
+//!     assert_eq!(r.clustering.num_clusters(), k);
+//! }
+//! assert!(session.stats().row_cache.hits + session.stats().row_cache.topups > 0);
 //! ```
 //!
 //! See `examples/` for full scenarios (PPI complex prediction,
@@ -58,7 +68,8 @@ pub mod prelude {
     pub use ugraph_baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
     pub use ugraph_cluster::{
         acp, acp_depth, mcp, mcp_depth, AcpInvocation, AcpResult, ClusterConfig, ClusterError,
-        Clustering, EngineKind, GuessStrategy, McpResult,
+        ClusterRequest, Clustering, EngineKind, EvalQuality, GuessStrategy, McpResult, Objective,
+        SessionStats, SolveResult, UgraphSession,
     };
     pub use ugraph_datasets::{DatasetSpec, GeneratedDataset, ProbDistribution};
     pub use ugraph_graph::{

@@ -2,7 +2,7 @@
 //! property-testing crate.
 //!
 //! The build environment has no crates.io access, so the workspace vendors a
-//! minimal subset of proptest's API: the [`Strategy`] trait with `prop_map` /
+//! minimal subset of proptest's API: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_flat_map`, range and tuple strategies, [`collection::vec`] /
 //! [`collection::btree_set`], `any::<T>()`, the [`proptest!`] macro with
 //! `#![proptest_config(...)]` support, and the `prop_assert*` / `prop_assume`
