@@ -272,6 +272,255 @@ fn measure_batch_rows(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<
     results
 }
 
+/// One three-way `unlimited_query_adaptive` measurement: scalar labels vs
+/// pure-mask bit-parallel vs the adaptive backend (bit-parallel + lazy
+/// block finalization).
+struct Tri {
+    name: &'static str,
+    scalar_ns: u128,
+    bitparallel_ns: u128,
+    adaptive_ns: u128,
+}
+
+impl Tri {
+    /// Adaptive speedup over scalar labels (the acceptance gate:
+    /// ≥ 1.0× on query-only unlimited counts).
+    fn vs_scalar(&self) -> f64 {
+        self.scalar_ns as f64 / (self.adaptive_ns as f64).max(1.0)
+    }
+
+    /// Adaptive speedup over the pure-mask backend.
+    fn vs_bitparallel(&self) -> f64 {
+        self.bitparallel_ns as f64 / (self.adaptive_ns as f64).max(1.0)
+    }
+}
+
+/// `unlimited_query_adaptive`: the query shape the adaptive engine exists
+/// for — unlimited-depth counts — measured cold (single pair, no
+/// finalization paid) and warm (row queries and batches over finalized
+/// blocks), equality-gated against the scalar labels.
+fn measure_adaptive(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Tri> {
+    const SEED: u64 = 41;
+    let n = graph.num_nodes();
+    let samples = 256usize;
+    let centers: Vec<u32> = (0..n as u32).step_by(n / 16).collect();
+
+    // Equality gate: the adaptive pool must agree with scalar labels on
+    // every row it will be timed on (finalized and unfinalized paths).
+    {
+        let mut scalar = ComponentPool::new(graph, SEED, 1);
+        let mut adaptive = BitParallelPool::new_adaptive(graph, SEED, 1);
+        scalar.ensure(samples);
+        adaptive.ensure(samples);
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        for &c in &centers {
+            scalar.counts_from_center(NodeId(c), &mut a);
+            adaptive.counts_from_center(NodeId(c), &mut b);
+            assert_eq!(a, b, "adaptive disagrees with scalar at center {c}");
+            assert_eq!(
+                scalar.pair_count(NodeId(0), NodeId(c)),
+                adaptive.pair_count(NodeId(0), NodeId(c)),
+                "adaptive pair count disagrees at ({c})"
+            );
+        }
+        let stats = adaptive.engine_stats();
+        assert!(stats.finalized_blocks > 0, "warm adaptive pool did not finalize: {stats:?}");
+    }
+
+    let mut out = Vec::new();
+
+    // Cold single pair: the heuristic keeps the adaptive pool on masks, so
+    // no full-block labeling is paid for a one-off point query. Pools are
+    // rebuilt per rep (a timed query must really be the pool's first).
+    {
+        let (u, v) = (NodeId(0), NodeId(centers[centers.len() / 2]));
+        let time_cold = |mk: &mut dyn FnMut() -> u128| {
+            let mut times: Vec<u128> = (0..reps.max(1)).map(|_| mk()).collect();
+            times.sort_unstable();
+            times[times.len() / 2]
+        };
+        let scalar_ns = time_cold(&mut || {
+            let mut pool = ComponentPool::new(graph, SEED, 1);
+            pool.ensure(samples);
+            let t = Instant::now();
+            std::hint::black_box(pool.pair_count(u, v));
+            t.elapsed().as_nanos()
+        });
+        let bitparallel_ns = time_cold(&mut || {
+            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            pool.ensure(samples);
+            let t = Instant::now();
+            std::hint::black_box(pool.pair_count(u, v));
+            t.elapsed().as_nanos()
+        });
+        let adaptive_ns = time_cold(&mut || {
+            let mut pool = BitParallelPool::new_adaptive(graph, SEED, 1);
+            pool.ensure(samples);
+            let t = Instant::now();
+            std::hint::black_box(pool.pair_count(u, v));
+            let ns = t.elapsed().as_nanos();
+            assert_eq!(
+                pool.engine_stats().finalized_lanes,
+                0,
+                "a cold single pair query must not pay labeling"
+            );
+            ns
+        });
+        out.push(Tri { name: "cold_pair_single_256", scalar_ns, bitparallel_ns, adaptive_ns });
+    }
+
+    // Warm query-only unlimited counts — the workload PR 2 recorded the
+    // 0.09×–0.23× bit-parallel loss on. The adaptive pool is warmed by one
+    // row query (finalizing every block); timing then measures pure label
+    // scans on all three backends.
+    {
+        let mut scalar = ComponentPool::new(graph, SEED, 1);
+        let mut mask = BitParallelPool::new(graph, SEED, 1);
+        let mut adaptive = BitParallelPool::new_adaptive(graph, SEED, 1);
+        scalar.ensure(samples);
+        mask.ensure(samples);
+        adaptive.ensure(samples);
+        let mut counts = vec![0u32; n];
+        adaptive.counts_from_center(NodeId(0), &mut counts);
+        let scalar_ns = median_ns(reps, || {
+            for &c in &centers {
+                scalar.counts_from_center(NodeId(c), &mut counts);
+            }
+        });
+        let bitparallel_ns = median_ns(reps, || {
+            for &c in &centers {
+                mask.counts_from_center(NodeId(c), &mut counts);
+            }
+        });
+        let adaptive_ns = median_ns(reps, || {
+            for &c in &centers {
+                adaptive.counts_from_center(NodeId(c), &mut counts);
+            }
+        });
+        out.push(Tri {
+            name: "warm_center_counts_query_only_256",
+            scalar_ns: scalar_ns / centers.len() as u128,
+            bitparallel_ns: bitparallel_ns / centers.len() as u128,
+            adaptive_ns: adaptive_ns / centers.len() as u128,
+        });
+
+        // Warm pair queries (objective evaluation's shape) on the same
+        // already-finalized pool.
+        let pairs: Vec<(NodeId, NodeId)> =
+            centers.iter().map(|&c| (NodeId(c), NodeId((c + 7) % n as u32))).collect();
+        let scalar_ns = median_ns(reps, || {
+            for &(u, v) in &pairs {
+                std::hint::black_box(scalar.pair_count(u, v));
+            }
+        });
+        let bitparallel_ns = median_ns(reps, || {
+            for &(u, v) in &pairs {
+                std::hint::black_box(mask.pair_count(u, v));
+            }
+        });
+        let adaptive_ns = median_ns(reps, || {
+            for &(u, v) in &pairs {
+                std::hint::black_box(adaptive.pair_count(u, v));
+            }
+        });
+        out.push(Tri {
+            name: "warm_pair_counts_256",
+            scalar_ns: scalar_ns / pairs.len() as u128,
+            bitparallel_ns: bitparallel_ns / pairs.len() as u128,
+            adaptive_ns: adaptive_ns / pairs.len() as u128,
+        });
+
+        // Warm batched rows (one min-partial greedy step).
+        let k = 16usize;
+        let batch_centers: Vec<NodeId> =
+            (0..k as u32).map(|i| NodeId(i * (n as u32 / k as u32))).collect();
+        let mut rows = vec![0u32; k * n];
+        let scalar_ns = median_ns(reps, || scalar.counts_from_centers(&batch_centers, &mut rows));
+        let bitparallel_ns =
+            median_ns(reps, || mask.counts_from_centers(&batch_centers, &mut rows));
+        let adaptive_ns =
+            median_ns(reps, || adaptive.counts_from_centers(&batch_centers, &mut rows));
+        out.push(Tri { name: "warm_batch_rows_16x256", scalar_ns, bitparallel_ns, adaptive_ns });
+    }
+
+    // Pool generation: finalization is lazy, so adaptive generation must
+    // stay within noise of the pure-mask backend.
+    out.push(Tri {
+        name: "ensure_256",
+        scalar_ns: median_ns(reps, || {
+            let mut pool = ComponentPool::new(graph, SEED, 1);
+            pool.ensure(samples);
+        }),
+        bitparallel_ns: median_ns(reps, || {
+            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            pool.ensure(samples);
+        }),
+        adaptive_ns: median_ns(reps, || {
+            let mut pool = BitParallelPool::new_adaptive(graph, SEED, 1);
+            pool.ensure(samples);
+        }),
+    });
+
+    out
+}
+
+fn write_adaptive_json(
+    graph: &ugraph_graph::UncertainGraph,
+    name: &str,
+    tris: &[Tri],
+    replay: &[Replay],
+    smoke: bool,
+) {
+    let mut rows = String::new();
+    for (i, t) in tris.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"bitparallel_ns\": {}, \
+             \"adaptive_ns\": {}, \"adaptive_vs_scalar\": {:.3}, \
+             \"adaptive_vs_bitparallel\": {:.3}}}",
+            t.name,
+            t.scalar_ns,
+            t.bitparallel_ns,
+            t.adaptive_ns,
+            t.vs_scalar(),
+            t.vs_bitparallel()
+        ));
+    }
+    let mut replays = String::new();
+    for (i, r) in replay.iter().enumerate() {
+        if i > 0 {
+            replays.push_str(",\n");
+        }
+        replays.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"per_row_ns\": {}, \"cached_ns\": {}, \
+             \"speedup\": {:.3}}}",
+            r.engine,
+            r.per_row_ns,
+            r.cached_ns,
+            r.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"unlimited_query_adaptive\",\n  \"dataset\": \"{}\",\n  \
+         \"nodes\": {},\n  \"edges\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ],\n  \
+         \"guess_schedule_replay\": [\n{}\n  ]\n}}\n",
+        name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        smoke,
+        rows,
+        replays
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 /// `guess_schedule_replay`: one full ACP guessing schedule (the paper's
 /// Theorem-4 invocation, `α = n`, whose candidate sets overlap heavily
 /// across iterations and guesses) end to end — the pre-PR per-row access
@@ -299,7 +548,8 @@ fn measure_replay(graph: &ugraph_graph::UncertainGraph, smoke: bool) -> Vec<Repl
         (r, t.elapsed().as_nanos())
     };
     let mut out = Vec::new();
-    for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+    let mut reference: Option<AcpResult> = None;
+    for kind in [EngineKind::Scalar, EngineKind::BitParallel, EngineKind::Adaptive] {
         let mut cached_ns = u128::MAX;
         let mut per_row_ns = u128::MAX;
         for _ in 0..reps {
@@ -321,6 +571,15 @@ fn measure_replay(graph: &ugraph_graph::UncertainGraph, smoke: bool) -> Vec<Repl
             );
             assert_eq!(cached.guesses, plain.guesses);
             assert!(cached.row_cache.hits > 0, "{} replay exercised no cache hits", kind.name());
+            // Cross-engine gate: every backend replays the identical
+            // schedule (count-identity through the whole driver).
+            match &reference {
+                None => reference = Some(cached),
+                Some(r) => {
+                    assert_eq!(r.clustering, cached.clustering, "{} diverges", kind.name());
+                    assert_eq!(r.assign_probs, cached.assign_probs, "{} diverges", kind.name());
+                }
+            }
             cached_ns = cached_ns.min(t_cached);
             per_row_ns = per_row_ns.min(t_plain);
         }
@@ -364,7 +623,7 @@ fn measure_k_sweep(
     let (k_lo, k_hi) = if smoke { (2usize, 4usize) } else { (2usize, 10usize) };
     let reps = if smoke { 1 } else { 3 };
     let mut out = Vec::new();
-    for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
+    for kind in [EngineKind::Scalar, EngineKind::BitParallel, EngineKind::Adaptive] {
         let cfg = ClusterConfig::default().with_seed(23).with_engine(kind).with_threads(1);
         let mut best_cold = u128::MAX;
         let mut best_warm = u128::MAX;
@@ -598,6 +857,23 @@ fn worldengine(c: &mut Criterion) {
     }
     write_oracle_json(&graph, &d.name, &batch, &replay, smoke());
 
+    // The adaptive three-way group: scalar labels vs pure-mask vs
+    // bit-parallel + lazy finalization (equality gates inside).
+    let tris = measure_adaptive(&graph, reps);
+    for t in &tris {
+        println!(
+            "  adaptive/{:<33} scalar {:>11} ns   mask {:>11} ns   adaptive {:>11} ns   vs \
+             scalar {:>5.2}x   vs mask {:>5.2}x",
+            t.name,
+            t.scalar_ns,
+            t.bitparallel_ns,
+            t.adaptive_ns,
+            t.vs_scalar(),
+            t.vs_bitparallel()
+        );
+    }
+    write_adaptive_json(&graph, &d.name, &tris, &replay, smoke());
+
     // k-sweep through one session vs independent cold calls
     // (equality-gated inside).
     let (k_lo, k_hi, sweeps) = measure_k_sweep(&graph, smoke());
@@ -671,6 +947,22 @@ fn worldengine(c: &mut Criterion) {
             b.iter(|| {
                 bit.counts_from_centers(&centers, &mut rows);
                 rows[0]
+            })
+        });
+    }
+    {
+        // Warm adaptive center counts for interactive comparison with the
+        // scalar/bitparallel `center_counts` entries above.
+        let samples = 256;
+        let mut adaptive = BitParallelPool::new_adaptive(&graph, SEED, 1);
+        adaptive.ensure(samples);
+        adaptive.counts_from_center(NodeId(0), &mut counts);
+        group.bench_function(BenchmarkId::new("center_counts/adaptive", samples), |b| {
+            let mut center = 0u32;
+            b.iter(|| {
+                adaptive.counts_from_center(NodeId(center % n as u32), &mut counts);
+                center = center.wrapping_add(97);
+                counts[0]
             })
         });
     }

@@ -24,7 +24,7 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{Oracle, RowCacheStats};
+use ugraph_sampling::{EngineStats, Oracle, RowCacheStats};
 
 use crate::clustering::Clustering;
 use crate::config::{AcpInvocation, ClusterConfig, GuessStrategy};
@@ -55,6 +55,9 @@ pub struct AcpResult {
     /// How the oracle's row cache served the schedule's probability rows
     /// (all zero for oracles without a cache).
     pub row_cache: RowCacheStats,
+    /// Lazy block-finalization counters of the backing engine (all zero
+    /// unless the adaptive backend ran).
+    pub engine: EngineStats,
 }
 
 impl From<SolveResult> for AcpResult {
@@ -68,6 +71,7 @@ impl From<SolveResult> for AcpResult {
             guesses: r.guesses,
             samples_used: r.samples_used,
             row_cache: r.row_cache,
+            engine: r.engine,
         }
     }
 }
@@ -83,7 +87,9 @@ pub fn acp(
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<AcpResult, ClusterError> {
-    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    // One-shot calls ignore `shared_pool` (nothing to share in a
+    // single-request session), preserving the per-family seed streams.
+    let mut session = UgraphSession::new(graph, cfg.clone().with_shared_pool(false))?;
     session.solve(ClusterRequest::acp(k)).map(AcpResult::from)
 }
 
@@ -100,7 +106,9 @@ pub fn acp_depth(
     d: u32,
     cfg: &ClusterConfig,
 ) -> Result<AcpResult, ClusterError> {
-    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    // One-shot calls ignore `shared_pool` (nothing to share in a
+    // single-request session), preserving the per-family seed streams.
+    let mut session = UgraphSession::new(graph, cfg.clone().with_shared_pool(false))?;
     session.solve(ClusterRequest::acp_depth(k, d)).map(AcpResult::from)
 }
 
@@ -197,6 +205,7 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
         guesses,
         samples_used: oracle.num_samples(),
         row_cache: oracle.cache_stats(),
+        engine: oracle.engine_stats(),
     })
 }
 

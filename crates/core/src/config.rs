@@ -60,11 +60,13 @@ pub struct ClusterConfig {
     pub guess: GuessStrategy,
     /// ACP invocation flavor.
     pub acp_invocation: AcpInvocation,
-    /// Monte-Carlo backend: scalar per-world pools or the bit-parallel
-    /// block pool (64 worlds per machine word). Backends are
-    /// count-identical for a fixed seed, so this knob trades nothing but
-    /// time; it is threaded through `mcp`/`acp` (and their depth variants)
-    /// into every `min-partial` probability estimate.
+    /// Monte-Carlo backend: scalar per-world pools, the pure-mask
+    /// bit-parallel block pool (64 worlds per machine word), or the
+    /// default **adaptive** backend (bit-parallel plus lazy per-block
+    /// component-label finalization). Backends are count-identical for a
+    /// fixed seed, so this knob trades nothing but time; it is threaded
+    /// through `mcp`/`acp` (and their depth variants) into every
+    /// `min-partial` probability estimate.
     pub engine: EngineKind,
     /// Per-center row cache in the Monte-Carlo oracles (default on):
     /// integer count rows are kept across the guessing schedule and topped
@@ -73,6 +75,19 @@ pub struct ClusterConfig {
     /// disabling trades time for the cache's memory (one integer row per
     /// distinct center queried).
     pub row_cache: bool,
+    /// Session-level **shared pool** across the MCP and ACP oracle
+    /// families (default off). With it on, a `UgraphSession` keeps a
+    /// single grow-only pool + row cache per *depth shape* instead of one
+    /// per (objective, depth shape), so interleaved MCP/ACP workloads
+    /// dedupe their sampled worlds and share cached rows.
+    ///
+    /// **Determinism trade-off**: results stay fully deterministic for a
+    /// fixed seed (and identical across backends and thread counts), but
+    /// they are **not** bit-identical to the one-shot entry points — the
+    /// shared pool draws from its own seed stream, whereas `mcp`/`acp`
+    /// decorrelate each family's samples. One-shot calls ignore the knob
+    /// (a single-request session has nothing to share).
+    pub shared_pool: bool,
 }
 
 impl Default for ClusterConfig {
@@ -89,6 +104,7 @@ impl Default for ClusterConfig {
             acp_invocation: AcpInvocation::default(),
             engine: EngineKind::default(),
             row_cache: true,
+            shared_pool: false,
         }
     }
 }
@@ -185,6 +201,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style setter for the session-level shared pool (see
+    /// [`ClusterConfig::shared_pool`] for the determinism trade-off).
+    pub fn with_shared_pool(mut self, shared_pool: bool) -> Self {
+        self.shared_pool = shared_pool;
+        self
+    }
+
     /// The relaxed threshold actually compared against estimates:
     /// `(1 − ε/2) · q` (§4.1). With ε = 0 (exact oracles) this is `q`.
     #[inline]
@@ -205,7 +228,8 @@ mod tests {
         assert_eq!(c.alpha, 1);
         assert_eq!(c.guess, GuessStrategy::Accelerated);
         assert_eq!(c.acp_invocation, AcpInvocation::Practical);
-        assert_eq!(c.engine, EngineKind::Scalar);
+        assert_eq!(c.engine, EngineKind::Adaptive);
+        assert!(!c.shared_pool);
         assert!(c.validate().is_ok());
     }
 

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 
 use ugraph_graph::UncertainGraph;
 use ugraph_sampling::rng::mix_seed;
-use ugraph_sampling::{Oracle, RowCacheStats};
+use ugraph_sampling::{EngineStats, Oracle, RowCacheStats};
 
 use crate::clustering::{Clustering, PartialClustering};
 use crate::config::{ClusterConfig, GuessStrategy};
@@ -45,6 +45,9 @@ pub struct McpResult {
     /// (all zero for oracles without a cache) — the observable measure of
     /// how much work the guessing schedule reused.
     pub row_cache: RowCacheStats,
+    /// Lazy block-finalization counters of the backing engine (all zero
+    /// unless the adaptive backend ran).
+    pub engine: EngineStats,
 }
 
 impl From<SolveResult> for McpResult {
@@ -58,6 +61,7 @@ impl From<SolveResult> for McpResult {
             guesses: r.guesses,
             samples_used: r.samples_used,
             row_cache: r.row_cache,
+            engine: r.engine,
         }
     }
 }
@@ -74,7 +78,9 @@ pub fn mcp(
     k: usize,
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
-    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    // One-shot calls ignore `shared_pool` (nothing to share in a
+    // single-request session), preserving the per-family seed streams.
+    let mut session = UgraphSession::new(graph, cfg.clone().with_shared_pool(false))?;
     session.solve(ClusterRequest::mcp(k)).map(McpResult::from)
 }
 
@@ -89,7 +95,9 @@ pub fn mcp_depth(
     d: u32,
     cfg: &ClusterConfig,
 ) -> Result<McpResult, ClusterError> {
-    let mut session = UgraphSession::new(graph, cfg.clone())?;
+    // One-shot calls ignore `shared_pool` (nothing to share in a
+    // single-request session), preserving the per-family seed streams.
+    let mut session = UgraphSession::new(graph, cfg.clone().with_shared_pool(false))?;
     session.solve(ClusterRequest::mcp_depth(k, d)).map(McpResult::from)
 }
 
@@ -185,6 +193,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
         guesses,
         samples_used: oracle.num_samples(),
         row_cache: oracle.cache_stats(),
+        engine: oracle.engine_stats(),
     })
 }
 

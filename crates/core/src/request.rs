@@ -12,7 +12,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use ugraph_sampling::RowCacheStats;
+use ugraph_sampling::{EngineStats, RowCacheStats};
 
 use crate::clustering::Clustering;
 use crate::config::{AcpInvocation, ClusterConfig};
@@ -173,6 +173,11 @@ pub struct SolveResult {
     /// [`SessionStats`](crate::session::SessionStats)). On a warm session
     /// the hits/top-ups here are rows inherited from earlier requests.
     pub row_cache: RowCacheStats,
+    /// Lazy block-finalization counters accumulated **by this request**
+    /// (all zero unless the adaptive backend ran). On a warm session the
+    /// `label_queries` here are served from blocks finalized by earlier
+    /// requests.
+    pub engine: EngineStats,
     /// Wall-clock time spent solving this request.
     pub elapsed: Duration,
 }

@@ -58,8 +58,8 @@ use std::time::{Duration, Instant};
 use ugraph_graph::{NodeId, UncertainGraph};
 use ugraph_sampling::rng::mix_seed;
 use ugraph_sampling::{
-    assignment_probs, quality_from_probs, ComponentPool, DepthMcOracle, McOracle, Oracle,
-    RowCacheStats, WorldPool,
+    assignment_probs, quality_from_probs, ComponentPool, DepthMcOracle, EngineStats, McOracle,
+    Oracle, RowCacheStats, WorldPool,
 };
 
 use crate::acp::acp_with_oracle;
@@ -76,6 +76,13 @@ const TAG_MCP: u64 = 0x4d43_5031; // "MCP1"
 const TAG_MCP_DEPTH: u64 = 0x4d43_5044; // "MCPD"
 const TAG_ACP: u64 = 0x4143_5031; // "ACP1"
 const TAG_ACP_DEPTH: u64 = 0x4143_5044; // "ACPD"
+/// Seed tags of the **shared-pool** mode ([`ClusterConfig::shared_pool`]):
+/// one pool per depth shape, shared by the MCP and ACP oracle families.
+/// Deliberately distinct from the per-family tags — shared-pool results are
+/// deterministic for a fixed seed but *not* bit-identical to the one-shot
+/// entry points, which sample each family from its own stream.
+const TAG_SHARED: u64 = 0x5348_5244; // "SHRD"
+const TAG_SHARED_DEPTH: u64 = 0x5348_4450; // "SHDP"
 /// Seed tag of the session's evaluation pool (decorrelated from every
 /// solver pool, so evaluation is an unbiased re-estimate).
 const TAG_EVAL: u64 = 0x4556_414c; // "EVAL"
@@ -88,7 +95,10 @@ pub const DEFAULT_EVAL_SAMPLES: usize = 512;
 /// pool + row cache) exists per distinct key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct OracleKey {
-    objective: Objective,
+    /// `None` = the session runs in **shared-pool** mode
+    /// ([`ClusterConfig::shared_pool`]): the MCP and ACP families resolve
+    /// to the same oracle per depth shape instead of one each.
+    objective: Option<Objective>,
     /// `None` = unlimited path length (a [`McOracle`]); `Some` = the
     /// resolved `(d_select, d_cover)` pair (a [`DepthMcOracle`]).
     depths: Option<(u32, u32)>,
@@ -105,6 +115,9 @@ pub struct RequestRecord {
     pub guesses: usize,
     /// Row-cache service counters of this request alone.
     pub row_cache: RowCacheStats,
+    /// Block-finalization counters of this request alone (adaptive
+    /// backend only).
+    pub engine: EngineStats,
     /// Wall-clock solve time.
     pub elapsed: Duration,
 }
@@ -123,6 +136,13 @@ pub struct SessionStats {
     pub worlds_held: usize,
     /// Aggregate row-cache service across all solver oracles.
     pub row_cache: RowCacheStats,
+    /// Aggregate lazy block-finalization counters across all solver
+    /// oracles (all zero unless the adaptive backend ran).
+    pub engine: EngineStats,
+    /// Solver oracles (engine + pool + row cache) the session holds — in
+    /// shared-pool mode the MCP/ACP families collapse onto one per depth
+    /// shape, which is where the `worlds_held` dedup comes from.
+    pub solver_pools: usize,
     /// Total wall-clock time spent in [`UgraphSession::solve`].
     pub solve_time: Duration,
     /// One record per successful solve request, in issue order.
@@ -133,14 +153,20 @@ impl fmt::Display for SessionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} request(s), {} evaluation(s), {} world(s) held; row cache: {} hits, {} top-ups, \
-             {} full recomputes; solve time {:.2?}",
+            "{} request(s), {} evaluation(s), {} world(s) held in {} solver pool(s); row cache: \
+             {} hits, {} top-ups, {} full recomputes; finalized {} block(s) / {} lane(s), {} \
+             label-served / {} mask-served block-queries; solve time {:.2?}",
             self.requests,
             self.evaluations,
             self.worlds_held,
+            self.solver_pools,
             self.row_cache.hits,
             self.row_cache.topups,
             self.row_cache.fulls,
+            self.engine.finalized_blocks,
+            self.engine.finalized_lanes,
+            self.engine.label_queries,
+            self.engine.mask_queries,
             self.solve_time
         )
     }
@@ -238,6 +264,11 @@ impl<'g> UgraphSession<'g> {
     /// already-sampled worlds and cached rows are reused instead of
     /// recomputed ([`SolveResult::row_cache`] shows the reuse).
     ///
+    /// Exception: with [`ClusterConfig::shared_pool`] enabled, the MCP and
+    /// ACP families draw from one pool per depth shape — results are still
+    /// deterministic for a fixed seed, but not bit-identical to the
+    /// one-shot functions (which decorrelate the families' samples).
+    ///
     /// # Errors
     /// The same failure modes as the one-shot entry points:
     /// [`ClusterError::KOutOfRange`], [`ClusterError::NoFullClustering`]
@@ -247,13 +278,14 @@ impl<'g> UgraphSession<'g> {
         let t0 = Instant::now();
         self.requests += 1;
         let key = OracleKey {
-            objective: request.objective(),
+            objective: (!self.config.shared_pool).then(|| request.objective()),
             depths: request.resolved_depths(&self.config),
         };
         let idx = self.oracle_index(key)?;
         let config = self.config.clone();
         let oracle = &mut self.oracles[idx].1;
         let cache_before = oracle.cache_stats();
+        let engine_before = oracle.engine_stats();
         oracle.begin_request();
         let result = match request.objective() {
             Objective::MinProb => {
@@ -267,6 +299,7 @@ impl<'g> UgraphSession<'g> {
                     guesses: r.guesses,
                     samples_used: r.samples_used,
                     row_cache: r.row_cache.since(cache_before),
+                    engine: r.engine.since(engine_before),
                     elapsed: t0.elapsed(),
                 }
             }
@@ -281,6 +314,7 @@ impl<'g> UgraphSession<'g> {
                     guesses: r.guesses,
                     samples_used: r.samples_used,
                     row_cache: r.row_cache.since(cache_before),
+                    engine: r.engine.since(engine_before),
                     elapsed: t0.elapsed(),
                 }
             }
@@ -291,6 +325,7 @@ impl<'g> UgraphSession<'g> {
             samples_used: result.samples_used,
             guesses: result.guesses,
             row_cache: result.row_cache,
+            engine: result.engine,
             elapsed: result.elapsed,
         });
         Ok(result)
@@ -378,9 +413,11 @@ impl<'g> UgraphSession<'g> {
     /// records.
     pub fn stats(&self) -> SessionStats {
         let mut row_cache = RowCacheStats::default();
+        let mut engine = EngineStats::default();
         let mut worlds = 0usize;
         for (_, oracle) in &self.oracles {
             row_cache = row_cache.merged(oracle.cache_stats());
+            engine = engine.merged(oracle.engine_stats());
             worlds += oracle.pool_samples();
         }
         worlds += self.eval.as_ref().map_or(0, |p| p.num_samples());
@@ -390,6 +427,8 @@ impl<'g> UgraphSession<'g> {
             evaluations: self.evaluations,
             worlds_held: worlds,
             row_cache,
+            engine,
+            solver_pools: self.oracles.len(),
             solve_time: self.solve_time,
             per_request: self.per_request.clone(),
         }
@@ -403,11 +442,22 @@ impl<'g> UgraphSession<'g> {
             return Ok(i);
         }
         let cfg = &self.config;
-        let oracle: Box<dyn Oracle + 'g> = match (key.objective, key.depths) {
-            (Objective::MinProb, None) => Box::new(
+        // Shared-pool mode (`objective == None`) uses one dedicated tag per
+        // depth shape; per-family mode reproduces the one-shot tags so
+        // session requests stay bit-identical to the free functions.
+        let tag = match (key.objective, key.depths.is_some()) {
+            (None, false) => TAG_SHARED,
+            (None, true) => TAG_SHARED_DEPTH,
+            (Some(Objective::MinProb), false) => TAG_MCP,
+            (Some(Objective::MinProb), true) => TAG_MCP_DEPTH,
+            (Some(Objective::AvgProb), false) => TAG_ACP,
+            (Some(Objective::AvgProb), true) => TAG_ACP_DEPTH,
+        };
+        let oracle: Box<dyn Oracle + 'g> = match key.depths {
+            None => Box::new(
                 McOracle::with_engine(
                     self.graph,
-                    mix_seed(cfg.seed, TAG_MCP),
+                    mix_seed(cfg.seed, tag),
                     cfg.threads,
                     cfg.schedule,
                     cfg.epsilon,
@@ -415,34 +465,10 @@ impl<'g> UgraphSession<'g> {
                 )
                 .with_row_cache(cfg.row_cache),
             ),
-            (Objective::AvgProb, None) => Box::new(
-                McOracle::with_engine(
-                    self.graph,
-                    mix_seed(cfg.seed, TAG_ACP),
-                    cfg.threads,
-                    cfg.schedule,
-                    cfg.epsilon,
-                    cfg.engine,
-                )
-                .with_row_cache(cfg.row_cache),
-            ),
-            (Objective::MinProb, Some((d_select, d_cover))) => Box::new(
+            Some((d_select, d_cover)) => Box::new(
                 DepthMcOracle::with_engine(
                     self.graph,
-                    mix_seed(cfg.seed, TAG_MCP_DEPTH),
-                    cfg.threads,
-                    cfg.schedule,
-                    cfg.epsilon,
-                    d_select,
-                    d_cover,
-                    cfg.engine,
-                )?
-                .with_row_cache(cfg.row_cache),
-            ),
-            (Objective::AvgProb, Some((d_select, d_cover))) => Box::new(
-                DepthMcOracle::with_engine(
-                    self.graph,
-                    mix_seed(cfg.seed, TAG_ACP_DEPTH),
+                    mix_seed(cfg.seed, tag),
                     cfg.threads,
                     cfg.schedule,
                     cfg.epsilon,

@@ -273,6 +273,69 @@ impl MultiWorldBfs {
         self.reach[node.index()]
     }
 
+    /// Labels the connected components of **every** world selected by
+    /// `lane_mask` in one component-sharing sweep: one connectivity-fixpoint
+    /// traversal per *component*, not per node — the traversal from a node
+    /// `u` that is still unlabeled in lanes `M` discovers, for every lane
+    /// `l ∈ M` simultaneously, the full member set of `u`'s component in
+    /// world `l` (the reach masks say which lanes each reached node shares
+    /// with `u`).
+    ///
+    /// `assign(node, mask, next)` is called once per `(reached node,
+    /// traversal)` with the lanes `mask` the node was reached in and the
+    /// per-lane label counters `next`: the node's label in lane `l` of
+    /// `mask` is `next[l]`. Labels are dense per lane (`0..counts[l]`) in
+    /// first-seen node order. Returns the per-lane component counts (0 for
+    /// lanes outside `lane_mask`).
+    ///
+    /// Unlabeled lanes of a node are always a superset of the unlabeled
+    /// lanes of its whole component (components are labeled atomically), so
+    /// restricting each traversal to the source's unlabeled lanes never
+    /// splits a component.
+    ///
+    /// # Panics
+    /// Panics if the workspace is sized for fewer nodes than `g`, or if an
+    /// edge id of `g` indexes past `edge_masks`.
+    pub fn label_components(
+        &mut self,
+        g: &impl Adjacency,
+        edge_masks: &[u64],
+        lane_mask: u64,
+        mut assign: impl FnMut(NodeId, u64, &[u32; LANES]),
+    ) -> [u32; LANES] {
+        let n = g.num_nodes();
+        assert!(
+            n <= self.reach.len(),
+            "MultiWorldBfs workspace sized for {} nodes, graph has {}",
+            self.reach.len(),
+            n
+        );
+        let mut next = [0u32; LANES];
+        if lane_mask == 0 {
+            return next;
+        }
+        // Lanes in which each node has not been assigned a label yet.
+        let mut unlabeled = vec![lane_mask; n];
+        for u in 0..n as u32 {
+            let m = unlabeled[u as usize];
+            if m == 0 {
+                continue;
+            }
+            let cur = next;
+            self.run_unlimited(g, edge_masks, NodeId(u), m, |v, mask| {
+                unlabeled[v.index()] &= !mask;
+                assign(v, mask, &cur);
+            });
+            let mut bits = m;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                next[l] += 1;
+            }
+        }
+        next
+    }
+
     /// Prepares the stride-`k` multi-source buffers and seeds the sources.
     /// Returns `false` when `lane_mask` selects no worlds (nothing to do).
     fn init_multi(&mut self, n_graph: usize, sources: &[NodeId], lane_mask: u64) -> bool {
@@ -759,6 +822,73 @@ mod tests {
         let masks = vec![!0u64; 3];
         let mut bfs = MultiWorldBfs::new(5);
         bfs.run_unlimited_multi(&g, &masks, &[], !0, |_, _, _| {});
+    }
+
+    #[test]
+    fn label_components_partitions_every_lane() {
+        // Deterministic pseudo-random 8-lane block over a denser graph;
+        // check per-lane labels against a per-world scalar labeling.
+        use crate::bitset::Bitset;
+        use crate::view::WorldView;
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3), (2, 5)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let m = g.num_edges();
+        let lanes = 8;
+        let mut masks = vec![0u64; m];
+        for (e, mask) in masks.iter_mut().enumerate() {
+            for l in 0..lanes {
+                if (e * 23 + l * 41 + 5) % 3 != 0 {
+                    *mask |= 1 << l;
+                }
+            }
+        }
+        let mut bfs = MultiWorldBfs::new(7);
+        let mut labels = vec![u32::MAX; 7 * LANES];
+        let counts = bfs.label_components(&g, &masks, lane_mask(lanes), |v, mk, next| {
+            let mut bits = mk;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                assert_eq!(labels[v.index() * LANES + l], u32::MAX, "node relabeled");
+                labels[v.index() * LANES + l] = next[l];
+            }
+        });
+        for l in 0..lanes {
+            let mut world = Bitset::with_len(m);
+            for (e, mask) in masks.iter().enumerate() {
+                if mask >> l & 1 == 1 {
+                    world.insert(e);
+                }
+            }
+            let view = WorldView::new(&g, &world);
+            let (want, want_count) = crate::connected_components(&view);
+            assert_eq!(counts[l] as usize, want_count, "lane {l} component count");
+            // Same partition: labels agree on every node pair.
+            for u in 0..7 {
+                assert!(labels[u * LANES + l] < counts[l], "lane {l} node {u} unlabeled");
+                for v in 0..7 {
+                    assert_eq!(
+                        labels[u * LANES + l] == labels[v * LANES + l],
+                        want[u] == want[v],
+                        "lane {l} pair ({u}, {v}) partition disagrees"
+                    );
+                }
+            }
+        }
+        // Lanes outside the mask are untouched.
+        assert!(counts[lanes..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn label_components_zero_mask_is_noop() {
+        let g = path_graph();
+        let masks = vec![!0u64; 3];
+        let mut bfs = MultiWorldBfs::new(5);
+        let counts = bfs.label_components(&g, &masks, 0, |_, _, _| panic!("no assignments"));
+        assert_eq!(counts, [0u32; LANES]);
     }
 
     #[test]

@@ -65,8 +65,9 @@ pub fn avpr(pool: &ComponentPool<'_>, clustering: &Clustering) -> Avpr {
     let mut connected_total_covered: u64 = 0;
     let mut cell_counts: HashMap<(u32, u32), u64> = HashMap::new();
     let mut comp_counts: HashMap<u32, u64> = HashMap::new();
+    let mut labels = vec![0u32; n];
     for s in 0..r {
-        let labels = pool.labels(s);
+        pool.labels_into(s, &mut labels);
         cell_counts.clear();
         comp_counts.clear();
         for u in 0..n {

@@ -36,11 +36,21 @@ pub const DEPTH_UNLIMITED: u32 = u32::MAX;
 pub enum EngineKind {
     /// One world per query step: component labels for unlimited
     /// connectivity, per-world bounded BFS for depth-limited queries.
-    #[default]
     Scalar,
     /// 64 worlds per machine word: structure-of-arrays edge masks queried
-    /// with mask-propagating multi-world BFS.
+    /// with mask-propagating multi-world BFS. Kept as the pure-mask
+    /// backend for benchmarking; [`EngineKind::Adaptive`] dominates it on
+    /// unlimited-depth query workloads.
     BitParallel,
+    /// The bit-parallel backend plus **lazy per-block component-label
+    /// finalization**: the first unlimited-depth row query against a
+    /// 64-world block materializes per-lane component labels (one
+    /// component-sharing fixpoint sweep per block) and caches them next to
+    /// the edge masks, so every later unlimited query over that block is
+    /// an O(n + members) label scan exactly like the scalar backend —
+    /// while generation and depth-limited queries stay pure bit-parallel.
+    #[default]
+    Adaptive,
 }
 
 impl EngineKind {
@@ -49,6 +59,59 @@ impl EngineKind {
         match self {
             EngineKind::Scalar => "scalar",
             EngineKind::BitParallel => "bitparallel",
+            EngineKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses the name produced by [`EngineKind::name`] (CLI flag values).
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        match name {
+            "scalar" => Some(EngineKind::Scalar),
+            "bitparallel" => Some(EngineKind::BitParallel),
+            "adaptive" => Some(EngineKind::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing the adaptive backend's lazy block finalization (all
+/// zero for backends without finalization — scalar pools and the pure-mask
+/// bit-parallel pool).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// 64-world blocks currently holding finalized component labels.
+    pub finalized_blocks: usize,
+    /// World lanes ever labeled. Monotone, and each lane is labeled **at
+    /// most once**: growing a pool appends new lanes but never relabels a
+    /// finalized one, so this counter never exceeds the pool size.
+    pub finalized_lanes: usize,
+    /// Unlimited block-queries served from finalized labels.
+    pub label_queries: usize,
+    /// Unlimited block-queries served by mask BFS (block not finalized at
+    /// query time).
+    pub mask_queries: usize,
+}
+
+impl EngineStats {
+    /// The counters accumulated since an earlier snapshot (field-wise
+    /// difference, saturating) — how a session reports per-request
+    /// finalization work from an engine's cumulative counters.
+    pub fn since(self, earlier: EngineStats) -> EngineStats {
+        EngineStats {
+            finalized_blocks: self.finalized_blocks.saturating_sub(earlier.finalized_blocks),
+            finalized_lanes: self.finalized_lanes.saturating_sub(earlier.finalized_lanes),
+            label_queries: self.label_queries.saturating_sub(earlier.label_queries),
+            mask_queries: self.mask_queries.saturating_sub(earlier.mask_queries),
+        }
+    }
+
+    /// Field-wise sum — aggregation across a session's engines.
+    pub fn merged(self, other: EngineStats) -> EngineStats {
+        EngineStats {
+            finalized_blocks: self.finalized_blocks + other.finalized_blocks,
+            finalized_lanes: self.finalized_lanes + other.finalized_lanes,
+            label_queries: self.label_queries + other.label_queries,
+            mask_queries: self.mask_queries + other.mask_queries,
         }
     }
 }
@@ -90,6 +153,12 @@ pub trait WorldEngine {
 
     /// Number of samples currently in the pool.
     fn num_samples(&self) -> usize;
+
+    /// Finalization counters of the adaptive backend (all zero for
+    /// backends without lazy block finalization).
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
 
     /// Grows the pool to at least `r` samples (no-op if already there).
     fn ensure(&mut self, r: usize);
@@ -344,8 +413,47 @@ mod tests {
 
     #[test]
     fn engine_kind_defaults_and_names() {
-        assert_eq!(EngineKind::default(), EngineKind::Scalar);
+        assert_eq!(EngineKind::default(), EngineKind::Adaptive);
         assert_eq!(EngineKind::Scalar.name(), "scalar");
         assert_eq!(EngineKind::BitParallel.name(), "bitparallel");
+        assert_eq!(EngineKind::Adaptive.name(), "adaptive");
+        for kind in [EngineKind::Scalar, EngineKind::BitParallel, EngineKind::Adaptive] {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn engine_stats_since_and_merged() {
+        let a = EngineStats {
+            finalized_blocks: 3,
+            finalized_lanes: 192,
+            label_queries: 10,
+            mask_queries: 2,
+        };
+        let b = EngineStats {
+            finalized_blocks: 1,
+            finalized_lanes: 64,
+            label_queries: 4,
+            mask_queries: 1,
+        };
+        assert_eq!(
+            a.since(b),
+            EngineStats {
+                finalized_blocks: 2,
+                finalized_lanes: 128,
+                label_queries: 6,
+                mask_queries: 1,
+            }
+        );
+        assert_eq!(
+            a.merged(b),
+            EngineStats {
+                finalized_blocks: 4,
+                finalized_lanes: 256,
+                label_queries: 14,
+                mask_queries: 3,
+            }
+        );
     }
 }

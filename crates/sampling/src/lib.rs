@@ -71,7 +71,7 @@ pub mod tuning;
 pub mod world;
 
 pub use bounds::{harmonic, SampleSchedule};
-pub use engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
+pub use engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 pub use error::SamplingError;
 pub use exact::ExactOracle;
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};

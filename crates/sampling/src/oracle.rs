@@ -75,7 +75,7 @@ use std::collections::HashMap;
 use ugraph_graph::{NodeId, UncertainGraph};
 
 use crate::bounds::SampleSchedule;
-use crate::engine::{EngineKind, WorldEngine, DEPTH_UNLIMITED};
+use crate::engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::error::SamplingError;
 use crate::exact::ExactOracle;
 use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
@@ -452,6 +452,13 @@ pub trait Oracle {
     fn cache_stats(&self) -> RowCacheStats {
         RowCacheStats::default()
     }
+
+    /// Finalization counters of the backing engine (all zero for oracles
+    /// whose backend has no lazy block finalization — see
+    /// [`crate::EngineStats`]).
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
 }
 
 /// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
@@ -502,6 +509,7 @@ impl<'g> McOracle<'g> {
         let engine: Box<dyn WorldEngine + 'g> = match kind {
             EngineKind::Scalar => Box::new(ComponentPool::new(graph, seed, threads)),
             EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
+            EngineKind::Adaptive => Box::new(BitParallelPool::new_adaptive(graph, seed, threads)),
         };
         Self::from_engine(engine, schedule, epsilon)
     }
@@ -736,6 +744,10 @@ impl Oracle for McOracle<'_> {
     fn cache_stats(&self) -> RowCacheStats {
         self.cache.stats
     }
+
+    fn engine_stats(&self) -> EngineStats {
+        self.engine.engine_stats()
+    }
 }
 
 /// Monte-Carlo oracle for **depth-limited** d-connection probabilities
@@ -809,6 +821,7 @@ impl<'g> DepthMcOracle<'g> {
         let engine: Box<dyn WorldEngine + 'g> = match kind {
             EngineKind::Scalar => Box::new(WorldPool::new(graph, seed, threads)),
             EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
+            EngineKind::Adaptive => Box::new(BitParallelPool::new_adaptive(graph, seed, threads)),
         };
         Self::from_engine(engine, schedule, epsilon, d_select, d_cover)
     }
@@ -1142,6 +1155,10 @@ impl Oracle for DepthMcOracle<'_> {
 
     fn cache_stats(&self) -> RowCacheStats {
         self.cache.stats
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        self.engine.engine_stats()
     }
 }
 

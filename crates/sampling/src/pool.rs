@@ -37,52 +37,164 @@ use ugraph_graph::{
     LANES, MAX_SOURCES,
 };
 
-use crate::engine::{WorldEngine, DEPTH_UNLIMITED};
+use crate::engine::{EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::tuning::{
-    chunked_counts, chunked_counts2_with, chunked_counts_with, chunked_sum_with, ThreadConfig,
+    chunked_counts, chunked_counts2_with, chunked_counts_with, chunked_sum_with,
+    finalize_on_unlimited_query, ThreadConfig,
 };
 use crate::world::WorldSampler;
 
-/// One sampled world reduced to its connected-component partition.
+/// Storage width of component labels and membership indexes.
+///
+/// Labels and node ids are at most `n − 1`, so graphs with
+/// `n ≤ u16::MAX` store them as `u16` — halving label memory on every
+/// shipped dataset — while larger graphs use the `u32` path behind the
+/// same interface. Both widths are property-tested against each other.
+trait Label: Copy + Eq + Send + Sync + std::fmt::Debug + 'static {
+    fn from_u32(x: u32) -> Self;
+    fn index(self) -> usize;
+}
+
+impl Label for u16 {
+    #[inline]
+    fn from_u32(x: u32) -> Self {
+        debug_assert!(x <= u16::MAX as u32);
+        x as u16
+    }
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Label for u32 {
+    #[inline]
+    fn from_u32(x: u32) -> Self {
+        x
+    }
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Whether `n`-node labels fit the narrow (`u16`) width.
+#[inline]
+fn narrow_fits(n: usize) -> bool {
+    n <= u16::MAX as usize
+}
+
+/// One sampled world reduced to its connected-component partition, at a
+/// fixed label width `L`.
 ///
 /// Stores the canonical label per node plus a *membership index* (nodes
 /// sorted by label with bucket offsets), so all members of a given
 /// component can be enumerated in time proportional to the component size.
 #[derive(Clone, Debug)]
-struct SampleRow {
+struct RowData<L> {
     /// Canonical component label per node.
-    labels: Vec<u32>,
+    labels: Vec<L>,
     /// Node indices grouped by label.
-    order: Vec<u32>,
+    order: Vec<L>,
     /// `starts[c]..starts[c+1]` delimits component `c` in `order`.
     starts: Vec<u32>,
 }
 
-impl SampleRow {
-    fn from_labels(labels: Vec<u32>, num_components: usize) -> Self {
+impl<L: Label> RowData<L> {
+    fn build(labels: &[u32], num_components: usize) -> Self {
         let n = labels.len();
         let mut starts = vec![0u32; num_components + 1];
-        for &l in &labels {
+        for &l in labels {
             starts[l as usize + 1] += 1;
         }
         for c in 0..num_components {
             starts[c + 1] += starts[c];
         }
         let mut cursor = starts.clone();
-        let mut order = vec![0u32; n];
+        let mut order = vec![L::from_u32(0); n];
         for (node, &l) in labels.iter().enumerate() {
             let slot = cursor[l as usize] as usize;
-            order[slot] = node as u32;
+            order[slot] = L::from_u32(node as u32);
             cursor[l as usize] += 1;
         }
-        SampleRow { labels, order, starts }
+        let labels = labels.iter().map(|&l| L::from_u32(l)).collect();
+        RowData { labels, order, starts }
     }
 
     #[inline]
-    fn members(&self, label: u32) -> &[u32] {
-        let lo = self.starts[label as usize] as usize;
-        let hi = self.starts[label as usize + 1] as usize;
+    fn members(&self, label: usize) -> &[L] {
+        let lo = self.starts[label] as usize;
+        let hi = self.starts[label + 1] as usize;
         &self.order[lo..hi]
+    }
+
+    /// Increments `counts[u]` for every member `u` of `center`'s component.
+    #[inline]
+    fn accumulate_center(&self, center: usize, counts: &mut [u32]) {
+        for &u in self.members(self.labels[center].index()) {
+            counts[u.index()] += 1;
+        }
+    }
+}
+
+/// [`RowData`] at the width picked for the pool's node count — the
+/// narrow/wide dispatch point of the scalar backend.
+#[derive(Clone, Debug)]
+enum SampleRow {
+    Narrow(RowData<u16>),
+    Wide(RowData<u32>),
+}
+
+impl SampleRow {
+    fn build(labels: &[u32], num_components: usize, wide: bool) -> Self {
+        if wide {
+            SampleRow::Wide(RowData::build(labels, num_components))
+        } else {
+            SampleRow::Narrow(RowData::build(labels, num_components))
+        }
+    }
+
+    #[inline]
+    fn accumulate_center(&self, center: usize, counts: &mut [u32]) {
+        match self {
+            SampleRow::Narrow(r) => r.accumulate_center(center, counts),
+            SampleRow::Wide(r) => r.accumulate_center(center, counts),
+        }
+    }
+
+    #[inline]
+    fn connected(&self, u: usize, v: usize) -> bool {
+        match self {
+            SampleRow::Narrow(r) => r.labels[u] == r.labels[v],
+            SampleRow::Wide(r) => r.labels[u] == r.labels[v],
+        }
+    }
+
+    fn labels_into(&self, out: &mut [u32]) {
+        match self {
+            SampleRow::Narrow(r) => {
+                for (o, &l) in out.iter_mut().zip(&r.labels) {
+                    *o = u32::from(l);
+                }
+            }
+            SampleRow::Wide(r) => out.copy_from_slice(&r.labels),
+        }
+    }
+
+    fn members_u32(&self, label: u32) -> Vec<u32> {
+        match self {
+            SampleRow::Narrow(r) => {
+                r.members(label as usize).iter().map(|&u| u32::from(u)).collect()
+            }
+            SampleRow::Wide(r) => r.members(label as usize).to_vec(),
+        }
+    }
+
+    fn component_count(&self) -> usize {
+        match self {
+            SampleRow::Narrow(r) => r.starts.len() - 1,
+            SampleRow::Wide(r) => r.starts.len() - 1,
+        }
     }
 }
 
@@ -93,6 +205,9 @@ pub struct ComponentPool<'g> {
     sampler: WorldSampler<'g>,
     rows: Vec<SampleRow>,
     config: ThreadConfig,
+    /// `true` = `u32` labels; picked from the node count at construction
+    /// (see [`Label`]), overridable for width-equivalence tests.
+    wide: bool,
 }
 
 impl<'g> ComponentPool<'g> {
@@ -103,7 +218,22 @@ impl<'g> ComponentPool<'g> {
             sampler: WorldSampler::new(graph, seed),
             rows: Vec::new(),
             config: ThreadConfig::new(threads),
+            wide: !narrow_fits(graph.num_nodes()),
         }
+    }
+
+    /// Forces the wide (`u32`) label path even on small graphs. Counts are
+    /// identical either way; the property tests use this to exercise the
+    /// wide path without 65k-node instances.
+    ///
+    /// # Panics
+    /// Panics if the pool already holds samples (rows are stored at a
+    /// single width).
+    #[doc(hidden)]
+    pub fn with_wide_labels(mut self, wide: bool) -> Self {
+        assert!(self.rows.is_empty(), "label width is fixed once samples exist");
+        self.wide = wide || !narrow_fits(self.graph().num_nodes());
+        self
     }
 
     /// The underlying graph.
@@ -127,15 +257,13 @@ impl<'g> ComponentPool<'g> {
         }
         let n = self.graph().num_nodes();
         let sampler = self.sampler;
+        let wide = self.wide;
         if !self.config.parallel_generation(r - cur) {
             let mut uf = UnionFind::new(n);
             let mut labels = vec![0u32; n];
             for i in cur as u64..r as u64 {
                 let comps = sampler.sample_components(i, &mut uf, &mut labels);
-                self.rows.push(SampleRow::from_labels(
-                    std::mem::replace(&mut labels, vec![0u32; n]),
-                    comps,
-                ));
+                self.rows.push(SampleRow::build(&labels, comps, wide));
             }
             return;
         }
@@ -146,7 +274,7 @@ impl<'g> ComponentPool<'g> {
                     || (UnionFind::new(n), vec![0u32; n]),
                     |(uf, labels), i| {
                         let comps = sampler.sample_components(i, uf, labels);
-                        SampleRow::from_labels(std::mem::replace(labels, vec![0u32; n]), comps)
+                        SampleRow::build(labels, comps, wide)
                     },
                 )
                 .collect()
@@ -154,19 +282,31 @@ impl<'g> ComponentPool<'g> {
         self.rows.extend(new_rows);
     }
 
-    /// Component labels of sample `i` (one per node).
-    pub fn labels(&self, i: usize) -> &[u32] {
-        &self.rows[i].labels
+    /// Component labels of sample `i` (one per node), widened to `u32`.
+    pub fn labels(&self, i: usize) -> Vec<u32> {
+        let mut out = vec![0u32; self.graph().num_nodes()];
+        self.rows[i].labels_into(&mut out);
+        out
+    }
+
+    /// Writes the component labels of sample `i` into `out` (the
+    /// allocation-free form of [`ComponentPool::labels`]).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn labels_into(&self, i: usize, out: &mut [u32]) {
+        assert_eq!(out.len(), self.graph().num_nodes(), "labels buffer has wrong length");
+        self.rows[i].labels_into(out);
     }
 
     /// Members of the component with `label` in sample `i`.
-    pub fn component_members(&self, i: usize, label: u32) -> &[u32] {
-        self.rows[i].members(label)
+    pub fn component_members(&self, i: usize, label: u32) -> Vec<u32> {
+        self.rows[i].members_u32(label)
     }
 
     /// Number of components in sample `i`.
     pub fn component_count(&self, i: usize) -> usize {
-        self.rows[i].starts.len() - 1
+        self.rows[i].component_count()
     }
 
     /// For every node `u`, the number of samples in which `u` lies in the
@@ -184,7 +324,7 @@ impl<'g> ComponentPool<'g> {
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
-                accumulate_center_row(row, center, counts);
+                row.accumulate_center(center.index(), counts);
             }
         };
         chunked_counts(&self.config, &self.rows, n, n, accumulate, out);
@@ -249,7 +389,7 @@ impl<'g> ComponentPool<'g> {
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
         let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
-                accumulate_center_row(row, center, counts);
+                row.accumulate_center(center.index(), counts);
             }
         };
         chunked_counts(&self.config, &self.rows[lo..hi], n, n, accumulate, out);
@@ -273,7 +413,7 @@ impl<'g> ComponentPool<'g> {
             1,
             &mut (),
             || (),
-            |(), row| usize::from(row.labels[u.index()] == row.labels[v.index()]),
+            |(), row| usize::from(row.connected(u.index(), v.index())),
         )
     }
 
@@ -283,17 +423,6 @@ impl<'g> ComponentPool<'g> {
             return 0.0;
         }
         self.pair_count(u, v) as f64 / self.rows.len() as f64
-    }
-}
-
-/// One membership sweep: increments `counts[u]` for every member `u` of
-/// `center`'s component in `row` (the shared kernel of the single-center
-/// and ranged count queries).
-#[inline]
-fn accumulate_center_row(row: &SampleRow, center: NodeId, counts: &mut [u32]) {
-    let label = row.labels[center.index()];
-    for &u in row.members(label) {
-        counts[u as usize] += 1;
     }
 }
 
@@ -930,6 +1059,233 @@ impl WorldEngine for WorldPool<'_> {
     }
 }
 
+/// Finalized per-lane component labels of one 64-world block, at label
+/// width `L` — the structure that lets unlimited queries over the block run
+/// as O(n + members) label scans instead of mask BFS.
+///
+/// Labels are stored node-major with fixed stride [`LANES`]
+/// (`labels[u * LANES + l]` = `u`'s component in world `l`), so a center's
+/// 64 per-lane labels and a pair's two label strips are contiguous loads.
+/// The membership index is a single CSR over `(lane, label)` buckets:
+/// members of component `c` of lane `l` are
+/// `order[starts[b]..starts[b + 1]]` with `b = lane_base[l] + c`.
+///
+/// Lanes are labeled **append-only**: finalizing a partially filled block
+/// and topping it up later labels only the new lanes — already-labeled
+/// lanes are never recomputed (worlds are immutable once sampled).
+#[derive(Clone, Debug)]
+struct BlockLabels<L> {
+    /// Per-lane labels, node-major with stride [`LANES`] (sized `n · 64`
+    /// up front so lane appends are in-place writes).
+    labels: Vec<L>,
+    /// Node ids grouped by `(lane, label)` bucket; lane `l` owns
+    /// `order[l * n..(l + 1) * n]`.
+    order: Vec<L>,
+    /// Cumulative bucket offsets into `order` (one terminator overall).
+    starts: Vec<u32>,
+    /// `lane_base[l]` = index of lane `l`'s first bucket in `starts`.
+    lane_base: Vec<u32>,
+    /// Lanes labeled so far (a prefix of the block's lanes).
+    labeled: u32,
+}
+
+impl<L: Label> BlockLabels<L> {
+    fn new(n: usize) -> Self {
+        BlockLabels {
+            labels: vec![L::from_u32(0); n * LANES],
+            order: Vec::new(),
+            starts: vec![0],
+            lane_base: vec![0],
+            labeled: 0,
+        }
+    }
+
+    /// Labels lanes `[self.labeled, target)` from the block's edge masks
+    /// with one component-sharing sweep, then appends their membership
+    /// buckets. Already-labeled lanes are untouched.
+    fn extend(
+        &mut self,
+        graph: &UncertainGraph,
+        bfs: &mut MultiWorldBfs,
+        masks: &[u64],
+        target: usize,
+    ) {
+        let n = graph.num_nodes();
+        let from = self.labeled as usize;
+        debug_assert!(from < target && target <= LANES);
+        let new_mask = lane_mask(target) & !lane_mask(from);
+        let labels = &mut self.labels;
+        let counts = bfs.label_components(graph, masks, new_mask, |v, mask, next| {
+            let base = v.index() * LANES;
+            let mut bits = mask;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                labels[base + l] = L::from_u32(next[l]);
+            }
+        });
+        // Append the new lanes' membership buckets (counting sort per lane).
+        self.order.resize((target - from) * n + self.order.len(), L::from_u32(0));
+        let mut sizes: Vec<u32> = Vec::new();
+        let mut cursor: Vec<u32> = Vec::new();
+        for l in from..target {
+            let nb = counts[l] as usize;
+            sizes.clear();
+            sizes.resize(nb, 0);
+            for u in 0..n {
+                sizes[self.labels[u * LANES + l].index()] += 1;
+            }
+            let mut running = *self.starts.last().expect("starts holds its terminator");
+            cursor.clear();
+            for &s in &sizes {
+                cursor.push(running);
+                running += s;
+                self.starts.push(running);
+            }
+            for u in 0..n {
+                let c = self.labels[u * LANES + l].index();
+                self.order[cursor[c] as usize] = L::from_u32(u as u32);
+                cursor[c] += 1;
+            }
+            let base = *self.lane_base.last().expect("lane_base holds its terminator");
+            self.lane_base.push(base + nb as u32);
+        }
+        self.labeled = target as u32;
+    }
+
+    /// Increments `counts[u]` for every member `u` of `center`'s component
+    /// in every lane selected by `lanes` — the finalized-block kernel of
+    /// the unlimited count queries (`lanes` must be ⊆ the labeled lanes).
+    #[inline]
+    fn accumulate_center(&self, center: usize, lanes: u64, counts: &mut [u32]) {
+        let base = center * LANES;
+        let mut bits = lanes;
+        while bits != 0 {
+            let l = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let b = (self.lane_base[l] + self.labels[base + l].index() as u32) as usize;
+            for &u in &self.order[self.starts[b] as usize..self.starts[b + 1] as usize] {
+                counts[u.index()] += 1;
+            }
+        }
+    }
+
+    /// Number of lanes in `lanes` where `u` and `v` share a component
+    /// (`lanes` must be ⊆ the labeled lanes).
+    #[inline]
+    fn pair_lanes(&self, u: usize, v: usize, lanes: u64) -> usize {
+        let (bu, bv) = (u * LANES, v * LANES);
+        let mut hits = 0usize;
+        let mut bits = lanes;
+        while bits != 0 {
+            let l = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            hits += usize::from(self.labels[bu + l] == self.labels[bv + l]);
+        }
+        hits
+    }
+
+    /// Exact label-scan cost of a batched query — the total member count
+    /// of every `(center, lane)` component bucket — for the
+    /// [`crate::tuning::labels_beat_shared_masks`] dispatch.
+    fn batch_label_ops(&self, centers: &[NodeId], lanes: u64) -> usize {
+        let mut ops = 0usize;
+        for c in centers {
+            let base = c.index() * LANES;
+            let mut bits = lanes;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let b = (self.lane_base[l] + self.labels[base + l].index() as u32) as usize;
+                ops += (self.starts[b + 1] - self.starts[b]) as usize;
+            }
+        }
+        ops
+    }
+}
+
+/// [`BlockLabels`] at the width picked for the pool's node count.
+#[derive(Clone, Debug)]
+enum BlockLabelsAny {
+    Narrow(BlockLabels<u16>),
+    Wide(BlockLabels<u32>),
+}
+
+impl BlockLabelsAny {
+    fn new(n: usize, wide: bool) -> Self {
+        if wide {
+            BlockLabelsAny::Wide(BlockLabels::new(n))
+        } else {
+            BlockLabelsAny::Narrow(BlockLabels::new(n))
+        }
+    }
+
+    #[inline]
+    fn labeled(&self) -> u32 {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.labeled,
+            BlockLabelsAny::Wide(l) => l.labeled,
+        }
+    }
+
+    /// Lane mask of the labeled prefix.
+    #[inline]
+    fn labeled_mask(&self) -> u64 {
+        lane_mask(self.labeled() as usize)
+    }
+
+    fn extend(
+        &mut self,
+        graph: &UncertainGraph,
+        bfs: &mut MultiWorldBfs,
+        masks: &[u64],
+        target: usize,
+    ) {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.extend(graph, bfs, masks, target),
+            BlockLabelsAny::Wide(l) => l.extend(graph, bfs, masks, target),
+        }
+    }
+
+    #[inline]
+    fn accumulate_center(&self, center: usize, lanes: u64, counts: &mut [u32]) {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.accumulate_center(center, lanes, counts),
+            BlockLabelsAny::Wide(l) => l.accumulate_center(center, lanes, counts),
+        }
+    }
+
+    #[inline]
+    fn pair_lanes(&self, u: usize, v: usize, lanes: u64) -> usize {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.pair_lanes(u, v, lanes),
+            BlockLabelsAny::Wide(l) => l.pair_lanes(u, v, lanes),
+        }
+    }
+
+    fn batch_label_ops(&self, centers: &[NodeId], lanes: u64) -> usize {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.batch_label_ops(centers, lanes),
+            BlockLabelsAny::Wide(l) => l.batch_label_ops(centers, lanes),
+        }
+    }
+}
+
+/// Shape of an unlimited-depth point query, as seen by the adaptive
+/// backend's finalization prologue: single-center **rows** finalize
+/// touched blocks eagerly, **pair** queries convert a block only after
+/// repeated hits ([`finalize_on_unlimited_query`]). Multi-center batches
+/// never go through the prologue — they neither finalize nor count toward
+/// the threshold (on finalized blocks the cost model often prefers the
+/// mask sharing sweep, so batch traffic is no evidence labels would pay
+/// off); they dispatch via [`crate::tuning::labels_beat_shared_masks`] on
+/// blocks other traffic finalized.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum UnlimitedShape {
+    Row,
+    Pair,
+}
+
 /// One block of up to [`LANES`] sampled worlds as per-edge presence masks.
 #[derive(Clone, Debug)]
 struct MaskBlock {
@@ -938,12 +1294,32 @@ struct MaskBlock {
     /// Number of valid lanes (worlds) in this block; only the last block
     /// of a pool can be partial.
     lanes: u32,
+    /// Lazily finalized component labels (adaptive mode only); covers the
+    /// first `labels.labeled()` lanes, never invalidated — a lane top-up
+    /// extends the labels, it does not recompute them.
+    labels: Option<BlockLabelsAny>,
+    /// Mask-path unlimited point queries absorbed while unfinalized — the
+    /// input of [`finalize_on_unlimited_query`].
+    mask_queries: u32,
 }
 
 impl MaskBlock {
     #[inline]
     fn lane_mask(&self) -> u64 {
         lane_mask(self.lanes as usize)
+    }
+
+    /// Splits a query's lane selection into (served-from-labels,
+    /// served-by-mask-BFS) parts.
+    #[inline]
+    fn split_lanes(&self, query: u64) -> (u64, u64) {
+        match &self.labels {
+            Some(l) => {
+                let labeled = l.labeled_mask();
+                (query & labeled, query & !labeled)
+            }
+            None => (0, query),
+        }
     }
 }
 
@@ -966,11 +1342,25 @@ pub struct BitParallelPool<'g> {
     /// Reusable multi-world BFS workspace for serial query paths; parallel
     /// chunks build their own.
     bfs: MultiWorldBfs,
+    /// Reusable `(block, lane mask)` work-item buffer of the ranged query
+    /// paths (allocation-free single-row queries).
+    items: Vec<(u32, u64)>,
+    /// Reusable `(block, label lanes, mask lanes)` dispatch plan of the
+    /// batched unlimited queries.
+    batch_plan: Vec<(u32, u64, u64)>,
+    /// Lazy per-block component-label finalization
+    /// ([`crate::EngineKind::Adaptive`]): off = pure-mask backend.
+    adaptive: bool,
+    /// `true` = `u32` block labels (see [`Label`]).
+    wide: bool,
+    /// Finalization counters (see [`EngineStats`]).
+    stats: EngineStats,
 }
 
 impl<'g> BitParallelPool<'g> {
-    /// Creates an empty bit-parallel pool over `graph` with master `seed`.
-    /// `threads = 0` uses all available cores.
+    /// Creates an empty **pure-mask** bit-parallel pool over `graph` with
+    /// master `seed` — every query runs mask BFS. `threads = 0` uses all
+    /// available cores.
     pub fn new(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
         BitParallelPool {
             sampler: WorldSampler::new(graph, seed),
@@ -978,7 +1368,56 @@ impl<'g> BitParallelPool<'g> {
             samples: 0,
             config: ThreadConfig::new(threads),
             bfs: MultiWorldBfs::new(graph.num_nodes()),
+            items: Vec::new(),
+            batch_plan: Vec::new(),
+            adaptive: false,
+            wide: !narrow_fits(graph.num_nodes()),
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Creates an **adaptive** pool: bit-parallel blocks plus lazy
+    /// per-block component-label finalization (see
+    /// [`BitParallelPool::with_finalization`]).
+    pub fn new_adaptive(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
+        Self::new(graph, seed, threads).with_finalization(true)
+    }
+
+    /// Enables or disables lazy block finalization: with it on, the first
+    /// unlimited-depth row query against a block materializes per-lane
+    /// component labels (one component-sharing fixpoint sweep, cached next
+    /// to the edge masks) and every later unlimited query over the block
+    /// runs as an O(n + members) label scan; point queries convert a block
+    /// only after repeated mask-path hits
+    /// ([`crate::tuning::finalize_on_unlimited_query`]). Counts are
+    /// identical either way — finalization trades label memory
+    /// (≈ one scalar component row per world) for mask traversals.
+    /// Disabling drops existing labels.
+    pub fn with_finalization(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        if !adaptive {
+            for block in &mut self.blocks {
+                block.labels = None;
+                block.mask_queries = 0;
+            }
+            self.stats = EngineStats::default();
+        }
+        self
+    }
+
+    /// Forces the wide (`u32`) label path even on small graphs (see
+    /// [`ComponentPool::with_wide_labels`]).
+    ///
+    /// # Panics
+    /// Panics if any block is already finalized.
+    #[doc(hidden)]
+    pub fn with_wide_labels(mut self, wide: bool) -> Self {
+        assert!(
+            self.blocks.iter().all(|b| b.labels.is_none()),
+            "label width is fixed once blocks are finalized"
+        );
+        self.wide = wide || !narrow_fits(self.graph().num_nodes());
+        self
     }
 
     /// The underlying graph.
@@ -996,6 +1435,11 @@ impl<'g> BitParallelPool<'g> {
         self.blocks.len()
     }
 
+    /// Finalization counters (all zero for pure-mask pools).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
+    }
+
     /// Presence mask of edge `e` in block `block` (bit `l` ⇔ the edge
     /// exists in world `block·64 + l`). Exposed for tests and diagnostics.
     pub fn edge_mask(&self, block: usize, e: usize) -> u64 {
@@ -1011,7 +1455,91 @@ impl<'g> BitParallelPool<'g> {
                 .sample_lane((base + lane) as u64, lane, &mut masks)
                 .expect("pool-sized mask buffer cannot mismatch");
         }
-        MaskBlock { masks, lanes: lanes as u32 }
+        MaskBlock { masks, lanes: lanes as u32, labels: None, mask_queries: 0 }
+    }
+
+    /// Finalization prologue of every unlimited-depth query over the
+    /// sample window `[lo, hi)`: decides per touched block whether to
+    /// materialize (or extend) its component labels before the query runs,
+    /// per the [`finalize_on_unlimited_query`] heuristic, and accounts the
+    /// query in [`EngineStats`]. Fresh blocks are labeled in parallel when
+    /// the batch is worth it; a partially labeled block (the grown trailing
+    /// block) extends **append-only** — labeled lanes are never recomputed.
+    fn prepare_unlimited(&mut self, lo: usize, hi: usize, shape: UnlimitedShape) {
+        if !self.adaptive || lo >= hi {
+            return;
+        }
+        let graph = self.sampler.graph();
+        let n = graph.num_nodes();
+        // CSR offsets into the block-label membership index are u32.
+        if n.saturating_mul(LANES) > u32::MAX as usize {
+            return;
+        }
+        let (mut label_q, mut mask_q) = (0usize, 0usize);
+        let mut todo: Vec<usize> = Vec::new();
+        for b in lo / LANES..=(hi - 1) / LANES {
+            let block = &mut self.blocks[b];
+            let labeled = block.labels.as_ref().map_or(0, BlockLabelsAny::labeled) as usize;
+            if labeled >= block.lanes as usize {
+                label_q += 1;
+            } else if finalize_on_unlimited_query(shape == UnlimitedShape::Row, block.mask_queries)
+            {
+                todo.push(b);
+                label_q += 1;
+            } else {
+                block.mask_queries += 1;
+                mask_q += 1;
+            }
+        }
+        self.stats.label_queries += label_q;
+        self.stats.mask_queries += mask_q;
+        if todo.is_empty() {
+            return;
+        }
+        // Fresh full finalizations are independent per block: build the
+        // label structures by value in parallel, then attach. Extensions of
+        // a partially labeled block (at most one — the trailing block) run
+        // serially on the pool's workspace.
+        let wide = self.wide;
+        let fresh: Vec<usize> =
+            todo.iter().copied().filter(|&b| self.blocks[b].labels.is_none()).collect();
+        if fresh.len() > 1 && self.config.parallel_generation(fresh.len() * LANES) {
+            let blocks: &[MaskBlock] = &self.blocks;
+            let built: Vec<(usize, BlockLabelsAny)> = self.config.run(|| {
+                fresh
+                    .par_iter()
+                    .map_init(
+                        || MultiWorldBfs::new(n),
+                        |bfs, &b| {
+                            let block = &blocks[b];
+                            let mut labels = BlockLabelsAny::new(n, wide);
+                            labels.extend(graph, bfs, &block.masks, block.lanes as usize);
+                            (b, labels)
+                        },
+                    )
+                    .collect()
+            });
+            for (b, labels) in built {
+                self.stats.finalized_blocks += 1;
+                self.stats.finalized_lanes += labels.labeled() as usize;
+                self.blocks[b].labels = Some(labels);
+            }
+        }
+        // Serial (and catch-up) path: blocks the parallel branch already
+        // attached are fully labeled and fall through both updates.
+        for &b in &todo {
+            let block = &mut self.blocks[b];
+            let labels = block.labels.get_or_insert_with(|| BlockLabelsAny::new(n, wide));
+            let before = labels.labeled() as usize;
+            if before == 0 {
+                self.stats.finalized_blocks += 1;
+            }
+            let target = block.lanes as usize;
+            if before < target {
+                labels.extend(graph, &mut self.bfs, &block.masks, target);
+                self.stats.finalized_lanes += target - before;
+            }
+        }
     }
 
     /// Grows the pool to at least `r` samples (no-op if already there).
@@ -1056,37 +1584,15 @@ impl<'g> BitParallelPool<'g> {
     }
 
     /// For every node `u`, the number of samples in which `u` is connected
-    /// to `center` — one connectivity-fixpoint traversal per 64-world
-    /// block, popcounting the final reach masks.
+    /// to `center` — per 64-world block, an O(n + members) label scan when
+    /// the block is finalized (adaptive mode), otherwise one
+    /// connectivity-fixpoint traversal popcounting the final reach masks.
     ///
     /// # Panics
     /// Panics if `out.len() != n`.
     pub fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
-        let graph = sampler.graph();
-        let n = graph.num_nodes();
-        assert_eq!(out.len(), n, "counts buffer has wrong length");
-        let per_block = n + 2 * graph.num_edges();
-        chunked_counts_with(
-            config,
-            blocks,
-            n,
-            per_block,
-            bfs,
-            || MultiWorldBfs::new(n),
-            |counts, bfs, blocks| {
-                for block in blocks {
-                    bfs.run_unlimited(
-                        graph,
-                        &block.masks,
-                        center,
-                        block.lane_mask(),
-                        |node, mask| counts[node.index()] += mask.count_ones(),
-                    );
-                }
-            },
-            out,
-        );
+        let samples = self.samples;
+        self.counts_from_center_range(center, 0, samples, out)
     }
 
     /// Batched [`BitParallelPool::counts_from_center`]: one count row per
@@ -1143,7 +1649,44 @@ impl<'g> BitParallelPool<'g> {
         if k == 1 {
             return BitParallelPool::counts_from_center_range(self, centers[0], lo, hi, out);
         }
-        let items = Self::range_blocks(lo, hi);
+        // Plan the per-block dispatch serially (batches never finalize —
+        // that is the single-row/pair paths' job): a fully labeled block
+        // goes to label scans only when the exact cost model prefers them
+        // over the sharing sweep; a block with any unlabeled lanes runs
+        // the sweep for *all* its lanes, because the traversal must run
+        // anyway and folding labeled lanes into it is nearly free. Doing
+        // this up front keeps the stats exact — a batch block-query counts
+        // as label-served only if labels actually serve it.
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
+        let mut plan = std::mem::take(&mut self.batch_plan);
+        plan.clear();
+        let (mut label_q, mut mask_q) = (0usize, 0usize);
+        for &(b, lanes) in &items {
+            let block = &self.blocks[b as usize];
+            let (labeled, masked) = block.split_lanes(lanes);
+            let use_labels = masked == 0
+                && labeled != 0
+                && block.labels.as_ref().is_some_and(|labels| {
+                    crate::tuning::labels_beat_shared_masks(
+                        labels.batch_label_ops(centers, labeled),
+                        n,
+                        self.graph().num_edges(),
+                        k,
+                    )
+                });
+            if use_labels {
+                label_q += 1;
+                plan.push((b, labeled, 0));
+            } else {
+                mask_q += 1;
+                plan.push((b, 0, lanes));
+            }
+        }
+        if self.adaptive {
+            self.stats.label_queries += label_q;
+            self.stats.mask_queries += mask_q;
+        }
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
@@ -1154,18 +1697,32 @@ impl<'g> BitParallelPool<'g> {
         let mut serial_ws = (std::mem::replace(bfs, MultiWorldBfs::new(0)), Vec::new(), Vec::new());
         chunked_counts_with(
             config,
-            &items,
+            &plan,
             k * n,
             per_block + k * n,
             &mut serial_ws,
             || (MultiWorldBfs::new(n), Vec::new(), Vec::new()),
-            |counts, (bfs, todo, reach), items: &[(u32, u64)]| {
+            |counts, (bfs, todo, reach), plan: &[(u32, u64, u64)]| {
                 let todo: &mut Vec<u64> = todo;
                 let reach: &mut Vec<(u32, u64)> = reach;
-                for &(b, lanes) in items {
+                for &(b, labeled, masked) in plan {
                     let block = &blocks[b as usize];
+                    if labeled != 0 {
+                        let labels = block.labels.as_ref().expect("planned labels exist");
+                        for (j, c) in centers.iter().enumerate() {
+                            labels.accumulate_center(
+                                c.index(),
+                                labeled,
+                                &mut counts[j * n..(j + 1) * n],
+                            );
+                        }
+                    }
+                    if masked == 0 {
+                        continue;
+                    }
+                    // Mask lanes: component-sharing traversal sweep.
                     todo.clear();
-                    todo.resize(k, lanes);
+                    todo.resize(k, masked);
                     for j in 0..k {
                         let m = todo[j];
                         if m == 0 {
@@ -1196,6 +1753,8 @@ impl<'g> BitParallelPool<'g> {
         );
         // Restore the persistent serial workspace.
         *bfs = serial_ws.0;
+        self.items = items;
+        self.batch_plan = plan;
     }
 
     /// [`BitParallelPool::counts_from_center`] restricted to the samples
@@ -1215,7 +1774,9 @@ impl<'g> BitParallelPool<'g> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        let items = Self::range_blocks(lo, hi);
+        self.prepare_unlimited(lo, hi, UnlimitedShape::Row);
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
@@ -1229,31 +1790,41 @@ impl<'g> BitParallelPool<'g> {
             || MultiWorldBfs::new(n),
             |counts, bfs, items| {
                 for &(b, mask) in items {
-                    bfs.run_unlimited(graph, &blocks[b as usize].masks, center, mask, |node, m| {
-                        counts[node.index()] += m.count_ones();
-                    });
+                    let block = &blocks[b as usize];
+                    let (labeled, masked) = block.split_lanes(mask);
+                    if labeled != 0 {
+                        let labels = block.labels.as_ref().expect("labeled lanes imply labels");
+                        labels.accumulate_center(center.index(), labeled, counts);
+                    }
+                    if masked != 0 {
+                        bfs.run_unlimited(graph, &block.masks, center, masked, |node, m| {
+                            counts[node.index()] += m.count_ones();
+                        });
+                    }
                 }
             },
             out,
         );
+        self.items = items;
     }
 
     /// The blocks overlapping sample range `[lo, hi)`, each with the lane
-    /// mask selecting exactly the in-range worlds of that block.
-    fn range_blocks(lo: usize, hi: usize) -> Vec<(u32, u64)> {
+    /// mask selecting exactly the in-range worlds of that block, written
+    /// into `out` (reused across queries to keep single-row queries
+    /// allocation-free).
+    fn range_blocks_into(lo: usize, hi: usize, out: &mut Vec<(u32, u64)>) {
+        out.clear();
         if lo >= hi {
-            return Vec::new();
+            return;
         }
         let first = lo / LANES;
         let last = (hi - 1) / LANES;
-        (first..=last)
-            .map(|b| {
-                let base = b * LANES;
-                let s = lo.max(base) - base;
-                let e = hi.min(base + LANES) - base;
-                (b as u32, lane_mask(e) & !lane_mask(s))
-            })
-            .collect()
+        out.extend((first..=last).map(|b| {
+            let base = b * LANES;
+            let s = lo.max(base) - base;
+            let e = hi.min(base + LANES) - base;
+            (b as u32, lane_mask(e) & !lane_mask(s))
+        }));
     }
 
     /// Number of samples where `u` and `v` are connected.
@@ -1270,23 +1841,37 @@ impl<'g> BitParallelPool<'g> {
     /// Panics if `lo > hi` or `hi > num_samples()`.
     pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        let items = Self::range_blocks(lo, hi);
+        self.prepare_unlimited(lo, hi, UnlimitedShape::Pair);
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
-        chunked_sum_with(
+        let total = chunked_sum_with(
             config,
             &items,
             per_block,
             bfs,
             || MultiWorldBfs::new(n),
             |bfs, &(b, mask)| {
-                bfs.run_unlimited(graph, &blocks[b as usize].masks, u, mask, |_, _| {});
-                bfs.reach(v).count_ones() as usize
+                let block = &blocks[b as usize];
+                let (labeled, masked) = block.split_lanes(mask);
+                let mut hits = 0usize;
+                if labeled != 0 {
+                    let labels = block.labels.as_ref().expect("labeled lanes imply labels");
+                    hits += labels.pair_lanes(u.index(), v.index(), labeled);
+                }
+                if masked != 0 {
+                    bfs.run_unlimited(graph, &block.masks, u, masked, |_, _| {});
+                    hits += bfs.reach(v).count_ones() as usize;
+                }
+                hits
             },
-        )
+        );
+        self.items = items;
+        total
     }
 
     /// Depth-limited connection counts from `center` (same contract as
@@ -1399,7 +1984,8 @@ impl<'g> BitParallelPool<'g> {
             out_select.copy_from_slice(out_cover);
             return;
         }
-        let items = Self::range_blocks(lo, hi);
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
@@ -1437,6 +2023,7 @@ impl<'g> BitParallelPool<'g> {
                 cov_group,
             );
         }
+        self.items = items;
     }
 
     /// [`BitParallelPool::counts_within_depths`] restricted to the samples
@@ -1467,7 +2054,8 @@ impl<'g> BitParallelPool<'g> {
             out_select.copy_from_slice(out_cover);
             return;
         }
-        let items = Self::range_blocks(lo, hi);
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
@@ -1500,6 +2088,7 @@ impl<'g> BitParallelPool<'g> {
             out_select,
             out_cover,
         );
+        self.items = items;
     }
 
     /// Number of samples where `dist(u, v) ≤ depth`.
@@ -1525,13 +2114,14 @@ impl<'g> BitParallelPool<'g> {
             return self.pair_count_range(u, v, lo, hi);
         }
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        let items = Self::range_blocks(lo, hi);
+        let mut items = std::mem::take(&mut self.items);
+        Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
         let graph = sampler.graph();
         let blocks: &[MaskBlock] = blocks;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
-        chunked_sum_with(
+        let total = chunked_sum_with(
             config,
             &items,
             per_block,
@@ -1546,7 +2136,9 @@ impl<'g> BitParallelPool<'g> {
                 });
                 hit.count_ones() as usize
             },
-        )
+        );
+        self.items = items;
+        total
     }
 
     /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
@@ -1565,6 +2157,10 @@ impl WorldEngine for BitParallelPool<'_> {
 
     fn num_samples(&self) -> usize {
         BitParallelPool::num_samples(self)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        BitParallelPool::engine_stats(self)
     }
 
     fn ensure(&mut self, r: usize) {
@@ -1735,7 +2331,7 @@ mod tests {
             for c in 0..pool.component_count(i) as u32 {
                 let members = pool.component_members(i, c);
                 assert!(!members.is_empty());
-                for &u in members {
+                for u in members {
                     assert_eq!(labels[u as usize], c);
                 }
             }
@@ -2282,6 +2878,185 @@ mod tests {
                 assert_eq!(sum, full_d, "{name} ranged depth pair counts for ({u}, {v})");
             }
         }
+    }
+
+    // ───────────── adaptive finalization ─────────────
+
+    #[test]
+    fn adaptive_counts_match_scalar_and_pure_mask() {
+        let g = chain(11, 0.5);
+        let mut scalar = ComponentPool::new(&g, 6, 1);
+        let mut mask = BitParallelPool::new(&g, 6, 1);
+        let mut adaptive = BitParallelPool::new_adaptive(&g, 6, 1);
+        // 150 = 2 full blocks + a 22-lane tail.
+        scalar.ensure(150);
+        mask.ensure(150);
+        adaptive.ensure(150);
+        let mut a = vec![0u32; 11];
+        let mut b = vec![0u32; 11];
+        let mut c = vec![0u32; 11];
+        for center in 0..11u32 {
+            scalar.counts_from_center(NodeId(center), &mut a);
+            mask.counts_from_center(NodeId(center), &mut b);
+            adaptive.counts_from_center(NodeId(center), &mut c);
+            assert_eq!(a, b, "mask center {center}");
+            assert_eq!(a, c, "adaptive center {center}");
+            for v in 0..11u32 {
+                assert_eq!(
+                    scalar.pair_count(NodeId(center), NodeId(v)),
+                    adaptive.pair_count(NodeId(center), NodeId(v)),
+                    "pair ({center},{v})"
+                );
+            }
+        }
+        let stats = adaptive.engine_stats();
+        assert_eq!(stats.finalized_blocks, 3, "{stats:?}");
+        assert_eq!(stats.finalized_lanes, 150, "{stats:?}");
+        assert!(stats.label_queries > 0);
+        assert_eq!(mask.engine_stats(), EngineStats::default(), "pure-mask pool reports no stats");
+    }
+
+    #[test]
+    fn depth_only_workload_never_finalizes() {
+        let g = chain(9, 0.6);
+        let mut pool = BitParallelPool::new_adaptive(&g, 4, 1);
+        pool.ensure(130);
+        let (mut sel, mut cov) = (vec![0u32; 9], vec![0u32; 9]);
+        for center in 0..9u32 {
+            pool.counts_within_depths(NodeId(center), 2, 4, &mut sel, &mut cov);
+        }
+        pool.pair_count_within(NodeId(0), NodeId(5), 3);
+        assert_eq!(pool.engine_stats(), EngineStats::default(), "finite depths must stay on masks");
+    }
+
+    #[test]
+    fn growth_never_relabels_finalized_blocks() {
+        let g = chain(8, 0.5);
+        let mut pool = BitParallelPool::new_adaptive(&g, 12, 1);
+        let mut counts = vec![0u32; 8];
+        pool.ensure(64);
+        pool.counts_from_center(NodeId(0), &mut counts);
+        let s1 = pool.engine_stats();
+        assert_eq!((s1.finalized_blocks, s1.finalized_lanes), (1, 64));
+        // Growing appends worlds; the already-finalized block keeps its
+        // labels (finalized_lanes counts every lane at most once, so any
+        // recomputation would overshoot the pool size).
+        pool.ensure(200);
+        pool.counts_from_center(NodeId(3), &mut counts);
+        let s2 = pool.engine_stats();
+        assert_eq!((s2.finalized_blocks, s2.finalized_lanes), (4, 200), "{s2:?}");
+        // A further query finalizes nothing new.
+        pool.counts_from_center(NodeId(5), &mut counts);
+        let s3 = pool.engine_stats();
+        assert_eq!((s3.finalized_blocks, s3.finalized_lanes), (4, 200), "{s3:?}");
+        assert_eq!(s3.label_queries, s2.label_queries + 4);
+    }
+
+    #[test]
+    fn partial_block_topup_extends_labels_append_only() {
+        let g = chain(7, 0.5);
+        let mut pool = BitParallelPool::new_adaptive(&g, 9, 1);
+        let mut counts = vec![0u32; 7];
+        // Finalize a 10-lane partial block...
+        pool.ensure(10);
+        pool.counts_from_center(NodeId(2), &mut counts);
+        let s1 = pool.engine_stats();
+        assert_eq!((s1.finalized_blocks, s1.finalized_lanes), (1, 10));
+        // ...top the same block up to 40 lanes: only the 30 new lanes are
+        // labeled, on the same block.
+        pool.ensure(40);
+        pool.counts_from_center(NodeId(2), &mut counts);
+        let s2 = pool.engine_stats();
+        assert_eq!((s2.finalized_blocks, s2.finalized_lanes), (1, 40), "{s2:?}");
+        // Counts still match a fresh scalar pool.
+        let mut scalar = ComponentPool::new(&g, 9, 1);
+        scalar.ensure(40);
+        let mut want = vec![0u32; 7];
+        scalar.counts_from_center(NodeId(2), &mut want);
+        assert_eq!(counts, want);
+    }
+
+    #[test]
+    fn cold_pair_queries_stay_on_masks_until_threshold() {
+        use crate::tuning::FINALIZE_AFTER_MASK_QUERIES;
+        let g = chain(6, 0.5);
+        let mut pool = BitParallelPool::new_adaptive(&g, 3, 1);
+        pool.ensure(64);
+        let want = {
+            let mut scalar = ComponentPool::new(&g, 3, 1);
+            scalar.ensure(64);
+            scalar.pair_count(NodeId(0), NodeId(4))
+        };
+        for i in 0..FINALIZE_AFTER_MASK_QUERIES {
+            assert_eq!(pool.pair_count(NodeId(0), NodeId(4)), want);
+            let s = pool.engine_stats();
+            assert_eq!(s.finalized_lanes, 0, "pair query {i} should stay on masks");
+            assert_eq!(s.mask_queries, i as usize + 1);
+        }
+        // The next pair query crosses the threshold and converts the block.
+        assert_eq!(pool.pair_count(NodeId(0), NodeId(4)), want);
+        let s = pool.engine_stats();
+        assert_eq!((s.finalized_blocks, s.finalized_lanes), (1, 64), "{s:?}");
+        assert_eq!(s.label_queries, 1);
+    }
+
+    #[test]
+    fn mixed_finalized_and_mask_blocks_answer_ranged_queries() {
+        let g = chain(10, 0.55);
+        let mut scalar = ComponentPool::new(&g, 21, 1);
+        let mut pool = BitParallelPool::new_adaptive(&g, 21, 1);
+        scalar.ensure(200);
+        pool.ensure(200);
+        // Finalize only block 1 (a row query restricted to its worlds).
+        let mut row = vec![0u32; 10];
+        pool.counts_from_center_range(NodeId(0), 64, 128, &mut row);
+        let s = pool.engine_stats();
+        assert_eq!((s.finalized_blocks, s.finalized_lanes), (1, 64));
+        // Pair queries spanning finalized and mask blocks agree with
+        // scalar for windows straddling both kinds.
+        for (lo, hi) in [(0usize, 200usize), (10, 130), (64, 128), (100, 190), (0, 64)] {
+            for (u, v) in [(0u32, 9u32), (3, 7)] {
+                assert_eq!(
+                    scalar.pair_count_range(NodeId(u), NodeId(v), lo, hi),
+                    pool.pair_count_range(NodeId(u), NodeId(v), lo, hi),
+                    "pair ({u},{v}) on [{lo},{hi})"
+                );
+            }
+        }
+        // Batched rows across the mixed pool agree too.
+        let centers: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut want = vec![0u32; 10 * 10];
+        let mut got = vec![0u32; 10 * 10];
+        scalar.counts_from_centers(&centers, &mut want);
+        pool.counts_from_centers(&centers, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wide_and_narrow_labels_agree() {
+        let g = chain(13, 0.5);
+        let mut narrow = ComponentPool::new(&g, 5, 1);
+        let mut wide = ComponentPool::new(&g, 5, 1).with_wide_labels(true);
+        narrow.ensure(90);
+        wide.ensure(90);
+        let mut a = vec![0u32; 13];
+        let mut b = vec![0u32; 13];
+        for c in 0..13u32 {
+            narrow.counts_from_center(NodeId(c), &mut a);
+            wide.counts_from_center(NodeId(c), &mut b);
+            assert_eq!(a, b, "scalar width mismatch at center {c}");
+        }
+        let mut bn = BitParallelPool::new_adaptive(&g, 5, 1);
+        let mut bw = BitParallelPool::new_adaptive(&g, 5, 1).with_wide_labels(true);
+        bn.ensure(90);
+        bw.ensure(90);
+        for c in 0..13u32 {
+            bn.counts_from_center(NodeId(c), &mut a);
+            bw.counts_from_center(NodeId(c), &mut b);
+            assert_eq!(a, b, "block-label width mismatch at center {c}");
+        }
+        assert_eq!(bn.engine_stats().finalized_lanes, 90);
+        assert_eq!(bw.engine_stats().finalized_lanes, 90);
     }
 
     #[test]

@@ -28,6 +28,53 @@ pub const MIN_PARALLEL_ITEMS: usize = 32;
 /// accumulation finishes in tens of microseconds on one core.
 pub const MIN_PARALLEL_WORK: usize = 1 << 16;
 
+/// Mask-path pair queries a 64-world block absorbs before the adaptive
+/// backend finalizes its component labels anyway.
+///
+/// Rationale: finalizing a block costs roughly one connectivity-fixpoint
+/// sweep over every component (≈ 2–3 single-source mask traversals) plus an
+/// `O(64·n)` bucket sort, while a *single* pair query costs one traversal —
+/// so a cold pair query should never pay full-block labeling. From the
+/// third pair query on, labeling would already have been cheaper in
+/// hindsight (finalized pair lookups are O(lanes) label compares), so the
+/// heuristic converts the block at that point.
+pub const FINALIZE_AFTER_MASK_QUERIES: u32 = 2;
+
+/// Decides whether an unlimited-depth query against a not-yet-finalized
+/// block of the adaptive backend should finalize its component labels
+/// first (see [`FINALIZE_AFTER_MASK_QUERIES`]).
+///
+/// Full-row queries (`counts_from_center*` and the batched/ranged forms)
+/// finalize **eagerly**: they traverse the whole block anyway, labeling
+/// costs little more than the query itself, and the clustering drivers
+/// re-query every pool many times — so the first row query converts the
+/// block and every later unlimited query runs at scalar-label speed.
+/// Pair queries stay on masks while the block has absorbed fewer than
+/// [`FINALIZE_AFTER_MASK_QUERIES`] of them; the next one converts it.
+#[inline]
+pub fn finalize_on_unlimited_query(full_row: bool, prior_mask_queries: u32) -> bool {
+    full_row || prior_mask_queries >= FINALIZE_AFTER_MASK_QUERIES
+}
+
+/// Cost model deciding whether a **batched** multi-center unlimited query
+/// over a finalized 64-world block should scan component labels or run the
+/// mask component-sharing sweep.
+///
+/// Label scans cost one increment per (center, lane, member) —
+/// `label_ops`, computable exactly from the finalized bucket sizes with
+/// `k · 64` lookups. The sharing sweep costs roughly one fixpoint
+/// traversal (`n + 2m` mask-word operations) plus one AND+popcount
+/// inherit pass per center (`k · n`), because inheriting answers all 64
+/// worlds per word. On supercritical instances (giant components,
+/// `label_ops ≈ 64 · k · n`) sharing wins decisively; on shattered
+/// subcritical blocks (`label_ops ≪ k · n`) the label scans win. Single
+/// rows and pair queries always prefer labels — with `k = 1` there is
+/// nothing for the traversal to amortize across.
+#[inline]
+pub fn labels_beat_shared_masks(label_ops: usize, n: usize, m: usize, k: usize) -> bool {
+    label_ops < n + 2 * m + k * n
+}
+
 /// A backend's rayon configuration, resolved **once** at pool
 /// construction — re-resolving the worker count (a syscall) or rebuilding
 /// a pinned pool on every query would burden the clustering inner loop.

@@ -447,6 +447,134 @@ proptest! {
         }
     }
 
+    /// The adaptive backend (bit-parallel + lazy block finalization) is
+    /// count-identical to both the scalar labels and the pure-mask pool
+    /// across arbitrary growth schedules that finalize blocks mid-request:
+    /// after each growth step a row query converts/extends the touched
+    /// blocks (non-multiple-of-64 tails included), and every query family
+    /// must keep agreeing on the resulting mixed finalized/unfinalized
+    /// pool.
+    #[test]
+    fn adaptive_counts_agree_across_growth_schedules(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(1usize..70, 1..4),
+        threads in thread_counts(),
+        picks in proptest::collection::vec(0u32..10, 1..6),
+    ) {
+        let n = g.num_nodes();
+        let centers: Vec<NodeId> = picks.iter().map(|&c| NodeId(c % n as u32)).collect();
+        let k = centers.len();
+        let mut scalar = ComponentPool::new(&g, seed, 1);
+        let mut mask = BitParallelPool::new(&g, seed, 1);
+        let mut adaptive = BitParallelPool::new_adaptive(&g, seed, threads);
+        let mut reached = 0usize;
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        for s in &steps {
+            let lo = reached;
+            reached += s;
+            scalar.ensure(reached);
+            mask.ensure(reached);
+            adaptive.ensure(reached);
+            // Single rows (finalizes the touched blocks mid-request)...
+            for c in 0..n as u32 {
+                scalar.counts_from_center(NodeId(c), &mut a);
+                adaptive.counts_from_center(NodeId(c), &mut b);
+                prop_assert_eq!(&a, &b, "center {} after growing to {}", c, reached);
+            }
+            // ...ranged rows over just the new window...
+            scalar.counts_from_center_range(centers[0], lo, reached, &mut a);
+            adaptive.counts_from_center_range(centers[0], lo, reached, &mut b);
+            prop_assert_eq!(&a, &b, "ranged window [{}, {})", lo, reached);
+            // ...batched rows, and pairs (label path on finalized blocks).
+            let mut wa = vec![0u32; k * n];
+            let mut wb = vec![0u32; k * n];
+            mask.counts_from_centers(&centers, &mut wa);
+            adaptive.counts_from_centers(&centers, &mut wb);
+            prop_assert_eq!(&wa, &wb, "batch at {} samples", reached);
+            for u in 0..n as u32 {
+                prop_assert_eq!(
+                    scalar.pair_count(NodeId(0), NodeId(u)),
+                    adaptive.pair_count(NodeId(0), NodeId(u)),
+                    "pair (0, {}) at {} samples", u, reached
+                );
+            }
+        }
+        // Every lane was labeled at most once across the whole schedule.
+        let stats = adaptive.engine_stats();
+        prop_assert!(stats.finalized_lanes <= reached,
+            "relabeling detected: {} lanes labeled, {} sampled", stats.finalized_lanes, reached);
+    }
+
+    /// The narrow (`u16`) and wide (`u32`) label widths are
+    /// count-identical, on the scalar rows and on the adaptive block
+    /// labels.
+    #[test]
+    fn label_widths_agree(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        r in sample_sizes(),
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let mut narrow = ComponentPool::new(&g, seed, threads);
+        let mut wide = ComponentPool::new(&g, seed, 1).with_wide_labels(true);
+        let mut bn = BitParallelPool::new_adaptive(&g, seed, 1);
+        let mut bw = BitParallelPool::new_adaptive(&g, seed, threads).with_wide_labels(true);
+        narrow.ensure(r);
+        wide.ensure(r);
+        bn.ensure(r);
+        bw.ensure(r);
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        for c in 0..n as u32 {
+            narrow.counts_from_center(NodeId(c), &mut a);
+            wide.counts_from_center(NodeId(c), &mut b);
+            prop_assert_eq!(&a, &b, "scalar widths differ at center {}", c);
+            bn.counts_from_center(NodeId(c), &mut a);
+            bw.counts_from_center(NodeId(c), &mut b);
+            prop_assert_eq!(&a, &b, "block-label widths differ at center {}", c);
+            prop_assert_eq!(
+                bn.pair_count(NodeId(0), NodeId(c)),
+                bw.pair_count(NodeId(0), NodeId(c)),
+                "pair (0, {}) widths differ", c
+            );
+        }
+    }
+
+    /// End to end through the oracle layer: the adaptive engine serves
+    /// bit-identical probability rows to the scalar and pure-mask engines
+    /// across an arbitrary prepare/query schedule.
+    #[test]
+    fn adaptive_oracle_rows_identical_to_scalar(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        qs in proptest::collection::vec(0.05f64..1.0, 1..4),
+    ) {
+        let n = g.num_nodes();
+        let schedule = SampleSchedule::practical();
+        let mut scalar = McOracle::with_engine(&g, seed, 1, schedule, 0.1, EngineKind::Scalar);
+        let mut adaptive =
+            McOracle::with_engine(&g, seed, 1, schedule, 0.1, EngineKind::Adaptive);
+        let (mut s1, mut c1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut s2, mut c2) = (vec![0.0; n], vec![0.0; n]);
+        for &q in &qs {
+            scalar.prepare(q);
+            adaptive.prepare(q);
+            for c in 0..n as u32 {
+                scalar.center_probs(NodeId(c), &mut s1, &mut c1);
+                adaptive.center_probs(NodeId(c), &mut s2, &mut c2);
+                prop_assert_eq!(&c1, &c2, "cover rows differ at center {} q {}", c, q);
+            }
+            prop_assert_eq!(
+                scalar.pair_prob(NodeId(0), NodeId(n as u32 - 1)),
+                adaptive.pair_prob(NodeId(0), NodeId(n as u32 - 1)),
+                "pair prob differs at q {}", q
+            );
+        }
+    }
+
     /// The trait-level estimates (the numbers the clustering algorithms
     /// actually consume) are bit-identical across backends.
     #[test]

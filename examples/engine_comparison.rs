@@ -1,5 +1,7 @@
 //! Backend selection on the `WorldEngine` seam: scalar per-world pools
-//! versus the bit-parallel block pool (64 worlds per machine word).
+//! versus the bit-parallel block pool (64 worlds per machine word)
+//! versus the adaptive backend (bit-parallel + lazy per-block
+//! component-label finalization, the default).
 //!
 //! Demonstrates (a) selecting the Monte-Carlo backend through
 //! `ClusterConfig::with_engine`, (b) that both backends produce
@@ -82,5 +84,39 @@ fn main() {
     println!(
         "  speedup      {:>9.1}x (single-core: pure bit-packing, no threads)",
         scalar_depth.as_secs_f64() / bit_depth.as_secs_f64().max(1e-12)
+    );
+
+    // ── 3. The adaptive backend: labels on demand ──────────────────────
+    // Unlimited-depth rows were the one workload where the pure-mask
+    // backend lost to scalar labels. The adaptive pool finalizes
+    // per-block component labels on the first row query and serves every
+    // later unlimited query at scalar-label speed, while keeping the
+    // bit-parallel generation and depth wins above.
+    let mut counts = vec![0u32; n];
+    let t = Instant::now();
+    let mut adaptive_pool = BitParallelPool::new_adaptive(&g, 3, 1);
+    adaptive_pool.ensure(samples);
+    adaptive_pool.counts_from_center(centers[0], &mut counts); // finalizes
+    let warm = Instant::now();
+    for &c in &centers {
+        adaptive_pool.counts_from_center(c, &mut counts);
+    }
+    let adaptive_warm = warm.elapsed();
+    let adaptive_total = t.elapsed();
+    let stats = adaptive_pool.engine_stats();
+    println!(
+        "\nadaptive unlimited rows, {samples} worlds, {} centers (after one-time \
+         finalization of {} blocks / {} lanes):",
+        centers.len(),
+        stats.finalized_blocks,
+        stats.finalized_lanes
+    );
+    println!(
+        "  warm queries {adaptive_warm:>10.2?}   (generation + finalize + all queries \
+         {adaptive_total:>.2?})"
+    );
+    println!(
+        "  {} block-queries served from labels, {} from masks",
+        stats.label_queries, stats.mask_queries
     );
 }

@@ -6,8 +6,10 @@
 //! ugraph stats    --input graph.txt
 //! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
 //!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+//!                 [--engine <scalar|bitparallel|adaptive>]
 //! ugraph sweep    --input graph.txt --algo <mcp|acp> --k-min A --k-max B
 //!                 [--depth D] [--seed N] [--samples N]
+//!                 [--engine <scalar|bitparallel|adaptive>]
 //! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
 //!                 [--ground-truth gt.txt] [--seed N]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
@@ -31,6 +33,7 @@ use ugraph::cluster::{ClusterConfig, ClusterRequest, Clustering, SolveResult, Ug
 use ugraph::datasets::DatasetSpec;
 use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
 use ugraph::metrics::{avpr, confusion, session_quality};
+use ugraph::sampling::EngineKind;
 use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
 
 fn main() -> ExitCode {
@@ -76,11 +79,19 @@ commands:
   stats     --input graph.txt
   cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
             [--depth D] [--inflation I] [--seed N] [--output out.tsv]
+            [--engine <scalar|bitparallel|adaptive>]
   sweep     --input graph.txt --algo <mcp|acp> --k-min A --k-max B
             [--depth D] [--seed N] [--samples N]
+            [--engine <scalar|bitparallel|adaptive>]
   evaluate  --input graph.txt --clustering out.tsv [--samples N]
             [--ground-truth gt.txt] [--seed N]
-  knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]";
+  knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]
+
+`--engine` picks the Monte-Carlo backend of the solver paths (default:
+adaptive — bit-parallel blocks with lazy component-label finalization);
+every backend returns identical results for a fixed seed. It is accepted
+everywhere but only affects `cluster` and `sweep` — `evaluate` always
+measures on the scalar evaluation pool.";
 
 /// Parsed flag set (strings resolved lazily per command).
 #[derive(Default, Debug)]
@@ -100,6 +111,7 @@ struct Options {
     seed: u64,
     samples: usize,
     source: Option<u32>,
+    engine: EngineKind,
 }
 
 impl Options {
@@ -125,6 +137,12 @@ impl Options {
                 "--seed" => o.seed = parse_num(&take()?, flag)?,
                 "--samples" => o.samples = parse_num(&take()?, flag)?,
                 "--source" => o.source = Some(parse_num(&take()?, flag)?),
+                "--engine" => {
+                    let v = take()?;
+                    o.engine = EngineKind::from_name(&v).ok_or(format!(
+                        "flag --engine: expected scalar, bitparallel, or adaptive, got '{v}'"
+                    ))?;
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -201,7 +219,7 @@ fn build_request(algo: &str, k: usize, depth: Option<u32>) -> Result<ClusterRequ
 fn cmd_cluster(o: &Options) -> Result<(), String> {
     let g = o.require_input()?;
     let algo = o.algo.as_deref().ok_or("--algo is required")?;
-    let cfg = ClusterConfig::default().with_seed(o.seed);
+    let cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
     let need_k = || o.k.ok_or(format!("--k is required for {algo}"));
     let clustering: Clustering = match (algo, o.depth) {
         ("mcp" | "acp", depth) => {
@@ -242,9 +260,11 @@ fn summarize_solve(r: &SolveResult) {
         ugraph::cluster::Objective::MinProb => "p_min",
         ugraph::cluster::Objective::AvgProb => "p_avg",
     };
+    let e = r.engine;
     eprintln!(
         "{}: {} guesses over {} samples (q = {:.4}, {objective} est {:.4}) in {:.2?}; row cache: \
-         {} hits, {} top-ups, {} full recomputes",
+         {} hits, {} top-ups, {} full recomputes; finalized {} block(s), {} label-served \
+         block-queries",
         r.request,
         r.guesses,
         r.samples_used,
@@ -253,7 +273,9 @@ fn summarize_solve(r: &SolveResult) {
         r.elapsed,
         c.hits,
         c.topups,
-        c.fulls
+        c.fulls,
+        e.finalized_blocks,
+        e.label_queries
     );
 }
 
@@ -265,11 +287,11 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     if k_min < 1 || k_max < k_min {
         return Err(format!("need 1 ≤ k-min ≤ k-max, got {k_min}..{k_max}"));
     }
-    let cfg = ClusterConfig::default().with_seed(o.seed);
+    let cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
     let mut session =
         UgraphSession::new(&g, cfg).map_err(|e| e.to_string())?.with_eval_samples(o.samples);
     println!(
-        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>10}",
+        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>10}",
         "k",
         "objective",
         "guesses",
@@ -279,6 +301,8 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         "hits",
         "top-ups",
         "fulls",
+        "fblk",
+        "lblq",
         "time"
     );
     for k in k_min..=k_max {
@@ -291,8 +315,10 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                     Some(d) => session.evaluate_depth(&r.clustering, d),
                 };
                 let c = r.row_cache;
+                let e = r.engine;
                 println!(
-                    "{:<4} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>10.2?}",
+                    "{:<4} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>6} {:>6} \
+                     {:>10.2?}",
                     k,
                     r.objective_estimate,
                     r.guesses,
@@ -302,6 +328,8 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                     c.hits,
                     c.topups,
                     c.fulls,
+                    e.finalized_blocks,
+                    e.label_queries,
                     r.elapsed
                 );
             }
@@ -319,6 +347,9 @@ fn cmd_evaluate(o: &Options) -> Result<(), String> {
     let clustering = read_clustering(BufReader::new(f), g.num_nodes())?;
     // One session pool serves both quality and AVPR (grow-only, seeded
     // independently of the solver pools).
+    // `--engine` is accepted but moot here: evaluation runs on the
+    // session's scalar eval pool (`avpr` needs its component labels), and
+    // no solver request is issued.
     let mut session = UgraphSession::new(&g, ClusterConfig::default().with_seed(o.seed))
         .map_err(|e| e.to_string())?
         .with_eval_samples(o.samples);

@@ -131,3 +131,63 @@ fn missing_required_flag_fails() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--input"), "{stderr}");
 }
+
+#[test]
+fn engine_flag_selects_count_identical_backends() {
+    let graph = small_graph_file();
+    let mut outputs = Vec::new();
+    for engine in ["scalar", "bitparallel", "adaptive"] {
+        let path = tmp(&format!("clustering-{engine}.tsv"));
+        let out = bin()
+            .args(["cluster", "--algo", "mcp", "--k", "2", "--seed", "5", "--engine", engine])
+            .arg("--output")
+            .arg(&path)
+            .arg("--input")
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{engine}: {}", String::from_utf8_lossy(&out.stderr));
+        outputs.push(std::fs::read_to_string(&path).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "scalar vs bitparallel clusterings differ");
+    assert_eq!(outputs[0], outputs[2], "scalar vs adaptive clusterings differ");
+
+    let out = bin()
+        .args(["cluster", "--algo", "mcp", "--k", "2", "--engine", "gpu", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "bogus engine name must be rejected");
+}
+
+#[test]
+fn sweep_reports_finalization_columns() {
+    let graph = small_graph_file();
+    let out = bin()
+        .args([
+            "sweep",
+            "--algo",
+            "mcp",
+            "--k-min",
+            "2",
+            "--k-max",
+            "3",
+            "--seed",
+            "2",
+            "--samples",
+            "64",
+            "--engine",
+            "adaptive",
+        ])
+        .arg("--input")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fblk") && stdout.contains("lblq"), "{stdout}");
+    // The adaptive sweep must actually have finalized blocks and served
+    // label queries somewhere in the table.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("finalized"), "{stderr}");
+}
