@@ -1,41 +1,181 @@
-//! Figure 4 (DBLP time vs k) as a Criterion benchmark: MCP across the
-//! scaled k grid, against one MCL run — demonstrating the paper's
-//! crossover (MCL cost explodes as k shrinks; MCP cost grows mildly
-//! with k).
+//! Figure 4's scaling axis under memory budgets: MCP on growing
+//! `LargeSparse` Erdős–Rényi instances (geometric skip sampling makes the
+//! inputs cheap to build at any size), each size solved through one
+//! [`UgraphSession`] with an unbounded ledger and again under shrinking
+//! byte budgets that force shard eviction and regeneration.
+//!
+//! Before any timing, an **equality gate** asserts that every budgeted
+//! run reproduces the unbounded clustering, assignment probabilities,
+//! guess trace, and sample count bit for bit, and that the budgeted
+//! session never held more bytes than its limit — a memory bound that
+//! changed answers would be meaningless.
+//!
+//! Besides the criterion group, the bench emits machine-readable results
+//! (wall ns, bytes held, shards evicted/regenerated per cell) to
+//! `BENCH_scaling.json` in the repository root, so the budget/time
+//! trade-off accumulates across PRs. Set `BENCH_SMOKE=1` for a fast CI
+//! smoke run (equality gates on, small sizes).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ugraph_bench::{run_algo, Algo};
+use ugraph_cluster::{ClusterConfig, ClusterRequest, SolveResult, UgraphSession};
 use ugraph_datasets::DatasetSpec;
 
-const SCALE: f64 = 0.01;
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+const SEED: u64 = 31;
+
+/// One (graph size, budget) cell of the sweep.
+struct Cell {
+    nodes: usize,
+    edges: usize,
+    /// Byte limit; `None` is the unbounded baseline.
+    budget: Option<usize>,
+    wall_ns: u128,
+    bytes_held: usize,
+    shards_evicted: u64,
+    shards_regenerated: u64,
+}
+
+/// Solves the k grid through one session under `budget`, returning the
+/// results and the filled-in cell.
+fn run_cell(
+    graph: &ugraph_graph::UncertainGraph,
+    ks: &[usize],
+    budget: Option<usize>,
+) -> (Vec<SolveResult>, Cell) {
+    let mut cfg = ClusterConfig::default().with_seed(SEED).with_threads(1);
+    if let Some(bytes) = budget {
+        cfg = cfg.with_memory_budget(bytes);
+    }
+    let t = Instant::now();
+    let mut session = UgraphSession::new(graph, cfg).expect("session");
+    let results: Vec<SolveResult> =
+        ks.iter().map(|&k| session.solve(ClusterRequest::mcp(k)).expect("mcp")).collect();
+    let wall_ns = t.elapsed().as_nanos();
+    let stats = session.stats();
+    let cell = Cell {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        budget,
+        wall_ns,
+        bytes_held: stats.bytes_held,
+        shards_evicted: stats.shards_evicted,
+        shards_regenerated: stats.shards_regenerated,
+    };
+    (results, cell)
+}
+
+/// Sweeps one graph size: unbounded baseline, then budgets at 1/2 and 1/8
+/// of the baseline's held bytes, equality-gated against the baseline.
+fn sweep_size(graph: &ugraph_graph::UncertainGraph, ks: &[usize]) -> Vec<Cell> {
+    let (baseline, base_cell) = run_cell(graph, ks, None);
+    assert_eq!(base_cell.shards_evicted, 0, "unbounded session must never evict");
+    let full_bytes = base_cell.bytes_held;
+    assert!(full_bytes > 0, "baseline session held no bytes");
+
+    let mut cells = vec![base_cell];
+    for divisor in [2usize, 8] {
+        let limit = (full_bytes / divisor).max(1);
+        let (got, cell) = run_cell(graph, ks, Some(limit));
+        // Equality gate: a memory bound must not change any answer.
+        for (b, g) in got.iter().zip(&baseline) {
+            assert_eq!(g.clustering, b.clustering, "budget {limit} diverges (n = {})", cell.nodes);
+            assert_eq!(g.assign_probs, b.assign_probs, "budget {limit}: probs diverge");
+            assert_eq!((g.guesses, g.samples_used), (b.guesses, b.samples_used));
+        }
+        assert!(
+            cell.bytes_held <= limit,
+            "budget {limit} overshot: {} bytes held (n = {})",
+            cell.bytes_held,
+            cell.nodes
+        );
+        // Below the baseline's footprint something must have been evicted
+        // and brought back.
+        if limit < full_bytes {
+            assert!(cell.shards_evicted > 0, "budget {limit} < {full_bytes} but nothing evicted");
+            assert!(cell.shards_regenerated > 0, "evicted shards were never regenerated");
+        }
+        cells.push(cell);
+    }
+    cells
+}
+
+fn write_scaling_json(cells: &[Cell], ks: &[usize], smoke: bool) {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let budget = c.budget.map_or("null".to_string(), |b| b.to_string());
+        rows.push_str(&format!(
+            "    {{\"nodes\": {}, \"edges\": {}, \"budget_bytes\": {}, \"wall_ns\": {}, \
+             \"bytes_held\": {}, \"shards_evicted\": {}, \"shards_regenerated\": {}}}",
+            c.nodes,
+            c.edges,
+            budget,
+            c.wall_ns,
+            c.bytes_held,
+            c.shards_evicted,
+            c.shards_regenerated
+        ));
+    }
+    let k_list: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig4_scaling\",\n  \"dataset\": \"LargeSparse\",\n  \
+         \"smoke\": {},\n  \"k_grid\": [{}],\n  \"cells\": [\n{}\n  ]\n}}\n",
+        smoke,
+        k_list.join(", "),
+        rows
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
 
 fn fig4(c: &mut Criterion) {
-    let d = DatasetSpec::Dblp { scale: SCALE }.generate(1);
-    let graph = d.graph;
-    let n = graph.num_nodes();
+    let smoke = smoke();
+    // Full-tier sizes keep the budgeted cells minutes-scale: regeneration
+    // overhead grows with shard bytes, so 10⁵-node instances (which the
+    // generator handles fine — see `er_skip_sampling_scales_to_sparse_
+    // instances`) would push a single 1/8-budget cell past practical
+    // bench time.
+    let sizes: &[usize] = if smoke { &[1_000, 3_000] } else { &[10_000, 30_000] };
+    let ks: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
 
+    let mut cells = Vec::new();
+    for &nodes in sizes {
+        let d = DatasetSpec::LargeSparse { nodes }.generate(SEED);
+        println!(
+            "LargeSparse({nodes}): LCC {} nodes / {} edges",
+            d.graph.num_nodes(),
+            d.graph.num_edges()
+        );
+        cells.extend(sweep_size(&d.graph, ks));
+    }
+    write_scaling_json(&cells, ks, smoke);
+
+    // Criterion timings on the smallest size: the unbounded session vs the
+    // tightest (1/8) budget — the regeneration overhead the bound costs.
+    let d = DatasetSpec::LargeSparse { nodes: sizes[0] }.generate(SEED);
+    let full_bytes = cells
+        .iter()
+        .find(|c| c.budget.is_none())
+        .map(|c| c.bytes_held)
+        .expect("baseline cell present");
     let mut group = c.benchmark_group("fig4_scaling");
     group.sample_size(10);
-
-    // Paper k grid scaled to this graph size.
-    for paper_k in [1818usize, 5274, 15576] {
-        let k = ((paper_k as f64 * SCALE).round() as usize).clamp(2, n - 1);
-        group.bench_with_input(BenchmarkId::new("mcp", format!("k{k}")), &graph, |b, g| {
-            b.iter(|| run_algo(g, Algo::Mcp, k, 1).map(|o| o.clustering.num_clusters()))
-        });
-    }
-    // MCL at the paper's DBLP inflations (k is an output, decreasing with
-    // inflation; lower inflation = denser flow = slower, as in the paper).
-    for inflation_x100 in [120u32, 130] {
+    for budget in [None, Some((full_bytes / 8).max(1))] {
+        let label = budget.map_or("unbounded".to_string(), |b| format!("{b}B"));
         group.bench_with_input(
-            BenchmarkId::new("mcl", format!("I{}", inflation_x100 as f64 / 100.0)),
-            &graph,
-            |b, g| {
-                b.iter(|| {
-                    run_algo(g, Algo::Mcl { inflation_x100 }, 0, 1)
-                        .map(|o| o.clustering.num_clusters())
-                })
-            },
+            BenchmarkId::new("mcp_session", format!("n{}_{label}", sizes[0])),
+            &budget,
+            |b, &budget| b.iter(|| run_cell(&d.graph, ks, budget).1.wall_ns),
         );
     }
     group.finish();

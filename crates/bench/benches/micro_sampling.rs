@@ -51,7 +51,7 @@ fn sampling(c: &mut Criterion) {
         pool.ensure(r);
         let mut counts = vec![0u32; n];
         group.throughput(Throughput::Elements(r as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(r), &pool, |b, pool| {
+        group.bench_function(BenchmarkId::from_parameter(r), |b| {
             let mut center = 0u32;
             b.iter(|| {
                 pool.counts_from_center(NodeId(center % n as u32), &mut counts);
@@ -144,7 +144,7 @@ fn parallel_oracle(c: &mut Criterion) {
         let mut pool = ComponentPool::new(&graph, SEED, threads);
         pool.ensure(SAMPLES);
         let mut counts = vec![0u32; n];
-        group.bench_with_input(BenchmarkId::new("counts_from_center", name), &pool, |b, pool| {
+        group.bench_function(BenchmarkId::new("counts_from_center", name), |b| {
             let mut center = 0u32;
             b.iter(|| {
                 pool.counts_from_center(NodeId(center % n as u32), &mut counts);

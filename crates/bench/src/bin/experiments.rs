@@ -194,7 +194,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
                 reference.ks[col]
             );
             let q = clustering_quality(&mut pool, &mcl_out.clustering);
-            let a = avpr(&pool, &mcl_out.clustering);
+            let a = avpr(&mut pool, &mcl_out.clustering);
             cells.push(GridCell {
                 algo: "mcl",
                 k,
@@ -211,7 +211,7 @@ fn figures(cfg: &HarnessConfig, which: &str) {
                 match run_algo(graph, algo, k_eff, cfg.seed) {
                     Some(out) => {
                         let q = clustering_quality(&mut pool, &out.clustering);
-                        let a = avpr(&pool, &out.clustering);
+                        let a = avpr(&mut pool, &out.clustering);
                         cells.push(GridCell {
                             algo: name,
                             k: k_eff,

@@ -119,7 +119,7 @@ pub fn evaluate(
 ) -> (Quality, Avpr) {
     let mut pool = ComponentPool::new(graph, seed ^ 0xEAA1_5EED, 0);
     pool.ensure(eval_samples);
-    (clustering_quality(&mut pool, clustering), avpr(&pool, clustering))
+    (clustering_quality(&mut pool, clustering), avpr(&mut pool, clustering))
 }
 
 /// Builds a reusable evaluation pool (when several clusterings are graded

@@ -88,6 +88,14 @@ pub struct ClusterConfig {
     /// decorrelate each family's samples. One-shot calls ignore the knob
     /// (a single-request session has nothing to share).
     pub shared_pool: bool,
+    /// Byte ceiling for sample storage and cached probability rows
+    /// (default `None` = unbounded). With a limit set, every oracle's
+    /// shard-granular pool charges a shared ledger; under pressure,
+    /// least-recently-used shards are evicted and regenerated on demand
+    /// from their per-index RNG streams. Results are **bit-identical**
+    /// under any budget — the knob trades time (regeneration sweeps) for
+    /// a hard memory bound.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -105,6 +113,7 @@ impl Default for ClusterConfig {
             engine: EngineKind::default(),
             row_cache: true,
             shared_pool: false,
+            memory_budget: None,
         }
     }
 }
@@ -130,6 +139,11 @@ impl ClusterConfig {
         if self.alpha == 0 {
             return Err(ClusterError::InvalidConfig {
                 message: "alpha must be at least 1".to_string(),
+            });
+        }
+        if self.memory_budget == Some(0) {
+            return Err(ClusterError::InvalidConfig {
+                message: "memory_budget must be positive (use None for unbounded)".to_string(),
             });
         }
         Ok(())
@@ -208,6 +222,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style setter for the memory budget in bytes (see
+    /// [`ClusterConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// The relaxed threshold actually compared against estimates:
     /// `(1 − ε/2) · q` (§4.1). With ε = 0 (exact oracles) this is `q`.
     #[inline]
@@ -242,6 +263,8 @@ mod tests {
         assert!(ClusterConfig::default().with_epsilon(-0.1).validate().is_err());
         assert!(ClusterConfig::default().with_epsilon(2.0).validate().is_err());
         assert!(ClusterConfig::default().with_alpha(0).validate().is_err());
+        assert!(ClusterConfig::default().with_memory_budget(0).validate().is_err());
+        assert!(ClusterConfig::default().with_memory_budget(1 << 30).validate().is_ok());
     }
 
     #[test]

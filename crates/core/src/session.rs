@@ -59,7 +59,7 @@ use ugraph_graph::{NodeId, UncertainGraph};
 use ugraph_sampling::rng::mix_seed;
 use ugraph_sampling::{
     assignment_probs, quality_from_probs, ComponentPool, DepthMcOracle, EngineStats, McOracle,
-    Oracle, RowCacheStats, WorldPool,
+    MemoryBudget, MemoryStats, Oracle, RowCacheStats, WorldPool,
 };
 
 use crate::acp::acp_with_oracle;
@@ -118,6 +118,10 @@ pub struct RequestRecord {
     /// Block-finalization counters of this request alone (adaptive
     /// backend only).
     pub engine: EngineStats,
+    /// Memory-ledger snapshot of this request alone: bytes held at
+    /// completion, plus shards evicted/regenerated while it ran (all
+    /// relevant only when [`ClusterConfig::memory_budget`] is set).
+    pub memory: MemoryStats,
     /// Wall-clock solve time.
     pub elapsed: Duration,
 }
@@ -143,6 +147,15 @@ pub struct SessionStats {
     /// shared-pool mode the MCP/ACP families collapse onto one per depth
     /// shape, which is where the `worlds_held` dedup comes from.
     pub solver_pools: usize,
+    /// Bytes currently charged to the session's shared memory ledger
+    /// (resident sample shards across every pool, plus cached rows).
+    pub bytes_held: usize,
+    /// Sample shards evicted under memory pressure across the session's
+    /// lifetime (0 without a [`ClusterConfig::memory_budget`]).
+    pub shards_evicted: u64,
+    /// Evicted shards regenerated bit-identically from their per-index
+    /// RNG streams when a query touched them again.
+    pub shards_regenerated: u64,
     /// Total wall-clock time spent in [`UgraphSession::solve`].
     pub solve_time: Duration,
     /// One record per successful solve request, in issue order.
@@ -155,7 +168,8 @@ impl fmt::Display for SessionStats {
             f,
             "{} request(s), {} evaluation(s), {} world(s) held in {} solver pool(s); row cache: \
              {} hits, {} top-ups, {} full recomputes; finalized {} block(s) / {} lane(s), {} \
-             label-served / {} mask-served block-queries; solve time {:.2?}",
+             label-served / {} mask-served block-queries; memory: {} byte(s) held, {} shard(s) \
+             evicted, {} regenerated; solve time {:.2?}",
             self.requests,
             self.evaluations,
             self.worlds_held,
@@ -167,6 +181,9 @@ impl fmt::Display for SessionStats {
             self.engine.finalized_lanes,
             self.engine.label_queries,
             self.engine.mask_queries,
+            self.bytes_held,
+            self.shards_evicted,
+            self.shards_regenerated,
             self.solve_time
         )
     }
@@ -201,6 +218,11 @@ pub struct UgraphSession<'g> {
     /// [`UgraphSession::evaluate_depth`] (same seed stream as `eval`, so
     /// both integrate the same sampled worlds).
     eval_depth: Option<WorldPool<'g>>,
+    /// One shared memory ledger for every solver oracle and evaluation
+    /// pool — bounded by [`ClusterConfig::memory_budget`], unbounded
+    /// (accounting only) otherwise. The shared recency clock makes shard
+    /// eviction LRU across all of the session's pools.
+    budget: MemoryBudget,
     eval_samples: usize,
     requests: usize,
     evaluations: usize,
@@ -218,12 +240,15 @@ impl<'g> UgraphSession<'g> {
     /// ranges (same validation as the one-shot entry points).
     pub fn new(graph: &'g UncertainGraph, config: ClusterConfig) -> Result<Self, ClusterError> {
         config.validate()?;
+        let budget =
+            config.memory_budget.map_or_else(MemoryBudget::unbounded, MemoryBudget::bounded);
         Ok(UgraphSession {
             graph,
             config,
             oracles: Vec::new(),
             eval: None,
             eval_depth: None,
+            budget,
             eval_samples: DEFAULT_EVAL_SAMPLES,
             requests: 0,
             evaluations: 0,
@@ -283,6 +308,7 @@ impl<'g> UgraphSession<'g> {
         };
         let idx = self.oracle_index(key)?;
         let config = self.config.clone();
+        let mem_before = self.budget.stats();
         let oracle = &mut self.oracles[idx].1;
         let cache_before = oracle.cache_stats();
         let engine_before = oracle.engine_stats();
@@ -326,6 +352,7 @@ impl<'g> UgraphSession<'g> {
             guesses: result.guesses,
             row_cache: result.row_cache,
             engine: result.engine,
+            memory: self.budget.stats().since(&mem_before),
             elapsed: result.elapsed,
         });
         Ok(result)
@@ -373,7 +400,13 @@ impl<'g> UgraphSession<'g> {
         assert_eq!(n, clustering.num_nodes(), "clustering and session disagree on n");
         self.evaluations += 1;
         let pool = self.eval_depth.get_or_insert_with(|| {
-            WorldPool::new(self.graph, mix_seed(self.config.seed, TAG_EVAL), self.config.threads)
+            let mut p = WorldPool::new(
+                self.graph,
+                mix_seed(self.config.seed, TAG_EVAL),
+                self.config.threads,
+            );
+            p.set_memory_budget(self.budget.clone());
+            p
         });
         pool.ensure(self.eval_samples);
         let samples = pool.num_samples();
@@ -398,11 +431,13 @@ impl<'g> UgraphSession<'g> {
 
     fn eval_pool_impl(&mut self) -> &mut ComponentPool<'g> {
         let pool = self.eval.get_or_insert_with(|| {
-            ComponentPool::new(
+            let mut p = ComponentPool::new(
                 self.graph,
                 mix_seed(self.config.seed, TAG_EVAL),
                 self.config.threads,
-            )
+            );
+            p.set_memory_budget(self.budget.clone());
+            p
         });
         pool.ensure(self.eval_samples);
         pool
@@ -422,6 +457,7 @@ impl<'g> UgraphSession<'g> {
         }
         worlds += self.eval.as_ref().map_or(0, |p| p.num_samples());
         worlds += self.eval_depth.as_ref().map_or(0, |p| p.num_samples());
+        let memory = self.budget.stats();
         SessionStats {
             requests: self.requests,
             evaluations: self.evaluations,
@@ -429,6 +465,9 @@ impl<'g> UgraphSession<'g> {
             row_cache,
             engine,
             solver_pools: self.oracles.len(),
+            bytes_held: memory.bytes_held,
+            shards_evicted: memory.shards_evicted,
+            shards_regenerated: memory.shards_regenerated,
             solve_time: self.solve_time,
             per_request: self.per_request.clone(),
         }
@@ -463,7 +502,8 @@ impl<'g> UgraphSession<'g> {
                     cfg.epsilon,
                     cfg.engine,
                 )
-                .with_row_cache(cfg.row_cache),
+                .with_row_cache(cfg.row_cache)
+                .with_memory_budget(self.budget.clone()),
             ),
             Some((d_select, d_cover)) => Box::new(
                 DepthMcOracle::with_engine(
@@ -476,7 +516,8 @@ impl<'g> UgraphSession<'g> {
                     d_cover,
                     cfg.engine,
                 )?
-                .with_row_cache(cfg.row_cache),
+                .with_row_cache(cfg.row_cache)
+                .with_memory_budget(self.budget.clone()),
             ),
         };
         self.oracles.push((key, oracle));
@@ -589,6 +630,42 @@ mod tests {
         // evaluations.
         assert_eq!(s.stats().evaluations, 3);
         assert_eq!(s.stats().worlds_held, 16);
+    }
+
+    #[test]
+    fn budgeted_session_is_bit_identical_and_stays_under_the_limit() {
+        let g = two_communities();
+        let cfg = ClusterConfig::default().with_seed(9);
+        let mut free = UgraphSession::new(&g, cfg.clone()).unwrap().with_eval_samples(64);
+        // A 4 KiB ceiling is far below what the solver pools want on even
+        // this tiny instance, forcing evict-and-regenerate cycles.
+        let mut tight =
+            UgraphSession::new(&g, cfg.with_memory_budget(4 << 10)).unwrap().with_eval_samples(64);
+        for k in [2usize, 3] {
+            let a = free.solve(ClusterRequest::mcp(k)).unwrap();
+            let b = tight.solve(ClusterRequest::mcp(k)).unwrap();
+            assert_eq!(a.clustering, b.clustering, "k={k}: budget changed the clustering");
+            assert_eq!(a.objective_estimate, b.objective_estimate);
+            assert_eq!(a.assign_probs, b.assign_probs);
+        }
+        let ca = free.solve(ClusterRequest::acp(2)).unwrap().clustering;
+        let cb = tight.solve(ClusterRequest::acp(2)).unwrap().clustering;
+        let qa = free.evaluate(&ca);
+        let qb = tight.evaluate(&cb);
+        assert_eq!(qa, qb, "evaluation must be budget-independent too");
+        let stats = tight.stats();
+        assert!(stats.shards_evicted > 0, "tight budget must evict: {stats}");
+        assert!(stats.shards_regenerated > 0, "requeried shards must regenerate: {stats}");
+        assert!(
+            stats.bytes_held <= 4 << 10,
+            "ledger over budget at rest: {} > {}",
+            stats.bytes_held,
+            4 << 10
+        );
+        assert!(stats.per_request.last().unwrap().memory.shards_regenerated > 0);
+        let free_stats = free.stats();
+        assert_eq!(free_stats.shards_evicted, 0, "unbounded session never evicts");
+        assert!(free_stats.bytes_held > 0, "ledger still accounts without a limit");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Budget-constrained smoke test (run explicitly in CI): a Krogan-like
+//! instance solved through a session whose memory budget is far below the
+//! pool footprint, forcing shard eviction and regeneration, must produce
+//! output identical to an unbounded session while honoring the byte
+//! limit.
+
+use ugraph_cluster::{ClusterConfig, ClusterRequest, UgraphSession};
+use ugraph_datasets::DatasetSpec;
+
+#[test]
+fn tiny_budget_evicts_regenerates_and_matches_unbounded_output() {
+    let d = DatasetSpec::Krogan.generate(2);
+    let graph = &d.graph;
+    // Fixed sample count keeps the smoke fast in debug builds; 1100
+    // samples span two 1024-world shard groups.
+    let base = ClusterConfig::default()
+        .with_seed(7)
+        .with_threads(1)
+        .with_schedule(ugraph_sampling::SampleSchedule::Fixed(1100));
+    const BUDGET: usize = 512 << 10; // 512 KiB, far below the pool footprint
+
+    let mut unbounded = UgraphSession::new(graph, base.clone()).expect("unbounded session");
+    let mut tight =
+        UgraphSession::new(graph, base.with_memory_budget(BUDGET)).expect("budgeted session");
+
+    for k in [3usize, 5] {
+        let want = unbounded.solve(ClusterRequest::mcp(k)).expect("unbounded mcp");
+        let got = tight.solve(ClusterRequest::mcp(k)).expect("budgeted mcp");
+        assert_eq!(got.clustering, want.clustering, "k = {k}: clustering diverged under budget");
+        assert_eq!(got.assign_probs, want.assign_probs, "k = {k}: probabilities diverged");
+        assert_eq!((got.guesses, got.samples_used), (want.guesses, want.samples_used));
+    }
+    let clustering = unbounded.solve(ClusterRequest::mcp(3)).expect("resolve").clustering;
+    let want_eval = unbounded.evaluate(&clustering);
+    let got_eval = tight.evaluate(&clustering);
+    assert_eq!(got_eval, want_eval, "evaluation diverged under budget");
+
+    let free = unbounded.stats();
+    let stats = tight.stats();
+    assert_eq!(free.shards_evicted, 0, "unbounded session must not evict");
+    assert!(stats.shards_evicted > 0, "512 KiB budget never evicted a shard");
+    assert!(stats.shards_regenerated > 0, "evicted shards were never regenerated");
+    assert!(
+        stats.bytes_held <= BUDGET,
+        "session holds {} bytes over the {BUDGET}-byte budget",
+        stats.bytes_held
+    );
+    println!(
+        "budget smoke: {} bytes held (limit {BUDGET}), {} shards evicted, {} regenerated",
+        stats.bytes_held, stats.shards_evicted, stats.shards_regenerated
+    );
+}

@@ -10,16 +10,45 @@ use crate::prob::ProbDistribution;
 
 /// `G(n, p_edge)` with edge probabilities drawn from `dist`.
 ///
-/// For dense `p_edge` the naive `O(n²)` pair scan is used; the generators
-/// here are calibration/test tools, not the benchmark datasets.
+/// Edges are drawn by **geometric skip sampling** (Batagelj–Brandes):
+/// rather than one Bernoulli draw per pair, the generator jumps straight
+/// to the next present edge — the gap between successive edges of the
+/// linearized upper triangle is geometric with parameter `p_edge` — so
+/// generation costs `O(n + m_expected)` instead of `Θ(n²)`. That makes
+/// sparse instances of hundreds of thousands of nodes (the scaling
+/// benches' input, see [`crate::DatasetSpec::LargeSparse`]) practical to
+/// build. The edge *set* equals a pair scan in distribution; the exact
+/// edges for a given seed differ from the old scan, but every generator
+/// remains fully deterministic in `(n, p_edge, dist, seed)`.
 pub fn erdos_renyi(n: usize, p_edge: f64, dist: ProbDistribution, seed: u64) -> UncertainGraph {
     assert!((0.0..=1.0).contains(&p_edge));
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
-    for u in 0..n as u32 {
-        for v in (u + 1)..n as u32 {
-            if rng.gen::<f64>() < p_edge {
-                b.add_edge(u, v, dist.sample(&mut rng)).expect("valid edge");
+    if n >= 2 && p_edge > 0.0 {
+        if p_edge >= 1.0 {
+            // Every pair present: the skip formula divides by ln(0).
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    b.add_edge(u, v, dist.sample(&mut rng)).expect("valid edge");
+                }
+            }
+        } else {
+            let log_q = (1.0 - p_edge).ln();
+            let n = n as u64;
+            // (w, v) walk the upper triangle row-major: w < v, row v.
+            let mut v: u64 = 1;
+            let mut w: i64 = -1;
+            while v < n {
+                let r: f64 = rng.gen(); // in [0, 1): 1 - r never 0
+                let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                w = w.saturating_add(1).saturating_add(skip);
+                while v < n && w >= v as i64 {
+                    w -= v as i64;
+                    v += 1;
+                }
+                if v < n {
+                    b.add_edge(w as u32, v as u32, dist.sample(&mut rng)).expect("valid edge");
+                }
             }
         }
     }
@@ -91,6 +120,24 @@ mod tests {
         let b = erdos_renyi(50, 0.2, ProbDistribution::KroganMixture, 9);
         assert_eq!(a.num_edges(), b.num_edges());
         assert_eq!(a.probs(), b.probs());
+    }
+
+    #[test]
+    fn er_skip_sampling_scales_to_sparse_instances() {
+        // 200k nodes at expected degree 8: a pair scan would visit 2·10¹⁰
+        // pairs; skip sampling builds it in O(n + m).
+        let n = 200_000;
+        let p = 8.0 / (n as f64 - 1.0);
+        let g = erdos_renyi(n, p, ProbDistribution::Uniform(0.1, 0.9), 42);
+        assert_eq!(g.num_nodes(), n);
+        let expected = p * (n as f64) * (n as f64 - 1.0) / 2.0;
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 6.0 * expected.sqrt(), "m = {m}, expected {expected}");
+        // Every edge is a valid upper-triangle pair with a valid prob.
+        for (_, u, v, p) in g.edges() {
+            assert!(u < v, "self-loop or flipped pair ({u}, {v})");
+            assert!((0.0..=1.0).contains(&p));
+        }
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum DatasetSpec {
         /// Fraction of the published node count to generate.
         scale: f64,
     },
+    /// Sparse Erdős–Rényi instance at expected degree 8 with uniform
+    /// `[0.1, 0.9]` edge probabilities — the scaling benches' input
+    /// (Figure 4's size axis). Built by geometric skip sampling
+    /// ([`crate::erdos_renyi`]), so generation is `O(n + m)` and graphs of
+    /// hundreds of thousands of nodes are practical.
+    LargeSparse {
+        /// Number of nodes before the LCC cut.
+        nodes: usize,
+    },
 }
 
 /// A generated dataset: LCC graph, name, and optional planted complexes
@@ -51,6 +60,8 @@ impl DatasetSpec {
             DatasetSpec::Dblp { .. } => {
                 (crate::dblp::DBLP_PAPER_NODES, crate::dblp::DBLP_PAPER_EDGES)
             }
+            // Not a Table 1 dataset: expected degree 8 ⇒ m = 4n.
+            DatasetSpec::LargeSparse { nodes } => (*nodes, 4 * nodes),
         }
     }
 
@@ -61,6 +72,7 @@ impl DatasetSpec {
             DatasetSpec::Gavin => "Gavin-like".to_string(),
             DatasetSpec::Krogan => "Krogan-like".to_string(),
             DatasetSpec::Dblp { scale } => format!("DBLP-like(x{scale})"),
+            DatasetSpec::LargeSparse { nodes } => format!("LargeSparse({nodes})"),
         }
     }
 
@@ -124,6 +136,19 @@ impl DatasetSpec {
             }
             DatasetSpec::Dblp { scale } => {
                 let g = dblp_like(&DblpConfig { scale: *scale, seed, ..Default::default() });
+                let lcc = largest_connected_component(&g);
+                GeneratedDataset { name: self.name(), graph: lcc.graph, ground_truth: None }
+            }
+            DatasetSpec::LargeSparse { nodes } => {
+                // Expected degree 8 keeps the LCC near-total while the graph
+                // stays sparse enough to sample at any size.
+                let p = 8.0 / (*nodes as f64 - 1.0).max(1.0);
+                let g = crate::erdos_renyi(
+                    *nodes,
+                    p.min(1.0),
+                    ProbDistribution::Uniform(0.1, 0.9),
+                    seed,
+                );
                 let lcc = largest_connected_component(&g);
                 GeneratedDataset { name: self.name(), graph: lcc.graph, ground_truth: None }
             }
@@ -226,6 +251,21 @@ mod tests {
         let d = DatasetSpec::Dblp { scale: 0.002 }.generate(1);
         assert!(d.ground_truth.is_none());
         assert!(d.graph.num_nodes() > 500);
+    }
+
+    #[test]
+    fn large_sparse_is_sparse_connected_and_near_target() {
+        let spec = DatasetSpec::LargeSparse { nodes: 20_000 };
+        let d = spec.generate(13);
+        let (want_n, want_m) = spec.paper_size();
+        // Expected degree 8 ⇒ the LCC keeps almost every node.
+        assert!(d.graph.num_nodes() as f64 >= 0.99 * want_n as f64, "LCC too small");
+        let m = d.graph.num_edges() as f64;
+        assert!((m - want_m as f64).abs() / want_m as f64 <= 0.05, "m = {m}, target {want_m}");
+        let (_, count) = connected_components(&d.graph);
+        assert_eq!(count, 1);
+        assert!(d.ground_truth.is_none());
+        assert_eq!(d.name, "LargeSparse(20000)");
     }
 
     #[test]

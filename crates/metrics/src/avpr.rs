@@ -43,12 +43,14 @@ fn pairs(c: u64) -> u64 {
 /// Computes inner/outer AVPR of `clustering` over the sample pool.
 ///
 /// Outlier (unassigned) nodes are excluded from both statistics, matching
-/// the paper's use on full clusterings.
+/// the paper's use on full clusterings. The pool is borrowed mutably
+/// because reading per-sample labels may regenerate evicted shards under
+/// a memory budget.
 ///
 /// # Panics
 /// Panics if the pool is empty or sized for a different graph.
 #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
-pub fn avpr(pool: &ComponentPool<'_>, clustering: &Clustering) -> Avpr {
+pub fn avpr(pool: &mut ComponentPool<'_>, clustering: &Clustering) -> Avpr {
     let n = pool.graph().num_nodes();
     assert_eq!(n, clustering.num_nodes(), "clustering and pool disagree on n");
     let r = pool.num_samples();
@@ -122,7 +124,7 @@ mod tests {
         let g = two_certain_triangles();
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(10);
-        let m = avpr(&pool, &community_clustering());
+        let m = avpr(&mut pool, &community_clustering());
         assert_eq!(m.inner, 1.0);
         assert_eq!(m.outer, 0.0);
     }
@@ -138,7 +140,7 @@ mod tests {
             vec![NodeId(0)],
             vec![Some(0), Some(0), Some(0), Some(0), Some(0), Some(0)],
         );
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         assert!((m.inner - 6.0 / 15.0).abs() < 1e-12);
         assert_eq!(m.outer, 0.0);
     }
@@ -153,7 +155,7 @@ mod tests {
             vec![NodeId(0), NodeId(2), NodeId(3)],
             vec![Some(0), Some(0), Some(1), Some(2), Some(2), Some(2)],
         );
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         // intra pairs: C(2,2)=1 + 0 + C(3,2)=3 -> all connected -> inner 1.
         assert_eq!(m.inner, 1.0);
         // cross pairs: total C(6,2)=15 - 4 = 11; connected cross = pairs
@@ -170,7 +172,7 @@ mod tests {
         let mut pool = ComponentPool::new(&g, 9, 1);
         pool.ensure(20_000);
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0)]);
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         assert!((m.inner - 0.5).abs() < 0.02, "inner {}", m.inner);
     }
 
@@ -181,7 +183,7 @@ mod tests {
         pool.ensure(5);
         // Only {0,1} clustered; the rest outliers.
         let c = Clustering::new(vec![NodeId(0)], vec![Some(0), Some(0), None, None, None, None]);
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         assert_eq!(m.inner, 1.0);
         assert_eq!(m.outer, 0.0, "no covered cross pairs exist");
     }
@@ -203,7 +205,7 @@ mod tests {
             vec![NodeId(1), NodeId(4)],
             vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)],
         );
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         let mut inner_sum = 0.0;
         let mut inner_cnt = 0usize;
         let mut outer_sum = 0.0;

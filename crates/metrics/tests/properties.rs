@@ -68,7 +68,7 @@ proptest! {
     fn avpr_matches_bruteforce((g, c) in graph_and_clustering(), seed in any::<u64>()) {
         let mut pool = ComponentPool::new(&g, seed, 1);
         pool.ensure(120);
-        let m = avpr(&pool, &c);
+        let m = avpr(&mut pool, &c);
         let n = g.num_nodes() as u32;
         let (mut is_, mut ic, mut os, mut oc) = (0.0f64, 0usize, 0.0f64, 0usize);
         for u in 0..n {

@@ -1,0 +1,230 @@
+//! Global memory budgets for sample storage.
+//!
+//! Pools store their samples in fixed-size **shards**
+//! ([`crate::SHARD_WORLDS`] worlds each). Every shard's bytes are charged
+//! against a shared [`MemoryBudget`] handle when the shard is materialized
+//! and released when it is evicted; when the ledger exceeds the configured
+//! limit, pools evict their least-recently-used shards until the ledger
+//! fits again. Because world `i` is always drawn from per-index RNG stream
+//! `i` (see [`crate::rng`]), an evicted shard is a pure function of
+//! `(graph, seed, shard index)` — eviction is cache management over
+//! deterministic regeneration, and every estimate stays **bit-identical**
+//! to the unbounded run.
+//!
+//! One budget is shared by every pool and row cache of a session: the
+//! handle is cheaply cloneable, and the recency clock it hands out orders
+//! shard use across all of them, so the eviction policy is LRU-ish across
+//! the whole session rather than per pool.
+
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct BudgetInner {
+    /// Byte ceiling; `None` = unbounded (ledger only).
+    limit: Option<usize>,
+    /// Bytes currently charged by live shards and cached rows.
+    held: usize,
+    /// Monotone recency clock handed out by [`MemoryBudget::touch`].
+    clock: u64,
+    /// Shards evicted across all pools sharing this budget.
+    evicted: u64,
+    /// Shards regenerated across all pools sharing this budget.
+    regenerated: u64,
+}
+
+/// Shared charge/release ledger with a byte limit and a recency clock —
+/// the coordination point of shard eviction (see the module docs).
+///
+/// Cloning shares the underlying ledger; [`MemoryBudget::default`] is
+/// unbounded (accounting without eviction pressure).
+#[derive(Clone, Debug, Default)]
+pub struct MemoryBudget {
+    inner: Arc<Mutex<BudgetInner>>,
+}
+
+impl MemoryBudget {
+    /// An unbounded budget: bytes are tracked, nothing is ever evicted.
+    pub fn unbounded() -> Self {
+        MemoryBudget::default()
+    }
+
+    /// A budget capped at `bytes`. Pools sharing the handle evict
+    /// least-recently-used shards whenever the ledger exceeds it.
+    pub fn bounded(bytes: usize) -> Self {
+        let budget = MemoryBudget::default();
+        budget.inner.lock().expect("budget lock poisoned").limit = Some(bytes);
+        budget
+    }
+
+    /// The byte ceiling (`None` = unbounded).
+    pub fn limit(&self) -> Option<usize> {
+        self.inner.lock().expect("budget lock poisoned").limit
+    }
+
+    /// Bytes currently charged against this budget.
+    pub fn bytes_held(&self) -> usize {
+        self.inner.lock().expect("budget lock poisoned").held
+    }
+
+    /// Charges `bytes` to the ledger (never blocks or fails — eviction is
+    /// the *pools'* reaction to an over-full ledger, via
+    /// [`MemoryBudget::over_budget`]).
+    pub fn charge(&self, bytes: usize) {
+        self.inner.lock().expect("budget lock poisoned").held += bytes;
+    }
+
+    /// Releases `bytes` from the ledger (saturating).
+    pub fn release(&self, bytes: usize) {
+        let mut inner = self.inner.lock().expect("budget lock poisoned");
+        inner.held = inner.held.saturating_sub(bytes);
+    }
+
+    /// Whether the ledger currently exceeds the limit.
+    pub fn over_budget(&self) -> bool {
+        let inner = self.inner.lock().expect("budget lock poisoned");
+        inner.limit.is_some_and(|l| inner.held > l)
+    }
+
+    /// Whether charging `bytes` more would push the ledger over the limit
+    /// — the admission test of the grow-only row caches, which cannot be
+    /// evicted and therefore must never be admitted past the ceiling.
+    pub fn would_exceed(&self, bytes: usize) -> bool {
+        let inner = self.inner.lock().expect("budget lock poisoned");
+        inner.limit.is_some_and(|l| inner.held.saturating_add(bytes) > l)
+    }
+
+    /// Advances and returns the recency clock; pools stamp a shard with
+    /// the returned tick on every touch, making eviction order
+    /// least-recently-used across every pool sharing the budget.
+    pub fn touch(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("budget lock poisoned");
+        inner.clock += 1;
+        inner.clock
+    }
+
+    /// Records one shard eviction (for [`MemoryBudget::stats`]).
+    pub fn note_eviction(&self) {
+        self.inner.lock().expect("budget lock poisoned").evicted += 1;
+    }
+
+    /// Records one shard regeneration (for [`MemoryBudget::stats`]).
+    pub fn note_regeneration(&self) {
+        self.inner.lock().expect("budget lock poisoned").regenerated += 1;
+    }
+
+    /// Snapshot of the ledger and the global eviction/regeneration
+    /// counters.
+    pub fn stats(&self) -> MemoryStats {
+        let inner = self.inner.lock().expect("budget lock poisoned");
+        MemoryStats {
+            bytes_held: inner.held,
+            bytes_limit: inner.limit,
+            shards_evicted: inner.evicted,
+            shards_regenerated: inner.regenerated,
+        }
+    }
+}
+
+/// Memory accounting snapshot — reported uniformly by every pool backend
+/// (via [`crate::WorldEngine::memory_stats`]) and by the shared budget
+/// ([`MemoryBudget::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes currently held (resident shards, plus cached rows when
+    /// reported by the budget).
+    pub bytes_held: usize,
+    /// Byte ceiling in force (`None` = unbounded).
+    pub bytes_limit: Option<usize>,
+    /// Shards evicted so far (cumulative).
+    pub shards_evicted: u64,
+    /// Shards regenerated from their RNG streams so far (cumulative).
+    pub shards_regenerated: u64,
+}
+
+impl MemoryStats {
+    /// Counters accumulated since `earlier` (a prior snapshot of the same
+    /// source). `bytes_held`/`bytes_limit` are gauges, not counters — the
+    /// later snapshot's values are kept as-is.
+    pub fn since(&self, earlier: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            bytes_held: self.bytes_held,
+            bytes_limit: self.bytes_limit,
+            shards_evicted: self.shards_evicted.saturating_sub(earlier.shards_evicted),
+            shards_regenerated: self.shards_regenerated.saturating_sub(earlier.shards_regenerated),
+        }
+    }
+
+    /// Element-wise sum with `other` (gauge `bytes_held` adds; the limit
+    /// keeps whichever side has one).
+    pub fn merged(&self, other: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            bytes_held: self.bytes_held + other.bytes_held,
+            bytes_limit: self.bytes_limit.or(other.bytes_limit),
+            shards_evicted: self.shards_evicted + other.shards_evicted,
+            shards_regenerated: self.shards_regenerated + other.shards_regenerated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_charge_and_release() {
+        let b = MemoryBudget::bounded(100);
+        assert_eq!(b.limit(), Some(100));
+        assert!(!b.over_budget());
+        b.charge(60);
+        assert_eq!(b.bytes_held(), 60);
+        assert!(!b.over_budget());
+        assert!(b.would_exceed(41));
+        assert!(!b.would_exceed(40));
+        b.charge(60);
+        assert!(b.over_budget());
+        b.release(80);
+        assert_eq!(b.bytes_held(), 40);
+        assert!(!b.over_budget());
+        b.release(1000); // saturates
+        assert_eq!(b.bytes_held(), 0);
+    }
+
+    #[test]
+    fn unbounded_budget_never_pressures() {
+        let b = MemoryBudget::unbounded();
+        b.charge(usize::MAX / 2);
+        assert!(!b.over_budget());
+        assert!(!b.would_exceed(usize::MAX / 2));
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn clones_share_the_ledger_and_clock() {
+        let a = MemoryBudget::bounded(10);
+        let b = a.clone();
+        a.charge(8);
+        assert_eq!(b.bytes_held(), 8);
+        let t1 = a.touch();
+        let t2 = b.touch();
+        assert!(t2 > t1, "clock must be monotone across clones");
+        b.note_eviction();
+        a.note_regeneration();
+        let s = a.stats();
+        assert_eq!((s.shards_evicted, s.shards_regenerated), (1, 1));
+    }
+
+    #[test]
+    fn stats_since_diffs_counters_and_keeps_gauges() {
+        let b = MemoryBudget::bounded(10);
+        b.charge(4);
+        b.note_eviction();
+        let before = b.stats();
+        b.note_eviction();
+        b.note_regeneration();
+        b.charge(2);
+        let d = b.stats().since(&before);
+        assert_eq!(d.bytes_held, 6);
+        assert_eq!(d.bytes_limit, Some(10));
+        assert_eq!((d.shards_evicted, d.shards_regenerated), (1, 1));
+    }
+}

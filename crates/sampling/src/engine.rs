@@ -28,6 +28,8 @@
 
 use ugraph_graph::{NodeId, UncertainGraph};
 
+use crate::budget::{MemoryBudget, MemoryStats};
+
 /// Depth value meaning "no hop limit" in [`WorldEngine`] queries.
 pub const DEPTH_UNLIMITED: u32 = u32::MAX;
 
@@ -82,8 +84,10 @@ pub struct EngineStats {
     /// 64-world blocks currently holding finalized component labels.
     pub finalized_blocks: usize,
     /// World lanes ever labeled. Monotone, and each lane is labeled **at
-    /// most once**: growing a pool appends new lanes but never relabels a
-    /// finalized one, so this counter never exceeds the pool size.
+    /// most once per residency**: growing a pool appends new lanes but
+    /// never relabels a finalized one. Shard eviction drops a block's
+    /// labels with its masks, so a lane of a regenerated shard counts
+    /// again when it re-finalizes.
     pub finalized_lanes: usize,
     /// Unlimited block-queries served from finalized labels.
     pub label_queries: usize,
@@ -158,6 +162,24 @@ pub trait WorldEngine {
     /// backends without lazy block finalization).
     fn engine_stats(&self) -> EngineStats {
         EngineStats::default()
+    }
+
+    /// Binds the pool's shard storage to a (possibly shared)
+    /// [`MemoryBudget`]: resident bytes move onto the new ledger, and from
+    /// then on the pool sheds least-recently-used shards whenever the
+    /// ledger exceeds its limit, regenerating them bit-identically from
+    /// their per-index RNG streams on the next touch. The default is a
+    /// no-op for engines without budgeted storage (e.g. the exact-oracle
+    /// adapter).
+    fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        let _ = budget;
+    }
+
+    /// Shard-storage memory accounting: resident bytes, the budget limit
+    /// in force, and this engine's cumulative eviction/regeneration
+    /// counters (all zero/unbounded for engines without budgeted storage).
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::default()
     }
 
     /// Grows the pool to at least `r` samples (no-op if already there).

@@ -31,7 +31,12 @@
 //! * the [`Oracle`] trait consumed by the clustering algorithms, with
 //!   Monte-Carlo implementations built on the engine seam;
 //! * the shared parallel-dispatch [`tuning`] heuristics used by every
-//!   backend.
+//!   backend;
+//! * sharded, memory-budgeted storage ([`budget`]): every backend
+//!   allocates in [`SHARD_WORLDS`]-world shards charged against a shared
+//!   [`MemoryBudget`]; under pressure, least-recently-used shards are
+//!   evicted and later regenerated **bit-identically** from their
+//!   per-index RNG streams.
 //!
 //! ## Example: estimating a reliability
 //!
@@ -59,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod budget;
 pub mod engine;
 pub mod error;
 pub mod exact;
@@ -71,11 +77,12 @@ pub mod tuning;
 pub mod world;
 
 pub use bounds::{harmonic, SampleSchedule};
+pub use budget::{MemoryBudget, MemoryStats};
 pub use engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 pub use error::SamplingError;
 pub use exact::ExactOracle;
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};
-pub use pool::{BitParallelPool, ComponentPool, WorldPool};
+pub use pool::{BitParallelPool, ComponentPool, WorldPool, SHARD_BLOCKS, SHARD_WORLDS};
 pub use queries::{
     assignment_probs, most_reliable_source, quality_from_probs, reliability_knn,
     reliability_knn_within, SourceObjective,

@@ -75,6 +75,7 @@ use std::collections::HashMap;
 use ugraph_graph::{NodeId, UncertainGraph};
 
 use crate::bounds::SampleSchedule;
+use crate::budget::{MemoryBudget, MemoryStats};
 use crate::engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::error::SamplingError;
 use crate::exact::ExactOracle;
@@ -135,24 +136,36 @@ struct CachedRow {
     cover: Vec<u32>,
 }
 
-/// Soft memory budget of one oracle's row cache, in `u32` count entries
-/// (2²⁸ entries = 1 GiB). Once the cache holds `budget / (n · rows per
-/// center)` distinct centers, further centers are computed without being
-/// cached — estimates are unchanged, only reuse stops growing. This is
-/// what keeps the ACP *Theory* invocation (`α = n`, every node a
-/// candidate center) from accumulating `O(n²)` cache memory on large
-/// graphs; already-admitted rows keep serving hits and top-ups.
+/// Default soft memory budget of one oracle's row cache, in `u32` count
+/// entries (2²⁸ entries = 1 GiB). Once the cache holds `budget / (n ·
+/// rows per center)` distinct centers, further centers are computed
+/// without being cached — estimates are unchanged, only reuse stops
+/// growing. This is what keeps the ACP *Theory* invocation (`α = n`,
+/// every node a candidate center) from accumulating `O(n²)` cache memory
+/// on large graphs; already-admitted rows keep serving hits and top-ups.
+/// When an explicit [`MemoryBudget`] is attached, the cap tightens to
+/// half that budget and every admitted row is charged to the shared
+/// ledger (see [`RowCache::set_budget`]).
 const ROW_CACHE_BUDGET_U32S: usize = 1 << 28;
 
 /// Per-center incremental count cache shared by the Monte-Carlo oracles.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct RowCache {
     rows: HashMap<u32, CachedRow>,
     stats: RowCacheStats,
     enabled: bool,
     /// Maximum number of distinct centers admitted, derived from
-    /// [`ROW_CACHE_BUDGET_U32S`] at construction.
+    /// [`ROW_CACHE_BUDGET_U32S`] at construction and tightened by
+    /// [`RowCache::set_budget`].
     max_rows: usize,
+    /// Approximate heap bytes of one admitted row (count entries only).
+    bytes_per_row: usize,
+    /// Bytes this cache has charged against `budget`.
+    bytes: usize,
+    /// Shared ledger the cached rows are charged to (unbounded by
+    /// default). Cached counts cannot be evicted — they are grow-only
+    /// prefixes — so the budget gates *admission* instead.
+    budget: MemoryBudget,
 }
 
 impl RowCache {
@@ -160,13 +173,57 @@ impl RowCache {
     /// vectors per admitted center.
     fn new(enabled: bool, n: usize, rows_per_center: usize) -> Self {
         let max_rows = ROW_CACHE_BUDGET_U32S / (n * rows_per_center).max(1);
-        RowCache { rows: HashMap::new(), stats: RowCacheStats::default(), enabled, max_rows }
+        RowCache {
+            rows: HashMap::new(),
+            stats: RowCacheStats::default(),
+            enabled,
+            max_rows,
+            bytes_per_row: n * rows_per_center * std::mem::size_of::<u32>(),
+            bytes: 0,
+            budget: MemoryBudget::unbounded(),
+        }
+    }
+
+    /// Attaches a shared memory budget: already-charged bytes move to the
+    /// new ledger, and — when the budget is bounded — the admission cap
+    /// tightens so cached rows claim at most **half** the limit, leaving
+    /// the rest for the (evictable) sample shards.
+    fn set_budget(&mut self, budget: MemoryBudget) {
+        self.budget.release(self.bytes);
+        budget.charge(self.bytes);
+        if let Some(limit) = budget.limit() {
+            self.max_rows = self.max_rows.min((limit / 2) / self.bytes_per_row.max(1));
+        }
+        self.budget = budget;
     }
 
     /// Whether `center`'s row may go through the cache: caching is on, and
-    /// the center is either already cached or the budget admits another.
+    /// the center is either already cached or the budget admits another
+    /// (row-count cap *and* ledger headroom — cached rows are grow-only,
+    /// so a row that would push the shared ledger past its limit is never
+    /// admitted).
     fn admits(&self, center: NodeId) -> bool {
-        self.enabled && (self.rows.len() < self.max_rows || self.rows.contains_key(&center.0))
+        self.enabled
+            && (self.rows.contains_key(&center.0)
+                || (self.rows.len() < self.max_rows
+                    && !self.budget.would_exceed(self.bytes_per_row)))
+    }
+
+    /// Inserts a freshly computed row, charging its bytes to the ledger
+    /// (only on first insertion for the center — batch paths may compute
+    /// a duplicate center twice and overwrite).
+    fn insert(&mut self, center: NodeId, row: CachedRow) {
+        if self.rows.insert(center.0, row).is_none() {
+            self.budget.charge(self.bytes_per_row);
+            self.bytes += self.bytes_per_row;
+        }
+    }
+
+    /// Drops every cached row and releases the charged bytes.
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.budget.release(self.bytes);
+        self.bytes = 0;
     }
 
     /// The cache-serve protocol, written once: returns the up-to-date row
@@ -204,6 +261,8 @@ impl RowCache {
             }
             Entry::Vacant(v) => {
                 self.stats.fulls += 1;
+                self.budget.charge(self.bytes_per_row);
+                self.bytes += self.bytes_per_row;
                 v.insert(full(ctx))
             }
         }
@@ -224,6 +283,12 @@ impl RowCache {
             Some(row) if row.covered < r_now => RowService::Topup { lo: row.covered },
             Some(_) | None => RowService::Miss,
         }
+    }
+}
+
+impl Drop for RowCache {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
     }
 }
 
@@ -459,6 +524,13 @@ pub trait Oracle {
     fn engine_stats(&self) -> EngineStats {
         EngineStats::default()
     }
+
+    /// Memory accounting of the backing engine plus this oracle's cached
+    /// rows (zero and unbounded for oracles without budgeted storage —
+    /// see [`MemoryStats`]).
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::default()
+    }
 }
 
 /// Monte-Carlo oracle for **unlimited** connection probabilities, backed by
@@ -541,8 +613,18 @@ impl<'g> McOracle<'g> {
     pub fn with_row_cache(mut self, enabled: bool) -> Self {
         self.cache.enabled = enabled;
         if !enabled {
-            self.cache.rows.clear();
+            self.cache.clear();
         }
+        self
+    }
+
+    /// Attaches a shared [`MemoryBudget`]: the backing engine charges its
+    /// sample shards to it (evicting least-recently-used shards under
+    /// pressure, bit-identically regenerated on demand) and the row cache
+    /// admits new centers only while the ledger has headroom.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.engine.set_memory_budget(budget.clone());
+        self.cache.set_budget(budget);
         self
     }
 
@@ -727,8 +809,8 @@ impl Oracle for McOracle<'_> {
                 let row = &batch[bi * n..(bi + 1) * n];
                 write_probs(row, r, &mut cover[j * n..(j + 1) * n]);
                 if cache.admits(centers[j]) {
-                    cache.rows.insert(
-                        centers[j].0,
+                    cache.insert(
+                        centers[j],
                         CachedRow { covered: r_now, select: Vec::new(), cover: row.to_vec() },
                     );
                 }
@@ -747,6 +829,12 @@ impl Oracle for McOracle<'_> {
 
     fn engine_stats(&self) -> EngineStats {
         self.engine.engine_stats()
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        let mut stats = self.engine.memory_stats();
+        stats.bytes_held += self.cache.bytes;
+        stats
     }
 }
 
@@ -871,8 +959,16 @@ impl<'g> DepthMcOracle<'g> {
     pub fn with_row_cache(mut self, enabled: bool) -> Self {
         self.cache.enabled = enabled;
         if !enabled {
-            self.cache.rows.clear();
+            self.cache.clear();
         }
+        self
+    }
+
+    /// Attaches a shared [`MemoryBudget`] (see
+    /// [`McOracle::with_memory_budget`]).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.engine.set_memory_budget(budget.clone());
+        self.cache.set_budget(budget);
         self
     }
 
@@ -1141,8 +1237,8 @@ impl Oracle for DepthMcOracle<'_> {
                 }
                 if cache.admits(centers[j]) {
                     let sel = if identical { Vec::new() } else { row_sel.to_vec() };
-                    cache.rows.insert(
-                        centers[j].0,
+                    cache.insert(
+                        centers[j],
                         CachedRow { covered: r_now, select: sel, cover: row_cov.to_vec() },
                     );
                 }
@@ -1159,6 +1255,12 @@ impl Oracle for DepthMcOracle<'_> {
 
     fn engine_stats(&self) -> EngineStats {
         self.engine.engine_stats()
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        let mut stats = self.engine.memory_stats();
+        stats.bytes_held += self.cache.bytes;
+        stats
     }
 }
 
@@ -1482,6 +1584,49 @@ mod tests {
         assert!(!c.admits(NodeId(1)), "budget exhausted: no new admissions");
         let disabled = RowCache::new(false, 4, 1);
         assert!(!disabled.admits(NodeId(0)));
+    }
+
+    #[test]
+    fn memory_budget_gates_cache_admission_and_charges_ledger() {
+        let g = chain(8, 0.6);
+        // A budget too small even for one shard: the cache is starved (no
+        // ledger headroom), yet estimates match the unbounded oracle —
+        // shards evict and regenerate bit-identically.
+        let tiny = MemoryBudget::bounded(64);
+        let mut starved = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1)
+            .with_memory_budget(tiny.clone());
+        starved.prepare(0.5);
+        let mut plain = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1);
+        plain.prepare(0.5);
+        let (mut s, mut c) = (vec![0.0; 8], vec![0.0; 8]);
+        let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
+        for u in 0..8u32 {
+            starved.center_probs(NodeId(u), &mut s, &mut c);
+            plain.center_probs(NodeId(u), &mut s2, &mut c2);
+            assert_eq!(c, c2, "budgeted estimates differ at center {u}");
+        }
+        assert_eq!(starved.cache.rows.len(), 0, "no headroom: nothing admitted");
+        assert!(starved.memory_stats().shards_evicted > 0, "tiny budget must evict");
+
+        // A roomy budget admits rows and charges them to the shared
+        // ledger; dropping the oracle releases everything.
+        let roomy = MemoryBudget::bounded(1 << 20);
+        let mut o = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1)
+            .with_memory_budget(roomy.clone());
+        o.prepare(0.5);
+        o.center_probs(NodeId(0), &mut s, &mut c);
+        o.center_probs(NodeId(1), &mut s, &mut c);
+        assert_eq!(o.cache.rows.len(), 2);
+        assert_eq!(o.cache.bytes, 2 * 32, "8-node u32 rows are 32 bytes each");
+        assert!(o.memory_stats().bytes_held >= 64);
+        assert!(roomy.bytes_held() >= 64);
+        drop(o);
+        assert_eq!(roomy.bytes_held(), 0, "dropping the oracle releases everything");
+
+        // set_budget tightens the admission cap to half the limit.
+        let mut cache = RowCache::new(true, 8, 1);
+        cache.set_budget(MemoryBudget::bounded(80)); // (80/2)/32 = 1 row
+        assert_eq!(cache.max_rows, 1);
     }
 
     #[test]

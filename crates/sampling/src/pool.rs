@@ -37,12 +37,57 @@ use ugraph_graph::{
     LANES, MAX_SOURCES,
 };
 
+use crate::budget::{MemoryBudget, MemoryStats};
 use crate::engine::{EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::tuning::{
     chunked_counts, chunked_counts2_with, chunked_counts_with, chunked_sum_with,
     finalize_on_unlimited_query, ThreadConfig,
 };
 use crate::world::WorldSampler;
+
+/// Blocks per shard of the bit-parallel backend — the granularity at which
+/// pool storage is allocated, charged against a [`MemoryBudget`], and
+/// evicted.
+pub const SHARD_BLOCKS: usize = 16;
+
+/// Worlds per shard (16 blocks × 64 lanes = 1,024), the shard granularity
+/// shared by all three backends so they report memory uniformly.
+pub const SHARD_WORLDS: usize = SHARD_BLOCKS * LANES;
+
+/// Residency metadata of one shard of a **scalar** pool (the shard's
+/// samples live in the pool's flat storage; evicted samples are replaced
+/// by empty placeholders so indices stay stable).
+#[derive(Clone, Debug, Default)]
+struct ShardMeta {
+    /// Heap bytes currently charged to the budget for this shard.
+    bytes: usize,
+    /// Recency stamp from [`MemoryBudget::touch`].
+    last_used: u64,
+    /// Whether the shard's samples are materialized.
+    resident: bool,
+}
+
+/// Index of the least-recently-used resident shard, by `(stamp, index)` —
+/// the deterministic victim order of the eviction loop.
+fn lru_victim<T>(
+    shards: &[T],
+    resident: impl Fn(&T) -> bool,
+    stamp: impl Fn(&T) -> u64,
+) -> Option<usize> {
+    shards
+        .iter()
+        .enumerate()
+        .filter(|(_, sh)| resident(sh))
+        .min_by_key(|&(s, sh)| (stamp(sh), s))
+        .map(|(s, _)| s)
+}
+
+/// The shard indices covering sample range `[lo, hi)`.
+#[inline]
+fn shard_span(lo: usize, hi: usize) -> std::ops::RangeInclusive<usize> {
+    debug_assert!(lo < hi);
+    lo / SHARD_WORLDS..=(hi - 1) / SHARD_WORLDS
+}
 
 /// Storage width of component labels and membership indexes.
 ///
@@ -196,11 +241,25 @@ impl SampleRow {
             SampleRow::Wide(r) => r.starts.len() - 1,
         }
     }
+
+    /// The empty placeholder standing in for an evicted row (indices stay
+    /// stable; the shard regenerates as a whole on first touch).
+    fn placeholder(wide: bool) -> Self {
+        SampleRow::build(&[], 0, wide)
+    }
+
+    /// Heap bytes of this row — the unit of shard accounting.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SampleRow::Narrow(r) => (r.labels.len() + r.order.len()) * 2 + r.starts.len() * 4,
+            SampleRow::Wide(r) => (r.labels.len() + r.order.len() + r.starts.len()) * 4,
+        }
+    }
 }
 
 /// Pool of per-sample connected-component partitions, for **unlimited**
 /// connection probabilities (the scalar backend of [`WorldEngine`]).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ComponentPool<'g> {
     sampler: WorldSampler<'g>,
     rows: Vec<SampleRow>,
@@ -208,6 +267,37 @@ pub struct ComponentPool<'g> {
     /// `true` = `u32` labels; picked from the node count at construction
     /// (see [`Label`]), overridable for width-equivalence tests.
     wide: bool,
+    /// Per-[`SHARD_WORLDS`]-rows residency/accounting metadata.
+    shards: Vec<ShardMeta>,
+    /// Shared byte ledger governing eviction (unbounded by default).
+    budget: MemoryBudget,
+    /// Shards evicted / regenerated by this pool (cumulative).
+    evicted: u64,
+    regenerated: u64,
+}
+
+impl Clone for ComponentPool<'_> {
+    fn clone(&self) -> Self {
+        // The clone shares the budget handle, so its copy of the resident
+        // rows is charged to the ledger like any other pool's.
+        self.budget.charge(self.shards.iter().map(|m| m.bytes).sum());
+        ComponentPool {
+            sampler: self.sampler,
+            rows: self.rows.clone(),
+            config: self.config.clone(),
+            wide: self.wide,
+            shards: self.shards.clone(),
+            budget: self.budget.clone(),
+            evicted: self.evicted,
+            regenerated: self.regenerated,
+        }
+    }
+}
+
+impl Drop for ComponentPool<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.shards.iter().map(|m| m.bytes).sum());
+    }
 }
 
 impl<'g> ComponentPool<'g> {
@@ -219,6 +309,123 @@ impl<'g> ComponentPool<'g> {
             rows: Vec::new(),
             config: ThreadConfig::new(threads),
             wide: !narrow_fits(graph.num_nodes()),
+            shards: Vec::new(),
+            budget: MemoryBudget::unbounded(),
+            evicted: 0,
+            regenerated: 0,
+        }
+    }
+
+    /// Binds the pool to a (possibly shared) memory budget: the resident
+    /// bytes move to the new ledger and the pool immediately sheds
+    /// least-recently-used shards if the new ledger is over its limit.
+    pub fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        let held: usize = self.shards.iter().map(|m| m.bytes).sum();
+        self.budget.release(held);
+        budget.charge(held);
+        self.budget = budget;
+        self.trim_to_budget();
+    }
+
+    /// Resident bytes, the budget limit, and this pool's cumulative shard
+    /// eviction/regeneration counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        MemoryStats {
+            bytes_held: self.shards.iter().map(|m| m.bytes).sum(),
+            bytes_limit: self.budget.limit(),
+            shards_evicted: self.evicted,
+            shards_regenerated: self.regenerated,
+        }
+    }
+
+    /// Re-derives shard `s`'s byte charge from its rows and settles the
+    /// difference with the ledger.
+    fn sync_shard_bytes(&mut self, s: usize) {
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.rows.len());
+        let now: usize = self.rows[lo..hi].iter().map(SampleRow::heap_bytes).sum();
+        let meta = &mut self.shards[s];
+        if now >= meta.bytes {
+            self.budget.charge(now - meta.bytes);
+        } else {
+            self.budget.release(meta.bytes - now);
+        }
+        meta.bytes = now;
+    }
+
+    /// The resolve-or-regenerate accessor of every query path: stamps the
+    /// shards covering sample range `[lo, hi)` as recently used and
+    /// regenerates any evicted one from its per-index RNG streams —
+    /// bit-identical to the originally sampled rows.
+    fn resolve_range(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        for s in shard_span(lo, hi) {
+            self.shards[s].last_used = self.budget.touch();
+            if !self.shards[s].resident {
+                self.regenerate_shard(s);
+            }
+        }
+    }
+
+    fn regenerate_shard(&mut self, s: usize) {
+        let n = self.graph().num_nodes();
+        let sampler = self.sampler;
+        let wide = self.wide;
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.rows.len());
+        if self.config.parallel_generation(hi - lo) {
+            let rows: Vec<SampleRow> = self.config.run(|| {
+                (lo as u64..hi as u64)
+                    .into_par_iter()
+                    .map_init(
+                        || (UnionFind::new(n), vec![0u32; n]),
+                        |(uf, labels), i| {
+                            let comps = sampler.sample_components(i, uf, labels);
+                            SampleRow::build(labels, comps, wide)
+                        },
+                    )
+                    .collect()
+            });
+            for (i, row) in rows.into_iter().enumerate() {
+                self.rows[lo + i] = row;
+            }
+        } else {
+            let mut uf = UnionFind::new(n);
+            let mut labels = vec![0u32; n];
+            for i in lo..hi {
+                let comps = sampler.sample_components(i as u64, &mut uf, &mut labels);
+                self.rows[i] = SampleRow::build(&labels, comps, wide);
+            }
+        }
+        self.shards[s].resident = true;
+        self.regenerated += 1;
+        self.budget.note_regeneration();
+        self.sync_shard_bytes(s);
+    }
+
+    fn evict_shard(&mut self, s: usize) {
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.rows.len());
+        for row in &mut self.rows[lo..hi] {
+            *row = SampleRow::placeholder(self.wide);
+        }
+        self.shards[s].resident = false;
+        self.evicted += 1;
+        self.budget.note_eviction();
+        self.sync_shard_bytes(s);
+    }
+
+    /// Evicts least-recently-used shards until the shared ledger fits its
+    /// limit (or this pool has nothing left to shed) — the epilogue of
+    /// `ensure` and of every aggregate query.
+    fn trim_to_budget(&mut self) {
+        while self.budget.over_budget() {
+            match lru_victim(&self.shards, |m| m.resident, |m| m.last_used) {
+                Some(s) => self.evict_shard(s),
+                None => break,
+            }
         }
     }
 
@@ -258,34 +465,61 @@ impl<'g> ComponentPool<'g> {
         let n = self.graph().num_nodes();
         let sampler = self.sampler;
         let wide = self.wide;
-        if !self.config.parallel_generation(r - cur) {
-            let mut uf = UnionFind::new(n);
-            let mut labels = vec![0u32; n];
-            for i in cur as u64..r as u64 {
-                let comps = sampler.sample_components(i, &mut uf, &mut labels);
-                self.rows.push(SampleRow::build(&labels, comps, wide));
+        // Rows landing in a currently evicted trailing shard are appended
+        // as placeholders — that shard regenerates as a whole on its next
+        // touch, filling them from their RNG streams.
+        let mut from = cur;
+        if let Some(meta) = self.shards.last() {
+            if !meta.resident {
+                let end = (self.shards.len() * SHARD_WORLDS).min(r);
+                self.rows.extend((cur..end).map(|_| SampleRow::placeholder(wide)));
+                from = end;
             }
-            return;
         }
-        let new_rows: Vec<SampleRow> = self.config.run(|| {
-            (cur as u64..r as u64)
-                .into_par_iter()
-                .map_init(
-                    || (UnionFind::new(n), vec![0u32; n]),
-                    |(uf, labels), i| {
-                        let comps = sampler.sample_components(i, uf, labels);
-                        SampleRow::build(labels, comps, wide)
-                    },
-                )
-                .collect()
-        });
-        self.rows.extend(new_rows);
+        if from < r {
+            if !self.config.parallel_generation(r - from) {
+                let mut uf = UnionFind::new(n);
+                let mut labels = vec![0u32; n];
+                for i in from as u64..r as u64 {
+                    let comps = sampler.sample_components(i, &mut uf, &mut labels);
+                    self.rows.push(SampleRow::build(&labels, comps, wide));
+                }
+            } else {
+                let new_rows: Vec<SampleRow> = self.config.run(|| {
+                    (from as u64..r as u64)
+                        .into_par_iter()
+                        .map_init(
+                            || (UnionFind::new(n), vec![0u32; n]),
+                            |(uf, labels), i| {
+                                let comps = sampler.sample_components(i, uf, labels);
+                                SampleRow::build(labels, comps, wide)
+                            },
+                        )
+                        .collect()
+                });
+                self.rows.extend(new_rows);
+            }
+        }
+        // Account the new rows shard by shard, then shed LRU shards if the
+        // shared ledger now exceeds its limit.
+        for s in shard_span(cur, r) {
+            if s == self.shards.len() {
+                self.shards.push(ShardMeta { bytes: 0, last_used: 0, resident: true });
+            }
+            self.shards[s].last_used = self.budget.touch();
+            self.sync_shard_bytes(s);
+        }
+        self.trim_to_budget();
     }
 
     /// Component labels of sample `i` (one per node), widened to `u32`.
-    pub fn labels(&self, i: usize) -> Vec<u32> {
+    /// Regenerates `i`'s shard if it was evicted (these per-sample
+    /// accessors resolve but do not trim — callers iterating the pool keep
+    /// it resident; the next aggregate query or `ensure` settles the
+    /// ledger).
+    pub fn labels(&mut self, i: usize) -> Vec<u32> {
         let mut out = vec![0u32; self.graph().num_nodes()];
-        self.rows[i].labels_into(&mut out);
+        self.labels_into(i, &mut out);
         out
     }
 
@@ -294,18 +528,21 @@ impl<'g> ComponentPool<'g> {
     ///
     /// # Panics
     /// Panics if `out.len() != n`.
-    pub fn labels_into(&self, i: usize, out: &mut [u32]) {
+    pub fn labels_into(&mut self, i: usize, out: &mut [u32]) {
         assert_eq!(out.len(), self.graph().num_nodes(), "labels buffer has wrong length");
+        self.resolve_range(i, i + 1);
         self.rows[i].labels_into(out);
     }
 
     /// Members of the component with `label` in sample `i`.
-    pub fn component_members(&self, i: usize, label: u32) -> Vec<u32> {
+    pub fn component_members(&mut self, i: usize, label: u32) -> Vec<u32> {
+        self.resolve_range(i, i + 1);
         self.rows[i].members_u32(label)
     }
 
     /// Number of components in sample `i`.
-    pub fn component_count(&self, i: usize) -> usize {
+    pub fn component_count(&mut self, i: usize) -> usize {
+        self.resolve_range(i, i + 1);
         self.rows[i].component_count()
     }
 
@@ -319,15 +556,21 @@ impl<'g> ComponentPool<'g> {
     ///
     /// # Panics
     /// Panics if `out.len() != n`.
-    pub fn counts_from_center(&self, center: NodeId, out: &mut [u32]) {
+    pub fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
+        let len = self.rows.len();
+        self.counts_from_center_range(center, 0, len, out)
+    }
+
+    /// The kernel of the center-count queries, over rows already resolved
+    /// by the caller.
+    fn counts_center_resident(&self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
         let n = self.graph().num_nodes();
-        assert_eq!(out.len(), n, "counts buffer has wrong length");
         let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
                 row.accumulate_center(center.index(), counts);
             }
         };
-        chunked_counts(&self.config, &self.rows, n, n, accumulate, out);
+        chunked_counts(&self.config, &self.rows[lo..hi], n, n, accumulate, out);
     }
 
     /// Batched [`ComponentPool::counts_from_center`]: one count row per
@@ -343,13 +586,9 @@ impl<'g> ComponentPool<'g> {
     ///
     /// # Panics
     /// Panics if `out.len() != centers.len() * n`.
-    pub fn counts_from_centers(&self, centers: &[NodeId], out: &mut [u32]) {
-        let n = self.graph().num_nodes();
-        let k = centers.len();
-        assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
-        for (j, &c) in centers.iter().enumerate() {
-            self.counts_from_center(c, &mut out[j * n..(j + 1) * n]);
-        }
+    pub fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
+        let len = self.rows.len();
+        self.counts_from_centers_range(centers, 0, len, out)
     }
 
     /// Batched [`ComponentPool::counts_from_center_range`]: one count row
@@ -363,7 +602,7 @@ impl<'g> ComponentPool<'g> {
     /// Panics if `out.len() != centers.len() * n`, `lo > hi`, or
     /// `hi > num_samples()`.
     pub fn counts_from_centers_range(
-        &self,
+        &mut self,
         centers: &[NodeId],
         lo: usize,
         hi: usize,
@@ -373,9 +612,11 @@ impl<'g> ComponentPool<'g> {
         let k = centers.len();
         assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
+        self.resolve_range(lo, hi);
         for (j, &c) in centers.iter().enumerate() {
-            self.counts_from_center_range(c, lo, hi, &mut out[j * n..(j + 1) * n]);
+            self.counts_center_resident(c, lo, hi, &mut out[j * n..(j + 1) * n]);
         }
+        self.trim_to_budget();
     }
 
     /// [`ComponentPool::counts_from_center`] restricted to the samples with
@@ -383,21 +624,25 @@ impl<'g> ComponentPool<'g> {
     ///
     /// # Panics
     /// Panics if `out.len() != n`, `lo > hi`, or `hi > num_samples()`.
-    pub fn counts_from_center_range(&self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
+    pub fn counts_from_center_range(
+        &mut self,
+        center: NodeId,
+        lo: usize,
+        hi: usize,
+        out: &mut [u32],
+    ) {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
-        let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
-            for row in rows {
-                row.accumulate_center(center.index(), counts);
-            }
-        };
-        chunked_counts(&self.config, &self.rows[lo..hi], n, n, accumulate, out);
+        self.resolve_range(lo, hi);
+        self.counts_center_resident(center, lo, hi, out);
+        self.trim_to_budget();
     }
 
     /// Number of samples where `u` and `v` are connected.
-    pub fn pair_count(&self, u: NodeId, v: NodeId) -> usize {
-        self.pair_count_range(u, v, 0, self.rows.len())
+    pub fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
+        let len = self.rows.len();
+        self.pair_count_range(u, v, 0, len)
     }
 
     /// [`ComponentPool::pair_count`] restricted to the samples with index
@@ -405,20 +650,23 @@ impl<'g> ComponentPool<'g> {
     ///
     /// # Panics
     /// Panics if `lo > hi` or `hi > num_samples()`.
-    pub fn pair_count_range(&self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
+    pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
-        chunked_sum_with(
+        self.resolve_range(lo, hi);
+        let total = chunked_sum_with(
             &self.config,
             &self.rows[lo..hi],
             1,
             &mut (),
             || (),
             |(), row| usize::from(row.connected(u.index(), v.index())),
-        )
+        );
+        self.trim_to_budget();
+        total
     }
 
     /// The estimator `p̃(u, v)` of Eq. 3. Returns 0 for an empty pool.
-    pub fn pair_estimate(&self, u: NodeId, v: NodeId) -> f64 {
+    pub fn pair_estimate(&mut self, u: NodeId, v: NodeId) -> f64 {
         if self.rows.is_empty() {
             return 0.0;
         }
@@ -427,6 +675,14 @@ impl<'g> ComponentPool<'g> {
 }
 
 impl WorldEngine for ComponentPool<'_> {
+    fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        ComponentPool::set_memory_budget(self, budget)
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        ComponentPool::memory_stats(self)
+    }
+
     fn graph(&self) -> &UncertainGraph {
         ComponentPool::graph(self)
     }
@@ -594,7 +850,7 @@ impl WorldEngine for ComponentPool<'_> {
 /// Pool of per-sample edge bitsets, for **depth-limited** d-connection
 /// probabilities (paper §3.4) — the scalar depth-capable backend of
 /// [`WorldEngine`], one bounded BFS per world per query.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct WorldPool<'g> {
     sampler: WorldSampler<'g>,
     worlds: Vec<Bitset>,
@@ -602,6 +858,37 @@ pub struct WorldPool<'g> {
     /// Reusable bounded-BFS workspace for serial query paths; parallel
     /// chunks build their own.
     bfs: DepthBfs,
+    /// Per-[`SHARD_WORLDS`]-worlds residency/accounting metadata.
+    shards: Vec<ShardMeta>,
+    /// Shared byte ledger governing eviction (unbounded by default).
+    budget: MemoryBudget,
+    /// Shards evicted / regenerated by this pool (cumulative).
+    evicted: u64,
+    regenerated: u64,
+}
+
+impl Clone for WorldPool<'_> {
+    fn clone(&self) -> Self {
+        // The clone shares the budget handle, so its copy of the resident
+        // worlds is charged to the ledger like any other pool's.
+        self.budget.charge(self.shards.iter().map(|m| m.bytes).sum());
+        WorldPool {
+            sampler: self.sampler,
+            worlds: self.worlds.clone(),
+            config: self.config.clone(),
+            bfs: self.bfs.clone(),
+            shards: self.shards.clone(),
+            budget: self.budget.clone(),
+            evicted: self.evicted,
+            regenerated: self.regenerated,
+        }
+    }
+}
+
+impl Drop for WorldPool<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.shards.iter().map(|m| m.bytes).sum());
+    }
 }
 
 impl<'g> WorldPool<'g> {
@@ -613,6 +900,114 @@ impl<'g> WorldPool<'g> {
             worlds: Vec::new(),
             config: ThreadConfig::new(threads),
             bfs: DepthBfs::new(graph.num_nodes()),
+            shards: Vec::new(),
+            budget: MemoryBudget::unbounded(),
+            evicted: 0,
+            regenerated: 0,
+        }
+    }
+
+    /// Binds the pool to a (possibly shared) memory budget: the resident
+    /// bytes move to the new ledger and the pool immediately sheds
+    /// least-recently-used shards if the new ledger is over its limit.
+    pub fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        let held: usize = self.shards.iter().map(|m| m.bytes).sum();
+        self.budget.release(held);
+        budget.charge(held);
+        self.budget = budget;
+        self.trim_to_budget();
+    }
+
+    /// Resident bytes, the budget limit, and this pool's cumulative shard
+    /// eviction/regeneration counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        MemoryStats {
+            bytes_held: self.shards.iter().map(|m| m.bytes).sum(),
+            bytes_limit: self.budget.limit(),
+            shards_evicted: self.evicted,
+            shards_regenerated: self.regenerated,
+        }
+    }
+
+    /// Re-derives shard `s`'s byte charge from its world bitsets and
+    /// settles the difference with the ledger.
+    fn sync_shard_bytes(&mut self, s: usize) {
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.worlds.len());
+        let now: usize = self.worlds[lo..hi].iter().map(|w| w.blocks().len() * 8).sum();
+        let meta = &mut self.shards[s];
+        if now >= meta.bytes {
+            self.budget.charge(now - meta.bytes);
+        } else {
+            self.budget.release(meta.bytes - now);
+        }
+        meta.bytes = now;
+    }
+
+    /// The resolve-or-regenerate accessor of every query path: stamps the
+    /// shards covering world range `[lo, hi)` as recently used and
+    /// regenerates any evicted one from its per-index RNG streams —
+    /// bit-identical to the originally sampled worlds.
+    fn resolve_range(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        for s in shard_span(lo, hi) {
+            self.shards[s].last_used = self.budget.touch();
+            if !self.shards[s].resident {
+                self.regenerate_shard(s);
+            }
+        }
+    }
+
+    fn regenerate_shard(&mut self, s: usize) {
+        let m = self.graph().num_edges();
+        let sampler = self.sampler;
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.worlds.len());
+        let draw = move |i: u64| {
+            let mut world = Bitset::with_len(m);
+            sampler.sample_into(i, &mut world).expect("pool-sized bitset cannot mismatch");
+            world
+        };
+        if self.config.parallel_generation(hi - lo) {
+            let worlds: Vec<Bitset> =
+                self.config.run(|| (lo as u64..hi as u64).into_par_iter().map(draw).collect());
+            for (i, world) in worlds.into_iter().enumerate() {
+                self.worlds[lo + i] = world;
+            }
+        } else {
+            for i in lo..hi {
+                self.worlds[i] = draw(i as u64);
+            }
+        }
+        self.shards[s].resident = true;
+        self.regenerated += 1;
+        self.budget.note_regeneration();
+        self.sync_shard_bytes(s);
+    }
+
+    fn evict_shard(&mut self, s: usize) {
+        let lo = s * SHARD_WORLDS;
+        let hi = ((s + 1) * SHARD_WORLDS).min(self.worlds.len());
+        for world in &mut self.worlds[lo..hi] {
+            *world = Bitset::with_len(0);
+        }
+        self.shards[s].resident = false;
+        self.evicted += 1;
+        self.budget.note_eviction();
+        self.sync_shard_bytes(s);
+    }
+
+    /// Evicts least-recently-used shards until the shared ledger fits its
+    /// limit (or this pool has nothing left to shed) — the epilogue of
+    /// `ensure` and of every aggregate query.
+    fn trim_to_budget(&mut self) {
+        while self.budget.over_budget() {
+            match lru_victim(&self.shards, |m| m.resident, |m| m.last_used) {
+                Some(s) => self.evict_shard(s),
+                None => break,
+            }
         }
     }
 
@@ -640,17 +1035,42 @@ impl<'g> WorldPool<'g> {
             sampler.sample_into(i, &mut world).expect("pool-sized bitset cannot mismatch");
             world
         };
-        if !self.config.parallel_generation(r - cur) {
-            self.worlds.extend((cur as u64..r as u64).map(draw));
-            return;
+        // Worlds landing in a currently evicted trailing shard are
+        // appended as empty placeholders — that shard regenerates as a
+        // whole on its next touch.
+        let mut from = cur;
+        if let Some(meta) = self.shards.last() {
+            if !meta.resident {
+                let end = (self.shards.len() * SHARD_WORLDS).min(r);
+                self.worlds.extend((cur..end).map(|_| Bitset::with_len(0)));
+                from = end;
+            }
         }
-        let new_worlds: Vec<Bitset> =
-            self.config.run(|| (cur as u64..r as u64).into_par_iter().map(draw).collect());
-        self.worlds.extend(new_worlds);
+        if from < r {
+            if !self.config.parallel_generation(r - from) {
+                self.worlds.extend((from as u64..r as u64).map(draw));
+            } else {
+                let new_worlds: Vec<Bitset> =
+                    self.config.run(|| (from as u64..r as u64).into_par_iter().map(draw).collect());
+                self.worlds.extend(new_worlds);
+            }
+        }
+        for s in shard_span(cur, r) {
+            if s == self.shards.len() {
+                self.shards.push(ShardMeta { bytes: 0, last_used: 0, resident: true });
+            }
+            self.shards[s].last_used = self.budget.touch();
+            self.sync_shard_bytes(s);
+        }
+        self.trim_to_budget();
     }
 
-    /// The edge bitset of world `i`.
-    pub fn world(&self, i: usize) -> &Bitset {
+    /// The edge bitset of world `i`. Regenerates `i`'s shard if it was
+    /// evicted (this per-sample accessor resolves but does not trim —
+    /// callers iterating the pool keep it resident; the next aggregate
+    /// query or `ensure` settles the ledger).
+    pub fn world(&mut self, i: usize) -> &Bitset {
+        self.resolve_range(i, i + 1);
         &self.worlds[i]
     }
 
@@ -673,33 +1093,8 @@ impl<'g> WorldPool<'g> {
         out_select: &mut [u32],
         out_cover: &mut [u32],
     ) {
-        let n = self.graph().num_nodes();
-        assert_eq!(out_select.len(), n, "select buffer has wrong length");
-        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
-        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
-        let WorldPool { sampler, worlds, config, bfs } = self;
-        let graph = sampler.graph();
-        chunked_counts2_with(
-            config,
-            worlds,
-            n,
-            n,
-            bfs,
-            || DepthBfs::new(n),
-            |select, cover, bfs, worlds| {
-                for world in worlds {
-                    let view = WorldView::new(graph, world);
-                    bfs.run(&view, center, d_cover, |node, depth| {
-                        cover[node.index()] += 1;
-                        if depth <= d_select {
-                            select[node.index()] += 1;
-                        }
-                    });
-                }
-            },
-            out_select,
-            out_cover,
-        );
+        let len = self.worlds.len();
+        self.counts_within_depths_range(center, d_select, d_cover, 0, len, out_select, out_cover)
     }
 
     /// Batched [`WorldPool::counts_within_depths`]: rows row-major per
@@ -745,7 +1140,8 @@ impl<'g> WorldPool<'g> {
         assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
         assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        let WorldPool { sampler, worlds, config, bfs } = self;
+        self.resolve_range(lo, hi);
+        let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts2_with(
             config,
@@ -768,6 +1164,7 @@ impl<'g> WorldPool<'g> {
             out_select,
             out_cover,
         );
+        self.trim_to_budget();
     }
 
     /// Batched [`WorldPool::counts_within_depths_range`]: rows row-major
@@ -799,7 +1196,8 @@ impl<'g> WorldPool<'g> {
         if k == 0 {
             return;
         }
-        let WorldPool { sampler, worlds, config, bfs } = self;
+        self.resolve_range(lo, hi);
+        let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts2_with(
             config,
@@ -824,6 +1222,7 @@ impl<'g> WorldPool<'g> {
             out_select,
             out_cover,
         );
+        self.trim_to_budget();
     }
 
     /// Number of worlds where `dist(u, v) ≤ depth`.
@@ -846,10 +1245,11 @@ impl<'g> WorldPool<'g> {
         hi: usize,
     ) -> usize {
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        let WorldPool { sampler, worlds, config, bfs } = self;
+        self.resolve_range(lo, hi);
+        let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         let n = graph.num_nodes();
-        chunked_sum_with(
+        let total = chunked_sum_with(
             config,
             &worlds[lo..hi],
             n,
@@ -861,7 +1261,9 @@ impl<'g> WorldPool<'g> {
                 bfs.run(&view, u, depth, |node, _| hit |= node == v);
                 usize::from(hit)
             },
-        )
+        );
+        self.trim_to_budget();
+        total
     }
 
     /// Estimator of the d-connection probability `Pr(u ~d~ v)`.
@@ -875,6 +1277,14 @@ impl<'g> WorldPool<'g> {
 }
 
 impl WorldEngine for WorldPool<'_> {
+    fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        WorldPool::set_memory_budget(self, budget)
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        WorldPool::memory_stats(self)
+    }
+
     fn graph(&self) -> &UncertainGraph {
         WorldPool::graph(self)
     }
@@ -889,26 +1299,9 @@ impl WorldEngine for WorldPool<'_> {
 
     fn counts_from_center(&mut self, center: NodeId, out: &mut [u32]) {
         // Dedicated unlimited path: one increment per reached node, no
-        // select row to duplicate.
-        let WorldPool { sampler, worlds, config, bfs } = self;
-        let graph = sampler.graph();
-        let n = graph.num_nodes();
-        assert_eq!(out.len(), n, "counts buffer has wrong length");
-        chunked_counts_with(
-            config,
-            worlds,
-            n,
-            n,
-            bfs,
-            || DepthBfs::new(n),
-            |counts, bfs, worlds| {
-                for world in worlds {
-                    let view = WorldView::new(graph, world);
-                    bfs.run(&view, center, DEPTH_UNLIMITED, |node, _| counts[node.index()] += 1);
-                }
-            },
-            out,
-        );
+        // select row to duplicate (the ranged kernel over the full window).
+        let len = self.worlds.len();
+        WorldEngine::counts_from_center_range(self, center, 0, len, out)
     }
 
     fn counts_from_centers(&mut self, centers: &[NodeId], out: &mut [u32]) {
@@ -923,7 +1316,8 @@ impl WorldEngine for WorldPool<'_> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        let WorldPool { sampler, worlds, config, bfs } = self;
+        self.resolve_range(lo, hi);
+        let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts_with(
             config,
@@ -940,6 +1334,7 @@ impl WorldEngine for WorldPool<'_> {
             },
             out,
         );
+        self.trim_to_budget();
     }
 
     fn counts_from_centers_range(
@@ -958,7 +1353,8 @@ impl WorldEngine for WorldPool<'_> {
         if k == 0 {
             return;
         }
-        let WorldPool { sampler, worlds, config, bfs } = self;
+        self.resolve_range(lo, hi);
+        let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts_with(
             config,
@@ -979,6 +1375,7 @@ impl WorldEngine for WorldPool<'_> {
             },
             out,
         );
+        self.trim_to_budget();
     }
 
     fn pair_count(&mut self, u: NodeId, v: NodeId) -> usize {
@@ -1098,6 +1495,12 @@ impl<L: Label> BlockLabels<L> {
             lane_base: vec![0],
             labeled: 0,
         }
+    }
+
+    /// Heap bytes held by the label and membership structures.
+    fn heap_bytes(&self) -> usize {
+        (self.labels.len() + self.order.len()) * std::mem::size_of::<L>()
+            + (self.starts.len() + self.lane_base.len()) * 4
     }
 
     /// Labels lanes `[self.labeled, target)` from the block's edge masks
@@ -1269,6 +1672,13 @@ impl BlockLabelsAny {
             BlockLabelsAny::Wide(l) => l.batch_label_ops(centers, lanes),
         }
     }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            BlockLabelsAny::Narrow(l) => l.heap_bytes(),
+            BlockLabelsAny::Wide(l) => l.heap_bytes(),
+        }
+    }
 }
 
 /// Shape of an unlimited-depth point query, as seen by the adaptive
@@ -1304,9 +1714,9 @@ struct MaskBlock {
 }
 
 impl MaskBlock {
-    #[inline]
-    fn lane_mask(&self) -> u64 {
-        lane_mask(self.lanes as usize)
+    /// Heap bytes held by the block's masks and finalized labels.
+    fn heap_bytes(&self) -> usize {
+        self.masks.len() * 8 + self.labels.as_ref().map_or(0, BlockLabelsAny::heap_bytes)
     }
 
     /// Splits a query's lane selection into (served-from-labels,
@@ -1323,6 +1733,38 @@ impl MaskBlock {
     }
 }
 
+/// A group of [`SHARD_BLOCKS`] consecutive 64-world mask blocks — the
+/// allocation/eviction granularity of the bit-parallel backend. The shard
+/// owns its blocks' masks **and** their finalized labels; eviction drops
+/// both (an empty `blocks` vector ⇔ evicted), and regeneration rebuilds
+/// the masks bit-identically from their per-index RNG streams while
+/// labels simply re-finalize on the next unlimited query.
+#[derive(Clone, Debug)]
+struct BlockShard {
+    blocks: Vec<MaskBlock>,
+    /// Heap bytes currently charged to the budget for this shard.
+    bytes: usize,
+    /// Recency stamp from [`MemoryBudget::touch`].
+    last_used: u64,
+}
+
+impl BlockShard {
+    #[inline]
+    fn resident(&self) -> bool {
+        !self.blocks.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.blocks.iter().map(MaskBlock::heap_bytes).sum()
+    }
+}
+
+/// Block `b` of a sharded bit-parallel pool (the shard must be resident).
+#[inline]
+fn shard_block(shards: &[BlockShard], b: usize) -> &MaskBlock {
+    &shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS]
+}
+
 /// The **bit-parallel** backend of [`WorldEngine`]: worlds stored in
 /// blocks of 64 as structure-of-arrays edge masks, queried with
 /// mask-propagating multi-world BFS ([`MultiWorldBfs`]).
@@ -1332,11 +1774,13 @@ impl MaskBlock {
 /// and generation skips the per-world union-find/labeling pass entirely.
 /// World `i` lives in lane `i % 64` of block `i / 64` and is drawn from
 /// per-index RNG stream `i`, so the pool is world-for-world identical to
-/// the scalar pools under the same master seed (property-tested).
-#[derive(Clone, Debug)]
+/// the scalar pools under the same master seed (property-tested). Blocks
+/// are grouped into [`SHARD_BLOCKS`]-block shards charged against a
+/// [`MemoryBudget`].
+#[derive(Debug)]
 pub struct BitParallelPool<'g> {
     sampler: WorldSampler<'g>,
-    blocks: Vec<MaskBlock>,
+    shards: Vec<BlockShard>,
     samples: usize,
     config: ThreadConfig,
     /// Reusable multi-world BFS workspace for serial query paths; parallel
@@ -1355,6 +1799,40 @@ pub struct BitParallelPool<'g> {
     wide: bool,
     /// Finalization counters (see [`EngineStats`]).
     stats: EngineStats,
+    /// Shared byte ledger governing eviction (unbounded by default).
+    budget: MemoryBudget,
+    /// Shards evicted / regenerated by this pool (cumulative).
+    evicted: u64,
+    regenerated: u64,
+}
+
+impl Clone for BitParallelPool<'_> {
+    fn clone(&self) -> Self {
+        // The clone shares the budget handle, so its copy of the resident
+        // shards is charged to the ledger like any other pool's.
+        self.budget.charge(self.shards.iter().map(|sh| sh.bytes).sum());
+        BitParallelPool {
+            sampler: self.sampler,
+            shards: self.shards.clone(),
+            samples: self.samples,
+            config: self.config.clone(),
+            bfs: self.bfs.clone(),
+            items: self.items.clone(),
+            batch_plan: self.batch_plan.clone(),
+            adaptive: self.adaptive,
+            wide: self.wide,
+            stats: self.stats,
+            budget: self.budget.clone(),
+            evicted: self.evicted,
+            regenerated: self.regenerated,
+        }
+    }
+}
+
+impl Drop for BitParallelPool<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.shards.iter().map(|sh| sh.bytes).sum());
+    }
 }
 
 impl<'g> BitParallelPool<'g> {
@@ -1364,7 +1842,7 @@ impl<'g> BitParallelPool<'g> {
     pub fn new(graph: &'g UncertainGraph, seed: u64, threads: usize) -> Self {
         BitParallelPool {
             sampler: WorldSampler::new(graph, seed),
-            blocks: Vec::new(),
+            shards: Vec::new(),
             samples: 0,
             config: ThreadConfig::new(threads),
             bfs: MultiWorldBfs::new(graph.num_nodes()),
@@ -1373,6 +1851,9 @@ impl<'g> BitParallelPool<'g> {
             adaptive: false,
             wide: !narrow_fits(graph.num_nodes()),
             stats: EngineStats::default(),
+            budget: MemoryBudget::unbounded(),
+            evicted: 0,
+            regenerated: 0,
         }
     }
 
@@ -1396,9 +1877,12 @@ impl<'g> BitParallelPool<'g> {
     pub fn with_finalization(mut self, adaptive: bool) -> Self {
         self.adaptive = adaptive;
         if !adaptive {
-            for block in &mut self.blocks {
-                block.labels = None;
-                block.mask_queries = 0;
+            for s in 0..self.shards.len() {
+                for block in &mut self.shards[s].blocks {
+                    block.labels = None;
+                    block.mask_queries = 0;
+                }
+                self.sync_shard_bytes(s);
             }
             self.stats = EngineStats::default();
         }
@@ -1413,11 +1897,105 @@ impl<'g> BitParallelPool<'g> {
     #[doc(hidden)]
     pub fn with_wide_labels(mut self, wide: bool) -> Self {
         assert!(
-            self.blocks.iter().all(|b| b.labels.is_none()),
+            self.shards.iter().flat_map(|sh| &sh.blocks).all(|b| b.labels.is_none()),
             "label width is fixed once blocks are finalized"
         );
         self.wide = wide || !narrow_fits(self.graph().num_nodes());
         self
+    }
+
+    /// Binds the pool to a (possibly shared) memory budget: the resident
+    /// bytes move to the new ledger and the pool immediately sheds
+    /// least-recently-used shards if the new ledger is over its limit.
+    pub fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        let held: usize = self.shards.iter().map(|sh| sh.bytes).sum();
+        self.budget.release(held);
+        budget.charge(held);
+        self.budget = budget;
+        self.trim_to_budget();
+    }
+
+    /// Resident bytes, the budget limit, and this pool's cumulative shard
+    /// eviction/regeneration counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        MemoryStats {
+            bytes_held: self.shards.iter().map(|sh| sh.bytes).sum(),
+            bytes_limit: self.budget.limit(),
+            shards_evicted: self.evicted,
+            shards_regenerated: self.regenerated,
+        }
+    }
+
+    /// Re-derives shard `s`'s byte charge from its blocks (masks plus any
+    /// finalized labels) and settles the difference with the ledger.
+    fn sync_shard_bytes(&mut self, s: usize) {
+        let now = self.shards[s].heap_bytes();
+        let sh = &mut self.shards[s];
+        if now >= sh.bytes {
+            self.budget.charge(now - sh.bytes);
+        } else {
+            self.budget.release(sh.bytes - now);
+        }
+        sh.bytes = now;
+    }
+
+    /// The resolve-or-regenerate accessor of every query path: stamps the
+    /// shards covering sample range `[lo, hi)` as recently used and
+    /// regenerates any evicted one from its per-index RNG streams —
+    /// bit-identical to the originally sampled blocks (dropped labels
+    /// re-finalize lazily, per the usual adaptive heuristics).
+    fn resolve_range(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        for s in shard_span(lo, hi) {
+            self.shards[s].last_used = self.budget.touch();
+            if !self.shards[s].resident() {
+                self.regenerate_shard(s);
+            }
+        }
+    }
+
+    fn regenerate_shard(&mut self, s: usize) {
+        let m = self.graph().num_edges();
+        let sampler = self.sampler;
+        let r = self.samples;
+        let first = s * SHARD_BLOCKS;
+        let last = ((s + 1) * SHARD_BLOCKS).min(r.div_ceil(LANES));
+        let build = |b: usize| Self::build_block(&sampler, m, b, r);
+        let blocks: Vec<MaskBlock> = if self.config.parallel_generation((last - first) * LANES) {
+            self.config.run(|| (first..last).into_par_iter().map(build).collect())
+        } else {
+            (first..last).map(build).collect()
+        };
+        self.shards[s].blocks = blocks;
+        self.regenerated += 1;
+        self.budget.note_regeneration();
+        self.sync_shard_bytes(s);
+    }
+
+    fn evict_shard(&mut self, s: usize) {
+        // Dropping a shard drops its finalized labels with it; the
+        // finalized-block gauge shrinks accordingly (lanes/query counters
+        // are cumulative and stand).
+        let labeled = self.shards[s].blocks.iter().filter(|b| b.labels.is_some()).count();
+        self.stats.finalized_blocks = self.stats.finalized_blocks.saturating_sub(labeled);
+        self.shards[s].blocks = Vec::new();
+        self.evicted += 1;
+        self.budget.note_eviction();
+        self.sync_shard_bytes(s);
+    }
+
+    /// Evicts least-recently-used shards until the shared ledger fits its
+    /// limit (or this pool has nothing left to shed) — the epilogue of
+    /// `ensure` and of every aggregate query.
+    fn trim_to_budget(&mut self) {
+        while self.budget.over_budget() {
+            match lru_victim(&self.shards, BlockShard::resident, |sh| sh.last_used) {
+                Some(s) => self.evict_shard(s),
+                None => break,
+            }
+        }
     }
 
     /// The underlying graph.
@@ -1430,9 +2008,9 @@ impl<'g> BitParallelPool<'g> {
         self.samples
     }
 
-    /// Number of 64-world blocks backing the pool.
+    /// Number of 64-world blocks backing the pool (resident or evicted).
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.samples.div_ceil(LANES)
     }
 
     /// Finalization counters (all zero for pure-mask pools).
@@ -1441,9 +2019,10 @@ impl<'g> BitParallelPool<'g> {
     }
 
     /// Presence mask of edge `e` in block `block` (bit `l` ⇔ the edge
-    /// exists in world `block·64 + l`). Exposed for tests and diagnostics.
+    /// exists in world `block·64 + l`). Exposed for tests and diagnostics;
+    /// the block's shard must be resident.
     pub fn edge_mask(&self, block: usize, e: usize) -> u64 {
-        self.blocks[block].masks[e]
+        shard_block(&self.shards, block).masks[e]
     }
 
     fn build_block(sampler: &WorldSampler<'g>, m: usize, block: usize, r: usize) -> MaskBlock {
@@ -1478,7 +2057,7 @@ impl<'g> BitParallelPool<'g> {
         let (mut label_q, mut mask_q) = (0usize, 0usize);
         let mut todo: Vec<usize> = Vec::new();
         for b in lo / LANES..=(hi - 1) / LANES {
-            let block = &mut self.blocks[b];
+            let block = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
             let labeled = block.labels.as_ref().map_or(0, BlockLabelsAny::labeled) as usize;
             if labeled >= block.lanes as usize {
                 label_q += 1;
@@ -1501,17 +2080,20 @@ impl<'g> BitParallelPool<'g> {
         // a partially labeled block (at most one — the trailing block) run
         // serially on the pool's workspace.
         let wide = self.wide;
-        let fresh: Vec<usize> =
-            todo.iter().copied().filter(|&b| self.blocks[b].labels.is_none()).collect();
+        let fresh: Vec<usize> = todo
+            .iter()
+            .copied()
+            .filter(|&b| shard_block(&self.shards, b).labels.is_none())
+            .collect();
         if fresh.len() > 1 && self.config.parallel_generation(fresh.len() * LANES) {
-            let blocks: &[MaskBlock] = &self.blocks;
+            let shards: &[BlockShard] = &self.shards;
             let built: Vec<(usize, BlockLabelsAny)> = self.config.run(|| {
                 fresh
                     .par_iter()
                     .map_init(
                         || MultiWorldBfs::new(n),
                         |bfs, &b| {
-                            let block = &blocks[b];
+                            let block = shard_block(shards, b);
                             let mut labels = BlockLabelsAny::new(n, wide);
                             labels.extend(graph, bfs, &block.masks, block.lanes as usize);
                             (b, labels)
@@ -1522,13 +2104,13 @@ impl<'g> BitParallelPool<'g> {
             for (b, labels) in built {
                 self.stats.finalized_blocks += 1;
                 self.stats.finalized_lanes += labels.labeled() as usize;
-                self.blocks[b].labels = Some(labels);
+                self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS].labels = Some(labels);
             }
         }
         // Serial (and catch-up) path: blocks the parallel branch already
         // attached are fully labeled and fall through both updates.
         for &b in &todo {
-            let block = &mut self.blocks[b];
+            let block = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
             let labels = block.labels.get_or_insert_with(|| BlockLabelsAny::new(n, wide));
             let before = labels.labeled() as usize;
             if before == 0 {
@@ -1539,6 +2121,10 @@ impl<'g> BitParallelPool<'g> {
                 labels.extend(graph, &mut self.bfs, &block.masks, target);
                 self.stats.finalized_lanes += target - before;
             }
+        }
+        // Labels grew: re-charge the touched shards' bytes to the ledger.
+        for s in shard_span(lo, hi) {
+            self.sync_shard_bytes(s);
         }
     }
 
@@ -1552,35 +2138,57 @@ impl<'g> BitParallelPool<'g> {
         if r <= self.samples {
             return;
         }
+        let cur = self.samples;
         let m = self.graph().num_edges();
         let sampler = self.sampler;
-        // Top up the trailing partial block, if any.
-        let base = self.blocks.len().saturating_sub(1) * LANES;
-        if let Some(last) = self.blocks.last_mut() {
-            if (last.lanes as usize) < LANES {
-                let target = (r - base).min(LANES);
-                for lane in last.lanes as usize..target {
-                    sampler
-                        .sample_lane((base + lane) as u64, lane, &mut last.masks)
-                        .expect("pool-sized mask buffer cannot mismatch");
-                }
-                last.lanes = target as u32;
-            }
-        }
-        // Append new blocks.
-        let first = self.blocks.len();
         let total = r.div_ceil(LANES);
+        let trailing_evicted = self.shards.last().is_some_and(|sh| !sh.resident());
+        // Top up the trailing partial block, if any — unless its shard is
+        // evicted, in which case the whole shard (top-up included)
+        // regenerates at the new extent on its next touch.
+        if !cur.is_multiple_of(LANES) && !trailing_evicted {
+            let b = cur / LANES;
+            let base = b * LANES;
+            let target = (r - base).min(LANES);
+            let last = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
+            for lane in last.lanes as usize..target {
+                sampler
+                    .sample_lane((base + lane) as u64, lane, &mut last.masks)
+                    .expect("pool-sized mask buffer cannot mismatch");
+            }
+            last.lanes = target as u32;
+        }
+        // Append new blocks; blocks landing in the evicted trailing shard
+        // are left to that shard's regeneration.
+        let first = if trailing_evicted {
+            (self.shards.len() * SHARD_BLOCKS).min(total)
+        } else {
+            cur.div_ceil(LANES)
+        };
         if first < total {
             let build = |b: usize| Self::build_block(&sampler, m, b, r);
-            if self.config.parallel_generation((total - first) * LANES) {
-                let new_blocks: Vec<MaskBlock> =
-                    self.config.run(|| (first..total).into_par_iter().map(build).collect());
-                self.blocks.extend(new_blocks);
-            } else {
-                self.blocks.extend((first..total).map(build));
+            let new_blocks: Vec<MaskBlock> =
+                if self.config.parallel_generation((total - first) * LANES) {
+                    self.config.run(|| (first..total).into_par_iter().map(build).collect())
+                } else {
+                    (first..total).map(build).collect()
+                };
+            for (i, block) in new_blocks.into_iter().enumerate() {
+                let s = (first + i) / SHARD_BLOCKS;
+                if s == self.shards.len() {
+                    self.shards.push(BlockShard { blocks: Vec::new(), bytes: 0, last_used: 0 });
+                }
+                self.shards[s].blocks.push(block);
             }
         }
         self.samples = r;
+        // Account the new blocks shard by shard, then shed LRU shards if
+        // the shared ledger now exceeds its limit.
+        for s in shard_span(cur, r) {
+            self.shards[s].last_used = self.budget.touch();
+            self.sync_shard_bytes(s);
+        }
+        self.trim_to_budget();
     }
 
     /// For every node `u`, the number of samples in which `u` is connected
@@ -1649,6 +2257,7 @@ impl<'g> BitParallelPool<'g> {
         if k == 1 {
             return BitParallelPool::counts_from_center_range(self, centers[0], lo, hi, out);
         }
+        self.resolve_range(lo, hi);
         // Plan the per-block dispatch serially (batches never finalize —
         // that is the single-row/pair paths' job): a fully labeled block
         // goes to label scans only when the exact cost model prefers them
@@ -1663,7 +2272,7 @@ impl<'g> BitParallelPool<'g> {
         plan.clear();
         let (mut label_q, mut mask_q) = (0usize, 0usize);
         for &(b, lanes) in &items {
-            let block = &self.blocks[b as usize];
+            let block = shard_block(&self.shards, b as usize);
             let (labeled, masked) = block.split_lanes(lanes);
             let use_labels = masked == 0
                 && labeled != 0
@@ -1687,9 +2296,9 @@ impl<'g> BitParallelPool<'g> {
             self.stats.label_queries += label_q;
             self.stats.mask_queries += mask_q;
         }
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let per_block = n + 2 * graph.num_edges();
         // Workspace per worker: the mask-BFS state, the per-center "worlds
         // still unknown" masks, and the (node, mask) reach list of the
@@ -1706,7 +2315,7 @@ impl<'g> BitParallelPool<'g> {
                 let todo: &mut Vec<u64> = todo;
                 let reach: &mut Vec<(u32, u64)> = reach;
                 for &(b, labeled, masked) in plan {
-                    let block = &blocks[b as usize];
+                    let block = shard_block(shards, b as usize);
                     if labeled != 0 {
                         let labels = block.labels.as_ref().expect("planned labels exist");
                         for (j, c) in centers.iter().enumerate() {
@@ -1755,6 +2364,7 @@ impl<'g> BitParallelPool<'g> {
         *bfs = serial_ws.0;
         self.items = items;
         self.batch_plan = plan;
+        self.trim_to_budget();
     }
 
     /// [`BitParallelPool::counts_from_center`] restricted to the samples
@@ -1774,12 +2384,13 @@ impl<'g> BitParallelPool<'g> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        self.resolve_range(lo, hi);
         self.prepare_unlimited(lo, hi, UnlimitedShape::Row);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let per_block = n + 2 * graph.num_edges();
         chunked_counts_with(
             config,
@@ -1790,7 +2401,7 @@ impl<'g> BitParallelPool<'g> {
             || MultiWorldBfs::new(n),
             |counts, bfs, items| {
                 for &(b, mask) in items {
-                    let block = &blocks[b as usize];
+                    let block = shard_block(shards, b as usize);
                     let (labeled, masked) = block.split_lanes(mask);
                     if labeled != 0 {
                         let labels = block.labels.as_ref().expect("labeled lanes imply labels");
@@ -1806,6 +2417,7 @@ impl<'g> BitParallelPool<'g> {
             out,
         );
         self.items = items;
+        self.trim_to_budget();
     }
 
     /// The blocks overlapping sample range `[lo, hi)`, each with the lane
@@ -1841,12 +2453,13 @@ impl<'g> BitParallelPool<'g> {
     /// Panics if `lo > hi` or `hi > num_samples()`.
     pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        self.resolve_range(lo, hi);
         self.prepare_unlimited(lo, hi, UnlimitedShape::Pair);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         let total = chunked_sum_with(
@@ -1856,7 +2469,7 @@ impl<'g> BitParallelPool<'g> {
             bfs,
             || MultiWorldBfs::new(n),
             |bfs, &(b, mask)| {
-                let block = &blocks[b as usize];
+                let block = shard_block(shards, b as usize);
                 let (labeled, masked) = block.split_lanes(mask);
                 let mut hits = 0usize;
                 if labeled != 0 {
@@ -1871,6 +2484,7 @@ impl<'g> BitParallelPool<'g> {
             },
         );
         self.items = items;
+        self.trim_to_budget();
         total
     }
 
@@ -1888,47 +2502,10 @@ impl<'g> BitParallelPool<'g> {
         out_select: &mut [u32],
         out_cover: &mut [u32],
     ) {
-        let n = self.graph().num_nodes();
-        assert_eq!(out_select.len(), n, "select buffer has wrong length");
-        assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
-        assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
-        if d_select == DEPTH_UNLIMITED {
-            // Both depths unlimited: the fixpoint mode is cheaper.
-            self.counts_from_center(center, out_cover);
-            out_select.copy_from_slice(out_cover);
-            return;
-        }
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
-        let graph = sampler.graph();
-        let per_block = n + 2 * graph.num_edges();
-        chunked_counts2_with(
-            config,
-            blocks,
-            n,
-            per_block,
-            bfs,
-            || MultiWorldBfs::new(n),
-            |select, cover, bfs, blocks| {
-                for block in blocks {
-                    bfs.run(
-                        graph,
-                        &block.masks,
-                        center,
-                        block.lane_mask(),
-                        d_cover,
-                        |node, depth, mask| {
-                            let c = mask.count_ones();
-                            cover[node.index()] += c;
-                            if depth <= d_select {
-                                select[node.index()] += c;
-                            }
-                        },
-                    );
-                }
-            },
-            out_select,
-            out_cover,
-        );
+        let samples = self.samples;
+        self.counts_within_depths_range(
+            center, d_select, d_cover, 0, samples, out_select, out_cover,
+        )
     }
 
     /// Batched [`BitParallelPool::counts_within_depths`]: rows row-major
@@ -1984,11 +2561,12 @@ impl<'g> BitParallelPool<'g> {
             out_select.copy_from_slice(out_cover);
             return;
         }
+        self.resolve_range(lo, hi);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let per_block = n + 2 * graph.num_edges();
         for (gi, group) in centers.chunks(MAX_SOURCES).enumerate() {
             let kg = group.len();
@@ -2005,7 +2583,7 @@ impl<'g> BitParallelPool<'g> {
                     for &(b, mask) in items {
                         bfs.run_multi(
                             graph,
-                            &blocks[b as usize].masks,
+                            &shard_block(shards, b as usize).masks,
                             group,
                             mask,
                             d_cover,
@@ -2024,6 +2602,7 @@ impl<'g> BitParallelPool<'g> {
             );
         }
         self.items = items;
+        self.trim_to_budget();
     }
 
     /// [`BitParallelPool::counts_within_depths`] restricted to the samples
@@ -2054,11 +2633,12 @@ impl<'g> BitParallelPool<'g> {
             out_select.copy_from_slice(out_cover);
             return;
         }
+        self.resolve_range(lo, hi);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let per_block = n + 2 * graph.num_edges();
         chunked_counts2_with(
             config,
@@ -2071,7 +2651,7 @@ impl<'g> BitParallelPool<'g> {
                 for &(b, mask) in items {
                     bfs.run(
                         graph,
-                        &blocks[b as usize].masks,
+                        &shard_block(shards, b as usize).masks,
                         center,
                         mask,
                         d_cover,
@@ -2089,6 +2669,7 @@ impl<'g> BitParallelPool<'g> {
             out_cover,
         );
         self.items = items;
+        self.trim_to_budget();
     }
 
     /// Number of samples where `dist(u, v) ≤ depth`.
@@ -2114,11 +2695,12 @@ impl<'g> BitParallelPool<'g> {
             return self.pair_count_range(u, v, lo, hi);
         }
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
+        self.resolve_range(lo, hi);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
-        let BitParallelPool { sampler, blocks, config, bfs, .. } = self;
+        let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let blocks: &[MaskBlock] = blocks;
+        let shards: &[BlockShard] = shards;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         let total = chunked_sum_with(
@@ -2129,15 +2711,23 @@ impl<'g> BitParallelPool<'g> {
             || MultiWorldBfs::new(n),
             |bfs, &(b, mask)| {
                 let mut hit = 0u64;
-                bfs.run(graph, &blocks[b as usize].masks, u, mask, depth, |node, _, m| {
-                    if node == v {
-                        hit |= m;
-                    }
-                });
+                bfs.run(
+                    graph,
+                    &shard_block(shards, b as usize).masks,
+                    u,
+                    mask,
+                    depth,
+                    |node, _, m| {
+                        if node == v {
+                            hit |= m;
+                        }
+                    },
+                );
                 hit.count_ones() as usize
             },
         );
         self.items = items;
+        self.trim_to_budget();
         total
     }
 
@@ -2151,6 +2741,14 @@ impl<'g> BitParallelPool<'g> {
 }
 
 impl WorldEngine for BitParallelPool<'_> {
+    fn set_memory_budget(&mut self, budget: MemoryBudget) {
+        BitParallelPool::set_memory_budget(self, budget)
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        BitParallelPool::memory_stats(self)
+    }
+
     fn graph(&self) -> &UncertainGraph {
         BitParallelPool::graph(self)
     }
@@ -2404,7 +3002,7 @@ mod tests {
     #[test]
     fn empty_pool_estimates_zero() {
         let g = chain(3, 0.5);
-        let pool = ComponentPool::new(&g, 1, 1);
+        let mut pool = ComponentPool::new(&g, 1, 1);
         assert_eq!(pool.pair_estimate(NodeId(0), NodeId(1)), 0.0);
     }
 

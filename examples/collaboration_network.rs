@@ -50,7 +50,7 @@ fn main() {
     ];
     for (name, clustering, time) in entries {
         let q = clustering_quality(&mut pool, clustering);
-        let a = avpr(&pool, clustering);
+        let a = avpr(&mut pool, clustering);
         println!(
             "{:<6} {:>9.3} {:>9.3} {:>12.3} {:>12.3} {:>10.2?}",
             name, q.p_min, q.p_avg, a.inner, a.outer, time

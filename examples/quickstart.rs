@@ -51,7 +51,7 @@ fn main() {
     pool.ensure(2000);
     for (name, clustering) in [("MCP", &mcp_result.clustering), ("ACP", &acp_result.clustering)] {
         let q = clustering_quality(&mut pool, clustering);
-        let a = avpr(&pool, clustering);
+        let a = avpr(&mut pool, clustering);
         println!(
             "\n{name}: p_min = {:.3}  p_avg = {:.3}  inner-AVPR = {:.3}  outer-AVPR = {:.3}",
             q.p_min, q.p_avg, a.inner, a.outer

@@ -1,17 +1,18 @@
 //! `ugraph` — command-line front end to the library.
 //!
 //! ```text
-//! ugraph generate --dataset <collins|gavin|krogan|dblp> [--scale X] [--seed N]
+//! ugraph generate --dataset <collins|gavin|krogan|dblp|large-sparse>
+//!                 [--scale X] [--nodes N] [--seed N]
 //!                 --output graph.txt [--ground-truth gt.txt]
 //! ugraph stats    --input graph.txt
 //! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
 //!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
-//!                 [--engine <scalar|bitparallel|adaptive>]
+//!                 [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
 //! ugraph sweep    --input graph.txt --algo <mcp|acp> --k-min A --k-max B
 //!                 [--depth D] [--seed N] [--samples N]
-//!                 [--engine <scalar|bitparallel|adaptive>]
+//!                 [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
 //! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
-//!                 [--ground-truth gt.txt] [--seed N]
+//!                 [--ground-truth gt.txt] [--seed N] [--memory-budget B]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
 //! ```
 //!
@@ -74,24 +75,31 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: ugraph <command> [flags]
 
 commands:
-  generate  --dataset <collins|gavin|krogan|dblp> [--scale X] [--seed N]
+  generate  --dataset <collins|gavin|krogan|dblp|large-sparse>
+            [--scale X] [--nodes N] [--seed N]
             --output graph.txt [--ground-truth gt.txt]
   stats     --input graph.txt
   cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
             [--depth D] [--inflation I] [--seed N] [--output out.tsv]
-            [--engine <scalar|bitparallel|adaptive>]
+            [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
   sweep     --input graph.txt --algo <mcp|acp> --k-min A --k-max B
             [--depth D] [--seed N] [--samples N]
-            [--engine <scalar|bitparallel|adaptive>]
+            [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
   evaluate  --input graph.txt --clustering out.tsv [--samples N]
-            [--ground-truth gt.txt] [--seed N]
+            [--ground-truth gt.txt] [--seed N] [--memory-budget B]
   knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]
 
 `--engine` picks the Monte-Carlo backend of the solver paths (default:
 adaptive — bit-parallel blocks with lazy component-label finalization);
 every backend returns identical results for a fixed seed. It is accepted
 everywhere but only affects `cluster` and `sweep` — `evaluate` always
-measures on the scalar evaluation pool.";
+measures on the scalar evaluation pool.
+
+`--memory-budget` caps the bytes held by the session's sampled worlds and
+cached rows (e.g. 512M, 2G; binary suffixes K/M/G). Under pressure,
+least-recently-used pool shards are evicted and regenerated on demand;
+results are bit-identical to an unbounded run. `--nodes` sizes the
+large-sparse generated dataset (default 100000).";
 
 /// Parsed flag set (strings resolved lazily per command).
 #[derive(Default, Debug)]
@@ -112,6 +120,8 @@ struct Options {
     samples: usize,
     source: Option<u32>,
     engine: EngineKind,
+    memory_budget: Option<usize>,
+    nodes: Option<usize>,
 }
 
 impl Options {
@@ -143,6 +153,8 @@ impl Options {
                         "flag --engine: expected scalar, bitparallel, or adaptive, got '{v}'"
                     ))?;
                 }
+                "--memory-budget" => o.memory_budget = Some(parse_bytes(&take()?)?),
+                "--nodes" => o.nodes = Some(parse_num(&take()?, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -160,6 +172,35 @@ fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("flag {flag}: invalid value '{v}'"))
 }
 
+/// Parses a byte size with an optional binary suffix: `4096`, `64K`,
+/// `512M`, `2G` (case-insensitive, optional trailing `B`/`iB`).
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let s = v.trim();
+    let lower = s.to_ascii_lowercase();
+    let (digits, shift) = if let Some(d) =
+        lower.strip_suffix("g").or(lower.strip_suffix("gb")).or(lower.strip_suffix("gib"))
+    {
+        (d, 30u32)
+    } else if let Some(d) =
+        lower.strip_suffix("m").or(lower.strip_suffix("mb")).or(lower.strip_suffix("mib"))
+    {
+        (d, 20)
+    } else if let Some(d) =
+        lower.strip_suffix("k").or(lower.strip_suffix("kb")).or(lower.strip_suffix("kib"))
+    {
+        (d, 10)
+    } else {
+        (lower.as_str(), 0)
+    };
+    let n: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("flag --memory-budget: invalid size '{v}' (use e.g. 512M, 2G)"))?;
+    n.checked_mul(1usize << shift)
+        .filter(|&b| b > 0)
+        .ok_or(format!("flag --memory-budget: size '{v}' is zero or overflows"))
+}
+
 // ───────────────────────── commands ─────────────────────────
 
 fn cmd_generate(o: &Options) -> Result<(), String> {
@@ -169,6 +210,7 @@ fn cmd_generate(o: &Options) -> Result<(), String> {
         "gavin" => DatasetSpec::Gavin,
         "krogan" => DatasetSpec::Krogan,
         "dblp" => DatasetSpec::Dblp { scale: o.scale.unwrap_or(0.01) },
+        "large-sparse" => DatasetSpec::LargeSparse { nodes: o.nodes.unwrap_or(100_000) },
         other => return Err(format!("unknown dataset '{other}'")),
     };
     let d = spec.generate(o.seed);
@@ -177,7 +219,7 @@ fn cmd_generate(o: &Options) -> Result<(), String> {
     gio::write_edge_list(&d.graph, out).map_err(|e| e.to_string())?;
     eprintln!("wrote {}: {} nodes, {} edges", out_path, d.graph.num_nodes(), d.graph.num_edges());
     if let Some(gt_path) = &o.ground_truth {
-        let gt = d.ground_truth.ok_or("dataset has no ground truth (dblp)")?;
+        let gt = d.ground_truth.ok_or("dataset has no ground truth (dblp, large-sparse)")?;
         let mut w = BufWriter::new(
             File::create(gt_path).map_err(|e| format!("cannot create {gt_path}: {e}"))?,
         );
@@ -216,10 +258,20 @@ fn build_request(algo: &str, k: usize, depth: Option<u32>) -> Result<ClusterRequ
     }
 }
 
+/// The CLI's solver/evaluation configuration: seed + engine, plus the
+/// optional memory budget (shared by every pool of the session).
+fn session_config(o: &Options) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
+    if let Some(bytes) = o.memory_budget {
+        cfg = cfg.with_memory_budget(bytes);
+    }
+    cfg
+}
+
 fn cmd_cluster(o: &Options) -> Result<(), String> {
     let g = o.require_input()?;
     let algo = o.algo.as_deref().ok_or("--algo is required")?;
-    let cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
+    let cfg = session_config(o);
     let need_k = || o.k.ok_or(format!("--k is required for {algo}"));
     let clustering: Clustering = match (algo, o.depth) {
         ("mcp" | "acp", depth) => {
@@ -287,11 +339,12 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     if k_min < 1 || k_max < k_min {
         return Err(format!("need 1 ≤ k-min ≤ k-max, got {k_min}..{k_max}"));
     }
-    let cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
+    let cfg = session_config(o);
     let mut session =
         UgraphSession::new(&g, cfg).map_err(|e| e.to_string())?.with_eval_samples(o.samples);
     println!(
-        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>10}",
+        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>10} {:>6} {:>6} \
+         {:>10}",
         "k",
         "objective",
         "guesses",
@@ -303,6 +356,9 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         "fulls",
         "fblk",
         "lblq",
+        "bytes",
+        "evict",
+        "regen",
         "time"
     );
     for k in k_min..=k_max {
@@ -316,9 +372,12 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                 };
                 let c = r.row_cache;
                 let e = r.engine;
+                // This request's slice of the shared memory ledger.
+                let stats = session.stats();
+                let m = stats.per_request.last().expect("solve just pushed a record").memory;
                 println!(
                     "{:<4} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>6} {:>6} \
-                     {:>10.2?}",
+                     {:>10} {:>6} {:>6} {:>10.2?}",
                     k,
                     r.objective_estimate,
                     r.guesses,
@@ -330,6 +389,9 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                     c.fulls,
                     e.finalized_blocks,
                     e.label_queries,
+                    m.bytes_held,
+                    m.shards_evicted,
+                    m.shards_regenerated,
                     r.elapsed
                 );
             }
@@ -350,7 +412,7 @@ fn cmd_evaluate(o: &Options) -> Result<(), String> {
     // `--engine` is accepted but moot here: evaluation runs on the
     // session's scalar eval pool (`avpr` needs its component labels), and
     // no solver request is issued.
-    let mut session = UgraphSession::new(&g, ClusterConfig::default().with_seed(o.seed))
+    let mut session = UgraphSession::new(&g, session_config(o))
         .map_err(|e| e.to_string())?
         .with_eval_samples(o.samples);
     let q = session_quality(&mut session, &clustering);

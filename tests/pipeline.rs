@@ -88,7 +88,7 @@ fn quality_and_avpr_are_consistent_across_metrics() {
     let mut pool = ComponentPool::new(&g, 77, 1);
     pool.ensure(400);
     let q = clustering_quality(&mut pool, &r.clustering);
-    let a = avpr(&pool, &r.clustering);
+    let a = avpr(&mut pool, &r.clustering);
     assert!(q.p_avg >= q.p_min);
     assert!(a.inner > a.outer, "inner {} should exceed outer {}", a.inner, a.outer);
     assert!((0.0..=1.0).contains(&a.inner));
