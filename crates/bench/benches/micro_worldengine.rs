@@ -46,7 +46,7 @@ fn equality_gate(graph: &ugraph_graph::UncertainGraph, samples: usize) {
     let n = graph.num_nodes();
     let mut scalar = ComponentPool::new(graph, SEED, 1);
     let mut world = WorldPool::new(graph, SEED, 1);
-    let mut bit = BitParallelPool::new(graph, SEED, 1);
+    let mut bit = BitParallelPool::<1>::new(graph, SEED, 1);
     scalar.ensure(samples);
     world.ensure(samples);
     bit.ensure(samples);
@@ -143,7 +143,7 @@ fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec
             assert_eq!(pool.num_samples(), 256);
         }),
         bitparallel_ns: median_ns(reps, || {
-            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            let mut pool = BitParallelPool::<1>::new(graph, SEED, 1);
             pool.ensure(256);
             assert_eq!(pool.num_samples(), 256);
         }),
@@ -157,7 +157,7 @@ fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec
         &[("center_counts_query_only_64", 64usize), ("center_counts_query_only_256", 256)]
     {
         let mut scalar = ComponentPool::new(graph, SEED, 1);
-        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(graph, SEED, 1);
         scalar.ensure(samples);
         bit.ensure(samples);
         let mut counts = vec![0u32; n];
@@ -183,7 +183,7 @@ fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec
     {
         let samples = 128;
         let mut scalar = WorldPool::new(graph, SEED, 1);
-        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(graph, SEED, 1);
         scalar.ensure(samples);
         bit.ensure(samples);
         let mut sel = vec![0u32; n];
@@ -222,7 +222,7 @@ fn measure_comparisons(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec
                 }
             }),
             bitparallel_ns: median_ns(reps, || {
-                let mut pool = BitParallelPool::new(graph, SEED, 1);
+                let mut pool = BitParallelPool::<1>::new(graph, SEED, 1);
                 pool.ensure(samples);
                 let mut counts = vec![0u32; n];
                 for &c in &centers {
@@ -248,7 +248,7 @@ fn measure_batch_rows(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<
     let mut results = Vec::new();
     for &(name, samples) in &[("batch_rows_16x64", 64usize), ("batch_rows_16x256", 256)] {
         let mut scalar = ComponentPool::new(graph, SEED, 1);
-        let mut bit = BitParallelPool::new(graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(graph, SEED, 1);
         scalar.ensure(samples);
         bit.ensure(samples);
         // Equality gate: batched rows identical across backends and to the
@@ -309,7 +309,7 @@ fn measure_adaptive(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Tr
     // every row it will be timed on (finalized and unfinalized paths).
     {
         let mut scalar = ComponentPool::new(graph, SEED, 1);
-        let mut adaptive = BitParallelPool::new_adaptive(graph, SEED, 1);
+        let mut adaptive = BitParallelPool::<1>::new_adaptive(graph, SEED, 1);
         scalar.ensure(samples);
         adaptive.ensure(samples);
         let mut a = vec![0u32; n];
@@ -348,14 +348,14 @@ fn measure_adaptive(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Tr
             t.elapsed().as_nanos()
         });
         let bitparallel_ns = time_cold(&mut || {
-            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            let mut pool = BitParallelPool::<1>::new(graph, SEED, 1);
             pool.ensure(samples);
             let t = Instant::now();
             std::hint::black_box(pool.pair_count(u, v));
             t.elapsed().as_nanos()
         });
         let adaptive_ns = time_cold(&mut || {
-            let mut pool = BitParallelPool::new_adaptive(graph, SEED, 1);
+            let mut pool = BitParallelPool::<1>::new_adaptive(graph, SEED, 1);
             pool.ensure(samples);
             let t = Instant::now();
             std::hint::black_box(pool.pair_count(u, v));
@@ -376,8 +376,8 @@ fn measure_adaptive(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Tr
     // scans on all three backends.
     {
         let mut scalar = ComponentPool::new(graph, SEED, 1);
-        let mut mask = BitParallelPool::new(graph, SEED, 1);
-        let mut adaptive = BitParallelPool::new_adaptive(graph, SEED, 1);
+        let mut mask = BitParallelPool::<1>::new(graph, SEED, 1);
+        let mut adaptive = BitParallelPool::<1>::new_adaptive(graph, SEED, 1);
         scalar.ensure(samples);
         mask.ensure(samples);
         adaptive.ensure(samples);
@@ -453,11 +453,11 @@ fn measure_adaptive(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<Tr
             pool.ensure(samples);
         }),
         bitparallel_ns: median_ns(reps, || {
-            let mut pool = BitParallelPool::new(graph, SEED, 1);
+            let mut pool = BitParallelPool::<1>::new(graph, SEED, 1);
             pool.ensure(samples);
         }),
         adaptive_ns: median_ns(reps, || {
-            let mut pool = BitParallelPool::new_adaptive(graph, SEED, 1);
+            let mut pool = BitParallelPool::<1>::new_adaptive(graph, SEED, 1);
             pool.ensure(samples);
         }),
     });
@@ -773,6 +773,225 @@ fn write_oracle_json(
     }
 }
 
+/// One block-width scenario: median ns per operation at widths 64, 256,
+/// and 512 worlds per mask block.
+struct WidthRow {
+    name: &'static str,
+    w64_ns: u128,
+    w256_ns: u128,
+    w512_ns: u128,
+}
+
+impl WidthRow {
+    fn speedup_256(&self) -> f64 {
+        self.w64_ns as f64 / (self.w256_ns as f64).max(1.0)
+    }
+
+    fn speedup_512(&self) -> f64 {
+        self.w64_ns as f64 / (self.w512_ns as f64).max(1.0)
+    }
+}
+
+/// Per-width timings of the scenarios in the `block_width_sweep` group.
+struct WidthTimes {
+    ensure_ns: u128,
+    depth_ns: u128,
+    row_ns: u128,
+    pair_ns: u128,
+    batch_ns: u128,
+    warm_batch_ns: u128,
+}
+
+/// Counts sampled at one width, compared across widths before timing.
+struct WidthGate {
+    rows: Vec<u32>,
+    depths: Vec<u32>,
+    batch: Vec<u32>,
+    pairs: Vec<usize>,
+}
+
+/// Measures every width scenario at one block width `W` and checks the
+/// counts against `gate` (the width-64 reference) before any timing.
+fn measure_one_width<const W: usize>(
+    graph: &ugraph_graph::UncertainGraph,
+    reps: usize,
+    samples: usize,
+    gate: &mut Option<WidthGate>,
+) -> WidthTimes {
+    const SEED: u64 = 41;
+    let n = graph.num_nodes();
+    let centers: Vec<u32> = (0..n as u32).step_by(n / 16).collect();
+    let k = 16usize;
+    let batch_centers: Vec<NodeId> =
+        (0..k as u32).map(|i| NodeId(i * (n as u32 / k as u32))).collect();
+
+    let mut pool = BitParallelPool::<W>::new(graph, SEED, 1);
+    pool.ensure(samples);
+    assert_eq!(pool.num_samples(), samples);
+
+    // Equality gate: all counts below must be bit-identical to width 64.
+    {
+        let mut rows = Vec::new();
+        let mut row = vec![0u32; n];
+        let (mut sel, mut cov) = (vec![0u32; n], vec![0u32; n]);
+        let mut depths = Vec::new();
+        let mut pairs = Vec::new();
+        for &c in &centers {
+            pool.counts_from_center(NodeId(c), &mut row);
+            rows.extend_from_slice(&row);
+            pool.counts_within_depths(NodeId(c), 2, 4, &mut sel, &mut cov);
+            depths.extend_from_slice(&sel);
+            depths.extend_from_slice(&cov);
+            pairs.push(pool.pair_count(NodeId(0), NodeId(c)));
+        }
+        let mut batch = vec![0u32; k * n];
+        pool.counts_from_centers(&batch_centers, &mut batch);
+        let fp = WidthGate { rows, depths, batch, pairs };
+        match gate {
+            None => *gate = Some(fp),
+            Some(want) => {
+                assert_eq!(want.rows, fp.rows, "width {} center rows differ", W * 64);
+                assert_eq!(want.depths, fp.depths, "width {} depth counts differ", W * 64);
+                assert_eq!(want.batch, fp.batch, "width {} batch rows differ", W * 64);
+                assert_eq!(want.pairs, fp.pairs, "width {} pair counts differ", W * 64);
+            }
+        }
+    }
+
+    // Pool generation. Dominated by the per-edge Bernoulli draws (the RNG
+    // stream is pinned per world for cross-width identity), so the wide
+    // win here is bounded by the non-RNG fraction — see HOTPATH.md.
+    let ensure_ns = median_ns(reps, || {
+        let mut p = BitParallelPool::<W>::new(graph, SEED, 1);
+        p.ensure(samples);
+    });
+
+    // Depth-limited counts (d = 4): frontier expansion over Mask<W>
+    // blocks, the workload wide words exist for.
+    let (mut sel, mut cov) = (vec![0u32; n], vec![0u32; n]);
+    let depth_ns = median_ns(reps, || {
+        for &c in &centers {
+            pool.counts_within_depths(NodeId(c), 2, 4, &mut sel, &mut cov);
+        }
+    }) / centers.len() as u128;
+
+    // Unlimited mask-path rows, pairs, and batched rows on the pure-mask
+    // pool (no label finalization: every query runs the mask kernels).
+    let mut row = vec![0u32; n];
+    let row_ns = median_ns(reps, || {
+        for &c in &centers {
+            pool.counts_from_center(NodeId(c), &mut row);
+        }
+    }) / centers.len() as u128;
+    let pairs: Vec<(NodeId, NodeId)> =
+        centers.iter().map(|&c| (NodeId(c), NodeId((c + 7) % n as u32))).collect();
+    let pair_ns = median_ns(reps, || {
+        for &(u, v) in &pairs {
+            std::hint::black_box(pool.pair_count(u, v));
+        }
+    }) / pairs.len() as u128;
+    let mut rows = vec![0u32; k * n];
+    let batch_ns = median_ns(reps, || pool.counts_from_centers(&batch_centers, &mut rows));
+
+    // Warm adaptive batched rows: labels are per-world and thus
+    // width-independent once finalized; this checks the width seam adds
+    // no overhead on the label path.
+    let mut adaptive = BitParallelPool::<W>::new_adaptive(graph, SEED, 1);
+    adaptive.ensure(samples);
+    adaptive.counts_from_center(NodeId(0), &mut row);
+    let warm_batch_ns = median_ns(reps, || adaptive.counts_from_centers(&batch_centers, &mut rows));
+
+    WidthTimes { ensure_ns, depth_ns, row_ns, pair_ns, batch_ns, warm_batch_ns }
+}
+
+/// `block_width_sweep`: the same pool workloads at 64-, 256-, and 512-world
+/// blocks, equality-gated across widths (identical worlds by construction,
+/// so any divergence is a kernel bug).
+fn measure_width_sweep(graph: &ugraph_graph::UncertainGraph, reps: usize) -> Vec<WidthRow> {
+    let samples = 512usize;
+    let mut gate = None;
+    let w1 = measure_one_width::<1>(graph, reps, samples, &mut gate);
+    let w4 = measure_one_width::<4>(graph, reps, samples, &mut gate);
+    let w8 = measure_one_width::<8>(graph, reps, samples, &mut gate);
+    println!("width equality gate passed: counts identical at 64/256/512-world blocks");
+    vec![
+        WidthRow {
+            name: "ensure_512",
+            w64_ns: w1.ensure_ns,
+            w256_ns: w4.ensure_ns,
+            w512_ns: w8.ensure_ns,
+        },
+        WidthRow {
+            name: "depth4_counts_512",
+            w64_ns: w1.depth_ns,
+            w256_ns: w4.depth_ns,
+            w512_ns: w8.depth_ns,
+        },
+        WidthRow {
+            name: "mask_center_rows_512",
+            w64_ns: w1.row_ns,
+            w256_ns: w4.row_ns,
+            w512_ns: w8.row_ns,
+        },
+        WidthRow {
+            name: "mask_pair_counts_512",
+            w64_ns: w1.pair_ns,
+            w256_ns: w4.pair_ns,
+            w512_ns: w8.pair_ns,
+        },
+        WidthRow {
+            name: "batch_rows_16x512",
+            w64_ns: w1.batch_ns,
+            w256_ns: w4.batch_ns,
+            w512_ns: w8.batch_ns,
+        },
+        WidthRow {
+            name: "warm_batch_rows_16x512",
+            w64_ns: w1.warm_batch_ns,
+            w256_ns: w4.warm_batch_ns,
+            w512_ns: w8.warm_batch_ns,
+        },
+    ]
+}
+
+fn write_width_json(
+    graph: &ugraph_graph::UncertainGraph,
+    name: &str,
+    rows: &[WidthRow],
+    smoke: bool,
+) {
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"w64_ns\": {}, \"w256_ns\": {}, \"w512_ns\": {}, \
+             \"speedup_256\": {:.3}, \"speedup_512\": {:.3}}}",
+            r.name,
+            r.w64_ns,
+            r.w256_ns,
+            r.w512_ns,
+            r.speedup_256(),
+            r.speedup_512()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"block_width_sweep\",\n  \"dataset\": \"{}\",\n  \
+         \"nodes\": {},\n  \"edges\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        smoke,
+        body
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_width.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn write_json(
     graph: &ugraph_graph::UncertainGraph,
     name: &str,
@@ -874,6 +1093,23 @@ fn worldengine(c: &mut Criterion) {
     }
     write_adaptive_json(&graph, &d.name, &tris, &replay, smoke());
 
+    // Block-width sweep: the same kernels at 64/256/512 worlds per block
+    // (equality gates inside).
+    let widths = measure_width_sweep(&graph, reps);
+    for r in &widths {
+        println!(
+            "  width/{:<24} w64 {:>12} ns   w256 {:>12} ns   w512 {:>12} ns   256 vs 64 \
+             {:>5.2}x   512 vs 64 {:>5.2}x",
+            r.name,
+            r.w64_ns,
+            r.w256_ns,
+            r.w512_ns,
+            r.speedup_256(),
+            r.speedup_512()
+        );
+    }
+    write_width_json(&graph, &d.name, &widths, smoke());
+
     // k-sweep through one session vs independent cold calls
     // (equality-gated inside).
     let (k_lo, k_hi, sweeps) = measure_k_sweep(&graph, smoke());
@@ -915,7 +1151,7 @@ fn worldengine(c: &mut Criterion) {
                 counts[0]
             })
         });
-        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(&graph, SEED, 1);
         bit.ensure(samples);
         group.bench_function(BenchmarkId::new("center_counts/bitparallel", label), |b| {
             let mut center = 0u32;
@@ -941,7 +1177,7 @@ fn worldengine(c: &mut Criterion) {
                 rows[0]
             })
         });
-        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(&graph, SEED, 1);
         bit.ensure(samples);
         group.bench_function(BenchmarkId::new("batch_rows/bitparallel", samples), |b| {
             b.iter(|| {
@@ -954,7 +1190,7 @@ fn worldengine(c: &mut Criterion) {
         // Warm adaptive center counts for interactive comparison with the
         // scalar/bitparallel `center_counts` entries above.
         let samples = 256;
-        let mut adaptive = BitParallelPool::new_adaptive(&graph, SEED, 1);
+        let mut adaptive = BitParallelPool::<1>::new_adaptive(&graph, SEED, 1);
         adaptive.ensure(samples);
         adaptive.counts_from_center(NodeId(0), &mut counts);
         group.bench_function(BenchmarkId::new("center_counts/adaptive", samples), |b| {
@@ -980,7 +1216,7 @@ fn worldengine(c: &mut Criterion) {
                 cov[0]
             })
         });
-        let mut bit = BitParallelPool::new(&graph, SEED, 1);
+        let mut bit = BitParallelPool::<1>::new(&graph, SEED, 1);
         bit.ensure(samples);
         group.bench_function(BenchmarkId::new("depth4_counts/bitparallel", samples), |b| {
             let mut center = 0u32;
@@ -1014,6 +1250,35 @@ fn worldengine(c: &mut Criterion) {
         })
     });
     sweep_group.finish();
+
+    // Interactive width exploration: batched rows per block width (the
+    // sweep JSON above covers the full scenario set).
+    let mut width_group = c.benchmark_group("block_width_sweep");
+    if smoke() {
+        width_group.sample_size(10);
+        width_group.measurement_time(Duration::from_millis(40));
+    }
+    macro_rules! width_bench {
+        ($w:literal, $label:expr) => {{
+            let samples = 512;
+            let k = 16usize;
+            let centers: Vec<NodeId> =
+                (0..k as u32).map(|i| NodeId(i * (n as u32 / k as u32))).collect();
+            let mut rows = vec![0u32; k * n];
+            let mut pool = BitParallelPool::<$w>::new(&graph, SEED, 1);
+            pool.ensure(samples);
+            width_group.bench_function(BenchmarkId::new("batch_rows", $label), |b| {
+                b.iter(|| {
+                    pool.counts_from_centers(&centers, &mut rows);
+                    rows[0]
+                })
+            });
+        }};
+    }
+    width_bench!(1, "64");
+    width_bench!(4, "256");
+    width_bench!(8, "512");
+    width_group.finish();
 }
 
 criterion_group!(benches, worldengine);

@@ -1,6 +1,6 @@
 //! Configuration of the clustering drivers.
 
-use ugraph_sampling::{EngineKind, SampleSchedule};
+use ugraph_sampling::{BlockWidth, EngineKind, SampleSchedule};
 
 use crate::error::ClusterError;
 
@@ -68,6 +68,13 @@ pub struct ClusterConfig {
     /// through `mcp`/`acp` (and their depth variants) into every
     /// `min-partial` probability estimate.
     pub engine: EngineKind,
+    /// Mask-block width of the bit-parallel backends: how many worlds one
+    /// block packs (64, 256, or 512 — see
+    /// [`ugraph_sampling::BlockWidth`]). Counts are bit-identical at every
+    /// width; wider blocks answer more worlds per traversal at
+    /// proportionally larger per-block mask memory. Ignored by the scalar
+    /// backend.
+    pub block_width: BlockWidth,
     /// Per-center row cache in the Monte-Carlo oracles (default on):
     /// integer count rows are kept across the guessing schedule and topped
     /// up incrementally when the pool grows, instead of re-sweeping all
@@ -111,6 +118,7 @@ impl Default for ClusterConfig {
             guess: GuessStrategy::default(),
             acp_invocation: AcpInvocation::default(),
             engine: EngineKind::default(),
+            block_width: BlockWidth::default(),
             row_cache: true,
             shared_pool: false,
             memory_budget: None,
@@ -206,6 +214,12 @@ impl ClusterConfig {
     /// Builder-style setter for the Monte-Carlo backend.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder-style setter for the bit-parallel mask-block width.
+    pub fn with_block_width(mut self, width: BlockWidth) -> Self {
+        self.block_width = width;
         self
     }
 

@@ -494,19 +494,20 @@ impl<'g> UgraphSession<'g> {
         };
         let oracle: Box<dyn Oracle + 'g> = match key.depths {
             None => Box::new(
-                McOracle::with_engine(
+                McOracle::with_engine_width(
                     self.graph,
                     mix_seed(cfg.seed, tag),
                     cfg.threads,
                     cfg.schedule,
                     cfg.epsilon,
                     cfg.engine,
+                    cfg.block_width,
                 )
                 .with_row_cache(cfg.row_cache)
                 .with_memory_budget(self.budget.clone()),
             ),
             Some((d_select, d_cover)) => Box::new(
-                DepthMcOracle::with_engine(
+                DepthMcOracle::with_engine_width(
                     self.graph,
                     mix_seed(cfg.seed, tag),
                     cfg.threads,
@@ -515,6 +516,7 @@ impl<'g> UgraphSession<'g> {
                     d_select,
                     d_cover,
                     cfg.engine,
+                    cfg.block_width,
                 )?
                 .with_row_cache(cfg.row_cache)
                 .with_memory_budget(self.budget.clone()),

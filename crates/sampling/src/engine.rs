@@ -76,6 +76,57 @@ impl EngineKind {
     }
 }
 
+/// Block width of the bit-parallel backends: how many worlds one mask
+/// block packs, i.e. the `W` of [`ugraph_graph::Mask`]`<W>` (`W · 64`
+/// worlds per block). Wider blocks answer more worlds per traversal at the
+/// cost of proportionally larger per-block mask memory (`m · W · 8` bytes
+/// per block even when only a tail of its lanes is populated). Counts are
+/// **bit-identical at every width** — world `i` always comes from per-index
+/// RNG stream `i` — so the knob is purely a performance/memory trade.
+/// Ignored by the scalar backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BlockWidth {
+    /// 64 worlds per block (one `u64` word per edge).
+    W64,
+    /// 256 worlds per block (four words per edge) — the default: wide
+    /// enough for the AND+popcount sweeps to autovectorize, narrow enough
+    /// to keep partial-tail waste small.
+    #[default]
+    W256,
+    /// 512 worlds per block (eight words per edge).
+    W512,
+}
+
+impl BlockWidth {
+    /// Worlds per block at this width.
+    pub fn worlds(self) -> usize {
+        match self {
+            BlockWidth::W64 => 64,
+            BlockWidth::W256 => 256,
+            BlockWidth::W512 => 512,
+        }
+    }
+
+    /// Short stable name, used in CLI flags and benchmark labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockWidth::W64 => "64",
+            BlockWidth::W256 => "256",
+            BlockWidth::W512 => "512",
+        }
+    }
+
+    /// Parses the name produced by [`BlockWidth::name`] (CLI flag values).
+    pub fn from_name(name: &str) -> Option<BlockWidth> {
+        match name {
+            "64" => Some(BlockWidth::W64),
+            "256" => Some(BlockWidth::W256),
+            "512" => Some(BlockWidth::W512),
+            _ => None,
+        }
+    }
+}
+
 /// Counters describing the adaptive backend's lazy block finalization (all
 /// zero for backends without finalization — scalar pools and the pure-mask
 /// bit-parallel pool).

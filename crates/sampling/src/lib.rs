@@ -78,7 +78,7 @@ pub mod world;
 
 pub use bounds::{harmonic, SampleSchedule};
 pub use budget::{MemoryBudget, MemoryStats};
-pub use engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
+pub use engine::{BlockWidth, EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 pub use error::SamplingError;
 pub use exact::ExactOracle;
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};

@@ -76,7 +76,7 @@ use ugraph_graph::{NodeId, UncertainGraph};
 
 use crate::bounds::SampleSchedule;
 use crate::budget::{MemoryBudget, MemoryStats};
-use crate::engine::{EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
+use crate::engine::{BlockWidth, EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::error::SamplingError;
 use crate::exact::ExactOracle;
 use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
@@ -569,7 +569,8 @@ impl<'g> McOracle<'g> {
         Self::with_engine(graph, seed, threads, schedule, epsilon, EngineKind::Scalar)
     }
 
-    /// Creates the oracle on the backend selected by `kind`.
+    /// Creates the oracle on the backend selected by `kind`, at the
+    /// default [`BlockWidth`].
     pub fn with_engine(
         graph: &'g UncertainGraph,
         seed: u64,
@@ -578,10 +579,50 @@ impl<'g> McOracle<'g> {
         epsilon: f64,
         kind: EngineKind,
     ) -> Self {
-        let engine: Box<dyn WorldEngine + 'g> = match kind {
-            EngineKind::Scalar => Box::new(ComponentPool::new(graph, seed, threads)),
-            EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
-            EngineKind::Adaptive => Box::new(BitParallelPool::new_adaptive(graph, seed, threads)),
+        Self::with_engine_width(
+            graph,
+            seed,
+            threads,
+            schedule,
+            epsilon,
+            kind,
+            BlockWidth::default(),
+        )
+    }
+
+    /// Creates the oracle on the backend selected by `kind` with the
+    /// bit-parallel block width selected by `width` (ignored by the scalar
+    /// backend). Estimates are bit-identical at every width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine_width(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        kind: EngineKind,
+        width: BlockWidth,
+    ) -> Self {
+        let engine: Box<dyn WorldEngine + 'g> = match (kind, width) {
+            (EngineKind::Scalar, _) => Box::new(ComponentPool::new(graph, seed, threads)),
+            (EngineKind::BitParallel, BlockWidth::W64) => {
+                Box::new(BitParallelPool::<1>::new(graph, seed, threads))
+            }
+            (EngineKind::BitParallel, BlockWidth::W256) => {
+                Box::new(BitParallelPool::<4>::new(graph, seed, threads))
+            }
+            (EngineKind::BitParallel, BlockWidth::W512) => {
+                Box::new(BitParallelPool::<8>::new(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W64) => {
+                Box::new(BitParallelPool::<1>::new_adaptive(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W256) => {
+                Box::new(BitParallelPool::<4>::new_adaptive(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W512) => {
+                Box::new(BitParallelPool::<8>::new_adaptive(graph, seed, threads))
+            }
         };
         Self::from_engine(engine, schedule, epsilon)
     }
@@ -891,7 +932,8 @@ impl<'g> DepthMcOracle<'g> {
         )
     }
 
-    /// Creates the oracle on the backend selected by `kind`.
+    /// Creates the oracle on the backend selected by `kind`, at the
+    /// default [`BlockWidth`].
     ///
     /// # Errors
     /// Returns [`SamplingError::InvalidDepths`] if `d_select > d_cover`.
@@ -906,10 +948,57 @@ impl<'g> DepthMcOracle<'g> {
         d_cover: u32,
         kind: EngineKind,
     ) -> Result<Self, SamplingError> {
-        let engine: Box<dyn WorldEngine + 'g> = match kind {
-            EngineKind::Scalar => Box::new(WorldPool::new(graph, seed, threads)),
-            EngineKind::BitParallel => Box::new(BitParallelPool::new(graph, seed, threads)),
-            EngineKind::Adaptive => Box::new(BitParallelPool::new_adaptive(graph, seed, threads)),
+        Self::with_engine_width(
+            graph,
+            seed,
+            threads,
+            schedule,
+            epsilon,
+            d_select,
+            d_cover,
+            kind,
+            BlockWidth::default(),
+        )
+    }
+
+    /// Creates the oracle on the backend selected by `kind` with the
+    /// bit-parallel block width selected by `width` (ignored by the scalar
+    /// backend). Estimates are bit-identical at every width.
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::InvalidDepths`] if `d_select > d_cover`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine_width(
+        graph: &'g UncertainGraph,
+        seed: u64,
+        threads: usize,
+        schedule: SampleSchedule,
+        epsilon: f64,
+        d_select: u32,
+        d_cover: u32,
+        kind: EngineKind,
+        width: BlockWidth,
+    ) -> Result<Self, SamplingError> {
+        let engine: Box<dyn WorldEngine + 'g> = match (kind, width) {
+            (EngineKind::Scalar, _) => Box::new(WorldPool::new(graph, seed, threads)),
+            (EngineKind::BitParallel, BlockWidth::W64) => {
+                Box::new(BitParallelPool::<1>::new(graph, seed, threads))
+            }
+            (EngineKind::BitParallel, BlockWidth::W256) => {
+                Box::new(BitParallelPool::<4>::new(graph, seed, threads))
+            }
+            (EngineKind::BitParallel, BlockWidth::W512) => {
+                Box::new(BitParallelPool::<8>::new(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W64) => {
+                Box::new(BitParallelPool::<1>::new_adaptive(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W256) => {
+                Box::new(BitParallelPool::<4>::new_adaptive(graph, seed, threads))
+            }
+            (EngineKind::Adaptive, BlockWidth::W512) => {
+                Box::new(BitParallelPool::<8>::new_adaptive(graph, seed, threads))
+            }
         };
         Self::from_engine(engine, schedule, epsilon, d_select, d_cover)
     }

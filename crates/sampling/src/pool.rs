@@ -33,8 +33,8 @@
 use rayon::prelude::*;
 
 use ugraph_graph::{
-    lane_mask, Bitset, DepthBfs, MultiWorldBfs, NodeId, UncertainGraph, UnionFind, WorldView,
-    LANES, MAX_SOURCES,
+    Bitset, DepthBfs, Mask, MultiWorldBfs, NodeId, UncertainGraph, UnionFind, WorldView, LANES,
+    MAX_SOURCES,
 };
 
 use crate::budget::{MemoryBudget, MemoryStats};
@@ -45,14 +45,25 @@ use crate::tuning::{
 };
 use crate::world::WorldSampler;
 
-/// Blocks per shard of the bit-parallel backend — the granularity at which
-/// pool storage is allocated, charged against a [`MemoryBudget`], and
-/// evicted.
+/// Blocks per shard of the width-64 bit-parallel backend — the granularity
+/// at which pool storage is allocated, charged against a [`MemoryBudget`],
+/// and evicted. Wider backends pack the same [`SHARD_WORLDS`] worlds into
+/// proportionally fewer blocks per shard (`blocks_per_shard`), so
+/// shard indices, touch stamps, and eviction order are identical at every
+/// block width.
 pub const SHARD_BLOCKS: usize = 16;
 
-/// Worlds per shard (16 blocks × 64 lanes = 1,024), the shard granularity
-/// shared by all three backends so they report memory uniformly.
+/// Worlds per shard (16 × 64 = 1,024 at every block width), the shard
+/// granularity shared by all backends so they report memory uniformly.
 pub const SHARD_WORLDS: usize = SHARD_BLOCKS * LANES;
+
+/// Blocks per shard at block width `W` words (64·W worlds per block):
+/// 16 for width 64, 4 for width 256, 2 for width 512 — always the same
+/// [`SHARD_WORLDS`] worlds per shard.
+#[inline]
+const fn blocks_per_shard<const W: usize>() -> usize {
+    SHARD_WORLDS / (W * LANES)
+}
 
 /// Residency metadata of one shard of a **scalar** pool (the shard's
 /// samples live in the pool's flat storage; evicted samples are replaced
@@ -1456,15 +1467,16 @@ impl WorldEngine for WorldPool<'_> {
     }
 }
 
-/// Finalized per-lane component labels of one 64-world block, at label
-/// width `L` — the structure that lets unlimited queries over the block run
-/// as O(n + members) label scans instead of mask BFS.
+/// Finalized per-lane component labels of one mask block, at label width
+/// `L` — the structure that lets unlimited queries over the block run as
+/// O(n + members) label scans instead of mask BFS.
 ///
-/// Labels are stored node-major with fixed stride [`LANES`]
-/// (`labels[u * LANES + l]` = `u`'s component in world `l`), so a center's
-/// 64 per-lane labels and a pair's two label strips are contiguous loads.
-/// The membership index is a single CSR over `(lane, label)` buckets:
-/// members of component `c` of lane `l` are
+/// Labels are stored node-major with stride `stride` = the block's lane
+/// capacity, `W · 64` for block width `W`
+/// (`labels[u * stride + l]` = `u`'s component in world `l`), so a
+/// center's per-lane labels and a pair's two label strips are contiguous
+/// loads. The membership index is a single CSR over `(lane, label)`
+/// buckets: members of component `c` of lane `l` are
 /// `order[starts[b]..starts[b + 1]]` with `b = lane_base[l] + c`.
 ///
 /// Lanes are labeled **append-only**: finalizing a partially filled block
@@ -1472,8 +1484,8 @@ impl WorldEngine for WorldPool<'_> {
 /// lanes are never recomputed (worlds are immutable once sampled).
 #[derive(Clone, Debug)]
 struct BlockLabels<L> {
-    /// Per-lane labels, node-major with stride [`LANES`] (sized `n · 64`
-    /// up front so lane appends are in-place writes).
+    /// Per-lane labels, node-major with stride `stride` (sized
+    /// `n · stride` up front so lane appends are in-place writes).
     labels: Vec<L>,
     /// Node ids grouped by `(lane, label)` bucket; lane `l` owns
     /// `order[l * n..(l + 1) * n]`.
@@ -1482,17 +1494,21 @@ struct BlockLabels<L> {
     starts: Vec<u32>,
     /// `lane_base[l]` = index of lane `l`'s first bucket in `starts`.
     lane_base: Vec<u32>,
+    /// Lane capacity of the block (`W · 64`) — the node-major stride of
+    /// `labels`.
+    stride: u32,
     /// Lanes labeled so far (a prefix of the block's lanes).
     labeled: u32,
 }
 
 impl<L: Label> BlockLabels<L> {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, stride: usize) -> Self {
         BlockLabels {
-            labels: vec![L::from_u32(0); n * LANES],
+            labels: vec![L::from_u32(0); n * stride],
             order: Vec::new(),
             starts: vec![0],
             lane_base: vec![0],
+            stride: stride as u32,
             labeled: 0,
         }
     }
@@ -1506,26 +1522,23 @@ impl<L: Label> BlockLabels<L> {
     /// Labels lanes `[self.labeled, target)` from the block's edge masks
     /// with one component-sharing sweep, then appends their membership
     /// buckets. Already-labeled lanes are untouched.
-    fn extend(
+    fn extend<const W: usize>(
         &mut self,
         graph: &UncertainGraph,
-        bfs: &mut MultiWorldBfs,
-        masks: &[u64],
+        bfs: &mut MultiWorldBfs<W>,
+        masks: &[Mask<W>],
         target: usize,
     ) {
         let n = graph.num_nodes();
+        let stride = self.stride as usize;
         let from = self.labeled as usize;
-        debug_assert!(from < target && target <= LANES);
-        let new_mask = lane_mask(target) & !lane_mask(from);
+        debug_assert_eq!(stride, Mask::<W>::LANES);
+        debug_assert!(from < target && target <= stride);
+        let new_mask = Mask::<W>::prefix(target).and_not(Mask::prefix(from));
         let labels = &mut self.labels;
         let counts = bfs.label_components(graph, masks, new_mask, |v, mask, next| {
-            let base = v.index() * LANES;
-            let mut bits = mask;
-            while bits != 0 {
-                let l = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                labels[base + l] = L::from_u32(next[l]);
-            }
+            let base = v.index() * stride;
+            mask.for_each_lane(|l| labels[base + l] = L::from_u32(next[l]));
         });
         // Append the new lanes' membership buckets (counting sort per lane).
         self.order.resize((target - from) * n + self.order.len(), L::from_u32(0));
@@ -1536,7 +1549,7 @@ impl<L: Label> BlockLabels<L> {
             sizes.clear();
             sizes.resize(nb, 0);
             for u in 0..n {
-                sizes[self.labels[u * LANES + l].index()] += 1;
+                sizes[self.labels[u * stride + l].index()] += 1;
             }
             let mut running = *self.starts.last().expect("starts holds its terminator");
             cursor.clear();
@@ -1546,7 +1559,7 @@ impl<L: Label> BlockLabels<L> {
                 self.starts.push(running);
             }
             for u in 0..n {
-                let c = self.labels[u * LANES + l].index();
+                let c = self.labels[u * stride + l].index();
                 self.order[cursor[c] as usize] = L::from_u32(u as u32);
                 cursor[c] += 1;
             }
@@ -1560,48 +1573,40 @@ impl<L: Label> BlockLabels<L> {
     /// in every lane selected by `lanes` — the finalized-block kernel of
     /// the unlimited count queries (`lanes` must be ⊆ the labeled lanes).
     #[inline]
-    fn accumulate_center(&self, center: usize, lanes: u64, counts: &mut [u32]) {
-        let base = center * LANES;
-        let mut bits = lanes;
-        while bits != 0 {
-            let l = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+    fn accumulate_center<const W: usize>(&self, center: usize, lanes: Mask<W>, counts: &mut [u32]) {
+        let stride = self.stride as usize;
+        let base = center * stride;
+        lanes.for_each_lane(|l| {
             let b = (self.lane_base[l] + self.labels[base + l].index() as u32) as usize;
             for &u in &self.order[self.starts[b] as usize..self.starts[b + 1] as usize] {
                 counts[u.index()] += 1;
             }
-        }
+        });
     }
 
     /// Number of lanes in `lanes` where `u` and `v` share a component
     /// (`lanes` must be ⊆ the labeled lanes).
     #[inline]
-    fn pair_lanes(&self, u: usize, v: usize, lanes: u64) -> usize {
-        let (bu, bv) = (u * LANES, v * LANES);
+    fn pair_lanes<const W: usize>(&self, u: usize, v: usize, lanes: Mask<W>) -> usize {
+        let stride = self.stride as usize;
+        let (bu, bv) = (u * stride, v * stride);
         let mut hits = 0usize;
-        let mut bits = lanes;
-        while bits != 0 {
-            let l = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            hits += usize::from(self.labels[bu + l] == self.labels[bv + l]);
-        }
+        lanes.for_each_lane(|l| hits += usize::from(self.labels[bu + l] == self.labels[bv + l]));
         hits
     }
 
     /// Exact label-scan cost of a batched query — the total member count
     /// of every `(center, lane)` component bucket — for the
     /// [`crate::tuning::labels_beat_shared_masks`] dispatch.
-    fn batch_label_ops(&self, centers: &[NodeId], lanes: u64) -> usize {
+    fn batch_label_ops<const W: usize>(&self, centers: &[NodeId], lanes: Mask<W>) -> usize {
+        let stride = self.stride as usize;
         let mut ops = 0usize;
         for c in centers {
-            let base = c.index() * LANES;
-            let mut bits = lanes;
-            while bits != 0 {
-                let l = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
+            let base = c.index() * stride;
+            lanes.for_each_lane(|l| {
                 let b = (self.lane_base[l] + self.labels[base + l].index() as u32) as usize;
                 ops += (self.starts[b + 1] - self.starts[b]) as usize;
-            }
+            });
         }
         ops
     }
@@ -1615,11 +1620,11 @@ enum BlockLabelsAny {
 }
 
 impl BlockLabelsAny {
-    fn new(n: usize, wide: bool) -> Self {
+    fn new(n: usize, wide: bool, stride: usize) -> Self {
         if wide {
-            BlockLabelsAny::Wide(BlockLabels::new(n))
+            BlockLabelsAny::Wide(BlockLabels::new(n, stride))
         } else {
-            BlockLabelsAny::Narrow(BlockLabels::new(n))
+            BlockLabelsAny::Narrow(BlockLabels::new(n, stride))
         }
     }
 
@@ -1633,15 +1638,15 @@ impl BlockLabelsAny {
 
     /// Lane mask of the labeled prefix.
     #[inline]
-    fn labeled_mask(&self) -> u64 {
-        lane_mask(self.labeled() as usize)
+    fn labeled_mask<const W: usize>(&self) -> Mask<W> {
+        Mask::prefix(self.labeled() as usize)
     }
 
-    fn extend(
+    fn extend<const W: usize>(
         &mut self,
         graph: &UncertainGraph,
-        bfs: &mut MultiWorldBfs,
-        masks: &[u64],
+        bfs: &mut MultiWorldBfs<W>,
+        masks: &[Mask<W>],
         target: usize,
     ) {
         match self {
@@ -1651,7 +1656,7 @@ impl BlockLabelsAny {
     }
 
     #[inline]
-    fn accumulate_center(&self, center: usize, lanes: u64, counts: &mut [u32]) {
+    fn accumulate_center<const W: usize>(&self, center: usize, lanes: Mask<W>, counts: &mut [u32]) {
         match self {
             BlockLabelsAny::Narrow(l) => l.accumulate_center(center, lanes, counts),
             BlockLabelsAny::Wide(l) => l.accumulate_center(center, lanes, counts),
@@ -1659,14 +1664,14 @@ impl BlockLabelsAny {
     }
 
     #[inline]
-    fn pair_lanes(&self, u: usize, v: usize, lanes: u64) -> usize {
+    fn pair_lanes<const W: usize>(&self, u: usize, v: usize, lanes: Mask<W>) -> usize {
         match self {
             BlockLabelsAny::Narrow(l) => l.pair_lanes(u, v, lanes),
             BlockLabelsAny::Wide(l) => l.pair_lanes(u, v, lanes),
         }
     }
 
-    fn batch_label_ops(&self, centers: &[NodeId], lanes: u64) -> usize {
+    fn batch_label_ops<const W: usize>(&self, centers: &[NodeId], lanes: Mask<W>) -> usize {
         match self {
             BlockLabelsAny::Narrow(l) => l.batch_label_ops(centers, lanes),
             BlockLabelsAny::Wide(l) => l.batch_label_ops(centers, lanes),
@@ -1696,11 +1701,11 @@ enum UnlimitedShape {
     Pair,
 }
 
-/// One block of up to [`LANES`] sampled worlds as per-edge presence masks.
+/// One block of up to `W · 64` sampled worlds as per-edge presence masks.
 #[derive(Clone, Debug)]
-struct MaskBlock {
-    /// `masks[e]` bit `l` ⇔ edge `e` exists in world `base + l`.
-    masks: Vec<u64>,
+struct MaskBlock<const W: usize> {
+    /// `masks[e]` lane `l` ⇔ edge `e` exists in world `base + l`.
+    masks: Vec<Mask<W>>,
     /// Number of valid lanes (worlds) in this block; only the last block
     /// of a pool can be partial.
     lanes: u32,
@@ -1713,42 +1718,43 @@ struct MaskBlock {
     mask_queries: u32,
 }
 
-impl MaskBlock {
+impl<const W: usize> MaskBlock<W> {
     /// Heap bytes held by the block's masks and finalized labels.
     fn heap_bytes(&self) -> usize {
-        self.masks.len() * 8 + self.labels.as_ref().map_or(0, BlockLabelsAny::heap_bytes)
+        self.masks.len() * std::mem::size_of::<Mask<W>>()
+            + self.labels.as_ref().map_or(0, BlockLabelsAny::heap_bytes)
     }
 
     /// Splits a query's lane selection into (served-from-labels,
     /// served-by-mask-BFS) parts.
     #[inline]
-    fn split_lanes(&self, query: u64) -> (u64, u64) {
+    fn split_lanes(&self, query: Mask<W>) -> (Mask<W>, Mask<W>) {
         match &self.labels {
             Some(l) => {
                 let labeled = l.labeled_mask();
-                (query & labeled, query & !labeled)
+                (query & labeled, query.and_not(labeled))
             }
-            None => (0, query),
+            None => (Mask::ZERO, query),
         }
     }
 }
 
-/// A group of [`SHARD_BLOCKS`] consecutive 64-world mask blocks — the
-/// allocation/eviction granularity of the bit-parallel backend. The shard
-/// owns its blocks' masks **and** their finalized labels; eviction drops
-/// both (an empty `blocks` vector ⇔ evicted), and regeneration rebuilds
-/// the masks bit-identically from their per-index RNG streams while
-/// labels simply re-finalize on the next unlimited query.
+/// A group of consecutive mask blocks covering [`SHARD_WORLDS`] worlds —
+/// the allocation/eviction granularity of the bit-parallel backend. The
+/// shard owns its blocks' masks **and** their finalized labels; eviction
+/// drops both (an empty `blocks` vector ⇔ evicted), and regeneration
+/// rebuilds the masks bit-identically from their per-index RNG streams
+/// while labels simply re-finalize on the next unlimited query.
 #[derive(Clone, Debug)]
-struct BlockShard {
-    blocks: Vec<MaskBlock>,
+struct BlockShard<const W: usize> {
+    blocks: Vec<MaskBlock<W>>,
     /// Heap bytes currently charged to the budget for this shard.
     bytes: usize,
     /// Recency stamp from [`MemoryBudget::touch`].
     last_used: u64,
 }
 
-impl BlockShard {
+impl<const W: usize> BlockShard<W> {
     #[inline]
     fn resident(&self) -> bool {
         !self.blocks.is_empty()
@@ -1761,8 +1767,8 @@ impl BlockShard {
 
 /// Block `b` of a sharded bit-parallel pool (the shard must be resident).
 #[inline]
-fn shard_block(shards: &[BlockShard], b: usize) -> &MaskBlock {
-    &shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS]
+fn shard_block<const W: usize>(shards: &[BlockShard<W>], b: usize) -> &MaskBlock<W> {
+    &shards[b / blocks_per_shard::<W>()].blocks[b % blocks_per_shard::<W>()]
 }
 
 /// The **bit-parallel** backend of [`WorldEngine`]: worlds stored in
@@ -1778,20 +1784,20 @@ fn shard_block(shards: &[BlockShard], b: usize) -> &MaskBlock {
 /// are grouped into [`SHARD_BLOCKS`]-block shards charged against a
 /// [`MemoryBudget`].
 #[derive(Debug)]
-pub struct BitParallelPool<'g> {
+pub struct BitParallelPool<'g, const W: usize = 1> {
     sampler: WorldSampler<'g>,
-    shards: Vec<BlockShard>,
+    shards: Vec<BlockShard<W>>,
     samples: usize,
     config: ThreadConfig,
     /// Reusable multi-world BFS workspace for serial query paths; parallel
     /// chunks build their own.
-    bfs: MultiWorldBfs,
+    bfs: MultiWorldBfs<W>,
     /// Reusable `(block, lane mask)` work-item buffer of the ranged query
     /// paths (allocation-free single-row queries).
-    items: Vec<(u32, u64)>,
+    items: Vec<(u32, Mask<W>)>,
     /// Reusable `(block, label lanes, mask lanes)` dispatch plan of the
     /// batched unlimited queries.
-    batch_plan: Vec<(u32, u64, u64)>,
+    batch_plan: Vec<(u32, Mask<W>, Mask<W>)>,
     /// Lazy per-block component-label finalization
     /// ([`crate::EngineKind::Adaptive`]): off = pure-mask backend.
     adaptive: bool,
@@ -1806,7 +1812,7 @@ pub struct BitParallelPool<'g> {
     regenerated: u64,
 }
 
-impl Clone for BitParallelPool<'_> {
+impl<const W: usize> Clone for BitParallelPool<'_, W> {
     fn clone(&self) -> Self {
         // The clone shares the budget handle, so its copy of the resident
         // shards is charged to the ledger like any other pool's.
@@ -1829,13 +1835,16 @@ impl Clone for BitParallelPool<'_> {
     }
 }
 
-impl Drop for BitParallelPool<'_> {
+impl<const W: usize> Drop for BitParallelPool<'_, W> {
     fn drop(&mut self) {
         self.budget.release(self.shards.iter().map(|sh| sh.bytes).sum());
     }
 }
 
-impl<'g> BitParallelPool<'g> {
+impl<'g, const W: usize> BitParallelPool<'g, W> {
+    /// Worlds per block at this width (`W · 64`).
+    const BLOCK_LANES: usize = W * LANES;
+
     /// Creates an empty **pure-mask** bit-parallel pool over `graph` with
     /// master `seed` — every query runs mask BFS. `threads = 0` uses all
     /// available cores.
@@ -1960,14 +1969,15 @@ impl<'g> BitParallelPool<'g> {
         let m = self.graph().num_edges();
         let sampler = self.sampler;
         let r = self.samples;
-        let first = s * SHARD_BLOCKS;
-        let last = ((s + 1) * SHARD_BLOCKS).min(r.div_ceil(LANES));
+        let first = s * blocks_per_shard::<W>();
+        let last = ((s + 1) * blocks_per_shard::<W>()).min(r.div_ceil(Self::BLOCK_LANES));
         let build = |b: usize| Self::build_block(&sampler, m, b, r);
-        let blocks: Vec<MaskBlock> = if self.config.parallel_generation((last - first) * LANES) {
-            self.config.run(|| (first..last).into_par_iter().map(build).collect())
-        } else {
-            (first..last).map(build).collect()
-        };
+        let blocks: Vec<MaskBlock<W>> =
+            if self.config.parallel_generation((last - first) * Self::BLOCK_LANES) {
+                self.config.run(|| (first..last).into_par_iter().map(build).collect())
+            } else {
+                (first..last).map(build).collect()
+            };
         self.shards[s].blocks = blocks;
         self.regenerated += 1;
         self.budget.note_regeneration();
@@ -2008,9 +2018,10 @@ impl<'g> BitParallelPool<'g> {
         self.samples
     }
 
-    /// Number of 64-world blocks backing the pool (resident or evicted).
+    /// Number of `W·64`-world blocks backing the pool (resident or
+    /// evicted).
     pub fn num_blocks(&self) -> usize {
-        self.samples.div_ceil(LANES)
+        self.samples.div_ceil(Self::BLOCK_LANES)
     }
 
     /// Finalization counters (all zero for pure-mask pools).
@@ -2018,20 +2029,20 @@ impl<'g> BitParallelPool<'g> {
         self.stats
     }
 
-    /// Presence mask of edge `e` in block `block` (bit `l` ⇔ the edge
-    /// exists in world `block·64 + l`). Exposed for tests and diagnostics;
-    /// the block's shard must be resident.
-    pub fn edge_mask(&self, block: usize, e: usize) -> u64 {
+    /// Presence mask of edge `e` in block `block` (lane `l` ⇔ the edge
+    /// exists in world `block·W·64 + l`). Exposed for tests and
+    /// diagnostics; the block's shard must be resident.
+    pub fn edge_mask(&self, block: usize, e: usize) -> Mask<W> {
         shard_block(&self.shards, block).masks[e]
     }
 
-    fn build_block(sampler: &WorldSampler<'g>, m: usize, block: usize, r: usize) -> MaskBlock {
-        let base = block * LANES;
-        let lanes = (r - base).min(LANES);
-        let mut masks = vec![0u64; m];
+    fn build_block(sampler: &WorldSampler<'g>, m: usize, block: usize, r: usize) -> MaskBlock<W> {
+        let base = block * Self::BLOCK_LANES;
+        let lanes = (r - base).min(Self::BLOCK_LANES);
+        let mut masks = vec![Mask::<W>::ZERO; m];
         for lane in 0..lanes {
             sampler
-                .sample_lane((base + lane) as u64, lane, &mut masks)
+                .sample_block_lane((base + lane) as u64, lane, &mut masks)
                 .expect("pool-sized mask buffer cannot mismatch");
         }
         MaskBlock { masks, lanes: lanes as u32, labels: None, mask_queries: 0 }
@@ -2051,13 +2062,14 @@ impl<'g> BitParallelPool<'g> {
         let graph = self.sampler.graph();
         let n = graph.num_nodes();
         // CSR offsets into the block-label membership index are u32.
-        if n.saturating_mul(LANES) > u32::MAX as usize {
+        if n.saturating_mul(Self::BLOCK_LANES) > u32::MAX as usize {
             return;
         }
+        let bps = blocks_per_shard::<W>();
         let (mut label_q, mut mask_q) = (0usize, 0usize);
         let mut todo: Vec<usize> = Vec::new();
-        for b in lo / LANES..=(hi - 1) / LANES {
-            let block = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
+        for b in lo / Self::BLOCK_LANES..=(hi - 1) / Self::BLOCK_LANES {
+            let block = &mut self.shards[b / bps].blocks[b % bps];
             let labeled = block.labels.as_ref().map_or(0, BlockLabelsAny::labeled) as usize;
             if labeled >= block.lanes as usize {
                 label_q += 1;
@@ -2085,16 +2097,16 @@ impl<'g> BitParallelPool<'g> {
             .copied()
             .filter(|&b| shard_block(&self.shards, b).labels.is_none())
             .collect();
-        if fresh.len() > 1 && self.config.parallel_generation(fresh.len() * LANES) {
-            let shards: &[BlockShard] = &self.shards;
+        if fresh.len() > 1 && self.config.parallel_generation(fresh.len() * Self::BLOCK_LANES) {
+            let shards: &[BlockShard<W>] = &self.shards;
             let built: Vec<(usize, BlockLabelsAny)> = self.config.run(|| {
                 fresh
                     .par_iter()
                     .map_init(
-                        || MultiWorldBfs::new(n),
+                        || MultiWorldBfs::<W>::new(n),
                         |bfs, &b| {
                             let block = shard_block(shards, b);
-                            let mut labels = BlockLabelsAny::new(n, wide);
+                            let mut labels = BlockLabelsAny::new(n, wide, Self::BLOCK_LANES);
                             labels.extend(graph, bfs, &block.masks, block.lanes as usize);
                             (b, labels)
                         },
@@ -2104,14 +2116,15 @@ impl<'g> BitParallelPool<'g> {
             for (b, labels) in built {
                 self.stats.finalized_blocks += 1;
                 self.stats.finalized_lanes += labels.labeled() as usize;
-                self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS].labels = Some(labels);
+                self.shards[b / bps].blocks[b % bps].labels = Some(labels);
             }
         }
         // Serial (and catch-up) path: blocks the parallel branch already
         // attached are fully labeled and fall through both updates.
         for &b in &todo {
-            let block = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
-            let labels = block.labels.get_or_insert_with(|| BlockLabelsAny::new(n, wide));
+            let block = &mut self.shards[b / bps].blocks[b % bps];
+            let labels =
+                block.labels.get_or_insert_with(|| BlockLabelsAny::new(n, wide, Self::BLOCK_LANES));
             let before = labels.labeled() as usize;
             if before == 0 {
                 self.stats.finalized_blocks += 1;
@@ -2141,19 +2154,20 @@ impl<'g> BitParallelPool<'g> {
         let cur = self.samples;
         let m = self.graph().num_edges();
         let sampler = self.sampler;
-        let total = r.div_ceil(LANES);
+        let bps = blocks_per_shard::<W>();
+        let total = r.div_ceil(Self::BLOCK_LANES);
         let trailing_evicted = self.shards.last().is_some_and(|sh| !sh.resident());
         // Top up the trailing partial block, if any — unless its shard is
         // evicted, in which case the whole shard (top-up included)
         // regenerates at the new extent on its next touch.
-        if !cur.is_multiple_of(LANES) && !trailing_evicted {
-            let b = cur / LANES;
-            let base = b * LANES;
-            let target = (r - base).min(LANES);
-            let last = &mut self.shards[b / SHARD_BLOCKS].blocks[b % SHARD_BLOCKS];
+        if !cur.is_multiple_of(Self::BLOCK_LANES) && !trailing_evicted {
+            let b = cur / Self::BLOCK_LANES;
+            let base = b * Self::BLOCK_LANES;
+            let target = (r - base).min(Self::BLOCK_LANES);
+            let last = &mut self.shards[b / bps].blocks[b % bps];
             for lane in last.lanes as usize..target {
                 sampler
-                    .sample_lane((base + lane) as u64, lane, &mut last.masks)
+                    .sample_block_lane((base + lane) as u64, lane, &mut last.masks)
                     .expect("pool-sized mask buffer cannot mismatch");
             }
             last.lanes = target as u32;
@@ -2161,20 +2175,20 @@ impl<'g> BitParallelPool<'g> {
         // Append new blocks; blocks landing in the evicted trailing shard
         // are left to that shard's regeneration.
         let first = if trailing_evicted {
-            (self.shards.len() * SHARD_BLOCKS).min(total)
+            (self.shards.len() * bps).min(total)
         } else {
-            cur.div_ceil(LANES)
+            cur.div_ceil(Self::BLOCK_LANES)
         };
         if first < total {
             let build = |b: usize| Self::build_block(&sampler, m, b, r);
-            let new_blocks: Vec<MaskBlock> =
-                if self.config.parallel_generation((total - first) * LANES) {
+            let new_blocks: Vec<MaskBlock<W>> =
+                if self.config.parallel_generation((total - first) * Self::BLOCK_LANES) {
                     self.config.run(|| (first..total).into_par_iter().map(build).collect())
                 } else {
                     (first..total).map(build).collect()
                 };
             for (i, block) in new_blocks.into_iter().enumerate() {
-                let s = (first + i) / SHARD_BLOCKS;
+                let s = (first + i) / bps;
                 if s == self.shards.len() {
                     self.shards.push(BlockShard { blocks: Vec::new(), bytes: 0, last_used: 0 });
                 }
@@ -2274,22 +2288,23 @@ impl<'g> BitParallelPool<'g> {
         for &(b, lanes) in &items {
             let block = shard_block(&self.shards, b as usize);
             let (labeled, masked) = block.split_lanes(lanes);
-            let use_labels = masked == 0
-                && labeled != 0
+            let use_labels = masked.is_zero()
+                && labeled.any()
                 && block.labels.as_ref().is_some_and(|labels| {
                     crate::tuning::labels_beat_shared_masks(
                         labels.batch_label_ops(centers, labeled),
                         n,
                         self.graph().num_edges(),
                         k,
+                        W,
                     )
                 });
             if use_labels {
                 label_q += 1;
-                plan.push((b, labeled, 0));
+                plan.push((b, labeled, Mask::ZERO));
             } else {
                 mask_q += 1;
-                plan.push((b, 0, lanes));
+                plan.push((b, Mask::ZERO, lanes));
             }
         }
         if self.adaptive {
@@ -2298,25 +2313,22 @@ impl<'g> BitParallelPool<'g> {
         }
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let per_block = n + 2 * graph.num_edges();
-        // Workspace per worker: the mask-BFS state, the per-center "worlds
-        // still unknown" masks, and the (node, mask) reach list of the
-        // current traversal.
-        let mut serial_ws = (std::mem::replace(bfs, MultiWorldBfs::new(0)), Vec::new(), Vec::new());
+        // The per-center "worlds still unknown" masks and the (node, mask)
+        // reach list of the sharing sweep live inside the BFS workspace, so
+        // warm batches allocate nothing per block.
         chunked_counts_with(
             config,
             &plan,
             k * n,
             per_block + k * n,
-            &mut serial_ws,
-            || (MultiWorldBfs::new(n), Vec::new(), Vec::new()),
-            |counts, (bfs, todo, reach), plan: &[(u32, u64, u64)]| {
-                let todo: &mut Vec<u64> = todo;
-                let reach: &mut Vec<(u32, u64)> = reach;
+            bfs,
+            || MultiWorldBfs::<W>::new(n),
+            |counts, bfs, plan: &[(u32, Mask<W>, Mask<W>)]| {
                 for &(b, labeled, masked) in plan {
                     let block = shard_block(shards, b as usize);
-                    if labeled != 0 {
+                    if labeled.any() {
                         let labels = block.labels.as_ref().expect("planned labels exist");
                         for (j, c) in centers.iter().enumerate() {
                             labels.accumulate_center(
@@ -2326,42 +2338,15 @@ impl<'g> BitParallelPool<'g> {
                             );
                         }
                     }
-                    if masked == 0 {
+                    if masked.is_zero() {
                         continue;
                     }
                     // Mask lanes: component-sharing traversal sweep.
-                    todo.clear();
-                    todo.resize(k, masked);
-                    for j in 0..k {
-                        let m = todo[j];
-                        if m == 0 {
-                            continue;
-                        }
-                        reach.clear();
-                        bfs.run_unlimited(graph, &block.masks, centers[j], m, |u, mask| {
-                            reach.push((u.0, mask));
-                        });
-                        for &(u, mask) in reach.iter() {
-                            counts[j * n + u as usize] += mask.count_ones();
-                        }
-                        // Later centers reached by this traversal share its
-                        // rows over the connected worlds.
-                        for j2 in j + 1..k {
-                            let shared = todo[j2] & bfs.reach(centers[j2]);
-                            if shared != 0 {
-                                todo[j2] &= !shared;
-                                for &(u, mask) in reach.iter() {
-                                    counts[j2 * n + u as usize] += (mask & shared).count_ones();
-                                }
-                            }
-                        }
-                    }
+                    bfs.shared_component_counts(graph, &block.masks, centers, masked, counts);
                 }
             },
             out,
         );
-        // Restore the persistent serial workspace.
-        *bfs = serial_ws.0;
         self.items = items;
         self.batch_plan = plan;
         self.trim_to_budget();
@@ -2390,7 +2375,7 @@ impl<'g> BitParallelPool<'g> {
         Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let per_block = n + 2 * graph.num_edges();
         chunked_counts_with(
             config,
@@ -2398,16 +2383,16 @@ impl<'g> BitParallelPool<'g> {
             n,
             per_block,
             bfs,
-            || MultiWorldBfs::new(n),
+            || MultiWorldBfs::<W>::new(n),
             |counts, bfs, items| {
                 for &(b, mask) in items {
                     let block = shard_block(shards, b as usize);
                     let (labeled, masked) = block.split_lanes(mask);
-                    if labeled != 0 {
+                    if labeled.any() {
                         let labels = block.labels.as_ref().expect("labeled lanes imply labels");
                         labels.accumulate_center(center.index(), labeled, counts);
                     }
-                    if masked != 0 {
+                    if masked.any() {
                         bfs.run_unlimited(graph, &block.masks, center, masked, |node, m| {
                             counts[node.index()] += m.count_ones();
                         });
@@ -2424,18 +2409,18 @@ impl<'g> BitParallelPool<'g> {
     /// mask selecting exactly the in-range worlds of that block, written
     /// into `out` (reused across queries to keep single-row queries
     /// allocation-free).
-    fn range_blocks_into(lo: usize, hi: usize, out: &mut Vec<(u32, u64)>) {
+    fn range_blocks_into(lo: usize, hi: usize, out: &mut Vec<(u32, Mask<W>)>) {
         out.clear();
         if lo >= hi {
             return;
         }
-        let first = lo / LANES;
-        let last = (hi - 1) / LANES;
+        let first = lo / Self::BLOCK_LANES;
+        let last = (hi - 1) / Self::BLOCK_LANES;
         out.extend((first..=last).map(|b| {
-            let base = b * LANES;
+            let base = b * Self::BLOCK_LANES;
             let s = lo.max(base) - base;
-            let e = hi.min(base + LANES) - base;
-            (b as u32, lane_mask(e) & !lane_mask(s))
+            let e = hi.min(base + Self::BLOCK_LANES) - base;
+            (b as u32, Mask::<W>::prefix(e).and_not(Mask::prefix(s)))
         }));
     }
 
@@ -2459,7 +2444,7 @@ impl<'g> BitParallelPool<'g> {
         Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         let total = chunked_sum_with(
@@ -2467,16 +2452,16 @@ impl<'g> BitParallelPool<'g> {
             &items,
             per_block,
             bfs,
-            || MultiWorldBfs::new(n),
+            || MultiWorldBfs::<W>::new(n),
             |bfs, &(b, mask)| {
                 let block = shard_block(shards, b as usize);
                 let (labeled, masked) = block.split_lanes(mask);
                 let mut hits = 0usize;
-                if labeled != 0 {
+                if labeled.any() {
                     let labels = block.labels.as_ref().expect("labeled lanes imply labels");
                     hits += labels.pair_lanes(u.index(), v.index(), labeled);
                 }
-                if masked != 0 {
+                if masked.any() {
                     bfs.run_unlimited(graph, &block.masks, u, masked, |_, _| {});
                     hits += bfs.reach(v).count_ones() as usize;
                 }
@@ -2566,7 +2551,7 @@ impl<'g> BitParallelPool<'g> {
         Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let per_block = n + 2 * graph.num_edges();
         for (gi, group) in centers.chunks(MAX_SOURCES).enumerate() {
             let kg = group.len();
@@ -2578,7 +2563,7 @@ impl<'g> BitParallelPool<'g> {
                 kg * n,
                 per_block * kg,
                 bfs,
-                || MultiWorldBfs::new(n),
+                || MultiWorldBfs::<W>::new(n),
                 |select, cover, bfs, items| {
                     for &(b, mask) in items {
                         bfs.run_multi(
@@ -2638,7 +2623,7 @@ impl<'g> BitParallelPool<'g> {
         Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let per_block = n + 2 * graph.num_edges();
         chunked_counts2_with(
             config,
@@ -2646,7 +2631,7 @@ impl<'g> BitParallelPool<'g> {
             n,
             per_block,
             bfs,
-            || MultiWorldBfs::new(n),
+            || MultiWorldBfs::<W>::new(n),
             |select, cover, bfs, items| {
                 for &(b, mask) in items {
                     bfs.run(
@@ -2700,7 +2685,7 @@ impl<'g> BitParallelPool<'g> {
         Self::range_blocks_into(lo, hi, &mut items);
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
-        let shards: &[BlockShard] = shards;
+        let shards: &[BlockShard<W>] = shards;
         let n = graph.num_nodes();
         let per_block = n + 2 * graph.num_edges();
         let total = chunked_sum_with(
@@ -2708,9 +2693,9 @@ impl<'g> BitParallelPool<'g> {
             &items,
             per_block,
             bfs,
-            || MultiWorldBfs::new(n),
+            || MultiWorldBfs::<W>::new(n),
             |bfs, &(b, mask)| {
-                let mut hit = 0u64;
+                let mut hit = Mask::<W>::ZERO;
                 bfs.run(
                     graph,
                     &shard_block(shards, b as usize).masks,
@@ -2740,7 +2725,7 @@ impl<'g> BitParallelPool<'g> {
     }
 }
 
-impl WorldEngine for BitParallelPool<'_> {
+impl<const W: usize> WorldEngine for BitParallelPool<'_, W> {
     fn set_memory_budget(&mut self, budget: MemoryBudget) {
         BitParallelPool::set_memory_budget(self, budget)
     }
@@ -3099,7 +3084,7 @@ mod tests {
     #[test]
     fn bit_pool_blocks_and_lanes() {
         let g = chain(10, 0.5);
-        let mut pool = BitParallelPool::new(&g, 7, 1);
+        let mut pool = BitParallelPool::<1>::new(&g, 7, 1);
         pool.ensure(1);
         assert_eq!((pool.num_samples(), pool.num_blocks()), (1, 1));
         pool.ensure(64);
@@ -3116,7 +3101,7 @@ mod tests {
         let mut scalar = WorldPool::new(&g, 99, 1);
         scalar.ensure(130);
         // Grown in uneven steps to exercise partial-block top-up.
-        let mut bit = BitParallelPool::new(&g, 99, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 99, 1);
         bit.ensure(10);
         bit.ensure(64);
         bit.ensure(70);
@@ -3125,7 +3110,7 @@ mod tests {
             let world = scalar.world(i);
             for e in 0..g.num_edges() {
                 assert_eq!(
-                    bit.edge_mask(i / LANES, e) >> (i % LANES) & 1 == 1,
+                    bit.edge_mask(i / LANES, e).get(i % LANES),
                     world.get(e),
                     "world {i} edge {e} differs"
                 );
@@ -3137,7 +3122,7 @@ mod tests {
     fn bit_pool_counts_match_component_pool() {
         let g = chain(9, 0.5);
         let mut scalar = ComponentPool::new(&g, 42, 1);
-        let mut bit = BitParallelPool::new(&g, 42, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 42, 1);
         // 100 is deliberately not a multiple of 64.
         scalar.ensure(100);
         bit.ensure(100);
@@ -3161,7 +3146,7 @@ mod tests {
     fn bit_pool_depth_counts_match_world_pool() {
         let g = chain(10, 0.6);
         let mut scalar = WorldPool::new(&g, 5, 1);
-        let mut bit = BitParallelPool::new(&g, 5, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 5, 1);
         scalar.ensure(97);
         bit.ensure(97);
         let (mut s1, mut c1) = (vec![0u32; 10], vec![0u32; 10]);
@@ -3188,9 +3173,9 @@ mod tests {
     #[test]
     fn bit_pool_growth_schedule_invariant() {
         let g = chain(8, 0.5);
-        let mut a = BitParallelPool::new(&g, 13, 1);
+        let mut a = BitParallelPool::<1>::new(&g, 13, 1);
         a.ensure(150);
-        let mut b = BitParallelPool::new(&g, 13, 4);
+        let mut b = BitParallelPool::<1>::new(&g, 13, 4);
         b.ensure(3);
         b.ensure(66);
         b.ensure(150);
@@ -3206,7 +3191,7 @@ mod tests {
     #[test]
     fn bit_pool_empty_and_certain() {
         let g = chain(4, 1.0);
-        let mut pool = BitParallelPool::new(&g, 8, 1);
+        let mut pool = BitParallelPool::<1>::new(&g, 8, 1);
         assert_eq!(pool.pair_estimate(NodeId(0), NodeId(3)), 0.0);
         pool.ensure(10);
         assert_eq!(pool.pair_estimate(NodeId(0), NodeId(3)), 1.0);
@@ -3225,7 +3210,7 @@ mod tests {
         }
         let g = chain(6, 0.7);
         let mut scalar = ComponentPool::new(&g, 3, 1);
-        let mut bit = BitParallelPool::new(&g, 3, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 3, 1);
         WorldEngine::ensure(&mut scalar, 70);
         WorldEngine::ensure(&mut bit, 70);
         assert_eq!(total_reach(&mut scalar, NodeId(2)), total_reach(&mut bit, NodeId(2)));
@@ -3245,7 +3230,7 @@ mod tests {
         let mut got = vec![0u32; k * 11];
         scalar.counts_from_centers(&centers, &mut got);
         assert_eq!(got, want, "component pool batch differs");
-        let mut bit = BitParallelPool::new(&g, 77, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 77, 1);
         bit.ensure(90);
         got.fill(0);
         bit.counts_from_centers(&centers, &mut got);
@@ -3261,7 +3246,7 @@ mod tests {
     fn ranged_counts_add_up_to_full_counts() {
         let g = chain(9, 0.55);
         let mut scalar = ComponentPool::new(&g, 5, 1);
-        let mut bit = BitParallelPool::new(&g, 5, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 5, 1);
         scalar.ensure(150);
         bit.ensure(150);
         let mut full = vec![0u32; 9];
@@ -3290,7 +3275,7 @@ mod tests {
     fn ranged_depth_counts_add_up_to_full_counts() {
         let g = chain(10, 0.6);
         let mut scalar = WorldPool::new(&g, 21, 1);
-        let mut bit = BitParallelPool::new(&g, 21, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 21, 1);
         scalar.ensure(100);
         bit.ensure(100);
         let (mut fs, mut fc) = (vec![0u32; 10], vec![0u32; 10]);
@@ -3319,7 +3304,7 @@ mod tests {
         let centers: Vec<NodeId> = (0..10).map(NodeId).collect();
         let k = centers.len();
         let mut scalar = WorldPool::new(&g, 9, 1);
-        let mut bit = BitParallelPool::new(&g, 9, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 9, 1);
         scalar.ensure(97);
         bit.ensure(97);
         let (mut ws, mut wc) = (vec![0u32; k * 10], vec![0u32; k * 10]);
@@ -3347,7 +3332,7 @@ mod tests {
         let mut pool = ComponentPool::new(&g, 1, 1);
         pool.ensure(8);
         pool.counts_from_centers(&[], &mut []);
-        let mut bit = BitParallelPool::new(&g, 1, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 1, 1);
         bit.ensure(8);
         bit.counts_from_centers(&[], &mut []);
     }
@@ -3381,7 +3366,7 @@ mod tests {
         let n = 11;
         let mut scalar = ComponentPool::new(&g, 33, 1);
         let mut world = WorldPool::new(&g, 33, 1);
-        let mut bit = BitParallelPool::new(&g, 33, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 33, 1);
         scalar.ensure(150);
         world.ensure(150);
         bit.ensure(150);
@@ -3411,7 +3396,7 @@ mod tests {
         let k = centers.len();
         let n = 10;
         let mut scalar = WorldPool::new(&g, 13, 1);
-        let mut bit = BitParallelPool::new(&g, 13, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 13, 1);
         scalar.ensure(130);
         bit.ensure(130);
         for (lo, hi) in [(0usize, 50usize), (50, 64), (63, 65), (64, 130), (90, 90)] {
@@ -3446,7 +3431,7 @@ mod tests {
         let g = chain(10, 0.55);
         let mut scalar = ComponentPool::new(&g, 19, 1);
         let mut world = WorldPool::new(&g, 19, 1);
-        let mut bit = BitParallelPool::new(&g, 19, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 19, 1);
         scalar.ensure(150);
         world.ensure(150);
         bit.ensure(150);
@@ -3484,8 +3469,8 @@ mod tests {
     fn adaptive_counts_match_scalar_and_pure_mask() {
         let g = chain(11, 0.5);
         let mut scalar = ComponentPool::new(&g, 6, 1);
-        let mut mask = BitParallelPool::new(&g, 6, 1);
-        let mut adaptive = BitParallelPool::new_adaptive(&g, 6, 1);
+        let mut mask = BitParallelPool::<1>::new(&g, 6, 1);
+        let mut adaptive = BitParallelPool::<1>::new_adaptive(&g, 6, 1);
         // 150 = 2 full blocks + a 22-lane tail.
         scalar.ensure(150);
         mask.ensure(150);
@@ -3517,7 +3502,7 @@ mod tests {
     #[test]
     fn depth_only_workload_never_finalizes() {
         let g = chain(9, 0.6);
-        let mut pool = BitParallelPool::new_adaptive(&g, 4, 1);
+        let mut pool = BitParallelPool::<1>::new_adaptive(&g, 4, 1);
         pool.ensure(130);
         let (mut sel, mut cov) = (vec![0u32; 9], vec![0u32; 9]);
         for center in 0..9u32 {
@@ -3530,7 +3515,7 @@ mod tests {
     #[test]
     fn growth_never_relabels_finalized_blocks() {
         let g = chain(8, 0.5);
-        let mut pool = BitParallelPool::new_adaptive(&g, 12, 1);
+        let mut pool = BitParallelPool::<1>::new_adaptive(&g, 12, 1);
         let mut counts = vec![0u32; 8];
         pool.ensure(64);
         pool.counts_from_center(NodeId(0), &mut counts);
@@ -3553,7 +3538,7 @@ mod tests {
     #[test]
     fn partial_block_topup_extends_labels_append_only() {
         let g = chain(7, 0.5);
-        let mut pool = BitParallelPool::new_adaptive(&g, 9, 1);
+        let mut pool = BitParallelPool::<1>::new_adaptive(&g, 9, 1);
         let mut counts = vec![0u32; 7];
         // Finalize a 10-lane partial block...
         pool.ensure(10);
@@ -3578,7 +3563,7 @@ mod tests {
     fn cold_pair_queries_stay_on_masks_until_threshold() {
         use crate::tuning::FINALIZE_AFTER_MASK_QUERIES;
         let g = chain(6, 0.5);
-        let mut pool = BitParallelPool::new_adaptive(&g, 3, 1);
+        let mut pool = BitParallelPool::<1>::new_adaptive(&g, 3, 1);
         pool.ensure(64);
         let want = {
             let mut scalar = ComponentPool::new(&g, 3, 1);
@@ -3602,7 +3587,7 @@ mod tests {
     fn mixed_finalized_and_mask_blocks_answer_ranged_queries() {
         let g = chain(10, 0.55);
         let mut scalar = ComponentPool::new(&g, 21, 1);
-        let mut pool = BitParallelPool::new_adaptive(&g, 21, 1);
+        let mut pool = BitParallelPool::<1>::new_adaptive(&g, 21, 1);
         scalar.ensure(200);
         pool.ensure(200);
         // Finalize only block 1 (a row query restricted to its worlds).
@@ -3644,8 +3629,8 @@ mod tests {
             wide.counts_from_center(NodeId(c), &mut b);
             assert_eq!(a, b, "scalar width mismatch at center {c}");
         }
-        let mut bn = BitParallelPool::new_adaptive(&g, 5, 1);
-        let mut bw = BitParallelPool::new_adaptive(&g, 5, 1).with_wide_labels(true);
+        let mut bn = BitParallelPool::<1>::new_adaptive(&g, 5, 1);
+        let mut bw = BitParallelPool::<1>::new_adaptive(&g, 5, 1).with_wide_labels(true);
         bn.ensure(90);
         bw.ensure(90);
         for c in 0..13u32 {
@@ -3662,7 +3647,7 @@ mod tests {
         let g = chain(9, 0.5);
         let centers: Vec<NodeId> = (0..9).map(NodeId).collect();
         let n = 9;
-        let mut bit = BitParallelPool::new(&g, 8, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, 8, 1);
         bit.ensure(150);
         let mut full = vec![0u32; 9 * n];
         bit.counts_from_centers(&centers, &mut full);

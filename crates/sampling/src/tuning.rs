@@ -57,22 +57,30 @@ pub fn finalize_on_unlimited_query(full_row: bool, prior_mask_queries: u32) -> b
 }
 
 /// Cost model deciding whether a **batched** multi-center unlimited query
-/// over a finalized 64-world block should scan component labels or run the
-/// mask component-sharing sweep.
+/// over a finalized block should scan component labels or run the mask
+/// component-sharing sweep.
 ///
 /// Label scans cost one increment per (center, lane, member) —
 /// `label_ops`, computable exactly from the finalized bucket sizes with
-/// `k · 64` lookups. The sharing sweep costs roughly one fixpoint
-/// traversal (`n + 2m` mask-word operations) plus one AND+popcount
-/// inherit pass per center (`k · n`), because inheriting answers all 64
-/// worlds per word. On supercritical instances (giant components,
-/// `label_ops ≈ 64 · k · n`) sharing wins decisively; on shattered
+/// `k · lanes` lookups — independent of the block width. The sharing
+/// sweep costs roughly one fixpoint traversal (`n + 2m` mask ops) plus
+/// one AND+popcount inherit pass per center (`k · n`), each op touching
+/// `words` `u64`s (the block width `W`) but answering `words · 64` worlds
+/// at once. On supercritical instances (giant components,
+/// `label_ops ≈ lanes · k · n`) sharing wins decisively; on shattered
 /// subcritical blocks (`label_ops ≪ k · n`) the label scans win. Single
 /// rows and pair queries always prefer labels — with `k = 1` there is
-/// nothing for the traversal to amortize across.
+/// nothing for the traversal to amortize across. This gate only picks a
+/// strategy; both sides produce identical counts.
 #[inline]
-pub fn labels_beat_shared_masks(label_ops: usize, n: usize, m: usize, k: usize) -> bool {
-    label_ops < n + 2 * m + k * n
+pub fn labels_beat_shared_masks(
+    label_ops: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    words: usize,
+) -> bool {
+    label_ops < (n + 2 * m + k * n) * words
 }
 
 /// A backend's rayon configuration, resolved **once** at pool

@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use ugraph_graph::{Bitset, UncertainGraph, UnionFind};
+use ugraph_graph::{Bitset, Mask, UncertainGraph, UnionFind};
 
 use crate::error::SamplingError;
 use crate::rng::sample_rng;
@@ -85,12 +85,44 @@ impl<'g> WorldSampler<'g> {
                 got: masks.len(),
             });
         }
-        let bit = 1u64 << lane;
         let mut rng = sample_rng(self.seed, index);
-        for (i, &p) in self.graph.probs().iter().enumerate() {
-            if rng.gen::<f64>() < p {
-                masks[i] |= bit;
-            }
+        // Branchless store: at p ≈ 0.5 a conditional write mispredicts on
+        // every other edge, which dominates this RNG-bound loop's tail.
+        for (mask, &p) in masks.iter_mut().zip(self.graph.probs()) {
+            *mask |= ((rng.gen::<f64>() < p) as u64) << lane;
+        }
+        Ok(())
+    }
+
+    /// Width-generic variant of [`WorldSampler::sample_lane`]: draws world
+    /// `index` into lane `lane` of a block of `W * 64` worlds (word
+    /// `lane / 64`, bit `lane % 64`). The RNG stream depends only on
+    /// `index`, so a block's worlds are identical at every width.
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::BufferMismatch`] if `masks.len() != m`.
+    ///
+    /// # Panics
+    /// Panics if `lane >= W * 64`.
+    pub fn sample_block_lane<const W: usize>(
+        &self,
+        index: u64,
+        lane: usize,
+        masks: &mut [Mask<W>],
+    ) -> Result<(), SamplingError> {
+        assert!(lane < Mask::<W>::LANES, "lane {lane} out of range");
+        if masks.len() != self.graph.num_edges() {
+            return Err(SamplingError::BufferMismatch {
+                what: "edge-mask buffer",
+                expected: self.graph.num_edges(),
+                got: masks.len(),
+            });
+        }
+        let word = lane / ugraph_graph::LANES;
+        let shift = lane % ugraph_graph::LANES;
+        let mut rng = sample_rng(self.seed, index);
+        for (mask, &p) in masks.iter_mut().zip(self.graph.probs()) {
+            mask.0[word] |= ((rng.gen::<f64>() < p) as u64) << shift;
         }
         Ok(())
     }
@@ -221,6 +253,26 @@ mod tests {
                 assert_eq!(mask >> lane & 1 == 1, world.get(e), "edge {e} lane {lane} disagrees");
             }
         }
+    }
+
+    #[test]
+    fn wide_block_lanes_match_narrow_lanes() {
+        let g = chain(20, 0.4);
+        let s = WorldSampler::new(&g, 123);
+        let m = g.num_edges();
+        let mut wide = vec![Mask::<4>::ZERO; m];
+        // 150 worlds straddle words 0..3 of a 256-lane block.
+        for lane in 0..150usize {
+            s.sample_block_lane(lane as u64, lane, &mut wide).unwrap();
+        }
+        for lane in 0..150usize {
+            let world = s.sample(lane as u64);
+            for (e, mask) in wide.iter().enumerate() {
+                assert_eq!(mask.get(lane), world.get(e), "edge {e} lane {lane} disagrees");
+            }
+        }
+        let mut wrong = vec![Mask::<4>::ZERO; m - 1];
+        assert!(s.sample_block_lane(0, 0, &mut wrong).is_err());
     }
 
     #[test]

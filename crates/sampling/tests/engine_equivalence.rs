@@ -17,8 +17,8 @@
 use proptest::prelude::*;
 use ugraph_graph::{GraphBuilder, NodeId, UncertainGraph};
 use ugraph_sampling::{
-    BitParallelPool, ComponentPool, EngineKind, McOracle, Oracle, SampleSchedule, WorldEngine,
-    WorldPool,
+    BitParallelPool, ComponentPool, EngineKind, McOracle, MemoryBudget, Oracle, SampleSchedule,
+    WorldEngine, WorldPool, SHARD_WORLDS,
 };
 
 /// Strategy: a small random uncertain graph (any shape, including
@@ -54,6 +54,67 @@ fn thread_counts() -> impl Strategy<Value = usize> {
     any::<bool>().prop_map(|b| if b { 1 } else { 3 })
 }
 
+/// Sample sizes straddling the 64-, 256-, and 512-world block boundaries:
+/// partial tails at every supported block width, including tails that
+/// populate only some words of a wide block.
+fn wide_sample_sizes() -> impl Strategy<Value = usize> {
+    (0u32..5, 1usize..64).prop_map(|(kind, x)| match kind {
+        0 => x,       // partial first word at every width
+        1 => 64 + x,  // full word + partial second (multi-word tail)
+        2 => 256,     // exactly one 256-block, half a 512-block
+        3 => 256 + x, // partial second 256-block
+        _ => 512 + x, // partial second 512-block
+    })
+}
+
+/// Runs every `WorldEngine` query family over `e` and packs the integer
+/// results into one vector, so pools at different block widths can be
+/// compared with a single equality check.
+fn query_fingerprint(
+    e: &mut dyn WorldEngine,
+    centers: &[NodeId],
+    d_select: u32,
+    d_cover: u32,
+    lo: usize,
+    hi: usize,
+) -> Vec<u32> {
+    let n = e.graph().num_nodes();
+    let k = centers.len();
+    let mut fp = Vec::new();
+    let mut row = vec![0u32; n];
+    for &c in centers {
+        e.counts_from_center(c, &mut row);
+        fp.extend_from_slice(&row);
+    }
+    let mut batch = vec![0u32; k * n];
+    e.counts_from_centers(centers, &mut batch);
+    fp.extend_from_slice(&batch);
+    batch.fill(0);
+    e.counts_from_centers_range(centers, lo, hi, &mut batch);
+    fp.extend_from_slice(&batch);
+    for &c in centers {
+        fp.push(e.pair_count(centers[0], c) as u32);
+        fp.push(e.pair_count_within(centers[0], c, d_cover) as u32);
+        fp.push(e.pair_count_range(centers[0], c, lo, hi) as u32);
+    }
+    let (mut s1, mut c1) = (vec![0u32; n], vec![0u32; n]);
+    for &c in centers {
+        e.counts_within_depths(c, d_select, d_cover, &mut s1, &mut c1);
+        fp.extend_from_slice(&s1);
+        fp.extend_from_slice(&c1);
+    }
+    let (mut bs, mut bc) = (vec![0u32; k * n], vec![0u32; k * n]);
+    e.counts_within_depths_batch(centers, d_select, d_cover, &mut bs, &mut bc);
+    fp.extend_from_slice(&bs);
+    fp.extend_from_slice(&bc);
+    bs.fill(0);
+    bc.fill(0);
+    e.counts_within_depths_batch_range(centers, d_select, d_cover, lo, hi, &mut bs, &mut bc);
+    fp.extend_from_slice(&bs);
+    fp.extend_from_slice(&bc);
+    fp
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -69,7 +130,7 @@ proptest! {
     ) {
         let n = g.num_nodes();
         let mut scalar = ComponentPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         scalar.ensure(r);
         bit.ensure(r);
         prop_assert_eq!(scalar.num_samples(), bit.num_samples());
@@ -106,7 +167,7 @@ proptest! {
         let n = g.num_nodes();
         let d_cover = d_select + extra;
         let mut scalar = WorldPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         scalar.ensure(r);
         bit.ensure(r);
         let (mut s1, mut c1) = (vec![0u32; n], vec![0u32; n]);
@@ -137,13 +198,13 @@ proptest! {
     ) {
         let n = g.num_nodes();
         let total: usize = steps.iter().sum();
-        let mut stepped = BitParallelPool::new(&g, seed, 1);
+        let mut stepped = BitParallelPool::<1>::new(&g, seed, 1);
         let mut reached = 0;
         for s in &steps {
             reached += s;
             stepped.ensure(reached);
         }
-        let mut oneshot = BitParallelPool::new(&g, seed, 1);
+        let mut oneshot = BitParallelPool::<1>::new(&g, seed, 1);
         oneshot.ensure(total);
         let mut scalar = ComponentPool::new(&g, seed, 1);
         scalar.ensure(total);
@@ -177,7 +238,7 @@ proptest! {
         let k = centers.len();
         let mut scalar = ComponentPool::new(&g, seed, threads);
         let mut world = WorldPool::new(&g, seed, threads);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         scalar.ensure(r);
         world.ensure(r);
         bit.ensure(r);
@@ -213,7 +274,7 @@ proptest! {
         let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let k = centers.len();
         let mut world = WorldPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         world.ensure(r);
         bit.ensure(r);
         let (mut want_s, mut want_c) = (vec![0u32; k * n], vec![0u32; k * n]);
@@ -257,7 +318,7 @@ proptest! {
         let k = centers.len();
         let mut scalar = ComponentPool::new(&g, seed, threads);
         let mut world = WorldPool::new(&g, seed, threads);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         scalar.ensure(r);
         world.ensure(r);
         bit.ensure(r);
@@ -295,7 +356,7 @@ proptest! {
         let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let k = centers.len();
         let mut world = WorldPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         world.ensure(r);
         bit.ensure(r);
         let (mut want_s, mut want_c) = (vec![0u32; k * n], vec![0u32; k * n]);
@@ -339,7 +400,7 @@ proptest! {
         let n = g.num_nodes();
         let total: usize = steps.iter().sum();
         let mut scalar = ComponentPool::new(&g, seed, threads);
-        let mut bit = BitParallelPool::new(&g, seed, threads);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, threads);
         let mut part = vec![0u32; n];
         let mut acc_scalar = vec![vec![0u32; n]; n];
         let mut acc_bit = vec![vec![0u32; n]; n];
@@ -382,7 +443,7 @@ proptest! {
         let split = split.min(total);
         let d_cover = d_select + extra;
         let mut world = WorldPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, 1);
         world.ensure(total);
         bit.ensure(total);
         let (mut ws, mut wc) = (vec![0u32; n], vec![0u32; n]);
@@ -466,8 +527,8 @@ proptest! {
         let centers: Vec<NodeId> = picks.iter().map(|&c| NodeId(c % n as u32)).collect();
         let k = centers.len();
         let mut scalar = ComponentPool::new(&g, seed, 1);
-        let mut mask = BitParallelPool::new(&g, seed, 1);
-        let mut adaptive = BitParallelPool::new_adaptive(&g, seed, threads);
+        let mut mask = BitParallelPool::<1>::new(&g, seed, 1);
+        let mut adaptive = BitParallelPool::<1>::new_adaptive(&g, seed, threads);
         let mut reached = 0usize;
         let mut a = vec![0u32; n];
         let mut b = vec![0u32; n];
@@ -520,8 +581,8 @@ proptest! {
         let n = g.num_nodes();
         let mut narrow = ComponentPool::new(&g, seed, threads);
         let mut wide = ComponentPool::new(&g, seed, 1).with_wide_labels(true);
-        let mut bn = BitParallelPool::new_adaptive(&g, seed, 1);
-        let mut bw = BitParallelPool::new_adaptive(&g, seed, threads).with_wide_labels(true);
+        let mut bn = BitParallelPool::<1>::new_adaptive(&g, seed, 1);
+        let mut bw = BitParallelPool::<1>::new_adaptive(&g, seed, threads).with_wide_labels(true);
         narrow.ensure(r);
         wide.ensure(r);
         bn.ensure(r);
@@ -584,7 +645,7 @@ proptest! {
         r in sample_sizes(),
     ) {
         let mut scalar = ComponentPool::new(&g, seed, 1);
-        let mut bit = BitParallelPool::new(&g, seed, 1);
+        let mut bit = BitParallelPool::<1>::new(&g, seed, 1);
         let engines: &mut [&mut dyn WorldEngine] = &mut [&mut scalar, &mut bit];
         for e in engines.iter_mut() {
             e.ensure(r);
@@ -598,5 +659,130 @@ proptest! {
                 prop_assert_eq!(a, b, "estimate ({}, {}) differs", u, v);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tentpole invariant: the bit-parallel pool produces bit-identical
+    /// counts at every block width (64, 256, and 512 worlds per block),
+    /// across every query family, for sample sizes that leave partial
+    /// tails at each width, in both pure-mask and adaptive mode.
+    #[test]
+    fn block_widths_agree_on_all_query_shapes(
+        g in small_graph(10, 16),
+        seed in any::<u64>(),
+        r in wide_sample_sizes(),
+        threads in thread_counts(),
+        picks in proptest::collection::vec(any::<u32>(), 1..5),
+        shape in ((0u32..3, 0u32..3), (0usize..600, 0usize..600), any::<bool>()),
+    ) {
+        let n = g.num_nodes() as u32;
+        let centers: Vec<NodeId> = picks.iter().map(|&c| NodeId(c % n)).collect();
+        let ((d_select, extra), (a, b), adaptive) = shape;
+        let d_cover = d_select + extra;
+        let (lo, hi) = (a.min(b).min(r), a.max(b).min(r));
+
+        let mut w1 = BitParallelPool::<1>::new(&g, seed, 1).with_finalization(adaptive);
+        let mut w4 = BitParallelPool::<4>::new(&g, seed, threads).with_finalization(adaptive);
+        let mut w8 = BitParallelPool::<8>::new(&g, seed, threads).with_finalization(adaptive);
+        w1.ensure(r);
+        w4.ensure(r);
+        w8.ensure(r);
+        prop_assert_eq!(w1.num_samples(), r);
+        prop_assert_eq!(w4.num_samples(), r);
+        prop_assert_eq!(w8.num_samples(), r);
+
+        let want = query_fingerprint(&mut w1, &centers, d_select, d_cover, lo, hi);
+        let got4 = query_fingerprint(&mut w4, &centers, d_select, d_cover, lo, hi);
+        prop_assert_eq!(&want, &got4, "widths 64 vs 256 differ (r = {}, window [{}, {}))", r, lo, hi);
+        let got8 = query_fingerprint(&mut w8, &centers, d_select, d_cover, lo, hi);
+        prop_assert_eq!(&want, &got8, "widths 64 vs 512 differ (r = {}, window [{}, {}))", r, lo, hi);
+    }
+
+    /// Adaptive pools stay count-identical across widths when the pool
+    /// grows *between* queries: each step tops up partially-filled blocks
+    /// (different tail geometry per width) and re-queries, so lazily
+    /// finalized labels from earlier steps must coexist with fresh worlds.
+    #[test]
+    fn block_widths_agree_across_growth_schedules(
+        g in small_graph(9, 14),
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(1usize..300, 1..4),
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes();
+        let mut w1 = BitParallelPool::<1>::new_adaptive(&g, seed, 1);
+        let mut w4 = BitParallelPool::<4>::new_adaptive(&g, seed, threads);
+        let mut w8 = BitParallelPool::<8>::new_adaptive(&g, seed, 1);
+        let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut reached = 0usize;
+        for &s in &steps {
+            let lo = reached;
+            reached += s;
+            w1.ensure(reached);
+            w4.ensure(reached);
+            w8.ensure(reached);
+            let want = query_fingerprint(&mut w1, &centers, 1, 2, lo, reached);
+            let got4 = query_fingerprint(&mut w4, &centers, 1, 2, lo, reached);
+            prop_assert_eq!(&want, &got4, "widths 64 vs 256 differ at {} samples", reached);
+            let got8 = query_fingerprint(&mut w8, &centers, 1, 2, lo, reached);
+            prop_assert_eq!(&want, &got8, "widths 64 vs 512 differ at {} samples", reached);
+        }
+    }
+}
+
+proptest! {
+    // Each case spans several shards (> 2 · SHARD_WORLDS worlds), so keep
+    // the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shard eviction and regeneration preserve width equivalence: pools
+    /// whose budget holds only ~1.5 of their 3 shards must evict under
+    /// every query below and regenerate bit-identical worlds on demand,
+    /// at every width, matching an unbounded width-64 reference.
+    #[test]
+    fn block_widths_agree_under_memory_budget(
+        g in small_graph(8, 12),
+        seed in any::<u64>(),
+        tail in 1usize..64,
+        threads in thread_counts(),
+    ) {
+        let n = g.num_nodes() as u32;
+        let r = 2 * SHARD_WORLDS + tail;
+        let centers: Vec<NodeId> = (0..n).map(NodeId).collect();
+
+        let mut reference = BitParallelPool::<1>::new(&g, seed, 1);
+        reference.ensure(r);
+        let want = query_fingerprint(&mut reference, &centers, 1, 2, 100, r - 50);
+
+        // A shard's mask bytes are width-independent (SHARD_WORLDS worlds
+        // over m edges), so the same budget stresses each width equally.
+        let shard_bytes = g.num_edges() * (SHARD_WORLDS / 8);
+        let budget = shard_bytes * 3 / 2;
+
+        let mut w1 = BitParallelPool::<1>::new(&g, seed, 1);
+        w1.set_memory_budget(MemoryBudget::bounded(budget));
+        let mut w4 = BitParallelPool::<4>::new(&g, seed, threads);
+        w4.set_memory_budget(MemoryBudget::bounded(budget));
+        let mut w8 = BitParallelPool::<8>::new(&g, seed, threads);
+        w8.set_memory_budget(MemoryBudget::bounded(budget));
+        w1.ensure(r);
+        w4.ensure(r);
+        w8.ensure(r);
+
+        let got1 = query_fingerprint(&mut w1, &centers, 1, 2, 100, r - 50);
+        prop_assert_eq!(&want, &got1, "width 64 differs under budget");
+        let got4 = query_fingerprint(&mut w4, &centers, 1, 2, 100, r - 50);
+        prop_assert_eq!(&want, &got4, "width 256 differs under budget");
+        let got8 = query_fingerprint(&mut w8, &centers, 1, 2, 100, r - 50);
+        prop_assert_eq!(&want, &got8, "width 512 differs under budget");
+
+        // The budget is below the 3-shard working set, so every pool must
+        // actually have exercised the evict-and-regenerate path.
+        prop_assert!(w1.memory_stats().shards_evicted > 0);
+        prop_assert!(w4.memory_stats().shards_evicted > 0);
+        prop_assert!(w8.memory_stats().shards_evicted > 0);
     }
 }

@@ -70,7 +70,7 @@ fn main() {
     let scalar_cov = cov.clone();
 
     let t = Instant::now();
-    let mut bit_pool = BitParallelPool::new(&g, 3, 1);
+    let mut bit_pool = BitParallelPool::<1>::new(&g, 3, 1);
     bit_pool.ensure(samples);
     for &c in &centers {
         bit_pool.counts_within_depths(c, depth, depth, &mut sel, &mut cov);
@@ -94,7 +94,7 @@ fn main() {
     // bit-parallel generation and depth wins above.
     let mut counts = vec![0u32; n];
     let t = Instant::now();
-    let mut adaptive_pool = BitParallelPool::new_adaptive(&g, 3, 1);
+    let mut adaptive_pool = BitParallelPool::<1>::new_adaptive(&g, 3, 1);
     adaptive_pool.ensure(samples);
     adaptive_pool.counts_from_center(centers[0], &mut counts); // finalizes
     let warm = Instant::now();

@@ -7,12 +7,15 @@
 //! ugraph stats    --input graph.txt
 //! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
 //!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
-//!                 [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
+//!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+//!                 [--memory-budget B]
 //! ugraph sweep    --input graph.txt --algo <mcp|acp> --k-min A --k-max B
 //!                 [--depth D] [--seed N] [--samples N]
-//!                 [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
+//!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+//!                 [--memory-budget B]
 //! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
-//!                 [--ground-truth gt.txt] [--seed N] [--memory-budget B]
+//!                 [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
+//!                 [--memory-budget B]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
 //! ```
 //!
@@ -34,8 +37,8 @@ use ugraph::cluster::{ClusterConfig, ClusterRequest, Clustering, SolveResult, Ug
 use ugraph::datasets::DatasetSpec;
 use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
 use ugraph::metrics::{avpr, confusion, session_quality};
-use ugraph::sampling::EngineKind;
 use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
+use ugraph::sampling::{BlockWidth, EngineKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,12 +84,15 @@ commands:
   stats     --input graph.txt
   cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
             [--depth D] [--inflation I] [--seed N] [--output out.tsv]
-            [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
+            [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+            [--memory-budget B]
   sweep     --input graph.txt --algo <mcp|acp> --k-min A --k-max B
             [--depth D] [--seed N] [--samples N]
-            [--engine <scalar|bitparallel|adaptive>] [--memory-budget B]
+            [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+            [--memory-budget B]
   evaluate  --input graph.txt --clustering out.tsv [--samples N]
-            [--ground-truth gt.txt] [--seed N] [--memory-budget B]
+            [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
+            [--memory-budget B]
   knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]
 
 `--engine` picks the Monte-Carlo backend of the solver paths (default:
@@ -94,6 +100,11 @@ adaptive — bit-parallel blocks with lazy component-label finalization);
 every backend returns identical results for a fixed seed. It is accepted
 everywhere but only affects `cluster` and `sweep` — `evaluate` always
 measures on the scalar evaluation pool.
+
+`--block-width` sets how many sampled worlds one bit-parallel mask block
+packs (default 256). Results are bit-identical at every width; wider
+blocks answer more worlds per traversal at proportionally larger
+per-block mask memory. Ignored by the scalar backend.
 
 `--memory-budget` caps the bytes held by the session's sampled worlds and
 cached rows (e.g. 512M, 2G; binary suffixes K/M/G). Under pressure,
@@ -120,6 +131,7 @@ struct Options {
     samples: usize,
     source: Option<u32>,
     engine: EngineKind,
+    block_width: BlockWidth,
     memory_budget: Option<usize>,
     nodes: Option<usize>,
 }
@@ -151,6 +163,12 @@ impl Options {
                     let v = take()?;
                     o.engine = EngineKind::from_name(&v).ok_or(format!(
                         "flag --engine: expected scalar, bitparallel, or adaptive, got '{v}'"
+                    ))?;
+                }
+                "--block-width" => {
+                    let v = take()?;
+                    o.block_width = BlockWidth::from_name(&v).ok_or(format!(
+                        "flag --block-width: expected 64, 256, or 512, got '{v}'"
                     ))?;
                 }
                 "--memory-budget" => o.memory_budget = Some(parse_bytes(&take()?)?),
@@ -261,7 +279,10 @@ fn build_request(algo: &str, k: usize, depth: Option<u32>) -> Result<ClusterRequ
 /// The CLI's solver/evaluation configuration: seed + engine, plus the
 /// optional memory budget (shared by every pool of the session).
 fn session_config(o: &Options) -> ClusterConfig {
-    let mut cfg = ClusterConfig::default().with_seed(o.seed).with_engine(o.engine);
+    let mut cfg = ClusterConfig::default()
+        .with_seed(o.seed)
+        .with_engine(o.engine)
+        .with_block_width(o.block_width);
     if let Some(bytes) = o.memory_budget {
         cfg = cfg.with_memory_budget(bytes);
     }
@@ -343,9 +364,10 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     let mut session =
         UgraphSession::new(&g, cfg).map_err(|e| e.to_string())?.with_eval_samples(o.samples);
     println!(
-        "{:<4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>10} {:>6} {:>6} \
-         {:>10}",
+        "{:<4} {:>5} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>10} {:>6} \
+         {:>6} {:>10}",
         "k",
+        "width",
         "objective",
         "guesses",
         "samples",
@@ -376,9 +398,10 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                 let stats = session.stats();
                 let m = stats.per_request.last().expect("solve just pushed a record").memory;
                 println!(
-                    "{:<4} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>6} {:>6} \
-                     {:>10} {:>6} {:>6} {:>10.2?}",
+                    "{:<4} {:>5} {:>10.4} {:>8} {:>8} {:>8.4} {:>8.4} {:>6} {:>8} {:>7} {:>6} \
+                     {:>6} {:>10} {:>6} {:>6} {:>10.2?}",
                     k,
+                    o.block_width.name(),
                     r.objective_estimate,
                     r.guesses,
                     r.samples_used,
