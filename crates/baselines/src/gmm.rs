@@ -41,7 +41,7 @@ pub fn gmm(graph: &UncertainGraph, k: usize, seed: u64) -> Result<Clustering, Cl
     centers.push(first);
     is_center[first.index()] = true;
     while centers.len() < k {
-        let (far, dist) = ms.farthest().expect("non-empty graph");
+        let (far, dist) = ms.farthest().unwrap_or_else(|| unreachable!("non-empty graph"));
         // When every remaining node is at distance 0 (certain edges
         // everywhere), the farthest node may already be a center; fall back
         // to the first non-center node (k < n guarantees one exists).
@@ -51,7 +51,7 @@ pub fn gmm(graph: &UncertainGraph, k: usize, seed: u64) -> Result<Clustering, Cl
             (0..n)
                 .map(NodeId::from_index)
                 .find(|u| !is_center[u.index()])
-                .expect("k < n leaves a non-center node")
+                .unwrap_or_else(|| unreachable!("k < n leaves a non-center node"))
         };
         let idx = centers.len() as u32;
         is_center[next.index()] = true;

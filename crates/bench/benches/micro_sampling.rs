@@ -103,13 +103,15 @@ fn parallel_oracle(c: &mut Criterion) {
     const SAMPLES: usize = 256;
     let mut serial_oracle = McOracle::new(&graph, SEED, 1, SampleSchedule::Fixed(SAMPLES), 0.1);
     let mut parallel_oracle = McOracle::new(&graph, SEED, 0, SampleSchedule::Fixed(SAMPLES), 0.1);
-    serial_oracle.prepare(0.5);
-    parallel_oracle.prepare(0.5);
+    serial_oracle.prepare(0.5).unwrap();
+    parallel_oracle.prepare(0.5).unwrap();
     let mut row_serial = (vec![0.0; n], vec![0.0; n]);
     let mut row_parallel = (vec![0.0; n], vec![0.0; n]);
     for center in (0..n as u32).step_by(97) {
-        serial_oracle.center_probs(NodeId(center), &mut row_serial.0, &mut row_serial.1);
-        parallel_oracle.center_probs(NodeId(center), &mut row_parallel.0, &mut row_parallel.1);
+        serial_oracle.center_probs(NodeId(center), &mut row_serial.0, &mut row_serial.1).unwrap();
+        parallel_oracle
+            .center_probs(NodeId(center), &mut row_parallel.0, &mut row_parallel.1)
+            .unwrap();
         assert_eq!(
             row_serial, row_parallel,
             "serial and parallel oracle estimates diverged at center {center}"

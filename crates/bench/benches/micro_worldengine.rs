@@ -93,16 +93,21 @@ impl Oracle for PerRowOracle<'_> {
     fn epsilon(&self) -> f64 {
         self.0.epsilon()
     }
-    fn prepare(&mut self, q: f64) {
+    fn prepare(&mut self, q: f64) -> Result<(), ugraph_sampling::SamplingError> {
         self.0.prepare(q)
     }
     fn num_samples(&self) -> usize {
         self.0.num_samples()
     }
-    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs(
+        &mut self,
+        center: NodeId,
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), ugraph_sampling::SamplingError> {
         self.0.center_probs(center, select, cover)
     }
-    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> Result<f64, ugraph_sampling::SamplingError> {
         self.0.pair_prob(u, v)
     }
     // identical_rows() stays false and center_probs_batch stays the default

@@ -27,8 +27,8 @@ use ugraph_sampling::rng::mix_seed;
 use ugraph_sampling::{EngineStats, Oracle, RowCacheStats};
 
 use crate::clustering::Clustering;
-use crate::config::{AcpInvocation, ClusterConfig, GuessStrategy};
-use crate::error::ClusterError;
+use crate::config::{AcpInvocation, ClusterConfig, DegradeMode, GuessStrategy};
+use crate::error::{interrupted, ClusterError, InterruptReport};
 use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
 use crate::request::{ClusterRequest, SolveResult};
 use crate::session::UgraphSession;
@@ -58,6 +58,10 @@ pub struct AcpResult {
     /// Lazy block-finalization counters of the backing engine (all zero
     /// unless the adaptive backend ran).
     pub engine: EngineStats,
+    /// `Some` iff the run was interrupted mid-schedule and completed
+    /// best-effort under [`DegradeMode::BestEffort`] (see
+    /// [`crate::SolveResult::interrupt`]).
+    pub interrupt: Option<InterruptReport>,
 }
 
 impl From<SolveResult> for AcpResult {
@@ -72,6 +76,7 @@ impl From<SolveResult> for AcpResult {
             samples_used: r.samples_used,
             row_cache: r.row_cache,
             engine: r.engine,
+            interrupt: r.interrupt,
         }
     }
 }
@@ -128,22 +133,25 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
     // Shared across all guesses, like the oracle's row cache.
     let mut ws = MinPartialWorkspace::new(n);
 
-    // One min-partial invocation at driver threshold `q`.
+    // One min-partial invocation at driver threshold `q`. The guess
+    // counter only advances for invocations that ran to completion, so an
+    // interruption reports the number of *completed* guesses.
     let mut invoke = |oracle: &mut O, q: f64, rng: &mut SmallRng, guesses: &mut usize| {
-        *guesses += 1;
         let eps = oracle.epsilon();
         let params = match cfg.acp_invocation {
             AcpInvocation::Theory => {
                 let q3 = q * q * q;
-                oracle.prepare(q3);
+                oracle.prepare(q3)?;
                 MinPartialParams { k, q: q3, alpha: usize::MAX, q_bar: q, epsilon: eps }
             }
             AcpInvocation::Practical => {
-                oracle.prepare(q);
+                oracle.prepare(q)?;
                 MinPartialParams { k, q, alpha: cfg.alpha, q_bar: q, epsilon: eps }
             }
         };
-        min_partial_with(oracle, &params, rng, &mut ws)
+        let pc = min_partial_with(oracle, &params, rng, &mut ws)?;
+        *guesses += 1;
+        Ok(pc)
     };
     // The largest φ a threshold-q clustering is *guaranteed* to reach; the
     // loop stops once it falls below the best φ seen (Algorithm 3 line 5).
@@ -152,11 +160,16 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
         AcpInvocation::Practical => q,
     };
 
-    // Line 1-3: initial run at q = 1.
-    let first = invoke(oracle, 1.0, &mut rng, &mut guesses);
+    // Line 1-3: initial run at q = 1. With no clustering in hand yet,
+    // interruptions always surface as typed errors (BestEffort included).
+    let first = match invoke(oracle, 1.0, &mut rng, &mut guesses) {
+        Ok(pc) => pc,
+        Err(e) => return Err(interrupted(e, oracle.num_samples(), guesses)),
+    };
     let mut phi_best = first.phi();
     let mut best = first;
     let mut best_q = 1.0f64;
+    let mut interrupt = None;
 
     // Guessing loop (lines 4-13).
     let mut next_q: Box<dyn FnMut() -> f64> = match cfg.guess {
@@ -184,7 +197,23 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
         if potential(q) < phi_best {
             break;
         }
-        let pc = invoke(oracle, q, &mut rng, &mut guesses);
+        // The first run already produced a usable clustering, so under
+        // BestEffort an interruption just ends the schedule early and the
+        // best completion so far is returned; injected faults still
+        // surface as errors.
+        let pc = match invoke(oracle, q, &mut rng, &mut guesses) {
+            Ok(pc) => pc,
+            Err(e) => {
+                let err = interrupted(e, oracle.num_samples(), guesses);
+                match (cfg.degrade, err.interrupt_report().copied()) {
+                    (DegradeMode::BestEffort, Some(report)) => {
+                        interrupt = Some(report);
+                        break;
+                    }
+                    _ => return Err(err),
+                }
+            }
+        };
         let phi = pc.phi();
         if phi >= phi_best {
             phi_best = phi;
@@ -206,6 +235,7 @@ pub fn acp_with_oracle<O: Oracle + ?Sized>(
         samples_used: oracle.num_samples(),
         row_cache: oracle.cache_stats(),
         engine: oracle.engine_stats(),
+        interrupt,
     })
 }
 
@@ -342,7 +372,8 @@ mod tests {
         let bound = (opt.best_avg_prob / (1.1 * h6)).powi(3);
         // Evaluate the actual achieved average against the exact oracle.
         let achieved =
-            crate::objectives::avg_prob(&mut ExactOracleAdapter::new(exact), &r.clustering);
+            crate::objectives::avg_prob(&mut ExactOracleAdapter::new(exact), &r.clustering)
+                .unwrap();
         assert!(achieved >= bound - 1e-9, "avg {achieved} below bound {bound}");
     }
 

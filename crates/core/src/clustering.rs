@@ -33,7 +33,7 @@ impl Clustering {
         let assignment: Vec<u32> =
             assignment.into_iter().map(|a| a.map_or(UNASSIGNED, |c| c)).collect();
         let c = Clustering { centers, assignment };
-        c.validate().expect("invalid clustering");
+        c.validate().unwrap_or_else(|e| panic!("invalid clustering: {e}"));
         c
     }
 

@@ -1,6 +1,8 @@
 //! Configuration of the clustering drivers.
 
-use ugraph_sampling::{BlockWidth, EngineKind, SampleSchedule};
+use std::time::Duration;
+
+use ugraph_sampling::{BlockWidth, CancelToken, EngineKind, SampleSchedule};
 
 use crate::error::ClusterError;
 
@@ -32,12 +34,31 @@ pub enum AcpInvocation {
     Practical,
 }
 
+/// What an interrupted solve returns (deadline passed or token fired).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Return a typed error —
+    /// [`ClusterError::DeadlineExceeded`]
+    /// or [`ClusterError::Cancelled`] —
+    /// carrying an [`InterruptReport`](crate::error::InterruptReport).
+    /// The session stays usable either way.
+    #[default]
+    Fail,
+    /// *Anytime* semantics: if a full k-clustering was already found when
+    /// the interruption fired, return it as a normal result with
+    /// [`SolveResult::interrupt`](crate::SolveResult::interrupt) set (the
+    /// guessing schedule just stopped refining early). With no full
+    /// clustering yet, the typed error is returned as under
+    /// [`DegradeMode::Fail`].
+    BestEffort,
+}
+
 /// Shared configuration for [`crate::mcp()`](crate::mcp::mcp) and [`crate::acp()`](crate::acp::acp).
 ///
 /// Defaults follow the paper's experimental setup (§5): `γ = 0.1`,
 /// `p_L = 10⁻⁴`, `α = 1`, progressive sampling starting at 50 samples,
 /// accelerated guessing with binary-search refinement.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Guess-schedule parameter `γ > 0` (time/quality trade-off).
     pub gamma: f64,
@@ -103,6 +124,50 @@ pub struct ClusterConfig {
     /// under any budget — the knob trades time (regeneration sweeps) for
     /// a hard memory bound.
     pub memory_budget: Option<usize>,
+    /// Session-level wall-clock bound applied to **every** solve (default
+    /// `None` = unbounded). The solve stops cooperatively at the next
+    /// shard/block checkpoint after expiry; composes with a per-request
+    /// [`ClusterRequest::with_deadline`](crate::ClusterRequest::with_deadline)
+    /// (tighter wins). Cancellation latency is bounded by one block of
+    /// work; an uninterrupted run is bit-identical with or without the
+    /// bound.
+    pub timeout: Option<Duration>,
+    /// Session-level cancellation token checked by every solve (default
+    /// `None`). Cancel any clone of it — e.g. from a signal handler or a
+    /// server thread — and the running solve stops at its next
+    /// checkpoint. Composes with per-request tokens (all are honored).
+    pub cancel_token: Option<CancelToken>,
+    /// What an interrupted solve returns (default
+    /// [`DegradeMode::Fail`]: a typed error).
+    pub degrade: DegradeMode,
+}
+
+impl PartialEq for ClusterConfig {
+    /// Cancellation tokens compare by clone identity
+    /// ([`CancelToken::same_token`]); everything else structurally.
+    fn eq(&self, other: &Self) -> bool {
+        self.gamma == other.gamma
+            && self.p_l == other.p_l
+            && self.epsilon == other.epsilon
+            && self.alpha == other.alpha
+            && self.seed == other.seed
+            && self.threads == other.threads
+            && self.schedule == other.schedule
+            && self.guess == other.guess
+            && self.acp_invocation == other.acp_invocation
+            && self.engine == other.engine
+            && self.block_width == other.block_width
+            && self.row_cache == other.row_cache
+            && self.shared_pool == other.shared_pool
+            && self.memory_budget == other.memory_budget
+            && self.timeout == other.timeout
+            && self.degrade == other.degrade
+            && match (&self.cancel_token, &other.cancel_token) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same_token(b),
+                _ => false,
+            }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -122,6 +187,9 @@ impl Default for ClusterConfig {
             row_cache: true,
             shared_pool: false,
             memory_budget: None,
+            timeout: None,
+            cancel_token: None,
+            degrade: DegradeMode::default(),
         }
     }
 }
@@ -241,6 +309,47 @@ impl ClusterConfig {
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
         self
+    }
+
+    /// Builder-style setter for the session-level wall-clock bound (see
+    /// [`ClusterConfig::timeout`]). Applied per solve, not to the session
+    /// lifetime; tightens (never loosens) an existing value.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(self.timeout.map_or(timeout, |t| t.min(timeout)));
+        self
+    }
+
+    /// Builder-style setter for the session-level cancellation token (see
+    /// [`ClusterConfig::cancel_token`]).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel_token = Some(token);
+        self
+    }
+
+    /// Builder-style setter for the degrade mode (see [`DegradeMode`]).
+    pub fn with_degrade(mut self, degrade: DegradeMode) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// The per-solve [`RunBudget`](ugraph_sampling::RunBudget) of this
+    /// configuration combined with `request`-level bounds: the tighter
+    /// deadline wins, every cancellation token is attached.
+    pub(crate) fn run_budget(&self, request: &crate::ClusterRequest) -> ugraph_sampling::RunBudget {
+        let mut budget = ugraph_sampling::RunBudget::unlimited();
+        if let Some(t) = self.timeout {
+            budget = budget.with_timeout(t);
+        }
+        if let Some(tok) = &self.cancel_token {
+            budget = budget.with_token(tok.clone());
+        }
+        if let Some(t) = request.deadline() {
+            budget = budget.with_timeout(t);
+        }
+        if let Some(tok) = request.cancel_token() {
+            budget = budget.with_token(tok.clone());
+        }
+        budget
     }
 
     /// The relaxed threshold actually compared against estimates:

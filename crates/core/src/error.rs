@@ -2,6 +2,36 @@
 
 use std::fmt;
 
+use ugraph_sampling::{Interrupt, SamplingError, SamplingPhase};
+
+/// How far an interrupted solve got before its deadline passed, its
+/// [`CancelToken`](ugraph_sampling::CancelToken) fired, or an injected
+/// fault stopped it — carried by [`ClusterError::DeadlineExceeded`] and
+/// [`ClusterError::Cancelled`], and by
+/// [`SolveResult::interrupt`](crate::SolveResult::interrupt) when the
+/// session runs under [`DegradeMode::BestEffort`](crate::config::DegradeMode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptReport {
+    /// What interrupted the solve.
+    pub kind: Interrupt,
+    /// The sampling stage the interruption was observed in.
+    pub phase: SamplingPhase,
+    /// Possible worlds fully sampled (and usable) when the solve stopped.
+    pub worlds_sampled: usize,
+    /// `min-partial` guesses that ran to completion before the stop.
+    pub guesses_completed: usize,
+}
+
+impl fmt::Display for InterruptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} during {} after {} guesses ({} worlds sampled)",
+            self.kind, self.phase, self.guesses_completed, self.worlds_sampled
+        )
+    }
+}
+
 /// Failure modes of the MCP/ACP drivers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {
@@ -33,6 +63,41 @@ pub enum ClusterError {
         /// Description of the offending parameter.
         message: String,
     },
+    /// The sampling layer failed (invalid depth pair, buffer mismatch, an
+    /// injected fault, …). The source error is preserved — match on it or
+    /// walk [`std::error::Error::source`] — instead of being flattened
+    /// into a string.
+    Sampling(
+        /// The underlying sampling-layer error.
+        SamplingError,
+    ),
+    /// The solve's wall-clock deadline passed (see
+    /// [`ClusterRequest::with_deadline`](crate::ClusterRequest::with_deadline)
+    /// and [`ClusterConfig::with_timeout`](crate::ClusterConfig::with_timeout)).
+    /// The session survives: re-issuing the request completes
+    /// bit-identically to an undisturbed run.
+    DeadlineExceeded(
+        /// How far the solve got.
+        InterruptReport,
+    ),
+    /// A [`CancelToken`](ugraph_sampling::CancelToken) attached to the
+    /// solve fired. The session survives, exactly as for
+    /// [`ClusterError::DeadlineExceeded`].
+    Cancelled(
+        /// How far the solve got.
+        InterruptReport,
+    ),
+}
+
+impl ClusterError {
+    /// The [`InterruptReport`] carried by the interruption variants
+    /// (`None` for every other error).
+    pub fn interrupt_report(&self) -> Option<&InterruptReport> {
+        match self {
+            ClusterError::DeadlineExceeded(r) | ClusterError::Cancelled(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -49,24 +114,67 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidConfig { message } => {
                 write!(f, "invalid configuration: {message}")
             }
+            ClusterError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            ClusterError::DeadlineExceeded(report) => write!(f, "solve {report}"),
+            ClusterError::Cancelled(report) => write!(f, "solve {report}"),
         }
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Sampling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<ugraph_sampling::SamplingError> for ClusterError {
-    /// Sampling-layer failures surfacing during oracle construction (e.g.
-    /// invalid depth pairs) are configuration errors from the driver's
-    /// point of view.
-    fn from(e: ugraph_sampling::SamplingError) -> Self {
-        ClusterError::InvalidConfig { message: e.to_string() }
+impl From<SamplingError> for ClusterError {
+    /// Cooperative interruptions become the typed
+    /// [`ClusterError::DeadlineExceeded`] / [`ClusterError::Cancelled`]
+    /// variants (with a minimal report — the drivers enrich it with guess
+    /// and world counts); everything else is wrapped as
+    /// [`ClusterError::Sampling`] with the source preserved.
+    fn from(e: SamplingError) -> Self {
+        match e {
+            SamplingError::Interrupted { kind, phase } => {
+                let report =
+                    InterruptReport { kind, phase, worlds_sampled: 0, guesses_completed: 0 };
+                match kind {
+                    Interrupt::DeadlineExceeded => ClusterError::DeadlineExceeded(report),
+                    Interrupt::Cancelled => ClusterError::Cancelled(report),
+                }
+            }
+            other => ClusterError::Sampling(other),
+        }
+    }
+}
+
+/// Maps a sampling-layer error into [`ClusterError`], enriching
+/// interruptions with driver-side progress counters.
+pub(crate) fn interrupted(
+    e: SamplingError,
+    worlds_sampled: usize,
+    guesses_completed: usize,
+) -> ClusterError {
+    match ClusterError::from(e) {
+        ClusterError::DeadlineExceeded(r) => ClusterError::DeadlineExceeded(InterruptReport {
+            worlds_sampled,
+            guesses_completed,
+            ..r
+        }),
+        ClusterError::Cancelled(r) => {
+            ClusterError::Cancelled(InterruptReport { worlds_sampled, guesses_completed, ..r })
+        }
+        other => other,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_messages() {
@@ -78,5 +186,52 @@ mod tests {
 
         let e = ClusterError::InvalidConfig { message: "gamma must be positive".into() };
         assert!(e.to_string().contains("gamma"));
+
+        let report = InterruptReport {
+            kind: Interrupt::DeadlineExceeded,
+            phase: SamplingPhase::Sweep,
+            worlds_sampled: 128,
+            guesses_completed: 3,
+        };
+        let e = ClusterError::DeadlineExceeded(report);
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded") && s.contains("128") && s.contains("3 guesses"));
+    }
+
+    #[test]
+    fn sampling_errors_keep_their_source() {
+        let src = SamplingError::InvalidDepths { d_select: 4, d_cover: 2 };
+        let e = ClusterError::from(src.clone());
+        assert_eq!(e, ClusterError::Sampling(src.clone()));
+        let chained = e.source().expect("Sampling must chain its source");
+        assert_eq!(chained.to_string(), src.to_string());
+        // Non-wrapping variants have no source.
+        assert!(ClusterError::KOutOfRange { k: 2, n: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn interruptions_map_to_typed_variants() {
+        let e = ClusterError::from(SamplingError::Interrupted {
+            kind: Interrupt::Cancelled,
+            phase: SamplingPhase::Generation,
+        });
+        match e {
+            ClusterError::Cancelled(r) => {
+                assert_eq!(r.kind, Interrupt::Cancelled);
+                assert_eq!(r.phase, SamplingPhase::Generation);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        let e = interrupted(
+            SamplingError::Interrupted {
+                kind: Interrupt::DeadlineExceeded,
+                phase: SamplingPhase::Sweep,
+            },
+            64,
+            2,
+        );
+        let r = e.interrupt_report().expect("typed interruption carries a report");
+        assert_eq!((r.worlds_sampled, r.guesses_completed), (64, 2));
     }
 }

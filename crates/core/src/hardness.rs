@@ -110,15 +110,18 @@ pub fn set_cover_to_mcp(inst: &SetCoverInstance) -> (UncertainGraph, f64) {
         let set_node = (m + j) as u32;
         for &e in set {
             assert!(e < m, "element {e} out of universe 0..{m}");
-            b.add_edge(e as u32, set_node, p_hat).expect("gadget edge");
+            b.add_edge(e as u32, set_node, p_hat)
+                .unwrap_or_else(|e| unreachable!("gadget edge is valid by construction: {e}"));
         }
     }
     for j1 in 0..n {
         for j2 in (j1 + 1)..n {
-            b.add_edge((m + j1) as u32, (m + j2) as u32, p_hat).expect("gadget edge");
+            b.add_edge((m + j1) as u32, (m + j2) as u32, p_hat)
+                .unwrap_or_else(|e| unreachable!("gadget edge is valid by construction: {e}"));
         }
     }
-    (b.build().expect("gadget build"), p_hat)
+    let g = b.build().unwrap_or_else(|e| unreachable!("gadget build cannot fail: {e}"));
+    (g, p_hat)
 }
 
 #[cfg(test)]

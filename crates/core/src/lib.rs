@@ -78,6 +78,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not panics; tests,
+// benches, and doctests (separate crates / cfg(test) builds) may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod acp;
 pub mod brute;
@@ -93,11 +96,13 @@ pub mod session;
 
 pub use acp::{acp, acp_depth, acp_with_oracle, AcpResult};
 pub use clustering::{Clustering, PartialClustering};
-pub use config::{AcpInvocation, ClusterConfig, GuessStrategy};
-pub use error::ClusterError;
+pub use config::{AcpInvocation, ClusterConfig, DegradeMode, GuessStrategy};
+pub use error::{ClusterError, InterruptReport};
 pub use mcp::{mcp, mcp_depth, mcp_with_oracle, McpResult};
 pub use min_partial::{min_partial, min_partial_with, MinPartialParams, MinPartialWorkspace};
 pub use objectives::{avg_prob, min_prob};
 pub use request::{ClusterRequest, Objective, SolveResult};
 pub use session::{EvalQuality, RequestRecord, SessionStats, UgraphSession};
-pub use ugraph_sampling::{EngineKind, RowCacheStats};
+pub use ugraph_sampling::{
+    CancelToken, EngineKind, Interrupt, RowCacheStats, SamplingError, SamplingPhase,
+};

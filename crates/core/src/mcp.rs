@@ -18,8 +18,8 @@ use ugraph_sampling::rng::mix_seed;
 use ugraph_sampling::{EngineStats, Oracle, RowCacheStats};
 
 use crate::clustering::{Clustering, PartialClustering};
-use crate::config::{ClusterConfig, GuessStrategy};
-use crate::error::ClusterError;
+use crate::config::{ClusterConfig, DegradeMode, GuessStrategy};
+use crate::error::{interrupted, ClusterError, InterruptReport};
 use crate::min_partial::{min_partial_with, MinPartialParams, MinPartialWorkspace};
 use crate::request::{ClusterRequest, SolveResult};
 use crate::session::UgraphSession;
@@ -48,6 +48,10 @@ pub struct McpResult {
     /// Lazy block-finalization counters of the backing engine (all zero
     /// unless the adaptive backend ran).
     pub engine: EngineStats,
+    /// `Some` iff the run was interrupted mid-refinement and completed
+    /// best-effort under [`DegradeMode::BestEffort`] (see
+    /// [`crate::SolveResult::interrupt`]).
+    pub interrupt: Option<InterruptReport>,
 }
 
 impl From<SolveResult> for McpResult {
@@ -62,6 +66,7 @@ impl From<SolveResult> for McpResult {
             samples_used: r.samples_used,
             row_cache: r.row_cache,
             engine: r.engine,
+            interrupt: r.interrupt,
         }
     }
 }
@@ -119,70 +124,101 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
     // across guesses (including the binary-search refinement).
     let mut ws = MinPartialWorkspace::new(n);
 
+    // One guess of the schedule. The guess counter only advances for
+    // invocations that ran to completion, so an interruption reports the
+    // number of *completed* guesses.
     let run = |oracle: &mut O,
                q: f64,
                rng: &mut SmallRng,
                ws: &mut MinPartialWorkspace,
                g: &mut usize| {
-        *g += 1;
-        oracle.prepare(q);
+        oracle.prepare(q)?;
         let eps = oracle.epsilon();
         let params = MinPartialParams { k, q, alpha: cfg.alpha, q_bar: q, epsilon: eps };
-        min_partial_with(oracle, &params, rng, ws)
+        let pc = min_partial_with(oracle, &params, rng, ws)?;
+        *g += 1;
+        Ok(pc)
     };
 
-    let (success, final_q): (PartialClustering, f64) = match cfg.guess {
-        GuessStrategy::Geometric => {
-            // Algorithm 2 verbatim: q ← q/(1+γ) from 1 until coverage.
-            let mut q = 1.0f64;
-            loop {
-                let pc = run(oracle, q, &mut rng, &mut ws, &mut guesses);
-                if pc.clustering.is_full() {
-                    break (pc, q);
-                }
-                if q <= cfg.p_l {
-                    return Err(ClusterError::NoFullClustering {
-                        floor: cfg.p_l,
-                        uncovered: pc.clustering.outliers().len(),
-                    });
-                }
-                q = (q / (1.0 + cfg.gamma)).max(cfg.p_l);
-            }
-        }
-        GuessStrategy::Accelerated => {
-            // §5: q_i = max{1 − γ·2^i, p_L}, then binary search between the
-            // last failing and the first succeeding guess.
-            let mut hi = 1.0f64; // highest threshold known (or assumed) to fail
-            let mut i = 0u32;
-            let (mut best_pc, mut lo) = loop {
-                let q = (1.0 - cfg.gamma * f64::from(2u32.saturating_pow(i))).max(cfg.p_l);
-                let pc = run(oracle, q, &mut rng, &mut ws, &mut guesses);
-                if pc.clustering.is_full() {
-                    break (pc, q);
-                }
-                if q <= cfg.p_l {
-                    return Err(ClusterError::NoFullClustering {
-                        floor: cfg.p_l,
-                        uncovered: pc.clustering.outliers().len(),
-                    });
-                }
-                hi = q;
-                i += 1;
-            };
-            // Binary search in log space; stop when lo/hi > 1 − γ.
-            while lo / hi <= 1.0 - cfg.gamma {
-                let mid = (lo * hi).sqrt();
-                let pc = run(oracle, mid, &mut rng, &mut ws, &mut guesses);
-                if pc.clustering.is_full() {
-                    best_pc = pc;
-                    lo = mid;
-                } else {
-                    hi = mid;
+    let (success, final_q, interrupt): (PartialClustering, f64, Option<InterruptReport>) =
+        match cfg.guess {
+            GuessStrategy::Geometric => {
+                // Algorithm 2 verbatim: q ← q/(1+γ) from 1 until coverage.
+                // Until the first full clustering exists there is nothing
+                // to degrade to, so interruptions always surface as typed
+                // errors here (BestEffort included).
+                let mut q = 1.0f64;
+                loop {
+                    let pc = match run(oracle, q, &mut rng, &mut ws, &mut guesses) {
+                        Ok(pc) => pc,
+                        Err(e) => return Err(interrupted(e, oracle.num_samples(), guesses)),
+                    };
+                    if pc.clustering.is_full() {
+                        break (pc, q, None);
+                    }
+                    if q <= cfg.p_l {
+                        return Err(ClusterError::NoFullClustering {
+                            floor: cfg.p_l,
+                            uncovered: pc.clustering.outliers().len(),
+                        });
+                    }
+                    q = (q / (1.0 + cfg.gamma)).max(cfg.p_l);
                 }
             }
-            (best_pc, lo)
-        }
-    };
+            GuessStrategy::Accelerated => {
+                // §5: q_i = max{1 − γ·2^i, p_L}, then binary search between
+                // the last failing and the first succeeding guess.
+                let mut hi = 1.0f64; // highest threshold known (or assumed) to fail
+                let mut i = 0u32;
+                let (mut best_pc, mut lo) = loop {
+                    let q = (1.0 - cfg.gamma * f64::from(2u32.saturating_pow(i))).max(cfg.p_l);
+                    let pc = match run(oracle, q, &mut rng, &mut ws, &mut guesses) {
+                        Ok(pc) => pc,
+                        Err(e) => return Err(interrupted(e, oracle.num_samples(), guesses)),
+                    };
+                    if pc.clustering.is_full() {
+                        break (pc, q);
+                    }
+                    if q <= cfg.p_l {
+                        return Err(ClusterError::NoFullClustering {
+                            floor: cfg.p_l,
+                            uncovered: pc.clustering.outliers().len(),
+                        });
+                    }
+                    hi = q;
+                    i += 1;
+                };
+                // Binary search in log space; stop when lo/hi > 1 − γ. A
+                // full clustering is in hand from here on, so under
+                // BestEffort an interruption just stops the refinement
+                // early; injected faults still surface as errors.
+                let mut interrupt = None;
+                while lo / hi <= 1.0 - cfg.gamma {
+                    let mid = (lo * hi).sqrt();
+                    match run(oracle, mid, &mut rng, &mut ws, &mut guesses) {
+                        Ok(pc) => {
+                            if pc.clustering.is_full() {
+                                best_pc = pc;
+                                lo = mid;
+                            } else {
+                                hi = mid;
+                            }
+                        }
+                        Err(e) => {
+                            let err = interrupted(e, oracle.num_samples(), guesses);
+                            match (cfg.degrade, err.interrupt_report().copied()) {
+                                (DegradeMode::BestEffort, Some(report)) => {
+                                    interrupt = Some(report);
+                                    break;
+                                }
+                                _ => return Err(err),
+                            }
+                        }
+                    }
+                }
+                (best_pc, lo, interrupt)
+            }
+        };
 
     let min_prob_estimate = success.min_covered_prob().unwrap_or(0.0);
     Ok(McpResult {
@@ -194,6 +230,7 @@ pub fn mcp_with_oracle<O: Oracle + ?Sized>(
         samples_used: oracle.num_samples(),
         row_cache: oracle.cache_stats(),
         engine: oracle.engine_stats(),
+        interrupt,
     })
 }
 

@@ -26,7 +26,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use ugraph_graph::NodeId;
-use ugraph_sampling::Oracle;
+use ugraph_sampling::{Oracle, SamplingError};
 
 use crate::clustering::{Clustering, PartialClustering};
 
@@ -129,13 +129,19 @@ impl MinPartialWorkspace {
 /// repeated callers (the MCP/ACP guessing schedules) use
 /// [`min_partial_with`] to reuse one.
 ///
+/// # Errors
+/// Propagates oracle failures (cooperative interruptions, injected
+/// faults). The workspace and oracle caches stay consistent: nothing
+/// partial is committed, and re-running the invocation completes
+/// bit-identically.
+///
 /// # Panics
 /// Panics if `params.k == 0` or `params.alpha == 0`.
 pub fn min_partial<O: Oracle + ?Sized>(
     oracle: &mut O,
     params: &MinPartialParams,
     rng: &mut SmallRng,
-) -> PartialClustering {
+) -> Result<PartialClustering, SamplingError> {
     min_partial_with(oracle, params, rng, &mut MinPartialWorkspace::new(oracle.num_nodes()))
 }
 
@@ -150,6 +156,9 @@ pub fn min_partial<O: Oracle + ?Sized>(
 /// `center_probs` calls: candidates are evaluated in the same order, ties
 /// break the same way, and the rng is consumed identically.
 ///
+/// # Errors
+/// See [`min_partial`].
+///
 /// # Panics
 /// Panics if `params.k == 0` or `params.alpha == 0`.
 pub fn min_partial_with<O: Oracle + ?Sized>(
@@ -157,7 +166,7 @@ pub fn min_partial_with<O: Oracle + ?Sized>(
     params: &MinPartialParams,
     rng: &mut SmallRng,
     ws: &mut MinPartialWorkspace,
-) -> PartialClustering {
+) -> Result<PartialClustering, SamplingError> {
     assert!(params.k >= 1, "k must be at least 1");
     assert!(params.alpha >= 1, "alpha must be at least 1");
     let n = oracle.num_nodes();
@@ -191,10 +200,10 @@ pub fn min_partial_with<O: Oracle + ?Sized>(
             ws.batch.extend(ws.uncovered[start..start + len].iter().map(|&u| NodeId(u)));
             ws.cov_rows.resize(len * n, 0.0);
             if identical_rows {
-                oracle.center_probs_batch(&ws.batch, &mut [], &mut ws.cov_rows);
+                oracle.center_probs_batch(&ws.batch, &mut [], &mut ws.cov_rows)?;
             } else {
                 ws.sel_rows.resize(len * n, 0.0);
-                oracle.center_probs_batch(&ws.batch, &mut ws.sel_rows, &mut ws.cov_rows);
+                oracle.center_probs_batch(&ws.batch, &mut ws.sel_rows, &mut ws.cov_rows)?;
             }
             for (bj, &cand) in ws.uncovered[start..start + len].iter().enumerate() {
                 let cov_row = &ws.cov_rows[bj * n..(bj + 1) * n];
@@ -214,7 +223,8 @@ pub fn min_partial_with<O: Oracle + ?Sized>(
             }
             start += len;
         }
-        let (_, chosen) = best.expect("candidate set cannot be empty here");
+        let (_, chosen) =
+            best.unwrap_or_else(|| unreachable!("candidate set cannot be empty here"));
         let ci = centers.len() as u32;
         centers.push(NodeId(chosen));
         ws.is_center[chosen as usize] = true;
@@ -263,7 +273,7 @@ pub fn min_partial_with<O: Oracle + ?Sized>(
             centers.push(NodeId(u));
             ws.is_center[u as usize] = true;
             ws.covered[u as usize] = true;
-            oracle.center_probs(NodeId(u), &mut ws.sel_rows, &mut ws.cov_rows);
+            oracle.center_probs(NodeId(u), &mut ws.sel_rows, &mut ws.cov_rows)?;
             for w in 0..n {
                 if ws.is_center[w] {
                     continue;
@@ -290,12 +300,12 @@ pub fn min_partial_with<O: Oracle + ?Sized>(
     let clustering = Clustering::from_raw(centers, assignment);
     let best_center_opt: Vec<Option<u32>> =
         ws.best_center.iter().map(|&c| (c != UNASSIGNED).then_some(c)).collect();
-    PartialClustering {
+    Ok(PartialClustering {
         clustering,
         assign_probs,
         best_center: best_center_opt,
         best_prob: ws.best_prob.clone(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -325,7 +335,7 @@ mod tests {
         let g = two_communities();
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(1);
-        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng).unwrap();
         assert!(pc.clustering.is_full());
         assert_eq!(pc.clustering.num_clusters(), 2);
         // Each triangle forms one cluster.
@@ -343,7 +353,7 @@ mod tests {
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(7);
         let q = 0.7;
-        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, q), &mut rng);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, q), &mut rng).unwrap();
         for u in 0..6u32 {
             if pc.clustering.cluster_of(NodeId(u)).is_some() {
                 assert!(
@@ -360,7 +370,7 @@ mod tests {
         let g = two_communities();
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(3);
-        let pc = min_partial(&mut oracle, &MinPartialParams::simple(1, 0.5), &mut rng);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(1, 0.5), &mut rng).unwrap();
         // One center can only cover its own triangle (bridge prob ~0.01).
         assert_eq!(pc.clustering.covered_count(), 3);
         assert_eq!(pc.clustering.outliers().len(), 3);
@@ -373,7 +383,7 @@ mod tests {
         let g = two_communities();
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(11);
-        let pc = min_partial(&mut oracle, &MinPartialParams::simple(3, 0.3), &mut rng);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(3, 0.3), &mut rng).unwrap();
         for (i, &c) in pc.clustering.centers().iter().enumerate() {
             assert_eq!(pc.clustering.cluster_of(c), Some(i));
             assert_eq!(pc.assign_probs[c.index()], 1.0);
@@ -391,7 +401,7 @@ mod tests {
         let g = b.build().unwrap();
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(5);
-        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.9), &mut rng);
+        let pc = min_partial(&mut oracle, &MinPartialParams::simple(2, 0.9), &mut rng).unwrap();
         assert_eq!(pc.clustering.num_clusters(), 2);
         assert!(pc.clustering.is_full());
         assert!(pc.clustering.validate().is_ok());
@@ -403,14 +413,14 @@ mod tests {
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(2);
         let params = MinPartialParams { k: 2, q: 0.5, alpha: usize::MAX, q_bar: 0.5, epsilon: 0.0 };
-        let pc = min_partial(&mut oracle, &params, &mut rng);
+        let pc = min_partial(&mut oracle, &params, &mut rng).unwrap();
         assert!(pc.clustering.is_full());
         // With alpha = all and exact probabilities the result is
         // rng-independent: any seed gives the same deterministic outcome
         // because ties break on node id.
         let mut oracle2 = exact_oracle(&g);
         let mut rng2 = SmallRng::seed_from_u64(999);
-        let pc2 = min_partial(&mut oracle2, &params, &mut rng2);
+        let pc2 = min_partial(&mut oracle2, &params, &mut rng2).unwrap();
         assert_eq!(pc.clustering, pc2.clustering);
     }
 
@@ -420,7 +430,7 @@ mod tests {
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(4);
         let params = MinPartialParams { k: 2, q: 0.1, alpha: usize::MAX, q_bar: 0.9, epsilon: 0.0 };
-        let pc = min_partial(&mut oracle, &params, &mut rng);
+        let pc = min_partial(&mut oracle, &params, &mut rng).unwrap();
         // Cover threshold is low, so everything still gets covered.
         assert!(pc.clustering.is_full());
     }
@@ -431,7 +441,9 @@ mod tests {
         let run = |seed: u64| {
             let mut oracle = exact_oracle(&g);
             let mut rng = SmallRng::seed_from_u64(seed);
-            min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng).clustering
+            min_partial(&mut oracle, &MinPartialParams::simple(2, 0.5), &mut rng)
+                .unwrap()
+                .clustering
         };
         assert_eq!(run(42), run(42));
     }
@@ -443,7 +455,7 @@ mod tests {
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(0);
         let params = MinPartialParams { k: 0, q: 0.5, alpha: 1, q_bar: 0.5, epsilon: 0.0 };
-        let _ = min_partial(&mut oracle, &params, &mut rng);
+        let _ = min_partial(&mut oracle, &params, &mut rng).unwrap();
     }
 
     #[test]
@@ -456,10 +468,10 @@ mod tests {
         let mut oracle = exact_oracle(&g);
         let mut rng = SmallRng::seed_from_u64(0);
         let strict = MinPartialParams { k: 1, q: 0.8, alpha: 1, q_bar: 0.8, epsilon: 0.0 };
-        let pc = min_partial(&mut oracle, &strict, &mut rng);
+        let pc = min_partial(&mut oracle, &strict, &mut rng).unwrap();
         assert_eq!(pc.clustering.covered_count(), 1);
         let relaxed = MinPartialParams { k: 1, q: 0.8, alpha: 1, q_bar: 0.8, epsilon: 0.5 };
-        let pc = min_partial(&mut oracle, &relaxed, &mut rng);
+        let pc = min_partial(&mut oracle, &relaxed, &mut rng).unwrap();
         assert_eq!(pc.clustering.covered_count(), 2);
     }
 }

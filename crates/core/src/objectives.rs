@@ -5,7 +5,7 @@
 //! evaluation; the `ugraph-metrics` crate provides the batched versions
 //! used by the experiment harness.
 
-use ugraph_sampling::Oracle;
+use ugraph_sampling::{Oracle, SamplingError};
 
 use crate::clustering::Clustering;
 
@@ -13,34 +13,47 @@ use crate::clustering::Clustering;
 /// node to its cluster center. Outliers are not accounted for (partial
 /// clustering semantics, §3.1). Returns 1.0 for a clustering with no
 /// covered nodes (empty minimum).
-pub fn min_prob<O: Oracle + ?Sized>(oracle: &mut O, clustering: &Clustering) -> f64 {
+///
+/// # Errors
+/// Propagates oracle failures (cooperative interruptions, injected
+/// faults) without committing anything.
+pub fn min_prob<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    clustering: &Clustering,
+) -> Result<f64, SamplingError> {
     let mut min = 1.0f64;
     for u in 0..clustering.num_nodes() {
         let u = ugraph_graph::NodeId::from_index(u);
         if let Some(c) = clustering.center_of(u) {
-            let p = if c == u { 1.0 } else { oracle.pair_prob(c, u) };
+            let p = if c == u { 1.0 } else { oracle.pair_prob(c, u)? };
             min = min.min(p);
         }
     }
-    min
+    Ok(min)
 }
 
 /// `avg-prob(C)` (Eq. 2): the average over **all** nodes of the connection
 /// probability to the assigned cluster center, with outliers contributing
 /// zero. Returns 0.0 for an empty graph.
-pub fn avg_prob<O: Oracle + ?Sized>(oracle: &mut O, clustering: &Clustering) -> f64 {
+///
+/// # Errors
+/// See [`min_prob`].
+pub fn avg_prob<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    clustering: &Clustering,
+) -> Result<f64, SamplingError> {
     let n = clustering.num_nodes();
     if n == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut sum = 0.0f64;
     for u in 0..n {
         let u = ugraph_graph::NodeId::from_index(u);
         if let Some(c) = clustering.center_of(u) {
-            sum += if c == u { 1.0 } else { oracle.pair_prob(c, u) };
+            sum += if c == u { 1.0 } else { oracle.pair_prob(c, u)? };
         }
     }
-    sum / n as f64
+    Ok(sum / n as f64)
 }
 
 #[cfg(test)]
@@ -65,14 +78,14 @@ mod tests {
     #[test]
     fn min_prob_takes_weakest_covered_link() {
         let (mut oracle, c) = setup();
-        assert!((min_prob(&mut oracle, &c) - 0.5).abs() < 1e-12);
+        assert!((min_prob(&mut oracle, &c).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn avg_prob_counts_outliers_as_zero() {
         let (mut oracle, c) = setup();
         // (0.8 + 1.0 + 0.5 + 0.0) / 4
-        assert!((avg_prob(&mut oracle, &c) - 2.3 / 4.0).abs() < 1e-12);
+        assert!((avg_prob(&mut oracle, &c).unwrap() - 2.3 / 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -82,8 +95,8 @@ mod tests {
         let g = b.build().unwrap();
         let mut oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
         let c = Clustering::new(vec![NodeId(0), NodeId(1)], vec![Some(0), Some(1)]);
-        assert_eq!(min_prob(&mut oracle, &c), 1.0);
-        assert_eq!(avg_prob(&mut oracle, &c), 1.0);
+        assert_eq!(min_prob(&mut oracle, &c).unwrap(), 1.0);
+        assert_eq!(avg_prob(&mut oracle, &c).unwrap(), 1.0);
     }
 
     #[test]
@@ -93,7 +106,7 @@ mod tests {
         b.grow_to(1);
         let g = b.build().unwrap();
         let mut oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
-        assert_eq!(avg_prob(&mut oracle, &c), 0.0);
-        assert_eq!(min_prob(&mut oracle, &c), 1.0);
+        assert_eq!(avg_prob(&mut oracle, &c).unwrap(), 0.0);
+        assert_eq!(min_prob(&mut oracle, &c).unwrap(), 1.0);
     }
 }

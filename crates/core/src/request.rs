@@ -12,10 +12,11 @@
 use std::fmt;
 use std::time::Duration;
 
-use ugraph_sampling::{EngineStats, RowCacheStats};
+use ugraph_sampling::{CancelToken, EngineStats, RowCacheStats};
 
 use crate::clustering::Clustering;
 use crate::config::{AcpInvocation, ClusterConfig};
+use crate::error::InterruptReport;
 
 /// Which objective of the paper a request optimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,39 +57,71 @@ enum DepthSpec {
 /// let explicit = ClusterRequest::mcp(4).with_depths(1, 3);
 /// assert_ne!(plain, explicit);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// A request can carry its own run budget — a wall-clock deadline
+/// ([`ClusterRequest::with_deadline`]) and/or a cancellation token
+/// ([`ClusterRequest::with_cancel_token`]) — composing with any
+/// session-level budget on the [`ClusterConfig`]: the tighter deadline
+/// wins and every token is honored.
+#[derive(Clone, Debug)]
 pub struct ClusterRequest {
     objective: Objective,
     k: usize,
     depth: DepthSpec,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
 }
+
+impl PartialEq for ClusterRequest {
+    /// Cancellation tokens compare by clone identity
+    /// ([`CancelToken::same_token`]); everything else structurally.
+    fn eq(&self, other: &Self) -> bool {
+        self.objective == other.objective
+            && self.k == other.k
+            && self.depth == other.depth
+            && self.deadline == other.deadline
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same_token(b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for ClusterRequest {}
 
 impl ClusterRequest {
     /// MCP with unlimited path length: maximize the minimum connection
     /// probability over a `k`-clustering (equivalent to the free function
     /// [`crate::mcp()`](crate::mcp::mcp)).
     pub fn mcp(k: usize) -> Self {
-        ClusterRequest { objective: Objective::MinProb, k, depth: DepthSpec::Unlimited }
+        ClusterRequest {
+            objective: Objective::MinProb,
+            k,
+            depth: DepthSpec::Unlimited,
+            deadline: None,
+            cancel: None,
+        }
     }
 
     /// Depth-limited MCP: only paths of length ≤ `d` contribute
     /// (equivalent to [`crate::mcp_depth()`](crate::mcp::mcp_depth); per
     /// Lemma 5 both the selection and cover disks use depth `d`).
     pub fn mcp_depth(k: usize, d: u32) -> Self {
-        ClusterRequest { objective: Objective::MinProb, k, depth: DepthSpec::Uniform(d) }
+        ClusterRequest { depth: DepthSpec::Uniform(d), ..ClusterRequest::mcp(k) }
     }
 
     /// ACP with unlimited path length: maximize the average connection
     /// probability (equivalent to [`crate::acp()`](crate::acp::acp)).
     pub fn acp(k: usize) -> Self {
-        ClusterRequest { objective: Objective::AvgProb, k, depth: DepthSpec::Unlimited }
+        ClusterRequest { objective: Objective::AvgProb, ..ClusterRequest::mcp(k) }
     }
 
     /// Depth-limited ACP (equivalent to
     /// [`crate::acp_depth()`](crate::acp::acp_depth); the selection depth
     /// follows the session's [`AcpInvocation`]).
     pub fn acp_depth(k: usize, d: u32) -> Self {
-        ClusterRequest { objective: Objective::AvgProb, k, depth: DepthSpec::Uniform(d) }
+        ClusterRequest { depth: DepthSpec::Uniform(d), ..ClusterRequest::acp(k) }
     }
 
     /// Overrides the depth pair explicitly: selection disks at depth
@@ -98,6 +131,40 @@ impl ClusterRequest {
     pub fn with_depths(mut self, d_select: u32, d_cover: u32) -> Self {
         self.depth = DepthSpec::Explicit { d_select, d_cover };
         self
+    }
+
+    /// Bounds this request to `deadline` of wall-clock time from the
+    /// moment the solve starts. On expiry the solve stops cooperatively at
+    /// the next shard/block checkpoint and returns
+    /// [`ClusterError::DeadlineExceeded`](crate::ClusterError::DeadlineExceeded)
+    /// (or a best-effort partial result under
+    /// [`DegradeMode::BestEffort`](crate::config::DegradeMode::BestEffort)).
+    /// Composes with a session-level
+    /// [`ClusterConfig::with_timeout`](crate::ClusterConfig::with_timeout):
+    /// the tighter deadline wins.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(self.deadline.map_or(deadline, |d| d.min(deadline)));
+        self
+    }
+
+    /// Attaches a cancellation token to this request; cancel any clone of
+    /// the token (e.g. from another thread) and the solve stops at its
+    /// next checkpoint with
+    /// [`ClusterError::Cancelled`](crate::ClusterError::Cancelled).
+    /// Composes with any session-level token — both are honored.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The per-request wall-clock bound, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The per-request cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The request's objective.
@@ -180,6 +247,12 @@ pub struct SolveResult {
     pub engine: EngineStats,
     /// Wall-clock time spent solving this request.
     pub elapsed: Duration,
+    /// `Some` iff the solve was interrupted and completed **best-effort**
+    /// under [`DegradeMode::BestEffort`](crate::config::DegradeMode):
+    /// the clustering is the best one found before the interruption, and
+    /// the report says how far the solve got. `None` for a run that
+    /// completed its full schedule.
+    pub interrupt: Option<InterruptReport>,
 }
 
 #[cfg(test)]

@@ -59,7 +59,7 @@ use ugraph_graph::{NodeId, UncertainGraph};
 use ugraph_sampling::rng::mix_seed;
 use ugraph_sampling::{
     assignment_probs, quality_from_probs, ComponentPool, DepthMcOracle, EngineStats, McOracle,
-    MemoryBudget, MemoryStats, Oracle, RowCacheStats, WorldPool,
+    MemoryBudget, MemoryStats, Oracle, RowCacheStats, RunState, WorldPool,
 };
 
 use crate::acp::acp_with_oracle;
@@ -298,21 +298,35 @@ impl<'g> UgraphSession<'g> {
     /// The same failure modes as the one-shot entry points:
     /// [`ClusterError::KOutOfRange`], [`ClusterError::NoFullClustering`]
     /// (MCP on graphs with more than `k` components), and
-    /// [`ClusterError::InvalidConfig`] (e.g. `d_select > d_cover`).
+    /// [`ClusterError::Sampling`] (e.g. `d_select > d_cover`, or an
+    /// injected fault). With a deadline or cancellation token attached
+    /// (on the config or the request), an interruption surfaces as
+    /// [`ClusterError::DeadlineExceeded`] / [`ClusterError::Cancelled`] —
+    /// or, under [`DegradeMode::BestEffort`](crate::config::DegradeMode),
+    /// as a best-effort result with [`SolveResult::interrupt`] set. Every
+    /// error leaves the session consistent: pools hold only fully
+    /// generated shards, caches only complete rows, and re-issuing the
+    /// same request completes bit-identically to an undisturbed run.
     pub fn solve(&mut self, request: ClusterRequest) -> Result<SolveResult, ClusterError> {
         let t0 = Instant::now();
         self.requests += 1;
+        let label = request.to_string();
         let key = OracleKey {
             objective: (!self.config.shared_pool).then(|| request.objective()),
             depths: request.resolved_depths(&self.config),
         };
         let idx = self.oracle_index(key)?;
         let config = self.config.clone();
+        // Every solve gets a fresh interruption state (a recorded
+        // interruption is sticky for the state's lifetime), armed with the
+        // merged session + request budget.
+        let run = RunState::new(config.run_budget(&request));
         let mem_before = self.budget.stats();
         let oracle = &mut self.oracles[idx].1;
         let cache_before = oracle.cache_stats();
         let engine_before = oracle.engine_stats();
         oracle.begin_request();
+        oracle.set_run_state(run);
         let result = match request.objective() {
             Objective::MinProb => {
                 let r = mcp_with_oracle(oracle.as_mut(), request.k(), &config)?;
@@ -327,6 +341,7 @@ impl<'g> UgraphSession<'g> {
                     row_cache: r.row_cache.since(cache_before),
                     engine: r.engine.since(engine_before),
                     elapsed: t0.elapsed(),
+                    interrupt: r.interrupt,
                 }
             }
             Objective::AvgProb => {
@@ -342,12 +357,13 @@ impl<'g> UgraphSession<'g> {
                     row_cache: r.row_cache.since(cache_before),
                     engine: r.engine.since(engine_before),
                     elapsed: t0.elapsed(),
+                    interrupt: r.interrupt,
                 }
             }
         };
         self.solve_time += result.elapsed;
         self.per_request.push(RequestRecord {
-            label: request.to_string(),
+            label,
             samples_used: result.samples_used,
             guesses: result.guesses,
             row_cache: result.row_cache,
@@ -578,10 +594,11 @@ mod tests {
         let mut s = UgraphSession::new(&g, ClusterConfig::default()).unwrap();
         assert!(matches!(s.solve(ClusterRequest::mcp(0)), Err(ClusterError::KOutOfRange { .. })));
         assert!(matches!(s.solve(ClusterRequest::mcp(6)), Err(ClusterError::KOutOfRange { .. })));
-        // d_select > d_cover is rejected at oracle construction.
+        // d_select > d_cover is rejected at oracle construction, with the
+        // sampling-layer source preserved.
         assert!(matches!(
             s.solve(ClusterRequest::mcp(2).with_depths(4, 2)),
-            Err(ClusterError::InvalidConfig { .. })
+            Err(ClusterError::Sampling(ugraph_sampling::SamplingError::InvalidDepths { .. }))
         ));
         assert!(UgraphSession::new(&g, ClusterConfig::default().with_gamma(0.0)).is_err());
     }

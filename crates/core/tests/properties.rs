@@ -51,7 +51,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
 
         for q in [0.9, 0.5, 0.2] {
-            let pc = min_partial(&mut oracle, &MinPartialParams::simple(k, q), &mut rng);
+            let pc = min_partial(&mut oracle, &MinPartialParams::simple(k, q), &mut rng).unwrap();
             // Covered nodes meet the threshold.
             for u in 0..n {
                 if pc.clustering.cluster_of(NodeId::from_index(u)).is_some() {
@@ -89,7 +89,7 @@ proptest! {
         let r = mcp_with_oracle(&mut oracle, k, &cfg).unwrap();
         // Evaluate truly (not via the algorithm's own estimate).
         let mut eval = ExactOracleAdapter::new(exact);
-        let achieved = min_prob(&mut eval, &r.clustering);
+        let achieved = min_prob(&mut eval, &r.clustering).unwrap();
         let bound = opt.best_min_prob * opt.best_min_prob / (1.0 + cfg.gamma);
         prop_assert!(
             achieved >= bound - 1e-9,
@@ -113,7 +113,7 @@ proptest! {
         let mut oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
         let r = mcp_with_oracle(&mut oracle, k, &cfg).unwrap();
         let mut eval = ExactOracleAdapter::new(exact);
-        let achieved = min_prob(&mut eval, &r.clustering);
+        let achieved = min_prob(&mut eval, &r.clustering).unwrap();
         let bound = opt.best_min_prob * opt.best_min_prob / (1.0 + cfg.gamma);
         prop_assert!(achieved >= bound - 1e-9);
     }
@@ -133,7 +133,7 @@ proptest! {
             let mut oracle = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
             let r = acp_with_oracle(&mut oracle, k, &cfg).unwrap();
             let mut eval = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
-            let achieved = avg_prob(&mut eval, &r.clustering);
+            let achieved = avg_prob(&mut eval, &r.clustering).unwrap();
             let h = ugraph_sampling::harmonic(n);
             let bound = (opt.best_avg_prob / ((1.0 + cfg.gamma) * h)).powi(3);
             prop_assert!(
@@ -159,7 +159,7 @@ proptest! {
         let mut oracle = ExactOracleAdapter::new(full);
         let r = mcp_with_oracle(&mut oracle, k, &cfg).unwrap();
         let mut eval = ExactOracleAdapter::new(ExactOracle::with_depth(&g, d).unwrap());
-        let achieved = min_prob(&mut eval, &r.clustering);
+        let achieved = min_prob(&mut eval, &r.clustering).unwrap();
         let bound = opt_half.best_min_prob * opt_half.best_min_prob / (1.0 + cfg.gamma);
         prop_assert!(
             achieved >= bound - 1e-9,

@@ -195,7 +195,7 @@ fn shared_pool_dedupes_worlds_across_oracle_families() {
         let cfg = ClusterConfig::default().with_seed(31).with_shared_pool(shared);
         let mut session = UgraphSession::new(&g, cfg).unwrap();
         let results: Vec<SolveResult> =
-            requests.iter().map(|&rq| session.solve(rq).unwrap()).collect();
+            requests.iter().map(|rq| session.solve(rq.clone()).unwrap()).collect();
         (results, session.stats())
     };
     let (separate, separate_stats) = run(false);

@@ -104,7 +104,8 @@ pub fn dblp_like(cfg: &DblpConfig) -> UncertainGraph {
             if u > 0 {
                 let v = rng.gen_range(0..u);
                 let x = sample_paper_count(&mut rng);
-                b.add_edge(u, v, collaboration_prob(x)).expect("valid edge");
+                b.add_edge(u, v, collaboration_prob(x))
+                    .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
             }
             continue;
         }
@@ -128,13 +129,14 @@ pub fn dblp_like(cfg: &DblpConfig) -> UncertainGraph {
             let v = list[rng.gen_range(0..list.len())];
             if v != u {
                 let x = sample_paper_count(&mut rng);
-                b.add_edge(u, v, collaboration_prob(x)).expect("valid edge");
+                b.add_edge(u, v, collaboration_prob(x))
+                    .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
                 community_members[pool].push(v); // degree bias
             }
         }
         community_members[home].push(u);
     }
-    b.build().expect("DBLP build")
+    b.build().unwrap_or_else(|e| unreachable!("DBLP build cannot fail: {e}"))
 }
 
 #[cfg(test)]

@@ -92,7 +92,8 @@ pub fn ppi_like(cfg: &PpiConfig) -> PpiDataset {
                     u: u32,
                     v: u32,
                     dist: &ProbDistribution| {
-        b.add_edge(u, v, dist.sample(rng)).expect("valid edge");
+        b.add_edge(u, v, dist.sample(rng))
+            .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
         uf.union(u, v);
         pool.push(u);
         pool.push(v);
@@ -182,7 +183,10 @@ pub fn ppi_like(cfg: &PpiConfig) -> PpiDataset {
         add_edge(&mut b, &mut uf, &mut endpoint_pool, &mut rng, u, partner, &cfg.prob_dist);
     }
 
-    PpiDataset { graph: b.build().expect("PPI build"), complexes }
+    PpiDataset {
+        graph: b.build().unwrap_or_else(|e| unreachable!("PPI build cannot fail: {e}")),
+        complexes,
+    }
 }
 
 #[cfg(test)]

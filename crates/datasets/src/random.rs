@@ -29,7 +29,8 @@ pub fn erdos_renyi(n: usize, p_edge: f64, dist: ProbDistribution, seed: u64) -> 
             // Every pair present: the skip formula divides by ln(0).
             for u in 0..n as u32 {
                 for v in (u + 1)..n as u32 {
-                    b.add_edge(u, v, dist.sample(&mut rng)).expect("valid edge");
+                    b.add_edge(u, v, dist.sample(&mut rng))
+                        .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
                 }
             }
         } else {
@@ -47,12 +48,13 @@ pub fn erdos_renyi(n: usize, p_edge: f64, dist: ProbDistribution, seed: u64) -> 
                     v += 1;
                 }
                 if v < n {
-                    b.add_edge(w as u32, v as u32, dist.sample(&mut rng)).expect("valid edge");
+                    b.add_edge(w as u32, v as u32, dist.sample(&mut rng))
+                        .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
                 }
             }
         }
     }
-    b.build().expect("ER build")
+    b.build().unwrap_or_else(|e| unreachable!("ER build cannot fail: {e}"))
 }
 
 /// Configuration of the planted-partition (stochastic block) generator.
@@ -86,12 +88,13 @@ pub fn planted_partition(cfg: &PlantedPartitionConfig, seed: u64) -> (UncertainG
             let (p_edge, dist) =
                 if same { (cfg.p_intra, cfg.intra_dist) } else { (cfg.p_inter, cfg.inter_dist) };
             if rng.gen::<f64>() < p_edge {
-                b.add_edge(u as u32, v as u32, dist.sample(&mut rng)).expect("valid edge");
+                b.add_edge(u as u32, v as u32, dist.sample(&mut rng))
+                    .unwrap_or_else(|e| unreachable!("generated edge is valid: {e}"));
             }
         }
     }
     let labels = (0..n).map(block_of).collect();
-    (b.build().expect("planted partition build"), labels)
+    (b.build().unwrap_or_else(|e| unreachable!("planted partition build cannot fail: {e}")), labels)
 }
 
 #[cfg(test)]

@@ -57,10 +57,12 @@ pub fn induced_subgraph(g: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
     for (_, u, v, p) in g.edges() {
         if keep[u.index()] && keep[v.index()] {
             b.add_edge(local_of[u.index()], local_of[v.index()], p)
-                .expect("validated parent edges stay valid");
+                .unwrap_or_else(|e| unreachable!("validated parent edges stay valid: {e}"));
         }
     }
-    let graph = b.build().expect("induced subgraph construction cannot fail");
+    let graph = b
+        .build()
+        .unwrap_or_else(|e| unreachable!("induced subgraph construction cannot fail: {e}"));
     Subgraph { graph, original }
 }
 
@@ -69,7 +71,10 @@ pub fn induced_subgraph(g: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
 /// Ties are broken toward the component containing the smallest node id.
 pub fn largest_connected_component(g: &UncertainGraph) -> Subgraph {
     if g.num_nodes() == 0 {
-        return Subgraph { graph: GraphBuilder::new(0).build().unwrap(), original: Vec::new() };
+        let empty = GraphBuilder::new(0)
+            .build()
+            .unwrap_or_else(|e| unreachable!("an empty graph always builds: {e}"));
+        return Subgraph { graph: empty, original: Vec::new() };
     }
     let (labels, count) = connected_components(g);
     let mut sizes = vec![0usize; count];
@@ -83,7 +88,7 @@ pub fn largest_connected_component(g: &UncertainGraph) -> Subgraph {
         .enumerate()
         .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
         .map(|(i, _)| i as u32)
-        .unwrap();
+        .unwrap_or_else(|| unreachable!("a non-empty graph has at least one component"));
     let nodes: Vec<NodeId> = labels
         .iter()
         .enumerate()

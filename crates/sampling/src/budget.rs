@@ -43,6 +43,13 @@ pub struct MemoryBudget {
 }
 
 impl MemoryBudget {
+    /// The ledger lock. A panic while holding it can only poison
+    /// accounting metadata, never sample data, so recovering the guard
+    /// from a poisoned lock is always safe.
+    fn locked(&self) -> std::sync::MutexGuard<'_, BudgetInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// An unbounded budget: bytes are tracked, nothing is ever evicted.
     pub fn unbounded() -> Self {
         MemoryBudget::default()
@@ -52,36 +59,36 @@ impl MemoryBudget {
     /// least-recently-used shards whenever the ledger exceeds it.
     pub fn bounded(bytes: usize) -> Self {
         let budget = MemoryBudget::default();
-        budget.inner.lock().expect("budget lock poisoned").limit = Some(bytes);
+        budget.locked().limit = Some(bytes);
         budget
     }
 
     /// The byte ceiling (`None` = unbounded).
     pub fn limit(&self) -> Option<usize> {
-        self.inner.lock().expect("budget lock poisoned").limit
+        self.locked().limit
     }
 
     /// Bytes currently charged against this budget.
     pub fn bytes_held(&self) -> usize {
-        self.inner.lock().expect("budget lock poisoned").held
+        self.locked().held
     }
 
     /// Charges `bytes` to the ledger (never blocks or fails — eviction is
     /// the *pools'* reaction to an over-full ledger, via
     /// [`MemoryBudget::over_budget`]).
     pub fn charge(&self, bytes: usize) {
-        self.inner.lock().expect("budget lock poisoned").held += bytes;
+        self.locked().held += bytes;
     }
 
     /// Releases `bytes` from the ledger (saturating).
     pub fn release(&self, bytes: usize) {
-        let mut inner = self.inner.lock().expect("budget lock poisoned");
+        let mut inner = self.locked();
         inner.held = inner.held.saturating_sub(bytes);
     }
 
     /// Whether the ledger currently exceeds the limit.
     pub fn over_budget(&self) -> bool {
-        let inner = self.inner.lock().expect("budget lock poisoned");
+        let inner = self.locked();
         inner.limit.is_some_and(|l| inner.held > l)
     }
 
@@ -89,7 +96,7 @@ impl MemoryBudget {
     /// — the admission test of the grow-only row caches, which cannot be
     /// evicted and therefore must never be admitted past the ceiling.
     pub fn would_exceed(&self, bytes: usize) -> bool {
-        let inner = self.inner.lock().expect("budget lock poisoned");
+        let inner = self.locked();
         inner.limit.is_some_and(|l| inner.held.saturating_add(bytes) > l)
     }
 
@@ -97,30 +104,68 @@ impl MemoryBudget {
     /// the returned tick on every touch, making eviction order
     /// least-recently-used across every pool sharing the budget.
     pub fn touch(&self) -> u64 {
-        let mut inner = self.inner.lock().expect("budget lock poisoned");
+        let mut inner = self.locked();
         inner.clock += 1;
         inner.clock
     }
 
     /// Records one shard eviction (for [`MemoryBudget::stats`]).
     pub fn note_eviction(&self) {
-        self.inner.lock().expect("budget lock poisoned").evicted += 1;
+        self.locked().evicted += 1;
     }
 
     /// Records one shard regeneration (for [`MemoryBudget::stats`]).
     pub fn note_regeneration(&self) {
-        self.inner.lock().expect("budget lock poisoned").regenerated += 1;
+        self.locked().regenerated += 1;
     }
 
     /// Snapshot of the ledger and the global eviction/regeneration
     /// counters.
     pub fn stats(&self) -> MemoryStats {
-        let inner = self.inner.lock().expect("budget lock poisoned");
+        let inner = self.locked();
         MemoryStats {
             bytes_held: inner.held,
             bytes_limit: inner.limit,
             shards_evicted: inner.evicted,
             shards_regenerated: inner.regenerated,
+        }
+    }
+
+    /// Charges `bytes` and returns a guard that **releases them again on
+    /// drop** unless [`ChargeGuard::commit`] is called — the error-path
+    /// discipline of every reservation made *before* the work it pays for
+    /// (row-cache admission, shard accounting): an early return, a
+    /// cooperative interruption, or an injected fault between the charge
+    /// and the commit can never leak reserved bytes.
+    pub fn reserve(&self, bytes: usize) -> ChargeGuard<'_> {
+        self.charge(bytes);
+        ChargeGuard { budget: self, bytes, committed: false }
+    }
+}
+
+/// An uncommitted charge against a [`MemoryBudget`] (see
+/// [`MemoryBudget::reserve`]). Dropping the guard rolls the charge back;
+/// [`ChargeGuard::commit`] makes it permanent.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately rolls the charge back"]
+pub struct ChargeGuard<'a> {
+    budget: &'a MemoryBudget,
+    bytes: usize,
+    committed: bool,
+}
+
+impl ChargeGuard<'_> {
+    /// Keeps the charge on the ledger (the reserved bytes are now owned
+    /// by the successfully completed work).
+    pub fn commit(mut self) {
+        self.committed = true;
+    }
+}
+
+impl Drop for ChargeGuard<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.budget.release(self.bytes);
         }
     }
 }
@@ -211,6 +256,19 @@ mod tests {
         a.note_regeneration();
         let s = a.stats();
         assert_eq!((s.shards_evicted, s.shards_regenerated), (1, 1));
+    }
+
+    #[test]
+    fn charge_guard_rolls_back_unless_committed() {
+        let b = MemoryBudget::bounded(100);
+        {
+            let _g = b.reserve(40);
+            assert_eq!(b.bytes_held(), 40);
+            // Dropped without commit — e.g. an error path bailed out.
+        }
+        assert_eq!(b.bytes_held(), 0, "uncommitted reservation must roll back");
+        b.reserve(30).commit();
+        assert_eq!(b.bytes_held(), 30, "committed reservation must stand");
     }
 
     #[test]

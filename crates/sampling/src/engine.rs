@@ -29,6 +29,7 @@
 use ugraph_graph::{NodeId, UncertainGraph};
 
 use crate::budget::{MemoryBudget, MemoryStats};
+use crate::interrupt::RunState;
 
 /// Depth value meaning "no hop limit" in [`WorldEngine`] queries.
 pub const DEPTH_UNLIMITED: u32 = u32::MAX;
@@ -224,6 +225,19 @@ pub trait WorldEngine {
     /// adapter).
     fn set_memory_budget(&mut self, budget: MemoryBudget) {
         let _ = budget;
+    }
+
+    /// Attaches the per-solve interruption state (see [`RunState`]): the
+    /// engine polls it cooperatively at shard/block boundaries — one
+    /// relaxed atomic load per checkpoint — and, once it trips, abandons
+    /// the current operation between self-contained units of work,
+    /// leaving the pool consistent. Callers observe the recorded error
+    /// through the fallible oracle layer; with the default unarmed state
+    /// the engine never interrupts. The default impl is a no-op for
+    /// engines without long-running operations (the exact-oracle
+    /// adapter).
+    fn set_run_state(&mut self, run: RunState) {
+        let _ = run;
     }
 
     /// Shard-storage memory accounting: resident bytes, the budget limit

@@ -2,6 +2,35 @@
 
 use std::fmt;
 
+use crate::faults::FaultSite;
+use crate::interrupt::Interrupt;
+
+/// Which stage of the sampling machinery a run was interrupted in —
+/// carried by [`SamplingError::Interrupted`] so callers can report how
+/// far a cancelled or timed-out solve got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingPhase {
+    /// Growing a pool (`ensure`) or regenerating an evicted shard.
+    Generation,
+    /// A Monte-Carlo aggregation sweep over sampled worlds.
+    Sweep,
+    /// Lazy per-block component-label finalization (adaptive engine).
+    Labeling,
+    /// Row-cache / budget admission.
+    Admission,
+}
+
+impl fmt::Display for SamplingPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingPhase::Generation => write!(f, "generation"),
+            SamplingPhase::Sweep => write!(f, "sweep"),
+            SamplingPhase::Labeling => write!(f, "labeling"),
+            SamplingPhase::Admission => write!(f, "admission"),
+        }
+    }
+}
+
 /// Failure modes of samplers, pools, and oracle construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SamplingError {
@@ -27,6 +56,26 @@ pub enum SamplingError {
     /// finite-depth queries (e.g. the component-label backend, which
     /// precomputes connectivity and loses distances).
     DepthIncapableEngine,
+    /// The run was interrupted cooperatively — its deadline passed or a
+    /// [`crate::CancelToken`] fired (see [`crate::RunBudget`]). The
+    /// session survives; re-issuing the request completes bit-identically
+    /// to an uninterrupted run.
+    Interrupted {
+        /// What interrupted the run.
+        kind: Interrupt,
+        /// The stage the interruption was observed in.
+        phase: SamplingPhase,
+    },
+    /// A deterministic failpoint of the fault-injection harness fired
+    /// (see [`crate::faults`]). Only produced while a fault plan is
+    /// installed; like [`SamplingError::Interrupted`], it never poisons
+    /// session state.
+    FaultInjected {
+        /// The failpoint that fired.
+        site: FaultSite,
+        /// Which hit of that site fired (1-based).
+        hit: u64,
+    },
 }
 
 impl fmt::Display for SamplingError {
@@ -43,6 +92,12 @@ impl fmt::Display for SamplingError {
                     f,
                     "engine cannot answer finite-depth queries; use WorldPool or BitParallelPool"
                 )
+            }
+            SamplingError::Interrupted { kind, phase } => {
+                write!(f, "run {kind} during {phase}")
+            }
+            SamplingError::FaultInjected { site, hit } => {
+                write!(f, "injected fault at {site} (hit {hit})")
             }
         }
     }

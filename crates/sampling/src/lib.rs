@@ -36,7 +36,17 @@
 //!   allocates in [`SHARD_WORLDS`]-world shards charged against a shared
 //!   [`MemoryBudget`]; under pressure, least-recently-used shards are
 //!   evicted and later regenerated **bit-identically** from their
-//!   per-index RNG streams.
+//!   per-index RNG streams;
+//! * cooperative interruption ([`interrupt`]): a [`RunBudget`] of
+//!   wall-clock deadlines and shareable [`CancelToken`]s, polled through
+//!   a [`RunState`] at shard/block checkpoints in generation, sweeps,
+//!   and label finalization — one relaxed atomic load per block, results
+//!   bit-identical whenever no interruption fires;
+//! * deterministic failpoints ([`faults`], cargo feature
+//!   `fault-injection`, on by default): a [`FaultPlan`] fails the nth
+//!   shard regeneration, pool growth, dataset read, or row-cache
+//!   admission with a typed [`SamplingError::FaultInjected`] so tests
+//!   can assert the error paths roll back cleanly.
 //!
 //! ## Example: estimating a reliability
 //!
@@ -62,12 +72,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not panics; tests,
+// benches, and doctests (separate crates / cfg(test) builds) may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bounds;
 pub mod budget;
 pub mod engine;
 pub mod error;
 pub mod exact;
+pub mod faults;
+pub mod interrupt;
 pub mod oracle;
 pub mod pool;
 pub mod queries;
@@ -77,10 +92,12 @@ pub mod tuning;
 pub mod world;
 
 pub use bounds::{harmonic, SampleSchedule};
-pub use budget::{MemoryBudget, MemoryStats};
+pub use budget::{ChargeGuard, MemoryBudget, MemoryStats};
 pub use engine::{BlockWidth, EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
-pub use error::SamplingError;
+pub use error::{SamplingError, SamplingPhase};
 pub use exact::ExactOracle;
+pub use faults::{FaultPlan, FaultSite};
+pub use interrupt::{CancelToken, Interrupt, RunBudget, RunState};
 pub use oracle::{DepthMcOracle, ExactOracleAdapter, McOracle, Oracle, RowCacheStats};
 pub use pool::{BitParallelPool, ComponentPool, WorldPool, SHARD_BLOCKS, SHARD_WORLDS};
 pub use queries::{

@@ -79,6 +79,8 @@ use crate::budget::{MemoryBudget, MemoryStats};
 use crate::engine::{BlockWidth, EngineKind, EngineStats, WorldEngine, DEPTH_UNLIMITED};
 use crate::error::SamplingError;
 use crate::exact::ExactOracle;
+use crate::faults::{self, FaultSite};
+use crate::interrupt::RunState;
 use crate::pool::{BitParallelPool, ComponentPool, WorldPool};
 
 /// Counters describing how an oracle's per-center row cache served the
@@ -229,41 +231,50 @@ impl RowCache {
     /// The cache-serve protocol, written once: returns the up-to-date row
     /// for `center`, counting a hit, a top-up, or a full recompute.
     /// `topup(ctx, row, lo)` must add counts over the new worlds
-    /// `[lo, r_now)` onto the row; `full(ctx)` must build a row covering
-    /// `[0, r_now)`. A cached row covering **more** than `r_now` (the
-    /// active window is a strict prefix of what the row integrated —
-    /// counts cannot be subtracted) is rebuilt by `full` as well. `ctx`
-    /// carries the engine and scratch buffers (both closures need them,
-    /// and two closures cannot capture the same `&mut` state).
+    /// `[lo, r_now)` onto the row — **only after validating** that the
+    /// underlying sweep completed, so an interrupted query never merges
+    /// torn counts; `full(ctx)` must build a row covering `[0, r_now)`
+    /// under the same discipline. A cached row covering **more** than
+    /// `r_now` (the active window is a strict prefix of what the row
+    /// integrated — counts cannot be subtracted) is rebuilt by `full` as
+    /// well. `ctx` carries the engine and scratch buffers (both closures
+    /// need them, and two closures cannot capture the same `&mut` state).
+    ///
+    /// On `Err` the cache is exactly as it was — the row is either absent
+    /// or still covering its old prefix, and the bytes reserved for a new
+    /// row are rolled back by the [`crate::budget::ChargeGuard`].
     fn serve<C>(
         &mut self,
         ctx: &mut C,
         center: NodeId,
         r_now: usize,
-        topup: impl FnOnce(&mut C, &mut CachedRow, usize),
-        full: impl FnOnce(&mut C) -> CachedRow,
-    ) -> &CachedRow {
+        topup: impl FnOnce(&mut C, &mut CachedRow, usize) -> Result<(), SamplingError>,
+        full: impl FnOnce(&mut C) -> Result<CachedRow, SamplingError>,
+    ) -> Result<&CachedRow, SamplingError> {
         match self.rows.entry(center.0) {
             Entry::Occupied(e) => {
                 let row = e.into_mut();
                 if row.covered < r_now {
                     let lo = row.covered;
-                    topup(ctx, row, lo);
+                    topup(ctx, row, lo)?;
                     row.covered = r_now;
                     self.stats.topups += 1;
                 } else if row.covered == r_now {
                     self.stats.hits += 1;
                 } else {
-                    *row = full(ctx);
+                    *row = full(ctx)?;
                     self.stats.fulls += 1;
                 }
-                row
+                Ok(row)
             }
             Entry::Vacant(v) => {
-                self.stats.fulls += 1;
-                self.budget.charge(self.bytes_per_row);
+                faults::hit(FaultSite::BudgetAdmission)?;
+                let reserved = self.budget.reserve(self.bytes_per_row);
+                let row = full(ctx)?;
+                reserved.commit();
                 self.bytes += self.bytes_per_row;
-                v.insert(full(ctx))
+                self.stats.fulls += 1;
+                Ok(v.insert(row))
             }
         }
     }
@@ -319,7 +330,7 @@ fn plan_topups(mut topups: Vec<(usize, usize)>, centers: &[NodeId]) -> Vec<Topup
         if groups.last().is_none_or(|g| g.lo != lo) {
             groups.push(TopupGroup { lo, uniq: Vec::new(), entries: Vec::new() });
         }
-        let g = groups.last_mut().expect("group pushed above");
+        let g = groups.last_mut().unwrap_or_else(|| unreachable!("group pushed above"));
         let c = centers[j];
         let slot = g.uniq.iter().position(|&u| u == c).unwrap_or_else(|| {
             g.uniq.push(c);
@@ -432,7 +443,22 @@ pub trait Oracle {
 
     /// Ensures that subsequent estimates are reliable for probabilities
     /// `≥ q`. Monte-Carlo implementations grow their sample pools here.
-    fn prepare(&mut self, q: f64);
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::Interrupted`] when the attached
+    /// [`RunState`] trips (deadline or cancellation) mid-growth, or
+    /// [`SamplingError::FaultInjected`] under an armed fault plan. The
+    /// oracle remains consistent: the active window is clamped to what
+    /// the pool actually holds, and re-preparing after the interruption
+    /// clears completes bit-identically.
+    fn prepare(&mut self, q: f64) -> Result<(), SamplingError>;
+
+    /// Attaches the cooperative interruption state polled at the oracle's
+    /// checkpoints, forwarding it to the backing engine. Defaults to a
+    /// no-op for oracles that cannot be interrupted (exact oracles).
+    fn set_run_state(&mut self, run: RunState) {
+        let _ = run;
+    }
 
     /// Begins a new logical request on a (possibly reused) oracle.
     ///
@@ -460,13 +486,29 @@ pub trait Oracle {
     /// between `u` and `center` — at the selection radius into `select` and
     /// at the cover radius into `cover` (identical for unlimited oracles).
     ///
+    /// # Errors
+    /// Returns [`SamplingError::Interrupted`] /
+    /// [`SamplingError::FaultInjected`] when the sweep is interrupted or
+    /// a failpoint fires; the output buffers are then unspecified but the
+    /// oracle (including its row cache) holds no torn state.
+    ///
     /// # Panics
     /// Implementations panic if the buffers are not of length `num_nodes()`.
-    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]);
+    fn center_probs(
+        &mut self,
+        center: NodeId,
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError>;
 
     /// Estimated connection probability between `u` and `v` at the cover
     /// radius.
-    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64;
+    ///
+    /// # Errors
+    /// Returns [`SamplingError::Interrupted`] /
+    /// [`SamplingError::FaultInjected`] under interruption or an armed
+    /// failpoint (see [`Oracle::center_probs`]).
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> Result<f64, SamplingError>;
 
     /// Whether the selection and cover rows of this oracle are **always**
     /// identical (depth-unlimited oracles, and depth oracles with
@@ -487,18 +529,28 @@ pub trait Oracle {
     /// **empty** `select` buffer and read selection estimates from
     /// `cover`; each row is then written once.
     ///
+    /// # Errors
+    /// Returns [`SamplingError::Interrupted`] /
+    /// [`SamplingError::FaultInjected`] under interruption or an armed
+    /// failpoint (see [`Oracle::center_probs`]).
+    ///
     /// # Panics
     /// Panics if `cover.len() != centers.len() * num_nodes()`, or if
     /// `select` is neither empty (identical rows only) nor of the same
     /// length as `cover`.
-    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs_batch(
+        &mut self,
+        centers: &[NodeId],
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let n = self.num_nodes();
         assert_eq!(cover.len(), centers.len() * n, "batch cover buffer has wrong length");
         if select.is_empty() && !centers.is_empty() {
             assert!(self.identical_rows(), "empty select buffer requires identical rows");
             let mut scratch = vec![0.0; n];
             for (j, &c) in centers.iter().enumerate() {
-                self.center_probs(c, &mut scratch, &mut cover[j * n..(j + 1) * n]);
+                self.center_probs(c, &mut scratch, &mut cover[j * n..(j + 1) * n])?;
             }
         } else {
             assert_eq!(select.len(), cover.len(), "batch select buffer has wrong length");
@@ -507,9 +559,10 @@ pub trait Oracle {
                     c,
                     &mut select[j * n..(j + 1) * n],
                     &mut cover[j * n..(j + 1) * n],
-                );
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Row-cache effectiveness counters (all zero for oracles without a
@@ -553,6 +606,8 @@ pub struct McOracle<'g> {
     /// Scratch for batched rows (`k · n`, grown on demand).
     batch: Vec<u32>,
     cache: RowCache,
+    /// Cooperative interruption state shared with the engine.
+    run: RunState,
 }
 
 impl<'g> McOracle<'g> {
@@ -644,6 +699,7 @@ impl<'g> McOracle<'g> {
             counts: vec![0; n],
             batch: Vec::new(),
             cache: RowCache::new(true, n, 1),
+            run: RunState::unlimited(),
         }
     }
 
@@ -693,10 +749,23 @@ impl Oracle for McOracle<'_> {
         self.epsilon
     }
 
-    fn prepare(&mut self, q: f64) {
+    fn prepare(&mut self, q: f64) -> Result<(), SamplingError> {
         let r = self.schedule.samples_for(q, self.num_nodes());
         self.active = self.active.max(r);
         self.engine.ensure(self.active);
+        if let Err(e) = self.run.error() {
+            // Growth stopped early: clamp the window to what the pool
+            // actually holds so a BestEffort continuation never sweeps
+            // worlds that were not generated.
+            self.active = self.active.min(self.engine.num_samples());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn set_run_state(&mut self, run: RunState) {
+        self.run = run.clone();
+        self.engine.set_run_state(run);
     }
 
     fn begin_request(&mut self) {
@@ -711,15 +780,22 @@ impl Oracle for McOracle<'_> {
         self.engine.num_samples()
     }
 
-    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs(
+        &mut self,
+        center: NodeId,
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let r_now = self.active;
         let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
+        let run = self.run.clone();
         let McOracle { engine, counts, cache, .. } = self;
         if !cache.admits(center) {
             // Full recomputes cover exactly the active window — a ranged
             // sweep when the physical pool extends past it.
             window_counts(engine.as_mut(), center, r_now, physical, counts);
+            run.error()?;
             cache.stats.fulls += 1;
             write_probs(counts, r, cover);
         } else {
@@ -730,31 +806,39 @@ impl Oracle for McOracle<'_> {
                 r_now,
                 |(engine, counts), row, lo| {
                     engine.counts_from_center_range(center, lo, r_now, counts);
+                    run.error()?;
                     add_counts(&mut row.cover, counts);
+                    Ok(())
                 },
                 |(engine, counts)| {
                     let mut cover = vec![0u32; counts.len()];
                     window_counts(engine.as_mut(), center, r_now, physical, &mut cover);
-                    CachedRow { covered: r_now, select: Vec::new(), cover }
+                    run.error()?;
+                    Ok(CachedRow { covered: r_now, select: Vec::new(), cover })
                 },
-            );
+            )?;
             write_probs(&row.cover, r, cover);
         }
         select.copy_from_slice(cover);
+        Ok(())
     }
 
-    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> Result<f64, SamplingError> {
         let r_now = self.active;
         if r_now == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let physical = self.engine.num_samples();
+        let run = self.run.clone();
         let McOracle { engine, counts, cache, .. } = self;
         if !cache.admits(u) {
-            if r_now == physical {
-                return engine.pair_estimate(u, v);
-            }
-            return engine.pair_count_range(u, v, 0, r_now) as f64 / r_now as f64;
+            let p = if r_now == physical {
+                engine.pair_estimate(u, v)
+            } else {
+                engine.pair_count_range(u, v, 0, r_now) as f64 / r_now as f64
+            };
+            run.error()?;
+            return Ok(p);
         }
         // Serve the pair from u's (cached) cover row: objective evaluation
         // asks one pair per node against a handful of centers, so the row
@@ -766,15 +850,18 @@ impl Oracle for McOracle<'_> {
             r_now,
             |(engine, counts), row, lo| {
                 engine.counts_from_center_range(u, lo, r_now, counts);
+                run.error()?;
                 add_counts(&mut row.cover, counts);
+                Ok(())
             },
             |(engine, counts)| {
                 let mut cover = vec![0u32; counts.len()];
                 window_counts(engine.as_mut(), u, r_now, physical, &mut cover);
-                CachedRow { covered: r_now, select: Vec::new(), cover }
+                run.error()?;
+                Ok(CachedRow { covered: r_now, select: Vec::new(), cover })
             },
-        );
-        row.cover[v.index()] as f64 / r_now as f64
+        )?;
+        Ok(row.cover[v.index()] as f64 / r_now as f64)
     }
 
     /// Selection and cover coincide for unlimited probabilities.
@@ -782,7 +869,12 @@ impl Oracle for McOracle<'_> {
         true
     }
 
-    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs_batch(
+        &mut self,
+        centers: &[NodeId],
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let n = self.engine.graph().num_nodes();
         let k = centers.len();
         assert_eq!(cover.len(), k * n, "batch cover buffer has wrong length");
@@ -793,6 +885,7 @@ impl Oracle for McOracle<'_> {
         let r_now = self.active;
         let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
+        let run = self.run.clone();
         let McOracle { engine, batch, cache, .. } = self;
         // Serve hits immediately; defer top-ups to grouped ranged sweeps
         // and misses to one batched full sweep over the active window.
@@ -819,9 +912,17 @@ impl Oracle for McOracle<'_> {
         for g in plan_topups(topups, centers) {
             batch.resize(g.uniq.len() * n, 0);
             engine.counts_from_centers_range(&g.uniq, g.lo, r_now, &mut batch[..g.uniq.len() * n]);
+            // Validate the sweep before merging this group — an
+            // interrupted ranged query must never add torn counts onto
+            // cached rows (groups already merged are complete, which is
+            // fine: their rows simply cover the window).
+            run.error()?;
             let mut merged = vec![false; g.uniq.len()];
             for &(j, slot) in &g.entries {
-                let row = cache.rows.get_mut(&centers[j].0).expect("planned top-up row is cached");
+                let row = cache
+                    .rows
+                    .get_mut(&centers[j].0)
+                    .unwrap_or_else(|| unreachable!("planned top-up row is cached"));
                 if merged[slot] {
                     // A duplicate center: its shared row is already up to
                     // date, so this request is a plain hit.
@@ -845,11 +946,13 @@ impl Oracle for McOracle<'_> {
                 physical,
                 &mut batch[..missing.len() * n],
             );
+            run.error()?;
             cache.stats.fulls += missing.len();
             for (bi, &j) in missing.iter().enumerate() {
                 let row = &batch[bi * n..(bi + 1) * n];
                 write_probs(row, r, &mut cover[j * n..(j + 1) * n]);
                 if cache.admits(centers[j]) {
+                    faults::hit(FaultSite::BudgetAdmission)?;
                     cache.insert(
                         centers[j],
                         CachedRow { covered: r_now, select: Vec::new(), cover: row.to_vec() },
@@ -862,6 +965,7 @@ impl Oracle for McOracle<'_> {
         if !select.is_empty() {
             select.copy_from_slice(cover);
         }
+        Ok(())
     }
 
     fn cache_stats(&self) -> RowCacheStats {
@@ -903,6 +1007,8 @@ pub struct DepthMcOracle<'g> {
     batch_select: Vec<u32>,
     batch_cover: Vec<u32>,
     cache: RowCache,
+    /// Cooperative interruption state shared with the engine.
+    run: RunState,
 }
 
 impl<'g> DepthMcOracle<'g> {
@@ -1040,6 +1146,7 @@ impl<'g> DepthMcOracle<'g> {
             batch_select: Vec::new(),
             batch_cover: Vec::new(),
             cache: RowCache::new(true, n, if d_select == d_cover { 1 } else { 2 }),
+            run: RunState::unlimited(),
         })
     }
 
@@ -1091,10 +1198,22 @@ impl Oracle for DepthMcOracle<'_> {
         self.epsilon
     }
 
-    fn prepare(&mut self, q: f64) {
+    fn prepare(&mut self, q: f64) -> Result<(), SamplingError> {
         let r = self.schedule.samples_for(q, self.num_nodes());
         self.active = self.active.max(r);
         self.engine.ensure(self.active);
+        if let Err(e) = self.run.error() {
+            // Growth stopped early: clamp the window to what the pool
+            // actually holds (see `McOracle::prepare`).
+            self.active = self.active.min(self.engine.num_samples());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn set_run_state(&mut self, run: RunState) {
+        self.run = run.clone();
+        self.engine.set_run_state(run);
     }
 
     fn begin_request(&mut self) {
@@ -1109,11 +1228,17 @@ impl Oracle for DepthMcOracle<'_> {
         self.engine.num_samples()
     }
 
-    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs(
+        &mut self,
+        center: NodeId,
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let r_now = self.active;
         let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
         let identical = self.d_select == self.d_cover;
+        let run = self.run.clone();
         let DepthMcOracle { engine, d_select, d_cover, count_select, count_cover, cache, .. } =
             self;
         let (ds, dc) = (*d_select, *d_cover);
@@ -1128,6 +1253,7 @@ impl Oracle for DepthMcOracle<'_> {
                 count_select,
                 count_cover,
             );
+            run.error()?;
             cache.stats.fulls += 1;
             write_probs(count_cover, r, cover);
             if identical {
@@ -1135,7 +1261,7 @@ impl Oracle for DepthMcOracle<'_> {
             } else {
                 write_probs(count_select, r, select);
             }
-            return;
+            return Ok(());
         }
         let mut ctx = (engine, count_select, count_cover);
         let row = cache.serve(
@@ -1152,10 +1278,12 @@ impl Oracle for DepthMcOracle<'_> {
                     count_select,
                     count_cover,
                 );
+                run.error()?;
                 add_counts(&mut row.cover, count_cover);
                 if !identical {
                     add_counts(&mut row.select, count_select);
                 }
+                Ok(())
             },
             |(engine, count_select, count_cover)| {
                 window_depth_counts(
@@ -1168,34 +1296,40 @@ impl Oracle for DepthMcOracle<'_> {
                     count_select,
                     count_cover,
                 );
+                run.error()?;
                 // Identical depths: one stored row serves both radii.
                 let sel = if identical { Vec::new() } else { count_select.clone() };
-                CachedRow { covered: r_now, select: sel, cover: count_cover.clone() }
+                Ok(CachedRow { covered: r_now, select: sel, cover: count_cover.clone() })
             },
-        );
+        )?;
         write_probs(&row.cover, r, cover);
         if identical {
             select.copy_from_slice(cover);
         } else {
             write_probs(&row.select, r, select);
         }
+        Ok(())
     }
 
-    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> Result<f64, SamplingError> {
         let r_now = self.active;
         if r_now == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let physical = self.engine.num_samples();
         let identical = self.d_select == self.d_cover;
+        let run = self.run.clone();
         let DepthMcOracle { engine, d_select, d_cover, count_select, count_cover, cache, .. } =
             self;
         let (ds, dc) = (*d_select, *d_cover);
         if !cache.admits(u) {
-            if r_now == physical {
-                return engine.pair_estimate_within(u, v, dc);
-            }
-            return engine.pair_count_within_range(u, v, dc, 0, r_now) as f64 / r_now as f64;
+            let p = if r_now == physical {
+                engine.pair_estimate_within(u, v, dc)
+            } else {
+                engine.pair_count_within_range(u, v, dc, 0, r_now) as f64 / r_now as f64
+            };
+            run.error()?;
+            return Ok(p);
         }
         // Serve the pair from u's cached cover row (rows are stored at the
         // oracle's (d_select, d_cover); pair_prob reads the cover radius).
@@ -1206,10 +1340,12 @@ impl Oracle for DepthMcOracle<'_> {
             r_now,
             |(engine, count_select, count_cover), row, lo| {
                 engine.counts_within_depths_range(u, ds, dc, lo, r_now, count_select, count_cover);
+                run.error()?;
                 add_counts(&mut row.cover, count_cover);
                 if !identical {
                     add_counts(&mut row.select, count_select);
                 }
+                Ok(())
             },
             |(engine, count_select, count_cover)| {
                 window_depth_counts(
@@ -1222,11 +1358,12 @@ impl Oracle for DepthMcOracle<'_> {
                     count_select,
                     count_cover,
                 );
+                run.error()?;
                 let sel = if identical { Vec::new() } else { count_select.clone() };
-                CachedRow { covered: r_now, select: sel, cover: count_cover.clone() }
+                Ok(CachedRow { covered: r_now, select: sel, cover: count_cover.clone() })
             },
-        );
-        row.cover[v.index()] as f64 / r_now as f64
+        )?;
+        Ok(row.cover[v.index()] as f64 / r_now as f64)
     }
 
     /// Selection and cover rows coincide exactly when the two depths do.
@@ -1234,7 +1371,12 @@ impl Oracle for DepthMcOracle<'_> {
         self.d_select == self.d_cover
     }
 
-    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs_batch(
+        &mut self,
+        centers: &[NodeId],
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let n = self.engine.graph().num_nodes();
         let k = centers.len();
         assert_eq!(cover.len(), k * n, "batch cover buffer has wrong length");
@@ -1246,6 +1388,7 @@ impl Oracle for DepthMcOracle<'_> {
         let r_now = self.active;
         let physical = self.engine.num_samples();
         let r = r_now.max(1) as f64;
+        let run = self.run.clone();
         let DepthMcOracle { engine, d_select, d_cover, batch_select, batch_cover, cache, .. } =
             self;
         let (ds, dc) = (*d_select, *d_cover);
@@ -1282,9 +1425,15 @@ impl Oracle for DepthMcOracle<'_> {
                 &mut batch_select[..g.uniq.len() * n],
                 &mut batch_cover[..g.uniq.len() * n],
             );
+            // Validate before merging this group (see
+            // `McOracle::center_probs_batch`).
+            run.error()?;
             let mut merged = vec![false; g.uniq.len()];
             for &(j, slot) in &g.entries {
-                let row = cache.rows.get_mut(&centers[j].0).expect("planned top-up row is cached");
+                let row = cache
+                    .rows
+                    .get_mut(&centers[j].0)
+                    .unwrap_or_else(|| unreachable!("planned top-up row is cached"));
                 if merged[slot] {
                     cache.stats.hits += 1;
                 } else {
@@ -1316,6 +1465,7 @@ impl Oracle for DepthMcOracle<'_> {
                 &mut batch_select[..missing.len() * n],
                 &mut batch_cover[..missing.len() * n],
             );
+            run.error()?;
             cache.stats.fulls += missing.len();
             for (bi, &j) in missing.iter().enumerate() {
                 let row_sel = &batch_select[bi * n..(bi + 1) * n];
@@ -1325,6 +1475,7 @@ impl Oracle for DepthMcOracle<'_> {
                     write_probs(row_sel, r, &mut select[j * n..(j + 1) * n]);
                 }
                 if cache.admits(centers[j]) {
+                    faults::hit(FaultSite::BudgetAdmission)?;
                     let sel = if identical { Vec::new() } else { row_sel.to_vec() };
                     cache.insert(
                         centers[j],
@@ -1336,6 +1487,7 @@ impl Oracle for DepthMcOracle<'_> {
         if !select.is_empty() && identical {
             select.copy_from_slice(cover);
         }
+        Ok(())
     }
 
     fn cache_stats(&self) -> RowCacheStats {
@@ -1381,20 +1533,28 @@ impl Oracle for ExactOracleAdapter {
         0.0
     }
 
-    fn prepare(&mut self, _q: f64) {}
+    fn prepare(&mut self, _q: f64) -> Result<(), SamplingError> {
+        Ok(())
+    }
 
     fn num_samples(&self) -> usize {
         1
     }
 
-    fn center_probs(&mut self, center: NodeId, select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs(
+        &mut self,
+        center: NodeId,
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let row = self.inner.probs_from(center);
         select.copy_from_slice(row);
         cover.copy_from_slice(row);
+        Ok(())
     }
 
-    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> f64 {
-        self.inner.pair_probability(u, v)
+    fn pair_prob(&mut self, u: NodeId, v: NodeId) -> Result<f64, SamplingError> {
+        Ok(self.inner.pair_probability(u, v))
     }
 
     /// Exact oracles have a single radius.
@@ -1402,7 +1562,12 @@ impl Oracle for ExactOracleAdapter {
         true
     }
 
-    fn center_probs_batch(&mut self, centers: &[NodeId], select: &mut [f64], cover: &mut [f64]) {
+    fn center_probs_batch(
+        &mut self,
+        centers: &[NodeId],
+        select: &mut [f64],
+        cover: &mut [f64],
+    ) -> Result<(), SamplingError> {
         let n = self.num_nodes();
         assert_eq!(cover.len(), centers.len() * n, "batch cover buffer has wrong length");
         assert!(
@@ -1415,6 +1580,7 @@ impl Oracle for ExactOracleAdapter {
         if !select.is_empty() {
             select.copy_from_slice(cover);
         }
+        Ok(())
     }
 }
 
@@ -1439,11 +1605,11 @@ mod tests {
         let g = chain(6, 0.5);
         let mut o = McOracle::new(&g, 1, 1, SampleSchedule::practical(), 0.1);
         assert_eq!(o.num_samples(), 0);
-        o.prepare(1.0);
+        o.prepare(1.0).unwrap();
         assert_eq!(o.num_samples(), 50);
-        o.prepare(0.1);
+        o.prepare(0.1).unwrap();
         assert_eq!(o.num_samples(), 500);
-        o.prepare(0.5); // never shrinks
+        o.prepare(0.5).unwrap(); // never shrinks
         assert_eq!(o.num_samples(), 500);
     }
 
@@ -1452,10 +1618,10 @@ mod tests {
         let g = chain(4, 0.8);
         let exact = ExactOracle::new(&g).unwrap();
         let mut o = McOracle::new(&g, 42, 1, SampleSchedule::Fixed(8000), 0.1);
-        o.prepare(0.1);
+        o.prepare(0.1).unwrap();
         let mut sel = vec![0.0; 4];
         let mut cov = vec![0.0; 4];
-        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        o.center_probs(NodeId(0), &mut sel, &mut cov).unwrap();
         assert_eq!(sel, cov, "unlimited oracle: select == cover");
         for v in 0..4u32 {
             let want = exact.pair_probability(NodeId(0), NodeId(v));
@@ -1480,19 +1646,22 @@ mod tests {
             0.1,
             EngineKind::BitParallel,
         );
-        scalar.prepare(0.5);
-        bit.prepare(0.5);
+        scalar.prepare(0.5).unwrap();
+        bit.prepare(0.5).unwrap();
         assert_eq!(scalar.num_samples(), bit.num_samples());
         let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
         let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
         for c in 0..9u32 {
-            scalar.center_probs(NodeId(c), &mut s1, &mut c1);
-            bit.center_probs(NodeId(c), &mut s2, &mut c2);
+            scalar.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+            bit.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
             assert_eq!(s1, s2, "select rows differ at center {c}");
             assert_eq!(c1, c2, "cover rows differ at center {c}");
         }
         for v in 1..9u32 {
-            assert_eq!(scalar.pair_prob(NodeId(0), NodeId(v)), bit.pair_prob(NodeId(0), NodeId(v)));
+            assert_eq!(
+                scalar.pair_prob(NodeId(0), NodeId(v)).unwrap(),
+                bit.pair_prob(NodeId(0), NodeId(v)).unwrap()
+            );
         }
     }
 
@@ -1500,10 +1669,10 @@ mod tests {
     fn depth_oracle_select_below_cover() {
         let g = chain(5, 1.0);
         let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 1, 3).unwrap();
-        o.prepare(1.0);
+        o.prepare(1.0).unwrap();
         let mut sel = vec![0.0; 5];
         let mut cov = vec![0.0; 5];
-        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        o.center_probs(NodeId(0), &mut sel, &mut cov).unwrap();
         assert_eq!(sel, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
         assert_eq!(cov, vec![1.0, 1.0, 1.0, 1.0, 0.0]);
         assert_eq!(o.depths(), (1, 3));
@@ -1513,9 +1682,9 @@ mod tests {
     fn depth_oracle_pair_prob_uses_cover_depth() {
         let g = chain(4, 1.0);
         let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(5), 0.1, 1, 2).unwrap();
-        o.prepare(1.0);
-        assert_eq!(o.pair_prob(NodeId(0), NodeId(2)), 1.0);
-        assert_eq!(o.pair_prob(NodeId(0), NodeId(3)), 0.0);
+        o.prepare(1.0).unwrap();
+        assert_eq!(o.pair_prob(NodeId(0), NodeId(2)).unwrap(), 1.0);
+        assert_eq!(o.pair_prob(NodeId(0), NodeId(3)).unwrap(), 0.0);
     }
 
     #[test]
@@ -1527,13 +1696,13 @@ mod tests {
         let mut bit =
             DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, EngineKind::BitParallel)
                 .unwrap();
-        scalar.prepare(0.5);
-        bit.prepare(0.5);
+        scalar.prepare(0.5).unwrap();
+        bit.prepare(0.5).unwrap();
         let (mut s1, mut c1) = (vec![0.0; 8], vec![0.0; 8]);
         let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
         for c in 0..8u32 {
-            scalar.center_probs(NodeId(c), &mut s1, &mut c1);
-            bit.center_probs(NodeId(c), &mut s2, &mut c2);
+            scalar.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+            bit.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
             assert_eq!(s1, s2, "select rows differ at center {c}");
             assert_eq!(c1, c2, "cover rows differ at center {c}");
         }
@@ -1544,14 +1713,14 @@ mod tests {
         let g = chain(3, 0.5);
         let mut o = ExactOracleAdapter::new(ExactOracle::new(&g).unwrap());
         assert_eq!(o.epsilon(), 0.0);
-        o.prepare(1e-9); // no-op
+        o.prepare(1e-9).unwrap(); // no-op
         let mut sel = vec![0.0; 3];
         let mut cov = vec![0.0; 3];
-        o.center_probs(NodeId(0), &mut sel, &mut cov);
+        o.center_probs(NodeId(0), &mut sel, &mut cov).unwrap();
         assert!((cov[1] - 0.5).abs() < 1e-12);
         assert!((cov[2] - 0.25).abs() < 1e-12);
         assert_eq!(sel, cov);
-        assert!((o.pair_prob(NodeId(0), NodeId(2)) - 0.25).abs() < 1e-12);
+        assert!((o.pair_prob(NodeId(0), NodeId(2)).unwrap() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -1568,11 +1737,11 @@ mod tests {
             // Interleave growth and queries so hits, top-ups, and full
             // recomputes all occur.
             for q in [1.0, 1.0, 0.5, 0.2, 0.2, 0.05] {
-                cached.prepare(q);
-                plain.prepare(q);
+                cached.prepare(q).unwrap();
+                plain.prepare(q).unwrap();
                 for c in 0..8u32 {
-                    cached.center_probs(NodeId(c), &mut s1, &mut c1);
-                    plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                    cached.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                    plain.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                     assert_eq!(c1, c2, "{kind:?} cover rows differ at center {c}, q {q}");
                     assert_eq!(s1, s2, "{kind:?} select rows differ at center {c}, q {q}");
                 }
@@ -1592,21 +1761,21 @@ mod tests {
     fn batched_probs_match_sequential_and_use_cache() {
         let g = chain(9, 0.5);
         let mut o = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
-        o.prepare(0.5);
+        o.prepare(0.5).unwrap();
         let centers: Vec<NodeId> = [2u32, 7, 2, 0].iter().map(|&c| NodeId(c)).collect();
         let n = 9;
         let mut want = vec![0.0; centers.len() * n];
         {
             let mut scratch = vec![0.0; n];
             let mut fresh = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
-            fresh.prepare(0.5);
+            fresh.prepare(0.5).unwrap();
             for (j, &c) in centers.iter().enumerate() {
-                fresh.center_probs(c, &mut scratch, &mut want[j * n..(j + 1) * n]);
+                fresh.center_probs(c, &mut scratch, &mut want[j * n..(j + 1) * n]).unwrap();
             }
         }
         // Empty select buffer: identical-rows fast path.
         let mut cov = vec![0.0; centers.len() * n];
-        o.center_probs_batch(&centers, &mut [], &mut cov);
+        o.center_probs_batch(&centers, &mut [], &mut cov).unwrap();
         assert_eq!(cov, want);
         // Duplicate centers within one batch are both computed (misses are
         // deferred to a single engine sweep, so the second occurrence
@@ -1616,7 +1785,7 @@ mod tests {
         // Full select buffer agrees too.
         let mut sel = vec![0.0; centers.len() * n];
         cov.fill(0.0);
-        o.center_probs_batch(&centers, &mut sel, &mut cov);
+        o.center_probs_batch(&centers, &mut sel, &mut cov).unwrap();
         assert_eq!(cov, want);
         assert_eq!(sel, want);
     }
@@ -1636,11 +1805,11 @@ mod tests {
             let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
             let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
             for q in [1.0, 0.4, 0.4, 0.1] {
-                cached.prepare(q);
-                plain.prepare(q);
+                cached.prepare(q).unwrap();
+                plain.prepare(q).unwrap();
                 for c in 0..9u32 {
-                    cached.center_probs(NodeId(c), &mut s1, &mut c1);
-                    plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                    cached.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                    plain.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                     assert_eq!(s1, s2, "{kind:?} select rows differ at center {c}, q {q}");
                     assert_eq!(c1, c2, "{kind:?} cover rows differ at center {c}, q {q}");
                 }
@@ -1649,9 +1818,9 @@ mod tests {
             // Batched depth rows agree with the sequential ones.
             let centers: Vec<NodeId> = (0..9).map(NodeId).collect();
             let (mut bs, mut bc) = (vec![0.0; 9 * 9], vec![0.0; 9 * 9]);
-            cached.center_probs_batch(&centers, &mut bs, &mut bc);
+            cached.center_probs_batch(&centers, &mut bs, &mut bc).unwrap();
             for (j, &c) in centers.iter().enumerate() {
-                plain.center_probs(c, &mut s2, &mut c2);
+                plain.center_probs(c, &mut s2, &mut c2).unwrap();
                 assert_eq!(&bs[j * 9..(j + 1) * 9], &s2[..], "batch select row {c}");
                 assert_eq!(&bc[j * 9..(j + 1) * 9], &c2[..], "batch cover row {c}");
             }
@@ -1684,14 +1853,14 @@ mod tests {
         let tiny = MemoryBudget::bounded(64);
         let mut starved = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1)
             .with_memory_budget(tiny.clone());
-        starved.prepare(0.5);
+        starved.prepare(0.5).unwrap();
         let mut plain = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1);
-        plain.prepare(0.5);
+        plain.prepare(0.5).unwrap();
         let (mut s, mut c) = (vec![0.0; 8], vec![0.0; 8]);
         let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
         for u in 0..8u32 {
-            starved.center_probs(NodeId(u), &mut s, &mut c);
-            plain.center_probs(NodeId(u), &mut s2, &mut c2);
+            starved.center_probs(NodeId(u), &mut s, &mut c).unwrap();
+            plain.center_probs(NodeId(u), &mut s2, &mut c2).unwrap();
             assert_eq!(c, c2, "budgeted estimates differ at center {u}");
         }
         assert_eq!(starved.cache.rows.len(), 0, "no headroom: nothing admitted");
@@ -1702,9 +1871,9 @@ mod tests {
         let roomy = MemoryBudget::bounded(1 << 20);
         let mut o = McOracle::new(&g, 11, 1, SampleSchedule::Fixed(40), 0.1)
             .with_memory_budget(roomy.clone());
-        o.prepare(0.5);
-        o.center_probs(NodeId(0), &mut s, &mut c);
-        o.center_probs(NodeId(1), &mut s, &mut c);
+        o.prepare(0.5).unwrap();
+        o.center_probs(NodeId(0), &mut s, &mut c).unwrap();
+        o.center_probs(NodeId(1), &mut s, &mut c).unwrap();
         assert_eq!(o.cache.rows.len(), 2);
         assert_eq!(o.cache.bytes, 2 * 32, "8-node u32 rows are 32 bytes each");
         assert!(o.memory_stats().bytes_held >= 64);
@@ -1723,9 +1892,9 @@ mod tests {
         let g = chain(5, 1.0);
         let mut o = DepthMcOracle::new(&g, 1, 1, SampleSchedule::Fixed(10), 0.1, 2, 2).unwrap();
         assert!(o.identical_rows());
-        o.prepare(1.0);
+        o.prepare(1.0).unwrap();
         let mut cov = vec![0.0; 10];
-        o.center_probs_batch(&[NodeId(0), NodeId(2)], &mut [], &mut cov);
+        o.center_probs_batch(&[NodeId(0), NodeId(2)], &mut [], &mut cov).unwrap();
         assert_eq!(cov[..5], [1.0, 1.0, 1.0, 0.0, 0.0]);
         assert_eq!(cov[5..], [1.0, 1.0, 1.0, 1.0, 1.0]);
     }
@@ -1739,42 +1908,42 @@ mod tests {
         let g = chain(9, 0.6);
         for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
             let mut warm = McOracle::with_engine(&g, 7, 1, SampleSchedule::practical(), 0.1, kind);
-            warm.prepare(0.1); // grows active + physical to 500
+            warm.prepare(0.1).unwrap(); // grows active + physical to 500
             let mut scratch = vec![0.0; 9];
             let mut row = vec![0.0; 9];
             for c in 0..9u32 {
-                warm.center_probs(NodeId(c), &mut scratch, &mut row);
+                warm.center_probs(NodeId(c), &mut scratch, &mut row).unwrap();
             }
             assert_eq!(warm.num_samples(), 500);
 
             warm.begin_request();
             assert_eq!(warm.num_samples(), 0);
-            warm.prepare(1.0); // active 50, physical stays 500
+            warm.prepare(1.0).unwrap(); // active 50, physical stays 500
             assert_eq!(warm.num_samples(), 50);
             assert_eq!(warm.pool_samples(), 500);
 
             let mut fresh = McOracle::with_engine(&g, 7, 1, SampleSchedule::practical(), 0.1, kind);
-            fresh.prepare(1.0);
+            fresh.prepare(1.0).unwrap();
             let (mut s1, mut c1) = (vec![0.0; 9], vec![0.0; 9]);
             let (mut s2, mut c2) = (vec![0.0; 9], vec![0.0; 9]);
             for c in 0..9u32 {
-                warm.center_probs(NodeId(c), &mut s1, &mut c1);
-                fresh.center_probs(NodeId(c), &mut s2, &mut c2);
+                warm.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                fresh.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                 assert_eq!(c1, c2, "{kind:?}: warm row differs from fresh at center {c}");
                 assert_eq!(s1, s2);
                 assert_eq!(
-                    warm.pair_prob(NodeId(0), NodeId(c)),
-                    fresh.pair_prob(NodeId(0), NodeId(c)),
+                    warm.pair_prob(NodeId(0), NodeId(c)).unwrap(),
+                    fresh.pair_prob(NodeId(0), NodeId(c)).unwrap(),
                     "{kind:?}: warm pair_prob differs at {c}"
                 );
             }
             // Growing the window again inside the second request tops the
             // (rebuilt) rows up incrementally and stays fresh-identical.
-            warm.prepare(0.2);
-            fresh.prepare(0.2);
+            warm.prepare(0.2).unwrap();
+            fresh.prepare(0.2).unwrap();
             for c in 0..9u32 {
-                warm.center_probs(NodeId(c), &mut s1, &mut c1);
-                fresh.center_probs(NodeId(c), &mut s2, &mut c2);
+                warm.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                fresh.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                 assert_eq!(c1, c2, "{kind:?}: post-growth row differs at center {c}");
             }
         }
@@ -1786,25 +1955,25 @@ mod tests {
         let schedule = SampleSchedule::practical();
         for kind in [EngineKind::Scalar, EngineKind::BitParallel] {
             let mut warm = DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, kind).unwrap();
-            warm.prepare(0.1);
+            warm.prepare(0.1).unwrap();
             let (mut s, mut c) = (vec![0.0; 8], vec![0.0; 8]);
             for u in 0..8u32 {
-                warm.center_probs(NodeId(u), &mut s, &mut c);
+                warm.center_probs(NodeId(u), &mut s, &mut c).unwrap();
             }
             warm.begin_request();
-            warm.prepare(1.0);
+            warm.prepare(1.0).unwrap();
             let mut fresh =
                 DepthMcOracle::with_engine(&g, 3, 1, schedule, 0.1, 1, 3, kind).unwrap();
-            fresh.prepare(1.0);
+            fresh.prepare(1.0).unwrap();
             let (mut s2, mut c2) = (vec![0.0; 8], vec![0.0; 8]);
             for u in 0..8u32 {
-                warm.center_probs(NodeId(u), &mut s, &mut c);
-                fresh.center_probs(NodeId(u), &mut s2, &mut c2);
+                warm.center_probs(NodeId(u), &mut s, &mut c).unwrap();
+                fresh.center_probs(NodeId(u), &mut s2, &mut c2).unwrap();
                 assert_eq!(s, s2, "{kind:?}: warm depth select row differs at {u}");
                 assert_eq!(c, c2, "{kind:?}: warm depth cover row differs at {u}");
                 assert_eq!(
-                    warm.pair_prob(NodeId(0), NodeId(u)),
-                    fresh.pair_prob(NodeId(0), NodeId(u))
+                    warm.pair_prob(NodeId(0), NodeId(u)).unwrap(),
+                    fresh.pair_prob(NodeId(0), NodeId(u)).unwrap()
                 );
             }
         }
@@ -1814,18 +1983,18 @@ mod tests {
     fn batched_topups_are_grouped_and_deduplicated() {
         let g = chain(9, 0.5);
         let mut o = McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1);
-        o.prepare(1.0); // 50 samples
+        o.prepare(1.0).unwrap(); // 50 samples
         let centers: Vec<NodeId> = (0..6).map(NodeId).collect();
         let n = 9;
         let mut cov = vec![0.0; centers.len() * n];
-        o.center_probs_batch(&centers, &mut [], &mut cov);
+        o.center_probs_batch(&centers, &mut [], &mut cov).unwrap();
         assert_eq!(o.cache_stats().fulls, 6);
-        o.prepare(0.5); // grow to 100: all six rows now need the same window
-                        // Duplicate center 2 in the batch: one shared ranged row, the
-                        // second occurrence served as a hit.
+        o.prepare(0.5).unwrap(); // grow to 100: all six rows now need the same window
+                                 // Duplicate center 2 in the batch: one shared ranged row, the
+                                 // second occurrence served as a hit.
         let batch: Vec<NodeId> = [0u32, 2, 2, 5].iter().map(|&c| NodeId(c)).collect();
         let mut cov2 = vec![0.0; batch.len() * n];
-        o.center_probs_batch(&batch, &mut [], &mut cov2);
+        o.center_probs_batch(&batch, &mut [], &mut cov2).unwrap();
         let stats = o.cache_stats();
         assert_eq!(stats.topups, 3, "three distinct rows topped up, grouped by window start");
         assert_eq!(stats.hits, 1, "duplicate center served from the freshly topped row");
@@ -1833,10 +2002,10 @@ mod tests {
         // Values equal an uncached oracle's.
         let mut plain =
             McOracle::new(&g, 3, 1, SampleSchedule::practical(), 0.1).with_row_cache(false);
-        plain.prepare(1.0);
-        plain.prepare(0.5);
+        plain.prepare(1.0).unwrap();
+        plain.prepare(0.5).unwrap();
         let mut want = vec![0.0; batch.len() * n];
-        plain.center_probs_batch(&batch, &mut [], &mut want);
+        plain.center_probs_batch(&batch, &mut [], &mut want).unwrap();
         assert_eq!(cov2, want);
         // Both rows of the duplicate agree.
         assert_eq!(cov2[n..2 * n], cov2[2 * n..3 * n]);

@@ -39,6 +39,9 @@ use ugraph_graph::{
 
 use crate::budget::{MemoryBudget, MemoryStats};
 use crate::engine::{EngineStats, WorldEngine, DEPTH_UNLIMITED};
+use crate::error::SamplingPhase;
+use crate::faults::{self, FaultSite};
+use crate::interrupt::RunState;
 use crate::tuning::{
     chunked_counts, chunked_counts2_with, chunked_counts_with, chunked_sum_with,
     finalize_on_unlimited_query, ThreadConfig,
@@ -285,6 +288,9 @@ pub struct ComponentPool<'g> {
     /// Shards evicted / regenerated by this pool (cumulative).
     evicted: u64,
     regenerated: u64,
+    /// Per-solve interruption state, polled at shard boundaries
+    /// (unarmed by default — see [`RunState`]).
+    run: RunState,
 }
 
 impl Clone for ComponentPool<'_> {
@@ -301,6 +307,7 @@ impl Clone for ComponentPool<'_> {
             budget: self.budget.clone(),
             evicted: self.evicted,
             regenerated: self.regenerated,
+            run: self.run.clone(),
         }
     }
 }
@@ -324,6 +331,7 @@ impl<'g> ComponentPool<'g> {
             budget: MemoryBudget::unbounded(),
             evicted: 0,
             regenerated: 0,
+            run: RunState::unlimited(),
         }
     }
 
@@ -336,6 +344,12 @@ impl<'g> ComponentPool<'g> {
         budget.charge(held);
         self.budget = budget;
         self.trim_to_budget();
+    }
+
+    /// Attaches the per-solve interruption state; see
+    /// [`WorldEngine::set_run_state`].
+    pub fn set_run_state(&mut self, run: RunState) {
+        self.run = run;
     }
 
     /// Resident bytes, the budget limit, and this pool's cumulative shard
@@ -364,19 +378,44 @@ impl<'g> ComponentPool<'g> {
         meta.bytes = now;
     }
 
-    /// The resolve-or-regenerate accessor of every query path: stamps the
-    /// shards covering sample range `[lo, hi)` as recently used and
-    /// regenerates any evicted one from its per-index RNG streams —
-    /// bit-identical to the originally sampled rows.
-    fn resolve_range(&mut self, lo: usize, hi: usize) {
+    /// The resolve-or-regenerate accessor of every aggregate query path:
+    /// stamps the shards covering sample range `[lo, hi)` as recently used
+    /// and regenerates any evicted one from its per-index RNG streams —
+    /// bit-identical to the originally sampled rows. Doubles as the
+    /// query-path cooperative checkpoint and the [`FaultSite::ShardRegen`]
+    /// failpoint: returns `false` (recording the error on the
+    /// [`RunState`]) if the query should be abandoned, in which case no
+    /// shard has been touched beyond its recency stamp and the caller
+    /// must not read the rows.
+    #[must_use]
+    fn resolve_range(&mut self, lo: usize, hi: usize) -> bool {
         if lo >= hi {
-            return;
+            return true;
+        }
+        if self.run.checkpoint(SamplingPhase::Sweep) {
+            return false;
         }
         for s in shard_span(lo, hi) {
             self.shards[s].last_used = self.budget.touch();
             if !self.shards[s].resident {
+                if let Err(e) = faults::hit(FaultSite::ShardRegen) {
+                    self.run.record(e);
+                    return false;
+                }
                 self.regenerate_shard(s);
             }
+        }
+        true
+    }
+
+    /// Infallible single-sample resolve of the per-sample accessors
+    /// (`labels*`, `component_*`): these back evaluation paths that run
+    /// outside any solve, so they are neither checkpoints nor failpoints.
+    fn resolve_point(&mut self, i: usize) {
+        let s = i / SHARD_WORLDS;
+        self.shards[s].last_used = self.budget.touch();
+        if !self.shards[s].resident {
+            self.regenerate_shard(s);
         }
     }
 
@@ -485,19 +524,35 @@ impl<'g> ComponentPool<'g> {
                 let end = (self.shards.len() * SHARD_WORLDS).min(r);
                 self.rows.extend((cur..end).map(|_| SampleRow::placeholder(wide)));
                 from = end;
+                let s = self.shards.len() - 1;
+                self.shards[s].last_used = self.budget.touch();
+                self.sync_shard_bytes(s);
             }
         }
-        if from < r {
-            if !self.config.parallel_generation(r - from) {
+        // Grow shard by shard: each chunk is generated, appended, and
+        // accounted as a unit, with a cooperative checkpoint (and the
+        // `PoolGrow` failpoint) between chunks — an interrupted `ensure`
+        // leaves a consistent, smaller pool that a re-issued request tops
+        // up bit-identically.
+        while from < r {
+            if self.run.checkpoint(SamplingPhase::Generation) {
+                break;
+            }
+            if let Err(e) = faults::hit(FaultSite::PoolGrow) {
+                self.run.record(e);
+                break;
+            }
+            let hi = ((from / SHARD_WORLDS + 1) * SHARD_WORLDS).min(r);
+            if !self.config.parallel_generation(hi - from) {
                 let mut uf = UnionFind::new(n);
                 let mut labels = vec![0u32; n];
-                for i in from as u64..r as u64 {
+                for i in from as u64..hi as u64 {
                     let comps = sampler.sample_components(i, &mut uf, &mut labels);
                     self.rows.push(SampleRow::build(&labels, comps, wide));
                 }
             } else {
                 let new_rows: Vec<SampleRow> = self.config.run(|| {
-                    (from as u64..r as u64)
+                    (from as u64..hi as u64)
                         .into_par_iter()
                         .map_init(
                             || (UnionFind::new(n), vec![0u32; n]),
@@ -510,15 +565,14 @@ impl<'g> ComponentPool<'g> {
                 });
                 self.rows.extend(new_rows);
             }
-        }
-        // Account the new rows shard by shard, then shed LRU shards if the
-        // shared ledger now exceeds its limit.
-        for s in shard_span(cur, r) {
+            // Account the finished chunk's shard, then move on.
+            let s = from / SHARD_WORLDS;
             if s == self.shards.len() {
                 self.shards.push(ShardMeta { bytes: 0, last_used: 0, resident: true });
             }
             self.shards[s].last_used = self.budget.touch();
             self.sync_shard_bytes(s);
+            from = hi;
         }
         self.trim_to_budget();
     }
@@ -541,19 +595,19 @@ impl<'g> ComponentPool<'g> {
     /// Panics if `out.len() != n`.
     pub fn labels_into(&mut self, i: usize, out: &mut [u32]) {
         assert_eq!(out.len(), self.graph().num_nodes(), "labels buffer has wrong length");
-        self.resolve_range(i, i + 1);
+        self.resolve_point(i);
         self.rows[i].labels_into(out);
     }
 
     /// Members of the component with `label` in sample `i`.
     pub fn component_members(&mut self, i: usize, label: u32) -> Vec<u32> {
-        self.resolve_range(i, i + 1);
+        self.resolve_point(i);
         self.rows[i].members_u32(label)
     }
 
     /// Number of components in sample `i`.
     pub fn component_count(&mut self, i: usize) -> usize {
-        self.resolve_range(i, i + 1);
+        self.resolve_point(i);
         self.rows[i].component_count()
     }
 
@@ -576,8 +630,15 @@ impl<'g> ComponentPool<'g> {
     /// by the caller.
     fn counts_center_resident(&self, center: NodeId, lo: usize, hi: usize, out: &mut [u32]) {
         let n = self.graph().num_nodes();
+        let run = &self.run;
         let accumulate = |counts: &mut [u32], (): &mut (), rows: &[SampleRow]| {
             for row in rows {
+                // Cooperative per-row checkpoint (one relaxed load): once
+                // the run trips, remaining rows are skipped and the
+                // partial counts are discarded by the fallible caller.
+                if run.checkpoint(SamplingPhase::Sweep) {
+                    return;
+                }
                 row.accumulate_center(center.index(), counts);
             }
         };
@@ -623,7 +684,9 @@ impl<'g> ComponentPool<'g> {
         let k = centers.len();
         assert_eq!(out.len(), k * n, "batch counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         for (j, &c) in centers.iter().enumerate() {
             self.counts_center_resident(c, lo, hi, &mut out[j * n..(j + 1) * n]);
         }
@@ -645,7 +708,9 @@ impl<'g> ComponentPool<'g> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         self.counts_center_resident(center, lo, hi, out);
         self.trim_to_budget();
     }
@@ -663,7 +728,9 @@ impl<'g> ComponentPool<'g> {
     /// Panics if `lo > hi` or `hi > num_samples()`.
     pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi <= self.rows.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return 0;
+        }
         let total = chunked_sum_with(
             &self.config,
             &self.rows[lo..hi],
@@ -688,6 +755,10 @@ impl<'g> ComponentPool<'g> {
 impl WorldEngine for ComponentPool<'_> {
     fn set_memory_budget(&mut self, budget: MemoryBudget) {
         ComponentPool::set_memory_budget(self, budget)
+    }
+
+    fn set_run_state(&mut self, run: RunState) {
+        ComponentPool::set_run_state(self, run)
     }
 
     fn memory_stats(&self) -> MemoryStats {
@@ -876,6 +947,9 @@ pub struct WorldPool<'g> {
     /// Shards evicted / regenerated by this pool (cumulative).
     evicted: u64,
     regenerated: u64,
+    /// Per-solve interruption state, polled at shard/world boundaries
+    /// (unarmed by default — see [`RunState`]).
+    run: RunState,
 }
 
 impl Clone for WorldPool<'_> {
@@ -892,6 +966,7 @@ impl Clone for WorldPool<'_> {
             budget: self.budget.clone(),
             evicted: self.evicted,
             regenerated: self.regenerated,
+            run: self.run.clone(),
         }
     }
 }
@@ -915,6 +990,7 @@ impl<'g> WorldPool<'g> {
             budget: MemoryBudget::unbounded(),
             evicted: 0,
             regenerated: 0,
+            run: RunState::unlimited(),
         }
     }
 
@@ -940,6 +1016,12 @@ impl<'g> WorldPool<'g> {
         }
     }
 
+    /// Attaches the per-solve interruption state; see
+    /// [`WorldEngine::set_run_state`].
+    pub fn set_run_state(&mut self, run: RunState) {
+        self.run = run;
+    }
+
     /// Re-derives shard `s`'s byte charge from its world bitsets and
     /// settles the difference with the ledger.
     fn sync_shard_bytes(&mut self, s: usize) {
@@ -955,19 +1037,48 @@ impl<'g> WorldPool<'g> {
         meta.bytes = now;
     }
 
-    /// The resolve-or-regenerate accessor of every query path: stamps the
-    /// shards covering world range `[lo, hi)` as recently used and
-    /// regenerates any evicted one from its per-index RNG streams —
+    /// The resolve-or-regenerate accessor of every aggregate query path:
+    /// stamps the shards covering world range `[lo, hi)` as recently used
+    /// and regenerates any evicted one from its per-index RNG streams —
     /// bit-identical to the originally sampled worlds.
-    fn resolve_range(&mut self, lo: usize, hi: usize) {
+    ///
+    /// Doubles as the query-entry cooperative checkpoint: returns `false`
+    /// (without touching any world data) when the attached [`RunState`]
+    /// has tripped, or records the error and returns `false` when the
+    /// [`FaultSite::ShardRegen`] failpoint fires. The failpoint fires
+    /// *before* regeneration mutates anything, so a shard is always either
+    /// fully regenerated or untouched.
+    #[must_use]
+    fn resolve_range(&mut self, lo: usize, hi: usize) -> bool {
         if lo >= hi {
-            return;
+            return true;
+        }
+        if self.run.checkpoint(SamplingPhase::Sweep) {
+            return false;
         }
         for s in shard_span(lo, hi) {
             self.shards[s].last_used = self.budget.touch();
             if !self.shards[s].resident {
+                if let Err(e) = faults::hit(FaultSite::ShardRegen) {
+                    self.run.record(e);
+                    return false;
+                }
                 self.regenerate_shard(s);
             }
+        }
+        true
+    }
+
+    /// Infallible single-world resolve for per-sample accessors: touches
+    /// and (if evicted) regenerates world `i`'s shard with no checkpoint
+    /// and no failpoint, so evaluation paths that walk the pool world by
+    /// world cannot be broken by an armed fault plan or a tripped run
+    /// state.
+    fn resolve_point(&mut self, i: usize) {
+        let s = i / SHARD_WORLDS;
+        self.shards[s].last_used = self.budget.touch();
+        if !self.shards[s].resident {
+            self.regenerate_shard(s);
         }
     }
 
@@ -978,7 +1089,9 @@ impl<'g> WorldPool<'g> {
         let hi = ((s + 1) * SHARD_WORLDS).min(self.worlds.len());
         let draw = move |i: u64| {
             let mut world = Bitset::with_len(m);
-            sampler.sample_into(i, &mut world).expect("pool-sized bitset cannot mismatch");
+            sampler
+                .sample_into(i, &mut world)
+                .unwrap_or_else(|e| unreachable!("pool-sized bitset cannot mismatch: {e}"));
             world
         };
         if self.config.parallel_generation(hi - lo) {
@@ -1043,7 +1156,9 @@ impl<'g> WorldPool<'g> {
         let sampler = self.sampler;
         let draw = move |i: u64| {
             let mut world = Bitset::with_len(m);
-            sampler.sample_into(i, &mut world).expect("pool-sized bitset cannot mismatch");
+            sampler
+                .sample_into(i, &mut world)
+                .unwrap_or_else(|e| unreachable!("pool-sized bitset cannot mismatch: {e}"));
             world
         };
         // Worlds landing in a currently evicted trailing shard are
@@ -1055,23 +1170,39 @@ impl<'g> WorldPool<'g> {
                 let end = (self.shards.len() * SHARD_WORLDS).min(r);
                 self.worlds.extend((cur..end).map(|_| Bitset::with_len(0)));
                 from = end;
+                let s = self.shards.len() - 1;
+                self.shards[s].last_used = self.budget.touch();
+                self.sync_shard_bytes(s);
             }
         }
-        if from < r {
-            if !self.config.parallel_generation(r - from) {
-                self.worlds.extend((from as u64..r as u64).map(draw));
+        // Grow shard by shard so interruption latency is bounded by one
+        // shard of sampling; each chunk is fully generated and charged
+        // before the next checkpoint, so a break leaves the pool smaller
+        // but consistent.
+        while from < r {
+            if self.run.checkpoint(SamplingPhase::Generation) {
+                break;
+            }
+            if let Err(e) = faults::hit(FaultSite::PoolGrow) {
+                self.run.record(e);
+                break;
+            }
+            let hi = ((from / SHARD_WORLDS + 1) * SHARD_WORLDS).min(r);
+            if !self.config.parallel_generation(hi - from) {
+                self.worlds.extend((from as u64..hi as u64).map(draw));
             } else {
-                let new_worlds: Vec<Bitset> =
-                    self.config.run(|| (from as u64..r as u64).into_par_iter().map(draw).collect());
+                let new_worlds: Vec<Bitset> = self
+                    .config
+                    .run(|| (from as u64..hi as u64).into_par_iter().map(draw).collect());
                 self.worlds.extend(new_worlds);
             }
-        }
-        for s in shard_span(cur, r) {
+            let s = from / SHARD_WORLDS;
             if s == self.shards.len() {
                 self.shards.push(ShardMeta { bytes: 0, last_used: 0, resident: true });
             }
             self.shards[s].last_used = self.budget.touch();
             self.sync_shard_bytes(s);
+            from = hi;
         }
         self.trim_to_budget();
     }
@@ -1081,7 +1212,7 @@ impl<'g> WorldPool<'g> {
     /// callers iterating the pool keep it resident; the next aggregate
     /// query or `ensure` settles the ledger).
     pub fn world(&mut self, i: usize) -> &Bitset {
-        self.resolve_range(i, i + 1);
+        self.resolve_point(i);
         &self.worlds[i]
     }
 
@@ -1151,7 +1282,10 @@ impl<'g> WorldPool<'g> {
         assert_eq!(out_cover.len(), n, "cover buffer has wrong length");
         assert!(d_select <= d_cover, "d_select ({d_select}) must be ≤ d_cover ({d_cover})");
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
+        let run = self.run.clone();
         let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts2_with(
@@ -1163,6 +1297,9 @@ impl<'g> WorldPool<'g> {
             || DepthBfs::new(n),
             |select, cover, bfs, worlds| {
                 for world in worlds {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let view = WorldView::new(graph, world);
                     bfs.run(&view, center, d_cover, |node, depth| {
                         cover[node.index()] += 1;
@@ -1207,7 +1344,10 @@ impl<'g> WorldPool<'g> {
         if k == 0 {
             return;
         }
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
+        let run = self.run.clone();
         let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts2_with(
@@ -1219,6 +1359,9 @@ impl<'g> WorldPool<'g> {
             || DepthBfs::new(n),
             |select, cover, bfs, worlds| {
                 for world in worlds {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let view = WorldView::new(graph, world);
                     for (j, &c) in centers.iter().enumerate() {
                         bfs.run(&view, c, d_cover, |node, depth| {
@@ -1256,7 +1399,10 @@ impl<'g> WorldPool<'g> {
         hi: usize,
     ) -> usize {
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return 0;
+        }
+        let run = self.run.clone();
         let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         let n = graph.num_nodes();
@@ -1267,6 +1413,9 @@ impl<'g> WorldPool<'g> {
             bfs,
             || DepthBfs::new(n),
             |bfs, world| {
+                if run.checkpoint(SamplingPhase::Sweep) {
+                    return 0;
+                }
                 let view = WorldView::new(graph, world);
                 let mut hit = false;
                 bfs.run(&view, u, depth, |node, _| hit |= node == v);
@@ -1290,6 +1439,10 @@ impl<'g> WorldPool<'g> {
 impl WorldEngine for WorldPool<'_> {
     fn set_memory_budget(&mut self, budget: MemoryBudget) {
         WorldPool::set_memory_budget(self, budget)
+    }
+
+    fn set_run_state(&mut self, run: RunState) {
+        WorldPool::set_run_state(self, run)
     }
 
     fn memory_stats(&self) -> MemoryStats {
@@ -1327,7 +1480,10 @@ impl WorldEngine for WorldPool<'_> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.worlds.len(), "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
+        let run = self.run.clone();
         let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts_with(
@@ -1339,6 +1495,9 @@ impl WorldEngine for WorldPool<'_> {
             || DepthBfs::new(n),
             |counts, bfs, worlds| {
                 for world in worlds {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let view = WorldView::new(graph, world);
                     bfs.run(&view, center, DEPTH_UNLIMITED, |node, _| counts[node.index()] += 1);
                 }
@@ -1364,7 +1523,10 @@ impl WorldEngine for WorldPool<'_> {
         if k == 0 {
             return;
         }
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
+        let run = self.run.clone();
         let WorldPool { sampler, worlds, config, bfs, .. } = self;
         let graph = sampler.graph();
         chunked_counts_with(
@@ -1376,6 +1538,9 @@ impl WorldEngine for WorldPool<'_> {
             || DepthBfs::new(n),
             |counts, bfs, worlds| {
                 for world in worlds {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let view = WorldView::new(graph, world);
                     for (j, &c) in centers.iter().enumerate() {
                         bfs.run(&view, c, DEPTH_UNLIMITED, |node, _| {
@@ -1551,7 +1716,8 @@ impl<L: Label> BlockLabels<L> {
             for u in 0..n {
                 sizes[self.labels[u * stride + l].index()] += 1;
             }
-            let mut running = *self.starts.last().expect("starts holds its terminator");
+            let mut running =
+                *self.starts.last().unwrap_or_else(|| unreachable!("starts holds its terminator"));
             cursor.clear();
             for &s in &sizes {
                 cursor.push(running);
@@ -1563,7 +1729,10 @@ impl<L: Label> BlockLabels<L> {
                 self.order[cursor[c] as usize] = L::from_u32(u as u32);
                 cursor[c] += 1;
             }
-            let base = *self.lane_base.last().expect("lane_base holds its terminator");
+            let base = *self
+                .lane_base
+                .last()
+                .unwrap_or_else(|| unreachable!("lane_base holds its terminator"));
             self.lane_base.push(base + nb as u32);
         }
         self.labeled = target as u32;
@@ -1810,6 +1979,9 @@ pub struct BitParallelPool<'g, const W: usize = 1> {
     /// Shards evicted / regenerated by this pool (cumulative).
     evicted: u64,
     regenerated: u64,
+    /// Per-solve interruption state, polled at shard/block boundaries
+    /// (unarmed by default — see [`RunState`]).
+    run: RunState,
 }
 
 impl<const W: usize> Clone for BitParallelPool<'_, W> {
@@ -1831,6 +2003,7 @@ impl<const W: usize> Clone for BitParallelPool<'_, W> {
             budget: self.budget.clone(),
             evicted: self.evicted,
             regenerated: self.regenerated,
+            run: self.run.clone(),
         }
     }
 }
@@ -1863,6 +2036,7 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             budget: MemoryBudget::unbounded(),
             evicted: 0,
             regenerated: 0,
+            run: RunState::unlimited(),
         }
     }
 
@@ -1935,6 +2109,12 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
         }
     }
 
+    /// Attaches the per-solve interruption state; see
+    /// [`WorldEngine::set_run_state`].
+    pub fn set_run_state(&mut self, run: RunState) {
+        self.run = run;
+    }
+
     /// Re-derives shard `s`'s byte charge from its blocks (masks plus any
     /// finalized labels) and settles the difference with the ledger.
     fn sync_shard_bytes(&mut self, s: usize) {
@@ -1953,16 +2133,32 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
     /// regenerates any evicted one from its per-index RNG streams —
     /// bit-identical to the originally sampled blocks (dropped labels
     /// re-finalize lazily, per the usual adaptive heuristics).
-    fn resolve_range(&mut self, lo: usize, hi: usize) {
+    ///
+    /// Doubles as the query-entry cooperative checkpoint: returns `false`
+    /// (without touching any sample data) when the attached [`RunState`]
+    /// has tripped, or records the error and returns `false` when the
+    /// [`FaultSite::ShardRegen`] failpoint fires. The failpoint fires
+    /// *before* regeneration mutates anything, so a shard is always either
+    /// fully regenerated or untouched.
+    #[must_use]
+    fn resolve_range(&mut self, lo: usize, hi: usize) -> bool {
         if lo >= hi {
-            return;
+            return true;
+        }
+        if self.run.checkpoint(SamplingPhase::Sweep) {
+            return false;
         }
         for s in shard_span(lo, hi) {
             self.shards[s].last_used = self.budget.touch();
             if !self.shards[s].resident() {
+                if let Err(e) = faults::hit(FaultSite::ShardRegen) {
+                    self.run.record(e);
+                    return false;
+                }
                 self.regenerate_shard(s);
             }
         }
+        true
     }
 
     fn regenerate_shard(&mut self, s: usize) {
@@ -2043,7 +2239,7 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
         for lane in 0..lanes {
             sampler
                 .sample_block_lane((base + lane) as u64, lane, &mut masks)
-                .expect("pool-sized mask buffer cannot mismatch");
+                .unwrap_or_else(|e| unreachable!("pool-sized mask buffer cannot mismatch: {e}"));
         }
         MaskBlock { masks, lanes: lanes as u32, labels: None, mask_queries: 0 }
     }
@@ -2056,7 +2252,7 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
     /// the batch is worth it; a partially labeled block (the grown trailing
     /// block) extends **append-only** — labeled lanes are never recomputed.
     fn prepare_unlimited(&mut self, lo: usize, hi: usize, shape: UnlimitedShape) {
-        if !self.adaptive || lo >= hi {
+        if !self.adaptive || lo >= hi || self.run.checkpoint(SamplingPhase::Labeling) {
             return;
         }
         let graph = self.sampler.graph();
@@ -2160,6 +2356,7 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
         // Top up the trailing partial block, if any — unless its shard is
         // evicted, in which case the whole shard (top-up included)
         // regenerates at the new extent on its next touch.
+        let mut achieved = cur;
         if !cur.is_multiple_of(Self::BLOCK_LANES) && !trailing_evicted {
             let b = cur / Self::BLOCK_LANES;
             let base = b * Self::BLOCK_LANES;
@@ -2168,39 +2365,62 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             for lane in last.lanes as usize..target {
                 sampler
                     .sample_block_lane((base + lane) as u64, lane, &mut last.masks)
-                    .expect("pool-sized mask buffer cannot mismatch");
+                    .unwrap_or_else(|e| {
+                        unreachable!("pool-sized mask buffer cannot mismatch: {e}")
+                    });
             }
             last.lanes = target as u32;
+            achieved = base + target;
         }
-        // Append new blocks; blocks landing in the evicted trailing shard
-        // are left to that shard's regeneration.
+        if trailing_evicted {
+            // Samples landing in the evicted trailing shard are recorded
+            // without generating anything — that shard regenerates as a
+            // whole, at the new extent, on its next touch.
+            achieved = (self.shards.len() * bps * Self::BLOCK_LANES).min(r);
+        }
+        // Append new blocks shard by shard so interruption latency is
+        // bounded by one shard of sampling; each chunk is fully generated
+        // before the next checkpoint, so a break leaves the pool smaller
+        // but consistent. Blocks landing in the evicted trailing shard are
+        // left to that shard's regeneration.
         let first = if trailing_evicted {
             (self.shards.len() * bps).min(total)
         } else {
             cur.div_ceil(Self::BLOCK_LANES)
         };
-        if first < total {
+        let mut from = first;
+        while from < total {
+            if self.run.checkpoint(SamplingPhase::Generation) {
+                break;
+            }
+            if let Err(e) = faults::hit(FaultSite::PoolGrow) {
+                self.run.record(e);
+                break;
+            }
+            let chunk_end = ((from / bps + 1) * bps).min(total);
             let build = |b: usize| Self::build_block(&sampler, m, b, r);
             let new_blocks: Vec<MaskBlock<W>> =
-                if self.config.parallel_generation((total - first) * Self::BLOCK_LANES) {
-                    self.config.run(|| (first..total).into_par_iter().map(build).collect())
+                if self.config.parallel_generation((chunk_end - from) * Self::BLOCK_LANES) {
+                    self.config.run(|| (from..chunk_end).into_par_iter().map(build).collect())
                 } else {
-                    (first..total).map(build).collect()
+                    (from..chunk_end).map(build).collect()
                 };
-            for (i, block) in new_blocks.into_iter().enumerate() {
-                let s = (first + i) / bps;
-                if s == self.shards.len() {
-                    self.shards.push(BlockShard { blocks: Vec::new(), bytes: 0, last_used: 0 });
-                }
-                self.shards[s].blocks.push(block);
+            let s = from / bps;
+            if s == self.shards.len() {
+                self.shards.push(BlockShard { blocks: Vec::new(), bytes: 0, last_used: 0 });
             }
+            self.shards[s].blocks.extend(new_blocks);
+            achieved = (chunk_end * Self::BLOCK_LANES).min(r);
+            from = chunk_end;
         }
-        self.samples = r;
-        // Account the new blocks shard by shard, then shed LRU shards if
+        self.samples = achieved;
+        // Account the new samples shard by shard, then shed LRU shards if
         // the shared ledger now exceeds its limit.
-        for s in shard_span(cur, r) {
-            self.shards[s].last_used = self.budget.touch();
-            self.sync_shard_bytes(s);
+        if achieved > cur {
+            for s in shard_span(cur, achieved) {
+                self.shards[s].last_used = self.budget.touch();
+                self.sync_shard_bytes(s);
+            }
         }
         self.trim_to_budget();
     }
@@ -2271,7 +2491,9 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
         if k == 1 {
             return BitParallelPool::counts_from_center_range(self, centers[0], lo, hi, out);
         }
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         // Plan the per-block dispatch serially (batches never finalize —
         // that is the single-row/pair paths' job): a fully labeled block
         // goes to label scans only when the exact cost model prefers them
@@ -2311,6 +2533,7 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             self.stats.label_queries += label_q;
             self.stats.mask_queries += mask_q;
         }
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2327,9 +2550,15 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             || MultiWorldBfs::<W>::new(n),
             |counts, bfs, plan: &[(u32, Mask<W>, Mask<W>)]| {
                 for &(b, labeled, masked) in plan {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let block = shard_block(shards, b as usize);
                     if labeled.any() {
-                        let labels = block.labels.as_ref().expect("planned labels exist");
+                        let labels = block
+                            .labels
+                            .as_ref()
+                            .unwrap_or_else(|| unreachable!("planned labels exist"));
                         for (j, c) in centers.iter().enumerate() {
                             labels.accumulate_center(
                                 c.index(),
@@ -2369,10 +2598,13 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
         let n = self.graph().num_nodes();
         assert_eq!(out.len(), n, "counts buffer has wrong length");
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         self.prepare_unlimited(lo, hi, UnlimitedShape::Row);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2386,10 +2618,16 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             || MultiWorldBfs::<W>::new(n),
             |counts, bfs, items| {
                 for &(b, mask) in items {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     let block = shard_block(shards, b as usize);
                     let (labeled, masked) = block.split_lanes(mask);
                     if labeled.any() {
-                        let labels = block.labels.as_ref().expect("labeled lanes imply labels");
+                        let labels = block
+                            .labels
+                            .as_ref()
+                            .unwrap_or_else(|| unreachable!("labeled lanes imply labels"));
                         labels.accumulate_center(center.index(), labeled, counts);
                     }
                     if masked.any() {
@@ -2438,10 +2676,13 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
     /// Panics if `lo > hi` or `hi > num_samples()`.
     pub fn pair_count_range(&mut self, u: NodeId, v: NodeId, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return 0;
+        }
         self.prepare_unlimited(lo, hi, UnlimitedShape::Pair);
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2454,11 +2695,17 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             bfs,
             || MultiWorldBfs::<W>::new(n),
             |bfs, &(b, mask)| {
+                if run.checkpoint(SamplingPhase::Sweep) {
+                    return 0;
+                }
                 let block = shard_block(shards, b as usize);
                 let (labeled, masked) = block.split_lanes(mask);
                 let mut hits = 0usize;
                 if labeled.any() {
-                    let labels = block.labels.as_ref().expect("labeled lanes imply labels");
+                    let labels = block
+                        .labels
+                        .as_ref()
+                        .unwrap_or_else(|| unreachable!("labeled lanes imply labels"));
                     hits += labels.pair_lanes(u.index(), v.index(), labeled);
                 }
                 if masked.any() {
@@ -2546,9 +2793,12 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             out_select.copy_from_slice(out_cover);
             return;
         }
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2566,6 +2816,9 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
                 || MultiWorldBfs::<W>::new(n),
                 |select, cover, bfs, items| {
                     for &(b, mask) in items {
+                        if run.checkpoint(SamplingPhase::Sweep) {
+                            return;
+                        }
                         bfs.run_multi(
                             graph,
                             &shard_block(shards, b as usize).masks,
@@ -2618,9 +2871,12 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             out_select.copy_from_slice(out_cover);
             return;
         }
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return;
+        }
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2634,6 +2890,9 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             || MultiWorldBfs::<W>::new(n),
             |select, cover, bfs, items| {
                 for &(b, mask) in items {
+                    if run.checkpoint(SamplingPhase::Sweep) {
+                        return;
+                    }
                     bfs.run(
                         graph,
                         &shard_block(shards, b as usize).masks,
@@ -2680,9 +2939,12 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             return self.pair_count_range(u, v, lo, hi);
         }
         assert!(lo <= hi && hi <= self.samples, "invalid sample range [{lo}, {hi})");
-        self.resolve_range(lo, hi);
+        if !self.resolve_range(lo, hi) {
+            return 0;
+        }
         let mut items = std::mem::take(&mut self.items);
         Self::range_blocks_into(lo, hi, &mut items);
+        let run = self.run.clone();
         let BitParallelPool { sampler, shards, config, bfs, .. } = self;
         let graph = sampler.graph();
         let shards: &[BlockShard<W>] = shards;
@@ -2695,6 +2957,9 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
             bfs,
             || MultiWorldBfs::<W>::new(n),
             |bfs, &(b, mask)| {
+                if run.checkpoint(SamplingPhase::Sweep) {
+                    return 0;
+                }
                 let mut hit = Mask::<W>::ZERO;
                 bfs.run(
                     graph,
@@ -2728,6 +2993,10 @@ impl<'g, const W: usize> BitParallelPool<'g, W> {
 impl<const W: usize> WorldEngine for BitParallelPool<'_, W> {
     fn set_memory_budget(&mut self, budget: MemoryBudget) {
         BitParallelPool::set_memory_budget(self, budget)
+    }
+
+    fn set_run_state(&mut self, run: RunState) {
+        BitParallelPool::set_run_state(self, run)
     }
 
     fn memory_stats(&self) -> MemoryStats {

@@ -107,6 +107,10 @@ impl ThreadConfig {
         } else {
             threads
         };
+        // Spawning worker threads can genuinely fail (resource
+        // exhaustion); there is no useful degraded mode here, so the
+        // panic policy is deliberate.
+        #[allow(clippy::expect_used)]
         let pool = (threads != 0).then(|| {
             std::sync::Arc::new(
                 rayon::ThreadPoolBuilder::new()

@@ -130,7 +130,8 @@ impl<'g> WorldSampler<'g> {
     /// Convenience allocating variant of [`WorldSampler::sample_into`].
     pub fn sample(&self, index: u64) -> Bitset {
         let mut b = Bitset::with_len(self.graph.num_edges());
-        self.sample_into(index, &mut b).expect("freshly sized bitset cannot mismatch");
+        self.sample_into(index, &mut b)
+            .unwrap_or_else(|e| unreachable!("freshly sized bitset cannot mismatch: {e}"));
         b
     }
 

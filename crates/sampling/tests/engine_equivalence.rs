@@ -489,20 +489,20 @@ proptest! {
         let (mut s1, mut c1) = (vec![0.0; n], vec![0.0; n]);
         let (mut s2, mut c2) = (vec![0.0; n], vec![0.0; n]);
         for &q in &qs {
-            cached.prepare(q);
-            plain.prepare(q);
+            cached.prepare(q).unwrap();
+            plain.prepare(q).unwrap();
             for c in 0..n as u32 {
-                cached.center_probs(NodeId(c), &mut s1, &mut c1);
-                plain.center_probs(NodeId(c), &mut s2, &mut c2);
+                cached.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                plain.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                 prop_assert_eq!(&c1, &c2, "cover rows differ at center {} q {}", c, q);
                 prop_assert_eq!(&s1, &s2, "select rows differ at center {} q {}", c, q);
             }
             // Batched fetch with the identical-rows fast path agrees too.
             let centers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
             let mut batch = vec![0.0; n * n];
-            cached.center_probs_batch(&centers, &mut [], &mut batch);
+            cached.center_probs_batch(&centers, &mut [], &mut batch).unwrap();
             for c in 0..n {
-                plain.center_probs(NodeId(c as u32), &mut s2, &mut c2);
+                plain.center_probs(NodeId(c as u32), &mut s2, &mut c2).unwrap();
                 prop_assert_eq!(&batch[c * n..(c + 1) * n], &c2[..], "batch row {} q {}", c, q);
             }
         }
@@ -621,11 +621,11 @@ proptest! {
         let (mut s1, mut c1) = (vec![0.0; n], vec![0.0; n]);
         let (mut s2, mut c2) = (vec![0.0; n], vec![0.0; n]);
         for &q in &qs {
-            scalar.prepare(q);
-            adaptive.prepare(q);
+            scalar.prepare(q).unwrap();
+            adaptive.prepare(q).unwrap();
             for c in 0..n as u32 {
-                scalar.center_probs(NodeId(c), &mut s1, &mut c1);
-                adaptive.center_probs(NodeId(c), &mut s2, &mut c2);
+                scalar.center_probs(NodeId(c), &mut s1, &mut c1).unwrap();
+                adaptive.center_probs(NodeId(c), &mut s2, &mut c2).unwrap();
                 prop_assert_eq!(&c1, &c2, "cover rows differ at center {} q {}", c, q);
             }
             prop_assert_eq!(

@@ -177,7 +177,7 @@ proptest! {
             .iter()
             .map(|&threads| {
                 let mut o = McOracle::new(&g, seed, threads, SampleSchedule::Fixed(400), 0.1);
-                o.prepare(0.5);
+                o.prepare(0.5).unwrap();
                 o
             })
             .collect();
@@ -188,18 +188,18 @@ proptest! {
         let mut cover = vec![0.0; n];
         for c in 0..n as u32 {
             let (first, rest) = oracles.split_at_mut(1);
-            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover);
+            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover).unwrap();
             for o in rest {
-                o.center_probs(NodeId(c), &mut select, &mut cover);
+                o.center_probs(NodeId(c), &mut select, &mut cover).unwrap();
                 // Bit-identical, not approximately equal.
                 prop_assert_eq!(&select, &reference_select, "select row differs at center {}", c);
                 prop_assert_eq!(&cover, &reference_cover, "cover row differs at center {}", c);
             }
         }
         for v in 1..n as u32 {
-            let want = oracles[0].pair_prob(NodeId(0), NodeId(v));
+            let want = oracles[0].pair_prob(NodeId(0), NodeId(v)).unwrap();
             for o in &mut oracles[1..] {
-                prop_assert_eq!(o.pair_prob(NodeId(0), NodeId(v)), want);
+                prop_assert_eq!(o.pair_prob(NodeId(0), NodeId(v)).unwrap(), want);
             }
         }
     }
@@ -221,7 +221,7 @@ proptest! {
                     &g, seed, threads, SampleSchedule::Fixed(300), 0.1, d_select, d_cover,
                 )
                 .expect("valid depths");
-                o.prepare(0.5);
+                o.prepare(0.5).unwrap();
                 o
             })
             .collect();
@@ -231,9 +231,9 @@ proptest! {
         let mut cover = vec![0.0; n];
         for c in 0..n as u32 {
             let (first, rest) = oracles.split_at_mut(1);
-            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover);
+            first[0].center_probs(NodeId(c), &mut reference_select, &mut reference_cover).unwrap();
             for o in rest {
-                o.center_probs(NodeId(c), &mut select, &mut cover);
+                o.center_probs(NodeId(c), &mut select, &mut cover).unwrap();
                 prop_assert_eq!(&select, &reference_select, "select row differs at center {}", c);
                 prop_assert_eq!(&cover, &reference_cover, "cover row differs at center {}", c);
             }

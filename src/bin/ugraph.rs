@@ -8,14 +8,14 @@
 //! ugraph cluster  --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
 //!                 [--depth D] [--inflation I] [--seed N] [--output out.tsv]
 //!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
-//!                 [--memory-budget B]
+//!                 [--memory-budget B] [--timeout T] [--best-effort]
 //! ugraph sweep    --input graph.txt --algo <mcp|acp> --k-min A --k-max B
 //!                 [--depth D] [--seed N] [--samples N]
 //!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
-//!                 [--memory-budget B]
+//!                 [--memory-budget B] [--timeout T] [--best-effort]
 //! ugraph evaluate --input graph.txt --clustering out.tsv [--samples N]
 //!                 [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
-//!                 [--memory-budget B]
+//!                 [--memory-budget B] [--timeout T]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
 //! ```
 //!
@@ -85,14 +85,14 @@ commands:
   cluster   --input graph.txt --algo <mcp|acp|gmm|mcl|kpt> [--k N]
             [--depth D] [--inflation I] [--seed N] [--output out.tsv]
             [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
-            [--memory-budget B]
+            [--memory-budget B] [--timeout T] [--best-effort]
   sweep     --input graph.txt --algo <mcp|acp> --k-min A --k-max B
             [--depth D] [--seed N] [--samples N]
             [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
-            [--memory-budget B]
+            [--memory-budget B] [--timeout T] [--best-effort]
   evaluate  --input graph.txt --clustering out.tsv [--samples N]
             [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
-            [--memory-budget B]
+            [--memory-budget B] [--timeout T]
   knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]
 
 `--engine` picks the Monte-Carlo backend of the solver paths (default:
@@ -110,7 +110,13 @@ per-block mask memory. Ignored by the scalar backend.
 cached rows (e.g. 512M, 2G; binary suffixes K/M/G). Under pressure,
 least-recently-used pool shards are evicted and regenerated on demand;
 results are bit-identical to an unbounded run. `--nodes` sizes the
-large-sparse generated dataset (default 100000).";
+large-sparse generated dataset (default 100000).
+
+`--timeout` sets a wall-clock deadline per solve (e.g. 30s, 5m, 1h,
+250ms; a bare number means seconds). A solve that trips the deadline
+stops at the next block boundary and reports how far it got. By default
+the command exits nonzero; with `--best-effort` a solver that already
+holds a full clustering returns it instead, flagged as interrupted.";
 
 /// Parsed flag set (strings resolved lazily per command).
 #[derive(Default, Debug)]
@@ -134,6 +140,8 @@ struct Options {
     block_width: BlockWidth,
     memory_budget: Option<usize>,
     nodes: Option<usize>,
+    timeout: Option<std::time::Duration>,
+    best_effort: bool,
 }
 
 impl Options {
@@ -173,6 +181,8 @@ impl Options {
                 }
                 "--memory-budget" => o.memory_budget = Some(parse_bytes(&take()?)?),
                 "--nodes" => o.nodes = Some(parse_num(&take()?, flag)?),
+                "--timeout" => o.timeout = Some(parse_duration(&take()?)?),
+                "--best-effort" => o.best_effort = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -181,6 +191,8 @@ impl Options {
 
     fn require_input(&self) -> Result<UncertainGraph, String> {
         let path = self.input.as_ref().ok_or("--input is required")?;
+        ugraph::sampling::faults::hit(ugraph::sampling::FaultSite::DatasetIo)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         gio::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())
     }
@@ -217,6 +229,31 @@ fn parse_bytes(v: &str) -> Result<usize, String> {
     n.checked_mul(1usize << shift)
         .filter(|&b| b > 0)
         .ok_or(format!("flag --memory-budget: size '{v}' is zero or overflows"))
+}
+
+/// Parses a wall-clock duration: `30s`, `5m`, `1h`, `250ms`; a bare
+/// number is seconds (case-insensitive).
+fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
+    let lower = v.trim().to_ascii_lowercase();
+    let (digits, per_unit_ms) = if let Some(d) = lower.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = lower.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 60_000)
+    } else if let Some(d) = lower.strip_suffix('h') {
+        (d, 3_600_000)
+    } else {
+        (lower.as_str(), 1_000)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("flag --timeout: invalid duration '{v}' (use e.g. 30s, 5m, 250ms)"))?;
+    n.checked_mul(per_unit_ms)
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis)
+        .ok_or(format!("flag --timeout: duration '{v}' is zero or overflows"))
 }
 
 // ───────────────────────── commands ─────────────────────────
@@ -286,6 +323,12 @@ fn session_config(o: &Options) -> ClusterConfig {
     if let Some(bytes) = o.memory_budget {
         cfg = cfg.with_memory_budget(bytes);
     }
+    if let Some(t) = o.timeout {
+        cfg = cfg.with_timeout(t);
+    }
+    if o.best_effort {
+        cfg = cfg.with_degrade(ugraph::cluster::DegradeMode::BestEffort);
+    }
     cfg
 }
 
@@ -350,6 +393,9 @@ fn summarize_solve(r: &SolveResult) {
         e.finalized_blocks,
         e.label_queries
     );
+    if let Some(report) = &r.interrupt {
+        eprintln!("warning: best-effort result — {report}");
+    }
 }
 
 fn cmd_sweep(o: &Options) -> Result<(), String> {
@@ -417,7 +463,14 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
                     m.shards_regenerated,
                     r.elapsed
                 );
+                if let Some(report) = &r.interrupt {
+                    eprintln!("warning: k = {k} is a best-effort result — {report}");
+                }
             }
+            // An interruption applies to the whole sweep: stop and exit
+            // nonzero. Per-k failures (e.g. no full clustering) keep the
+            // old print-and-continue behavior.
+            Err(e) if e.interrupt_report().is_some() => return Err(format!("k = {k}: {e}")),
             Err(e) => println!("{k:<4} failed: {e}"),
         }
     }
