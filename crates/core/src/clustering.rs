@@ -30,11 +30,23 @@ impl Clustering {
     /// Panics if the invariants are violated (use [`Clustering::validate`]
     /// after external mutation instead).
     pub fn new(centers: Vec<NodeId>, assignment: Vec<Option<u32>>) -> Self {
+        Clustering::try_new(centers, assignment)
+            .unwrap_or_else(|e| panic!("invalid clustering: {e}"))
+    }
+
+    /// Non-panicking [`Clustering::new`]: validates the parts and returns
+    /// the violation instead of panicking — the constructor for data from
+    /// untrusted sources (e.g. decoded wire payloads or files).
+    ///
+    /// # Errors
+    /// A description of the first violated invariant (see
+    /// [`Clustering::validate`]).
+    pub fn try_new(centers: Vec<NodeId>, assignment: Vec<Option<u32>>) -> Result<Self, String> {
         let assignment: Vec<u32> =
             assignment.into_iter().map(|a| a.map_or(UNASSIGNED, |c| c)).collect();
         let c = Clustering { centers, assignment };
-        c.validate().unwrap_or_else(|e| panic!("invalid clustering: {e}"));
-        c
+        c.validate()?;
+        Ok(c)
     }
 
     /// Crate-internal constructor from the sentinel representation.

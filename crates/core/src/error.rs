@@ -87,6 +87,12 @@ pub enum ClusterError {
         /// How far the solve got.
         InterruptReport,
     ),
+    /// The session's worker thread is gone — its channel disconnected
+    /// before (or instead of) replying, e.g. because the session was shut
+    /// down, evicted, or its thread panicked. Reported by
+    /// [`SessionHandle`](crate::SessionHandle); re-opening the session
+    /// and re-issuing the request is the recovery path.
+    SessionClosed,
 }
 
 impl ClusterError {
@@ -117,6 +123,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Sampling(e) => write!(f, "sampling failed: {e}"),
             ClusterError::DeadlineExceeded(report) => write!(f, "solve {report}"),
             ClusterError::Cancelled(report) => write!(f, "solve {report}"),
+            ClusterError::SessionClosed => {
+                write!(f, "session closed: its worker thread has shut down")
+            }
         }
     }
 }

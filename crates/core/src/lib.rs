@@ -87,6 +87,7 @@ pub mod brute;
 pub mod clustering;
 pub mod config;
 pub mod error;
+pub mod handle;
 pub mod hardness;
 pub mod mcp;
 pub mod min_partial;
@@ -98,6 +99,7 @@ pub use acp::{acp, acp_depth, acp_with_oracle, AcpResult};
 pub use clustering::{Clustering, PartialClustering};
 pub use config::{AcpInvocation, ClusterConfig, DegradeMode, GuessStrategy};
 pub use error::{ClusterError, InterruptReport};
+pub use handle::SessionHandle;
 pub use mcp::{mcp, mcp_depth, mcp_with_oracle, McpResult};
 pub use min_partial::{min_partial, min_partial_with, MinPartialParams, MinPartialWorkspace};
 pub use objectives::{avg_prob, min_prob};

@@ -162,6 +162,37 @@ pub struct SessionStats {
     pub per_request: Vec<RequestRecord>,
 }
 
+impl SessionStats {
+    /// Compact machine-readable `key=value` rendering (space-separated,
+    /// one line, fixed key set) — the stable form consumed by the wire
+    /// protocol's `stats` response and by scripts, kept separate from the
+    /// human-oriented [`Display`](fmt::Display) text so the latter can
+    /// evolve freely. Durations are reported in integer milliseconds.
+    pub fn kv_line(&self) -> String {
+        format!(
+            "requests={} evaluations={} worlds_held={} solver_pools={} cache_hits={} \
+             cache_topups={} cache_fulls={} finalized_blocks={} finalized_lanes={} \
+             label_queries={} mask_queries={} bytes_held={} shards_evicted={} \
+             shards_regenerated={} solve_time_ms={}",
+            self.requests,
+            self.evaluations,
+            self.worlds_held,
+            self.solver_pools,
+            self.row_cache.hits,
+            self.row_cache.topups,
+            self.row_cache.fulls,
+            self.engine.finalized_blocks,
+            self.engine.finalized_lanes,
+            self.engine.label_queries,
+            self.engine.mask_queries,
+            self.bytes_held,
+            self.shards_evicted,
+            self.shards_regenerated,
+            self.solve_time.as_millis(),
+        )
+    }
+}
+
 impl fmt::Display for SessionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -239,16 +270,38 @@ impl<'g> UgraphSession<'g> {
     /// Returns [`ClusterError::InvalidConfig`] for invalid parameter
     /// ranges (same validation as the one-shot entry points).
     pub fn new(graph: &'g UncertainGraph, config: ClusterConfig) -> Result<Self, ClusterError> {
-        config.validate()?;
         let budget =
             config.memory_budget.map_or_else(MemoryBudget::unbounded, MemoryBudget::bounded);
+        UgraphSession::with_ledger(graph, config, budget)
+    }
+
+    /// Creates a session whose pools and caches charge against a
+    /// caller-supplied `ledger` instead of a private one — the seam a
+    /// server uses to place many sessions under one *global*
+    /// [`MemoryBudget`]: hand each session
+    /// [`MemoryBudget::subledger`]`(config.memory_budget)` of the shared
+    /// budget, and every session's shards feel global pressure while its
+    /// own stats still report only its own bytes. The supplied ledger
+    /// takes precedence over [`ClusterConfig::memory_budget`] (which
+    /// [`UgraphSession::new`] would otherwise derive a private ledger
+    /// from).
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::InvalidConfig`] for invalid parameter
+    /// ranges, exactly as [`UgraphSession::new`].
+    pub fn with_ledger(
+        graph: &'g UncertainGraph,
+        config: ClusterConfig,
+        ledger: MemoryBudget,
+    ) -> Result<Self, ClusterError> {
+        config.validate()?;
         Ok(UgraphSession {
             graph,
             config,
             oracles: Vec::new(),
             eval: None,
             eval_depth: None,
-            budget,
+            budget: ledger,
             eval_samples: DEFAULT_EVAL_SAMPLES,
             requests: 0,
             evaluations: 0,
@@ -278,6 +331,13 @@ impl<'g> UgraphSession<'g> {
     /// The session's (immutable) configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// The memory ledger every pool and cache of this session charges
+    /// against (the caller-supplied one under
+    /// [`UgraphSession::with_ledger`]).
+    pub fn ledger(&self) -> &MemoryBudget {
+        &self.budget
     }
 
     /// Solves one typed request against the session's shared state.
@@ -685,6 +745,61 @@ mod tests {
         let free_stats = free.stats();
         assert_eq!(free_stats.shards_evicted, 0, "unbounded session never evicts");
         assert!(free_stats.bytes_held > 0, "ledger still accounts without a limit");
+    }
+
+    #[test]
+    fn kv_line_is_stable_and_machine_readable() {
+        let g = two_communities();
+        let mut s = UgraphSession::new(&g, ClusterConfig::default().with_seed(5)).unwrap();
+        s.solve(ClusterRequest::mcp(2)).unwrap();
+        let line = s.stats().kv_line();
+        assert_eq!(line.lines().count(), 1, "must be a single line: {line:?}");
+        for key in [
+            "requests=1",
+            "evaluations=0",
+            "solver_pools=1",
+            "cache_hits=",
+            "cache_topups=",
+            "cache_fulls=",
+            "finalized_blocks=",
+            "label_queries=",
+            "mask_queries=",
+            "bytes_held=",
+            "shards_evicted=0",
+            "shards_regenerated=0",
+            "solve_time_ms=",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line:?}");
+        }
+        // Every token parses as key=value with an integer value.
+        for token in line.split(' ') {
+            let (k, v) = token.split_once('=').expect("token must be key=value");
+            assert!(!k.is_empty());
+            v.parse::<u128>().unwrap_or_else(|_| panic!("non-integer value in {token}"));
+        }
+        // The human Display is unchanged by the satellite: still the prose
+        // form, not the kv form.
+        let human = s.stats().to_string();
+        assert!(human.contains("request(s)"), "{human}");
+        assert!(!human.contains("requests="), "{human}");
+    }
+
+    #[test]
+    fn with_ledger_shares_a_global_budget_across_sessions() {
+        let g = two_communities();
+        let cfg = ClusterConfig::default().with_seed(9);
+        let global = ugraph_sampling::MemoryBudget::unbounded();
+        let mut a = UgraphSession::with_ledger(&g, cfg.clone(), global.subledger(None)).unwrap();
+        let mut b = UgraphSession::with_ledger(&g, cfg, global.subledger(None)).unwrap();
+        a.solve(ClusterRequest::mcp(2)).unwrap();
+        b.solve(ClusterRequest::acp(2)).unwrap();
+        let (sa, sb) = (a.stats(), b.stats());
+        assert!(sa.bytes_held > 0 && sb.bytes_held > 0);
+        // The global ledger sees the sum of both sessions' charges.
+        assert_eq!(global.bytes_held(), sa.bytes_held + sb.bytes_held);
+        // Dropping a session releases its whole footprint globally.
+        drop(a);
+        assert_eq!(global.bytes_held(), sb.bytes_held);
     }
 
     #[test]

@@ -37,9 +37,23 @@ struct BudgetInner {
 ///
 /// Cloning shares the underlying ledger; [`MemoryBudget::default`] is
 /// unbounded (accounting without eviction pressure).
+///
+/// A budget can be a **subledger** of a parent budget
+/// ([`MemoryBudget::subledger`]): every charge and release is applied to
+/// the subledger *and* to the parent, and eviction pressure
+/// ([`MemoryBudget::over_budget`] / [`MemoryBudget::would_exceed`])
+/// observes both limits. A server hands each session a subledger of one
+/// global budget: the session's own accounting stays intact (its stats
+/// report only its bytes), while the global ledger sees the total across
+/// all sessions and pool-level shard eviction reacts to global pressure
+/// exactly as it does to a per-session limit.
 #[derive(Clone, Debug, Default)]
 pub struct MemoryBudget {
     inner: Arc<Mutex<BudgetInner>>,
+    /// Parent ledger charges/releases are mirrored into (`None` for a
+    /// root budget). Lock order is strictly child → parent, so the chain
+    /// can never deadlock.
+    parent: Option<Box<MemoryBudget>>,
 }
 
 impl MemoryBudget {
@@ -63,6 +77,19 @@ impl MemoryBudget {
         budget
     }
 
+    /// A child ledger of `self` with its own accounting and recency clock
+    /// and an optional limit of its own (`None` = only the ancestors'
+    /// limits apply). Charges and releases against the child are mirrored
+    /// into `self` (and transitively into *its* parents), and the child
+    /// reports pressure whenever its own limit **or any ancestor's** is
+    /// exceeded — so pools driven by the child evict under global
+    /// pressure exactly as they do under local pressure.
+    pub fn subledger(&self, limit: Option<usize>) -> MemoryBudget {
+        let child = MemoryBudget::default();
+        child.locked().limit = limit;
+        MemoryBudget { inner: child.inner, parent: Some(Box::new(self.clone())) }
+    }
+
     /// The byte ceiling (`None` = unbounded).
     pub fn limit(&self) -> Option<usize> {
         self.locked().limit
@@ -78,26 +105,47 @@ impl MemoryBudget {
     /// [`MemoryBudget::over_budget`]).
     pub fn charge(&self, bytes: usize) {
         self.locked().held += bytes;
+        if let Some(parent) = &self.parent {
+            parent.charge(bytes);
+        }
     }
 
-    /// Releases `bytes` from the ledger (saturating).
+    /// Releases `bytes` from the ledger (saturating). Only the bytes
+    /// actually subtracted here are mirrored into the parent, so an
+    /// over-release on a child can never drain sibling charges from the
+    /// shared ancestor ledger.
     pub fn release(&self, bytes: usize) {
-        let mut inner = self.locked();
-        inner.held = inner.held.saturating_sub(bytes);
+        let released = {
+            let mut inner = self.locked();
+            let released = inner.held.min(bytes);
+            inner.held -= released;
+            released
+        };
+        if let Some(parent) = &self.parent {
+            parent.release(released);
+        }
     }
 
-    /// Whether the ledger currently exceeds the limit.
+    /// Whether this ledger — or any ancestor it mirrors into — currently
+    /// exceeds its limit.
     pub fn over_budget(&self) -> bool {
-        let inner = self.locked();
-        inner.limit.is_some_and(|l| inner.held > l)
+        let over_own = {
+            let inner = self.locked();
+            inner.limit.is_some_and(|l| inner.held > l)
+        };
+        over_own || self.parent.as_ref().is_some_and(|p| p.over_budget())
     }
 
-    /// Whether charging `bytes` more would push the ledger over the limit
-    /// — the admission test of the grow-only row caches, which cannot be
-    /// evicted and therefore must never be admitted past the ceiling.
+    /// Whether charging `bytes` more would push this ledger — or any
+    /// ancestor — over its limit; the admission test of the grow-only row
+    /// caches, which cannot be evicted and therefore must never be
+    /// admitted past a ceiling.
     pub fn would_exceed(&self, bytes: usize) -> bool {
-        let inner = self.locked();
-        inner.limit.is_some_and(|l| inner.held.saturating_add(bytes) > l)
+        let exceeds_own = {
+            let inner = self.locked();
+            inner.limit.is_some_and(|l| inner.held.saturating_add(bytes) > l)
+        };
+        exceeds_own || self.parent.as_ref().is_some_and(|p| p.would_exceed(bytes))
     }
 
     /// Advances and returns the recency clock; pools stamp a shard with
@@ -112,11 +160,17 @@ impl MemoryBudget {
     /// Records one shard eviction (for [`MemoryBudget::stats`]).
     pub fn note_eviction(&self) {
         self.locked().evicted += 1;
+        if let Some(parent) = &self.parent {
+            parent.note_eviction();
+        }
     }
 
     /// Records one shard regeneration (for [`MemoryBudget::stats`]).
     pub fn note_regeneration(&self) {
         self.locked().regenerated += 1;
+        if let Some(parent) = &self.parent {
+            parent.note_regeneration();
+        }
     }
 
     /// Snapshot of the ledger and the global eviction/regeneration
@@ -269,6 +323,64 @@ mod tests {
         assert_eq!(b.bytes_held(), 0, "uncommitted reservation must roll back");
         b.reserve(30).commit();
         assert_eq!(b.bytes_held(), 30, "committed reservation must stand");
+    }
+
+    #[test]
+    fn subledger_mirrors_charges_into_parent() {
+        let global = MemoryBudget::bounded(100);
+        let a = global.subledger(None);
+        let b = global.subledger(None);
+        a.charge(30);
+        b.charge(50);
+        assert_eq!(a.bytes_held(), 30);
+        assert_eq!(b.bytes_held(), 50);
+        assert_eq!(global.bytes_held(), 80);
+        a.release(10);
+        assert_eq!(a.bytes_held(), 20);
+        assert_eq!(global.bytes_held(), 70);
+        // An over-release on the child saturates locally and only the
+        // actually-released bytes reach the parent: b's charges survive.
+        a.release(1000);
+        assert_eq!(a.bytes_held(), 0);
+        assert_eq!(global.bytes_held(), 50);
+    }
+
+    #[test]
+    fn subledger_reports_parent_pressure() {
+        let global = MemoryBudget::bounded(100);
+        let a = global.subledger(None);
+        let b = global.subledger(Some(40));
+        // Child limit trips on its own.
+        b.charge(41);
+        assert!(b.over_budget());
+        assert!(!a.over_budget());
+        b.release(41);
+        // Parent limit trips through the child view.
+        a.charge(90);
+        assert!(!a.over_budget(), "own ledger is unbounded");
+        assert!(b.would_exceed(20), "parent would exceed 100");
+        assert!(!b.would_exceed(5));
+        b.charge(20);
+        assert!(b.over_budget(), "global ledger at 110 > 100");
+        assert!(a.over_budget(), "sibling sees the same global pressure");
+    }
+
+    #[test]
+    fn subledger_propagates_eviction_counters() {
+        let global = MemoryBudget::unbounded();
+        let child = global.subledger(Some(10));
+        child.note_eviction();
+        child.note_regeneration();
+        child.note_regeneration();
+        let local = child.stats();
+        assert_eq!((local.shards_evicted, local.shards_regenerated), (1, 2));
+        let total = global.stats();
+        assert_eq!((total.shards_evicted, total.shards_regenerated), (1, 2));
+        // Clocks stay per-ledger: touching the child leaves the parent's alone.
+        let t_child = child.touch();
+        let t_global = global.touch();
+        assert_eq!(t_child, 1);
+        assert_eq!(t_global, 1);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum FaultSite {
     DatasetIo,
     /// Admitting a row into a budget-governed row cache.
     BudgetAdmission,
+    /// Writing a protocol frame to a network socket (exercised by the
+    /// server layer for torn-write simulation).
+    WireWrite,
 }
 
 impl fmt::Display for FaultSite {
@@ -43,11 +46,12 @@ impl fmt::Display for FaultSite {
             FaultSite::PoolGrow => write!(f, "pool growth"),
             FaultSite::DatasetIo => write!(f, "dataset IO"),
             FaultSite::BudgetAdmission => write!(f, "budget admission"),
+            FaultSite::WireWrite => write!(f, "wire write"),
         }
     }
 }
 
-const NUM_SITES: usize = 4;
+const NUM_SITES: usize = 5;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -56,6 +60,7 @@ impl FaultSite {
             FaultSite::PoolGrow => 1,
             FaultSite::DatasetIo => 2,
             FaultSite::BudgetAdmission => 3,
+            FaultSite::WireWrite => 4,
         }
     }
 }

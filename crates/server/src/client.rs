@@ -1,0 +1,122 @@
+//! The blocking [`Client`] of serve mode — used by the `ugraph client`
+//! subcommand and the loopback test suites.
+//!
+//! Results are layered the way the wire is: the outer
+//! [`Result`]`<_, `[`ProtocolError`]`>` is the transport/codec layer (the
+//! connection is broken or desynchronized — reconnect); the inner
+//! [`Result`]`<_, `[`ErrorFrame`]`>` is the server's typed answer (the
+//! connection is fine — inspect the [`ErrorCode`](crate::ErrorCode)).
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    self, ClusterCall, ErrorFrame, ProtocolError, Request, Response, ServerStats, WireSolve,
+    PROTOCOL_VERSION,
+};
+
+/// A connected serve-mode client. One request is in flight at a time
+/// (the protocol is strictly request/response).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the version handshake at
+    /// [`PROTOCOL_VERSION`].
+    ///
+    /// # Errors
+    /// [`ProtocolError::VersionMismatch`] when the server speaks another
+    /// version; [`ProtocolError::Io`] / [`ProtocolError::BadMagic`] on
+    /// transport or handshake failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ProtocolError> {
+        Client::connect_with_version(addr, PROTOCOL_VERSION)
+    }
+
+    /// Connects announcing an explicit protocol `version` — the
+    /// robustness suite uses this to probe the server's version
+    /// negotiation with versions it does not speak.
+    ///
+    /// # Errors
+    /// See [`Client::connect`].
+    pub fn connect_with_version(
+        addr: impl ToSocketAddrs,
+        version: u16,
+    ) -> Result<Client, ProtocolError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        protocol::write_hello(&mut stream, version)?;
+        let theirs = protocol::read_hello(&mut stream)?;
+        if theirs != version {
+            return Err(ProtocolError::VersionMismatch { ours: version, theirs });
+        }
+        Ok(Client { stream })
+    }
+
+    /// Issues one cluster call and waits for the answer.
+    ///
+    /// # Errors
+    /// Outer: the transport/codec failed and the connection should be
+    /// abandoned. Inner: the server's typed refusal.
+    pub fn cluster(
+        &mut self,
+        call: &ClusterCall,
+    ) -> Result<Result<WireSolve, ErrorFrame>, ProtocolError> {
+        match self.roundtrip(&Request::Cluster(call.clone()))? {
+            Response::Cluster(solve) => Ok(Ok(solve)),
+            Response::Error(e) => Ok(Err(e)),
+            Response::Stats(_) => {
+                Err(ProtocolError::Malformed("stats response to a cluster request".into()))
+            }
+        }
+    }
+
+    /// Fetches server statistics, optionally restricting the per-session
+    /// listing to one graph.
+    ///
+    /// # Errors
+    /// See [`Client::cluster`].
+    pub fn stats(
+        &mut self,
+        graph: Option<&str>,
+    ) -> Result<Result<ServerStats, ErrorFrame>, ProtocolError> {
+        let graph = graph.map(str::to_string);
+        match self.roundtrip(&Request::Stats { graph })? {
+            Response::Stats(stats) => Ok(Ok(stats)),
+            Response::Error(e) => Ok(Err(e)),
+            Response::Cluster(_) => {
+                Err(ProtocolError::Malformed("cluster response to a stats request".into()))
+            }
+        }
+    }
+
+    /// Sends a pre-encoded frame verbatim — the robustness suite forges
+    /// malformed and truncated frames with this.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Io`] on transport failure; [`ProtocolError::Fault`]
+    /// when the wire-write failpoint fires.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
+        protocol::write_frame(&mut self.stream, frame)
+    }
+
+    /// Reads the next response frame (paired with [`Client::send_raw`]).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Io`] with `UnexpectedEof` when the server closed
+    /// the connection instead of answering; any codec error otherwise.
+    pub fn read_response(&mut self) -> Result<Response, ProtocolError> {
+        match protocol::read_frame(&mut self.stream)? {
+            Some((kind, payload)) => protocol::decode_response(kind, &payload),
+            None => Err(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        self.send_raw(&protocol::encode_request(request))?;
+        self.read_response()
+    }
+}

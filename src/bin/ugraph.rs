@@ -17,6 +17,14 @@
 //!                 [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
 //!                 [--memory-budget B] [--timeout T]
 //! ugraph knn      --input graph.txt --source U [--k N] [--depth D] [--samples N]
+//! ugraph serve    [--listen HOST:PORT] --dataset <names>|--input graph.txt
+//!                 [--graph NAME] [--workers N] [--seed N]
+//!                 [--memory-budget B] [--session-budget B]
+//!                 [--request-timeout T] [--idle-evict T]
+//! ugraph client   <cluster|stats> [--connect HOST:PORT] [--graph NAME]
+//!                 [--algo mcp|acp] [--k N] [--depth D] [--timeout T]
+//!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+//!                 [--output out.tsv]
 //! ```
 //!
 //! `cluster` (for MCP/ACP), `sweep`, and `evaluate` all run through one
@@ -31,14 +39,21 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ugraph::baselines::{gmm, kpt, mcl, KptConfig, MclConfig};
-use ugraph::cluster::{ClusterConfig, ClusterRequest, Clustering, SolveResult, UgraphSession};
+use ugraph::cluster::{
+    ClusterConfig, ClusterRequest, Clustering, Objective, SolveResult, UgraphSession,
+};
 use ugraph::datasets::DatasetSpec;
 use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
 use ugraph::metrics::{avpr, confusion, session_quality};
 use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
 use ugraph::sampling::{BlockWidth, EngineKind};
+use ugraph::server::{Client, ClusterCall, Server, ServerConfig, WireDepth, PROTOCOL_VERSION};
+
+/// Where `serve` listens and `client` connects when no address is given.
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +61,19 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let opts = match Options::parse(rest) {
+    // `client` takes an action word before its flags.
+    let (client_action, flag_args): (Option<&String>, &[String]) = if command == "client" {
+        match rest.split_first() {
+            Some((action, r)) if !action.starts_with("--") => (Some(action), r),
+            _ => {
+                eprintln!("error: client expects an action (cluster or stats)\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        (None, rest)
+    };
+    let opts = match Options::parse(flag_args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -60,6 +87,11 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "knn" => cmd_knn(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => match client_action {
+            Some(action) => cmd_client(action, &opts),
+            None => Err("client expects an action (cluster or stats)".into()),
+        },
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -94,6 +126,14 @@ commands:
             [--ground-truth gt.txt] [--seed N] [--block-width 64|256|512]
             [--memory-budget B] [--timeout T]
   knn       --input graph.txt --source U [--k N] [--depth D] [--samples N]
+  serve     [--listen HOST:PORT] --dataset <names>|--input graph.txt
+            [--graph NAME] [--workers N] [--seed N]
+            [--memory-budget B] [--session-budget B]
+            [--request-timeout T] [--idle-evict T]
+  client    <cluster|stats> [--connect HOST:PORT] [--graph NAME]
+            [--algo mcp|acp] [--k N] [--depth D] [--timeout T]
+            [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
+            [--output out.tsv]
 
 `--engine` picks the Monte-Carlo backend of the solver paths (default:
 adaptive — bit-parallel blocks with lazy component-label finalization);
@@ -116,7 +156,20 @@ large-sparse generated dataset (default 100000).
 250ms; a bare number means seconds). A solve that trips the deadline
 stops at the next block boundary and reports how far it got. By default
 the command exits nonzero; with `--best-effort` a solver that already
-holds a full clustering returns it instead, flagged as interrupted.";
+holds a full clustering returns it instead, flagged as interrupted.
+
+`serve` keeps graphs and solver sessions resident behind a TCP socket
+(default 127.0.0.1:7878) speaking a small versioned binary protocol (see
+PROTOCOL.md). `--dataset` takes a comma-separated list of generated
+datasets to load; `--input` loads an edge list under `--graph`'s name (or
+the file stem). `--memory-budget` is the *global* ceiling across all
+sessions — idle sessions are evicted (and later regenerated,
+bit-identically) to fit it; `--session-budget` adds a per-session cap;
+`--request-timeout` bounds each solve server-side; `--idle-evict` frees
+sessions idle longer than the given age. Ctrl-C drains in-flight solves
+cooperatively before exiting. `client cluster`/`client stats` are the
+matching command-line clients; when exactly one graph is loaded,
+`--graph` may be omitted.";
 
 /// Parsed flag set (strings resolved lazily per command).
 #[derive(Default, Debug)]
@@ -142,6 +195,13 @@ struct Options {
     nodes: Option<usize>,
     timeout: Option<std::time::Duration>,
     best_effort: bool,
+    listen: Option<String>,
+    connect: Option<String>,
+    graph: Option<String>,
+    workers: Option<usize>,
+    session_budget: Option<usize>,
+    request_timeout: Option<std::time::Duration>,
+    idle_evict: Option<std::time::Duration>,
 }
 
 impl Options {
@@ -179,10 +239,17 @@ impl Options {
                         "flag --block-width: expected 64, 256, or 512, got '{v}'"
                     ))?;
                 }
-                "--memory-budget" => o.memory_budget = Some(parse_bytes(&take()?)?),
+                "--memory-budget" => o.memory_budget = Some(parse_bytes(&take()?, flag)?),
                 "--nodes" => o.nodes = Some(parse_num(&take()?, flag)?),
-                "--timeout" => o.timeout = Some(parse_duration(&take()?)?),
+                "--timeout" => o.timeout = Some(parse_duration(&take()?, flag)?),
                 "--best-effort" => o.best_effort = true,
+                "--listen" => o.listen = Some(take()?),
+                "--connect" => o.connect = Some(take()?),
+                "--graph" => o.graph = Some(take()?),
+                "--workers" => o.workers = Some(parse_num(&take()?, flag)?),
+                "--session-budget" => o.session_budget = Some(parse_bytes(&take()?, flag)?),
+                "--request-timeout" => o.request_timeout = Some(parse_duration(&take()?, flag)?),
+                "--idle-evict" => o.idle_evict = Some(parse_duration(&take()?, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -202,72 +269,34 @@ fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("flag {flag}: invalid value '{v}'"))
 }
 
-/// Parses a byte size with an optional binary suffix: `4096`, `64K`,
-/// `512M`, `2G` (case-insensitive, optional trailing `B`/`iB`).
-fn parse_bytes(v: &str) -> Result<usize, String> {
-    let s = v.trim();
-    let lower = s.to_ascii_lowercase();
-    let (digits, shift) = if let Some(d) =
-        lower.strip_suffix("g").or(lower.strip_suffix("gb")).or(lower.strip_suffix("gib"))
-    {
-        (d, 30u32)
-    } else if let Some(d) =
-        lower.strip_suffix("m").or(lower.strip_suffix("mb")).or(lower.strip_suffix("mib"))
-    {
-        (d, 20)
-    } else if let Some(d) =
-        lower.strip_suffix("k").or(lower.strip_suffix("kb")).or(lower.strip_suffix("kib"))
-    {
-        (d, 10)
-    } else {
-        (lower.as_str(), 0)
-    };
-    let n: usize = digits
-        .trim()
-        .parse()
-        .map_err(|_| format!("flag --memory-budget: invalid size '{v}' (use e.g. 512M, 2G)"))?;
-    n.checked_mul(1usize << shift)
-        .filter(|&b| b > 0)
-        .ok_or(format!("flag --memory-budget: size '{v}' is zero or overflows"))
+/// [`ugraph::util::parse_bytes`] with the offending flag prepended.
+fn parse_bytes(v: &str, flag: &str) -> Result<usize, String> {
+    ugraph::util::parse_bytes(v).map_err(|e| format!("flag {flag}: {e}"))
 }
 
-/// Parses a wall-clock duration: `30s`, `5m`, `1h`, `250ms`; a bare
-/// number is seconds (case-insensitive).
-fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
-    let lower = v.trim().to_ascii_lowercase();
-    let (digits, per_unit_ms) = if let Some(d) = lower.strip_suffix("ms") {
-        (d, 1u64)
-    } else if let Some(d) = lower.strip_suffix('s') {
-        (d, 1_000)
-    } else if let Some(d) = lower.strip_suffix('m') {
-        (d, 60_000)
-    } else if let Some(d) = lower.strip_suffix('h') {
-        (d, 3_600_000)
-    } else {
-        (lower.as_str(), 1_000)
-    };
-    let n: u64 = digits
-        .trim()
-        .parse()
-        .map_err(|_| format!("flag --timeout: invalid duration '{v}' (use e.g. 30s, 5m, 250ms)"))?;
-    n.checked_mul(per_unit_ms)
-        .filter(|&ms| ms > 0)
-        .map(std::time::Duration::from_millis)
-        .ok_or(format!("flag --timeout: duration '{v}' is zero or overflows"))
+/// [`ugraph::util::parse_duration`] with the offending flag prepended.
+fn parse_duration(v: &str, flag: &str) -> Result<std::time::Duration, String> {
+    ugraph::util::parse_duration(v).map_err(|e| format!("flag {flag}: {e}"))
 }
 
 // ───────────────────────── commands ─────────────────────────
 
-fn cmd_generate(o: &Options) -> Result<(), String> {
-    let name = o.dataset.as_deref().ok_or("--dataset is required")?;
-    let spec = match name {
+/// Resolves a dataset name (as `generate` and `serve` accept it) to its
+/// generator spec, sized by the usual flags.
+fn dataset_spec(name: &str, o: &Options) -> Result<DatasetSpec, String> {
+    Ok(match name {
         "collins" => DatasetSpec::Collins,
         "gavin" => DatasetSpec::Gavin,
         "krogan" => DatasetSpec::Krogan,
         "dblp" => DatasetSpec::Dblp { scale: o.scale.unwrap_or(0.01) },
         "large-sparse" => DatasetSpec::LargeSparse { nodes: o.nodes.unwrap_or(100_000) },
         other => return Err(format!("unknown dataset '{other}'")),
-    };
+    })
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let name = o.dataset.as_deref().ok_or("--dataset is required")?;
+    let spec = dataset_spec(name, o)?;
     let d = spec.generate(o.seed);
     let out_path = o.output.as_ref().ok_or("--output is required")?;
     let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
@@ -535,6 +564,219 @@ fn cmd_knn(o: &Options) -> Result<(), String> {
         println!("{node}\t{p:.4}");
     }
     Ok(())
+}
+
+// ───────────────────────── serve mode ─────────────────────────
+
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    let mut graphs: Vec<(String, Arc<UncertainGraph>)> = Vec::new();
+    if let Some(list) = &o.dataset {
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let d = dataset_spec(name, o)?.generate(o.seed);
+            eprintln!(
+                "loaded {name}: {} nodes, {} edges",
+                d.graph.num_nodes(),
+                d.graph.num_edges()
+            );
+            graphs.push((name.to_string(), Arc::new(d.graph)));
+        }
+    }
+    if let Some(path) = &o.input {
+        let g = o.require_input()?;
+        let name = o.graph.clone().unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "graph".into())
+        });
+        eprintln!("loaded {name}: {} nodes, {} edges (from {path})", g.num_nodes(), g.num_edges());
+        graphs.push((name, Arc::new(g)));
+    }
+    if graphs.is_empty() {
+        return Err("serve needs --dataset <names> and/or --input graph.txt".into());
+    }
+
+    let base = ClusterConfig::default().with_seed(o.seed);
+    let config = ServerConfig {
+        workers: o.workers.unwrap_or(4).max(1),
+        request_timeout: o.request_timeout,
+        global_budget: o.memory_budget,
+        session_budget: o.session_budget,
+        idle_evict: o.idle_evict,
+    };
+    let listen = o.listen.as_deref().unwrap_or(DEFAULT_ADDR);
+    let server =
+        Server::bind(listen, graphs, base, config).map_err(|e| format!("cannot serve: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+
+    // Ctrl-C / SIGTERM: the handler only flips a flag; this watcher turns
+    // it into a cooperative shutdown (in-flight solves are drained and
+    // answered with their interrupt report, not dropped).
+    let handle = server.shutdown_handle();
+    signals::install();
+    std::thread::spawn(move || loop {
+        if signals::interrupted() {
+            eprintln!("ugraph serve: interrupt received, draining in-flight requests");
+            handle.trigger();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+
+    eprintln!("ugraph serve: listening on {addr} (protocol v{PROTOCOL_VERSION}), Ctrl-C to stop");
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("ugraph serve: drained and stopped");
+    Ok(())
+}
+
+fn cmd_client(action: &str, o: &Options) -> Result<(), String> {
+    let addr = o.connect.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action {
+        "cluster" => client_cluster(&mut client, o),
+        "stats" => client_stats(&mut client, o),
+        other => Err(format!("unknown client action '{other}' (expected cluster or stats)")),
+    }
+}
+
+/// Renders a server error frame for the terminal.
+fn describe_error(e: &ugraph::server::ErrorFrame) -> String {
+    let mut s = format!("server error ({:?}): {}", e.code, e.message);
+    if let Some(report) = e.interrupt.as_ref().and_then(|i| i.to_report().ok()) {
+        s.push_str(&format!(" [{report}]"));
+    }
+    s
+}
+
+fn client_cluster(client: &mut Client, o: &Options) -> Result<(), String> {
+    let graph = match &o.graph {
+        Some(name) => name.clone(),
+        // No --graph: ask the server what it has; unambiguous iff there
+        // is exactly one graph loaded.
+        None => {
+            let stats =
+                client.stats(None).map_err(|e| e.to_string())?.map_err(|e| describe_error(&e))?;
+            match stats.graphs.as_slice() {
+                [only] => only.clone(),
+                [] => return Err("server has no graphs loaded".into()),
+                many => {
+                    return Err(format!(
+                        "server has several graphs loaded ({}); pass --graph",
+                        many.join(", ")
+                    ))
+                }
+            }
+        }
+    };
+    let algo = o.algo.as_deref().unwrap_or("mcp");
+    let objective = match algo {
+        "mcp" => Objective::MinProb,
+        "acp" => Objective::AvgProb,
+        other => return Err(format!("expected mcp or acp, got '{other}'")),
+    };
+    let k = o.k.ok_or("--k is required")?;
+    let call = ClusterCall {
+        graph: graph.clone(),
+        engine: o.engine,
+        width: o.block_width,
+        objective,
+        k: u32::try_from(k).map_err(|_| format!("--k {k} is out of range"))?,
+        depth: o.depth.map_or(WireDepth::Unlimited, WireDepth::Uniform),
+        deadline_micros: o.timeout.map(|t| t.as_micros() as u64),
+    };
+    let solve =
+        client.cluster(&call).map_err(|e| e.to_string())?.map_err(|e| describe_error(&e))?;
+    let clustering = solve.clustering().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{algo} k={k} on '{graph}': objective est {:.4} (q = {:.4}), {} guesses over {} samples, \
+         server time {:.2?}",
+        solve.objective_estimate,
+        solve.final_q,
+        solve.guesses,
+        solve.samples_used,
+        std::time::Duration::from_micros(solve.elapsed_micros),
+    );
+    if let Some(report) = solve.interrupt.as_ref().and_then(|i| i.to_report().ok()) {
+        eprintln!("warning: best-effort result — {report}");
+    }
+    match &o.output {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_clustering(&clustering, f)?;
+            eprintln!("wrote {path}");
+        }
+        None => write_clustering(&clustering, std::io::stdout())?,
+    }
+    Ok(())
+}
+
+fn client_stats(client: &mut Client, o: &Options) -> Result<(), String> {
+    let s = client
+        .stats(o.graph.as_deref())
+        .map_err(|e| e.to_string())?
+        .map_err(|e| describe_error(&e))?;
+    println!("graphs               {}", s.graphs.join(", "));
+    println!("connections          {}", s.connections);
+    println!("cluster requests     {}", s.cluster_requests);
+    println!("stats requests       {}", s.stats_requests);
+    println!("protocol errors      {}", s.protocol_errors);
+    println!("admission rejections {}", s.admission_rejections);
+    println!("deadline rejections  {}", s.deadline_rejections);
+    println!("cancellations        {}", s.cancelled_rejections);
+    println!("solve errors         {}", s.solve_errors);
+    println!("sessions evicted     {}", s.sessions_evicted);
+    match s.bytes_limit {
+        Some(limit) => println!("memory               {} / {} bytes", s.bytes_held, limit),
+        None => println!("memory               {} bytes (unbounded)", s.bytes_held),
+    }
+    for session in &s.sessions {
+        println!(
+            "session graph={} engine={} width={} in_flight={}",
+            session.graph, session.engine, session.width, session.in_flight
+        );
+        if !session.kv.is_empty() {
+            println!("  {}", session.kv);
+        }
+    }
+    Ok(())
+}
+
+/// SIGINT/SIGTERM without any external crate: a minimal `signal(2)`
+/// binding whose handler only stores one atomic flag (async-signal-safe);
+/// everything else happens on ordinary threads. This FFI lives in the
+/// binary — every library crate keeps `#![forbid(unsafe_code)]`.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether SIGINT/SIGTERM has arrived since [`install`].
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// No signal wiring off unix; Ctrl-C simply kills the process.
+    #[cfg(not(unix))]
+    pub fn install() {}
 }
 
 // ───────────────────────── formats ─────────────────────────

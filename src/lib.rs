@@ -17,6 +17,7 @@
 //! | [`baselines`] | `ugraph-baselines` (`crates/baselines`) | MCL, GMM (k-center), KPT comparators |
 //! | [`datasets`] | `ugraph-datasets` (`crates/datasets`) | Collins/Gavin/Krogan/DBLP-like generators + planted ground truth |
 //! | [`metrics`] | `ugraph-metrics` (`crates/metrics`) | `p_min`/`p_avg`, inner/outer-AVPR, TPR/FPR |
+//! | [`server`] | `ugraph-server` (`crates/server`) | serve mode: session registry, binary wire protocol, global memory admission |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,9 @@ pub use ugraph_datasets as datasets;
 pub use ugraph_graph as graph;
 pub use ugraph_metrics as metrics;
 pub use ugraph_sampling as sampling;
+pub use ugraph_server as server;
+
+pub mod util;
 
 /// Everything a typical application needs, in one import.
 pub mod prelude {
@@ -82,5 +86,8 @@ pub mod prelude {
     pub use ugraph_metrics::{avpr, clustering_quality, confusion, depth_clustering_quality};
     pub use ugraph_sampling::{
         BitParallelPool, ComponentPool, ExactOracle, SampleSchedule, WorldEngine, WorldPool,
+    };
+    pub use ugraph_server::{
+        Client, ClusterCall, Server, ServerConfig, SessionRegistry, WireDepth,
     };
 }

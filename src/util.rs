@@ -1,0 +1,97 @@
+//! Small shared parsers for human-friendly CLI values.
+//!
+//! Extracted from the `ugraph` binary so every front end — `cluster`'s
+//! `--memory-budget`/`--timeout`, `serve`'s `--memory-budget`/
+//! `--request-timeout`/`--idle-evict` — accepts the same spellings and
+//! produces the same error messages. Errors name the offending value but
+//! not the flag; callers prepend their own flag context.
+
+/// Parses a byte size with an optional binary suffix: `4096`, `64K`,
+/// `512M`, `2G` (case-insensitive, optional trailing `B`/`iB`). Zero and
+/// overflowing sizes are rejected.
+///
+/// # Errors
+/// A human-readable message naming the invalid value.
+pub fn parse_bytes(v: &str) -> Result<usize, String> {
+    let s = v.trim();
+    let lower = s.to_ascii_lowercase();
+    let (digits, shift) = if let Some(d) =
+        lower.strip_suffix("g").or(lower.strip_suffix("gb")).or(lower.strip_suffix("gib"))
+    {
+        (d, 30u32)
+    } else if let Some(d) =
+        lower.strip_suffix("m").or(lower.strip_suffix("mb")).or(lower.strip_suffix("mib"))
+    {
+        (d, 20)
+    } else if let Some(d) =
+        lower.strip_suffix("k").or(lower.strip_suffix("kb")).or(lower.strip_suffix("kib"))
+    {
+        (d, 10)
+    } else {
+        (lower.as_str(), 0)
+    };
+    let n: usize =
+        digits.trim().parse().map_err(|_| format!("invalid size '{v}' (use e.g. 512M, 2G)"))?;
+    n.checked_mul(1usize << shift)
+        .filter(|&b| b > 0)
+        .ok_or(format!("size '{v}' is zero or overflows"))
+}
+
+/// Parses a wall-clock duration: `30s`, `5m`, `1h`, `250ms`; a bare
+/// number is seconds (case-insensitive). Zero and overflowing durations
+/// are rejected.
+///
+/// # Errors
+/// A human-readable message naming the invalid value.
+pub fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
+    let lower = v.trim().to_ascii_lowercase();
+    let (digits, per_unit_ms) = if let Some(d) = lower.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = lower.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 60_000)
+    } else if let Some(d) = lower.strip_suffix('h') {
+        (d, 3_600_000)
+    } else {
+        (lower.as_str(), 1_000)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration '{v}' (use e.g. 30s, 5m, 250ms)"))?;
+    n.checked_mul(per_unit_ms)
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis)
+        .ok_or(format!("duration '{v}' is zero or overflows"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bytes_accept_binary_suffixes_and_reject_nonsense() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("64K"), Ok(64 << 10));
+        assert_eq!(parse_bytes("512m"), Ok(512 << 20));
+        assert_eq!(parse_bytes("2GiB"), Ok(2 << 30));
+        assert_eq!(parse_bytes(" 1 kb "), Ok(1 << 10));
+        for bad in ["", "0", "-1", "1.5G", "G", "12X", "999999999999999G"] {
+            assert!(parse_bytes(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn durations_accept_unit_suffixes_and_reject_nonsense() {
+        assert_eq!(parse_duration("250ms"), Ok(Duration::from_millis(250)));
+        assert_eq!(parse_duration("30s"), Ok(Duration::from_secs(30)));
+        assert_eq!(parse_duration("5m"), Ok(Duration::from_secs(300)));
+        assert_eq!(parse_duration("1h"), Ok(Duration::from_secs(3600)));
+        assert_eq!(parse_duration("7"), Ok(Duration::from_secs(7)), "bare number is seconds");
+        for bad in ["", "0", "0ms", "-3s", "1.5h", "ms", "999999999999999999h"] {
+            assert!(parse_duration(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}
