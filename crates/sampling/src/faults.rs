@@ -37,6 +37,17 @@ pub enum FaultSite {
     /// Writing a protocol frame to a network socket (exercised by the
     /// server layer for torn-write simulation).
     WireWrite,
+    /// Reading a protocol frame from a network socket (exercised by the
+    /// server layer for dropped-read simulation, symmetric to
+    /// [`FaultSite::WireWrite`]).
+    WireRead,
+    /// Dialing a TCP connection (exercised by the client pool for
+    /// connect-refusal simulation).
+    Connect,
+    /// A mid-frame stall on the wire: the writer emits half a frame,
+    /// pauses longer than a peer's IO deadline, then finishes — the slow
+    /// peer the server's stall hardening must survive.
+    WireStall,
 }
 
 impl fmt::Display for FaultSite {
@@ -47,11 +58,14 @@ impl fmt::Display for FaultSite {
             FaultSite::DatasetIo => write!(f, "dataset IO"),
             FaultSite::BudgetAdmission => write!(f, "budget admission"),
             FaultSite::WireWrite => write!(f, "wire write"),
+            FaultSite::WireRead => write!(f, "wire read"),
+            FaultSite::Connect => write!(f, "connection dial"),
+            FaultSite::WireStall => write!(f, "mid-frame wire stall"),
         }
     }
 }
 
-const NUM_SITES: usize = 5;
+const NUM_SITES: usize = 8;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -61,6 +75,9 @@ impl FaultSite {
             FaultSite::DatasetIo => 2,
             FaultSite::BudgetAdmission => 3,
             FaultSite::WireWrite => 4,
+            FaultSite::WireRead => 5,
+            FaultSite::Connect => 6,
+            FaultSite::WireStall => 7,
         }
     }
 }

@@ -9,6 +9,8 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
+use ugraph_sampling::{faults, FaultSite};
+
 use crate::protocol::{
     self, ClusterCall, ErrorFrame, ProtocolError, Request, Response, ServerStats, WireSolve,
     PROTOCOL_VERSION,
@@ -43,6 +45,7 @@ impl Client {
         addr: impl ToSocketAddrs,
         version: u16,
     ) -> Result<Client, ProtocolError> {
+        faults::hit(FaultSite::Connect).map_err(ProtocolError::Fault)?;
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         protocol::write_hello(&mut stream, version)?;
@@ -65,9 +68,9 @@ impl Client {
         match self.roundtrip(&Request::Cluster(call.clone()))? {
             Response::Cluster(solve) => Ok(Ok(solve)),
             Response::Error(e) => Ok(Err(e)),
-            Response::Stats(_) => {
-                Err(ProtocolError::Malformed("stats response to a cluster request".into()))
-            }
+            other => Err(ProtocolError::Malformed(format!(
+                "unpaired response to a cluster request: {other:?}"
+            ))),
         }
     }
 
@@ -84,8 +87,27 @@ impl Client {
         match self.roundtrip(&Request::Stats { graph })? {
             Response::Stats(stats) => Ok(Ok(stats)),
             Response::Error(e) => Ok(Err(e)),
-            Response::Cluster(_) => {
-                Err(ProtocolError::Malformed("cluster response to a stats request".into()))
+            other => Err(ProtocolError::Malformed(format!(
+                "unpaired response to a stats request: {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends a `Ping` health frame and waits for the matching `Pong`
+    /// (protocol version 2) — the health check the connection pool runs
+    /// before reusing a parked connection.
+    ///
+    /// # Errors
+    /// Any transport failure, or [`ProtocolError::Malformed`] when the
+    /// peer answers with anything but a `Pong` echoing the nonce.
+    pub fn ping(&mut self, nonce: u64) -> Result<(), ProtocolError> {
+        match self.roundtrip(&Request::Ping { nonce })? {
+            Response::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            Response::Pong { nonce: echoed } => Err(ProtocolError::Malformed(format!(
+                "pong echoed nonce {echoed:#x}, expected {nonce:#x}"
+            ))),
+            other => {
+                Err(ProtocolError::Malformed(format!("unpaired response to a ping: {other:?}")))
             }
         }
     }

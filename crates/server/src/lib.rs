@@ -28,7 +28,15 @@
 //!   [`InterruptReport`](ugraph_cluster::InterruptReport) instead of
 //!   dropping connections;
 //! * [`client`] — a small blocking [`Client`] used by the `ugraph client`
-//!   subcommand and the loopback test suites.
+//!   subcommand and the loopback test suites;
+//! * [`retry`] — the [`RetryPolicy`]: deterministic exponential backoff
+//!   with seeded jitter, a cumulative retry budget, and a
+//!   retryable-vs-terminal classification of every failure, all
+//!   min-composed with the request deadline (retrying is safe because
+//!   wire answers are bit-identical and solves idempotent);
+//! * [`pool`] — the [`ClientPool`]: lazily-dialed, `Ping`-health-checked
+//!   connections with transparent reconnect-on-failure, driving requests
+//!   under the retry policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,14 +45,18 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod retry;
 pub mod server;
 
 pub use client::Client;
+pub use pool::ClientPool;
 pub use protocol::{
     ClusterCall, ErrorCode, ErrorFrame, ProtocolError, Request, Response, ServerStats,
     SessionEntry, WireDepth, WireSolve, PROTOCOL_VERSION,
 };
 pub use registry::{Lease, RegistryConfig, RegistryError, SessionKey, SessionRegistry};
+pub use retry::{RetryError, RetryPolicy, RetryReport};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,163 @@
+//! The [`ClientPool`]: lazily-dialed, health-checked connections with
+//! transparent reconnect-on-failure.
+//!
+//! A pool owns up to `size` parked [`Client`] connections to one server
+//! address. Nothing is dialed until a request needs a connection;
+//! checked-in connections are **health-checked** with a v2 `Ping` before
+//! reuse (a dead TCP half is discovered by a 16-byte round trip, not by
+//! failing the caller's request); any connection that fails is dropped
+//! and transparently re-dialed — the reconnect is counted, never
+//! surfaced as an error by itself.
+//!
+//! The request methods ([`ClientPool::cluster`],
+//! [`ClientPool::stats`]) drive the pool under the
+//! [`RetryPolicy`]: each attempt checks out a connection (round-robin,
+//! so a retry prefers a *different* slot than the one that just
+//! failed), and the loop obeys the policy's attempt/budget bounds
+//! min-composed with the call's own deadline — a retry never outlives
+//! the moment the answer stops mattering. Exhaustion surfaces the typed
+//! [`RetryReport`].
+//!
+//! The pool is a blocking, single-owner object (`&mut self`), matching
+//! the blocking [`Client`] it manages: share-nothing callers (the CLI,
+//! one pool per thread in tests) need no lock.
+
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::protocol::{ClusterCall, ProtocolError, ServerStats, WireSolve};
+use crate::retry::{run_with_retries, RetryPolicy, RetryReport};
+
+/// A pool of reconnecting connections to one serve-mode address — see
+/// the [module docs](self).
+#[derive(Debug)]
+pub struct ClientPool {
+    addr: String,
+    slots: Vec<Option<Client>>,
+    next_slot: usize,
+    policy: RetryPolicy,
+    nonce: u64,
+    dials: u64,
+    reconnects: u64,
+}
+
+impl ClientPool {
+    /// A pool of up to `size` connections (minimum 1) to `addr`, retried
+    /// under `policy`. Nothing is dialed yet.
+    pub fn new(addr: impl Into<String>, size: usize, policy: RetryPolicy) -> ClientPool {
+        ClientPool {
+            addr: addr.into(),
+            slots: (0..size.max(1)).map(|_| None).collect(),
+            next_slot: 0,
+            policy,
+            nonce: 0,
+            dials: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Number of connection slots.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Connections dialed so far (first dials and re-dials).
+    pub fn dials(&self) -> u64 {
+        self.dials
+    }
+
+    /// Re-dials forced by a failed health check or a failed request —
+    /// the count the CLI logs so an operator can see the pool riding
+    /// over restarts.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The retry policy requests run under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Checks out a healthy connection from the next slot (round-robin):
+    /// a parked connection is ping-verified first (failing the check
+    /// discards it and counts a reconnect); an empty slot dials lazily.
+    ///
+    /// # Errors
+    /// The dial's [`ProtocolError`] — retryable at the caller's layer
+    /// unless it is a version mismatch.
+    fn checkout(&mut self) -> Result<(usize, Client), ProtocolError> {
+        let slot = self.next_slot;
+        self.next_slot = (self.next_slot + 1) % self.slots.len();
+        if let Some(mut client) = self.slots[slot].take() {
+            self.nonce += 1;
+            if client.ping(self.nonce).is_ok() {
+                return Ok((slot, client));
+            }
+            // The parked connection is dead (server restarted, half-open
+            // TCP, …): discard it and fall through to a fresh dial.
+            self.reconnects += 1;
+        }
+        self.dials += 1;
+        Ok((slot, Client::connect(&self.addr)?))
+    }
+
+    /// Parks a connection that completed a request cleanly.
+    fn check_in(&mut self, slot: usize, client: Client) {
+        self.slots[slot] = Some(client);
+    }
+
+    /// One attempt of `op` on a checked-out connection. A transport-layer
+    /// failure drops the connection (the next attempt re-dials); a clean
+    /// round trip — even a typed server refusal — parks it for reuse.
+    fn attempt<T>(
+        &mut self,
+        op: impl FnOnce(&mut Client) -> Result<T, ProtocolError>,
+    ) -> Result<T, ProtocolError> {
+        let (slot, mut client) = match self.checkout() {
+            Ok(pair) => pair,
+            Err(e) => {
+                // A failed dial forces the next attempt to re-dial too —
+                // count it, so riding over a down-then-restarted server
+                // is visible even when no connection was ever parked.
+                self.reconnects += 1;
+                return Err(e);
+            }
+        };
+        match op(&mut client) {
+            Ok(value) => {
+                self.check_in(slot, client);
+                Ok(value)
+            }
+            Err(e) => {
+                // The stream may be desynchronized: never park it.
+                drop(client);
+                self.reconnects += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Issues `call` with retries. The call's own `deadline_micros`
+    /// (clocked from now) min-composes with the policy: backoff never
+    /// sleeps past it.
+    ///
+    /// # Errors
+    /// A [`RetryReport`] when the attempts, the retry budget, or the
+    /// deadline are exhausted, or the failure is terminal (malformed
+    /// request, version mismatch, solver error).
+    pub fn cluster(&mut self, call: &ClusterCall) -> Result<WireSolve, RetryReport> {
+        let deadline =
+            call.deadline_micros.map(|micros| Instant::now() + Duration::from_micros(micros));
+        let policy = self.policy.clone();
+        run_with_retries(&policy, deadline, |_attempt| self.attempt(|client| client.cluster(call)))
+    }
+
+    /// Fetches server statistics with retries (no deadline of its own).
+    ///
+    /// # Errors
+    /// See [`ClientPool::cluster`].
+    pub fn stats(&mut self, graph: Option<&str>) -> Result<ServerStats, RetryReport> {
+        let policy = self.policy.clone();
+        run_with_retries(&policy, None, |_attempt| self.attempt(|client| client.stats(graph)))
+    }
+}

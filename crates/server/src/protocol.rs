@@ -50,8 +50,10 @@ use ugraph_sampling::{
 
 /// The 4-byte connection magic (`b"UGRP"`).
 pub const MAGIC: [u8; 4] = *b"UGRP";
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks. Version 2 added the
+/// `Ping`/`Pong` health frames (pool health checks) and the
+/// `peer_stalled` counter in the stats payload.
+pub const PROTOCOL_VERSION: u16 = 2;
 /// Hard ceiling on `len` (kind + payload bytes) of a single frame. A
 /// larger announced length is rejected **before** any allocation, so a
 /// hostile header cannot balloon server memory.
@@ -61,12 +63,20 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24; // 16 MiB
 pub const KIND_CLUSTER: u8 = 0x01;
 /// Frame kind: stats request (client → server).
 pub const KIND_STATS: u8 = 0x02;
+/// Frame kind: health-check ping (client → server), since v2.
+pub const KIND_PING: u8 = 0x03;
 /// Frame kind: successful cluster response (server → client).
 pub const KIND_CLUSTER_OK: u8 = 0x81;
 /// Frame kind: successful stats response (server → client).
 pub const KIND_STATS_OK: u8 = 0x82;
+/// Frame kind: health-check pong (server → client), since v2.
+pub const KIND_PONG: u8 = 0x83;
 /// Frame kind: typed error response (server → client).
 pub const KIND_ERROR: u8 = 0xEE;
+/// How long the [`FaultSite::WireStall`] failpoint holds the second half
+/// of a frame mid-write — long enough to trip any realistic server IO
+/// deadline in tests.
+pub const STALL_PAUSE: Duration = Duration::from_millis(300);
 
 /// Protocol-level failures: transport errors, handshake mismatches, and
 /// malformed frames. Solver-level failures travel inside [`ErrorFrame`]s
@@ -204,6 +214,13 @@ pub enum Request {
     Stats {
         /// `Some(name)` restricts the per-session listing to that graph.
         graph: Option<String>,
+    },
+    /// Health check (since v2): the server echoes `nonce` in a
+    /// [`Response::Pong`] without touching any session — connection pools
+    /// use it to validate idle connections before reuse.
+    Ping {
+        /// Opaque value echoed back verbatim.
+        nonce: u64,
     },
 }
 
@@ -406,6 +423,10 @@ pub struct ServerStats {
     pub cancelled_rejections: u64,
     /// Cluster requests failing with any other solver error.
     pub solve_errors: u64,
+    /// Connections terminated because the peer stalled mid-frame past the
+    /// server's IO deadline (slow-loris reads or unread responses), so the
+    /// worker was reclaimed instead of pinned (since v2).
+    pub peer_stalled: u64,
     /// Whole idle sessions evicted under global memory pressure.
     pub sessions_evicted: u64,
     /// Bytes currently charged to the global ledger.
@@ -477,6 +498,30 @@ impl ErrorCode {
             _ => return None,
         })
     }
+
+    /// Whether a retry of the *same* request can succeed. Solves are
+    /// idempotent (per-index RNG streams make every re-issue
+    /// bit-identical), so the only question is whether the refusal is
+    /// transient:
+    ///
+    /// * [`AdmissionRejected`](ErrorCode::AdmissionRejected) — memory
+    ///   pressure passes as other sessions go idle;
+    /// * [`SessionClosed`](ErrorCode::SessionClosed) — the retry respawns
+    ///   the session (the code's own contract);
+    /// * [`ShuttingDown`](ErrorCode::ShuttingDown) — a restarted or
+    ///   failed-over server will take the work.
+    ///
+    /// Everything else is terminal: the request itself is at fault
+    /// (malformed, invalid parameters, unknown graph), the solver
+    /// genuinely failed, or the deadline already passed — re-sending the
+    /// identical bytes cannot change the answer. The retryability column
+    /// of the error-code table in `PROTOCOL.md` mirrors this method.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::AdmissionRejected | ErrorCode::SessionClosed | ErrorCode::ShuttingDown
+        )
+    }
 }
 
 /// A typed error response: a stable [`ErrorCode`], a human-readable
@@ -525,6 +570,11 @@ pub enum Response {
     Cluster(WireSolve),
     /// A stats report.
     Stats(ServerStats),
+    /// The echo of a [`Request::Ping`] (since v2).
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
     /// A typed error.
     Error(ErrorFrame),
 }
@@ -716,6 +766,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             }
             w.finish()
         }
+        Request::Ping { nonce } => {
+            let mut w = FrameWriter::new(KIND_PING);
+            w.u64(*nonce);
+            w.finish()
+        }
     }
 }
 
@@ -782,6 +837,7 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, ProtocolError
             };
             Request::Stats { graph }
         }
+        KIND_PING => Request::Ping { nonce: c.u64("ping nonce")? },
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     c.finish()?;
@@ -861,6 +917,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 stats.deadline_rejections,
                 stats.cancelled_rejections,
                 stats.solve_errors,
+                stats.peer_stalled,
                 stats.sessions_evicted,
                 stats.bytes_held,
             ] {
@@ -885,6 +942,11 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 w.u32(s.in_flight);
                 w.str(&s.kv);
             }
+            w.finish()
+        }
+        Response::Pong { nonce } => {
+            let mut w = FrameWriter::new(KIND_PONG);
+            w.u64(*nonce);
             w.finish()
         }
         Response::Error(e) => {
@@ -948,7 +1010,7 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, ProtocolErr
             })
         }
         KIND_STATS_OK => {
-            let mut counters = [0u64; 10];
+            let mut counters = [0u64; 11];
             for (i, slot) in counters.iter_mut().enumerate() {
                 *slot = c.u64(&format!("counter {i}"))?;
             }
@@ -981,13 +1043,15 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, ProtocolErr
                 deadline_rejections: counters[5],
                 cancelled_rejections: counters[6],
                 solve_errors: counters[7],
-                sessions_evicted: counters[8],
-                bytes_held: counters[9],
+                peer_stalled: counters[8],
+                sessions_evicted: counters[9],
+                bytes_held: counters[10],
                 bytes_limit,
                 graphs,
                 sessions,
             })
         }
+        KIND_PONG => Response::Pong { nonce: c.u64("pong nonce")? },
         KIND_ERROR => {
             let raw = c.u16("error code")?;
             let code = ErrorCode::from_u16(raw)
@@ -1050,13 +1114,19 @@ pub fn client_handshake(stream: &mut (impl Read + Write)) -> Result<(), Protocol
     Ok(())
 }
 
-/// Writes one already-encoded frame, honoring the
-/// [`FaultSite::WireWrite`] failpoint: when the failpoint fires, half the
-/// frame is written (a torn write) and the injected fault is returned.
+/// Writes one already-encoded frame, honoring two failpoints:
+///
+/// * [`FaultSite::WireWrite`] — half the frame is written (a torn write)
+///   and the injected fault is returned;
+/// * [`FaultSite::WireStall`] — half the frame is written, the writer
+///   pauses for [`STALL_PAUSE`], then finishes normally. The stall is
+///   invisible to the writer (`Ok` is returned) but a peer enforcing an
+///   IO deadline shorter than the pause will have hung up in between —
+///   exactly the slow-peer scenario the server's stall hardening covers.
 ///
 /// # Errors
-/// [`ProtocolError::Fault`] from the failpoint; [`ProtocolError::Io`] on
-/// transport failure.
+/// [`ProtocolError::Fault`] from the torn-write failpoint;
+/// [`ProtocolError::Io`] on transport failure.
 pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), ProtocolError> {
     if let Err(fault) = faults::hit(FaultSite::WireWrite) {
         let torn = frame.len() / 2;
@@ -1064,20 +1134,34 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), ProtocolError
         let _ = w.flush();
         return Err(ProtocolError::Fault(fault));
     }
+    if faults::hit(FaultSite::WireStall).is_err() {
+        let half = frame.len() / 2;
+        w.write_all(&frame[..half])?;
+        w.flush()?;
+        std::thread::sleep(STALL_PAUSE);
+        w.write_all(&frame[half..])?;
+        w.flush()?;
+        return Ok(());
+    }
     w.write_all(frame)?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads one frame, returning `(kind, payload)` — or `None` on a clean
-/// EOF at a frame boundary (the peer closed the connection).
+/// EOF at a frame boundary (the peer closed the connection). Carries the
+/// [`FaultSite::WireRead`] failpoint (symmetric to the torn-write one in
+/// [`write_frame`]): a scheduled hit fails the read before any byte is
+/// consumed, simulating a receive path dying under the reader.
 ///
 /// # Errors
+/// [`ProtocolError::Fault`] from the failpoint;
 /// [`ProtocolError::Oversized`] for an announced length outside
 /// `1..=`[`MAX_FRAME_LEN`] (nothing is allocated);
 /// [`ProtocolError::Io`] for transport failures, including EOF inside a
 /// frame.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ProtocolError> {
+    faults::hit(FaultSite::WireRead).map_err(ProtocolError::Fault)?;
     let mut header = [0u8; 4];
     // Distinguish "peer closed between frames" from "died mid-frame".
     let mut got = 0;

@@ -167,6 +167,11 @@ impl Lease<'_> {
     pub fn handle(&self) -> &Arc<SessionHandle> {
         &self.handle
     }
+
+    /// The shape this lease was acquired for.
+    pub fn key(&self) -> &SessionKey {
+        &self.key
+    }
 }
 
 impl Drop for Lease<'_> {
@@ -429,6 +434,24 @@ impl SessionRegistry {
             });
         }
         entries
+    }
+
+    /// Removes the session for `key` from the registry, if present — the
+    /// recovery path for a dead session actor
+    /// ([`ClusterError::SessionClosed`](ugraph_cluster::ClusterError)):
+    /// a poisoned entry must not be handed to the next request, which
+    /// should instead respawn a fresh session (bit-identical by the
+    /// per-index RNG stream invariant). Callers may still hold leases on
+    /// the discarded session; its state is freed once the last one drops.
+    /// Not counted as an eviction — discards are a failure path, not a
+    /// memory-pressure decision.
+    pub fn discard(&self, key: &SessionKey) {
+        let victim = {
+            let mut inner = self.locked();
+            inner.sessions.iter().position(|(k, _)| k == key).map(|i| inner.sessions.remove(i))
+        };
+        // Dropped outside the lock, like every other entry removal.
+        drop(victim);
     }
 
     /// Number of live sessions.

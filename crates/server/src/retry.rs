@@ -1,0 +1,313 @@
+//! Deadline-aware retry policy with deterministic backoff.
+//!
+//! Retrying is *safe* on this wire in a way it rarely is elsewhere:
+//! solves are idempotent by construction (per-index RNG streams make
+//! every re-issue bit-identical), so the only question a failure poses
+//! is whether it is **transient**. The [`RetryPolicy`] answers it:
+//!
+//! * transport failures ([`ProtocolError`]) are retryable — except
+//!   [`ProtocolError::VersionMismatch`], which no reconnect can fix;
+//! * typed server refusals retry exactly when
+//!   [`ErrorCode::is_retryable`](crate::ErrorCode::is_retryable) says
+//!   so (`AdmissionRejected`,
+//!   `SessionClosed`, `ShuttingDown`);
+//! * everything else is terminal and surfaces immediately.
+//!
+//! Backoff is exponential with **deterministic seeded jitter** — no
+//! wall-clock entropy, so a retry schedule is exactly reproducible from
+//! the seed — and is min-composed with both a cumulative sleep
+//! [`RetryPolicy::budget`] and the request deadline: a retry loop never
+//! sleeps past the moment the answer stops mattering. The arithmetic
+//! lives in the pure [`RetryPolicy::next_backoff`], so tests can verify
+//! the never-outlives-the-deadline property without sleeping at all.
+//!
+//! On exhaustion the caller gets a typed [`RetryReport`]: how many
+//! attempts ran, how long was slept between them, and the last error.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{ErrorFrame, ProtocolError};
+
+/// How a retry loop paces and bounds itself.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (same seed, same schedule).
+    pub jitter_seed: u64,
+    /// Ceiling on the **cumulative** backoff slept across all retries of
+    /// one request (`None` = only `max_attempts` and the deadline bound
+    /// the loop).
+    pub budget: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0,
+            budget: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Finalizer of splitmix64 — the same generator the sampling layer
+/// trusts for per-index streams, reused here so jitter needs no entropy
+/// source.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` retries after the first attempt — the
+    /// shape the `--retries` CLI flag denotes.
+    pub fn with_retries(retries: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts: retries.saturating_add(1), ..RetryPolicy::default() }
+    }
+
+    /// The backoff to sleep after failed attempt number `attempt`
+    /// (1-based), or `None` when the loop must stop instead: attempts
+    /// exhausted, cumulative [`budget`](RetryPolicy::budget) spent
+    /// (`slept` is what previous retries already used), or the sleep
+    /// would reach `remaining` — the time left until the request
+    /// deadline — leaving no room to actually retry.
+    ///
+    /// Pure: same inputs, same answer. The exponential raw value
+    /// `base_backoff << (attempt-1)` is capped at
+    /// [`max_backoff`](RetryPolicy::max_backoff), then jittered into
+    /// `[raw/2, raw]` by the seeded splitmix64 stream.
+    pub fn next_backoff(
+        &self,
+        attempt: u32,
+        slept: Duration,
+        remaining: Option<Duration>,
+    ) -> Option<Duration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_backoff
+            .checked_mul(1u32 << exp.min(31))
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff);
+        // Jitter into [raw/2, raw]: desynchronizes a fleet of clients
+        // hammering a recovering server without ever under-waiting below
+        // half the intended pace.
+        let half = raw / 2;
+        let spread = raw.saturating_sub(half);
+        let roll = splitmix64(self.jitter_seed ^ u64::from(attempt));
+        let jittered = half + spread.mul_f64((roll % 1024) as f64 / 1023.0);
+        if let Some(budget) = self.budget {
+            if slept + jittered > budget {
+                return None;
+            }
+        }
+        if let Some(remaining) = remaining {
+            if jittered >= remaining {
+                return None;
+            }
+        }
+        Some(jittered)
+    }
+}
+
+/// The last failure a retry loop observed, either layer.
+#[derive(Debug)]
+pub enum RetryError {
+    /// The transport/codec layer failed (connection level).
+    Protocol(ProtocolError),
+    /// The server answered with a typed refusal.
+    Server(ErrorFrame),
+}
+
+impl RetryError {
+    /// Whether this failure is worth retrying — the policy's
+    /// classification table:
+    ///
+    /// | failure | class |
+    /// |---|---|
+    /// | [`ProtocolError::VersionMismatch`] | terminal |
+    /// | any other [`ProtocolError`] (IO, torn frames, bad magic, …) | retryable |
+    /// | [`ErrorFrame`] with [`is_retryable`](crate::ErrorCode::is_retryable) code | retryable |
+    /// | any other [`ErrorFrame`] | terminal |
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RetryError::Protocol(ProtocolError::VersionMismatch { .. }) => false,
+            RetryError::Protocol(_) => true,
+            RetryError::Server(frame) => frame.code.is_retryable(),
+        }
+    }
+}
+
+impl fmt::Display for RetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Protocol(e) => write!(f, "transport: {e}"),
+            RetryError::Server(frame) => write!(f, "server: {:?}: {}", frame.code, frame.message),
+        }
+    }
+}
+
+/// Why (and how) a retried request ultimately failed.
+#[derive(Debug)]
+pub struct RetryReport {
+    /// Attempts that ran (including the first).
+    pub attempts: u32,
+    /// Total backoff slept between attempts.
+    pub backoff_slept: Duration,
+    /// The failure of the final attempt.
+    pub last_error: RetryError,
+}
+
+impl fmt::Display for RetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request failed after {} attempt(s) ({:?} backoff): {}",
+            self.attempts, self.backoff_slept, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for RetryReport {}
+
+/// Drives `op` under `policy` until it succeeds, fails terminally, or
+/// the policy (attempts, budget, `deadline`) is exhausted. `op` receives
+/// the 1-based attempt number and answers in the client's two-layer
+/// result shape; the loop flattens it, classifying each layer per
+/// [`RetryError::is_retryable`].
+///
+/// # Errors
+/// A [`RetryReport`] carrying the last failure.
+pub fn run_with_retries<T>(
+    policy: &RetryPolicy,
+    deadline: Option<Instant>,
+    mut op: impl FnMut(u32) -> Result<Result<T, ErrorFrame>, ProtocolError>,
+) -> Result<T, RetryReport> {
+    let mut slept = Duration::ZERO;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let error = match op(attempt) {
+            Ok(Ok(value)) => return Ok(value),
+            Ok(Err(frame)) => RetryError::Server(frame),
+            Err(e) => RetryError::Protocol(e),
+        };
+        let report = RetryReport { attempts: attempt, backoff_slept: slept, last_error: error };
+        if !report.last_error.is_retryable() {
+            return Err(report);
+        }
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let Some(backoff) = policy.next_backoff(attempt, slept, remaining) else {
+            return Err(report);
+        };
+        std::thread::sleep(backoff);
+        slept += backoff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrorCode;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+            jitter_seed: 42,
+            budget: None,
+        };
+        let a = policy.next_backoff(1, Duration::ZERO, None).unwrap();
+        let b = policy.next_backoff(2, Duration::ZERO, None).unwrap();
+        let c = policy.next_backoff(5, Duration::ZERO, None).unwrap();
+        // Same inputs, same schedule.
+        assert_eq!(a, policy.next_backoff(1, Duration::ZERO, None).unwrap());
+        // Jitter stays within [raw/2, raw].
+        assert!(a >= Duration::from_millis(50) && a <= Duration::from_millis(100), "{a:?}");
+        assert!(b >= Duration::from_millis(100) && b <= Duration::from_millis(200), "{b:?}");
+        // Attempt 5 raw would be 1600ms; the cap holds it at 450ms.
+        assert!(c <= Duration::from_millis(450), "{c:?}");
+    }
+
+    #[test]
+    fn attempts_budget_and_deadline_all_stop_the_loop() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+            budget: Some(Duration::from_millis(120)),
+        };
+        assert!(policy.next_backoff(3, Duration::ZERO, None).is_none(), "attempts exhausted");
+        assert!(policy.next_backoff(1, Duration::from_millis(100), None).is_none(), "budget spent");
+        assert!(
+            policy.next_backoff(1, Duration::ZERO, Some(Duration::from_millis(10))).is_none(),
+            "deadline too close"
+        );
+        assert!(policy.next_backoff(1, Duration::ZERO, Some(Duration::from_secs(5))).is_some());
+    }
+
+    #[test]
+    fn terminal_failures_do_not_retry() {
+        let policy = RetryPolicy::with_retries(5);
+        let mut calls = 0;
+        let report = run_with_retries::<()>(&policy, None, |_| {
+            calls += 1;
+            Ok(Err(ErrorFrame::new(ErrorCode::Malformed, "bad frame")))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "terminal errors must not be retried");
+        assert_eq!(report.attempts, 1);
+        assert!(
+            matches!(report.last_error, RetryError::Server(ref f) if f.code == ErrorCode::Malformed)
+        );
+    }
+
+    #[test]
+    fn retryable_failures_retry_until_success() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..RetryPolicy::with_retries(5)
+        };
+        let mut calls = 0;
+        let value = run_with_retries(&policy, None, |attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Ok(Err(ErrorFrame::new(ErrorCode::ShuttingDown, "draining")))
+            } else {
+                Ok(Ok(42u32))
+            }
+        })
+        .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn version_mismatch_is_terminal_even_though_transport() {
+        let policy = RetryPolicy::with_retries(5);
+        let mut calls = 0;
+        let report = run_with_retries::<()>(&policy, None, |_| {
+            calls += 1;
+            Err(ProtocolError::VersionMismatch { ours: 2, theirs: 1 })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(!report.last_error.is_retryable());
+    }
+}

@@ -30,7 +30,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ugraph_cluster::{ClusterConfig, ClusterError};
 use ugraph_graph::UncertainGraph;
@@ -65,6 +65,14 @@ pub struct ServerConfig {
     /// Evict sessions idle for at least this long, regardless of memory
     /// pressure (`None` = only budget pressure evicts).
     pub idle_evict: Option<Duration>,
+    /// Per-connection IO deadline against a **stalled** peer (`None` =
+    /// wait forever, the pre-hardening behavior). A peer that stops
+    /// making progress *mid-frame* for this long — on the read side
+    /// (slow-loris half-frames) or the write side (a dead TCP half that
+    /// never drains our response) — is disconnected and tallied in
+    /// [`ServerStats::peer_stalled`]. Idle time **between** frames is
+    /// not limited: parked keep-alive connections are legitimate.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,7 @@ impl Default for ServerConfig {
             global_budget: None,
             session_budget: None,
             idle_evict: None,
+            io_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -90,6 +99,7 @@ struct Counters {
     deadline_rejections: AtomicU64,
     cancelled_rejections: AtomicU64,
     solve_errors: AtomicU64,
+    peer_stalled: AtomicU64,
 }
 
 impl Counters {
@@ -199,6 +209,7 @@ impl Server {
                 counters: Arc::clone(&self.counters),
                 shutdown: self.shutdown.clone(),
                 request_timeout: self.config.request_timeout,
+                io_timeout: self.config.io_timeout,
             };
             let worker =
                 thread::Builder::new().name(format!("ugraph-serve-{i}")).spawn(move || loop {
@@ -315,12 +326,17 @@ enum ReadStatus {
     Eof,
     /// Shutdown was requested while waiting.
     Shutdown,
+    /// The peer went silent mid-message for longer than the IO deadline.
+    Stalled,
 }
 
 /// One frame off the wire, or the reason the connection is over.
 enum NextFrame {
     Frame(u8, Vec<u8>),
     Closed,
+    /// The peer stalled mid-frame; drop it without a response (its read
+    /// half may be as dead as its write half).
+    Stalled,
 }
 
 /// Everything a worker needs to serve connections.
@@ -329,6 +345,20 @@ struct ConnCtx {
     counters: Arc<Counters>,
     shutdown: ShutdownHandle,
     request_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+}
+
+/// Whether a transport failure is a stalled peer (our send never
+/// drained) rather than a hard disconnect — the write-deadline analogue
+/// of [`ReadStatus::Stalled`].
+fn is_write_stall(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
 }
 
 impl ConnCtx {
@@ -338,6 +368,13 @@ impl ConnCtx {
     fn serve_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+            return;
+        }
+        // The write deadline: a peer that never drains our response frame
+        // cannot pin this worker past the IO deadline. Progress resets
+        // it (each accepted chunk gets a fresh window), so only a fully
+        // stalled peer trips it.
+        if stream.set_write_timeout(self.io_timeout).is_err() {
             return;
         }
         match self.handshake(&mut stream) {
@@ -356,17 +393,31 @@ impl ConnCtx {
                         Counters::bump(&self.counters.protocol_errors);
                     }
                     let frame = protocol::encode_response(&response);
-                    if protocol::write_frame(&mut stream, &frame).is_err() || close {
+                    if let Err(e) = protocol::write_frame(&mut stream, &frame) {
+                        if is_write_stall(&e) {
+                            Counters::bump(&self.counters.peer_stalled);
+                        }
+                        return;
+                    }
+                    if close {
                         return;
                     }
                 }
                 Ok(NextFrame::Closed) => return,
+                Ok(NextFrame::Stalled) => {
+                    Counters::bump(&self.counters.peer_stalled);
+                    return;
+                }
                 Err(e) => {
                     Counters::bump(&self.counters.protocol_errors);
                     // Best-effort: tell the client why before closing.
                     let frame =
                         protocol::encode_response(&Response::Error(error_frame_of_protocol(&e)));
-                    let _ = protocol::write_frame(&mut stream, &frame);
+                    if let Err(e) = protocol::write_frame(&mut stream, &frame) {
+                        if is_write_stall(&e) {
+                            Counters::bump(&self.counters.peer_stalled);
+                        }
+                    }
                     return;
                 }
             }
@@ -376,6 +427,14 @@ impl ConnCtx {
     /// Fills `buf`, tolerating read timeouts and checking the shutdown
     /// flag between them. `read_exact` cannot be used here: it discards
     /// partial data when a timeout splits a frame.
+    ///
+    /// The stall clock: with an IO deadline configured, a peer that stops
+    /// delivering bytes **mid-message** for that long yields
+    /// [`ReadStatus::Stalled`]. When `idle_ok` is set (waiting at a
+    /// message boundary) the clock only starts once the first byte
+    /// arrives — idle keep-alive connections may park forever; half a
+    /// header may not. Every received byte restarts the clock, so a slow
+    /// but live peer is served, and only a silent one is cut.
     fn read_full(
         &self,
         stream: &mut TcpStream,
@@ -383,9 +442,15 @@ impl ConnCtx {
         idle_ok: bool,
     ) -> Result<ReadStatus, ProtocolError> {
         let mut got = 0;
+        let mut last_progress = if idle_ok { None } else { Some(Instant::now()) };
         while got < buf.len() {
             if self.shutdown.is_triggered() {
                 return Ok(ReadStatus::Shutdown);
+            }
+            if let (Some(since), Some(limit)) = (last_progress, self.io_timeout) {
+                if since.elapsed() >= limit {
+                    return Ok(ReadStatus::Stalled);
+                }
             }
             match stream.read(&mut buf[got..]) {
                 Ok(0) if got == 0 && idle_ok => return Ok(ReadStatus::Eof),
@@ -395,7 +460,10 @@ impl ConnCtx {
                         "peer closed mid-message",
                     )))
                 }
-                Ok(n) => got += n,
+                Ok(n) => {
+                    got += n;
+                    last_progress = Some(Instant::now());
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -417,6 +485,10 @@ impl ConnCtx {
         match self.read_full(stream, &mut hello, true)? {
             ReadStatus::Done => {}
             ReadStatus::Eof | ReadStatus::Shutdown => return Ok(false),
+            ReadStatus::Stalled => {
+                Counters::bump(&self.counters.peer_stalled);
+                return Ok(false);
+            }
         }
         if hello[..4] != MAGIC {
             let mut magic = [0u8; 4];
@@ -441,6 +513,7 @@ impl ConnCtx {
         match self.read_full(stream, &mut header, true)? {
             ReadStatus::Done => {}
             ReadStatus::Eof | ReadStatus::Shutdown => return Ok(NextFrame::Closed),
+            ReadStatus::Stalled => return Ok(NextFrame::Stalled),
         }
         let len = u32::from_le_bytes(header);
         if len == 0 || len > MAX_FRAME_LEN {
@@ -452,6 +525,7 @@ impl ConnCtx {
             // Shutdown mid-frame: the bytes are part of a request we will
             // no longer serve; drop them with the connection.
             ReadStatus::Eof | ReadStatus::Shutdown => return Ok(NextFrame::Closed),
+            ReadStatus::Stalled => return Ok(NextFrame::Stalled),
         }
         let kind = body[0];
         body.drain(..1);
@@ -482,6 +556,10 @@ impl ConnCtx {
                 Counters::bump(&self.counters.stats_requests);
                 (Response::Stats(self.stats(graph.as_deref())), false)
             }
+            // Health checks are answered even during shutdown (the pool
+            // uses them to decide where to retry) and left out of the
+            // request counters so probing never skews traffic stats.
+            Request::Ping { nonce } => (Response::Pong { nonce }, false),
         }
     }
 
@@ -525,6 +603,14 @@ impl ConnCtx {
                     ClusterError::Cancelled(_) => {
                         Counters::bump(&self.counters.cancelled_rejections)
                     }
+                    ClusterError::SessionClosed => {
+                        Counters::bump(&self.counters.solve_errors);
+                        // The actor behind this session is gone; drop the
+                        // poisoned entry so a retry respawns a fresh one
+                        // (bit-identical answers) instead of re-leasing
+                        // the corpse.
+                        self.registry.discard(lease.key());
+                    }
                     _ => Counters::bump(&self.counters.solve_errors),
                 }
                 Response::Error(ErrorFrame::from_cluster_error(&e))
@@ -544,6 +630,7 @@ impl ConnCtx {
             deadline_rejections: self.counters.deadline_rejections.load(Ordering::Relaxed),
             cancelled_rejections: self.counters.cancelled_rejections.load(Ordering::Relaxed),
             solve_errors: self.counters.solve_errors.load(Ordering::Relaxed),
+            peer_stalled: self.counters.peer_stalled.load(Ordering::Relaxed),
             sessions_evicted: self.registry.sessions_evicted(),
             bytes_held: memory.bytes_held as u64,
             bytes_limit: memory.bytes_limit.map(|l| l as u64),

@@ -197,6 +197,49 @@ fn torn_client_write_leaves_the_server_serving() {
     }
 }
 
+#[cfg(feature = "fault-injection")]
+#[test]
+fn dropped_client_read_is_typed_and_the_stream_survives() {
+    use ugraph_sampling::{faults, FaultPlan, FaultSite};
+
+    let server = start_single_worker();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let _guard = faults::install(FaultPlan::new().fail_at(FaultSite::WireRead, 1));
+    client.send_raw(&valid_frame()).unwrap();
+    let err = client.read_response().unwrap_err();
+    assert!(matches!(err, ProtocolError::Fault(_)), "got {err:?}");
+    assert_eq!(faults::hits(FaultSite::WireRead), 1, "the read failpoint must be reached");
+
+    // The failpoint fires before a byte is consumed, so the response is
+    // still queued intact: the symmetric half of the WireWrite contract
+    // (a failed read never desynchronizes the stream).
+    match client.read_response().unwrap() {
+        Response::Cluster(_) => {}
+        other => panic!("expected the queued cluster answer, got {other:?}"),
+    }
+    assert_eq!(faults::hits(FaultSite::WireRead), 2);
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn refused_dial_is_typed_and_the_next_dial_succeeds() {
+    use ugraph_sampling::{faults, FaultPlan, FaultSite};
+
+    let server = start_single_worker();
+
+    let _guard = faults::install(FaultPlan::new().fail_at(FaultSite::Connect, 1));
+    let err = Client::connect(server.addr()).unwrap_err();
+    assert!(matches!(err, ProtocolError::Fault(_)), "got {err:?}");
+    assert_eq!(faults::hits(FaultSite::Connect), 1, "the dial failpoint must be reached");
+
+    // Connect refusal is transient by definition — the immediate redial
+    // works, which is exactly why the retry policy classes it retryable.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(faults::hits(FaultSite::Connect), 2);
+    assert!(client.cluster(&good_call()).unwrap().is_ok());
+}
+
 mod fuzz {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,143 @@
+//! Retry classification and pacing: the full retryable-vs-terminal table
+//! over every wire error code, and a proptest that the deadline-composed
+//! backoff schedule can never sleep past the request deadline (or the
+//! cumulative retry budget) — verified through the pure
+//! [`RetryPolicy::next_backoff`], so no test ever actually sleeps.
+
+use std::time::Duration;
+
+use ugraph_server::{ErrorCode, ErrorFrame, ProtocolError, RetryError, RetryPolicy};
+
+/// Every one of the 14 wire error codes with its expected class. The
+/// retryable set is exactly the transient refusals: memory pressure
+/// passes, a dead session respawns, a draining server fails over —
+/// while everything else indicts the request itself or the solve's
+/// outcome, which an identical re-send cannot change.
+const CLASSIFICATION: [(ErrorCode, bool); 14] = [
+    (ErrorCode::UnsupportedVersion, false),
+    (ErrorCode::Malformed, false),
+    (ErrorCode::Oversized, false),
+    (ErrorCode::UnknownKind, false),
+    (ErrorCode::UnknownGraph, false),
+    (ErrorCode::AdmissionRejected, true),
+    (ErrorCode::KOutOfRange, false),
+    (ErrorCode::NoFullClustering, false),
+    (ErrorCode::InvalidConfig, false),
+    (ErrorCode::Sampling, false),
+    (ErrorCode::DeadlineExceeded, false),
+    (ErrorCode::Cancelled, false),
+    (ErrorCode::SessionClosed, true),
+    (ErrorCode::ShuttingDown, true),
+];
+
+#[test]
+fn every_error_code_is_classified() {
+    for (code, retryable) in CLASSIFICATION {
+        assert_eq!(
+            code.is_retryable(),
+            retryable,
+            "{code:?} must be {}",
+            if retryable { "retryable" } else { "terminal" }
+        );
+        // The classification is the same seen through a server frame.
+        let err = RetryError::Server(ErrorFrame::new(code, "x"));
+        assert_eq!(err.is_retryable(), retryable, "{code:?} via RetryError");
+    }
+    // The table covers the wire's whole code space: 14 codes, dense.
+    assert!(ErrorCode::from_u16(15).is_none(), "table must be extended with the enum");
+    for v in 1..=14 {
+        assert!(ErrorCode::from_u16(v).is_some());
+    }
+}
+
+#[test]
+fn transport_errors_are_retryable_except_version_mismatch() {
+    let io = RetryError::Protocol(ProtocolError::Io(std::io::Error::other("conn reset")));
+    assert!(io.is_retryable(), "a broken transport is what retries are for");
+    let torn = RetryError::Protocol(ProtocolError::Malformed("torn frame".into()));
+    assert!(torn.is_retryable());
+    let magic = RetryError::Protocol(ProtocolError::BadMagic(*b"HTTP"));
+    assert!(magic.is_retryable(), "a confused proxy can clear up on reconnect");
+    let version = RetryError::Protocol(ProtocolError::VersionMismatch { ours: 2, theirs: 9 });
+    assert!(!version.is_retryable(), "no reconnect fixes a version gap");
+}
+
+mod pacing {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    proptest! {
+        /// Simulates the retry driver's loop against a fixed deadline:
+        /// whatever the policy parameters, the jitter seed, and the
+        /// failure count, the cumulative backoff stays strictly inside
+        /// the deadline (each granted sleep leaves room for one more
+        /// attempt) and never exceeds the retry budget.
+        #[test]
+        fn backoff_never_sleeps_past_deadline_or_budget(
+            base_ms in 1u64..500,
+            max_ms in 1u64..3_000,
+            seed in any::<u64>(),
+            max_attempts in 1u32..24,
+            deadline_ms in 0u64..10_000,
+            // Values past 3_000 mean "no budget" (the vendored proptest
+            // has no Option strategy).
+            budget_sel in 0u64..6_000,
+        ) {
+            let budget_ms = (budget_sel < 3_000).then_some(budget_sel);
+            let policy = RetryPolicy {
+                max_attempts,
+                base_backoff: ms(base_ms),
+                max_backoff: ms(max_ms),
+                jitter_seed: seed,
+                budget: budget_ms.map(ms),
+            };
+            let deadline = ms(deadline_ms);
+            let mut slept = Duration::ZERO;
+            // Probe past max_attempts on purpose: the policy must refuse
+            // there too.
+            for attempt in 1..=max_attempts.saturating_add(3) {
+                let remaining = deadline.saturating_sub(slept);
+                if let Some(backoff) = policy.next_backoff(attempt, slept, Some(remaining)) {
+                    prop_assert!(attempt < max_attempts, "no sleep once attempts are exhausted");
+                    prop_assert!(backoff < remaining, "sleep {backoff:?} must not reach the remaining {remaining:?}");
+                    slept += backoff;
+                }
+                prop_assert!(slept < deadline || deadline.is_zero());
+                if let Some(budget) = policy.budget {
+                    prop_assert!(slept <= budget, "cumulative {slept:?} within budget {budget:?}");
+                }
+            }
+        }
+
+        /// The schedule is a pure function of the seed: same policy, same
+        /// failure history, same sleeps — so a logged retry storm can be
+        /// replayed exactly.
+        #[test]
+        fn schedule_is_deterministic(seed in any::<u64>(), attempt in 1u32..20) {
+            let policy = RetryPolicy { max_attempts: 32, jitter_seed: seed, budget: None, ..RetryPolicy::default() };
+            let a = policy.next_backoff(attempt, Duration::ZERO, None);
+            let b = policy.next_backoff(attempt, Duration::ZERO, None);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Jitter stays within [raw/2, raw] of the capped exponential —
+        /// never under half the intended pace, never over it.
+        #[test]
+        fn jitter_is_bounded(seed in any::<u64>(), attempt in 1u32..16, base_ms in 1u64..200) {
+            let policy = RetryPolicy {
+                max_attempts: 32,
+                base_backoff: ms(base_ms),
+                max_backoff: ms(60_000),
+                jitter_seed: seed,
+                budget: None,
+            };
+            let raw = ms(base_ms.saturating_mul(1 << (attempt - 1).min(31))).min(ms(60_000));
+            let got = policy.next_backoff(attempt, Duration::ZERO, None).unwrap();
+            prop_assert!(got >= raw / 2 && got <= raw, "{got:?} outside [{:?}, {raw:?}]", raw / 2);
+        }
+    }
+}

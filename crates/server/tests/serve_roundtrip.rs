@@ -155,6 +155,24 @@ fn concurrent_clients_run_in_parallel_across_sessions_and_stay_bit_identical() {
 }
 
 #[test]
+fn ping_pong_echoes_the_nonce_without_touching_sessions_or_traffic_stats() {
+    let server = start(vec![("g".into(), two_communities())], ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for nonce in [0u64, 1, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+        client.ping(nonce).unwrap();
+    }
+
+    // Health checks spawn no session and skew no traffic counter.
+    let stats = client.stats(None).unwrap().unwrap();
+    assert_eq!(stats.cluster_requests, 0);
+    assert_eq!(stats.stats_requests, 1);
+    assert_eq!(stats.peer_stalled, 0, "nobody stalled in this test");
+    assert!(stats.sessions.is_empty(), "pings must not open sessions");
+    assert_eq!(server.registry().num_sessions(), 0);
+}
+
+#[test]
 fn deadline_exceeded_is_typed_and_the_session_survives() {
     let g = two_communities();
     let server = start(vec![("g".into(), Arc::clone(&g))], ServerConfig::default());

@@ -20,9 +20,10 @@
 //! ugraph serve    [--listen HOST:PORT] --dataset <names>|--input graph.txt
 //!                 [--graph NAME] [--workers N] [--seed N]
 //!                 [--memory-budget B] [--session-budget B]
-//!                 [--request-timeout T] [--idle-evict T]
+//!                 [--request-timeout T] [--idle-evict T] [--io-timeout T]
 //! ugraph client   <cluster|stats> [--connect HOST:PORT] [--graph NAME]
 //!                 [--algo mcp|acp] [--k N] [--depth D] [--timeout T]
+//!                 [--retries N] [--connect-pool N]
 //!                 [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
 //!                 [--output out.tsv]
 //! ```
@@ -50,7 +51,10 @@ use ugraph::graph::{io as gio, GraphStats, NodeId, UncertainGraph};
 use ugraph::metrics::{avpr, confusion, session_quality};
 use ugraph::sampling::{reliability_knn, reliability_knn_within, ComponentPool, WorldPool};
 use ugraph::sampling::{BlockWidth, EngineKind};
-use ugraph::server::{Client, ClusterCall, Server, ServerConfig, WireDepth, PROTOCOL_VERSION};
+use ugraph::server::{
+    ClientPool, ClusterCall, RetryError, RetryPolicy, RetryReport, Server, ServerConfig, WireDepth,
+    PROTOCOL_VERSION,
+};
 
 /// Where `serve` listens and `client` connects when no address is given.
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -129,9 +133,10 @@ commands:
   serve     [--listen HOST:PORT] --dataset <names>|--input graph.txt
             [--graph NAME] [--workers N] [--seed N]
             [--memory-budget B] [--session-budget B]
-            [--request-timeout T] [--idle-evict T]
+            [--request-timeout T] [--idle-evict T] [--io-timeout T]
   client    <cluster|stats> [--connect HOST:PORT] [--graph NAME]
             [--algo mcp|acp] [--k N] [--depth D] [--timeout T]
+            [--retries N] [--connect-pool N]
             [--engine <scalar|bitparallel|adaptive>] [--block-width 64|256|512]
             [--output out.tsv]
 
@@ -166,10 +171,21 @@ the file stem). `--memory-budget` is the *global* ceiling across all
 sessions — idle sessions are evicted (and later regenerated,
 bit-identically) to fit it; `--session-budget` adds a per-session cap;
 `--request-timeout` bounds each solve server-side; `--idle-evict` frees
-sessions idle longer than the given age. Ctrl-C drains in-flight solves
-cooperatively before exiting. `client cluster`/`client stats` are the
-matching command-line clients; when exactly one graph is loaded,
-`--graph` may be omitted.";
+sessions idle longer than the given age; `--io-timeout` cuts connections
+that stall mid-frame (idle connections between frames park freely;
+default 10s, tallied as `peer stalls` in `client stats`). Ctrl-C drains
+in-flight solves cooperatively before exiting. `client cluster`/`client
+stats` are the matching command-line clients; when exactly one graph is
+loaded, `--graph` may be omitted.
+
+`client` rides over transient failures: `--retries N` (default 2) allows
+N retries after the first attempt under exponential backoff with seeded
+jitter, min-composed with `--timeout` so a retry never sleeps past the
+request deadline; `--connect-pool N` (default 1) keeps up to N parked
+connections, each health-checked with a protocol ping before reuse and
+transparently re-dialed when the server restarts. Reconnects are logged
+to stderr; retrying is safe because solves are idempotent — a re-issued
+request answers bit-identically.";
 
 /// Parsed flag set (strings resolved lazily per command).
 #[derive(Default, Debug)]
@@ -202,6 +218,9 @@ struct Options {
     session_budget: Option<usize>,
     request_timeout: Option<std::time::Duration>,
     idle_evict: Option<std::time::Duration>,
+    io_timeout: Option<std::time::Duration>,
+    retries: Option<u32>,
+    connect_pool: Option<usize>,
 }
 
 impl Options {
@@ -250,6 +269,9 @@ impl Options {
                 "--session-budget" => o.session_budget = Some(parse_bytes(&take()?, flag)?),
                 "--request-timeout" => o.request_timeout = Some(parse_duration(&take()?, flag)?),
                 "--idle-evict" => o.idle_evict = Some(parse_duration(&take()?, flag)?),
+                "--io-timeout" => o.io_timeout = Some(parse_duration(&take()?, flag)?),
+                "--retries" => o.retries = Some(parse_num(&take()?, flag)?),
+                "--connect-pool" => o.connect_pool = Some(parse_num(&take()?, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -603,6 +625,9 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         global_budget: o.memory_budget,
         session_budget: o.session_budget,
         idle_evict: o.idle_evict,
+        // Flag omitted: keep the config's stall default rather than
+        // turning the hardening off.
+        io_timeout: o.io_timeout.or(ServerConfig::default().io_timeout),
     };
     let listen = o.listen.as_deref().unwrap_or(DEFAULT_ADDR);
     let server =
@@ -631,12 +656,24 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
 
 fn cmd_client(action: &str, o: &Options) -> Result<(), String> {
     let addr = o.connect.as_deref().unwrap_or(DEFAULT_ADDR);
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    match action {
-        "cluster" => client_cluster(&mut client, o),
-        "stats" => client_stats(&mut client, o),
+    // Seed the retry jitter from the solve seed so a logged schedule is
+    // reproducible with the same invocation.
+    let policy =
+        RetryPolicy { jitter_seed: o.seed, ..RetryPolicy::with_retries(o.retries.unwrap_or(2)) };
+    let mut pool = ClientPool::new(addr, o.connect_pool.unwrap_or(1), policy);
+    let result = match action {
+        "cluster" => client_cluster(&mut pool, o),
+        "stats" => client_stats(&mut pool, o),
         other => Err(format!("unknown client action '{other}' (expected cluster or stats)")),
+    };
+    if pool.reconnects() > 0 {
+        eprintln!(
+            "ugraph client: rode over {} reconnect(s) ({} dial(s) to {addr})",
+            pool.reconnects(),
+            pool.dials()
+        );
     }
+    result
 }
 
 /// Renders a server error frame for the terminal.
@@ -648,14 +685,30 @@ fn describe_error(e: &ugraph::server::ErrorFrame) -> String {
     s
 }
 
-fn client_cluster(client: &mut Client, o: &Options) -> Result<(), String> {
+/// Renders an exhausted (or terminal) retry loop for the terminal: the
+/// final failure, plus the attempt count when there was more than one.
+fn describe_failure(report: &RetryReport) -> String {
+    let last = match &report.last_error {
+        RetryError::Server(frame) => describe_error(frame),
+        RetryError::Protocol(e) => e.to_string(),
+    };
+    if report.attempts > 1 {
+        format!(
+            "{last} (gave up after {} attempts, {:.0?} total backoff)",
+            report.attempts, report.backoff_slept
+        )
+    } else {
+        last
+    }
+}
+
+fn client_cluster(pool: &mut ClientPool, o: &Options) -> Result<(), String> {
     let graph = match &o.graph {
         Some(name) => name.clone(),
         // No --graph: ask the server what it has; unambiguous iff there
         // is exactly one graph loaded.
         None => {
-            let stats =
-                client.stats(None).map_err(|e| e.to_string())?.map_err(|e| describe_error(&e))?;
+            let stats = pool.stats(None).map_err(|e| describe_failure(&e))?;
             match stats.graphs.as_slice() {
                 [only] => only.clone(),
                 [] => return Err("server has no graphs loaded".into()),
@@ -684,8 +737,7 @@ fn client_cluster(client: &mut Client, o: &Options) -> Result<(), String> {
         depth: o.depth.map_or(WireDepth::Unlimited, WireDepth::Uniform),
         deadline_micros: o.timeout.map(|t| t.as_micros() as u64),
     };
-    let solve =
-        client.cluster(&call).map_err(|e| e.to_string())?.map_err(|e| describe_error(&e))?;
+    let solve = pool.cluster(&call).map_err(|e| describe_failure(&e))?;
     let clustering = solve.clustering().map_err(|e| e.to_string())?;
     eprintln!(
         "{algo} k={k} on '{graph}': objective est {:.4} (q = {:.4}), {} guesses over {} samples, \
@@ -710,11 +762,8 @@ fn client_cluster(client: &mut Client, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn client_stats(client: &mut Client, o: &Options) -> Result<(), String> {
-    let s = client
-        .stats(o.graph.as_deref())
-        .map_err(|e| e.to_string())?
-        .map_err(|e| describe_error(&e))?;
+fn client_stats(pool: &mut ClientPool, o: &Options) -> Result<(), String> {
+    let s = pool.stats(o.graph.as_deref()).map_err(|e| describe_failure(&e))?;
     println!("graphs               {}", s.graphs.join(", "));
     println!("connections          {}", s.connections);
     println!("cluster requests     {}", s.cluster_requests);
@@ -724,6 +773,7 @@ fn client_stats(client: &mut Client, o: &Options) -> Result<(), String> {
     println!("deadline rejections  {}", s.deadline_rejections);
     println!("cancellations        {}", s.cancelled_rejections);
     println!("solve errors         {}", s.solve_errors);
+    println!("peer stalls          {}", s.peer_stalled);
     println!("sessions evicted     {}", s.sessions_evicted);
     match s.bytes_limit {
         Some(limit) => println!("memory               {} / {} bytes", s.bytes_held, limit),

@@ -88,6 +88,7 @@ pub mod prelude {
         BitParallelPool, ComponentPool, ExactOracle, SampleSchedule, WorldEngine, WorldPool,
     };
     pub use ugraph_server::{
-        Client, ClusterCall, Server, ServerConfig, SessionRegistry, WireDepth,
+        Client, ClientPool, ClusterCall, RetryPolicy, Server, ServerConfig, SessionRegistry,
+        WireDepth,
     };
 }
